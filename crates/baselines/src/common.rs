@@ -1,0 +1,138 @@
+//! Shared classifier interface and preprocessing.
+
+use zeroer_linalg::Matrix;
+
+/// A binary matcher: supervised baselines implement `fit`; unsupervised
+/// ones ignore the labels.
+pub trait Classifier {
+    /// Trains on features and labels (labels ignored by unsupervised
+    /// models).
+    fn fit(&mut self, x: &Matrix, y: &[bool]);
+
+    /// Match probability per row, in `[0, 1]`.
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Hard labels at the 0.5 threshold.
+    fn predict(&self, x: &Matrix) -> Vec<bool> {
+        self.predict_proba(x).into_iter().map(|p| p > 0.5).collect()
+    }
+}
+
+/// Per-column standardization to zero mean / unit variance, fit on train
+/// and applied to test — required by the gradient-based baselines.
+#[derive(Debug, Clone, Default)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learns means and standard deviations from `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let (n, d) = (x.rows(), x.cols());
+        let mut means = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        let nf = (n.max(1)) as f64;
+        for m in &mut means {
+            *m /= nf;
+        }
+        let mut stds = vec![0.0; d];
+        for i in 0..n {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                stds[j] += (v - means[j]).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / nf).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant column: leave centered at zero
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Applies the transform, returning a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let (n, d) = (x.rows(), x.cols());
+        assert_eq!(d, self.means.len(), "standardizer dimensionality mismatch");
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            for j in 0..d {
+                out[(i, j)] = (x[(i, j)] - self.means[j]) / self.stds[j];
+            }
+        }
+        out
+    }
+}
+
+/// Selects the rows of `x` given by `idx` (with repetition allowed — used
+/// by oversampling and bagging).
+pub fn take_rows(x: &Matrix, idx: &[usize]) -> Matrix {
+    let d = x.cols();
+    let mut data = Vec::with_capacity(idx.len() * d);
+    for &i in idx {
+        data.extend_from_slice(x.row(i));
+    }
+    Matrix::from_vec(idx.len(), d, data)
+}
+
+/// Selects label entries by index.
+pub fn take_labels(y: &[bool], idx: &[usize]) -> Vec<bool> {
+    idx.iter().map(|&i| y[i]).collect()
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        for j in 0..2 {
+            let mean: f64 = (0..3).map(|i| t[(i, j)]).sum::<f64>() / 3.0;
+            let var: f64 = (0..3).map(|i| t[(i, j)].powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_blow_up() {
+        let x = Matrix::from_rows(&[&[5.0], &[5.0]]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        assert_eq!(t[(0, 0)], 0.0);
+        assert!(t[(1, 0)].is_finite());
+    }
+
+    #[test]
+    fn take_rows_with_repetition() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let t = take_rows(&x, &[2, 0, 2]);
+        assert_eq!(t.col(0), vec![3.0, 1.0, 3.0]);
+        assert_eq!(take_labels(&[true, false, true], &[2, 0]), vec![true, true]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).abs() < 1e-12);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Fellegi-Sunter model fit by Expectation-Conditional-Maximization
+//! ("ECM" in Table 2), after the recordlinkage-toolkit implementation.
+//!
+//! Features are binarized at a threshold; the model assumes each binary
+//! comparison outcome `x_j` is Bernoulli within each class:
+//! `P(x_j = 1 | M) = m_j`, `P(x_j = 1 | U) = u_j`, conditionally
+//! independent given the class (the classical FS assumption). EM estimates
+//! `{π, m, u}`; the posterior match probability follows by Bayes.
+
+use crate::common::Classifier;
+use zeroer_linalg::Matrix;
+
+/// Fellegi-Sunter / ECM matcher over binarized similarity features.
+#[derive(Debug, Clone)]
+pub struct EcmClassifier {
+    /// Binarization threshold on the (normalized) similarity features.
+    pub threshold: f64,
+    /// EM iteration cap.
+    pub max_iter: usize,
+    /// Convergence tolerance on parameter change.
+    pub tol: f64,
+    params: Option<EcmParams>,
+}
+
+#[derive(Debug, Clone)]
+struct EcmParams {
+    pi_m: f64,
+    m: Vec<f64>,
+    u: Vec<f64>,
+}
+
+impl Default for EcmClassifier {
+    fn default() -> Self {
+        Self { threshold: 0.8, max_iter: 200, tol: 1e-6, params: None }
+    }
+}
+
+/// Probability clamp keeping Bernoulli parameters off the 0/1 boundary.
+const P_CLAMP: (f64, f64) = (1e-4, 1.0 - 1e-4);
+
+impl EcmClassifier {
+    /// Creates an ECM matcher with a custom binarization threshold.
+    pub fn new(threshold: f64) -> Self {
+        Self { threshold, ..Default::default() }
+    }
+
+    fn binarize(&self, x: &Matrix) -> Vec<Vec<bool>> {
+        (0..x.rows())
+            .map(|i| x.row(i).iter().map(|&v| v >= self.threshold).collect())
+            .collect()
+    }
+
+    fn log_likelihood_row(b: &[bool], p: &[f64]) -> f64 {
+        b.iter()
+            .zip(p)
+            .map(|(&bit, &pj)| if bit { pj.ln() } else { (1.0 - pj).ln() })
+            .sum()
+    }
+
+    /// Fitted Bernoulli parameters `(π_M, m, u)` (after `fit`).
+    pub fn parameters(&self) -> Option<(f64, &[f64], &[f64])> {
+        self.params.as_ref().map(|p| (p.pi_m, p.m.as_slice(), p.u.as_slice()))
+    }
+}
+
+impl Classifier for EcmClassifier {
+    fn fit(&mut self, x: &Matrix, _y: &[bool]) {
+        let n = x.rows();
+        let d = x.cols();
+        assert!(n >= 2, "ECM needs at least two rows");
+        let b = self.binarize(x);
+        // Init: agreement-count heuristic — rows agreeing on most features
+        // seed the match class.
+        let mut gammas: Vec<f64> = b
+            .iter()
+            .map(|row| {
+                let agree = row.iter().filter(|&&v| v).count();
+                if agree * 2 > d {
+                    0.9
+                } else {
+                    0.1
+                }
+            })
+            .collect();
+        let mut pi_m: f64 = 0.1;
+        let mut m = vec![0.9; d];
+        let mut u = vec![0.1; d];
+        for _ in 0..self.max_iter {
+            // CM-step: conditional maximization of π, then m, then u.
+            let nm: f64 = gammas.iter().sum();
+            let nu = n as f64 - nm;
+            pi_m = (nm / n as f64).clamp(P_CLAMP.0, P_CLAMP.1);
+            let mut new_m = vec![0.0; d];
+            let mut new_u = vec![0.0; d];
+            for (row, &g) in b.iter().zip(&gammas) {
+                for (j, &bit) in row.iter().enumerate() {
+                    if bit {
+                        new_m[j] += g;
+                        new_u[j] += 1.0 - g;
+                    }
+                }
+            }
+            let mut delta = 0.0f64;
+            for j in 0..d {
+                let mj = (new_m[j] / nm.max(1e-12)).clamp(P_CLAMP.0, P_CLAMP.1);
+                let uj = (new_u[j] / nu.max(1e-12)).clamp(P_CLAMP.0, P_CLAMP.1);
+                delta = delta.max((mj - m[j]).abs()).max((uj - u[j]).abs());
+                m[j] = mj;
+                u[j] = uj;
+            }
+            // E-step.
+            for (i, row) in b.iter().enumerate() {
+                let lm = pi_m.ln() + Self::log_likelihood_row(row, &m);
+                let lu = (1.0 - pi_m).ln() + Self::log_likelihood_row(row, &u);
+                let max = lm.max(lu);
+                gammas[i] = (lm - max).exp() / ((lm - max).exp() + (lu - max).exp());
+            }
+            if delta < self.tol {
+                break;
+            }
+        }
+        // Orient: the match class should have the higher mean agreement
+        // probability.
+        let mean_m: f64 = m.iter().sum::<f64>() / d as f64;
+        let mean_u: f64 = u.iter().sum::<f64>() / d as f64;
+        if mean_m < mean_u {
+            std::mem::swap(&mut m, &mut u);
+            pi_m = 1.0 - pi_m;
+        }
+        self.params = Some(EcmParams { pi_m, m, u });
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let p = self.params.as_ref().expect("fit before predict");
+        self.binarize(x)
+            .iter()
+            .map(|row| {
+                let lm = p.pi_m.ln() + Self::log_likelihood_row(row, &p.m);
+                let lu = (1.0 - p.pi_m).ln() + Self::log_likelihood_row(row, &p.u);
+                let max = lm.max(lu);
+                (lm - max).exp() / ((lm - max).exp() + (lu - max).exp())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bernoulli_data() -> (Matrix, Vec<bool>) {
+        // Matches: features mostly ≥ 0.9; unmatches mostly ≤ 0.2.
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let flip = i % 5 == 0;
+            data.extend_from_slice(&[0.95, if flip { 0.1 } else { 0.9 }, 0.92]);
+            y.push(true);
+        }
+        for i in 0..80 {
+            let flip = i % 7 == 0;
+            data.extend_from_slice(&[0.1, if flip { 0.9 } else { 0.15 }, 0.05]);
+            y.push(false);
+        }
+        (Matrix::from_vec(100, 3, data), y)
+    }
+
+    #[test]
+    fn recovers_bernoulli_clusters() {
+        let (x, y) = bernoulli_data();
+        let mut ecm = EcmClassifier::default();
+        ecm.fit(&x, &[]);
+        assert_eq!(ecm.predict(&x), y);
+    }
+
+    #[test]
+    fn parameters_are_oriented() {
+        let (x, _) = bernoulli_data();
+        let mut ecm = EcmClassifier::default();
+        ecm.fit(&x, &[]);
+        let (pi_m, m, u) = ecm.parameters().unwrap();
+        assert!(pi_m < 0.5, "matches are the minority");
+        let mean_m: f64 = m.iter().sum::<f64>() / m.len() as f64;
+        let mean_u: f64 = u.iter().sum::<f64>() / u.len() as f64;
+        assert!(mean_m > mean_u);
+    }
+
+    #[test]
+    fn probabilities_in_unit_range() {
+        let (x, _) = bernoulli_data();
+        let mut ecm = EcmClassifier::default();
+        ecm.fit(&x, &[]);
+        assert!(ecm.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn binarization_threshold_matters() {
+        // All features in [0.4, 0.6]: at threshold 0.8 everything binarizes
+        // to 0 and ECM cannot separate — probabilities collapse together.
+        let mut data = Vec::new();
+        for i in 0..40 {
+            data.push(0.4 + (i % 3) as f64 * 0.1);
+        }
+        let x = Matrix::from_vec(40, 1, data);
+        let mut ecm = EcmClassifier::default();
+        ecm.fit(&x, &[]);
+        let p = ecm.predict_proba(&x);
+        let spread = p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - p.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1e-6, "uniform binarized data must give uniform posteriors");
+    }
+}

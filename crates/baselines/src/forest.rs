@@ -1,0 +1,139 @@
+//! Random forest ("RF" in Table 2): bagged CART trees with per-tree
+//! feature subsampling (√d features per tree, the sklearn default). The
+//! paper uses 100 trees and tunes `min_samples_leaf` by cross-validation.
+
+use crate::common::Classifier;
+use crate::tree::DecisionTree;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use zeroer_linalg::Matrix;
+
+/// Bagged decision-tree ensemble.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees (paper: 100).
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf (the CV-tuned knob).
+    pub min_samples_leaf: usize,
+    /// RNG seed.
+    pub seed: u64,
+    trees: Vec<(DecisionTree, Vec<usize>)>,
+}
+
+impl RandomForest {
+    /// Creates a forest with the paper's defaults (100 trees).
+    pub fn new(min_samples_leaf: usize, seed: u64) -> Self {
+        Self { n_trees: 100, max_depth: 12, min_samples_leaf, seed, trees: Vec::new() }
+    }
+
+    /// Smaller, faster forest for tests and quick experiments.
+    pub fn small(min_samples_leaf: usize, seed: u64) -> Self {
+        Self { n_trees: 25, ..Self::new(min_samples_leaf, seed) }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        let n = x.rows();
+        let d = x.cols();
+        let n_feats = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for _ in 0..self.n_trees {
+            // Bootstrap sample.
+            let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            // Feature subset for this tree.
+            let mut feats: Vec<usize> = (0..d).collect();
+            feats.shuffle(&mut rng);
+            feats.truncate(n_feats);
+            let mut tree = DecisionTree::new(self.max_depth, self.min_samples_leaf);
+            tree.fit_subset(x, y, &idx, &feats);
+            self.trees.push((tree, feats));
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "fit before predict");
+        let k = self.trees.len() as f64;
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                self.trees.iter().map(|(t, _)| t.predict_row(row)).sum::<f64>() / k
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_blobs(seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..150 {
+            let pos = rng.gen_bool(0.3);
+            let base = if pos { 0.75 } else { 0.25 };
+            for _ in 0..4 {
+                data.push(base + rng.gen_range(-0.2..0.2));
+            }
+            y.push(pos);
+        }
+        (Matrix::from_vec(150, 4, data), y)
+    }
+
+    #[test]
+    fn forest_fits_noisy_data_well() {
+        let (x, y) = noisy_blobs(1);
+        let mut rf = RandomForest::small(2, 42);
+        rf.fit(&x, &y);
+        let preds = rf.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(
+            correct as f64 / y.len() as f64 > 0.95,
+            "train accuracy too low: {correct}/{}",
+            y.len()
+        );
+    }
+
+    #[test]
+    fn probabilities_average_tree_votes() {
+        let (x, y) = noisy_blobs(2);
+        let mut rf = RandomForest::small(2, 3);
+        rf.fit(&x, &y);
+        assert!(rf.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = noisy_blobs(3);
+        let mut a = RandomForest::small(2, 9);
+        let mut b = RandomForest::small(2, 9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn leaf_floor_regularizes() {
+        let (x, y) = noisy_blobs(4);
+        let mut deep = RandomForest::small(1, 5);
+        let mut shallow = RandomForest::small(40, 5);
+        deep.fit(&x, &y);
+        shallow.fit(&x, &y);
+        // The heavily-regularized forest must produce smoother (less
+        // extreme) probabilities on average.
+        let extremity = |p: &[f64]| {
+            p.iter().map(|v| (v - 0.5).abs()).sum::<f64>() / p.len() as f64
+        };
+        assert!(extremity(&shallow.predict_proba(&x)) <= extremity(&deep.predict_proba(&x)));
+    }
+}

@@ -1,0 +1,206 @@
+//! 2-means clustering baselines: "K-Means (SK)" and the class-weighted
+//! "K-Means (RL)" variant (§7.1).
+//!
+//! Plain k-means assumes similarly-sized clusters, which ER violently
+//! violates. The RL variant (after the recordlinkage toolkit) weights
+//! distances so the small match cluster is not absorbed: distances to the
+//! match centroid are scaled down by a `match_weight < 1`.
+
+use crate::common::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeroer_linalg::stats::l2_norm;
+use zeroer_linalg::Matrix;
+
+/// 2-means matcher. The cluster whose centroid has the larger L2 norm is
+/// declared the match cluster (matches have uniformly higher similarity).
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Distance scale applied to the match cluster: 1.0 = standard
+    /// k-means (SK); < 1.0 = the RL class-weighted variant.
+    pub match_weight: f64,
+    /// Restarts (best inertia wins).
+    pub n_init: usize,
+    /// Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// RNG seed.
+    pub seed: u64,
+    centroids: Option<(Vec<f64>, Vec<f64>)>, // (match, unmatch)
+}
+
+impl KMeans {
+    /// Standard k-means ("K-Means (SK)").
+    pub fn standard(seed: u64) -> Self {
+        Self { match_weight: 1.0, n_init: 5, max_iter: 100, seed, centroids: None }
+    }
+
+    /// Class-weighted variant ("K-Means (RL)"): match-side distances are
+    /// scaled by 0.5, biasing assignment toward the minority cluster.
+    pub fn class_weighted(seed: u64) -> Self {
+        Self { match_weight: 0.5, ..Self::standard(seed) }
+    }
+
+    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// One Lloyd run from a k-means++ style init; returns (centroids,
+    /// inertia).
+    fn lloyd(&self, x: &Matrix, rng: &mut StdRng) -> (Vec<Vec<f64>>, f64) {
+        let n = x.rows();
+        // k-means++ for k=2: first random, second proportional to d².
+        let first = rng.gen_range(0..n);
+        let d2: Vec<f64> = (0..n).map(|i| Self::sq_dist(x.row(i), x.row(first))).collect();
+        let total: f64 = d2.iter().sum();
+        let second = if total > 0.0 {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        } else {
+            (first + 1) % n
+        };
+        let mut centroids = vec![x.row(first).to_vec(), x.row(second).to_vec()];
+        let d = x.cols();
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.max_iter {
+            let mut changed = false;
+            for i in 0..n {
+                let d0 = Self::sq_dist(x.row(i), &centroids[0]);
+                let d1 = Self::sq_dist(x.row(i), &centroids[1]);
+                let a = usize::from(d1 < d0);
+                if assign[i] != a {
+                    assign[i] = a;
+                    changed = true;
+                }
+            }
+            let mut sums = vec![vec![0.0; d]; 2];
+            let mut counts = [0usize; 2];
+            for i in 0..n {
+                counts[assign[i]] += 1;
+                for (s, &v) in sums[assign[i]].iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..2 {
+                if counts[c] > 0 {
+                    for v in &mut sums[c] {
+                        *v /= counts[c] as f64;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inertia: f64 = (0..n).map(|i| Self::sq_dist(x.row(i), &centroids[assign[i]])).sum();
+        (centroids, inertia)
+    }
+}
+
+impl Classifier for KMeans {
+    fn fit(&mut self, x: &Matrix, _y: &[bool]) {
+        assert!(x.rows() >= 2, "k-means needs at least two points");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(Vec<Vec<f64>>, f64)> = None;
+        for _ in 0..self.n_init {
+            let run = self.lloyd(x, &mut rng);
+            if best.as_ref().is_none_or(|b| run.1 < b.1) {
+                best = Some(run);
+            }
+        }
+        let (cents, _) = best.expect("at least one restart");
+        // Higher-norm centroid = match cluster.
+        let (m, u) = if l2_norm(&cents[0]) >= l2_norm(&cents[1]) {
+            (cents[0].clone(), cents[1].clone())
+        } else {
+            (cents[1].clone(), cents[0].clone())
+        };
+        self.centroids = Some((m, u));
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let (m, u) = self.centroids.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|i| {
+                let dm = Self::sq_dist(x.row(i), m).sqrt() * self.match_weight;
+                let du = Self::sq_dist(x.row(i), u).sqrt();
+                // Soft score from relative distances.
+                if dm + du == 0.0 {
+                    0.5
+                } else {
+                    du / (dm + du)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters(n_hi: usize, n_lo: usize) -> (Matrix, Vec<bool>) {
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_hi {
+            let eps = (i % 7) as f64 * 0.01;
+            data.extend_from_slice(&[0.9 - eps, 0.85 + eps]);
+            y.push(true);
+        }
+        for i in 0..n_lo {
+            let eps = (i % 9) as f64 * 0.01;
+            data.extend_from_slice(&[0.1 + eps, 0.15 - eps.min(0.15)]);
+            y.push(false);
+        }
+        (Matrix::from_vec(n_hi + n_lo, 2, data), y)
+    }
+
+    #[test]
+    fn balanced_clusters_are_separated() {
+        let (x, y) = clusters(30, 30);
+        let mut km = KMeans::standard(1);
+        km.fit(&x, &[]);
+        assert_eq!(km.predict(&x), y);
+    }
+
+    #[test]
+    fn class_weighted_variant_handles_imbalance() {
+        let (x, y) = clusters(5, 200);
+        let mut km = KMeans::class_weighted(2);
+        km.fit(&x, &[]);
+        assert_eq!(km.predict(&x), y);
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_range() {
+        let (x, _) = clusters(10, 50);
+        let mut km = KMeans::standard(3);
+        km.fit(&x, &[]);
+        assert!(km.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, _) = clusters(20, 40);
+        let mut a = KMeans::standard(7);
+        let mut b = KMeans::standard(7);
+        a.fit(&x, &[]);
+        b.fit(&x, &[]);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let x = Matrix::from_rows(&[&[0.5]]);
+        KMeans::standard(0).fit(&x, &[]);
+    }
+}

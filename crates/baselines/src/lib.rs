@@ -1,0 +1,42 @@
+//! Baseline matchers the paper compares against (§7.1).
+//!
+//! Unsupervised:
+//!
+//! * [`kmeans::KMeans`] — plain 2-means ("K-Means (SK)") and the
+//!   class-weighted variant calibrated for ER's uneven cluster sizes
+//!   ("K-Means (RL)", after the recordlinkage toolkit);
+//! * [`gmm::GaussianMixture`] — full-covariance 2-component GMM with
+//!   uniform Tikhonov regularization, the sklearn-equivalent baseline;
+//! * [`ecm::EcmClassifier`] — the Fellegi-Sunter model fit with an
+//!   expectation-conditional-maximization loop over binarized features.
+//!
+//! Supervised (all trained with oversampled matches and tuned by k-fold
+//! cross-validation, mirroring the paper's protocol):
+//!
+//! * [`logreg::LogisticRegression`] — linear classifier with L2;
+//! * [`forest::RandomForest`] — bagged CART trees with feature
+//!   subsampling;
+//! * [`mlp::Mlp`] — two hidden layers (50, 10), ReLU, Adam, L2.
+//!
+//! All share the [`Classifier`] trait so the experiment harness can treat
+//! them uniformly.
+
+pub mod common;
+pub mod ecm;
+pub mod forest;
+pub mod gmm;
+pub mod kmeans;
+pub mod logreg;
+pub mod mlp;
+pub mod nbayes;
+pub mod tree;
+pub mod tuning;
+
+pub use common::{Classifier, Standardizer};
+pub use ecm::EcmClassifier;
+pub use forest::RandomForest;
+pub use gmm::GaussianMixture;
+pub use kmeans::KMeans;
+pub use logreg::LogisticRegression;
+pub use mlp::Mlp;
+pub use nbayes::NaiveBayes;

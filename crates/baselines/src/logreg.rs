@@ -1,0 +1,155 @@
+//! Logistic regression with L2 regularization ("LR" in Table 2).
+//!
+//! Full-batch gradient descent with a fixed step budget on standardized
+//! features; the `l2` strength is tuned by cross-validation in the
+//! experiment harness (the paper tunes sklearn's `C` by 5-fold CV).
+
+use crate::common::{sigmoid, Classifier, Standardizer};
+use zeroer_linalg::Matrix;
+
+/// L2-regularized logistic regression trained by gradient descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// L2 penalty strength λ (0 disables regularization).
+    pub l2: f64,
+    /// Gradient steps.
+    pub max_iter: usize,
+    /// Learning rate.
+    pub lr: f64,
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Option<Standardizer>,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new(1e-3)
+    }
+}
+
+impl LogisticRegression {
+    /// Creates an LR with the given L2 strength.
+    pub fn new(l2: f64) -> Self {
+        Self { l2, max_iter: 300, lr: 0.5, weights: Vec::new(), bias: 0.0, scaler: None }
+    }
+
+    /// The learned weight vector (after `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let (n, d) = (xs.rows(), xs.cols());
+        let nf = n as f64;
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let targets: Vec<f64> = y.iter().map(|&t| f64::from(u8::from(t))).collect();
+        let mut grad = vec![0.0; d];
+        // Gradient descent on the decay term is only stable when
+        // `lr · λ < 1`; cap the step size so large CV-grid λ values
+        // converge instead of oscillating.
+        let lr = self.lr.min(0.5 / (self.l2 + 1e-12)).min(self.lr);
+        for _ in 0..self.max_iter {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0;
+            for i in 0..n {
+                let row = xs.row(i);
+                let z: f64 = b + row.iter().zip(&w).map(|(a, c)| a * c).sum::<f64>();
+                let err = sigmoid(z) - targets[i];
+                for (g, &v) in grad.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (wj, gj) in w.iter_mut().zip(&grad) {
+                *wj -= lr * (gj / nf + self.l2 * *wj);
+            }
+            b -= lr * gb / nf;
+        }
+        self.weights = w;
+        self.bias = b;
+        self.scaler = Some(scaler);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("fit before predict");
+        let xs = scaler.transform(x);
+        (0..xs.rows())
+            .map(|i| {
+                let z: f64 = self.bias
+                    + xs.row(i).iter().zip(&self.weights).map(|(a, c)| a * c).sum::<f64>();
+                sigmoid(z)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linearly_separable(seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..60 {
+            let pos = rng.gen_bool(0.4);
+            let base = if pos { 0.8 } else { 0.2 };
+            data.push(base + rng.gen_range(-0.1..0.1));
+            data.push(base + rng.gen_range(-0.1..0.1));
+            y.push(pos);
+        }
+        (Matrix::from_vec(60, 2, data), y)
+    }
+
+    #[test]
+    fn fits_linearly_separable_data() {
+        let (x, y) = linearly_separable(1);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        assert_eq!(lr.predict(&x), y);
+    }
+
+    #[test]
+    fn heavy_l2_shrinks_weights() {
+        let (x, y) = linearly_separable(2);
+        let mut weak = LogisticRegression::new(1e-4);
+        let mut strong = LogisticRegression::new(10.0);
+        weak.fit(&x, &y);
+        strong.fit(&x, &y);
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(strong.weights()) < norm(weak.weights()));
+    }
+
+    #[test]
+    fn probabilities_in_unit_range() {
+        let (x, y) = linearly_separable(3);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        assert!(lr.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn all_one_class_training_predicts_that_class() {
+        let x = Matrix::from_rows(&[&[0.1], &[0.2], &[0.3]]);
+        let y = vec![false, false, false];
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        assert!(lr.predict(&x).iter().all(|&p| !p));
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_labels_panic() {
+        let x = Matrix::from_rows(&[&[0.1]]);
+        LogisticRegression::default().fit(&x, &[true, false]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Multi-layer perceptron ("MLP" in Table 2): two hidden layers of sizes
+//! 50 and 10 with ReLU, sigmoid output, Adam optimizer and L2 weight
+//! decay — the architecture the paper evaluates (§7.1).
+
+use crate::common::{sigmoid, Classifier, Standardizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeroer_linalg::Matrix;
+
+/// A dense layer's parameters and Adam state.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // out × in, row-major
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU layers.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.gen_range(-scale..scale)).collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = self.b[o] + row.iter().zip(input).map(|(a, b)| a * b).sum::<f64>();
+            out.push(z);
+        }
+    }
+}
+
+/// The paper's MLP matcher.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// L2 weight decay (the CV-tuned knob).
+    pub l2: f64,
+    /// Training epochs over the full batch.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed (weight init).
+    pub seed: u64,
+    layers: Vec<Layer>,
+    scaler: Option<Standardizer>,
+    adam_t: usize,
+}
+
+impl Mlp {
+    /// Creates the 50/10 architecture with a given L2 strength.
+    pub fn new(l2: f64, seed: u64) -> Self {
+        Self { l2, epochs: 150, lr: 5e-3, seed, layers: Vec::new(), scaler: None, adam_t: 0 }
+    }
+
+    fn adam_update(t: usize, lr: f64, p: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..p.len() {
+            m[i] = B1 * m[i] + (1.0 - B1) * g[i];
+            v[i] = B2 * v[i] + (1.0 - B2) * g[i] * g[i];
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            p[i] -= lr * mh / (vh.sqrt() + EPS);
+        }
+    }
+
+    /// Forward pass returning all activations (input included).
+    fn forward_all(&self, input: &[f64]) -> (Vec<Vec<f64>>, f64) {
+        let mut acts: Vec<Vec<f64>> = vec![input.to_vec()];
+        let mut buf = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().expect("nonempty"), &mut buf);
+            if li + 1 < self.layers.len() {
+                // ReLU on hidden layers.
+                for z in buf.iter_mut() {
+                    *z = z.max(0.0);
+                }
+            }
+            acts.push(buf.clone());
+        }
+        let logit = acts.last().expect("output layer")[0];
+        (acts, sigmoid(logit))
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "empty training set");
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let (n, d) = (xs.rows(), xs.cols());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.layers = vec![
+            Layer::new(d, 50, &mut rng),
+            Layer::new(50, 10, &mut rng),
+            Layer::new(10, 1, &mut rng),
+        ];
+        self.adam_t = 0;
+
+        // Gradient buffers mirroring each layer.
+        for _ in 0..self.epochs {
+            let mut gw: Vec<Vec<f64>> =
+                self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+            let mut gb: Vec<Vec<f64>> =
+                self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            for i in 0..n {
+                let (acts, p) = self.forward_all(xs.row(i));
+                let target = f64::from(u8::from(y[i]));
+                // dL/dlogit for BCE + sigmoid.
+                let mut delta = vec![p - target];
+                for li in (0..self.layers.len()).rev() {
+                    let layer = &self.layers[li];
+                    let input = &acts[li];
+                    // Accumulate gradients.
+                    for o in 0..layer.n_out {
+                        gb[li][o] += delta[o];
+                        let wrow = o * layer.n_in;
+                        for (k, &inp) in input.iter().enumerate() {
+                            gw[li][wrow + k] += delta[o] * inp;
+                        }
+                    }
+                    if li == 0 {
+                        break;
+                    }
+                    // Back-propagate through weights and the ReLU of the
+                    // previous layer.
+                    let mut prev = vec![0.0; layer.n_in];
+                    for o in 0..layer.n_out {
+                        let wrow = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                        for (pd, &wv) in prev.iter_mut().zip(wrow) {
+                            *pd += delta[o] * wv;
+                        }
+                    }
+                    // ReLU derivative uses the post-activation values.
+                    for (pd, &a) in prev.iter_mut().zip(&acts[li]) {
+                        if a <= 0.0 {
+                            *pd = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+            // Average, add weight decay, Adam step.
+            let nf = n as f64;
+            self.adam_t += 1;
+            let t = self.adam_t;
+            let (lr, l2) = (self.lr, self.l2);
+            for (li, layer) in self.layers.iter_mut().enumerate() {
+                for (g, &wv) in gw[li].iter_mut().zip(&layer.w) {
+                    *g = *g / nf + l2 * wv;
+                }
+                for g in gb[li].iter_mut() {
+                    *g /= nf;
+                }
+                Self::adam_update(t, lr, &mut layer.w, &gw[li], &mut layer.mw, &mut layer.vw);
+                Self::adam_update(t, lr, &mut layer.b, &gb[li], &mut layer.mb, &mut layer.vb);
+            }
+        }
+        self.scaler = Some(scaler);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("fit before predict");
+        let xs = scaler.transform(x);
+        (0..xs.rows()).map(|i| self.forward_all(xs.row(i)).1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64, n: usize) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let pos = rng.gen_bool(0.35);
+            let base = if pos { 0.8 } else { 0.2 };
+            for _ in 0..3 {
+                data.push(base + rng.gen_range(-0.15..0.15));
+            }
+            y.push(pos);
+        }
+        (Matrix::from_vec(n, 3, data), y)
+    }
+
+    #[test]
+    fn fits_separable_blobs() {
+        let (x, y) = blobs(1, 120);
+        let mut mlp = Mlp::new(1e-4, 7);
+        mlp.fit(&x, &y);
+        let preds = mlp.predict(&x);
+        let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_xor_nonlinearity() {
+        // XOR is the canonical test that the hidden layers actually work.
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let a = rng.gen_bool(0.5);
+            let b = rng.gen_bool(0.5);
+            data.push(f64::from(u8::from(a)) + rng.gen_range(-0.05..0.05));
+            data.push(f64::from(u8::from(b)) + rng.gen_range(-0.05..0.05));
+            y.push(a != b);
+        }
+        let x = Matrix::from_vec(200, 2, data);
+        let mut mlp = Mlp::new(1e-5, 3);
+        mlp.epochs = 400;
+        mlp.fit(&x, &y);
+        let preds = mlp.predict(&x);
+        let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.9, "XOR train accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_range() {
+        let (x, y) = blobs(2, 60);
+        let mut mlp = Mlp::new(1e-4, 1);
+        mlp.epochs = 50;
+        mlp.fit(&x, &y);
+        assert!(mlp.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = blobs(3, 50);
+        let mut a = Mlp::new(1e-4, 11);
+        let mut b = Mlp::new(1e-4, 11);
+        a.epochs = 30;
+        b.epochs = 30;
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+}

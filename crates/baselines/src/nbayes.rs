@@ -1,0 +1,146 @@
+//! Gaussian Naive Bayes — the classic supervised ER matcher (Winkler's
+//! lineage, cited in the paper's related work §8). Included as a fourth
+//! supervised comparator and as the supervised twin of ZeroER's
+//! independence-ablation: it is exactly the diagonal-covariance
+//! class-conditional Gaussian model, fit with labels.
+
+use crate::common::Classifier;
+use zeroer_linalg::Matrix;
+
+/// Gaussian Naive Bayes with per-class feature means/variances.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    prior_pos: f64,
+    mean_pos: Vec<f64>,
+    var_pos: Vec<f64>,
+    mean_neg: Vec<f64>,
+    var_neg: Vec<f64>,
+    fitted: bool,
+}
+
+/// Variance floor against degenerate (constant) features.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl NaiveBayes {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn class_stats(x: &Matrix, rows: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let d = x.cols();
+        let n = rows.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for &i in rows {
+            for (m, &v) in mean.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for &i in rows {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                var[j] += (v - mean[j]) * (v - mean[j]);
+            }
+        }
+        for v in &mut var {
+            *v = (*v / n).max(VAR_FLOOR);
+        }
+        (mean, var)
+    }
+
+    fn log_gauss(x: f64, mean: f64, var: f64) -> f64 {
+        -0.5 * ((x - mean) * (x - mean) / var + var.ln() + zeroer_linalg::gaussian::LN_2PI)
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(!y.is_empty(), "empty training set");
+        let pos: Vec<usize> = (0..x.rows()).filter(|&i| y[i]).collect();
+        let neg: Vec<usize> = (0..x.rows()).filter(|&i| !y[i]).collect();
+        self.prior_pos = (pos.len() as f64 / y.len() as f64).clamp(1e-9, 1.0 - 1e-9);
+        let (mp, vp) = Self::class_stats(x, &pos);
+        let (mn, vn) = Self::class_stats(x, &neg);
+        self.mean_pos = mp;
+        self.var_pos = vp;
+        self.mean_neg = mn;
+        self.var_neg = vn;
+        self.fitted = true;
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.fitted, "fit before predict");
+        (0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut lp = self.prior_pos.ln();
+                let mut ln = (1.0 - self.prior_pos).ln();
+                for (j, &v) in row.iter().enumerate() {
+                    lp += Self::log_gauss(v, self.mean_pos[j], self.var_pos[j]);
+                    ln += Self::log_gauss(v, self.mean_neg[j], self.var_neg[j]);
+                }
+                let max = lp.max(ln);
+                (lp - max).exp() / ((lp - max).exp() + (ln - max).exp())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..100 {
+            let pos = rng.gen_bool(0.25);
+            let base = if pos { 0.8 } else { 0.2 };
+            data.push(base + rng.gen_range(-0.1..0.1));
+            data.push(base + rng.gen_range(-0.1..0.1));
+            y.push(pos);
+        }
+        (Matrix::from_vec(100, 2, data), y)
+    }
+
+    #[test]
+    fn separable_blobs_are_classified() {
+        let (x, y) = blobs(1);
+        let mut nb = NaiveBayes::new();
+        nb.fit(&x, &y);
+        assert_eq!(nb.predict(&x), y);
+    }
+
+    #[test]
+    fn prior_reflects_imbalance() {
+        let (x, y) = blobs(2);
+        let mut nb = NaiveBayes::new();
+        nb.fit(&x, &y);
+        let pos_frac = y.iter().filter(|&&v| v).count() as f64 / y.len() as f64;
+        assert!((nb.prior_pos - pos_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_feature_does_not_crash() {
+        let x = Matrix::from_rows(&[&[0.9, 1.0], &[0.8, 1.0], &[0.1, 1.0], &[0.2, 1.0]]);
+        let y = vec![true, true, false, false];
+        let mut nb = NaiveBayes::new();
+        nb.fit(&x, &y);
+        assert!(nb.predict_proba(&x).iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn probabilities_in_unit_range() {
+        let (x, y) = blobs(3);
+        let mut nb = NaiveBayes::new();
+        nb.fit(&x, &y);
+        assert!(nb.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

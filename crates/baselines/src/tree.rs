@@ -1,0 +1,210 @@
+//! CART decision trees (the building block of [`crate::forest`]).
+
+use zeroer_linalg::Matrix;
+
+/// A binary CART tree split on Gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split: `None` = all, `Some(k)` = the first
+    /// `k` of a caller-provided shuffled feature order (random forests pass
+    /// a fresh order per split via `feature_order`).
+    root: Option<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Fraction of positive (match) training samples in the leaf.
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Gini impurity of a split given positive/total counts on each side.
+fn gini_pair(pos_l: f64, n_l: f64, pos_r: f64, n_r: f64) -> f64 {
+    let gini = |pos: f64, n: f64| {
+        if n == 0.0 {
+            0.0
+        } else {
+            let p = pos / n;
+            2.0 * p * (1.0 - p)
+        }
+    };
+    let n = n_l + n_r;
+    (n_l / n) * gini(pos_l, n_l) + (n_r / n) * gini(pos_r, n_r)
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn new(max_depth: usize, min_samples_leaf: usize) -> Self {
+        Self { max_depth, min_samples_leaf, root: None }
+    }
+
+    /// Fits on the rows of `x` given by `idx` (with repetition allowed),
+    /// considering only `features` at each split (pass all columns for a
+    /// plain tree; forests pass a random subset).
+    pub fn fit_subset(&mut self, x: &Matrix, y: &[bool], idx: &[usize], features: &[usize]) {
+        assert!(!idx.is_empty(), "empty training subset");
+        self.root = Some(self.build(x, y, idx, features, 0));
+    }
+
+    fn build(
+        &self,
+        x: &Matrix,
+        y: &[bool],
+        idx: &[usize],
+        features: &[usize],
+        depth: usize,
+    ) -> Node {
+        let n = idx.len();
+        let pos = idx.iter().filter(|&&i| y[i]).count();
+        let proba = pos as f64 / n as f64;
+        if depth >= self.max_depth || pos == 0 || pos == n || n < 2 * self.min_samples_leaf {
+            return Node::Leaf { proba };
+        }
+        // Best split across candidate features.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        for &f in features {
+            // Sort sample values on this feature; candidate thresholds are
+            // midpoints between distinct consecutive values.
+            let mut vals: Vec<(f64, bool)> = idx.iter().map(|&i| (x[(i, f)], y[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+            let total_pos = pos as f64;
+            let total = n as f64;
+            let mut pos_l = 0.0;
+            let mut n_l = 0.0;
+            for w in 0..n - 1 {
+                pos_l += f64::from(u8::from(vals[w].1));
+                n_l += 1.0;
+                if vals[w].0 == vals[w + 1].0 {
+                    continue;
+                }
+                if (n_l as usize) < self.min_samples_leaf
+                    || (n - n_l as usize) < self.min_samples_leaf
+                {
+                    continue;
+                }
+                let g = gini_pair(pos_l, n_l, total_pos - pos_l, total - n_l);
+                if best.is_none_or(|(_, _, bg)| g < bg) {
+                    let threshold = 0.5 * (vals[w].0 + vals[w + 1].0);
+                    best = Some((f, threshold, g));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            return Node::Leaf { proba };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf { proba };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_idx, features, depth + 1)),
+            right: Box::new(self.build(x, y, &right_idx, features, depth + 1)),
+        }
+    }
+
+    /// Match probability for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = self.root.as_ref().expect("fit before predict");
+        loop {
+            match node {
+                Node::Leaf { proba } => return *proba,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Depth of the fitted tree (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<bool>) {
+        // XOR needs depth ≥ 2 — a good test that recursion works.
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..10 {
+                data.push(a);
+                data.push(b);
+                y.push((a > 0.5) != (b > 0.5));
+            }
+        }
+        (Matrix::from_vec(40, 2, data), y)
+    }
+
+    #[test]
+    fn learns_xor_with_sufficient_depth() {
+        let (x, y) = xor_data();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut t = DecisionTree::new(3, 1);
+        t.fit_subset(&x, &y, &idx, &[0, 1]);
+        for i in 0..x.rows() {
+            assert_eq!(t.predict_row(x.row(i)) > 0.5, y[i]);
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_zero_gives_majority_leaf() {
+        let (x, y) = xor_data();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut t = DecisionTree::new(0, 1);
+        t.fit_subset(&x, &y, &idx, &[0, 1]);
+        assert_eq!(t.depth(), 0);
+        let p = t.predict_row(x.row(0));
+        assert!((p - 0.5).abs() < 1e-12, "XOR is balanced → leaf proba 0.5");
+    }
+
+    #[test]
+    fn min_samples_leaf_limits_splitting() {
+        let (x, y) = xor_data();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut t = DecisionTree::new(10, 30);
+        t.fit_subset(&x, &y, &idx, &[0, 1]);
+        assert_eq!(t.depth(), 0, "leaf floor of 30 forbids splitting 40 rows");
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.1], &[0.2]]);
+        let y = vec![true, true, true];
+        let mut t = DecisionTree::new(5, 1);
+        t.fit_subset(&x, &y, &[0, 1, 2], &[0]);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_row(&[0.5]), 1.0);
+    }
+
+    #[test]
+    fn gini_prefers_pure_splits() {
+        // Perfect split: gini 0; mixed split: positive.
+        assert_eq!(gini_pair(5.0, 5.0, 0.0, 5.0), 0.0);
+        assert!(gini_pair(3.0, 5.0, 2.0, 5.0) > 0.0);
+    }
+}

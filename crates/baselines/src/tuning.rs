@@ -1,0 +1,98 @@
+//! Cross-validation hyper-parameter tuning (the paper tunes every
+//! supervised baseline by 5-fold CV on the training split, §7.1).
+
+use crate::common::{take_labels, take_rows, Classifier};
+use zeroer_eval::metrics::f_score;
+use zeroer_eval::split::kfold_indices;
+use zeroer_linalg::Matrix;
+
+/// Scores one hyper-parameter setting by k-fold CV F1.
+///
+/// `make` builds a fresh classifier for the setting; folds come from
+/// [`kfold_indices`] so the protocol is deterministic per seed.
+pub fn cv_f1<C: Classifier, F: Fn() -> C>(
+    x: &Matrix,
+    y: &[bool],
+    k: usize,
+    seed: u64,
+    make: F,
+) -> f64 {
+    let folds = kfold_indices(x.rows(), k, seed);
+    let mut total = 0.0;
+    for (train_idx, val_idx) in &folds {
+        let mut clf = make();
+        clf.fit(&take_rows(x, train_idx), &take_labels(y, train_idx));
+        let preds = clf.predict(&take_rows(x, val_idx));
+        total += f_score(&preds, &take_labels(y, val_idx));
+    }
+    total / folds.len() as f64
+}
+
+/// Grid search: returns the parameter (by index into `params`) with the
+/// best CV F1, plus that score. Ties break toward the earlier entry.
+///
+/// # Panics
+/// Panics if `params` is empty.
+pub fn grid_search<P: Copy, C: Classifier, F: Fn(P) -> C>(
+    x: &Matrix,
+    y: &[bool],
+    params: &[P],
+    k: usize,
+    seed: u64,
+    make: F,
+) -> (P, f64) {
+    assert!(!params.is_empty(), "empty parameter grid");
+    let mut best: Option<(P, f64)> = None;
+    for &p in params {
+        let score = cv_f1(x, y, k, seed, || make(p));
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            best = Some((p, score));
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logreg::LogisticRegression;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn data(seed: u64) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..80 {
+            let pos = rng.gen_bool(0.4);
+            let base = if pos { 0.8 } else { 0.2 };
+            rows.push(base + rng.gen_range(-0.15..0.15));
+            rows.push(base + rng.gen_range(-0.15..0.15));
+            y.push(pos);
+        }
+        (Matrix::from_vec(80, 2, rows), y)
+    }
+
+    #[test]
+    fn cv_scores_separable_data_high() {
+        let (x, y) = data(1);
+        let f1 = cv_f1(&x, &y, 4, 0, || LogisticRegression::new(1e-3));
+        assert!(f1 > 0.9, "CV F1 {f1}");
+    }
+
+    #[test]
+    fn grid_search_prefers_reasonable_l2() {
+        let (x, y) = data(2);
+        let grid = [1e-4, 1e-2, 100.0];
+        let (best, score) = grid_search(&x, &y, &grid, 4, 0, LogisticRegression::new);
+        assert!(best < 100.0, "absurd regularization must lose, got {best}");
+        assert!(score > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty parameter grid")]
+    fn empty_grid_panics() {
+        let (x, y) = data(3);
+        grid_search::<f64, _, _>(&x, &y, &[], 4, 0, LogisticRegression::new);
+    }
+}

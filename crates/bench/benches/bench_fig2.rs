@@ -1,0 +1,89 @@
+//! Reproduces **Figure 2**: the heat map of feature correlations on the
+//! match class of Rest-FZ, showing the banding effect that motivates
+//! feature grouping (§3.2).
+//!
+//! Printed as an ASCII heat map (one character per cell, darker = more
+//! correlated) with `|` marking attribute-group boundaries, plus the
+//! quantitative contrast: mean |correlation| within groups vs across
+//! groups.
+
+use zeroer_bench::{prepare, ExperimentConfig};
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_linalg::stats::{covariance_to_correlation, weighted_covariance, weighted_mean};
+
+fn shade(v: f64) -> char {
+    // 5-level ASCII ramp for |correlation|.
+    match v.abs() {
+        a if a >= 0.8 => '#',
+        a if a >= 0.6 => '*',
+        a if a >= 0.4 => '+',
+        a if a >= 0.2 => '.',
+        _ => ' ',
+    }
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let p = prepare(&rest_fz(), &cfg);
+
+    // Match-class correlation: weight rows by the ground-truth labels
+    // (the paper plots the correlations of the match class).
+    let weights: Vec<f64> = p.labels.iter().map(|&l| f64::from(u8::from(l))).collect();
+    let x = &p.cross.features;
+    let mean = weighted_mean(x, &weights);
+    let cov = weighted_covariance(x, &weights, &mean);
+    let corr = covariance_to_correlation(&cov);
+
+    let layout = &p.cross.layout;
+    let boundaries: Vec<usize> = layout.iter().map(|(off, sz)| off + sz).collect();
+    let is_boundary = |j: usize| boundaries.contains(&j);
+
+    println!("== Figure 2: feature-correlation heat map (Rest-FZ match class) ==");
+    println!("(# >= 0.8, * >= 0.6, + >= 0.4, . >= 0.2; '|' separates attribute groups)\n");
+    let d = corr.rows();
+    for i in 0..d {
+        let mut line = String::new();
+        for j in 0..d {
+            line.push(shade(corr[(i, j)]));
+            line.push(' ');
+            if is_boundary(j + 1) && j + 1 < d {
+                line.push_str("| ");
+            }
+        }
+        println!("{line}");
+        if is_boundary(i + 1) && i + 1 < d {
+            let width = 2 * d + 2 * (layout.num_groups() - 1);
+            println!("{}", "-".repeat(width));
+        }
+    }
+
+    // Quantitative banding contrast.
+    let mut within = (0.0, 0usize);
+    let mut across = (0.0, 0usize);
+    let group_of = |j: usize| {
+        layout
+            .iter()
+            .position(|(off, sz)| j >= off && j < off + sz)
+            .expect("every column is in a group")
+    };
+    for i in 0..d {
+        for j in 0..d {
+            if i == j {
+                continue;
+            }
+            let c = corr[(i, j)].abs();
+            if group_of(i) == group_of(j) {
+                within.0 += c;
+                within.1 += 1;
+            } else {
+                across.0 += c;
+                across.1 += 1;
+            }
+        }
+    }
+    let w = within.0 / within.1.max(1) as f64;
+    let a = across.0 / across.1.max(1) as f64;
+    println!("\nmean |corr| within attribute groups : {w:.3}");
+    println!("mean |corr| across attribute groups : {a:.3}");
+    println!("banding contrast (within / across)  : {:.1}x", w / a.max(1e-9));
+}

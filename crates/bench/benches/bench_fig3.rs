@@ -1,0 +1,110 @@
+//! Reproduces **Figure 3**: the singularity problem and the three
+//! regularization regimes on the paper's two synthetic features.
+//!
+//! Figure 3 illustrates *density fits of each class* under the three
+//! regularization schemes (it plots the fitted M/U Gaussians against the
+//! class data, not an EM outcome), so this harness does exactly that:
+//! class-conditional fits with the true labels, then the regularization
+//! formulas applied.
+//!
+//! * `f1`: unmatch values uniform in [0, 0.5]; every match value exactly
+//!   1.0 → the match variance collapses to 0 (the singularity,
+//!   Fig. 3(a1)).
+//! * `f2`: a *small-gap* degenerate feature — match values all exactly
+//!   0.45, unmatch in [0, 0.35]. The Tikhonov κ tuned for `f1`'s large
+//!   gap over-smooths it into heavy overlap (Fig. 3(b2), Example 1),
+//!   while adaptive regularization scales with the class gap and keeps
+//!   it separated (Fig. 3(c2)).
+//!
+//! Reported per (feature × regime): fitted (µ, σ) per class, the
+//! Bhattacharyya overlap between the fitted Gaussians (0 = separated,
+//! 1 = identical), and the separation score `|µM − µU| / (σM + σU)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zeroer_bench::print_table;
+use zeroer_linalg::stats::{weighted_mean, weighted_variances};
+use zeroer_linalg::Matrix;
+
+/// Bhattacharyya coefficient between two univariate Gaussians.
+fn overlap(mu1: f64, var1: f64, mu2: f64, var2: f64) -> f64 {
+    let var = 0.5 * (var1 + var2);
+    if var1 <= 0.0 || var2 <= 0.0 {
+        // A degenerate (zero-variance) component shares no mass with any
+        // proper Gaussian centered elsewhere.
+        return 0.0;
+    }
+    let bd = 0.125 * (mu1 - mu2).powi(2) / var + 0.5 * (var / (var1 * var2).sqrt()).ln();
+    (-bd).exp()
+}
+
+fn feature_data(which: char, seed: u64) -> (Matrix, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::new();
+    let mut truth = Vec::new();
+    for _ in 0..40 {
+        data.push(match which {
+            '1' => 1.0,  // exactly degenerate, large gap to U
+            _ => 0.45,   // exactly degenerate, small gap to U
+        });
+        truth.push(true);
+    }
+    for _ in 0..360 {
+        data.push(match which {
+            '1' => rng.gen_range(0.0..0.5),
+            _ => rng.gen_range(0.0..0.35),
+        });
+        truth.push(false);
+    }
+    (Matrix::from_vec(400, 1, data), truth)
+}
+
+fn main() {
+    println!("== Figure 3: singularity & regularization on degenerate features ==\n");
+    // Tikhonov κ is "tuned for f1" (the paper's Example 1); adaptive uses
+    // the system default κ = 0.15 with K = κ(µM − µU)².
+    let regimes: [(&str, Box<dyn Fn(f64, f64) -> f64>); 3] = [
+        ("none", Box::new(|_mu_m: f64, _mu_u: f64| 0.0)),
+        // κ giving f1 the same spread the adaptive scheme would choose —
+        // "a κ chosen to regularize f1 very well" (Example 1).
+        ("Tikhonov", Box::new(|_, _| 0.09)),
+        ("adaptive", Box::new(|mu_m, mu_u| 0.15 * (mu_m - mu_u) * (mu_m - mu_u))),
+    ];
+    let mut rows = Vec::new();
+    for which in ['1', '2'] {
+        let (x, truth) = feature_data(which, 7);
+        let wm: Vec<f64> = truth.iter().map(|&t| f64::from(u8::from(t))).collect();
+        let wu: Vec<f64> = truth.iter().map(|&t| f64::from(u8::from(!t))).collect();
+        let mu_m = weighted_mean(&x, &wm)[0];
+        let mu_u = weighted_mean(&x, &wu)[0];
+        let s_m = weighted_variances(&x, &wm, &[mu_m])[0];
+        let s_u = weighted_variances(&x, &wu, &[mu_u])[0];
+        for (name, k_fn) in &regimes {
+            let k = k_fn(mu_m, mu_u);
+            let (var_m, var_u) = (s_m + k, s_u + k);
+            let sep = (mu_m - mu_u).abs() / (var_m.sqrt() + var_u.sqrt()).max(1e-12);
+            rows.push(vec![
+                format!("f{which}"),
+                name.to_string(),
+                format!("{mu_m:.3}"),
+                format!("{:.4}", var_m.sqrt()),
+                format!("{mu_u:.3}"),
+                format!("{:.4}", var_u.sqrt()),
+                format!("{:.3}", overlap(mu_m, var_m, mu_u, var_u)),
+                format!("{sep:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        &["feature", "regularization", "mu_M", "sigma_M", "mu_U", "sigma_U", "overlap", "separation"],
+        &rows,
+    );
+    println!(
+        "\nReading (paper Fig. 3): with no regularization sigma_M = 0 on f1 —\n\
+         p(x|M) diverges and EM overfits that single feature (the singularity,\n\
+         a1). Tikhonov with the kappa tuned for f1 fixes f1 (b1) but inflates\n\
+         f2's variances until the components overlap (b2). Adaptive\n\
+         regularization scales with the class separation, keeping both\n\
+         features well separated and well spread (c1, c2)."
+    );
+}

@@ -1,0 +1,99 @@
+//! Reproduces **Figure 4**: sensitivity of ZeroER to
+//! (a) the regularization strength κ,
+//! (b) the initialization threshold ε, and
+//! (c) the amount of unlabeled data used to fit the model.
+//!
+//! Expected shape: flat, high F1 for intermediate κ with degradation at
+//! κ = 0 (singularity) and κ = 1 (underfit); near-total insensitivity to
+//! ε away from the extremes; and F1 rising quickly with the unlabeled
+//! fraction, saturating early (≈ 10 % of data already suffices).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use zeroer_bench::table::fmt_f1;
+use zeroer_bench::{prepare, print_table, zeroer_f1, ExperimentConfig, Prepared};
+use zeroer_core::{GenerativeModel, ZeroErConfig};
+use zeroer_datagen::all_profiles;
+use zeroer_eval::metrics::f_score;
+
+const KAPPAS: &[f64] = &[0.0, 0.05, 0.1, 0.15, 0.2, 0.4, 0.6, 0.8, 1.0];
+const EPSILONS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+const FRACTIONS: &[f64] = &[0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Figure 4(c): fit on a row subset, score on the full candidate set via
+/// posterior inference (the paper fits on a fraction of unlabeled pairs
+/// and evaluates on the remainder; we score everything for stability at
+/// small scales).
+fn f1_at_fraction(p: &Prepared, frac: f64, seed: u64) -> f64 {
+    let n = p.cross.features.rows();
+    let k = ((n as f64 * frac).round() as usize).clamp(2, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    idx.truncate(k);
+    let sub = {
+        let d = p.cross.features.cols();
+        let mut data = Vec::with_capacity(k * d);
+        for &i in &idx {
+            data.extend_from_slice(p.cross.features.row(i));
+        }
+        zeroer_linalg::Matrix::from_vec(k, d, data)
+    };
+    let cfg = ZeroErConfig { transitivity: false, ..Default::default() };
+    let mut m = GenerativeModel::new(cfg, p.cross.layout.clone());
+    m.fit(&sub, None);
+    let preds: Vec<bool> =
+        (0..n).map(|i| m.posterior(p.cross.features.row(i)) > 0.5).collect();
+    f_score(&preds, &p.labels)
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let profiles = all_profiles();
+    let prepared: Vec<_> = profiles.iter().map(|p| prepare(p, &cfg)).collect();
+
+    println!("== Figure 4(a): F1 vs regularization kappa ==\n");
+    let mut rows = Vec::new();
+    for (profile, p) in profiles.iter().zip(&prepared) {
+        let mut row = vec![profile.notation.to_string()];
+        for &k in KAPPAS {
+            let c = ZeroErConfig { kappa: k, ..Default::default() };
+            row.push(fmt_f1(zeroer_f1(p, c)));
+        }
+        rows.push(row);
+    }
+    let kappa_headers: Vec<String> = KAPPAS.iter().map(|k| format!("k={k}")).collect();
+    let mut headers: Vec<&str> = vec!["Dataset"];
+    headers.extend(kappa_headers.iter().map(String::as_str));
+    print_table(&headers, &rows);
+
+    println!("\n== Figure 4(b): F1 vs initialization threshold epsilon ==\n");
+    let mut rows = Vec::new();
+    for (profile, p) in profiles.iter().zip(&prepared) {
+        let mut row = vec![profile.notation.to_string()];
+        for &e in EPSILONS {
+            let c = ZeroErConfig { init_threshold: e, ..Default::default() };
+            row.push(fmt_f1(zeroer_f1(p, c)));
+        }
+        rows.push(row);
+    }
+    let eps_headers: Vec<String> = EPSILONS.iter().map(|e| format!("e={e}")).collect();
+    let mut headers: Vec<&str> = vec!["Dataset"];
+    headers.extend(eps_headers.iter().map(String::as_str));
+    print_table(&headers, &rows);
+
+    println!("\n== Figure 4(c): F1 vs unlabeled training-data fraction ==\n");
+    let mut rows = Vec::new();
+    for (profile, p) in profiles.iter().zip(&prepared) {
+        let mut row = vec![profile.notation.to_string()];
+        for &f in FRACTIONS {
+            row.push(fmt_f1(f1_at_fraction(p, f, cfg.seed)));
+        }
+        rows.push(row);
+    }
+    let frac_headers: Vec<String> =
+        FRACTIONS.iter().map(|f| format!("{}%", (f * 100.0) as u32)).collect();
+    let mut headers: Vec<&str> = vec!["Dataset"];
+    headers.extend(frac_headers.iter().map(String::as_str));
+    print_table(&headers, &rows);
+}

@@ -1,0 +1,71 @@
+//! Reproduces **Table 3**: how many labeled training pairs each
+//! supervised baseline needs to match ZeroER's F-score.
+//!
+//! For each dataset the harness measures ZeroER's unsupervised F-score,
+//! then sweeps the supervised training fraction upward until the test-set
+//! F-score reaches that target. Reported: the percentage and the absolute
+//! number of labeled pairs (the paper's "labeling effort saved" framing —
+//! values of 100 % mean even the full training split only just matches
+//! ZeroER, or never does).
+
+use zeroer_bench::matchers::supervised_f1_once;
+use zeroer_bench::table::fmt_f1;
+use zeroer_bench::{prepare, print_table, zeroer_f1, ExperimentConfig, SupervisedKind};
+use zeroer_core::ZeroErConfig;
+use zeroer_datagen::all_profiles;
+
+/// Training fractions swept, smallest first (the paper's table spans
+/// 0.2 % – 100 % of the candidate pairs).
+const FRACTIONS: &[f64] = &[0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("== Table 3: labeled pairs needed to match ZeroER ==");
+    println!("(scale {}, {} run(s) per point; 100% = needs every available label)\n", cfg.scale, cfg.runs);
+    let mut rows = Vec::new();
+    for profile in all_profiles() {
+        let p = prepare(&profile, &cfg);
+        let target = zeroer_f1(&p, ZeroErConfig::default());
+        let n = p.n_pairs();
+        let mut row = vec![profile.notation.to_string(), fmt_f1(target)];
+        for kind in [SupervisedKind::Lr, SupervisedKind::Rf, SupervisedKind::Mlp] {
+            let mut found: Option<f64> = None;
+            for &frac in FRACTIONS {
+                let mean: f64 = (0..cfg.runs)
+                    .map(|r| {
+                        supervised_f1_once(
+                            &p.cross.features,
+                            &p.labels,
+                            kind,
+                            frac,
+                            cfg.seed + r as u64,
+                        )
+                    })
+                    .sum::<f64>()
+                    / cfg.runs as f64;
+                if mean >= target - 5e-3 {
+                    found = Some(frac);
+                    break;
+                }
+            }
+            match found {
+                Some(frac) => {
+                    row.push(format!("{:.1}%", frac * 100.0));
+                    row.push(format!("{}", (frac * n as f64).round() as usize));
+                }
+                None => {
+                    row.push("100%".to_string());
+                    row.push(n.to_string());
+                }
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        &[
+            "Dataset", "ZeroER F", "LR Pct", "LR Pairs", "RF Pct", "RF Pairs", "MLP Pct",
+            "MLP Pairs",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Experiment harnesses regenerating every table and figure of the paper.
+//!
+//! Each `[[bench]]` target under `benches/` prints one paper artifact:
+//!
+//! | target        | reproduces            |
+//! |---------------|-----------------------|
+//! | `bench_table1`| Table 1 (dataset statistics) |
+//! | `bench_table2`| Table 2 (F-score, all methods × 6 datasets) |
+//! | `bench_table3`| Table 3 (labeled data needed to match ZeroER) |
+//! | `bench_table4`| Table 4 (ablation grid) |
+//! | `bench_fig2`  | Figure 2 (feature-correlation heat map) |
+//! | `bench_fig3`  | Figure 3 (singularity / regularization fits) |
+//! | `bench_fig4`  | Figure 4 (κ / ε / data-size sensitivity) |
+//! | `bench_fig5`  | Figure 5 (EM iteration runtime scaling) |
+//! | `micro`       | criterion micro-benchmarks |
+//!
+//! Environment knobs: `ZEROER_SCALE` (default 0.08) scales the synthetic
+//! datasets, `ZEROER_RUNS` (default 2) repeats supervised protocols,
+//! `ZEROER_SEED` fixes the base seed.
+
+pub mod experiment;
+pub mod matchers;
+pub mod table;
+
+pub use experiment::{prepare, BlockingRecipe, ExperimentConfig, Prepared};
+pub use matchers::{supervised_f1, unsupervised_f1, zeroer_f1, SupervisedKind};
+pub use table::print_table;

@@ -1,0 +1,57 @@
+//! Plain-text table rendering for experiment output.
+
+/// Prints an aligned ASCII table with a header row and separator.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity must match headers");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render = |cells: Vec<&str>| {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        println!("{}", line.trim_end());
+    };
+    render(headers.to_vec());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        render(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Formats an F-score the way the paper prints them (two decimals, `1`
+/// for a perfect score).
+pub fn fmt_f1(f: f64) -> String {
+    if (f - 1.0).abs() < 5e-3 {
+        "1.00".to_string()
+    } else {
+        format!("{f:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_f1_rounds() {
+        assert_eq!(fmt_f1(0.954), "0.95");
+        assert_eq!(fmt_f1(0.999), "1.00");
+        assert_eq!(fmt_f1(0.0), "0.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn ragged_rows_panic() {
+        print_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,430 @@
+//! Blocking strategy implementations.
+
+use crate::candidate::{CandidateSet, PairMode};
+use std::collections::HashMap;
+use zeroer_tabular::Table;
+use zeroer_textsim::tokenize::normalize;
+use zeroer_textsim::{qgrams, words};
+
+/// A blocking strategy: maps two tables (or one table against itself) to a
+/// [`CandidateSet`].
+pub trait Blocker {
+    /// Generates candidates between `left` and `right`. Use the same table
+    /// for both with [`PairMode::Dedup`] for deduplication.
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet;
+}
+
+/// Emits every pair — the "no blocking" baseline, only viable for small
+/// inputs but exactly what the paper's setting assumes for tiny datasets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CartesianBlocker;
+
+impl Blocker for CartesianBlocker {
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
+        let mut pairs = Vec::new();
+        match mode {
+            PairMode::Cross => {
+                for l in 0..left.len() {
+                    for r in 0..right.len() {
+                        pairs.push((l, r));
+                    }
+                }
+            }
+            PairMode::Dedup => {
+                for a in 0..left.len() {
+                    for b in (a + 1)..left.len() {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+        CandidateSet::new(mode, pairs)
+    }
+}
+
+/// Builds an inverted index `key → record indices` for one attribute of a
+/// table, using `extract` to derive keys from the attribute text.
+fn inverted_index(
+    table: &Table,
+    attr: usize,
+    extract: &dyn Fn(&str) -> Vec<String>,
+) -> HashMap<String, Vec<usize>> {
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for idx in 0..table.len() {
+        if let Some(text) = table.value(idx, attr).as_text() {
+            let mut keys = extract(&text);
+            keys.sort();
+            keys.dedup();
+            for k in keys {
+                index.entry(k).or_default().push(idx);
+            }
+        }
+    }
+    index
+}
+
+fn join_indices(
+    left_index: HashMap<String, Vec<usize>>,
+    right_index: HashMap<String, Vec<usize>>,
+    mode: PairMode,
+    max_bucket: usize,
+) -> CandidateSet {
+    let mut pairs = Vec::new();
+    for (key, ls) in &left_index {
+        if let Some(rs) = right_index.get(key) {
+            // Skip stop-word-like keys whose bucket product explodes.
+            if ls.len().saturating_mul(rs.len()) > max_bucket.saturating_mul(max_bucket) {
+                continue;
+            }
+            for &l in ls {
+                for &r in rs {
+                    if mode == PairMode::Dedup && l >= r {
+                        continue;
+                    }
+                    pairs.push((l, r));
+                }
+            }
+        }
+    }
+    CandidateSet::new(mode, pairs)
+}
+
+/// Pairs that share at least `min_overlap` *word tokens* on a key
+/// attribute (overlap blocking, Magellan's `OverlapBlocker`).
+///
+/// `max_bucket` bounds the per-token bucket size (buckets whose pair
+/// product exceeds `max_bucket²` are treated as stop words and skipped) —
+/// the standard guard against quadratic blowup. `min_overlap > 1` is the
+/// standard recipe for multi-word attributes (paper titles, product
+/// descriptions) where single shared words are too common to prune
+/// anything.
+#[derive(Debug, Clone)]
+pub struct TokenBlocker {
+    /// Attribute index to block on.
+    pub attr: usize,
+    /// Stop-word bucket guard (see type docs).
+    pub max_bucket: usize,
+    /// Minimum number of shared tokens required.
+    pub min_overlap: usize,
+}
+
+impl TokenBlocker {
+    /// Token blocking on `attr` with a default bucket cap of 400 and
+    /// single-token overlap.
+    pub fn new(attr: usize) -> Self {
+        Self { attr, max_bucket: 400, min_overlap: 1 }
+    }
+
+    /// Overlap blocking requiring `min_overlap` shared tokens.
+    pub fn with_overlap(attr: usize, min_overlap: usize) -> Self {
+        assert!(min_overlap >= 1, "overlap must be at least 1");
+        Self { attr, max_bucket: 400, min_overlap }
+    }
+}
+
+impl Blocker for TokenBlocker {
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
+        let extract = |s: &str| {
+            words(s)
+                .tokens()
+                .filter(|t| t.len() > 1) // single chars are noise
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        let li = inverted_index(left, self.attr, &extract);
+        let ri = if mode == PairMode::Dedup {
+            li.clone()
+        } else {
+            inverted_index(right, self.attr, &extract)
+        };
+        if self.min_overlap <= 1 {
+            return join_indices(li, ri, mode, self.max_bucket);
+        }
+        // Count shared tokens per pair, then keep pairs meeting the
+        // overlap floor.
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for (key, ls) in &li {
+            if let Some(rs) = ri.get(key) {
+                if ls.len().saturating_mul(rs.len())
+                    > self.max_bucket.saturating_mul(self.max_bucket)
+                {
+                    continue;
+                }
+                for &l in ls {
+                    for &r in rs {
+                        if mode == PairMode::Dedup && l >= r {
+                            continue;
+                        }
+                        *counts.entry((l, r)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        CandidateSet::new(
+            mode,
+            counts
+                .into_iter()
+                .filter(|&(_, c)| c >= self.min_overlap)
+                .map(|(p, _)| p),
+        )
+    }
+}
+
+/// Pairs that share at least one character q-gram on a key attribute —
+/// higher recall than token blocking (robust to typos inside tokens) at
+/// the cost of more candidates.
+#[derive(Debug, Clone)]
+pub struct QgramBlocker {
+    /// Attribute index to block on.
+    pub attr: usize,
+    /// q-gram size.
+    pub q: usize,
+    /// Stop-gram bucket guard.
+    pub max_bucket: usize,
+}
+
+impl QgramBlocker {
+    /// q-gram blocking on `attr` with gram size `q` and bucket cap 400.
+    pub fn new(attr: usize, q: usize) -> Self {
+        Self { attr, q, max_bucket: 400 }
+    }
+}
+
+impl Blocker for QgramBlocker {
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
+        let q = self.q;
+        let extract =
+            move |s: &str| qgrams(s, q).tokens().map(String::from).collect::<Vec<_>>();
+        let li = inverted_index(left, self.attr, &extract);
+        let ri = if mode == PairMode::Dedup {
+            li.clone()
+        } else {
+            inverted_index(right, self.attr, &extract)
+        };
+        join_indices(li, ri, mode, self.max_bucket)
+    }
+}
+
+/// Pairs with exactly equal (normalized) values on an attribute.
+#[derive(Debug, Clone)]
+pub struct AttrEquivalenceBlocker {
+    /// Attribute index to block on.
+    pub attr: usize,
+}
+
+impl Blocker for AttrEquivalenceBlocker {
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
+        let extract = |s: &str| vec![normalize(s)];
+        let li = inverted_index(left, self.attr, &extract);
+        let ri = if mode == PairMode::Dedup {
+            li.clone()
+        } else {
+            inverted_index(right, self.attr, &extract)
+        };
+        join_indices(li, ri, mode, usize::MAX / 2)
+    }
+}
+
+/// Sorted-neighborhood blocking: sort both tables by a normalized key
+/// attribute, merge the sorted lists, slide a window of size `window`,
+/// and pair records from opposite sides (or any two records, for dedup).
+#[derive(Debug, Clone)]
+pub struct SortedNeighborhood {
+    /// Attribute index used as sort key.
+    pub attr: usize,
+    /// Window size (number of consecutive sorted entries considered).
+    pub window: usize,
+}
+
+impl Blocker for SortedNeighborhood {
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
+        #[derive(Clone)]
+        struct Entry {
+            key: String,
+            side: bool, // false = left, true = right
+            idx: usize,
+        }
+        let mut entries: Vec<Entry> = Vec::new();
+        for idx in 0..left.len() {
+            let key = left.value(idx, self.attr).as_text().map(|t| normalize(&t));
+            entries.push(Entry { key: key.unwrap_or_default(), side: false, idx });
+        }
+        if mode == PairMode::Cross {
+            for idx in 0..right.len() {
+                let key = right.value(idx, self.attr).as_text().map(|t| normalize(&t));
+                entries.push(Entry { key: key.unwrap_or_default(), side: true, idx });
+            }
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut pairs = Vec::new();
+        for i in 0..entries.len() {
+            let hi = (i + self.window).min(entries.len());
+            for j in (i + 1)..hi {
+                let (a, b) = (&entries[i], &entries[j]);
+                match mode {
+                    PairMode::Cross => {
+                        if a.side != b.side {
+                            let (l, r) = if a.side { (b.idx, a.idx) } else { (a.idx, b.idx) };
+                            pairs.push((l, r));
+                        }
+                    }
+                    PairMode::Dedup => pairs.push((a.idx, b.idx)),
+                }
+            }
+        }
+        CandidateSet::new(mode, pairs)
+    }
+}
+
+/// Union of several blockers (boosts recall; the candidate sets are
+/// merged and deduplicated).
+pub struct UnionBlocker {
+    blockers: Vec<Box<dyn Blocker + Send + Sync>>,
+}
+
+impl UnionBlocker {
+    /// Builds a union from boxed blockers.
+    pub fn new(blockers: Vec<Box<dyn Blocker + Send + Sync>>) -> Self {
+        assert!(!blockers.is_empty(), "union of zero blockers");
+        Self { blockers }
+    }
+}
+
+impl Blocker for UnionBlocker {
+    fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
+        let mut acc: Option<CandidateSet> = None;
+        for b in &self.blockers {
+            let cs = b.candidates(left, right, mode);
+            acc = Some(match acc {
+                None => cs,
+                Some(prev) => prev.union(&cs),
+            });
+        }
+        acc.expect("at least one blocker")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::{Record, Schema, Value};
+
+    fn table(names: &[&str]) -> Table {
+        let mut t = Table::new("t", Schema::new(["name"]));
+        for (i, n) in names.iter().enumerate() {
+            t.push(Record::new(i as u32, vec![Value::Str((*n).into())]));
+        }
+        t
+    }
+
+    #[test]
+    fn cartesian_cross_counts() {
+        let l = table(&["a", "b"]);
+        let r = table(&["x", "y", "z"]);
+        let cs = CartesianBlocker.candidates(&l, &r, PairMode::Cross);
+        assert_eq!(cs.len(), 6);
+    }
+
+    #[test]
+    fn cartesian_dedup_counts() {
+        let t = table(&["a", "b", "c", "d"]);
+        let cs = CartesianBlocker.candidates(&t, &t, PairMode::Dedup);
+        assert_eq!(cs.len(), 6); // 4 choose 2
+    }
+
+    #[test]
+    fn token_blocker_pairs_shared_words() {
+        let l = table(&["deep learning systems", "database engines"]);
+        let r = table(&["learning to rank", "graph engines", "unrelated title"]);
+        let cs = TokenBlocker::new(0).candidates(&l, &r, PairMode::Cross);
+        assert!(cs.contains(0, 0), "shares 'learning'");
+        assert!(cs.contains(1, 1), "shares 'engines'");
+        assert!(!cs.contains(0, 2));
+    }
+
+    #[test]
+    fn token_blocker_dedup_mode() {
+        let t = table(&["red apple", "green apple", "blue sky"]);
+        let cs = TokenBlocker::new(0).candidates(&t, &t, PairMode::Dedup);
+        assert!(cs.contains(0, 1));
+        assert!(!cs.contains(0, 2));
+    }
+
+    #[test]
+    fn qgram_blocker_survives_typos() {
+        let l = table(&["photograph"]);
+        let r = table(&["fotograph"]); // token blocking would miss this
+        let tok = TokenBlocker::new(0).candidates(&l, &r, PairMode::Cross);
+        assert!(tok.is_empty());
+        let qg = QgramBlocker::new(0, 3).candidates(&l, &r, PairMode::Cross);
+        assert!(qg.contains(0, 0));
+    }
+
+    #[test]
+    fn attr_equivalence_requires_exact_normalized_match() {
+        let l = table(&["New York", "Boston"]);
+        let r = table(&["new-york", "chicago"]);
+        let cs = AttrEquivalenceBlocker { attr: 0 }.candidates(&l, &r, PairMode::Cross);
+        assert!(cs.contains(0, 0), "normalization maps both to 'new york'");
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn sorted_neighborhood_pairs_nearby_keys() {
+        let l = table(&["aaa", "mmm", "zzz"]);
+        let r = table(&["aab", "mmn", "zzy"]);
+        let cs = SortedNeighborhood { attr: 0, window: 2 }.candidates(&l, &r, PairMode::Cross);
+        assert!(cs.contains(0, 0));
+        assert!(cs.contains(1, 1));
+        assert!(cs.contains(2, 2));
+        assert!(!cs.contains(0, 2));
+    }
+
+    #[test]
+    fn union_boosts_recall() {
+        let l = table(&["photograph", "database systems"]);
+        let r = table(&["fotograph", "database engines"]);
+        let union = UnionBlocker::new(vec![
+            Box::new(TokenBlocker::new(0)),
+            Box::new(QgramBlocker::new(0, 3)),
+        ]);
+        let cs = union.candidates(&l, &r, PairMode::Cross);
+        assert!(cs.contains(0, 0), "qgram leg catches the typo");
+        assert!(cs.contains(1, 1), "token leg catches the shared word");
+    }
+
+    #[test]
+    fn overlap_floor_requires_multiple_shared_tokens() {
+        let l = table(&["efficient query processing systems", "graph mining at scale"]);
+        let r = table(&[
+            "efficient query optimization", // shares 2 tokens with l0
+            "parallel graph engines",       // shares 1 token with l1
+        ]);
+        let cs = TokenBlocker::with_overlap(0, 2).candidates(&l, &r, PairMode::Cross);
+        assert!(cs.contains(0, 0), "two shared tokens pass");
+        assert!(!cs.contains(1, 1), "one shared token is pruned at overlap 2");
+    }
+
+    #[test]
+    fn overlap_dedup_mode() {
+        let t = table(&[
+            "deep learning for entity matching",
+            "deep learning for image search",
+            "relational query engines",
+        ]);
+        let cs = TokenBlocker::with_overlap(0, 3).candidates(&t, &t, PairMode::Dedup);
+        assert!(cs.contains(0, 1), "shares 'deep learning for'");
+        assert!(!cs.contains(0, 2));
+    }
+
+    #[test]
+    fn stop_word_buckets_are_skipped() {
+        // Every record shares the token "the"; with a tiny bucket cap the
+        // blocker must skip that bucket entirely.
+        let names: Vec<String> = (0..30).map(|i| format!("the item{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let t = table(&refs);
+        let cs = TokenBlocker { attr: 0, max_bucket: 5, min_overlap: 1 }.candidates(&t, &t, PairMode::Dedup);
+        assert!(cs.is_empty(), "the 'the' bucket exceeds the cap and item tokens are unique");
+    }
+}

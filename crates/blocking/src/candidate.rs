@@ -1,0 +1,147 @@
+//! Candidate sets.
+
+use std::collections::HashSet;
+
+/// Whether candidates link two distinct tables or deduplicate one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairMode {
+    /// Record linkage: pairs `(left index, right index)` across tables.
+    Cross,
+    /// Deduplication: unordered pairs within one table, stored with
+    /// `left < right` and no self-pairs.
+    Dedup,
+}
+
+/// A set of candidate record pairs produced by blocking.
+///
+/// Pairs are stored as record *indices* into the source tables (not ids),
+/// deduplicated, in deterministic sorted order.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    mode: PairMode,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl CandidateSet {
+    /// Builds a candidate set, normalizing and deduplicating pairs.
+    ///
+    /// In [`PairMode::Dedup`] pairs are reordered so `left < right` and
+    /// self-pairs are dropped.
+    pub fn new(mode: PairMode, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut set: HashSet<(usize, usize)> = HashSet::new();
+        for (a, b) in pairs {
+            match mode {
+                PairMode::Cross => {
+                    set.insert((a, b));
+                }
+                PairMode::Dedup => {
+                    if a != b {
+                        set.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<_> = set.into_iter().collect();
+        pairs.sort_unstable();
+        Self { mode, pairs }
+    }
+
+    /// The pair mode.
+    pub fn mode(&self) -> PairMode {
+        self.mode
+    }
+
+    /// The candidate pairs (sorted, deduplicated).
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether a specific pair survived blocking (pair must be normalized
+    /// for dedup mode; this helper normalizes for you).
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        let key = match self.mode {
+            PairMode::Cross => (a, b),
+            PairMode::Dedup => (a.min(b), a.max(b)),
+        };
+        self.pairs.binary_search(&key).is_ok()
+    }
+
+    /// Union with another candidate set of the same mode.
+    ///
+    /// # Panics
+    /// Panics on mode mismatch.
+    pub fn union(&self, other: &CandidateSet) -> CandidateSet {
+        assert_eq!(self.mode, other.mode, "cannot union candidate sets of different modes");
+        CandidateSet::new(
+            self.mode,
+            self.pairs.iter().chain(other.pairs.iter()).copied(),
+        )
+    }
+
+    /// Recall of blocking against ground-truth match pairs: the fraction
+    /// of true matches retained in the candidate set.
+    pub fn recall_against(&self, truth: &[(usize, usize)]) -> f64 {
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let kept = truth.iter().filter(|&&(a, b)| self.contains(a, b)).count();
+        kept as f64 / truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_mode_keeps_ordered_pairs() {
+        let cs = CandidateSet::new(PairMode::Cross, [(1, 0), (0, 1), (1, 0)]);
+        assert_eq!(cs.pairs(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn dedup_mode_normalizes_and_drops_self_pairs() {
+        let cs = CandidateSet::new(PairMode::Dedup, [(2, 1), (1, 2), (3, 3), (0, 5)]);
+        assert_eq!(cs.pairs(), &[(0, 5), (1, 2)]);
+    }
+
+    #[test]
+    fn contains_normalizes_for_dedup() {
+        let cs = CandidateSet::new(PairMode::Dedup, [(1, 2)]);
+        assert!(cs.contains(2, 1));
+        assert!(cs.contains(1, 2));
+        assert!(!cs.contains(0, 1));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = CandidateSet::new(PairMode::Cross, [(0, 0)]);
+        let b = CandidateSet::new(PairMode::Cross, [(1, 1), (0, 0)]);
+        assert_eq!(a.union(&b).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different modes")]
+    fn union_mode_mismatch_panics() {
+        let a = CandidateSet::new(PairMode::Cross, [(0, 0)]);
+        let b = CandidateSet::new(PairMode::Dedup, [(0, 1)]);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn recall_counts_retained_truth() {
+        let cs = CandidateSet::new(PairMode::Cross, [(0, 0), (1, 1)]);
+        assert_eq!(cs.recall_against(&[(0, 0), (2, 2)]), 0.5);
+        assert_eq!(cs.recall_against(&[]), 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Blocking: candidate-set generation.
+//!
+//! Comparing all `|T| × |T'|` tuple pairs is prohibitively expensive, so
+//! ER systems first run *blocking* to retain a candidate set `Cs` that
+//! keeps (almost) all true matches while discarding the bulk of obvious
+//! non-matches (§2.1). The paper treats blocking as an orthogonal,
+//! already-solved step; we still need a real implementation to produce
+//! candidate sets with realistic class imbalance for the experiments.
+//!
+//! Provided blockers:
+//!
+//! * [`TokenBlocker`] — pairs sharing at least one word token on a key
+//!   attribute (with a frequency cap to avoid stop-word blowup);
+//! * [`QgramBlocker`] — pairs sharing a character q-gram (more recall,
+//!   more candidates);
+//! * [`AttrEquivalenceBlocker`] — exact equality on an attribute;
+//! * [`SortedNeighborhood`] — classic sliding window over a sort key;
+//! * [`CartesianBlocker`] — everything (for small datasets / tests);
+//! * [`UnionBlocker`] — union of several blockers' candidates.
+
+pub mod blockers;
+pub mod candidate;
+pub mod quality;
+
+pub use blockers::{
+    AttrEquivalenceBlocker, Blocker, CartesianBlocker, QgramBlocker, SortedNeighborhood,
+    TokenBlocker, UnionBlocker,
+};
+pub use candidate::{CandidateSet, PairMode};
+pub use quality::BlockingReport;

@@ -1,0 +1,178 @@
+//! Configuration and ablation switches.
+
+use serde::{Deserialize, Serialize};
+
+/// How feature dependencies are modeled — the covariance structure
+/// (Table 4's first ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureDependence {
+    /// One dense covariance over all features (most expressive, most
+    /// parameters, most prone to singularity).
+    Full,
+    /// Diagonal covariance: all features independent.
+    Independent,
+    /// Block-diagonal by attribute (§3.2) — the paper's choice.
+    Grouped,
+}
+
+/// How covariances are regularized (Table 4's second ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regularization {
+    /// No regularization: exhibits the §3.3 singularity problem.
+    None,
+    /// Uniform Tikhonov: `Σ_C = S_C + κ·I`.
+    Tikhonov,
+    /// Adaptive (§3.3): `Σ_C = S_C + κ·diag((µ_M − µ_U)²)` — the paper's
+    /// choice.
+    Adaptive,
+}
+
+/// Full configuration of the ZeroER generative model.
+///
+/// [`ZeroErConfig::default`] reproduces the paper's final system
+/// (G+A+P+T with κ = 0.15, ε = 0.5); the other constructors build the
+/// Table 4 ablation variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZeroErConfig {
+    /// Feature-dependence structure.
+    pub feature_dependence: FeatureDependence,
+    /// Regularization scheme.
+    pub regularization: Regularization,
+    /// Regularization strength κ. Paper default 0.15 for the full system,
+    /// 0.6 for partial ablation variants (§7.3).
+    pub kappa: f64,
+    /// Share one Pearson correlation matrix between M and U, estimated
+    /// from all data (§4, the "P" of Table 4).
+    pub shared_correlation: bool,
+    /// Calibrate posteriors with the transitivity soft constraint after
+    /// every E-step (§5, the "T" of Table 4). Only takes effect when pair
+    /// endpoints are supplied to `fit`.
+    pub transitivity: bool,
+    /// Initialization threshold ε on the min-max-normalized feature-vector
+    /// magnitude (§6). Paper default 0.5.
+    pub init_threshold: f64,
+    /// EM terminates when `|L − L'| / N` drops below this (§6: 1e-5).
+    pub tolerance: f64,
+    /// Hard cap on EM iterations (§6: 200).
+    pub max_iterations: usize,
+    /// When the iteration cap is hit without convergence, posteriors are
+    /// averaged over this many final iterations (§6: 20).
+    pub averaging_window: usize,
+}
+
+impl Default for ZeroErConfig {
+    fn default() -> Self {
+        Self {
+            feature_dependence: FeatureDependence::Grouped,
+            regularization: Regularization::Adaptive,
+            kappa: 0.15,
+            shared_correlation: true,
+            transitivity: true,
+            init_threshold: 0.5,
+            tolerance: 1e-5,
+            max_iterations: 200,
+            averaging_window: 20,
+        }
+    }
+}
+
+impl ZeroErConfig {
+    /// The paper's full system (alias of `default`, named for clarity in
+    /// experiment code).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A Table 4 ablation variant: chosen dependence × regularization,
+    /// without correlation sharing or transitivity, κ = 0.6 (the value the
+    /// paper uses for all partial variants).
+    pub fn ablation(dep: FeatureDependence, reg: Regularization) -> Self {
+        Self {
+            feature_dependence: dep,
+            regularization: reg,
+            kappa: 0.6,
+            shared_correlation: false,
+            transitivity: false,
+            ..Self::default()
+        }
+    }
+
+    /// G+A+P: grouped + adaptive + shared correlation, no transitivity
+    /// (the penultimate Table 4 column). Uses the final system's κ = 0.15.
+    pub fn gap() -> Self {
+        Self { transitivity: false, ..Self::default() }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on out-of-range values (κ < 0, ε ∉ (0,1), zero iterations).
+    pub fn validate(&self) {
+        assert!(self.kappa >= 0.0, "kappa must be non-negative");
+        assert!(
+            self.init_threshold > 0.0 && self.init_threshold < 1.0,
+            "init threshold must lie strictly inside (0,1): got {}",
+            self.init_threshold
+        );
+        assert!(self.tolerance > 0.0, "tolerance must be positive");
+        assert!(self.max_iterations > 0, "need at least one EM iteration");
+        assert!(self.averaging_window > 0, "averaging window must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_system() {
+        let c = ZeroErConfig::default();
+        assert_eq!(c.feature_dependence, FeatureDependence::Grouped);
+        assert_eq!(c.regularization, Regularization::Adaptive);
+        assert!(c.shared_correlation);
+        assert!(c.transitivity);
+        assert_eq!(c.kappa, 0.15);
+        assert_eq!(c.init_threshold, 0.5);
+        assert_eq!(c.max_iterations, 200);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_uses_paper_kappa_for_partial_variants() {
+        let c = ZeroErConfig::ablation(FeatureDependence::Independent, Regularization::Tikhonov);
+        assert_eq!(c.kappa, 0.6);
+        assert!(!c.shared_correlation);
+        assert!(!c.transitivity);
+        c.validate();
+    }
+
+    #[test]
+    fn gap_disables_only_transitivity() {
+        let c = ZeroErConfig::gap();
+        assert!(!c.transitivity);
+        assert!(c.shared_correlation);
+        assert_eq!(c.kappa, 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "init threshold")]
+    fn epsilon_one_is_rejected() {
+        // §7.4: ε = 0 or 1 assigns no data to one component and EM cannot
+        // run — we reject it up front.
+        let c = ZeroErConfig { init_threshold: 1.0, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn negative_kappa_rejected() {
+        let c = ZeroErConfig { kappa: -0.1, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn config_clone_equality() {
+        let c = ZeroErConfig::gap();
+        assert_eq!(c, c.clone());
+    }
+}

@@ -1,0 +1,57 @@
+//! ZeroER: unsupervised entity resolution with zero labeled examples.
+//!
+//! This crate implements the paper's primary contribution: a two-component
+//! generative model over similarity feature vectors, where matches are
+//! drawn from an **M-distribution** and unmatches from a
+//! **U-distribution**, fit by Expectation-Maximization without any labels.
+//!
+//! The four ER-specific innovations on top of a vanilla Gaussian mixture:
+//!
+//! * **Feature grouping** (§3.2) — block-diagonal covariance following the
+//!   attribute structure of the feature matrix
+//!   ([`config::FeatureDependence`]).
+//! * **Adaptive regularization** (§3.3) — `Σ_C = S_C + K`,
+//!   `K = κ·diag((µ_M − µ_U)²)` ([`config::Regularization`]).
+//! * **Shared Pearson correlation** (§4) — `S_C = Λ_C R Λ_C` with one `R`
+//!   estimated from all data, halving the parameters learned from the
+//!   scarce match class ([`ZeroErConfig::shared_correlation`]).
+//! * **Transitivity as a soft constraint** (§5) — posterior calibration
+//!   after every E-step ([`transitivity::TransitivityCalibrator`]), with a
+//!   three-model joint trainer for record linkage
+//!   ([`linkage::LinkageModel`]).
+//!
+//! The main entry points are [`GenerativeModel::fit`] for deduplication /
+//! plain matching and [`LinkageModel::fit`] for record linkage with
+//! cross-table transitivity.
+//!
+//! ```
+//! use zeroer_core::{GenerativeModel, ZeroErConfig};
+//! use zeroer_linalg::block::GroupLayout;
+//! use zeroer_linalg::Matrix;
+//!
+//! // Four similarity features in two attribute groups; four pairs.
+//! let x = Matrix::from_rows(&[
+//!     &[0.95, 0.9, 0.97, 1.0], // looks like a match
+//!     &[0.10, 0.2, 0.05, 0.0],
+//!     &[0.15, 0.1, 0.12, 0.0],
+//!     &[0.90, 1.0, 0.93, 1.0], // looks like a match
+//! ]);
+//! let layout = GroupLayout::from_sizes(&[2, 2]);
+//! let mut model = GenerativeModel::new(ZeroErConfig::default(), layout);
+//! let summary = model.fit(&x, None);
+//! let labels = model.labels();
+//! assert!(labels[0] && labels[3] && !labels[1] && !labels[2]);
+//! assert!(summary.iterations >= 1);
+//! ```
+
+pub mod config;
+pub mod linkage;
+pub mod model;
+pub mod report;
+pub mod transitivity;
+
+pub use config::{FeatureDependence, Regularization, ZeroErConfig};
+pub use linkage::{LinkageModel, LinkageOutcome, LinkageTask};
+pub use model::{FitSummary, GenerativeModel};
+pub use report::{FeatureReport, ModelReport};
+pub use transitivity::TransitivityCalibrator;

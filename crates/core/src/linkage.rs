@@ -1,0 +1,394 @@
+//! Record linkage with cross-table transitivity: the three-model joint
+//! trainer of §5.
+//!
+//! When `T ≠ T'`, transitivity couples *three* generative models: `F` over
+//! cross-table pairs, `Fl` over within-`T` pairs, and `Fr` over
+//! within-`T'` pairs. If `(t1, t2)` and `(t1, t3)` are cross matches
+//! sharing the left tuple `t1`, then `(t2, t3)` — a within-`T'` pair — must
+//! match, so `F`'s E-step calibration reads and can modify `Fr`'s
+//! posteriors (and symmetrically `Fl`'s). The paper trains the models
+//! jointly, each iteration running
+//! `F.E(), F.M(), Fl.M(), Fl.E(), Fr.M(), Fr.E()` so the within-table
+//! M-steps pick up the posterior edits made by `F`'s E-step.
+
+use crate::config::ZeroErConfig;
+use crate::model::{FitSummary, GenerativeModel};
+use crate::transitivity::TransitivityCalibrator;
+use std::collections::{BTreeMap, HashMap};
+use zeroer_linalg::block::GroupLayout;
+use zeroer_linalg::Matrix;
+
+/// One leg of a linkage task: a feature matrix with its pair endpoints and
+/// grouping layout.
+#[derive(Debug, Clone)]
+pub struct LinkageTask {
+    /// `N × d` feature matrix for this leg's candidate pairs.
+    pub features: Matrix,
+    /// Pair endpoints, aligned with the matrix rows. For the cross leg:
+    /// `(left index, right index)`. For within-table legs: `(i, j)` within
+    /// that table.
+    pub pairs: Vec<(usize, usize)>,
+    /// Feature grouping.
+    pub layout: GroupLayout,
+}
+
+impl LinkageTask {
+    /// Builds a leg, checking row/pair alignment.
+    ///
+    /// # Panics
+    /// Panics if `features.rows() != pairs.len()`.
+    pub fn new(features: Matrix, pairs: Vec<(usize, usize)>, layout: GroupLayout) -> Self {
+        assert_eq!(features.rows(), pairs.len(), "one pair per feature row required");
+        Self { features, pairs, layout }
+    }
+}
+
+/// Result of a [`LinkageModel::fit`].
+#[derive(Debug, Clone)]
+pub struct LinkageOutcome {
+    /// Posterior match probabilities for the cross pairs.
+    pub cross_gammas: Vec<f64>,
+    /// Hard labels for the cross pairs (Eq. 5).
+    pub cross_labels: Vec<bool>,
+    /// Posteriors of the within-left model (empty if no left pairs).
+    pub left_gammas: Vec<f64>,
+    /// Posteriors of the within-right model (empty if no right pairs).
+    pub right_gammas: Vec<f64>,
+    /// EM summary of the cross model `F`.
+    pub summary: FitSummary,
+}
+
+/// Indexes the triangles linking cross pairs to within-table pairs.
+struct CrossCalibrator {
+    /// left node → (right node, cross row). Ordered for deterministic
+    /// calibration sweeps.
+    by_left: BTreeMap<usize, Vec<(usize, usize)>>,
+    /// right node → (left node, cross row).
+    by_right: BTreeMap<usize, Vec<(usize, usize)>>,
+    /// within-left pair → row in `Fl`.
+    left_index: HashMap<(usize, usize), usize>,
+    /// within-right pair → row in `Fr`.
+    right_index: HashMap<(usize, usize), usize>,
+}
+
+impl CrossCalibrator {
+    fn new(
+        cross: &[(usize, usize)],
+        left: &[(usize, usize)],
+        right: &[(usize, usize)],
+    ) -> Self {
+        let mut by_left: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        let mut by_right: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for (row, &(l, r)) in cross.iter().enumerate() {
+            by_left.entry(l).or_default().push((r, row));
+            by_right.entry(r).or_default().push((l, row));
+        }
+        let norm = |(a, b): (usize, usize)| (a.min(b), a.max(b));
+        Self {
+            by_left,
+            by_right,
+            left_index: left.iter().enumerate().map(|(i, &p)| (norm(p), i)).collect(),
+            right_index: right.iter().enumerate().map(|(i, &p)| (norm(p), i)).collect(),
+        }
+    }
+
+    /// Calibrates one "fan" direction: triangles formed by two hot cross
+    /// pairs sharing a pivot node plus the implied within-table pair.
+    fn calibrate_side(
+        fan: &BTreeMap<usize, Vec<(usize, usize)>>,
+        within_index: &HashMap<(usize, usize), usize>,
+        cross_g: &mut [f64],
+        within_g: &mut [f64],
+    ) {
+        for neighbors in fan.values() {
+            let hot: Vec<(usize, usize)> = neighbors
+                .iter()
+                .copied()
+                .filter(|&(_, row)| cross_g[row] > 0.5)
+                .collect();
+            if hot.len() < 2 {
+                continue;
+            }
+            for i in 0..hot.len() {
+                for j in (i + 1)..hot.len() {
+                    let (n2, p12) = hot[i];
+                    let (n3, p13) = hot[j];
+                    let g12 = cross_g[p12];
+                    let g13 = cross_g[p13];
+                    if g12 <= 0.5 || g13 <= 0.5 {
+                        continue;
+                    }
+                    let key = (n2.min(n3), n2.max(n3));
+                    let p23 = within_index.get(&key).copied();
+                    let g23 = p23.map_or(0.0, |r| within_g[r]);
+                    if g12 * g13 <= g23 {
+                        continue;
+                    }
+                    let c12 = (g12 - 0.5).abs();
+                    let c13 = (g13 - 0.5).abs();
+                    let c23 = (g23 - 0.5).abs();
+                    if c12 <= c13 && c12 <= c23 {
+                        cross_g[p12] = if g13 > 0.0 { (g23 / g13).clamp(0.0, 1.0) } else { 0.0 };
+                    } else if c13 <= c12 && c13 <= c23 {
+                        cross_g[p13] = if g12 > 0.0 { (g23 / g12).clamp(0.0, 1.0) } else { 0.0 };
+                    } else if let Some(r23) = p23 {
+                        within_g[r23] = (g12 * g13).clamp(0.0, 1.0);
+                    } else if c12 <= c13 {
+                        cross_g[p12] = 0.0;
+                    } else {
+                        cross_g[p13] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn calibrate(&self, cross_g: &mut [f64], left_g: &mut [f64], right_g: &mut [f64]) {
+        // Pivot on left nodes: implied pairs live in the right table.
+        Self::calibrate_side(&self.by_left, &self.right_index, cross_g, right_g);
+        // Pivot on right nodes: implied pairs live in the left table.
+        Self::calibrate_side(&self.by_right, &self.left_index, cross_g, left_g);
+    }
+}
+
+/// The three-model record-linkage trainer.
+pub struct LinkageModel {
+    config: ZeroErConfig,
+}
+
+impl LinkageModel {
+    /// Creates the trainer.
+    pub fn new(config: ZeroErConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Jointly fits `F`, `Fl`, `Fr` with the paper's interleaving and
+    /// returns the cross-pair posteriors/labels.
+    ///
+    /// `left`/`right` may have zero pairs (e.g. blocking found no
+    /// within-table candidates); the corresponding model is skipped and
+    /// implied within-table pairs are treated as `γ = 0`.
+    pub fn fit(
+        &self,
+        cross: &LinkageTask,
+        left: &LinkageTask,
+        right: &LinkageTask,
+    ) -> LinkageOutcome {
+        let mut f = GenerativeModel::new(self.config.clone(), cross.layout.clone());
+        f.initialize(&cross.features);
+
+        let mut fl = (!left.pairs.is_empty()).then(|| {
+            let mut m = GenerativeModel::new(self.config.clone(), left.layout.clone());
+            m.initialize(&left.features);
+            m
+        });
+        let mut fr = (!right.pairs.is_empty()).then(|| {
+            let mut m = GenerativeModel::new(self.config.clone(), right.layout.clone());
+            m.initialize(&right.features);
+            m
+        });
+
+        let calibrator = self
+            .config
+            .transitivity
+            .then(|| CrossCalibrator::new(&cross.pairs, &left.pairs, &right.pairs));
+        let within_left_cal = (self.config.transitivity && fl.is_some())
+            .then(|| TransitivityCalibrator::new(&left.pairs));
+        let within_right_cal = (self.config.transitivity && fr.is_some())
+            .then(|| TransitivityCalibrator::new(&right.pairs));
+
+        let n = cross.features.rows().max(1) as f64;
+        let mut ll_history: Vec<f64> = Vec::new();
+        let mut converged = false;
+        let window = self.config.averaging_window;
+        let mut recent: Vec<Vec<f64>> = Vec::new();
+        let mut iterations = 0;
+
+        // Prime F so its first E-step has parameters.
+        f.m_step(&cross.features);
+
+        let mut empty_left: Vec<f64> = vec![];
+        let mut empty_right: Vec<f64> = vec![];
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            // F.E() + cross calibration (may edit Fl/Fr posteriors).
+            let ll = f.e_step(&cross.features);
+            if let Some(cal) = &calibrator {
+                let lg: &mut [f64] =
+                    fl.as_mut().map_or(&mut empty_left[..], |m| m.gammas_mut());
+                let rg: &mut [f64] =
+                    fr.as_mut().map_or(&mut empty_right[..], |m| m.gammas_mut());
+                cal.calibrate(f.gammas_mut(), lg, rg);
+            }
+            // F.M().
+            f.m_step(&cross.features);
+            // Fl.M(); Fl.E() — M first to absorb F's posterior edits.
+            if let Some(m) = fl.as_mut() {
+                m.m_step(&left.features);
+                m.e_step(&left.features);
+                if let Some(cal) = &within_left_cal {
+                    cal.calibrate(m.gammas_mut());
+                }
+            }
+            // Fr.M(); Fr.E().
+            if let Some(m) = fr.as_mut() {
+                m.m_step(&right.features);
+                m.e_step(&right.features);
+                if let Some(cal) = &within_right_cal {
+                    cal.calibrate(m.gammas_mut());
+                }
+            }
+
+            ll_history.push(ll);
+            if recent.len() == window {
+                recent.remove(0);
+            }
+            recent.push(f.gammas().to_vec());
+            if iter > 0 {
+                let prev = ll_history[iter - 1];
+                if ((ll - prev).abs() / n) < self.config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        let mut cross_gammas = f.gammas().to_vec();
+        if !converged && recent.len() > 1 {
+            let k = recent.len() as f64;
+            for (i, g) in cross_gammas.iter_mut().enumerate() {
+                *g = recent.iter().map(|v| v[i]).sum::<f64>() / k;
+            }
+        }
+        let cross_labels = cross_gammas.iter().map(|&g| g > 0.5).collect();
+
+        LinkageOutcome {
+            cross_gammas,
+            cross_labels,
+            left_gammas: fl.map(|m| m.gammas().to_vec()).unwrap_or_default(),
+            right_gammas: fr.map(|m| m.gammas().to_vec()).unwrap_or_default(),
+            summary: FitSummary { iterations, converged, ll_history },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a toy linkage problem: `n_ent` entities, each present in both
+    /// tables; cross pairs = Cartesian over a small block; match features
+    /// high, unmatch low.
+    fn toy_linkage(seed: u64) -> (LinkageTask, LinkageTask, LinkageTask, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ent = 12;
+        let d = 2;
+        let layout = GroupLayout::from_sizes(&[2]);
+        let mut pairs = Vec::new();
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for l in 0..n_ent {
+            for r in 0..n_ent {
+                let is_match = l == r;
+                pairs.push((l, r));
+                truth.push(is_match);
+                let base: f64 = if is_match { 0.9 } else { 0.12 };
+                for _ in 0..d {
+                    rows.push((base + rng.gen_range(-0.07..0.07)).clamp(0.0, 1.0));
+                }
+            }
+        }
+        let cross = LinkageTask::new(
+            Matrix::from_vec(pairs.len(), d, rows),
+            pairs,
+            layout.clone(),
+        );
+        // Within-table legs: a few unmatched pairs each (no duplicates
+        // inside either table).
+        let mk_within = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pairs: Vec<(usize, usize)> = (0..n_ent - 1).map(|i| (i, i + 1)).collect();
+            let mut rows = Vec::new();
+            for _ in &pairs {
+                for _ in 0..d {
+                    rows.push(rng.gen_range(0.05..0.2));
+                }
+            }
+            LinkageTask::new(Matrix::from_vec(pairs.len(), d, rows), pairs, layout.clone())
+        };
+        (cross, mk_within(seed + 1), mk_within(seed + 2), truth)
+    }
+
+    #[test]
+    fn linkage_recovers_diagonal_matches() {
+        let (cross, left, right, truth) = toy_linkage(3);
+        let out = LinkageModel::new(ZeroErConfig::default()).fit(&cross, &left, &right);
+        assert_eq!(out.cross_labels, truth);
+        assert!(out.summary.iterations >= 1);
+    }
+
+    #[test]
+    fn linkage_without_transitivity_also_works_on_easy_data() {
+        let (cross, left, right, truth) = toy_linkage(4);
+        let cfg = ZeroErConfig { transitivity: false, ..Default::default() };
+        let out = LinkageModel::new(cfg).fit(&cross, &left, &right);
+        assert_eq!(out.cross_labels, truth);
+    }
+
+    #[test]
+    fn empty_within_legs_are_tolerated() {
+        let (cross, _, _, truth) = toy_linkage(5);
+        let layout = GroupLayout::from_sizes(&[2]);
+        let empty = LinkageTask::new(Matrix::zeros(0, 2), vec![], layout.clone());
+        let empty2 = LinkageTask::new(Matrix::zeros(0, 2), vec![], layout);
+        let out = LinkageModel::new(ZeroErConfig::default()).fit(&cross, &empty, &empty2);
+        assert_eq!(out.cross_labels, truth);
+        assert!(out.left_gammas.is_empty());
+        assert!(out.right_gammas.is_empty());
+    }
+
+    #[test]
+    fn transitivity_suppresses_one_to_many_conflicts() {
+        // Left tuple 0 strongly matches right 0 and weakly "matches"
+        // right 1, but right pair (0,1) is a known non-match: the
+        // calibration must suppress the weaker cross pair.
+        let layout = GroupLayout::from_sizes(&[1]);
+        let cross_pairs = vec![(0usize, 0usize), (0, 1), (5, 5), (6, 6), (7, 8), (9, 9), (2, 3), (3, 2)];
+        // Features: strong match, borderline, strong, strong, low, strong, low, low.
+        let cross_x = Matrix::from_rows(&[
+            &[0.95],
+            &[0.62],
+            &[0.93],
+            &[0.94],
+            &[0.08],
+            &[0.92],
+            &[0.10],
+            &[0.12],
+        ]);
+        let cross = LinkageTask::new(cross_x, cross_pairs, layout.clone());
+        // Right pair (0,1) exists with very low similarity.
+        let right = LinkageTask::new(
+            Matrix::from_rows(&[&[0.05], &[0.1], &[0.07], &[0.09]]),
+            vec![(0, 1), (2, 3), (4, 5), (6, 7)],
+            layout.clone(),
+        );
+        let left = LinkageTask::new(Matrix::zeros(0, 1), vec![], layout);
+        let out = LinkageModel::new(ZeroErConfig::default()).fit(&cross, &left, &right);
+        assert!(out.cross_labels[0], "strong pair must survive");
+        assert!(
+            !out.cross_labels[1],
+            "conflicting weak pair must be suppressed by transitivity (γ = {})",
+            out.cross_gammas[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one pair per feature row")]
+    fn misaligned_task_panics() {
+        LinkageTask::new(Matrix::zeros(2, 1), vec![(0, 0)], GroupLayout::from_sizes(&[1]));
+    }
+}

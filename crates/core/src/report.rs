@@ -1,0 +1,158 @@
+//! Model introspection: per-feature summaries of a fitted ZeroER model.
+//!
+//! The generative model is fully interpretable — each feature has a fitted
+//! match/unmatch mean and variance, and their separation tells you which
+//! features the match decision actually rests on. This module extracts
+//! that report, the practical debugging tool for "why did these two
+//! records (not) match?".
+
+use crate::model::GenerativeModel;
+
+/// Per-feature fitted statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureReport {
+    /// Column index in the feature matrix.
+    pub index: usize,
+    /// Feature name, when provided.
+    pub name: Option<String>,
+    /// Fitted match-class mean µ_M.
+    pub mean_match: f64,
+    /// Fitted unmatch-class mean µ_U.
+    pub mean_unmatch: f64,
+    /// Fitted match-class standard deviation.
+    pub sd_match: f64,
+    /// Fitted unmatch-class standard deviation.
+    pub sd_unmatch: f64,
+}
+
+impl FeatureReport {
+    /// Class-separation score `|µ_M − µ_U| / (σ_M + σ_U)` — the univariate
+    /// discriminative power of the feature under the fitted model.
+    pub fn separation(&self) -> f64 {
+        let denom = self.sd_match + self.sd_unmatch;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.mean_match - self.mean_unmatch).abs() / denom
+        }
+    }
+}
+
+/// Whole-model report.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Match prior π_M.
+    pub pi_m: f64,
+    /// Per-feature statistics, in column order.
+    pub features: Vec<FeatureReport>,
+}
+
+impl ModelReport {
+    /// Extracts the report from a fitted model. `names` (optional) are
+    /// attached positionally.
+    ///
+    /// # Panics
+    /// Panics if the model has not completed at least one M-step.
+    pub fn from_model(model: &GenerativeModel, names: Option<&[String]>) -> Self {
+        let m = model.m_params().expect("model must be fitted before reporting");
+        let u = model.u_params().expect("model must be fitted before reporting");
+        let var_m = m.cov.diag();
+        let var_u = u.cov.diag();
+        let features = (0..m.mean.len())
+            .map(|j| FeatureReport {
+                index: j,
+                name: names.and_then(|n| n.get(j).cloned()),
+                mean_match: m.mean[j],
+                mean_unmatch: u.mean[j],
+                sd_match: var_m[j].max(0.0).sqrt(),
+                sd_unmatch: var_u[j].max(0.0).sqrt(),
+            })
+            .collect();
+        Self { pi_m: model.pi_m(), features }
+    }
+
+    /// Features sorted by descending separation (most discriminative
+    /// first).
+    pub fn ranked(&self) -> Vec<&FeatureReport> {
+        let mut refs: Vec<&FeatureReport> = self.features.iter().collect();
+        refs.sort_by(|a, b| {
+            b.separation()
+                .partial_cmp(&a.separation())
+                .expect("finite separations")
+        });
+        refs
+    }
+
+    /// Renders a plain-text table of the report.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("pi_M = {:.4}\n", self.pi_m);
+        out.push_str("feature                          mu_M    mu_U    sd_M    sd_U    sep\n");
+        for f in self.ranked() {
+            let name = f.name.clone().unwrap_or_else(|| format!("f{}", f.index));
+            out.push_str(&format!(
+                "{name:<30} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>6.2}\n",
+                f.mean_match,
+                f.mean_unmatch,
+                f.sd_match,
+                f.sd_unmatch,
+                f.separation()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZeroErConfig;
+    use zeroer_linalg::block::GroupLayout;
+    use zeroer_linalg::Matrix;
+
+    fn fitted_model() -> GenerativeModel {
+        // Feature 0 separates the classes; feature 1 is noise.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            data.push(if i < 10 { 0.9 } else { 0.1 });
+            data.push(0.5 + ((i % 7) as f64 - 3.0) * 0.02);
+        }
+        let x = Matrix::from_vec(100, 2, data);
+        let mut m = GenerativeModel::new(
+            ZeroErConfig { transitivity: false, ..Default::default() },
+            GroupLayout::independent(2),
+        );
+        m.fit(&x, None);
+        m
+    }
+
+    #[test]
+    fn report_ranks_discriminative_features_first() {
+        let model = fitted_model();
+        let names = vec!["signal".to_string(), "noise".to_string()];
+        let report = ModelReport::from_model(&model, Some(&names));
+        let ranked = report.ranked();
+        assert_eq!(ranked[0].name.as_deref(), Some("signal"));
+        assert!(ranked[0].separation() > ranked[1].separation());
+    }
+
+    #[test]
+    fn report_text_contains_prior_and_features() {
+        let model = fitted_model();
+        let text = ModelReport::from_model(&model, None).to_text();
+        assert!(text.contains("pi_M"));
+        assert!(text.contains("f0"));
+    }
+
+    #[test]
+    fn separation_handles_zero_variances() {
+        let f = FeatureReport {
+            index: 0,
+            name: None,
+            mean_match: 1.0,
+            mean_unmatch: 0.0,
+            sd_match: 0.0,
+            sd_unmatch: 0.0,
+        };
+        assert_eq!(f.separation(), 0.0);
+    }
+}

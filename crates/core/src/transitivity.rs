@@ -1,0 +1,223 @@
+//! Transitivity as a soft constraint on posteriors (§5).
+//!
+//! Transitivity says: if `(t1,t2)` and `(t1,t3)` are matches then
+//! `(t2,t3)` must be a match. ZeroER encodes the probabilistic relaxation
+//! `γ12 · γ13 ≤ γ23` (Eq. 16) and, at the end of every E-step, corrects
+//! violations by adjusting the *least confident* of the three posteriors
+//! (the one closest to 0.5, Eq. 17). Pairs excluded by blocking are
+//! treated as `γ = 0`.
+//!
+//! For efficiency the check only fans out from pairs currently considered
+//! likely matches (`γ > 0.5`), exactly as the paper prescribes — the match
+//! graph is tiny compared to the candidate set.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Pair-index lookup plus adjacency for one candidate set.
+///
+/// Node identifiers are the record indices used in the candidate pairs.
+/// For deduplication both endpoints come from the same table; for the
+/// within-table legs of record linkage, from one side each.
+#[derive(Debug, Clone)]
+pub struct TransitivityCalibrator {
+    /// (a, b) normalized with a < b → row index in the feature matrix.
+    pair_index: HashMap<(usize, usize), usize>,
+    /// node → (neighbor, pair row). Ordered so calibration sweeps are
+    /// deterministic (sweep order affects which posterior of a violating
+    /// triangle gets adjusted first).
+    adjacency: BTreeMap<usize, Vec<(usize, usize)>>,
+}
+
+impl TransitivityCalibrator {
+    /// Builds the calibrator from the candidate pair list (row order must
+    /// match the feature matrix / posterior vector).
+    pub fn new(pairs: &[(usize, usize)]) -> Self {
+        let mut pair_index = HashMap::with_capacity(pairs.len());
+        let mut adjacency: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for (row, &(a, b)) in pairs.iter().enumerate() {
+            let key = (a.min(b), a.max(b));
+            pair_index.insert(key, row);
+            adjacency.entry(a).or_default().push((b, row));
+            adjacency.entry(b).or_default().push((a, row));
+        }
+        Self { pair_index, adjacency }
+    }
+
+    /// Number of indexed pairs.
+    pub fn len(&self) -> usize {
+        self.pair_index.len()
+    }
+
+    /// Whether no pairs are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.pair_index.is_empty()
+    }
+
+    /// Row index of pair `(a, b)`, if it survived blocking.
+    pub fn pair_row(&self, a: usize, b: usize) -> Option<usize> {
+        self.pair_index.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// One calibration sweep (Eq. 16/17) over the posteriors, in place.
+    ///
+    /// For every "pivot" node `t1` with at least two likely-match
+    /// neighbors, each neighbor pair `(t2, t3)` is checked:
+    /// `γ12·γ13 > γ23` (with `γ23 = 0` when `(t2,t3)` was blocked away)
+    /// triggers an adjustment of the least confident posterior.
+    pub fn calibrate(&self, gammas: &mut [f64]) {
+        for (&_t1, neighbors) in &self.adjacency {
+            // Likely-match incident pairs only (γ > 0.5).
+            let hot: Vec<(usize, usize)> = neighbors
+                .iter()
+                .copied()
+                .filter(|&(_, row)| gammas[row] > 0.5)
+                .collect();
+            if hot.len() < 2 {
+                continue;
+            }
+            for i in 0..hot.len() {
+                for j in (i + 1)..hot.len() {
+                    let (t2, p12) = hot[i];
+                    let (t3, p13) = hot[j];
+                    let g12 = gammas[p12];
+                    let g13 = gammas[p13];
+                    if g12 <= 0.5 || g13 <= 0.5 {
+                        continue; // may have been adjusted earlier in the sweep
+                    }
+                    let p23 = self.pair_row(t2, t3);
+                    let g23 = p23.map_or(0.0, |r| gammas[r]);
+                    if g12 * g13 <= g23 {
+                        continue; // Eq. 16 satisfied
+                    }
+                    // Adjust the least confident (closest to 0.5).
+                    let c12 = (g12 - 0.5).abs();
+                    let c13 = (g13 - 0.5).abs();
+                    let c23 = (g23 - 0.5).abs();
+                    if c12 <= c13 && c12 <= c23 {
+                        gammas[p12] = if g13 > 0.0 { (g23 / g13).clamp(0.0, 1.0) } else { 0.0 };
+                    } else if c13 <= c12 && c13 <= c23 {
+                        gammas[p13] = if g12 > 0.0 { (g23 / g12).clamp(0.0, 1.0) } else { 0.0 };
+                    } else if let Some(r23) = p23 {
+                        gammas[r23] = (g12 * g13).clamp(0.0, 1.0);
+                    } else {
+                        // γ23 is pinned at 0 by blocking; fall back to the
+                        // less confident of the two present pairs.
+                        if c12 <= c13 {
+                            gammas[p12] = 0.0;
+                        } else {
+                            gammas[p13] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts current violations of Eq. 16 among likely-match triangles —
+    /// used by tests and diagnostics.
+    pub fn count_violations(&self, gammas: &[f64]) -> usize {
+        let mut violations = 0;
+        for neighbors in self.adjacency.values() {
+            let hot: Vec<(usize, usize)> = neighbors
+                .iter()
+                .copied()
+                .filter(|&(_, row)| gammas[row] > 0.5)
+                .collect();
+            for i in 0..hot.len() {
+                for j in (i + 1)..hot.len() {
+                    let (t2, p12) = hot[i];
+                    let (t3, p13) = hot[j];
+                    let g23 = self.pair_row(t2, t3).map_or(0.0, |r| gammas[r]);
+                    if gammas[p12] * gammas[p13] > g23 + 1e-12 {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle on nodes {0,1,2}: rows 0=(0,1), 1=(0,2), 2=(1,2).
+    fn triangle() -> TransitivityCalibrator {
+        TransitivityCalibrator::new(&[(0, 1), (0, 2), (1, 2)])
+    }
+
+    #[test]
+    fn satisfied_triangle_is_untouched() {
+        let cal = triangle();
+        let mut g = vec![0.9, 0.9, 0.95];
+        let before = g.clone();
+        cal.calibrate(&mut g);
+        assert_eq!(g, before);
+        assert_eq!(cal.count_violations(&g), 0);
+    }
+
+    #[test]
+    fn violating_triangle_adjusts_least_confident() {
+        let cal = triangle();
+        // γ12·γ13 = 0.81 > γ23 = 0.6; γ23 (0.6) is closest to 0.5 → set to product.
+        let mut g = vec![0.9, 0.9, 0.6];
+        cal.calibrate(&mut g);
+        assert!((g[2] - 0.81).abs() < 1e-12, "γ23 should be raised to the product");
+        assert_eq!(cal.count_violations(&g), 0);
+    }
+
+    #[test]
+    fn least_confident_incident_pair_is_lowered() {
+        let cal = triangle();
+        // γ12 = 0.6 is least confident; γ23 = 0.1: adjust γ12 = γ23/γ13.
+        let mut g = vec![0.6, 0.95, 0.1];
+        cal.calibrate(&mut g);
+        assert!((g[0] - 0.1 / 0.95).abs() < 1e-9);
+        assert_eq!(cal.count_violations(&g), 0);
+    }
+
+    #[test]
+    fn missing_third_pair_counts_as_zero() {
+        // Only (0,1) and (0,2) survive blocking.
+        let cal = TransitivityCalibrator::new(&[(0, 1), (0, 2)]);
+        let mut g = vec![0.7, 0.9];
+        cal.calibrate(&mut g);
+        // γ23 = 0 → the less confident of the two (γ12 = 0.7) is zeroed.
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[1], 0.9);
+    }
+
+    #[test]
+    fn cold_pairs_do_not_trigger_checks() {
+        let cal = triangle();
+        let mut g = vec![0.4, 0.45, 0.0];
+        let before = g.clone();
+        cal.calibrate(&mut g);
+        assert_eq!(g, before, "pairs with γ ≤ 0.5 are not pivoted on");
+    }
+
+    #[test]
+    fn gammas_remain_probabilities_after_calibration() {
+        let cal = TransitivityCalibrator::new(&[(0, 1), (0, 2), (1, 2), (2, 3), (0, 3)]);
+        let mut g = vec![0.99, 0.98, 0.51, 0.97, 0.52];
+        cal.calibrate(&mut g);
+        assert!(g.iter().all(|v| (0.0..=1.0).contains(v)), "{g:?}");
+    }
+
+    #[test]
+    fn pair_row_normalizes_order() {
+        let cal = triangle();
+        assert_eq!(cal.pair_row(2, 1), Some(2));
+        assert_eq!(cal.pair_row(1, 2), Some(2));
+        assert_eq!(cal.pair_row(0, 9), None);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_noop() {
+        let cal = TransitivityCalibrator::new(&[]);
+        let mut g: Vec<f64> = vec![];
+        cal.calibrate(&mut g);
+        assert!(cal.is_empty());
+    }
+}

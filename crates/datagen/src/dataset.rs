@@ -1,0 +1,300 @@
+//! Dataset assembly: entities → two noisy tables + ground truth.
+
+use crate::entity::EntityFactory;
+use crate::perturb::Perturber;
+use crate::profiles::{DatasetProfile, Domain, LinkKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use zeroer_tabular::{Record, Table};
+
+/// A generated benchmark: two tables plus ground-truth match pairs
+/// expressed as record *indices* `(left, right)`.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Paper notation of the source profile (e.g. `Pub-DS`).
+    pub notation: String,
+    /// Left relation `T`.
+    pub left: Table,
+    /// Right relation `T'`.
+    pub right: Table,
+    /// Ground-truth matches as `(left index, right index)`.
+    pub matches: Vec<(usize, usize)>,
+}
+
+impl GeneratedDataset {
+    /// Labels a candidate pair list against the ground truth.
+    pub fn labels_for(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        let truth: HashSet<(usize, usize)> = self.matches.iter().copied().collect();
+        pairs.iter().map(|p| truth.contains(p)).collect()
+    }
+
+    /// Class-imbalance ratio of a candidate set: unmatches per match
+    /// (∞ when no matches survive blocking, reported as `f64::INFINITY`).
+    pub fn imbalance(&self, pairs: &[(usize, usize)]) -> f64 {
+        let labels = self.labels_for(pairs);
+        let pos = labels.iter().filter(|&&l| l).count();
+        let neg = labels.len() - pos;
+        if pos == 0 {
+            f64::INFINITY
+        } else {
+            neg as f64 / pos as f64
+        }
+    }
+}
+
+/// Per-matched-entity fan-out plan: how many right-side copies each
+/// matched left entity receives.
+fn fanout_plan(
+    n_left: usize,
+    n_right: usize,
+    n_matches: usize,
+    link: LinkKind,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    match link {
+        LinkKind::OneToOne => {
+            let m = n_matches.min(n_left).min(n_right);
+            vec![1; m]
+        }
+        LinkKind::OneToMany { max_fanout } => {
+            // Number of matched left entities: enough that fan-out ≤ cap.
+            let m = n_matches.min(n_right);
+            let min_left = m.div_ceil(max_fanout);
+            let n_matched_left = m.min(n_left).max(min_left).min(n_left);
+            let mut plan = vec![1usize; n_matched_left];
+            let mut total: usize = plan.iter().sum();
+            // Distribute the remaining matches randomly under the cap.
+            let mut guard = 0;
+            while total < m && guard < m * 20 {
+                let i = rng.gen_range(0..plan.len());
+                if plan[i] < max_fanout {
+                    plan[i] += 1;
+                    total += 1;
+                }
+                guard += 1;
+            }
+            plan
+        }
+    }
+}
+
+/// Generates a benchmark dataset from a profile at the given scale.
+///
+/// The construction: sample `n_left` distinct clean entities (the first
+/// `|plan|` of them are "shared"); the left table is a lightly-noised
+/// rendering of all of them; the right table contains `plan[i]`
+/// independently-noised copies of each shared entity plus fresh distinct
+/// entities up to `n_right`; finally the right table is shuffled.
+///
+/// # Panics
+/// Panics if `scale ∉ (0, 1]`.
+pub fn generate(profile: &DatasetProfile, scale: f64, seed: u64) -> GeneratedDataset {
+    let (n_left, n_right, n_matches) = profile.scaled(scale);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factory = EntityFactory::new(profile.domain, profile.n_attrs);
+    let pool = paraphrase_pool(profile.domain);
+    let left_pert = Perturber::new(profile.left_dirt, pool);
+    let right_pert = Perturber::new(profile.right_dirt, pool);
+
+    // The name/title attribute (index 0) is the blocking key; real
+    // benchmark key fields are nearly always present and un-abbreviated,
+    // so it gets a lightened dirt level (noise concentrates in the other
+    // attributes, as in the originals).
+    let key_dirt = |d: crate::perturb::DirtLevel| crate::perturb::DirtLevel {
+        missing_rate: 0.0,
+        abbrev_rate: d.abbrev_rate * 0.25,
+        token_drop_rate: d.token_drop_rate * 0.5,
+        ..d
+    };
+    let left_key_pert = Perturber::new(key_dirt(profile.left_dirt), pool);
+    let right_key_pert = Perturber::new(key_dirt(profile.right_dirt), pool);
+
+    let plan = fanout_plan(n_left, n_right, n_matches, profile.link, &mut rng);
+    let n_shared = plan.len();
+    let total_right_copies: usize = plan.iter().sum();
+    let n_right_fresh = n_right.saturating_sub(total_right_copies);
+
+    // Entities: n_left for the left table + fresh right-only ones.
+    let entities: Vec<_> = (0..n_left + n_right_fresh).map(|_| factory.generate(&mut rng)).collect();
+
+    // Left table: one noisy rendering of entities[0..n_left].
+    let mut left = Table::new(format!("{}-left", profile.notation), factory.schema());
+    for (i, e) in entities[..n_left].iter().enumerate() {
+        let values = e
+            .values
+            .iter()
+            .enumerate()
+            .map(|(a, v)| {
+                let pert = if a == 0 { &left_key_pert } else { &left_pert };
+                pert.perturb_value(v, &mut rng)
+            })
+            .collect();
+        left.push(Record::new(i as u32, values));
+    }
+
+    // Right rows: copies of shared entities + fresh entities; remember the
+    // source left index of each copy, then shuffle.
+    struct RightRow {
+        source_left: Option<usize>,
+        values: Vec<zeroer_tabular::Value>,
+    }
+    let mut right_rows: Vec<RightRow> = Vec::with_capacity(n_right);
+    let perturb_right = |e: &crate::entity::Entity, rng: &mut rand::rngs::StdRng| {
+        e.values
+            .iter()
+            .enumerate()
+            .map(|(a, v)| {
+                let pert = if a == 0 { &right_key_pert } else { &right_pert };
+                pert.perturb_value(v, rng)
+            })
+            .collect::<Vec<_>>()
+    };
+    for (left_idx, &k) in plan.iter().enumerate().take(n_shared) {
+        for _ in 0..k {
+            let values = perturb_right(&entities[left_idx], &mut rng);
+            right_rows.push(RightRow { source_left: Some(left_idx), values });
+        }
+    }
+    for e in &entities[n_left..] {
+        let values = perturb_right(e, &mut rng);
+        right_rows.push(RightRow { source_left: None, values });
+    }
+    right_rows.shuffle(&mut rng);
+
+    let mut right = Table::new(format!("{}-right", profile.notation), factory.schema());
+    let mut matches = Vec::new();
+    for (ri, row) in right_rows.into_iter().enumerate() {
+        if let Some(li) = row.source_left {
+            matches.push((li, ri));
+        }
+        right.push(Record::new(ri as u32, row.values));
+    }
+    matches.sort_unstable();
+
+    GeneratedDataset { notation: profile.notation.to_string(), left, right, matches }
+}
+
+/// Vocabulary pool used for paraphrase replacements, per domain.
+fn paraphrase_pool(domain: Domain) -> &'static [&'static str] {
+    use crate::vocab::*;
+    match domain {
+        Domain::Restaurants => CUISINES,
+        Domain::Publications => CS_WORDS,
+        Domain::Movies => MOVIE_WORDS,
+        Domain::Products => MARKETING_WORDS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{all_profiles, prod_ag, pub_da, pub_ds, rest_fz};
+
+    const SCALE: f64 = 0.05;
+
+    #[test]
+    fn all_profiles_generate_consistent_datasets() {
+        for p in all_profiles() {
+            let ds = generate(&p, SCALE, 7);
+            let (l, r, _) = p.scaled(SCALE);
+            assert_eq!(ds.left.len(), l, "{}", p.notation);
+            assert_eq!(ds.right.len(), r, "{}", p.notation);
+            assert_eq!(ds.left.schema().arity(), p.n_attrs, "{}", p.notation);
+            assert!(!ds.matches.is_empty(), "{}", p.notation);
+            // Every match points at valid rows.
+            for &(li, ri) in &ds.matches {
+                assert!(li < ds.left.len() && ri < ds.right.len());
+            }
+        }
+    }
+
+    #[test]
+    fn one_to_one_profiles_have_unique_endpoints() {
+        let ds = generate(&pub_da(), SCALE, 3);
+        let mut lefts: Vec<usize> = ds.matches.iter().map(|m| m.0).collect();
+        let mut rights: Vec<usize> = ds.matches.iter().map(|m| m.1).collect();
+        lefts.sort_unstable();
+        rights.sort_unstable();
+        let before = lefts.len();
+        lefts.dedup();
+        rights.dedup();
+        assert_eq!(lefts.len(), before, "one-to-one left endpoints must be unique");
+        assert_eq!(rights.len(), before, "one-to-one right endpoints must be unique");
+    }
+
+    #[test]
+    fn one_to_many_fans_out() {
+        let ds = generate(&pub_ds(), SCALE, 5);
+        let mut lefts: Vec<usize> = ds.matches.iter().map(|m| m.0).collect();
+        let n = lefts.len();
+        lefts.sort_unstable();
+        lefts.dedup();
+        assert!(lefts.len() < n, "Pub-DS must contain one-to-many matches");
+    }
+
+    #[test]
+    fn match_count_hits_scaled_target() {
+        let p = pub_da();
+        let ds = generate(&p, SCALE, 11);
+        let (_, _, m) = p.scaled(SCALE);
+        // One-to-one can clamp to table sizes; at this scale it should be exact.
+        assert_eq!(ds.matches.len(), m);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = rest_fz();
+        let a = generate(&p, SCALE, 9);
+        let b = generate(&p, SCALE, 9);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.left.records(), b.left.records());
+        assert_eq!(a.right.records(), b.right.records());
+        let c = generate(&p, SCALE, 10);
+        assert_ne!(a.left.records(), c.left.records());
+    }
+
+    #[test]
+    fn labels_for_flags_truth_pairs() {
+        let ds = generate(&rest_fz(), SCALE, 2);
+        let (li, ri) = ds.matches[0];
+        let labels = ds.labels_for(&[(li, ri), (li, (ri + 1) % ds.right.len())]);
+        assert!(labels[0]);
+        // The adjacent pair is almost surely not a match.
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn products_matches_share_little_description_vocabulary() {
+        let ds = generate(&prod_ag(), SCALE, 13);
+        // Description is attribute index 2 in the AG schema.
+        let mut overlaps = Vec::new();
+        for &(li, ri) in ds.matches.iter().take(20) {
+            let l = ds.left.value(li, 2).as_text().unwrap_or_default();
+            let r = ds.right.value(ri, 2).as_text().unwrap_or_default();
+            let lb = zeroer_textsim::words(&l);
+            let rb = zeroer_textsim::words(&r);
+            overlaps.push(zeroer_textsim::jaccard(&lb, &rb));
+        }
+        let mean: f64 = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+        assert!(
+            mean < 0.6,
+            "product matches must be lexically divergent (mean Jaccard {mean})"
+        );
+        assert!(mean > 0.05, "but not pure noise (mean Jaccard {mean})");
+    }
+
+    #[test]
+    fn restaurant_matches_stay_lexically_close() {
+        let ds = generate(&rest_fz(), SCALE, 13);
+        let mut overlaps = Vec::new();
+        for &(li, ri) in ds.matches.iter().take(20) {
+            let l = ds.left.value(li, 0).as_text().unwrap_or_default();
+            let r = ds.right.value(ri, 0).as_text().unwrap_or_default();
+            overlaps.push(zeroer_textsim::jaro_winkler(&l, &r));
+        }
+        let mean: f64 = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+        assert!(mean > 0.85, "Rest-FZ must be nearly clean (mean JW {mean})");
+    }
+}

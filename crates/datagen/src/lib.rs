@@ -1,0 +1,31 @@
+//! Synthetic ER benchmark generator.
+//!
+//! The paper evaluates on six benchmark datasets from four domains
+//! (Table 1). Those datasets are not redistributable here, so this crate
+//! generates *synthetic stand-ins* that preserve the properties the
+//! paper's claims rest on:
+//!
+//! * the **scale statistics** of Table 1 (tuple counts per side, match
+//!   counts, attribute counts, one-to-one vs one-to-many linkage);
+//! * the **difficulty ordering**: Fodors-Zagat is nearly clean (every
+//!   matcher should approach F = 1), the publication/movie datasets carry
+//!   moderate noise (typos, abbreviations, missing values), and the two
+//!   product datasets are hard long-text problems where matched pairs
+//!   share little surface vocabulary (paraphrased descriptions), which is
+//!   exactly why similarity-based matchers top out around F ≈ 0.4–0.5
+//!   there (§7.2);
+//! * **extreme class imbalance** after blocking.
+//!
+//! Generation is fully deterministic given a seed. `scale` shrinks the
+//! tuple counts proportionally (match counts scale along) so the full
+//! experiment suite stays tractable in CI.
+
+pub mod dataset;
+pub mod entity;
+pub mod perturb;
+pub mod profiles;
+pub mod vocab;
+
+pub use dataset::{generate, GeneratedDataset};
+pub use perturb::{DirtLevel, Perturber};
+pub use profiles::{all_profiles, DatasetProfile, Domain, LinkKind};

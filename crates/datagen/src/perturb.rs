@@ -1,0 +1,371 @@
+//! Noise models: how a clean entity degrades into a messy table row.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use zeroer_tabular::Value;
+
+/// Dirtiness knobs applied when materializing an entity into a table row.
+///
+/// Rates are per-applicable-unit probabilities: `typo_rate` per token,
+/// `token_drop_rate` per token, `missing_rate` per attribute, etc.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtLevel {
+    /// Probability of a character-level typo per token.
+    pub typo_rate: f64,
+    /// Probability of dropping each non-leading token.
+    pub token_drop_rate: f64,
+    /// Probability of abbreviating a token to its initial.
+    pub abbrev_rate: f64,
+    /// Probability of swapping two adjacent tokens.
+    pub token_swap_rate: f64,
+    /// Probability an attribute value goes missing entirely.
+    pub missing_rate: f64,
+    /// Probability a numeric value drifts (integers by ±1–3 units, floats
+    /// by up to ±10 %).
+    pub numeric_jitter: f64,
+    /// For long free-text fields: fraction of tokens *replaced* by fresh
+    /// vocabulary (the paraphrase model that makes the product datasets
+    /// hard — matched listings describe the same item in different words).
+    pub paraphrase_rate: f64,
+    /// Per-token probability of *inserting* a fresh vocabulary word after
+    /// a token (sellers padding product names with marketing words).
+    pub inject_rate: f64,
+}
+
+impl DirtLevel {
+    /// Essentially clean data (Fodors side of Rest-FZ, DBLP side of the
+    /// publication datasets).
+    pub fn clean() -> Self {
+        Self {
+            typo_rate: 0.01,
+            token_drop_rate: 0.01,
+            abbrev_rate: 0.0,
+            token_swap_rate: 0.0,
+            missing_rate: 0.005,
+            numeric_jitter: 0.0,
+            paraphrase_rate: 0.0,
+            inject_rate: 0.0,
+        }
+    }
+
+    /// Light noise: occasional typos and formatting drift.
+    pub fn light() -> Self {
+        Self {
+            typo_rate: 0.04,
+            token_drop_rate: 0.03,
+            abbrev_rate: 0.03,
+            token_swap_rate: 0.02,
+            missing_rate: 0.02,
+            numeric_jitter: 0.0,
+            paraphrase_rate: 0.05,
+            inject_rate: 0.02,
+        }
+    }
+
+    /// Medium noise: the Google-Scholar / IMDB regime — abbreviations,
+    /// dropped tokens, missing fields.
+    pub fn medium() -> Self {
+        Self {
+            typo_rate: 0.08,
+            token_drop_rate: 0.10,
+            abbrev_rate: 0.12,
+            token_swap_rate: 0.05,
+            missing_rate: 0.08,
+            numeric_jitter: 0.02,
+            paraphrase_rate: 0.10,
+            inject_rate: 0.05,
+        }
+    }
+
+    /// The hard product regime: heavy paraphrasing of descriptions, heavy
+    /// rewording/padding of names, noisy prices. Matched listings share
+    /// little surface vocabulary, which is what defeats pure string
+    /// similarity (§7.2).
+    pub fn product_hard() -> Self {
+        Self {
+            typo_rate: 0.10,
+            token_drop_rate: 0.40,
+            abbrev_rate: 0.05,
+            token_swap_rate: 0.25,
+            missing_rate: 0.08,
+            numeric_jitter: 0.50,
+            paraphrase_rate: 0.70,
+            inject_rate: 0.50,
+        }
+    }
+
+    /// The ACM regime (Pub-DA right side): mostly clean with venue
+    /// abbreviations and occasional missing fields.
+    pub fn acm() -> Self {
+        Self {
+            typo_rate: 0.05,
+            token_drop_rate: 0.05,
+            abbrev_rate: 0.10,
+            token_swap_rate: 0.03,
+            missing_rate: 0.04,
+            numeric_jitter: 0.05,
+            paraphrase_rate: 0.05,
+            inject_rate: 0.03,
+        }
+    }
+
+    /// The IMDB regime (Mv-RI right side): noisy numerics (vote counts,
+    /// ratings), frequent missing fields, moderate text noise.
+    pub fn imdb() -> Self {
+        Self {
+            typo_rate: 0.12,
+            token_drop_rate: 0.15,
+            abbrev_rate: 0.10,
+            token_swap_rate: 0.08,
+            missing_rate: 0.12,
+            numeric_jitter: 0.40,
+            paraphrase_rate: 0.12,
+            inject_rate: 0.10,
+        }
+    }
+
+    /// The Google-Scholar regime (Pub-DS right side): truncated titles,
+    /// abbreviated venues and authors, frequent missing fields.
+    pub fn scholar() -> Self {
+        Self {
+            typo_rate: 0.08,
+            token_drop_rate: 0.14,
+            abbrev_rate: 0.18,
+            token_swap_rate: 0.08,
+            missing_rate: 0.12,
+            numeric_jitter: 0.05,
+            paraphrase_rate: 0.08,
+            inject_rate: 0.06,
+        }
+    }
+}
+
+/// Applies a [`DirtLevel`] to values, consuming randomness from a caller
+/// RNG so the whole dataset stays deterministic per seed.
+pub struct Perturber {
+    dirt: DirtLevel,
+    /// Replacement vocabulary for paraphrasing.
+    pool: &'static [&'static str],
+}
+
+impl Perturber {
+    /// Creates a perturber; `pool` feeds paraphrase replacements.
+    pub fn new(dirt: DirtLevel, pool: &'static [&'static str]) -> Self {
+        Self { dirt, pool }
+    }
+
+    /// The configured dirt level.
+    pub fn dirt(&self) -> &DirtLevel {
+        &self.dirt
+    }
+
+    /// Introduces a single character-level typo into a token.
+    fn typo(word: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() < 2 {
+            return word.to_string();
+        }
+        let mut chars = chars;
+        let pos = rng.gen_range(0..chars.len() - 1);
+        match rng.gen_range(0..4u8) {
+            0 => chars.swap(pos, pos + 1),                    // transposition
+            1 => {
+                chars.remove(pos);                            // deletion
+            }
+            2 => {
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                chars.insert(pos, c);                         // insertion
+            }
+            _ => {
+                chars[pos] = (b'a' + rng.gen_range(0..26u8)) as char; // substitution
+            }
+        }
+        chars.into_iter().collect()
+    }
+
+    /// Perturbs a free-text value.
+    pub fn perturb_text(&self, text: &str, rng: &mut StdRng) -> Value {
+        if rng.gen_bool(self.dirt.missing_rate) {
+            return Value::Null;
+        }
+        let mut tokens: Vec<String> = text.split_whitespace().map(String::from).collect();
+        if tokens.is_empty() {
+            return Value::Str(String::new());
+        }
+        // Paraphrase: replace a fraction of tokens with fresh vocabulary.
+        // Only long free text is paraphrased — names/titles keep their
+        // identity tokens (real product listings reword the *description*,
+        // not the product name).
+        if self.dirt.paraphrase_rate > 0.0 && tokens.len() >= 8 {
+            for t in tokens.iter_mut() {
+                if rng.gen_bool(self.dirt.paraphrase_rate) {
+                    *t = self.pool[rng.gen_range(0..self.pool.len())].to_string();
+                }
+            }
+        }
+        // Token drops (never drop the only token).
+        if tokens.len() > 1 {
+            let keep_first = tokens[0].clone();
+            tokens = tokens
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| *i == 0 || !rng.gen_bool(self.dirt.token_drop_rate))
+                .map(|(_, t)| t)
+                .collect();
+            if tokens.is_empty() {
+                tokens.push(keep_first);
+            }
+        }
+        // Adjacent swaps.
+        if tokens.len() > 1 && rng.gen_bool(self.dirt.token_swap_rate) {
+            let pos = rng.gen_range(0..tokens.len() - 1);
+            tokens.swap(pos, pos + 1);
+        }
+        // Injection: pad with fresh vocabulary words.
+        if self.dirt.inject_rate > 0.0 {
+            let mut padded = Vec::with_capacity(tokens.len() + 2);
+            for t in tokens {
+                padded.push(t);
+                if rng.gen_bool(self.dirt.inject_rate) {
+                    padded.push(self.pool[rng.gen_range(0..self.pool.len())].to_string());
+                }
+            }
+            tokens = padded;
+        }
+        // Abbreviations and typos, per token.
+        for t in tokens.iter_mut() {
+            if t.len() > 2 && rng.gen_bool(self.dirt.abbrev_rate) {
+                let initial: String = t.chars().take(1).collect();
+                *t = format!("{initial}.");
+            } else if rng.gen_bool(self.dirt.typo_rate) {
+                *t = Self::typo(t, rng);
+            }
+        }
+        Value::Str(tokens.join(" "))
+    }
+
+    /// Perturbs a numeric value: with probability `numeric_jitter` the
+    /// value drifts — integers (years, runtimes, counts) by ±1–3 units,
+    /// floats (prices, ratings) by up to ±10 % — plus missingness.
+    pub fn perturb_number(&self, value: f64, rng: &mut StdRng) -> Value {
+        if rng.gen_bool(self.dirt.missing_rate) {
+            return Value::Null;
+        }
+        let jitter = self.dirt.numeric_jitter > 0.0 && rng.gen_bool(self.dirt.numeric_jitter);
+        if value.fract() == 0.0 {
+            let delta = if jitter { rng.gen_range(-3i64..=3) } else { 0 };
+            Value::Int(value as i64 + delta)
+        } else if jitter {
+            let v = value * (1.0 + rng.gen_range(-0.1..0.1));
+            Value::Float((v * 100.0).round() / 100.0)
+        } else {
+            Value::Float(value)
+        }
+    }
+
+    /// Perturbs an already-typed value.
+    pub fn perturb_value(&self, value: &Value, rng: &mut StdRng) -> Value {
+        match value {
+            Value::Null => Value::Null,
+            Value::Str(s) => self.perturb_text(s, rng),
+            Value::Int(i) => self.perturb_number(*i as f64, rng),
+            Value::Float(f) => self.perturb_number(*f, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::MARKETING_WORDS;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn clean_dirt_barely_changes_text() {
+        let p = Perturber::new(DirtLevel::clean(), MARKETING_WORDS);
+        let mut changed = 0;
+        for s in 0..100 {
+            let out = p.perturb_text("golden dragon palace", &mut rng(s));
+            if out != Value::Str("golden dragon palace".into()) {
+                changed += 1;
+            }
+        }
+        assert!(changed < 20, "clean level changed {changed}/100 values");
+    }
+
+    #[test]
+    fn hard_dirt_usually_changes_text() {
+        let p = Perturber::new(DirtLevel::product_hard(), MARKETING_WORDS);
+        let text = "premium wireless ergonomic keyboard with backlit keys and long battery";
+        let mut changed = 0;
+        for s in 0..50 {
+            if p.perturb_text(text, &mut rng(s)) != Value::Str(text.into()) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 45, "hard level changed only {changed}/50 values");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let p = Perturber::new(DirtLevel::medium(), MARKETING_WORDS);
+        let a = p.perturb_text("scalable query processing", &mut rng(9));
+        let b = p.perturb_text("scalable query processing", &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missingness_produces_nulls() {
+        let dirt = DirtLevel { missing_rate: 1.0, ..DirtLevel::clean() };
+        let p = Perturber::new(dirt, MARKETING_WORDS);
+        assert_eq!(p.perturb_text("anything", &mut rng(0)), Value::Null);
+        assert_eq!(p.perturb_number(5.0, &mut rng(0)), Value::Null);
+    }
+
+    #[test]
+    fn numbers_keep_integrality() {
+        let p = Perturber::new(DirtLevel::medium(), MARKETING_WORDS);
+        for s in 0..20 {
+            match p.perturb_number(1999.0, &mut rng(s)) {
+                Value::Int(_) | Value::Null => {}
+                other => panic!("integer year became {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn typo_changes_but_stays_close() {
+        for s in 0..20 {
+            let t = Perturber::typo("keyboard", &mut rng(s));
+            let dist = zeroer_textsim_levenshtein(&t, "keyboard");
+            assert!(dist <= 2, "typo drifted too far: {t}");
+        }
+    }
+
+    /// Tiny local Levenshtein so the test doesn't need a dev-dependency.
+    fn zeroer_textsim_levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut curr = vec![0; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn empty_text_is_preserved() {
+        let p = Perturber::new(DirtLevel::medium(), MARKETING_WORDS);
+        assert_eq!(p.perturb_text("", &mut rng(1)), Value::Str(String::new()));
+    }
+}

@@ -1,0 +1,242 @@
+//! The six benchmark dataset profiles (Table 1).
+
+use crate::perturb::DirtLevel;
+
+/// Benchmark domain, which selects the entity generator and schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Restaurants (Fodors-Zagat).
+    Restaurants,
+    /// Bibliographic records (DBLP-ACM, DBLP-Scholar).
+    Publications,
+    /// Movies (Rotten Tomatoes-IMDB).
+    Movies,
+    /// E-commerce products (Abt-Buy, Amazon-Google).
+    Products,
+}
+
+/// Whether matched entities map 1:1 across tables or one left tuple can
+/// match several right tuples (DBLP-Scholar, Amazon-Google).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Every matched entity appears exactly once per side.
+    OneToOne,
+    /// A left tuple may match up to `max_fanout` right tuples.
+    OneToMany {
+        /// Upper bound on right-side copies per left entity.
+        max_fanout: usize,
+    },
+}
+
+/// A benchmark dataset recipe matching one Table 1 row.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Paper notation, e.g. `Rest-FZ`.
+    pub notation: &'static str,
+    /// Human name, e.g. `Fodors-Zagat`.
+    pub name: &'static str,
+    /// Entity domain.
+    pub domain: Domain,
+    /// Left-table tuple count at scale 1.0.
+    pub n_left: usize,
+    /// Right-table tuple count at scale 1.0.
+    pub n_right: usize,
+    /// Ground-truth match-pair count at scale 1.0.
+    pub n_matches: usize,
+    /// Attribute count (fixed by the domain schema).
+    pub n_attrs: usize,
+    /// Linkage multiplicity.
+    pub link: LinkKind,
+    /// Noise applied to the left table.
+    pub left_dirt: DirtLevel,
+    /// Noise applied to the right table.
+    pub right_dirt: DirtLevel,
+}
+
+impl DatasetProfile {
+    /// Scaled tuple/match counts. Matches scale with the tables; at least
+    /// 2 matches and 10 tuples per side are kept so tiny scales stay
+    /// meaningful.
+    pub fn scaled(&self, scale: f64) -> (usize, usize, usize) {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let l = ((self.n_left as f64 * scale).round() as usize).max(10);
+        let r = ((self.n_right as f64 * scale).round() as usize).max(10);
+        let m = ((self.n_matches as f64 * scale).round() as usize).max(2);
+        (l, r, m)
+    }
+}
+
+/// Fodors-Zagat: tiny, nearly clean — every competent matcher should be
+/// close to perfect here (the paper reports F = 1.0 for ZeroER).
+pub fn rest_fz() -> DatasetProfile {
+    DatasetProfile {
+        notation: "Rest-FZ",
+        name: "Fodors-Zagat",
+        domain: Domain::Restaurants,
+        n_left: 533,
+        n_right: 331,
+        n_matches: 112,
+        n_attrs: 7,
+        link: LinkKind::OneToOne,
+        left_dirt: DirtLevel::clean(),
+        right_dirt: DirtLevel::light(),
+    }
+}
+
+/// DBLP-ACM: clean bibliographic data, moderate size (paper: F ≈ 0.95).
+pub fn pub_da() -> DatasetProfile {
+    DatasetProfile {
+        notation: "Pub-DA",
+        name: "DBLP-ACM",
+        domain: Domain::Publications,
+        n_left: 2616,
+        n_right: 2294,
+        n_matches: 2224,
+        n_attrs: 4,
+        link: LinkKind::OneToOne,
+        left_dirt: DirtLevel::clean(),
+        right_dirt: DirtLevel::acm(),
+    }
+}
+
+/// DBLP-Scholar: Google Scholar's side is big and messy, one-to-many
+/// (paper: F ≈ 0.85).
+pub fn pub_ds() -> DatasetProfile {
+    DatasetProfile {
+        notation: "Pub-DS",
+        name: "DBLP-Scholar",
+        domain: Domain::Publications,
+        n_left: 2616,
+        n_right: 64263,
+        n_matches: 5347,
+        n_attrs: 4,
+        link: LinkKind::OneToMany { max_fanout: 5 },
+        left_dirt: DirtLevel::clean(),
+        right_dirt: DirtLevel::scholar(),
+    }
+}
+
+/// Rotten Tomatoes-IMDB: small, moderately noisy (paper: F ≈ 0.85).
+pub fn mv_ri() -> DatasetProfile {
+    DatasetProfile {
+        notation: "Mv-RI",
+        name: "RottenTomatoes-IMDB",
+        domain: Domain::Movies,
+        n_left: 558,
+        n_right: 556,
+        n_matches: 190,
+        n_attrs: 8,
+        link: LinkKind::OneToOne,
+        left_dirt: DirtLevel::light(),
+        right_dirt: DirtLevel::imdb(),
+    }
+}
+
+/// Abt-Buy: long product descriptions with little lexical overlap between
+/// matched listings — hard for all similarity-based matchers (paper:
+/// F ≈ 0.4 for ZeroER, ≈ 0.46 for RF).
+pub fn prod_ab() -> DatasetProfile {
+    DatasetProfile {
+        notation: "Prod-AB",
+        name: "Abt-Buy",
+        domain: Domain::Products,
+        n_left: 1082,
+        n_right: 1093,
+        n_matches: 1098,
+        n_attrs: 3,
+        link: LinkKind::OneToMany { max_fanout: 2 },
+        left_dirt: DirtLevel::product_hard(),
+        right_dirt: DirtLevel::product_hard(),
+    }
+}
+
+/// Amazon-Google: like Abt-Buy but bigger and with a manufacturer column
+/// (paper: F ≈ 0.4 for ZeroER).
+pub fn prod_ag() -> DatasetProfile {
+    DatasetProfile {
+        notation: "Prod-AG",
+        name: "Amazon-Google",
+        domain: Domain::Products,
+        n_left: 1363,
+        n_right: 3226,
+        n_matches: 1300,
+        n_attrs: 4,
+        link: LinkKind::OneToMany { max_fanout: 3 },
+        left_dirt: DirtLevel::light(),
+        right_dirt: DirtLevel::product_hard(),
+    }
+}
+
+/// All six profiles in the paper's Table 1/2 order.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![rest_fz(), pub_da(), pub_ds(), mv_ri(), prod_ab(), prod_ag()]
+}
+
+/// Looks up a profile by its paper notation (case-insensitive).
+pub fn by_notation(notation: &str) -> Option<DatasetProfile> {
+    all_profiles()
+        .into_iter()
+        .find(|p| p.notation.eq_ignore_ascii_case(notation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_statistics_match_the_paper() {
+        let fz = rest_fz();
+        assert_eq!((fz.n_left, fz.n_right, fz.n_matches, fz.n_attrs), (533, 331, 112, 7));
+        let da = pub_da();
+        assert_eq!((da.n_left, da.n_right, da.n_matches, da.n_attrs), (2616, 2294, 2224, 4));
+        let ds = pub_ds();
+        assert_eq!((ds.n_left, ds.n_right, ds.n_matches, ds.n_attrs), (2616, 64263, 5347, 4));
+        let ri = mv_ri();
+        assert_eq!((ri.n_left, ri.n_right, ri.n_matches, ri.n_attrs), (558, 556, 190, 8));
+        let ab = prod_ab();
+        assert_eq!((ab.n_left, ab.n_right, ab.n_matches, ab.n_attrs), (1082, 1093, 1098, 3));
+        let ag = prod_ag();
+        assert_eq!((ag.n_left, ag.n_right, ag.n_matches, ag.n_attrs), (1363, 3226, 1300, 4));
+    }
+
+    #[test]
+    fn six_profiles_in_paper_order() {
+        let all = all_profiles();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].notation, "Rest-FZ");
+        assert_eq!(all[5].notation, "Prod-AG");
+    }
+
+    #[test]
+    fn one_to_many_on_the_right_datasets() {
+        assert!(matches!(pub_ds().link, LinkKind::OneToMany { .. }));
+        assert!(matches!(prod_ag().link, LinkKind::OneToMany { .. }));
+        assert!(matches!(rest_fz().link, LinkKind::OneToOne));
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let (l, r, m) = pub_da().scaled(0.25);
+        assert_eq!(l, 654);
+        assert_eq!(r, (2294.0f64 * 0.25).round() as usize);
+        assert_eq!(m, 556);
+    }
+
+    #[test]
+    fn scaling_has_floors() {
+        let (l, r, m) = rest_fz().scaled(0.001);
+        assert!(l >= 10 && r >= 10 && m >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        rest_fz().scaled(0.0);
+    }
+
+    #[test]
+    fn lookup_by_notation() {
+        assert!(by_notation("pub-ds").is_some());
+        assert!(by_notation("nope").is_none());
+    }
+}

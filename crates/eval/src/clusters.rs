@@ -1,0 +1,123 @@
+//! Cluster-level evaluation for deduplication.
+//!
+//! Pairwise F-score over candidate pairs under-rewards good clusterings
+//! (one wrong merge of two big clusters creates quadratically many wrong
+//! pairs). These utilities convert entity clusterings to implied pair
+//! sets and compute the standard cluster-aware pairwise metrics used in
+//! the dedup literature.
+
+use crate::metrics::ConfusionMatrix;
+use std::collections::{HashMap, HashSet};
+
+/// All unordered within-cluster pairs implied by a clustering (singletons
+/// contribute nothing).
+pub fn implied_pairs(clusters: &[Vec<usize>]) -> HashSet<(usize, usize)> {
+    let mut pairs = HashSet::new();
+    for cluster in clusters {
+        for (i, &a) in cluster.iter().enumerate() {
+            for &b in &cluster[i + 1..] {
+                pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    pairs
+}
+
+/// Pairwise precision/recall/F1 of a predicted clustering against a
+/// ground-truth clustering, over the universe of pairs either implies.
+pub fn pairwise_cluster_f1(predicted: &[Vec<usize>], truth: &[Vec<usize>]) -> ConfusionMatrix {
+    let pred = implied_pairs(predicted);
+    let gold = implied_pairs(truth);
+    let tp = pred.intersection(&gold).count();
+    ConfusionMatrix {
+        tp,
+        fp: pred.len() - tp,
+        fn_: gold.len() - tp,
+        tn: 0, // undefined over an open universe; precision/recall/F1 unaffected
+    }
+}
+
+/// Builds ground-truth duplicate clusters from match pairs by transitive
+/// closure (union-find over the pair graph).
+pub fn clusters_from_pairs(pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    fn find(parent: &mut HashMap<usize, usize>, x: usize) -> usize {
+        let p = *parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = find(parent, p);
+        parent.insert(x, root);
+        root
+    }
+    for &(a, b) in pairs {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let keys: Vec<usize> = parent.keys().copied().collect();
+    for k in keys {
+        let root = find(&mut parent, k);
+        groups.entry(root).or_default().push(k);
+    }
+    let mut clusters: Vec<Vec<usize>> = groups
+        .into_values()
+        .map(|mut g| {
+            g.sort_unstable();
+            g
+        })
+        .filter(|g| g.len() > 1)
+        .collect();
+    clusters.sort();
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implied_pairs_of_triple() {
+        let pairs = implied_pairs(&[vec![1, 2, 3], vec![7]]);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(1, 2)) && pairs.contains(&(1, 3)) && pairs.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn exact_clustering_scores_one() {
+        let truth = vec![vec![0, 1], vec![2, 3, 4]];
+        let cm = pairwise_cluster_f1(&truth, &truth);
+        assert_eq!(cm.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_merge_hurts_precision_quadratically() {
+        let truth = vec![vec![0, 1], vec![2, 3]];
+        let merged = vec![vec![0, 1, 2, 3]];
+        let cm = pairwise_cluster_f1(&merged, &truth);
+        assert_eq!(cm.recall(), 1.0);
+        // 6 predicted pairs, only 2 correct.
+        assert!((cm.precision() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closure_builds_chains() {
+        // 1-2, 2-3 chain plus a separate 8-9.
+        let clusters = clusters_from_pairs(&[(1, 2), (2, 3), (8, 9)]);
+        assert_eq!(clusters, vec![vec![1, 2, 3], vec![8, 9]]);
+    }
+
+    #[test]
+    fn closure_ignores_duplicates_and_order() {
+        let a = clusters_from_pairs(&[(5, 4), (4, 5), (5, 4)]);
+        assert_eq!(a, vec![vec![4, 5]]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(clusters_from_pairs(&[]).is_empty());
+        assert!(implied_pairs(&[]).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Score-based evaluation: precision-recall curves, AUC-PR, threshold
+//! selection, and Brier calibration.
+//!
+//! ZeroER emits posterior probabilities, not just labels; these utilities
+//! evaluate the *ranking* quality of those posteriors — useful both for
+//! diagnostics and for the common practice of trading precision against
+//! recall by moving the decision threshold away from 0.5.
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Decision threshold that produces this point.
+    pub threshold: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+    /// F1 at the threshold.
+    pub f1: f64,
+}
+
+/// Computes the precision-recall curve by sweeping the threshold over
+/// every distinct score. Points are ordered by decreasing threshold
+/// (increasing recall).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn pr_curve(scores: &[f64], truth: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), truth.len(), "score/truth length mismatch");
+    let total_pos = truth.iter().filter(|&&t| t).count();
+    if total_pos == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    // Sort by descending score; sweep thresholds at each distinct value.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
+    let mut curve = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume the whole tie group.
+        while i < order.len() && scores[order[i]] == threshold {
+            if truth[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / total_pos as f64;
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        curve.push(PrPoint { threshold, precision, recall, f1 });
+    }
+    curve
+}
+
+/// Area under the precision-recall curve (step-wise interpolation, the
+/// "average precision" convention).
+pub fn auc_pr(scores: &[f64], truth: &[bool]) -> f64 {
+    let curve = pr_curve(scores, truth);
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        auc += p.precision * (p.recall - prev_recall);
+        prev_recall = p.recall;
+    }
+    auc
+}
+
+/// The threshold maximizing F1 on the curve (ties break toward the higher
+/// threshold, i.e. higher precision). Returns `None` when there are no
+/// positives.
+pub fn best_f1_threshold(scores: &[f64], truth: &[bool]) -> Option<PrPoint> {
+    pr_curve(scores, truth)
+        .into_iter()
+        .max_by(|a, b| {
+            a.f1.partial_cmp(&b.f1)
+                .expect("finite F1")
+                .then(a.threshold.partial_cmp(&b.threshold).expect("finite threshold"))
+        })
+}
+
+/// Brier score: mean squared error of the probabilities against the 0/1
+/// truth — lower is better-calibrated. Range `[0, 1]`.
+pub fn brier_score(scores: &[f64], truth: &[bool]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "score/truth length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores
+        .iter()
+        .zip(truth)
+        .map(|(&s, &t)| {
+            let y = f64::from(u8::from(t));
+            (s - y) * (s - y)
+        })
+        .sum::<f64>()
+        / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_unit_auc() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let truth = [true, true, false, false];
+        assert!((auc_pr(&scores, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_auc() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let truth = [true, true, false, false];
+        assert!(auc_pr(&scores, &truth) < 0.6);
+    }
+
+    #[test]
+    fn curve_recall_is_monotone() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.2];
+        let truth = [true, false, true, true, false];
+        let curve = pr_curve(&scores, &truth);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_threshold_separates_clean_data() {
+        let scores = [0.95, 0.9, 0.3, 0.2, 0.1];
+        let truth = [true, true, false, false, false];
+        let best = best_f1_threshold(&scores, &truth).unwrap();
+        assert_eq!(best.f1, 1.0);
+        assert!(best.threshold >= 0.9);
+    }
+
+    #[test]
+    fn no_positives_yields_empty_curve() {
+        assert!(pr_curve(&[0.5, 0.6], &[false, false]).is_empty());
+        assert!(best_f1_threshold(&[0.5], &[false]).is_none());
+    }
+
+    #[test]
+    fn brier_rewards_calibration() {
+        let truth = [true, false];
+        assert_eq!(brier_score(&[1.0, 0.0], &truth), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &truth), 1.0);
+        assert!((brier_score(&[0.5, 0.5], &truth) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_scores_are_one_curve_point() {
+        let scores = [0.5, 0.5, 0.5];
+        let truth = [true, false, true];
+        let curve = pr_curve(&scores, &truth);
+        assert_eq!(curve.len(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation utilities: metrics, splits, cross-validation, oversampling.
+//!
+//! The paper evaluates with F-score (§7.1) because ER labels are extremely
+//! imbalanced; supervised baselines are trained on a 50/50 split with the
+//! match class over-sampled, tuned by 5-fold cross-validation, and scores
+//! are averaged over repeated runs. Everything needed for that protocol
+//! lives here.
+
+pub mod clusters;
+pub mod curves;
+pub mod metrics;
+pub mod split;
+
+pub use curves::{auc_pr, best_f1_threshold, brier_score, pr_curve, PrPoint};
+pub use metrics::{f_score, ConfusionMatrix};
+pub use split::{kfold_indices, oversample_minority, train_test_split};

@@ -1,0 +1,147 @@
+//! Classification metrics for imbalanced binary labels.
+
+/// Binary confusion counts for the match (positive) class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted match, truly match.
+    pub tp: usize,
+    /// Predicted match, truly unmatch.
+    pub fp: usize,
+    /// Predicted unmatch, truly match.
+    pub fn_: usize,
+    /// Predicted unmatch, truly unmatch.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against truth.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn from_predictions(predicted: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "prediction/truth length mismatch");
+        let mut cm = Self::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => cm.tp += 1,
+                (true, false) => cm.fp += 1,
+                (false, true) => cm.fn_ += 1,
+                (false, false) => cm.tn += 1,
+            }
+        }
+        cm
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when there are no true positives to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score — the paper's headline metric.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Plain accuracy (reported only in diagnostics; misleading under
+    /// class imbalance, which is the paper's point).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Total number of examples tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Convenience: F1 from raw prediction/truth slices.
+pub fn f_score(predicted: &[bool], truth: &[bool]) -> f64 {
+    ConfusionMatrix::from_predictions(predicted, truth).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = [true, false, true, false];
+        let cm = ConfusionMatrix::from_predictions(&t, &t);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.recall(), 1.0);
+        assert_eq!(cm.f1(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn all_negative_predictions_score_zero() {
+        let p = [false, false, false];
+        let t = [true, true, false];
+        let cm = ConfusionMatrix::from_predictions(&p, &t);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // tp=2 fp=1 fn=1 tn=1 → P=2/3, R=2/3, F1=2/3.
+        let p = [true, true, true, false, false];
+        let t = [true, true, false, true, false];
+        let cm = ConfusionMatrix::from_predictions(&p, &t);
+        assert_eq!(cm, ConfusionMatrix { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert!((cm.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_is_misleading_under_imbalance() {
+        // 99 negatives predicted correctly, 1 positive missed: 99% accuracy,
+        // 0 F1 — exactly the pathology the paper cites for using F-score.
+        let mut p = vec![false; 100];
+        let mut t = vec![false; 100];
+        t[0] = true;
+        p[0] = false;
+        let cm = ConfusionMatrix::from_predictions(&p, &t);
+        assert!(cm.accuracy() > 0.98);
+        assert_eq!(cm.f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        ConfusionMatrix::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn f_score_helper_matches_struct() {
+        let p = [true, false, true];
+        let t = [true, true, true];
+        assert_eq!(f_score(&p, &t), ConfusionMatrix::from_predictions(&p, &t).f1());
+    }
+}

@@ -1,0 +1,141 @@
+//! Seeded data splits, k-fold CV and minority oversampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for all evaluation protocols — reproducibility is a
+/// hard requirement for the experiment harnesses.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Splits `0..n` into (train, test) index sets with `train_frac` of the
+/// data in train, after a seeded shuffle. Mirrors the paper's 50/50
+/// protocol (§7.1) with `train_frac = 0.5`.
+///
+/// # Panics
+/// Panics if `train_frac` is outside `[0, 1]`.
+pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng(seed));
+    let cut = ((n as f64) * train_frac).round() as usize;
+    let test = idx.split_off(cut.min(n));
+    (idx, test)
+}
+
+/// Yields `k` (train, validation) index splits of `0..n` for k-fold CV.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= n, "more folds than examples");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng(seed));
+    let fold_size = n / k;
+    let remainder = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = fold_size + usize::from(f < remainder);
+        let val: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> =
+            idx[..start].iter().chain(&idx[start + size..]).copied().collect();
+        folds.push((train, val));
+        start += size;
+    }
+    folds
+}
+
+/// Over-samples the minority class of a labeled index set until the two
+/// classes are balanced — the standard protocol the paper applies when
+/// training supervised baselines on imbalanced ER data (§7.1).
+///
+/// Returns indices into the original arrays (duplicates included).
+pub fn oversample_minority(labels: &[bool], indices: &[usize], seed: u64) -> Vec<usize> {
+    let pos: Vec<usize> = indices.iter().copied().filter(|&i| labels[i]).collect();
+    let neg: Vec<usize> = indices.iter().copied().filter(|&i| !labels[i]).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return indices.to_vec();
+    }
+    let (minority, majority) = if pos.len() < neg.len() { (&pos, &neg) } else { (&neg, &pos) };
+    let mut out = indices.to_vec();
+    let mut r = rng(seed);
+    let deficit = majority.len() - minority.len();
+    for _ in 0..deficit {
+        out.push(minority[r.gen_range(0..minority.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_everything() {
+        let (tr, te) = train_test_split(100, 0.5, 7);
+        assert_eq!(tr.len(), 50);
+        assert_eq!(te.len(), 50);
+        let mut all: Vec<usize> = tr.iter().chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 1));
+        assert_ne!(train_test_split(50, 0.3, 1).0, train_test_split(50, 0.3, 2).0);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let (tr, te) = train_test_split(10, 0.0, 3);
+        assert!(tr.is_empty());
+        assert_eq!(te.len(), 10);
+        let (tr, te) = train_test_split(10, 1.0, 3);
+        assert_eq!(tr.len(), 10);
+        assert!(te.is_empty());
+    }
+
+    #[test]
+    fn kfold_covers_all_points_exactly_once_as_validation() {
+        let folds = kfold_indices(23, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, v)| v.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        for (tr, va) in &folds {
+            assert_eq!(tr.len() + va.len(), 23);
+            assert!(va.iter().all(|i| !tr.contains(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_k1_panics() {
+        kfold_indices(10, 1, 0);
+    }
+
+    #[test]
+    fn oversampling_balances_classes() {
+        // 2 positives, 8 negatives.
+        let labels: Vec<bool> = (0..10).map(|i| i < 2).collect();
+        let idx: Vec<usize> = (0..10).collect();
+        let out = oversample_minority(&labels, &idx, 5);
+        let pos = out.iter().filter(|&&i| labels[i]).count();
+        let neg = out.iter().filter(|&&i| !labels[i]).count();
+        assert_eq!(pos, neg, "classes must balance after oversampling");
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn oversampling_single_class_is_noop() {
+        let labels = vec![false; 5];
+        let idx: Vec<usize> = (0..5).collect();
+        assert_eq!(oversample_minority(&labels, &idx, 0), idx);
+    }
+}

@@ -1,0 +1,124 @@
+//! Pre-tokenized per-record attribute caches.
+//!
+//! Tokenizing a record's attribute once and reusing the token bags across
+//! all candidate pairs it participates in turns feature generation from
+//! O(pairs × tokenize) into O(records × tokenize + pairs × compare) — a
+//! large constant-factor win because blocking typically puts each record
+//! in many candidate pairs.
+
+use zeroer_tabular::{Table, Value};
+use zeroer_textsim::tokenize::TokenBag;
+use zeroer_textsim::{qgrams, words};
+
+/// Cached derived forms of one attribute column of one table.
+#[derive(Debug, Clone)]
+pub struct AttrCache {
+    /// Lowercased textual form (empty string for nulls; see `present`).
+    pub text: Vec<String>,
+    /// 3-gram token bags.
+    pub qgm3: Vec<TokenBag>,
+    /// Word token bags.
+    pub word: Vec<TokenBag>,
+    /// Numeric interpretation, when available.
+    pub number: Vec<Option<f64>>,
+    /// Whether the original value was non-null.
+    pub present: Vec<bool>,
+}
+
+impl AttrCache {
+    /// Builds the cache for attribute `attr` of `table`.
+    pub fn build(table: &Table, attr: usize) -> Self {
+        let n = table.len();
+        let mut text = Vec::with_capacity(n);
+        let mut qgm3 = Vec::with_capacity(n);
+        let mut word = Vec::with_capacity(n);
+        let mut number = Vec::with_capacity(n);
+        let mut present = Vec::with_capacity(n);
+        for idx in 0..n {
+            let v: &Value = table.value(idx, attr);
+            present.push(!v.is_null());
+            let t = v.as_text().unwrap_or_default();
+            number.push(v.as_number());
+            qgm3.push(qgrams(&t, 3));
+            word.push(words(&t));
+            text.push(t.to_lowercase());
+        }
+        Self { text, qgm3, word, number, present }
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+/// All attribute caches for one table.
+#[derive(Debug, Clone)]
+pub struct TableCache {
+    attrs: Vec<AttrCache>,
+}
+
+impl TableCache {
+    /// Builds caches for every attribute of `table`.
+    pub fn build(table: &Table) -> Self {
+        let attrs = (0..table.schema().arity())
+            .map(|a| AttrCache::build(table, a))
+            .collect();
+        Self { attrs }
+    }
+
+    /// Cache for attribute `a`.
+    pub fn attr(&self, a: usize) -> &AttrCache {
+        &self.attrs[a]
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::{Record, Schema, Table};
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", Schema::new(["name", "year"]));
+        t.push(Record::new(0, vec!["Alpha Beta".into(), Value::Int(1999)]));
+        t.push(Record::new(1, vec![Value::Null, "2001".into()]));
+        t
+    }
+
+    #[test]
+    fn cache_tracks_presence_and_text() {
+        let t = sample();
+        let c = AttrCache::build(&t, 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.present[0]);
+        assert!(!c.present[1]);
+        assert_eq!(c.text[0], "alpha beta");
+        assert_eq!(c.word[0].count("alpha"), 1);
+        assert!(c.word[1].is_empty());
+    }
+
+    #[test]
+    fn numeric_cache_coerces_strings() {
+        let t = sample();
+        let c = AttrCache::build(&t, 1);
+        assert_eq!(c.number[0], Some(1999.0));
+        assert_eq!(c.number[1], Some(2001.0));
+    }
+
+    #[test]
+    fn table_cache_covers_all_attributes() {
+        let tc = TableCache::build(&sample());
+        assert_eq!(tc.arity(), 2);
+        assert_eq!(tc.attr(0).len(), 2);
+    }
+}

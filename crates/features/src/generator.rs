@@ -1,0 +1,330 @@
+//! The bulk pair featurizer.
+
+use crate::cache::TableCache;
+use crate::registry::{functions_for, SimFunction};
+use zeroer_linalg::block::GroupLayout;
+use zeroer_linalg::stats::{apply_min_max, min_max_normalize};
+use zeroer_linalg::Matrix;
+use zeroer_tabular::table::infer_joint_types;
+use zeroer_tabular::{AttrType, Table};
+
+/// The output of feature generation: the `N × d` similarity matrix plus
+/// the grouping metadata ZeroER's block-diagonal covariance needs.
+#[derive(Debug, Clone)]
+pub struct FeatureSet {
+    /// `N × d` feature matrix, one row per candidate pair.
+    pub matrix: Matrix,
+    /// Columns grouped by source attribute (§3.2).
+    pub layout: GroupLayout,
+    /// Magellan-style feature names, e.g. `title_jac_qgm3`.
+    pub names: Vec<String>,
+    /// Min-max ranges recorded by [`FeatureSet::normalize`], if called.
+    pub ranges: Option<Vec<(f64, f64)>>,
+}
+
+impl FeatureSet {
+    /// Number of pairs (rows).
+    pub fn len(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Whether there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.rows() == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Min-max normalizes every column to `[0, 1]` in place (§6),
+    /// recording the ranges for [`FeatureSet::normalize_like`].
+    pub fn normalize(&mut self) {
+        self.ranges = Some(min_max_normalize(&mut self.matrix));
+    }
+
+    /// Normalizes with ranges learned elsewhere (e.g. applying a
+    /// train-fraction fit to the full dataset, Figure 4(c)).
+    pub fn normalize_like(&mut self, other: &FeatureSet) {
+        let ranges = other
+            .ranges
+            .as_ref()
+            .expect("normalize_like requires `other` to be normalized first");
+        apply_min_max(&mut self.matrix, ranges);
+        self.ranges = Some(ranges.clone());
+    }
+
+    /// A row-subset copy (used by the sensitivity experiments).
+    pub fn subset(&self, rows: &[usize]) -> FeatureSet {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for &r in rows {
+            data.extend_from_slice(self.matrix.row(r));
+        }
+        FeatureSet {
+            matrix: Matrix::from_vec(rows.len(), d, data),
+            layout: self.layout.clone(),
+            names: self.names.clone(),
+            ranges: self.ranges.clone(),
+        }
+    }
+}
+
+/// Generates similarity features for candidate pairs between two tables
+/// (or one table against itself for dedup).
+pub struct PairFeaturizer {
+    attr_names: Vec<String>,
+    attr_types: Vec<AttrType>,
+    functions: Vec<&'static [SimFunction]>,
+    left: TableCache,
+    right: TableCache,
+    dim: usize,
+}
+
+impl PairFeaturizer {
+    /// Builds the featurizer: infers joint attribute types, selects
+    /// function sets, and pre-tokenizes both tables.
+    ///
+    /// # Panics
+    /// Panics if the schemas are not aligned.
+    pub fn new(left: &Table, right: &Table) -> Self {
+        let attr_types = infer_joint_types(left, right);
+        let functions: Vec<&'static [SimFunction]> =
+            attr_types.iter().map(|&t| functions_for(t)).collect();
+        let dim = functions.iter().map(|f| f.len()).sum();
+        Self {
+            attr_names: left.schema().attributes().to_vec(),
+            attr_types,
+            functions,
+            left: TableCache::build(left),
+            right: TableCache::build(right),
+            dim,
+        }
+    }
+
+    /// Inferred attribute types (aligned with the schema).
+    pub fn attr_types(&self) -> &[AttrType] {
+        &self.attr_types
+    }
+
+    /// Total feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature group sizes, one per attribute (the §3.2 grouping).
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.functions.iter().map(|f| f.len()).collect()
+    }
+
+    /// Generated feature names, `<attr>_<fn>` in column order.
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.dim);
+        for (attr, funcs) in self.attr_names.iter().zip(&self.functions) {
+            for f in *funcs {
+                names.push(format!("{attr}_{}", f.short_name()));
+            }
+        }
+        names
+    }
+
+    /// Fills one pair's feature row. `NaN` marks not-computable (missing
+    /// value on either side); imputation happens in [`Self::featurize`].
+    fn fill_row(&self, li: usize, ri: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dim);
+        let mut col = 0;
+        for (a, funcs) in self.functions.iter().enumerate() {
+            let lc = self.left.attr(a);
+            let rc = self.right.attr(a);
+            let both_present = lc.present[li] && rc.present[ri];
+            for &f in *funcs {
+                out[col] = if !both_present {
+                    f64::NAN
+                } else {
+                    match f {
+                        SimFunction::AbsDiff => match (lc.number[li], rc.number[ri]) {
+                            (Some(x), Some(y)) => zeroer_textsim::abs_diff_sim(x, y),
+                            _ => f64::NAN,
+                        },
+                        SimFunction::RelDiff => match (lc.number[li], rc.number[ri]) {
+                            (Some(x), Some(y)) => zeroer_textsim::rel_diff_sim(x, y),
+                            _ => f64::NAN,
+                        },
+                        SimFunction::JaccardQgm3 | SimFunction::CosineQgm3 => {
+                            f.apply_tokens(&lc.qgm3[li], &rc.qgm3[ri])
+                        }
+                        SimFunction::JaccardWord
+                        | SimFunction::CosineWord
+                        | SimFunction::DiceWord
+                        | SimFunction::OverlapWord
+                        | SimFunction::MongeElkan => {
+                            f.apply_tokens(&lc.word[li], &rc.word[ri])
+                        }
+                        _ => f.apply_text(&lc.text[li], &rc.text[ri]),
+                    }
+                };
+                col += 1;
+            }
+        }
+    }
+
+    /// Generates the feature matrix for `pairs` (record *indices* into the
+    /// left/right tables), parallelized over row chunks.
+    ///
+    /// Missing similarities (`NaN`) are imputed with the column mean of
+    /// the computable rows; an all-missing column becomes all zeros.
+    pub fn featurize(&self, pairs: &[(usize, usize)]) -> FeatureSet {
+        let n = pairs.len();
+        let d = self.dim;
+        let mut data = vec![0.0f64; n * d];
+
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(8);
+        let chunk_rows = n.div_ceil(threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, out_chunk) in data.chunks_mut(chunk_rows * d).enumerate() {
+                let start = chunk_idx * chunk_rows;
+                let this = &*self;
+                scope.spawn(move |_| {
+                    for (row_off, row) in out_chunk.chunks_mut(d).enumerate() {
+                        let (li, ri) = pairs[start + row_off];
+                        this.fill_row(li, ri, row);
+                    }
+                });
+            }
+        })
+        .expect("feature generation thread panicked");
+
+        let mut matrix = Matrix::from_vec(n, d, data);
+        impute_column_means(&mut matrix);
+
+        FeatureSet {
+            matrix,
+            layout: GroupLayout::from_sizes(&self.group_sizes()),
+            names: self.feature_names(),
+            ranges: None,
+        }
+    }
+}
+
+/// Replaces NaN entries with the column mean of the non-NaN entries
+/// (0 when the entire column is NaN).
+fn impute_column_means(m: &mut Matrix) {
+    let (n, d) = (m.rows(), m.cols());
+    for j in 0..d {
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for i in 0..n {
+            let v = m[(i, j)];
+            if v.is_finite() {
+                sum += v;
+                cnt += 1;
+            }
+        }
+        let mean = if cnt > 0 { sum / cnt as f64 } else { 0.0 };
+        for i in 0..n {
+            if !m[(i, j)].is_finite() {
+                m[(i, j)] = mean;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::{Record, Schema, Value};
+
+    fn restaurant_tables() -> (Table, Table) {
+        let schema = Schema::new(["name", "city", "year"]);
+        let mut l = Table::new("l", schema.clone());
+        l.push(Record::new(0, vec!["Ritz Carlton Cafe".into(), "new york".into(), Value::Int(1999)]));
+        l.push(Record::new(1, vec!["Joe's Diner".into(), "boston".into(), Value::Int(2005)]));
+        let mut r = Table::new("r", schema);
+        r.push(Record::new(0, vec!["Ritz-Carlton Café".into(), "new york city".into(), Value::Int(1999)]));
+        r.push(Record::new(1, vec!["Completely Different".into(), "seattle".into(), Value::Null]));
+        (l, r)
+    }
+
+    #[test]
+    fn featurizer_shapes_and_names() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &r);
+        assert_eq!(fz.group_sizes().len(), 3);
+        assert_eq!(fz.feature_names().len(), fz.dim());
+        assert!(fz.feature_names()[0].starts_with("name_"));
+        // Year is numeric → 3 functions.
+        assert_eq!(*fz.group_sizes().last().unwrap(), 3);
+    }
+
+    #[test]
+    fn matching_pair_scores_higher_than_nonmatching() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &r);
+        let fs = fz.featurize(&[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(fs.len(), 3);
+        let row_match: f64 = fs.matrix.row(0).iter().sum();
+        let row_non: f64 = fs.matrix.row(1).iter().sum();
+        assert!(
+            row_match > row_non,
+            "near-duplicate pair must out-score a non-match ({row_match} vs {row_non})"
+        );
+    }
+
+    #[test]
+    fn missing_values_are_imputed_not_nan() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &r);
+        // Pair (1,1) has a null year on the right → numeric features NaN
+        // pre-imputation; afterwards every entry must be finite.
+        let fs = fz.featurize(&[(0, 0), (1, 1)]);
+        assert!(!fs.matrix.has_non_finite());
+    }
+
+    #[test]
+    fn normalize_bounds_features() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &r);
+        let mut fs = fz.featurize(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        fs.normalize();
+        for i in 0..fs.len() {
+            for &v in fs.matrix.row(i) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert!(fs.ranges.is_some());
+    }
+
+    #[test]
+    fn empty_pair_list_yields_empty_set() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &r);
+        let fs = fz.featurize(&[]);
+        assert!(fs.is_empty());
+        assert_eq!(fs.dim(), fz.dim());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &r);
+        let fs = fz.featurize(&[(0, 0), (0, 1), (1, 1)]);
+        let sub = fs.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.matrix.row(0), fs.matrix.row(2));
+        assert_eq!(sub.matrix.row(1), fs.matrix.row(0));
+    }
+
+    #[test]
+    fn dedup_self_featurization_works() {
+        let (l, _) = restaurant_tables();
+        let fz = PairFeaturizer::new(&l, &l);
+        let fs = fz.featurize(&[(0, 1)]);
+        assert_eq!(fs.len(), 1);
+        // Identical record compared with itself scores 1 everywhere.
+        let fs_self = fz.featurize(&[(0, 0)]);
+        for &v in fs_self.matrix.row(0) {
+            assert!((v - 1.0).abs() < 1e-9, "self-pair feature should be 1.0, got {v}");
+        }
+    }
+}

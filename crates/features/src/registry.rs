@@ -1,0 +1,261 @@
+//! The similarity-function registry: which functions apply to which
+//! attribute type.
+
+use serde::{Deserialize, Serialize};
+use zeroer_tabular::{AttrType, Value};
+use zeroer_textsim::align::{needleman_wunsch, smith_waterman};
+use zeroer_textsim::tokenize::TokenBag;
+use zeroer_textsim::{
+    abs_diff_sim, cosine, dice, exact_match, jaccard, jaro_winkler, levenshtein_sim,
+    monge_elkan, overlap_coefficient, rel_diff_sim,
+};
+
+/// A similarity function identifier, as applied by the feature generator.
+///
+/// The suffix conventions mirror Magellan's feature names: `Qgm3` =
+/// 3-gram tokens, `Word` = word tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimFunction {
+    /// Jaccard over 3-grams (`jac_qgm_3`).
+    JaccardQgm3,
+    /// Set cosine over 3-grams (`cos_qgm_3`).
+    CosineQgm3,
+    /// Jaccard over word tokens (`jac_dlm`).
+    JaccardWord,
+    /// Set cosine over word tokens (`cos_dlm`).
+    CosineWord,
+    /// Dice over word tokens.
+    DiceWord,
+    /// Overlap coefficient over word tokens.
+    OverlapWord,
+    /// Normalized Levenshtein similarity (`lev_sim`).
+    Levenshtein,
+    /// Jaro-Winkler (`jwn`).
+    JaroWinkler,
+    /// Monge-Elkan with Jaro-Winkler base (`mel`).
+    MongeElkan,
+    /// Normalized Needleman-Wunsch (`nmw`).
+    NeedlemanWunsch,
+    /// Normalized Smith-Waterman (`sw`).
+    SmithWaterman,
+    /// Exact equality on the textual form (`exm`).
+    ExactMatch,
+    /// Absolute-difference similarity on numbers (`anm`).
+    AbsDiff,
+    /// Relative-difference similarity on numbers.
+    RelDiff,
+}
+
+impl SimFunction {
+    /// Short name used in generated feature names.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SimFunction::JaccardQgm3 => "jac_qgm3",
+            SimFunction::CosineQgm3 => "cos_qgm3",
+            SimFunction::JaccardWord => "jac_word",
+            SimFunction::CosineWord => "cos_word",
+            SimFunction::DiceWord => "dice_word",
+            SimFunction::OverlapWord => "ovl_word",
+            SimFunction::Levenshtein => "lev",
+            SimFunction::JaroWinkler => "jwn",
+            SimFunction::MongeElkan => "mel",
+            SimFunction::NeedlemanWunsch => "nmw",
+            SimFunction::SmithWaterman => "sw",
+            SimFunction::ExactMatch => "exm",
+            SimFunction::AbsDiff => "anm",
+            SimFunction::RelDiff => "rnm",
+        }
+    }
+
+    /// Whether the function consumes token bags (vs raw strings/numbers).
+    pub fn needs_tokens(self) -> bool {
+        matches!(
+            self,
+            SimFunction::JaccardQgm3
+                | SimFunction::CosineQgm3
+                | SimFunction::JaccardWord
+                | SimFunction::CosineWord
+                | SimFunction::DiceWord
+                | SimFunction::OverlapWord
+                | SimFunction::MongeElkan
+        )
+    }
+
+    /// Applies the function to a pair of raw values, returning `None` when
+    /// either side is missing (imputation happens downstream) and the
+    /// similarity otherwise.
+    ///
+    /// This is the slow uncached path used by tests and one-off scoring;
+    /// the bulk generator uses pre-tokenized caches (see [`crate::cache`]).
+    pub fn apply(self, a: &Value, b: &Value) -> Option<f64> {
+        if a.is_null() || b.is_null() {
+            return None;
+        }
+        match self {
+            SimFunction::AbsDiff => Some(abs_diff_sim(a.as_number()?, b.as_number()?)),
+            SimFunction::RelDiff => Some(rel_diff_sim(a.as_number()?, b.as_number()?)),
+            SimFunction::ExactMatch => {
+                Some(exact_match(&a.as_text()?.to_lowercase(), &b.as_text()?.to_lowercase()))
+            }
+            _ => {
+                let sa = a.as_text()?;
+                let sb = b.as_text()?;
+                Some(self.apply_text(&sa, &sb))
+            }
+        }
+    }
+
+    /// Applies a string-based function to already-extracted text.
+    pub fn apply_text(self, a: &str, b: &str) -> f64 {
+        match self {
+            SimFunction::JaccardQgm3 => {
+                jaccard(&zeroer_textsim::qgrams(a, 3), &zeroer_textsim::qgrams(b, 3))
+            }
+            SimFunction::CosineQgm3 => {
+                cosine(&zeroer_textsim::qgrams(a, 3), &zeroer_textsim::qgrams(b, 3))
+            }
+            SimFunction::JaccardWord => {
+                jaccard(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
+            }
+            SimFunction::CosineWord => {
+                cosine(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
+            }
+            SimFunction::DiceWord => {
+                dice(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
+            }
+            SimFunction::OverlapWord => {
+                overlap_coefficient(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
+            }
+            SimFunction::Levenshtein => levenshtein_sim(a, b),
+            SimFunction::JaroWinkler => jaro_winkler(a, b),
+            SimFunction::MongeElkan => {
+                monge_elkan(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
+            }
+            SimFunction::NeedlemanWunsch => needleman_wunsch(a, b),
+            SimFunction::SmithWaterman => smith_waterman(a, b),
+            SimFunction::ExactMatch => exact_match(&a.to_lowercase(), &b.to_lowercase()),
+            SimFunction::AbsDiff | SimFunction::RelDiff => {
+                unreachable!("numeric functions have no text path")
+            }
+        }
+    }
+
+    /// Applies a token-based function to pre-computed token bags.
+    ///
+    /// # Panics
+    /// Panics if called on a non-token function.
+    pub fn apply_tokens(self, a: &TokenBag, b: &TokenBag) -> f64 {
+        match self {
+            SimFunction::JaccardQgm3 | SimFunction::JaccardWord => jaccard(a, b),
+            SimFunction::CosineQgm3 | SimFunction::CosineWord => cosine(a, b),
+            SimFunction::DiceWord => dice(a, b),
+            SimFunction::OverlapWord => overlap_coefficient(a, b),
+            SimFunction::MongeElkan => monge_elkan(a, b),
+            _ => panic!("{self:?} is not token-based"),
+        }
+    }
+}
+
+/// The per-type function sets, mirroring Magellan's defaults.
+///
+/// Quadratic-cost sequence measures (Levenshtein, alignment) are only
+/// applied to short/medium strings; long free text gets token-set measures
+/// which stay fast and are the only ones that carry signal there anyway.
+pub fn functions_for(attr_type: AttrType) -> &'static [SimFunction] {
+    use SimFunction::*;
+    match attr_type {
+        AttrType::Boolean => &[ExactMatch],
+        AttrType::Numeric => &[ExactMatch, AbsDiff, RelDiff],
+        AttrType::StrShort => &[JaccardQgm3, CosineQgm3, Levenshtein, JaroWinkler, ExactMatch],
+        AttrType::StrMedium => {
+            &[JaccardQgm3, CosineQgm3, JaccardWord, MongeElkan, Levenshtein, NeedlemanWunsch]
+        }
+        AttrType::StrLong => &[JaccardQgm3, CosineQgm3, JaccardWord, CosineWord, MongeElkan],
+        AttrType::StrHuge => &[JaccardWord, CosineWord, DiceWord, OverlapWord],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_type_has_at_least_one_function() {
+        for t in [
+            AttrType::Boolean,
+            AttrType::Numeric,
+            AttrType::StrShort,
+            AttrType::StrMedium,
+            AttrType::StrLong,
+            AttrType::StrHuge,
+        ] {
+            assert!(!functions_for(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn grouped_structure_multiple_functions_per_string_attr() {
+        // The §3.2 feature-grouping premise: string attributes generate
+        // several correlated features.
+        assert!(functions_for(AttrType::StrMedium).len() >= 2);
+    }
+
+    #[test]
+    fn apply_handles_nulls() {
+        let f = SimFunction::JaccardQgm3;
+        assert_eq!(f.apply(&Value::Null, &"x".into()), None);
+        assert_eq!(f.apply(&"x".into(), &Value::Null), None);
+        assert!(f.apply(&"x".into(), &"x".into()).is_some());
+    }
+
+    #[test]
+    fn exact_match_is_case_insensitive() {
+        let f = SimFunction::ExactMatch;
+        assert_eq!(f.apply(&"ACM".into(), &"acm".into()), Some(1.0));
+        assert_eq!(f.apply(&"acm".into(), &"vldb".into()), Some(0.0));
+    }
+
+    #[test]
+    fn numeric_functions_coerce_strings() {
+        let f = SimFunction::AbsDiff;
+        let a: Value = "10".into();
+        let b: Value = "5".into();
+        assert_eq!(f.apply(&a, &b), Some(0.5));
+        // Non-numeric text cannot be compared numerically.
+        assert_eq!(f.apply(&"abc".into(), &"5".into()), None);
+    }
+
+    #[test]
+    fn identical_values_score_one_for_all_string_functions() {
+        let v: Value = "the matrix".into();
+        for t in [AttrType::StrShort, AttrType::StrMedium, AttrType::StrLong, AttrType::StrHuge] {
+            for f in functions_for(t) {
+                let s = f.apply(&v, &v).unwrap();
+                assert!((s - 1.0).abs() < 1e-9, "{f:?} gave {s} on identical values");
+            }
+        }
+    }
+
+    #[test]
+    fn short_names_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            SimFunction::JaccardQgm3,
+            SimFunction::CosineQgm3,
+            SimFunction::JaccardWord,
+            SimFunction::CosineWord,
+            SimFunction::DiceWord,
+            SimFunction::OverlapWord,
+            SimFunction::Levenshtein,
+            SimFunction::JaroWinkler,
+            SimFunction::MongeElkan,
+            SimFunction::NeedlemanWunsch,
+            SimFunction::SmithWaterman,
+            SimFunction::ExactMatch,
+            SimFunction::AbsDiff,
+            SimFunction::RelDiff,
+        ];
+        let names: HashSet<_> = all.iter().map(|f| f.short_name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,285 @@
+//! Block-diagonal covariance structure (feature grouping, §3.2).
+//!
+//! ZeroER's key structural assumption is that features generated from the
+//! same attribute are dependent while features from different attributes
+//! are independent. The covariance matrix is therefore block-diagonal
+//! (Eq. 10), and a d-dimensional Gaussian factorizes into a product of
+//! per-block Gaussians. [`BlockDiag`] stores the blocks, and
+//! [`BlockCholesky`] caches their factorizations for log-density
+//! evaluation in the E-step.
+
+use crate::cholesky::{Cholesky, NotPositiveDefinite};
+use crate::matrix::Matrix;
+
+/// Column ranges partitioning `0..d` into contiguous feature groups.
+///
+/// Group `g` covers columns `offsets[g] .. offsets[g] + blocks[g].rows()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupLayout {
+    sizes: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl GroupLayout {
+    /// Builds a layout from group sizes.
+    ///
+    /// # Panics
+    /// Panics if any size is zero.
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        assert!(sizes.iter().all(|&s| s > 0), "zero-sized feature group");
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0;
+        for &s in sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        Self { sizes: sizes.to_vec(), offsets }
+    }
+
+    /// A layout with one group spanning all `d` columns (the "full
+    /// dependence" ablation of Table 4).
+    pub fn single_group(d: usize) -> Self {
+        Self::from_sizes(&[d])
+    }
+
+    /// A layout with `d` singleton groups (the "independent" ablation).
+    pub fn independent(d: usize) -> Self {
+        Self::from_sizes(&vec![1; d])
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total dimensionality.
+    pub fn dim(&self) -> usize {
+        self.offsets.last().map_or(0, |o| o + self.sizes[self.sizes.len() - 1])
+    }
+
+    /// `(offset, size)` of group `g`.
+    pub fn group(&self, g: usize) -> (usize, usize) {
+        (self.offsets[g], self.sizes[g])
+    }
+
+    /// Iterator over `(offset, size)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.offsets.iter().copied().zip(self.sizes.iter().copied())
+    }
+
+    /// Number of free covariance parameters under this grouping:
+    /// `Σ_g (|F_g| choose 2) + |F_g|` (Eq. 9 plus the diagonal).
+    pub fn covariance_params(&self) -> usize {
+        self.sizes.iter().map(|&s| s * (s + 1) / 2).sum()
+    }
+}
+
+/// A block-diagonal symmetric matrix: one dense block per feature group.
+#[derive(Debug, Clone)]
+pub struct BlockDiag {
+    layout: GroupLayout,
+    blocks: Vec<Matrix>,
+}
+
+impl BlockDiag {
+    /// Assembles a block-diagonal matrix from blocks (their sizes define
+    /// the layout).
+    ///
+    /// # Panics
+    /// Panics if any block is non-square.
+    pub fn from_blocks(blocks: Vec<Matrix>) -> Self {
+        assert!(blocks.iter().all(Matrix::is_square), "non-square block");
+        let sizes: Vec<usize> = blocks.iter().map(Matrix::rows).collect();
+        Self { layout: GroupLayout::from_sizes(&sizes), blocks }
+    }
+
+    /// Slices a full `d×d` matrix into blocks according to `layout`,
+    /// discarding entries outside the blocks (this is how the grouped
+    /// covariance is *defined* from a dense sample covariance).
+    pub fn from_dense(full: &Matrix, layout: &GroupLayout) -> Self {
+        assert_eq!(full.rows(), layout.dim(), "matrix/layout dimension mismatch");
+        let blocks = layout
+            .iter()
+            .map(|(off, sz)| full.principal_submatrix(off, sz))
+            .collect();
+        Self { layout: layout.clone(), blocks }
+    }
+
+    /// The group layout.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Matrix] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks (used by regularization to add `K`).
+    pub fn blocks_mut(&mut self) -> &mut [Matrix] {
+        &mut self.blocks
+    }
+
+    /// Total dimensionality.
+    pub fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    /// The main diagonal across all blocks.
+    pub fn diag(&self) -> Vec<f64> {
+        let mut d = Vec::with_capacity(self.dim());
+        for b in &self.blocks {
+            d.extend(b.diag());
+        }
+        d
+    }
+
+    /// Adds `values` to the main diagonal (Tikhonov / adaptive
+    /// regularization, Eq. 13).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.dim()`.
+    pub fn add_diag(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.dim(), "diagonal length mismatch");
+        for (g, (off, sz)) in self.layout.clone().iter().enumerate() {
+            for k in 0..sz {
+                self.blocks[g][(k, k)] += values[off + k];
+            }
+        }
+    }
+
+    /// Expands to a dense `d×d` matrix (diagnostics / tests only).
+    pub fn to_dense(&self) -> Matrix {
+        let d = self.dim();
+        let mut m = Matrix::zeros(d, d);
+        for (g, (off, sz)) in self.layout.iter().enumerate() {
+            for i in 0..sz {
+                for j in 0..sz {
+                    m[(off + i, off + j)] = self.blocks[g][(i, j)];
+                }
+            }
+        }
+        m
+    }
+
+    /// Factors every block; the result evaluates Gaussian log-densities.
+    ///
+    /// # Errors
+    /// Fails if any block is not positive definite even after jitter.
+    pub fn factor(&self) -> Result<BlockCholesky, NotPositiveDefinite> {
+        let factors = self
+            .blocks
+            .iter()
+            .map(Cholesky::factor)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BlockCholesky { layout: self.layout.clone(), factors })
+    }
+}
+
+/// Cached per-block Cholesky factors of a [`BlockDiag`] covariance.
+#[derive(Debug, Clone)]
+pub struct BlockCholesky {
+    layout: GroupLayout,
+    factors: Vec<Cholesky>,
+}
+
+impl BlockCholesky {
+    /// `log det` of the whole block-diagonal matrix (sum over blocks).
+    pub fn log_det(&self) -> f64 {
+        self.factors.iter().map(Cholesky::log_det).sum()
+    }
+
+    /// Mahalanobis quadratic form `(x−µ)ᵀ Σ⁻¹ (x−µ)`, summed over blocks.
+    ///
+    /// # Panics
+    /// Panics if `x` or `mu` do not have the layout's dimensionality.
+    pub fn mahalanobis_sq(&self, x: &[f64], mu: &[f64]) -> f64 {
+        let d = self.layout.dim();
+        assert_eq!(x.len(), d, "x dimensionality mismatch");
+        assert_eq!(mu.len(), d, "mu dimensionality mismatch");
+        self.layout
+            .iter()
+            .zip(&self.factors)
+            .map(|((off, sz), f)| f.mahalanobis_sq(&x[off..off + sz], &mu[off..off + sz]))
+            .sum()
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_from_sizes() {
+        let l = GroupLayout::from_sizes(&[2, 3, 1]);
+        assert_eq!(l.num_groups(), 3);
+        assert_eq!(l.dim(), 6);
+        assert_eq!(l.group(1), (2, 3));
+        assert_eq!(l.covariance_params(), 3 + 6 + 1);
+    }
+
+    #[test]
+    fn single_and_independent_layouts() {
+        assert_eq!(GroupLayout::single_group(4).num_groups(), 1);
+        assert_eq!(GroupLayout::independent(4).num_groups(), 4);
+        assert_eq!(GroupLayout::single_group(4).covariance_params(), 10);
+        assert_eq!(GroupLayout::independent(4).covariance_params(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_sized_group_panics() {
+        GroupLayout::from_sizes(&[2, 0]);
+    }
+
+    #[test]
+    fn from_dense_discards_cross_block_entries() {
+        let full = Matrix::from_rows(&[
+            &[1.0, 0.5, 9.0],
+            &[0.5, 2.0, 9.0],
+            &[9.0, 9.0, 3.0],
+        ]);
+        let layout = GroupLayout::from_sizes(&[2, 1]);
+        let bd = BlockDiag::from_dense(&full, &layout);
+        let dense = bd.to_dense();
+        assert_eq!(dense[(0, 2)], 0.0, "cross-block entry must be dropped");
+        assert_eq!(dense[(0, 1)], 0.5, "within-block entry kept");
+        assert_eq!(dense[(2, 2)], 3.0);
+    }
+
+    #[test]
+    fn block_logdet_equals_dense_logdet() {
+        let b1 = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b2 = Matrix::from_rows(&[&[2.0]]);
+        let bd = BlockDiag::from_blocks(vec![b1, b2]);
+        let f = bd.factor().unwrap();
+        let dense_logdet = Cholesky::factor(&bd.to_dense()).unwrap().log_det();
+        assert!((f.log_det() - dense_logdet).abs() < 1e-10);
+    }
+
+    #[test]
+    fn block_mahalanobis_equals_dense() {
+        let b1 = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b2 = Matrix::from_rows(&[&[2.0]]);
+        let bd = BlockDiag::from_blocks(vec![b1, b2]);
+        let f = bd.factor().unwrap();
+        let dense = Cholesky::factor(&bd.to_dense()).unwrap();
+        let x = [1.0, -1.0, 0.5];
+        let mu = [0.0, 0.0, 0.0];
+        assert!((f.mahalanobis_sq(&x, &mu) - dense.mahalanobis_sq(&x, &mu)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn add_diag_touches_every_block() {
+        let b1 = Matrix::identity(2);
+        let b2 = Matrix::identity(1);
+        let mut bd = BlockDiag::from_blocks(vec![b1, b2]);
+        bd.add_diag(&[0.1, 0.2, 0.3]);
+        assert_eq!(bd.diag(), vec![1.1, 1.2, 1.3]);
+    }
+}

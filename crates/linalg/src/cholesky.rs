@@ -1,0 +1,251 @@
+//! Cholesky factorization with jitter escalation.
+
+use crate::matrix::Matrix;
+
+/// Error returned when a matrix cannot be factored even after jitter
+/// escalation (i.e. it is far from positive-definite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which factorization failed on the last attempt.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (failed at pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L Lᵀ`.
+///
+/// Covariance blocks in ZeroER can be numerically singular before the
+/// paper's adaptive regularization is applied (the §3.3 "singularity
+/// problem": a feature whose within-class variance collapses to zero).
+/// [`Cholesky::factor`] therefore retries with an escalating diagonal
+/// jitter before giving up, and records the jitter it needed so callers can
+/// fold it into the log-density consistently.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factors `a` (symmetric positive-definite) into `L Lᵀ`.
+    ///
+    /// If the plain factorization fails, retries with jitter
+    /// `1e-12, 1e-10, …, 1e-4` added to the diagonal.
+    ///
+    /// # Errors
+    /// Returns [`NotPositiveDefinite`] if the matrix cannot be factored
+    /// even at the largest jitter.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert!(a.is_square(), "Cholesky of non-square matrix");
+        let mut last_pivot = 0;
+        for &jitter in &[0.0, 1e-12, 1e-10, 1e-8, 1e-6, 1e-4] {
+            match Self::try_factor(a, jitter) {
+                Ok(l) => return Ok(Self { l, jitter }),
+                Err(pivot) => last_pivot = pivot,
+            }
+        }
+        Err(NotPositiveDefinite { pivot: last_pivot })
+    }
+
+    fn try_factor(a: &Matrix, jitter: f64) -> Result<Matrix, usize> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(i);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal jitter that had to be added for the factorization to
+    /// succeed (0.0 in the common case).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// `log det(A) = 2 Σ log L[i,i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln() * 2.0).sum()
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch in solve");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The Mahalanobis quadratic form `(x − µ)ᵀ A⁻¹ (x − µ)` computed as
+    /// `‖L⁻¹ (x − µ)‖²` without forming the inverse.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != mu.len() != self.dim()`.
+    pub fn mahalanobis_sq(&self, x: &[f64], mu: &[f64]) -> f64 {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "x dimension mismatch");
+        assert_eq!(mu.len(), n, "mu dimension mismatch");
+        // Forward-solve L z = (x - mu); return ||z||^2.
+        let mut z = vec![0.0; n];
+        let mut acc = 0.0;
+        for i in 0..n {
+            let mut sum = x[i] - mu[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * z[k];
+            }
+            let zi = sum / self.l[(i, i)];
+            z[i] = zi;
+            acc += zi * zi;
+        }
+        acc
+    }
+
+    /// The inverse `A⁻¹`, formed column by column. Only used by tests and
+    /// diagnostics — hot paths use [`Cholesky::solve`] /
+    /// [`Cholesky::mahalanobis_sq`] instead.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_known_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        let l = c.lower();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn log_det_matches_direct_determinant() {
+        // det of spd3 computed by cofactor expansion = 4(15-1) - 2(6-0.6) + 0.6(2-3)
+        let a = spd3();
+        let det: f64 = 4.0 * (5.0 * 3.0 - 1.0) - 2.0 * (2.0 * 3.0 - 0.6) + 0.6 * (2.0 - 0.6 * 5.0);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.log_det() - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_identity_gives_rhs() {
+        let c = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(c.solve(&b), b);
+    }
+
+    #[test]
+    fn mahalanobis_matches_explicit_inverse() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let x = [1.0, 2.0, 3.0];
+        let mu = [0.5, 0.5, 0.5];
+        let diff: Vec<f64> = x.iter().zip(&mu).map(|(a, b)| a - b).collect();
+        let inv = c.inverse();
+        let expected: f64 = (0..3)
+            .map(|i| diff[i] * (0..3).map(|j| inv[(i, j)] * diff[j]).sum::<f64>())
+            .sum();
+        assert!((c.mahalanobis_sq(&x, &mu) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_gets_jitter() {
+        // Rank-1 matrix: outer product of [1,2] with itself.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!(c.jitter() > 0.0, "rank-deficient input should require jitter");
+    }
+
+    #[test]
+    fn negative_definite_fails() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let prod = &a * &inv;
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+}

@@ -1,0 +1,345 @@
+//! Weighted statistics used by the ZeroER M-step.
+//!
+//! The closed-form M-step updates of the paper (Eq. 8 / Eq. 11) are
+//! *responsibility-weighted* sample statistics: each row of the feature
+//! matrix contributes with weight `γ_i` (match class) or `1 − γ_i`
+//! (unmatch class). The functions here compute those statistics plus the
+//! Pearson-correlation decomposition of §4 and the min-max normalization
+//! of §6.
+
+use crate::matrix::Matrix;
+use crate::VARIANCE_FLOOR;
+
+/// Responsibility-weighted mean of the rows of `x`.
+///
+/// Returns the zero vector when the total weight is (near) zero — the
+/// caller is expected to treat an empty class as degenerate.
+///
+/// # Panics
+/// Panics if `weights.len() != x.rows()`.
+pub fn weighted_mean(x: &Matrix, weights: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), x.rows(), "one weight per row required");
+    let d = x.cols();
+    let mut mean = vec![0.0; d];
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        total += w;
+        let row = x.row(i);
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += w * v;
+        }
+    }
+    if total > f64::EPSILON {
+        for m in &mut mean {
+            *m /= total;
+        }
+    }
+    mean
+}
+
+/// Responsibility-weighted sample covariance `S = Σ w_i (x_i−µ)(x_i−µ)ᵀ / Σ w_i`
+/// over the full feature dimensionality (Eq. 8).
+///
+/// # Panics
+/// Panics if `weights.len() != x.rows()` or `mean.len() != x.cols()`.
+pub fn weighted_covariance(x: &Matrix, weights: &[f64], mean: &[f64]) -> Matrix {
+    assert_eq!(weights.len(), x.rows(), "one weight per row required");
+    assert_eq!(mean.len(), x.cols(), "mean dimensionality mismatch");
+    let d = x.cols();
+    let mut cov = Matrix::zeros(d, d);
+    let mut total = 0.0;
+    let mut diff = vec![0.0; d];
+    for (i, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        total += w;
+        let row = x.row(i);
+        for (dst, (&v, &m)) in diff.iter_mut().zip(row.iter().zip(mean)) {
+            *dst = v - m;
+        }
+        for a in 0..d {
+            let wa = w * diff[a];
+            // Fill the upper triangle only; mirror afterwards.
+            for b in a..d {
+                cov[(a, b)] += wa * diff[b];
+            }
+        }
+    }
+    if total > f64::EPSILON {
+        cov.scale_mut(1.0 / total);
+    }
+    for a in 0..d {
+        for b in 0..a {
+            cov[(a, b)] = cov[(b, a)];
+        }
+    }
+    cov
+}
+
+/// Responsibility-weighted per-column variances (the diagonal of
+/// [`weighted_covariance`], computed without forming the full matrix).
+pub fn weighted_variances(x: &Matrix, weights: &[f64], mean: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), x.rows(), "one weight per row required");
+    assert_eq!(mean.len(), x.cols(), "mean dimensionality mismatch");
+    let d = x.cols();
+    let mut var = vec![0.0; d];
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        total += w;
+        for (j, (&v, &m)) in x.row(i).iter().zip(mean).enumerate() {
+            let dlt = v - m;
+            var[j] += w * dlt * dlt;
+        }
+    }
+    if total > f64::EPSILON {
+        for v in &mut var {
+            *v /= total;
+        }
+    }
+    var
+}
+
+/// Converts a covariance matrix to a Pearson correlation matrix
+/// `R = Λ⁻¹ S Λ⁻¹` with `Λ = diag(√S[j,j])`.
+///
+/// Columns with (near-)zero variance get correlation 0 with everything and
+/// 1 with themselves, which keeps the matrix well defined for degenerate
+/// features (the same convention the recordlinkage literature uses).
+pub fn covariance_to_correlation(cov: &Matrix) -> Matrix {
+    assert!(cov.is_square(), "correlation of non-square covariance");
+    let d = cov.rows();
+    let sd: Vec<f64> = (0..d)
+        .map(|j| {
+            let v = cov[(j, j)];
+            if v > VARIANCE_FLOOR {
+                v.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut r = Matrix::identity(d);
+    for i in 0..d {
+        for j in 0..d {
+            if i != j && sd[i] > 0.0 && sd[j] > 0.0 {
+                // Clamp: floating error can push |r| microscopically past 1.
+                r[(i, j)] = (cov[(i, j)] / (sd[i] * sd[j])).clamp(-1.0, 1.0);
+            }
+        }
+    }
+    r
+}
+
+/// Rebuilds a covariance matrix from per-feature standard deviations and a
+/// shared correlation matrix: `S = Λ R Λ` (Eq. 15, the class-imbalance
+/// decomposition of §4).
+///
+/// # Panics
+/// Panics if `sd.len() != r.rows()`.
+pub fn correlation_to_covariance(r: &Matrix, sd: &[f64]) -> Matrix {
+    assert!(r.is_square(), "non-square correlation matrix");
+    assert_eq!(sd.len(), r.rows(), "sd dimensionality mismatch");
+    let d = sd.len();
+    let mut cov = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..d {
+            cov[(i, j)] = r[(i, j)] * sd[i] * sd[j];
+        }
+    }
+    cov
+}
+
+/// Per-column min-max normalization to `[0, 1]` (§6), in place.
+///
+/// Constant columns are mapped to all-zeros (there is no scale to recover);
+/// returns the per-column `(min, max)` pairs so test data can be
+/// normalized consistently with training data.
+pub fn min_max_normalize(x: &mut Matrix) -> Vec<(f64, f64)> {
+    let (n, d) = (x.rows(), x.cols());
+    let mut ranges = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let v = x[(i, j)];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if n == 0 {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        ranges.push((lo, hi));
+        let span = hi - lo;
+        for i in 0..n {
+            x[(i, j)] = if span > 0.0 { (x[(i, j)] - lo) / span } else { 0.0 };
+        }
+    }
+    ranges
+}
+
+/// Applies previously computed min-max `ranges` to new data, clamping to
+/// `[0, 1]` so out-of-range test values cannot destabilize the model.
+pub fn apply_min_max(x: &mut Matrix, ranges: &[(f64, f64)]) {
+    assert_eq!(ranges.len(), x.cols(), "one range per column required");
+    for j in 0..x.cols() {
+        let (lo, hi) = ranges[j];
+        let span = hi - lo;
+        for i in 0..x.rows() {
+            x[(i, j)] = if span > 0.0 {
+                ((x[(i, j)] - lo) / span).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// Euclidean norm of a row vector.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Numerically stable `log(Σ exp(vals))`.
+pub fn log_sum_exp(vals: &[f64]) -> f64 {
+    let m = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + vals.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 10.0],
+            &[2.0, 20.0],
+            &[3.0, 30.0],
+        ])
+    }
+
+    #[test]
+    fn weighted_mean_uniform_weights_is_plain_mean() {
+        let x = toy();
+        let m = weighted_mean(&x, &[1.0, 1.0, 1.0]);
+        assert_eq!(m, vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn weighted_mean_skewed_weights() {
+        let x = toy();
+        let m = weighted_mean(&x, &[0.0, 0.0, 2.0]);
+        assert_eq!(m, vec![3.0, 30.0]);
+    }
+
+    #[test]
+    fn weighted_mean_zero_weights_is_zero_vector() {
+        let x = toy();
+        assert_eq!(weighted_mean(&x, &[0.0, 0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn covariance_uniform_weights_matches_population_covariance() {
+        let x = toy();
+        let mean = weighted_mean(&x, &[1.0; 3]);
+        let cov = weighted_covariance(&x, &[1.0; 3], &mean);
+        // Var(col0) = (1+0+1)/3 = 2/3; Cov = 20/3; Var(col1) = 200/3.
+        assert!((cov[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 20.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 200.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cov[(0, 1)], cov[(1, 0)]);
+    }
+
+    #[test]
+    fn variances_match_covariance_diagonal() {
+        let x = toy();
+        let w = [0.2, 0.5, 0.3];
+        let mean = weighted_mean(&x, &w);
+        let cov = weighted_covariance(&x, &w, &mean);
+        let var = weighted_variances(&x, &w, &mean);
+        for j in 0..2 {
+            assert!((var[j] - cov[(j, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_columns_have_unit_correlation() {
+        let x = toy();
+        let mean = weighted_mean(&x, &[1.0; 3]);
+        let cov = weighted_covariance(&x, &[1.0; 3], &mean);
+        let r = covariance_to_correlation(&cov);
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-12);
+        assert_eq!(r[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn correlation_roundtrip_recovers_covariance() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[2.0, 1.0, 0.25],
+            &[3.0, 5.0, 0.9],
+            &[0.5, 2.5, 0.1],
+        ]);
+        let mean = weighted_mean(&x, &[1.0; 4]);
+        let cov = weighted_covariance(&x, &[1.0; 4], &mean);
+        let r = covariance_to_correlation(&cov);
+        let sd: Vec<f64> = cov.diag().iter().map(|v| v.sqrt()).collect();
+        let rebuilt = correlation_to_covariance(&r, &sd);
+        assert!(rebuilt.max_abs_diff(&cov) < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_column_gets_zero_correlation() {
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[3.0, 5.0]]);
+        let mean = weighted_mean(&x, &[1.0; 3]);
+        let cov = weighted_covariance(&x, &[1.0; 3], &mean);
+        let r = covariance_to_correlation(&cov);
+        assert_eq!(r[(0, 1)], 0.0);
+        assert_eq!(r[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn min_max_normalizes_to_unit_interval() {
+        let mut x = toy();
+        let ranges = min_max_normalize(&mut x);
+        assert_eq!(ranges, vec![(1.0, 3.0), (10.0, 30.0)]);
+        assert_eq!(x[(0, 0)], 0.0);
+        assert_eq!(x[(2, 0)], 1.0);
+        assert_eq!(x[(1, 1)], 0.5);
+    }
+
+    #[test]
+    fn min_max_constant_column_becomes_zero() {
+        let mut x = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        min_max_normalize(&mut x);
+        assert_eq!(x[(0, 0)], 0.0);
+        assert_eq!(x[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn apply_min_max_clamps_out_of_range() {
+        let mut x = Matrix::from_rows(&[&[5.0], &[-5.0]]);
+        apply_min_max(&mut x, &[(0.0, 1.0)]);
+        assert_eq!(x[(0, 0)], 1.0);
+        assert_eq!(x[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn log_sum_exp_stable_for_large_values() {
+        let v = [1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn l2_norm_known_value() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal RFC-4180-style CSV reader/writer.
+//!
+//! Handles quoted fields, embedded commas, escaped quotes (`""`) and
+//! embedded newlines — enough to round-trip the synthetic benchmark
+//! datasets and load user-provided files in the examples. Not a general
+//! streaming CSV engine by design.
+
+use crate::schema::Schema;
+use crate::table::{Record, Table};
+use crate::value::Value;
+
+/// Error from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A record had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line-ish index of the offending record.
+        row: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected from the header.
+        expected: usize,
+    },
+    /// Input ended inside a quoted field.
+    UnterminatedQuote,
+    /// Input had no header row.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::RaggedRow { row, found, expected } => {
+                write!(f, "row {row}: found {found} fields, expected {expected}")
+            }
+            CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
+            CsvError::Empty => write!(f, "empty CSV input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits CSV text into rows of raw string fields.
+pub fn parse_rows(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => { /* swallow; \n terminates */ }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote);
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    if !any || rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Parses CSV text (header row required) into a [`Table`]. Record ids are
+/// assigned sequentially; fields are interpreted via [`Value::parse`].
+pub fn read_table(name: &str, input: &str) -> Result<Table, CsvError> {
+    let rows = parse_rows(input)?;
+    let mut iter = rows.into_iter();
+    let header = iter.next().ok_or(CsvError::Empty)?;
+    let schema = Schema::new(header);
+    let expected = schema.arity();
+    let mut table = Table::new(name, schema);
+    for (i, row) in iter.enumerate() {
+        if row.len() != expected {
+            return Err(CsvError::RaggedRow { row: i + 2, found: row.len(), expected });
+        }
+        let values = row.iter().map(|f| Value::parse(f)).collect();
+        table.push(Record::new(i as u32, values));
+    }
+    Ok(table)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes a table back to CSV text (header + records).
+pub fn write_table(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &table
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| escape(a))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for r in table.records() {
+        let line = r
+            .values
+            .iter()
+            .map(|v| escape(&v.to_string()))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let rows = parse_rows("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parses_quoted_fields_with_commas_and_quotes() {
+        let rows = parse_rows("name,notes\n\"Smith, John\",\"said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rows[1][0], "Smith, John");
+        assert_eq!(rows[1][1], "said \"hi\"");
+    }
+
+    #[test]
+    fn parses_embedded_newline() {
+        let rows = parse_rows("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(rows[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn handles_crlf() {
+        let rows = parse_rows("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let rows = parse_rows("a\nx").unwrap();
+        assert_eq!(rows[1][0], "x");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert_eq!(parse_rows("a\n\"oops\n"), Err(CsvError::UnterminatedQuote));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(parse_rows(""), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn read_table_types_fields() {
+        let t = read_table("t", "name,year\nalpha,1999\n,\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(0, 1), &Value::Int(1999));
+        assert!(t.value(1, 0).is_null());
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        let err = read_table("t", "a,b\n1\n").unwrap_err();
+        assert_eq!(err, CsvError::RaggedRow { row: 2, found: 1, expected: 2 });
+    }
+
+    #[test]
+    fn roundtrip_preserves_content() {
+        let src = "name,notes\n\"Smith, John\",plain\nbeta,\"multi\nline\"\n";
+        let t = read_table("t", src).unwrap();
+        let written = write_table(&t);
+        let t2 = read_table("t", &written).unwrap();
+        assert_eq!(t.records(), t2.records());
+    }
+}

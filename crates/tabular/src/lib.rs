@@ -1,0 +1,18 @@
+//! Relations, records, schemas and type inference.
+//!
+//! ZeroER operates over two relations `T` and `T'` with aligned attributes
+//! (§2.1). This crate provides the minimal tabular substrate: a dynamically
+//! typed [`Value`], [`Record`]s grouped into [`Table`]s with a shared
+//! [`Schema`], Magellan-style attribute type inference (which drives which
+//! similarity functions the feature generator applies to each attribute),
+//! and a small quoted-field CSV reader/writer for examples and dataset
+//! round-trips.
+
+pub mod csv;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use schema::{infer_attr_type, AttrType, Schema};
+pub use table::{Record, Table};
+pub use value::Value;

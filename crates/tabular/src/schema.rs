@@ -1,0 +1,189 @@
+//! Schemas and Magellan-style attribute type inference.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Attribute types, mirroring Magellan's classification which decides
+/// which similarity functions apply (§2.1, Figure 1(c)).
+///
+/// Magellan buckets string attributes by average word count because the
+/// useful similarity functions differ: edit distance works on short
+/// strings, token-set measures on long ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Two-valued attributes.
+    Boolean,
+    /// Numeric attributes (ints, floats, numeric-looking strings).
+    Numeric,
+    /// Strings averaging a single word (e.g. venue codes).
+    StrShort,
+    /// Strings averaging 2–5 words (names, titles of short works).
+    StrMedium,
+    /// Strings averaging 6–10 words (long titles, addresses).
+    StrLong,
+    /// Strings averaging more than 10 words (descriptions, abstracts).
+    StrHuge,
+}
+
+/// Infers the [`AttrType`] of a column from its non-null values.
+///
+/// Rules (in order): all-boolean-like → `Boolean`; ≥ 90 % numeric →
+/// `Numeric`; otherwise bucketed by mean word count. Empty columns
+/// default to `StrShort` (any similarity function handles all-null data).
+pub fn infer_attr_type<'a, I>(values: I) -> AttrType
+where
+    I: IntoIterator<Item = &'a Value>,
+{
+    let mut n = 0usize;
+    let mut numeric = 0usize;
+    let mut boolean = 0usize;
+    let mut total_words = 0usize;
+    for v in values {
+        if v.is_null() {
+            continue;
+        }
+        n += 1;
+        if v.as_number().is_some() {
+            numeric += 1;
+        }
+        if let Some(t) = v.as_text() {
+            let lower = t.to_lowercase();
+            if matches!(lower.as_str(), "true" | "false" | "yes" | "no" | "0" | "1") {
+                boolean += 1;
+            }
+            total_words += t.split_whitespace().count();
+        }
+    }
+    if n == 0 {
+        return AttrType::StrShort;
+    }
+    if boolean == n {
+        return AttrType::Boolean;
+    }
+    if numeric as f64 >= 0.9 * n as f64 {
+        return AttrType::Numeric;
+    }
+    let mean_words = total_words as f64 / n as f64;
+    if mean_words <= 1.5 {
+        AttrType::StrShort
+    } else if mean_words <= 5.0 {
+        AttrType::StrMedium
+    } else if mean_words <= 10.0 {
+        AttrType::StrLong
+    } else {
+        AttrType::StrHuge
+    }
+}
+
+/// Named, ordered attributes shared by all records of a [`crate::Table`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    ///
+    /// # Panics
+    /// Panics if names are empty or duplicated.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        let attributes: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!attributes.is_empty(), "schema must have at least one attribute");
+        for (i, a) in attributes.iter().enumerate() {
+            assert!(
+                !attributes[..i].contains(a),
+                "duplicate attribute name: {a}"
+            );
+        }
+        Self { attributes }
+    }
+
+    /// Attribute names in order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(raw: &[&str]) -> Vec<Value> {
+        raw.iter().map(|s| Value::parse(s)).collect()
+    }
+
+    #[test]
+    fn numeric_column_detected() {
+        let v = vals(&["1995", "2001", "1987"]);
+        assert_eq!(infer_attr_type(&v), AttrType::Numeric);
+    }
+
+    #[test]
+    fn mostly_numeric_with_noise_still_numeric() {
+        let v = vals(&["10", "20", "30", "40", "50", "60", "70", "80", "90", "n/a"]);
+        assert_eq!(infer_attr_type(&v), AttrType::Numeric);
+    }
+
+    #[test]
+    fn boolean_column_detected() {
+        let v = vals(&["true", "false", "true"]);
+        assert_eq!(infer_attr_type(&v), AttrType::Boolean);
+    }
+
+    #[test]
+    fn word_count_buckets() {
+        let short = vals(&["acm", "vldb", "sigmod"]);
+        assert_eq!(infer_attr_type(&short), AttrType::StrShort);
+
+        let medium = vals(&["deep learning for matching", "entity resolution at scale"]);
+        assert_eq!(infer_attr_type(&medium), AttrType::StrMedium);
+
+        let long = vals(&[
+            "a very long paper title that goes on and on",
+            "another long descriptive string with many words inside",
+        ]);
+        assert_eq!(infer_attr_type(&long), AttrType::StrLong);
+
+        let huge = vals(&[
+            "this product description contains a great many words because \
+             e-commerce sites love verbose marketing copy that describes every feature",
+        ]);
+        assert_eq!(infer_attr_type(&huge), AttrType::StrHuge);
+    }
+
+    #[test]
+    fn nulls_are_ignored_for_inference() {
+        let v = vec![Value::Null, Value::parse("1999"), Value::Null, Value::parse("2001")];
+        assert_eq!(infer_attr_type(&v), AttrType::Numeric);
+    }
+
+    #[test]
+    fn empty_column_defaults_to_short_string() {
+        let v: Vec<Value> = vec![Value::Null, Value::Null];
+        assert_eq!(infer_attr_type(&v), AttrType::StrShort);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(["name", "addr", "phone"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("addr"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attribute_panics() {
+        Schema::new(["a", "a"]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Records and tables.
+
+use crate::schema::{infer_attr_type, AttrType, Schema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One tuple: an id plus one [`Value`] per schema attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Stable identifier within the table (used in candidate pairs and the
+    /// ground truth).
+    pub id: u32,
+    /// Attribute values, aligned with the table's [`Schema`].
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(id: u32, values: Vec<Value>) -> Self {
+        Self { id, values }
+    }
+}
+
+/// A relation: a [`Schema`] plus records. Records are index-addressable;
+/// `id` is carried for ground-truth bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self { name: name.into(), schema, records: Vec::new() }
+    }
+
+    /// Table name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn push(&mut self, record: Record) {
+        assert_eq!(
+            record.values.len(),
+            self.schema.arity(),
+            "record arity {} does not match schema arity {}",
+            record.values.len(),
+            self.schema.arity()
+        );
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Record by positional index.
+    pub fn record(&self, idx: usize) -> &Record {
+        &self.records[idx]
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a record index by id (linear scan; tables are loaded once).
+    pub fn index_of_id(&self, id: u32) -> Option<usize> {
+        self.records.iter().position(|r| r.id == id)
+    }
+
+    /// Value of attribute `attr` in record index `idx`.
+    pub fn value(&self, idx: usize, attr: usize) -> &Value {
+        &self.records[idx].values[attr]
+    }
+
+    /// Infers the [`AttrType`] of every attribute from this table's data.
+    pub fn infer_types(&self) -> Vec<AttrType> {
+        (0..self.schema.arity())
+            .map(|a| infer_attr_type(self.records.iter().map(|r| &r.values[a])))
+            .collect()
+    }
+
+    /// Fraction of null cells per attribute (data-quality diagnostic).
+    pub fn null_fractions(&self) -> Vec<f64> {
+        let n = self.len().max(1) as f64;
+        (0..self.schema.arity())
+            .map(|a| {
+                self.records.iter().filter(|r| r.values[a].is_null()).count() as f64 / n
+            })
+            .collect()
+    }
+}
+
+/// Infers attribute types from *both* tables of a record-linkage task, as
+/// Magellan does: the union of the two columns drives the decision so both
+/// sides get the same similarity functions.
+pub fn infer_joint_types(left: &Table, right: &Table) -> Vec<AttrType> {
+    assert_eq!(
+        left.schema(),
+        right.schema(),
+        "joint type inference requires aligned schemas"
+    );
+    (0..left.schema().arity())
+        .map(|a| {
+            infer_attr_type(
+                left.records()
+                    .iter()
+                    .chain(right.records())
+                    .map(|r| &r.values[a]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("test", Schema::new(["name", "year"]));
+        t.push(Record::new(0, vec!["alpha".into(), Value::Int(1999)]));
+        t.push(Record::new(1, vec!["beta gamma".into(), Value::Int(2001)]));
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(1, 0), &Value::Str("beta gamma".into()));
+        assert_eq!(t.index_of_id(1), Some(1));
+        assert_eq!(t.index_of_id(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "record arity")]
+    fn arity_mismatch_panics() {
+        let mut t = sample();
+        t.push(Record::new(2, vec!["only one".into()]));
+    }
+
+    #[test]
+    fn infer_types_per_column() {
+        let t = sample();
+        let types = t.infer_types();
+        assert_eq!(types[1], AttrType::Numeric);
+        assert!(matches!(types[0], AttrType::StrShort | AttrType::StrMedium));
+    }
+
+    #[test]
+    fn null_fractions_counted() {
+        let mut t = Table::new("n", Schema::new(["a"]));
+        t.push(Record::new(0, vec![Value::Null]));
+        t.push(Record::new(1, vec!["x".into()]));
+        assert_eq!(t.null_fractions(), vec![0.5]);
+    }
+
+    #[test]
+    fn joint_inference_uses_both_sides() {
+        let schema = Schema::new(["v"]);
+        let mut l = Table::new("l", schema.clone());
+        let mut r = Table::new("r", schema);
+        // Left side alone looks numeric; right side makes it stringy.
+        l.push(Record::new(0, vec![Value::Int(1)]));
+        r.push(Record::new(0, vec!["some words here and there".into()]));
+        r.push(Record::new(1, vec!["more words in this one too".into()]));
+        r.push(Record::new(2, vec!["and a third stringy value".into()]));
+        let joint = infer_joint_types(&l, &r);
+        assert_ne!(joint[0], AttrType::Numeric);
+    }
+}

@@ -1,0 +1,140 @@
+//! Dynamically typed cell values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cell value in a relation.
+///
+/// ER benchmark data is messy: numeric columns contain blanks, year
+/// columns contain strings, and so on. `Value` keeps the original
+/// representation and lets the type-inference and feature layers decide
+/// how to interpret it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A (possibly empty) string.
+    Str(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// Missing / unknown.
+    Null,
+}
+
+impl Value {
+    /// Parses a raw text field: empty → [`Value::Null`], integral →
+    /// [`Value::Int`], numeric → [`Value::Float`], otherwise
+    /// [`Value::Str`].
+    pub fn parse(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(trimmed.to_string())
+    }
+
+    /// Whether this value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// String view: the contained string, or the canonical textual form of
+    /// a number; `None` for nulls.
+    pub fn as_text(&self) -> Option<String> {
+        match self {
+            Value::Str(s) => Some(s.clone()),
+            Value::Int(i) => Some(i.to_string()),
+            Value::Float(f) => Some(format!("{f}")),
+            Value::Null => None,
+        }
+    }
+
+    /// Numeric view: the number, or a parse of the string; `None` when not
+    /// interpretable as a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Null => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Null => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dispatches_on_content() {
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("   "), Value::Null);
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("3.25"), Value::Float(3.25));
+        assert_eq!(Value::parse("hello"), Value::Str("hello".into()));
+        assert_eq!(Value::parse(" hi there "), Value::Str("hi there".into()));
+    }
+
+    #[test]
+    fn as_number_coerces_strings() {
+        assert_eq!(Value::Str("19.99".into()).as_number(), Some(19.99));
+        assert_eq!(Value::Int(3).as_number(), Some(3.0));
+        assert_eq!(Value::Str("abc".into()).as_number(), None);
+        assert_eq!(Value::Null.as_number(), None);
+    }
+
+    #[test]
+    fn as_text_renders_numbers() {
+        assert_eq!(Value::Int(5).as_text(), Some("5".into()));
+        assert_eq!(Value::Float(1.5).as_text(), Some("1.5".into()));
+        assert_eq!(Value::Null.as_text(), None);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+}

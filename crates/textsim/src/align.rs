@@ -1,0 +1,118 @@
+//! Global and local sequence alignment similarities.
+//!
+//! Magellan applies Needleman-Wunsch and Smith-Waterman to short string
+//! attributes. We use unit match reward, zero mismatch reward and a gap
+//! cost of 0.5, then normalize by the length of the shorter string so the
+//! result lands in `[0, 1]` — the same normalization py_stringmatching
+//! applies.
+
+/// Score parameters shared by both aligners.
+const MATCH: f64 = 1.0;
+const MISMATCH: f64 = 0.0;
+const GAP: f64 = -0.5;
+
+/// Needleman-Wunsch global alignment similarity, normalized to `[0, 1]`
+/// by `min(|a|, |b|)`. Two empty strings score 1.
+pub fn needleman_wunsch(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * GAP).collect();
+    let mut curr = vec![0.0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = (i + 1) as f64 * GAP;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            curr[j + 1] = sub.max(prev[j + 1] + GAP).max(curr[j] + GAP);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let raw = prev[b.len()];
+    (raw / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+}
+
+/// Smith-Waterman local alignment similarity, normalized to `[0, 1]` by
+/// `min(|a|, |b|)`. Finds the best-matching substring pair, so it is
+/// robust to long surrounding noise (product descriptions). Two empty
+/// strings score 1.
+pub fn smith_waterman(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut prev = vec![0.0f64; b.len() + 1];
+    let mut curr = vec![0.0f64; b.len() + 1];
+    let mut best = 0.0f64;
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            let v = sub.max(prev[j + 1] + GAP).max(curr[j] + GAP).max(0.0);
+            curr[j + 1] = v;
+            best = best.max(v);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    (best / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(needleman_wunsch("hello", "hello"), 1.0);
+        assert_eq!(smith_waterman("hello", "hello"), 1.0);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(needleman_wunsch("", ""), 1.0);
+        assert_eq!(needleman_wunsch("", "x"), 0.0);
+        assert_eq!(smith_waterman("", ""), 1.0);
+        assert_eq!(smith_waterman("x", ""), 0.0);
+    }
+
+    #[test]
+    fn smith_waterman_finds_local_match_in_noise() {
+        // "acme" embedded in noise should still score 1.0 locally.
+        let sim = smith_waterman("acme", "zzzzacmezzzz");
+        assert_eq!(sim, 1.0);
+        // Needleman-Wunsch (global) must penalize the surrounding noise to
+        // below the local score.
+        assert!(needleman_wunsch("acme", "zzzzacmezzzz") < sim);
+    }
+
+    #[test]
+    fn disjoint_strings_score_low() {
+        assert!(smith_waterman("abc", "xyz") < 0.5);
+        assert!(needleman_wunsch("abc", "xyz") < 0.5);
+    }
+
+    #[test]
+    fn results_are_in_unit_range() {
+        for (a, b) in [("a", "ab"), ("kitten", "sitting"), ("ab", "ba"), ("x", "yyyyy")] {
+            for f in [needleman_wunsch, smith_waterman] {
+                let v = f(a, b);
+                assert!((0.0..=1.0).contains(&v), "{a} vs {b} gave {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_inputs() {
+        for (a, b) in [("kitten", "sitting"), ("abc", "abd")] {
+            assert!((needleman_wunsch(a, b) - needleman_wunsch(b, a)).abs() < 1e-12);
+            assert!((smith_waterman(a, b) - smith_waterman(b, a)).abs() < 1e-12);
+        }
+    }
+}

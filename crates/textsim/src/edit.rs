@@ -1,0 +1,205 @@
+//! Edit-distance-family measures: Levenshtein, Jaro, Jaro-Winkler.
+
+/// Levenshtein (edit) distance between two strings, in Unicode scalar
+/// values. Classic dynamic program with two rolling rows — O(|a|·|b|)
+/// time, O(min(|a|,|b|)) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension for memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)` in
+/// `[0, 1]`. Two empty strings are defined as maximally similar.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matching window is `max(|a|,|b|)/2 − 1`; the score combines match count
+/// and transposition count per the standard definition. Two empty strings
+/// score 1; empty vs non-empty scores 0.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut a_matched = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matched.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matched.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Count transpositions: compare matched sequences in order.
+    let b_matched: Vec<char> =
+        b_used.iter().zip(&b).filter(|(u, _)| **u).map(|(_, &c)| c).collect();
+    let t = a_matched.iter().zip(&b_matched).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with scaling factor `p = 0.1`. Range `[0, 1]`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const P: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * P * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_textbook_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_handles_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn levenshtein_sim_range_and_edges() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", ""), 0.0);
+        assert!((levenshtein_sim("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_textbook_cases() {
+        // Standard reference values used across record-linkage literature.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-5);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766_667).abs() < 1e-5);
+        assert!((jaro("JELLYFISH", "SMELLYFISH") - 0.896_296).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jaro_disjoint_strings_score_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_textbook_cases() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961_111).abs() < 1e-5);
+        assert!((jaro_winkler("DIXON", "DICKSONX") - 0.813_333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_bonus_caps_at_four() {
+        let long_prefix = jaro_winkler("abcdefgh", "abcdefxx");
+        let four_prefix = jaro_winkler("abcdxxxx", "abcdyyyy");
+        assert!(long_prefix <= 1.0);
+        assert!(four_prefix <= 1.0);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+}
+
+/// Hamming similarity on equal-length prefixes: the fraction of aligned
+/// positions that agree, penalized by the length difference. Range
+/// `[0, 1]`. Fast positional measure for code-like attributes (phone
+/// numbers, zip codes).
+pub fn hamming_sim(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 1.0;
+    }
+    let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+    agree as f64 / max as f64
+}
+
+/// Normalized common-prefix similarity: `|lcp(a, b)| / max(|a|, |b|)` in
+/// `[0, 1]` — useful for hierarchical codes and truncated values.
+pub fn prefix_sim(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    let lcp = a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count();
+    lcp as f64 / max as f64
+}
+
+#[cfg(test)]
+mod positional_tests {
+    use super::*;
+
+    #[test]
+    fn hamming_counts_aligned_agreement() {
+        assert_eq!(hamming_sim("abcd", "abcd"), 1.0);
+        assert_eq!(hamming_sim("abcd", "abce"), 0.75);
+        assert_eq!(hamming_sim("", ""), 1.0);
+        assert_eq!(hamming_sim("abc", ""), 0.0);
+        // Length difference is an implicit penalty.
+        assert_eq!(hamming_sim("ab", "abcd"), 0.5);
+    }
+
+    #[test]
+    fn prefix_sim_measures_common_prefix() {
+        assert_eq!(prefix_sim("data", "database"), 0.5);
+        assert_eq!(prefix_sim("same", "same"), 1.0);
+        assert_eq!(prefix_sim("x", "y"), 0.0);
+        assert_eq!(prefix_sim("", ""), 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! String and numeric similarity measures for entity resolution.
+//!
+//! ZeroER consumes similarity feature vectors produced by applying a set of
+//! similarity functions to each aligned attribute of a tuple pair (the
+//! Magellan feature-generation process of §2.1). This crate implements the
+//! measures Magellan's automatic feature generator uses:
+//!
+//! * token-based: Jaccard, cosine, Dice, overlap coefficient — over q-gram
+//!   or word tokens ([`token`], [`tokenize`]);
+//! * sequence-based: Levenshtein (plus normalized similarity), Jaro,
+//!   Jaro-Winkler, Needleman-Wunsch, Smith-Waterman ([`edit`], [`align`]);
+//! * hybrid: Monge-Elkan ([`token::monge_elkan`]);
+//! * numeric / categorical: exact match, absolute-difference and
+//!   relative-difference similarity ([`numeric`]).
+//!
+//! All similarity functions return values in a documented range (almost
+//! always `[0, 1]`, higher = more similar) and treat empty inputs
+//! consistently: two empty strings are maximally similar, an empty and a
+//! non-empty string are maximally dissimilar.
+
+pub mod align;
+pub mod edit;
+pub mod numeric;
+pub mod tfidf;
+pub mod token;
+pub mod tokenize;
+
+pub use edit::{hamming_sim, jaro, jaro_winkler, levenshtein, levenshtein_sim, prefix_sim};
+pub use numeric::{abs_diff_sim, exact_match, rel_diff_sim};
+pub use token::{cosine, dice, jaccard, monge_elkan, overlap_coefficient};
+pub use tfidf::IdfModel;
+pub use tokenize::{qgrams, words};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn short_ascii() -> impl Strategy<Value = String> {
+        "[a-z0-9 ]{0,12}"
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_is_a_metric(a in short_ascii(), b in short_ascii(), c in short_ascii()) {
+            let ab = levenshtein(&a, &b);
+            let ba = levenshtein(&b, &a);
+            prop_assert_eq!(ab, ba, "symmetry");
+            prop_assert_eq!(levenshtein(&a, &a), 0, "identity");
+            let ac = levenshtein(&a, &c);
+            let bc = levenshtein(&b, &c);
+            prop_assert!(ac <= ab + bc, "triangle inequality");
+        }
+
+        #[test]
+        fn similarities_are_in_unit_range(a in short_ascii(), b in short_ascii()) {
+            let ta = qgrams(&a, 3);
+            let tb = qgrams(&b, 3);
+            for v in [
+                jaccard(&ta, &tb),
+                cosine(&ta, &tb),
+                dice(&ta, &tb),
+                overlap_coefficient(&ta, &tb),
+                levenshtein_sim(&a, &b),
+                jaro(&a, &b),
+                jaro_winkler(&a, &b),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+            }
+        }
+
+        #[test]
+        fn similarities_are_symmetric(a in short_ascii(), b in short_ascii()) {
+            let (ta, tb) = (qgrams(&a, 3), qgrams(&b, 3));
+            prop_assert!((jaccard(&ta, &tb) - jaccard(&tb, &ta)).abs() < 1e-12);
+            prop_assert!((cosine(&ta, &tb) - cosine(&tb, &ta)).abs() < 1e-12);
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+            prop_assert!((jaro_winkler(&a, &b) - jaro_winkler(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn identical_strings_are_maximally_similar(a in "[a-z0-9]{1,12}") {
+            let t = qgrams(&a, 3);
+            prop_assert_eq!(jaccard(&t, &t), 1.0);
+            prop_assert_eq!(levenshtein_sim(&a, &a), 1.0);
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn jaro_winkler_dominates_jaro(a in short_ascii(), b in short_ascii()) {
+            prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12,
+                "Winkler prefix bonus can only increase Jaro");
+        }
+    }
+}

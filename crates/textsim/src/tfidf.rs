@@ -1,0 +1,186 @@
+//! Corpus-weighted similarity: TF-IDF cosine and soft TF-IDF.
+//!
+//! Magellan applies TF-IDF cosine to long-text attributes when a corpus is
+//! available. Unlike the set-based measures, these weight rare tokens more
+//! heavily, which is exactly what helps on the product datasets where the
+//! discriminative tokens (model numbers) are rare and the noise tokens
+//! (marketing words) are common.
+
+use crate::edit::jaro_winkler;
+use crate::tokenize::TokenBag;
+use std::collections::HashMap;
+
+/// Token document frequencies learned from a corpus of values; produces
+/// IDF weights for the weighted similarity measures.
+#[derive(Debug, Clone, Default)]
+pub struct IdfModel {
+    doc_freq: HashMap<String, u32>,
+    num_docs: u32,
+}
+
+impl IdfModel {
+    /// Builds the model from an iterator of token bags (one per document /
+    /// attribute value).
+    pub fn fit<'a, I: IntoIterator<Item = &'a TokenBag>>(bags: I) -> Self {
+        let mut doc_freq: HashMap<String, u32> = HashMap::new();
+        let mut num_docs = 0;
+        for bag in bags {
+            num_docs += 1;
+            for token in bag.tokens() {
+                *doc_freq.entry(token.to_string()).or_insert(0) += 1;
+            }
+        }
+        Self { doc_freq, num_docs }
+    }
+
+    /// Number of documents the model was fit on.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Smoothed IDF weight of a token: `ln(1 + N / (1 + df))`.
+    ///
+    /// Unseen tokens get the maximum weight (they are maximally
+    /// discriminative by definition).
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        (1.0 + self.num_docs as f64 / (1.0 + df as f64)).ln()
+    }
+
+    /// TF-IDF vector of a bag: token → tf·idf weight.
+    fn weights<'b>(&self, bag: &'b TokenBag) -> HashMap<&'b str, f64> {
+        bag.iter().map(|(t, c)| (t, c as f64 * self.idf(t))).collect()
+    }
+
+    /// TF-IDF cosine similarity between two bags in `[0, 1]`; empty bags
+    /// follow the usual conventions (both empty → 1, one empty → 0).
+    pub fn cosine(&self, a: &TokenBag, b: &TokenBag) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let wa = self.weights(a);
+        let wb = self.weights(b);
+        let mut dot = 0.0;
+        for (t, &w) in &wa {
+            if let Some(&v) = wb.get(t) {
+                dot += w * v;
+            }
+        }
+        let na: f64 = wa.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = wb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Soft TF-IDF (Cohen et al.): like TF-IDF cosine but tokens match
+    /// *approximately* — a token of `a` pairs with its best Jaro-Winkler
+    /// partner in `b` above `threshold`. Robust to typos inside rare
+    /// discriminative tokens. Range `[0, 1]`.
+    pub fn soft_cosine(&self, a: &TokenBag, b: &TokenBag, threshold: f64) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let wa = self.weights(a);
+        let wb = self.weights(b);
+        let mut dot = 0.0;
+        for (ta, &weight_a) in &wa {
+            // Best approximate partner in b.
+            let mut best: Option<(f64, f64)> = None; // (sim, weight_b)
+            for (tb, &weight_b) in &wb {
+                let sim = if ta == tb { 1.0 } else { jaro_winkler(ta, tb) };
+                if sim >= threshold && best.is_none_or(|(s, _)| sim > s) {
+                    best = Some((sim, weight_b));
+                }
+            }
+            if let Some((sim, weight_b)) = best {
+                dot += sim * weight_a * weight_b;
+            }
+        }
+        let na: f64 = wa.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = wb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::words;
+
+    fn corpus() -> (IdfModel, Vec<TokenBag>) {
+        let docs: Vec<TokenBag> = [
+            "premium wireless keyboard model k750",
+            "premium wireless mouse model m310",
+            "premium compact speaker model s220",
+            "wireless compact keyboard model k750 deluxe",
+        ]
+        .iter()
+        .map(|s| words(s))
+        .collect();
+        (IdfModel::fit(&docs), docs)
+    }
+
+    #[test]
+    fn rare_tokens_get_higher_idf() {
+        let (m, _) = corpus();
+        assert!(
+            m.idf("k750") > m.idf("premium"),
+            "model number must outweigh the marketing word"
+        );
+        assert!(m.idf("neverseen") >= m.idf("k750"));
+    }
+
+    #[test]
+    fn tfidf_cosine_favors_rare_token_overlap() {
+        let (m, _) = corpus();
+        // Shares the rare "k750" vs shares only the common "premium
+        // wireless".
+        let a = words("premium wireless keyboard model k750");
+        let rare_match = words("compact keyboard k750");
+        let common_match = words("premium wireless speaker s220");
+        assert!(m.cosine(&a, &rare_match) > m.cosine(&a, &common_match));
+    }
+
+    #[test]
+    fn cosine_bounds_and_identity() {
+        let (m, docs) = corpus();
+        for d in &docs {
+            let s = m.cosine(d, d);
+            assert!((s - 1.0).abs() < 1e-9, "self-similarity {s}");
+        }
+        let empty = words("");
+        assert_eq!(m.cosine(&empty, &empty), 1.0);
+        assert_eq!(m.cosine(&empty, &docs[0]), 0.0);
+    }
+
+    #[test]
+    fn soft_cosine_survives_typos_in_rare_tokens() {
+        let (m, _) = corpus();
+        let a = words("premium keyboard k750");
+        let typo = words("premium keybaord k750");
+        let hard = m.cosine(&a, &typo);
+        let soft = m.soft_cosine(&a, &typo, 0.85);
+        assert!(soft > hard, "soft ({soft}) must recover the typo'd token vs hard ({hard})");
+    }
+
+    #[test]
+    fn soft_cosine_threshold_gates_matches() {
+        let (m, _) = corpus();
+        let a = words("alpha");
+        let b = words("omega");
+        assert_eq!(m.soft_cosine(&a, &b, 0.99), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Token-based and hybrid similarity measures.
+
+use crate::edit::jaro_winkler;
+use crate::tokenize::TokenBag;
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` over distinct tokens, in
+/// `[0, 1]`. Two empty bags are maximally similar.
+pub fn jaccard(a: &TokenBag, b: &TokenBag) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.set_intersection(b);
+    let union = a.set_union(b);
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Set-based cosine similarity `|A ∩ B| / √(|A|·|B|)` over distinct
+/// tokens (Magellan's `cos` for q-gram features), in `[0, 1]`.
+pub fn cosine(a: &TokenBag, b: &TokenBag) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    a.set_intersection(b) as f64 / ((a.distinct() as f64) * (b.distinct() as f64)).sqrt()
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)` over distinct tokens, in
+/// `[0, 1]`.
+pub fn dice(a: &TokenBag, b: &TokenBag) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let denom = a.distinct() + b.distinct();
+    if denom == 0 {
+        return 0.0;
+    }
+    2.0 * a.set_intersection(b) as f64 / denom as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over distinct tokens, in
+/// `[0, 1]`. Useful when one value is an abbreviation / subset of the
+/// other.
+pub fn overlap_coefficient(a: &TokenBag, b: &TokenBag) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let min = a.distinct().min(b.distinct());
+    if min == 0 {
+        return 0.0;
+    }
+    a.set_intersection(b) as f64 / min as f64
+}
+
+/// Monge-Elkan similarity: for each token of `a`, the best Jaro-Winkler
+/// match among tokens of `b`, averaged. Range `[0, 1]`. Asymmetric by
+/// definition; Magellan uses it as-is (first argument = left tuple).
+pub fn monge_elkan(a: &TokenBag, b: &TokenBag) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for ta in a.tokens() {
+        let best = b
+            .tokens()
+            .map(|tb| jaro_winkler(ta, tb))
+            .fold(0.0f64, f64::max);
+        total += best;
+        n += 1;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::words;
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = words("a b c");
+        let b = words("b c d");
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_is_zero() {
+        assert_eq!(jaccard(&words("a b"), &words("x y")), 0.0);
+    }
+
+    #[test]
+    fn empty_bag_conventions() {
+        let e = words("");
+        let x = words("a");
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &x), 0.0);
+        assert_eq!(cosine(&e, &e), 1.0);
+        assert_eq!(cosine(&e, &x), 0.0);
+        assert_eq!(dice(&e, &e), 1.0);
+        assert_eq!(overlap_coefficient(&e, &e), 1.0);
+        assert_eq!(monge_elkan(&e, &e), 1.0);
+        assert_eq!(monge_elkan(&e, &x), 0.0);
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        let a = words("a b c d");
+        let b = words("c d");
+        // |inter| = 2, sqrt(4*2) = 2.828…
+        assert!((cosine(&a, &b) - 2.0 / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_known_values() {
+        let a = words("a b c");
+        let b = words("b c d");
+        assert!((dice(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_subset_is_one() {
+        let full = words("new york city");
+        let abbrev = words("new york");
+        assert_eq!(overlap_coefficient(&full, &abbrev), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_rewards_near_matches() {
+        let a = words("jonathan smith");
+        let b = words("jonathon smyth");
+        let sim = monge_elkan(&a, &b);
+        assert!(sim > 0.8, "near-identical tokens should score high, got {sim}");
+        let c = words("completely different");
+        assert!(monge_elkan(&a, &c) < sim);
+    }
+
+    #[test]
+    fn monge_elkan_identity() {
+        let a = words("alpha beta");
+        assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}

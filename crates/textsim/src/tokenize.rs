@@ -1,0 +1,188 @@
+//! Tokenizers: q-grams and word tokens.
+//!
+//! Magellan names its features after the tokenizer used, e.g.
+//! `title_title_jac_qgm_3_qgm_3` = Jaccard over 3-grams of the two title
+//! values. We reproduce the same two tokenizer families.
+
+use std::collections::HashMap;
+
+/// A multiset of tokens with counts, the input to the token-based
+/// similarity measures.
+///
+/// Token identity is the string itself; counts matter for the cosine
+/// measure and Monge-Elkan but not for Jaccard/overlap (which operate on
+/// the support set).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TokenBag {
+    counts: HashMap<String, u32>,
+    total: u32,
+}
+
+impl TokenBag {
+    /// Builds a bag from an iterator of tokens.
+    pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut bag = Self::default();
+        for t in tokens {
+            *bag.counts.entry(t).or_insert(0) += 1;
+            bag.total += 1;
+        }
+        bag
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total token count (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Count of a specific token.
+    pub fn count(&self, token: &str) -> u32 {
+        self.counts.get(token).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(token, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.counts.iter().map(|(t, &c)| (t.as_str(), c))
+    }
+
+    /// Size of the set intersection (distinct tokens present in both).
+    pub fn set_intersection(&self, other: &TokenBag) -> usize {
+        // Iterate over the smaller bag for speed.
+        let (small, large) = if self.distinct() <= other.distinct() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.counts.keys().filter(|t| large.counts.contains_key(*t)).count()
+    }
+
+    /// Size of the set union (distinct tokens present in either).
+    pub fn set_union(&self, other: &TokenBag) -> usize {
+        self.distinct() + other.distinct() - self.set_intersection(other)
+    }
+
+    /// The distinct tokens.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.counts.keys().map(String::as_str)
+    }
+}
+
+/// Lowercases and strips non-alphanumeric characters (keeping spaces),
+/// collapsing runs of whitespace — the canonical pre-tokenization cleanup.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            out.extend(ch.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Splits into lowercase word tokens (alphanumeric runs).
+pub fn words(s: &str) -> TokenBag {
+    TokenBag::from_tokens(normalize(s).split(' ').filter(|w| !w.is_empty()).map(String::from))
+}
+
+/// Character q-grams of the *normalized* string, padded with `q − 1`
+/// leading and trailing `#` marks (Magellan's convention, which lets short
+/// strings still produce tokens and weights prefixes/suffixes).
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn qgrams(s: &str, q: usize) -> TokenBag {
+    assert!(q > 0, "q-gram size must be positive");
+    let norm = normalize(s);
+    if norm.is_empty() {
+        return TokenBag::default();
+    }
+    let pad = "#".repeat(q - 1);
+    let padded: Vec<char> = format!("{pad}{norm}{pad}").chars().collect();
+    if padded.len() < q {
+        return TokenBag::from_tokens(std::iter::once(padded.iter().collect()));
+    }
+    TokenBag::from_tokens(padded.windows(q).map(|w| w.iter().collect::<String>()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_strips_punctuation() {
+        assert_eq!(normalize("Hello,  World!"), "hello world");
+        assert_eq!(normalize("  A-B_C  "), "a b c");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn words_splits_on_nonalphanumeric() {
+        let bag = words("The Quick, quick fox");
+        assert_eq!(bag.count("quick"), 2);
+        assert_eq!(bag.count("the"), 1);
+        assert_eq!(bag.distinct(), 3);
+        assert_eq!(bag.len(), 4);
+    }
+
+    #[test]
+    fn qgrams_of_abc_with_q2() {
+        // normalized "abc" padded to "#abc#": #a ab bc c#
+        let bag = qgrams("ABC", 2);
+        assert_eq!(bag.count("#a"), 1);
+        assert_eq!(bag.count("ab"), 1);
+        assert_eq!(bag.count("bc"), 1);
+        assert_eq!(bag.count("c#"), 1);
+        assert_eq!(bag.len(), 4);
+    }
+
+    #[test]
+    fn qgrams_empty_string_yields_empty_bag() {
+        assert!(qgrams("", 3).is_empty());
+        assert!(qgrams("—!", 3).is_empty());
+    }
+
+    #[test]
+    fn qgrams_shorter_than_q_still_tokenize() {
+        let bag = qgrams("a", 3);
+        assert!(!bag.is_empty(), "padding must produce tokens for short strings");
+    }
+
+    #[test]
+    fn set_ops_known_values() {
+        let a = words("red green blue");
+        let b = words("green blue yellow");
+        assert_eq!(a.set_intersection(&b), 2);
+        assert_eq!(a.set_union(&b), 4);
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = words("x y z w");
+        let b = words("y w");
+        assert_eq!(a.set_intersection(&b), b.set_intersection(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "q-gram size")]
+    fn zero_q_panics() {
+        qgrams("abc", 0);
+    }
+}

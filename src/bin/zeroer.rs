@@ -1,0 +1,201 @@
+//! The `zeroer` command-line tool: unsupervised entity resolution over
+//! CSV files.
+//!
+//! ```text
+//! zeroer match <left.csv> <right.csv> [--threshold 0.5] [--overlap N]
+//!              [--block-on ATTR] [--kappa K] [--no-transitivity] [--out pairs.csv]
+//! zeroer dedup <table.csv>          [same flags]
+//! ```
+//!
+//! `match` links records across two CSVs with identical headers; `dedup`
+//! finds duplicate rows inside one CSV. Output is CSV on stdout (or
+//! `--out`): `left_id,right_id,probability` sorted by descending
+//! probability, thresholded at `--threshold`.
+
+use std::process::ExitCode;
+use zeroer::core::ZeroErConfig;
+use zeroer::pipeline::{dedup_table, match_tables, MatchOptions};
+use zeroer::tabular::csv::read_table;
+use zeroer::tabular::Table;
+
+struct Args {
+    command: String,
+    files: Vec<String>,
+    threshold: f64,
+    overlap: usize,
+    block_on: Option<String>,
+    kappa: f64,
+    transitivity: bool,
+    out: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "zeroer — entity resolution with zero labeled examples (SIGMOD 2020)\n\
+     \n\
+     USAGE:\n\
+       zeroer match <left.csv> <right.csv> [flags]   link records across two tables\n\
+       zeroer dedup <table.csv>            [flags]   find duplicates inside one table\n\
+     \n\
+     FLAGS:\n\
+       --threshold <p>     posterior cut-off for reporting a match (default 0.5)\n\
+       --overlap <n>       min shared title tokens for a candidate pair (default 1)\n\
+       --block-on <attr>   attribute name to block on (default: first column)\n\
+       --kappa <k>         regularization strength (default 0.15, the paper's)\n\
+       --no-transitivity   disable the transitivity soft constraint\n\
+       --out <file>        write matches to a CSV file instead of stdout\n"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        files: Vec::new(),
+        threshold: 0.5,
+        overlap: 1,
+        block_on: None,
+        kappa: 0.15,
+        transitivity: true,
+        out: None,
+    };
+    let mut it = argv.iter().peekable();
+    let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                args.threshold = take_value(&mut it, "--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold must be a number".to_string())?;
+            }
+            "--overlap" => {
+                args.overlap = take_value(&mut it, "--overlap")?
+                    .parse()
+                    .map_err(|_| "--overlap must be an integer".to_string())?;
+            }
+            "--block-on" => args.block_on = Some(take_value(&mut it, "--block-on")?),
+            "--kappa" => {
+                args.kappa = take_value(&mut it, "--kappa")?
+                    .parse()
+                    .map_err(|_| "--kappa must be a number".to_string())?;
+            }
+            "--no-transitivity" => args.transitivity = false,
+            "--out" => args.out = Some(take_value(&mut it, "--out")?),
+            "-h" | "--help" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
+            positional => {
+                if args.command.is_empty() {
+                    args.command = positional.to_string();
+                } else {
+                    args.files.push(positional.to_string());
+                }
+            }
+        }
+    }
+    if !(0.0..=1.0).contains(&args.threshold) {
+        return Err("--threshold must lie in [0, 1]".into());
+    }
+    match (args.command.as_str(), args.files.len()) {
+        ("match", 2) | ("dedup", 1) => Ok(args),
+        ("match", n) => Err(format!("`match` needs exactly two CSV files, got {n}")),
+        ("dedup", n) => Err(format!("`dedup` needs exactly one CSV file, got {n}")),
+        (other, _) => Err(format!("unknown command: {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Table, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    read_table(path, &text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn options(args: &Args, schema_probe: &Table) -> Result<MatchOptions, String> {
+    let blocking_attr = match &args.block_on {
+        None => 0,
+        Some(name) => schema_probe
+            .schema()
+            .index_of(name)
+            .ok_or_else(|| format!("no attribute named {name:?} in the input schema"))?,
+    };
+    Ok(MatchOptions {
+        config: ZeroErConfig { kappa: args.kappa, transitivity: args.transitivity, ..Default::default() },
+        blocking_attr,
+        min_token_overlap: args.overlap,
+    })
+}
+
+fn emit(rows: &[(usize, usize, f64)], out: &Option<String>) -> Result<(), String> {
+    let mut text = String::from("left_id,right_id,probability\n");
+    for (l, r, p) in rows {
+        text.push_str(&format!("{l},{r},{p:.4}\n"));
+    }
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    let mut rows: Vec<(usize, usize, f64)>;
+    match args.command.as_str() {
+        "match" => {
+            let left = load(&args.files[0])?;
+            let right = load(&args.files[1])?;
+            let opts = options(&args, &left)?;
+            let result = match_tables(&left, &right, &opts);
+            rows = result
+                .pairs
+                .iter()
+                .zip(&result.probabilities)
+                .filter(|(_, &p)| p >= args.threshold)
+                .map(|(&(l, r), &p)| (l, r, p))
+                .collect();
+            eprintln!(
+                "zeroer: {} candidates, {} matches at threshold {}",
+                result.pairs.len(),
+                rows.len(),
+                args.threshold
+            );
+        }
+        "dedup" => {
+            let table = load(&args.files[0])?;
+            let opts = options(&args, &table)?;
+            let result = dedup_table(&table, &opts);
+            rows = result
+                .pairs
+                .iter()
+                .zip(&result.probabilities)
+                .filter(|(_, &p)| p >= args.threshold)
+                .map(|(&(a, b), &p)| (a, b, p))
+                .collect();
+            eprintln!(
+                "zeroer: {} candidates, {} duplicate pairs, {} clusters",
+                result.pairs.len(),
+                rows.len(),
+                result.clusters.len()
+            );
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
+    emit(&rows, &args.out)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            eprint!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

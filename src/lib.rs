@@ -1,0 +1,68 @@
+//! # ZeroER — entity resolution with zero labeled examples
+//!
+//! A full Rust reproduction of *ZeroER: Entity Resolution using Zero
+//! Labeled Examples* (SIGMOD 2020; arXiv preprint title "AutoER"). The
+//! workspace implements the paper's generative model plus every substrate
+//! it depends on: similarity measures, Magellan-style automatic feature
+//! generation, blocking, baselines, evaluation protocols and synthetic
+//! benchmark generators.
+//!
+//! This façade crate re-exports the sub-crates and offers a high-level
+//! [`pipeline`] API for the common cases:
+//!
+//! ```
+//! use zeroer::pipeline::{match_tables, MatchOptions};
+//! use zeroer::tabular::csv::read_table;
+//!
+//! let left = read_table(
+//!     "restaurants-a",
+//!     "name,city\n\
+//!      Ritz Carlton Cafe,new york\n\
+//!      Joe's Diner,boston\n\
+//!      Golden Dragon Palace,seattle\n\
+//!      Rustic Oak Kitchen,denver\n\
+//!      Blue Harbor Grill,miami\n",
+//! )
+//! .unwrap();
+//! let right = read_table(
+//!     "restaurants-b",
+//!     "name,city\n\
+//!      Ritz-Carlton Café,new york city\n\
+//!      Golden Dragon Palace,seattle\n\
+//!      Rustic Oak Kitchn,denver\n\
+//!      Smoky Cellar Tavern,austin\n\
+//!      Harbor View Bistro,portland\n",
+//! )
+//! .unwrap();
+//!
+//! let result = match_tables(&left, &right, &MatchOptions::default());
+//! assert!(result.matches().any(|(l, r, _)| l == 0 && r == 0));
+//! assert!(result.matches().any(|(l, r, _)| l == 2 && r == 1));
+//! ```
+//!
+//! Crate map:
+//!
+//! * [`core`] — the ZeroER generative model, EM, transitivity (§3–§6);
+//! * [`features`] — automatic similarity-feature generation (§2.1);
+//! * [`blocking`] — candidate-set generation;
+//! * [`textsim`] — string/numeric similarity measures;
+//! * [`tabular`] — records, schemas, type inference, CSV;
+//! * [`linalg`] — the small dense linear algebra the model needs;
+//! * [`baselines`] — k-means / GMM / ECM / LR / RF / MLP comparators (§7.1);
+//! * [`eval`] — F-score, splits, CV, oversampling;
+//! * [`datagen`] — synthetic stand-ins for the six benchmark datasets.
+
+pub use zeroer_baselines as baselines;
+pub use zeroer_blocking as blocking;
+pub use zeroer_core as core;
+pub use zeroer_datagen as datagen;
+pub use zeroer_eval as eval;
+pub use zeroer_features as features;
+pub use zeroer_linalg as linalg;
+pub use zeroer_tabular as tabular;
+pub use zeroer_textsim as textsim;
+
+pub mod pipeline;
+
+pub use crate::core::ZeroErConfig;
+pub use pipeline::{dedup_table, match_tables, DedupResult, MatchOptions, MatchResult};

@@ -1,0 +1,231 @@
+//! High-level end-to-end matching pipelines.
+//!
+//! These wrap the full paper pipeline — blocking → automatic feature
+//! generation → min-max normalization → the ZeroER generative model (with
+//! the three-model transitivity trainer for record linkage) — behind two
+//! calls: [`match_tables`] for record linkage (`T ≠ T'`) and
+//! [`dedup_table`] for deduplication (`T = T'`).
+
+use zeroer_blocking::{Blocker, CandidateSet, PairMode, QgramBlocker, TokenBlocker, UnionBlocker};
+use zeroer_core::{GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, ZeroErConfig};
+use zeroer_features::PairFeaturizer;
+use zeroer_tabular::Table;
+
+/// Options for the high-level pipelines.
+#[derive(Debug, Clone)]
+pub struct MatchOptions {
+    /// Model configuration (defaults to the paper's full system).
+    pub config: ZeroErConfig,
+    /// Attribute index used as the blocking key (default 0 — the
+    /// name/title column in every benchmark schema).
+    pub blocking_attr: usize,
+    /// Minimum shared word tokens for a candidate pair (1 = any shared
+    /// token, unioned with q-gram blocking for typo robustness; ≥ 2 =
+    /// overlap blocking for multi-word keys).
+    pub min_token_overlap: usize,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        Self { config: ZeroErConfig::default(), blocking_attr: 0, min_token_overlap: 1 }
+    }
+}
+
+impl MatchOptions {
+    fn blocker(&self) -> Box<dyn Blocker + Send + Sync> {
+        if self.min_token_overlap <= 1 {
+            Box::new(UnionBlocker::new(vec![
+                Box::new(TokenBlocker::new(self.blocking_attr)),
+                Box::new(QgramBlocker::new(self.blocking_attr, 4)),
+            ]))
+        } else {
+            Box::new(TokenBlocker::with_overlap(self.blocking_attr, self.min_token_overlap))
+        }
+    }
+}
+
+fn build_task(left: &Table, right: &Table, cs: &CandidateSet) -> LinkageTask {
+    let fz = PairFeaturizer::new(left, right);
+    let mut fs = fz.featurize(cs.pairs());
+    fs.normalize();
+    LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout)
+}
+
+/// Result of [`match_tables`].
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// Candidate pairs as `(left index, right index)`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Posterior match probability per candidate pair.
+    pub probabilities: Vec<f64>,
+    /// Hard labels at the 0.5 posterior threshold (Eq. 5).
+    pub labels: Vec<bool>,
+}
+
+impl MatchResult {
+    /// Iterates over predicted matches as `(left, right, probability)`.
+    pub fn matches(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.pairs
+            .iter()
+            .zip(&self.probabilities)
+            .zip(&self.labels)
+            .filter(|(_, &keep)| keep)
+            .map(|(((l, r), &p), _)| (*l, *r, p))
+    }
+
+    /// Number of predicted matches.
+    pub fn num_matches(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Record linkage between two tables with aligned schemas: the paper's
+/// full pipeline with the three-model transitivity trainer (§5).
+///
+/// # Panics
+/// Panics if the schemas differ.
+pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchResult {
+    assert_eq!(left.schema(), right.schema(), "match_tables requires aligned schemas");
+    let blocker = opts.blocker();
+    let cross_cs = blocker.candidates(left, right, PairMode::Cross);
+    if cross_cs.is_empty() {
+        return MatchResult { pairs: vec![], probabilities: vec![], labels: vec![] };
+    }
+    let left_cs = blocker.candidates(left, left, PairMode::Dedup);
+    let right_cs = blocker.candidates(right, right, PairMode::Dedup);
+
+    let cross = build_task(left, right, &cross_cs);
+    let left_task = build_task(left, left, &left_cs);
+    let right_task = build_task(right, right, &right_cs);
+
+    let out = LinkageModel::new(opts.config.clone()).fit(&cross, &left_task, &right_task);
+    MatchResult {
+        pairs: cross.pairs,
+        probabilities: out.cross_gammas,
+        labels: out.cross_labels,
+    }
+}
+
+/// Result of [`dedup_table`].
+#[derive(Debug, Clone)]
+pub struct DedupResult {
+    /// Candidate pairs as `(i, j)` with `i < j`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Posterior duplicate probability per pair.
+    pub probabilities: Vec<f64>,
+    /// Hard labels at the 0.5 threshold.
+    pub labels: Vec<bool>,
+    /// Duplicate clusters: connected components over the predicted
+    /// duplicate pairs (singletons omitted).
+    pub clusters: Vec<Vec<usize>>,
+}
+
+/// Deduplicates one table: blocking within the table, one generative
+/// model, transitivity calibration (§5's `T = T'` case), and a final
+/// transitive-closure clustering of the predicted duplicates.
+pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
+    let blocker = opts.blocker();
+    let cs = blocker.candidates(table, table, PairMode::Dedup);
+    if cs.is_empty() {
+        return DedupResult { pairs: vec![], probabilities: vec![], labels: vec![], clusters: vec![] };
+    }
+    let task = build_task(table, table, &cs);
+    let mut model = GenerativeModel::new(opts.config.clone(), task.layout.clone());
+    let calibrator = TransitivityCalibrator::new(&task.pairs);
+    model.fit(&task.features, Some(&calibrator));
+    let labels = model.labels();
+    let probabilities = model.gammas().to_vec();
+
+    // Transitive closure over predicted duplicates (union-find).
+    let n = table.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (&(a, b), &dup) in task.pairs.iter().zip(&labels) {
+        if dup {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut clusters: Vec<Vec<usize>> =
+        groups.into_values().filter(|g| g.len() > 1).collect();
+    clusters.sort();
+
+    DedupResult { pairs: task.pairs, probabilities, labels, clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::csv::read_table;
+
+    fn left() -> Table {
+        read_table(
+            "l",
+            "name,city,year\n\
+             Golden Dragon Palace,new york,1999\n\
+             Blue Sky Tavern,austin,2005\n\
+             Rustic Oak Kitchen,denver,2010\n",
+        )
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        read_table(
+            "r",
+            "name,city,year\n\
+             Golden Dragon Palace,new york,1999\n\
+             Rustic Oak Kitchn,denver,2010\n\
+             Totally Unrelated Bistro,miami,1987\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn match_tables_finds_obvious_pairs() {
+        let result = match_tables(&left(), &right(), &MatchOptions::default());
+        let matched: Vec<(usize, usize)> =
+            result.matches().map(|(l, r, _)| (l, r)).collect();
+        assert!(matched.contains(&(0, 0)), "exact duplicate must match: {matched:?}");
+        assert!(matched.contains(&(2, 1)), "typo'd duplicate must match: {matched:?}");
+        assert!(!matched.contains(&(1, 2)), "unrelated records must not match");
+    }
+
+    #[test]
+    fn dedup_clusters_duplicates() {
+        let table = read_table(
+            "t",
+            "name,city\n\
+             Golden Dragon,new york\n\
+             Golden Dragon Palace,new york\n\
+             Blue Sky Tavern,austin\n\
+             Golden Dragn,new york\n",
+        )
+        .unwrap();
+        let result = dedup_table(&table, &MatchOptions::default());
+        assert_eq!(result.clusters.len(), 1, "one duplicate cluster: {:?}", result.clusters);
+        let cluster = &result.clusters[0];
+        assert!(cluster.contains(&0) && cluster.contains(&3), "{cluster:?}");
+    }
+
+    #[test]
+    fn empty_candidate_sets_are_handled() {
+        let l = read_table("l", "name\ncompletely\n").unwrap();
+        let r = read_table("r", "name\ndifferent\n").unwrap();
+        let result = match_tables(&l, &r, &MatchOptions::default());
+        assert_eq!(result.num_matches(), 0);
+        assert!(result.pairs.is_empty());
+    }
+}

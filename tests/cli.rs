@@ -1,0 +1,128 @@
+//! Integration tests for the `zeroer` CLI binary.
+
+use std::process::Command;
+
+fn zeroer_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_zeroer")
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("zeroer-cli-test-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp CSV");
+    path
+}
+
+const LEFT: &str = "title,year\n\
+    efficient query processing systems,2014\n\
+    adaptive learning frameworks,2016\n\
+    graph mining at scale,2012\n\
+    distributed storage engines,2018\n";
+
+const RIGHT: &str = "title,year\n\
+    efficient query procesing systems,2014\n\
+    completely unrelated survey,2015\n\
+    graph mining at scale,2012\n\
+    distributed storage engine,2018\n";
+
+#[test]
+fn match_command_emits_expected_pairs() {
+    let l = write_tmp("l1", LEFT);
+    let r = write_tmp("r1", RIGHT);
+    let out = Command::new(zeroer_bin())
+        .args(["match", l.to_str().unwrap(), r.to_str().unwrap()])
+        .output()
+        .expect("spawn zeroer");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("left_id,right_id,probability"));
+    assert!(stdout.contains("0,0,"), "typo'd title must match: {stdout}");
+    assert!(stdout.contains("2,2,"), "exact title must match: {stdout}");
+    assert!(!stdout.contains("1,1,"), "unrelated rows must not match: {stdout}");
+}
+
+#[test]
+fn threshold_flag_filters_output() {
+    let l = write_tmp("l2", LEFT);
+    let r = write_tmp("r2", RIGHT);
+    let out = Command::new(zeroer_bin())
+        .args(["match", l.to_str().unwrap(), r.to_str().unwrap(), "--threshold", "1.1"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success(), "threshold outside [0,1] must be rejected");
+}
+
+#[test]
+fn out_flag_writes_file() {
+    let l = write_tmp("l3", LEFT);
+    let r = write_tmp("r3", RIGHT);
+    let dst = std::env::temp_dir().join(format!("zeroer-out-{}.csv", std::process::id()));
+    let out = Command::new(zeroer_bin())
+        .args([
+            "match",
+            l.to_str().unwrap(),
+            r.to_str().unwrap(),
+            "--out",
+            dst.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&dst).expect("output file written");
+    assert!(written.starts_with("left_id,right_id,probability"));
+    std::fs::remove_file(dst).ok();
+}
+
+#[test]
+fn dedup_command_runs() {
+    let t = write_tmp(
+        "d1",
+        "name\nGolden Dragon Palace\nGolden Dragon Palce\nBlue Sky Tavern\nRustic Oak Kitchen\n",
+    );
+    let out = Command::new(zeroer_bin())
+        .args(["dedup", t.to_str().unwrap()])
+        .output()
+        .expect("spawn zeroer");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0,1,"), "near-duplicate names must pair: {stdout}");
+}
+
+#[test]
+fn unknown_flag_is_an_error_with_usage() {
+    let out = Command::new(zeroer_bin())
+        .args(["match", "a.csv", "b.csv", "--bogus"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = Command::new(zeroer_bin())
+        .args(["match", "/nonexistent/a.csv", "/nonexistent/b.csv"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn block_on_validates_attribute_names() {
+    let l = write_tmp("l4", LEFT);
+    let r = write_tmp("r4", RIGHT);
+    let out = Command::new(zeroer_bin())
+        .args([
+            "match",
+            l.to_str().unwrap(),
+            r.to_str().unwrap(),
+            "--block-on",
+            "ghost_column",
+        ])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no attribute named"));
+}

@@ -1,0 +1,105 @@
+//! Failure injection: degenerate inputs the full stack must survive.
+
+use zeroer::core::{GenerativeModel, TransitivityCalibrator, ZeroErConfig};
+use zeroer::features::PairFeaturizer;
+use zeroer::linalg::block::GroupLayout;
+use zeroer::linalg::Matrix;
+use zeroer::pipeline::{dedup_table, match_tables, MatchOptions};
+use zeroer::tabular::{Record, Schema, Table, Value};
+
+#[test]
+fn all_identical_features_do_not_crash_em() {
+    // Every pair identical: a fully degenerate feature matrix (the
+    // worst-case singularity input).
+    let x = Matrix::from_vec(50, 4, vec![0.7; 200]);
+    let mut m = GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2, 2]));
+    let summary = m.fit(&x, None);
+    assert!(summary.iterations >= 1);
+    assert!(m.gammas().iter().all(|g| g.is_finite()));
+}
+
+#[test]
+fn zero_variance_columns_survive_every_ablation() {
+    use zeroer::core::{FeatureDependence, Regularization};
+    let mut data = Vec::new();
+    for i in 0..60 {
+        data.push(if i < 6 { 0.9 } else { 0.1 }); // informative
+        data.push(0.5); // constant
+        data.push(0.0); // constant at zero
+    }
+    let x = Matrix::from_vec(60, 3, data);
+    for dep in [
+        FeatureDependence::Full,
+        FeatureDependence::Independent,
+        FeatureDependence::Grouped,
+    ] {
+        for reg in [Regularization::None, Regularization::Tikhonov, Regularization::Adaptive] {
+            let mut m = GenerativeModel::new(
+                ZeroErConfig::ablation(dep, reg),
+                GroupLayout::from_sizes(&[1, 1, 1]),
+            );
+            m.fit(&x, None);
+            assert!(
+                m.gammas().iter().all(|g| g.is_finite()),
+                "{dep:?}/{reg:?} produced non-finite posteriors"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_null_attribute_is_tolerated() {
+    let schema = Schema::new(["name", "ghost"]);
+    let mut l = Table::new("l", schema.clone());
+    let mut r = Table::new("r", schema);
+    for i in 0..12u32 {
+        l.push(Record::new(i, vec![format!("item number {i}").into(), Value::Null]));
+        r.push(Record::new(i, vec![format!("item number {i}").into(), Value::Null]));
+    }
+    let result = match_tables(&l, &r, &MatchOptions::default());
+    assert!(!result.pairs.is_empty());
+    assert!(result.probabilities.iter().all(|p| p.is_finite()));
+}
+
+#[test]
+fn single_record_tables_yield_empty_results() {
+    let schema = Schema::new(["name"]);
+    let mut l = Table::new("l", schema.clone());
+    l.push(Record::new(0, vec!["lonely".into()]));
+    let result = dedup_table(&l, &MatchOptions::default());
+    assert!(result.pairs.is_empty());
+    assert!(result.clusters.is_empty());
+}
+
+#[test]
+fn featurizer_handles_pairs_of_fully_null_records() {
+    let schema = Schema::new(["a", "b"]);
+    let mut t = Table::new("t", schema);
+    t.push(Record::new(0, vec![Value::Null, Value::Null]));
+    t.push(Record::new(1, vec!["x".into(), Value::Int(3)]));
+    let fz = PairFeaturizer::new(&t, &t);
+    let fs = fz.featurize(&[(0, 1), (0, 0)]);
+    assert!(!fs.matrix.has_non_finite(), "imputation must clear all NaNs");
+}
+
+#[test]
+fn calibrator_with_self_consistent_chain_terminates() {
+    // A long chain of overlapping triangles must not oscillate or panic.
+    let pairs: Vec<(usize, usize)> = (0..50).map(|i| (i, i + 1)).chain((0..49).map(|i| (i, i + 2))).collect();
+    let cal = TransitivityCalibrator::new(&pairs);
+    let mut gammas = vec![0.9; pairs.len()];
+    for _ in 0..5 {
+        cal.calibrate(&mut gammas);
+    }
+    assert!(gammas.iter().all(|g| (0.0..=1.0).contains(g)));
+}
+
+#[test]
+fn tiny_candidate_sets_fit() {
+    // Two pairs is the minimum the mixture can say anything about.
+    let x = Matrix::from_rows(&[&[0.9, 0.95], &[0.1, 0.05]]);
+    let mut m = GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2]));
+    m.fit(&x, None);
+    let labels = m.labels();
+    assert!(labels[0] || !labels[1], "ordering of the two pairs must be sane");
+}
