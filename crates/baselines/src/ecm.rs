@@ -31,7 +31,12 @@ struct EcmParams {
 
 impl Default for EcmClassifier {
     fn default() -> Self {
-        Self { threshold: 0.8, max_iter: 200, tol: 1e-6, params: None }
+        Self {
+            threshold: 0.8,
+            max_iter: 200,
+            tol: 1e-6,
+            params: None,
+        }
     }
 }
 
@@ -41,7 +46,10 @@ const P_CLAMP: (f64, f64) = (1e-4, 1.0 - 1e-4);
 impl EcmClassifier {
     /// Creates an ECM matcher with a custom binarization threshold.
     pub fn new(threshold: f64) -> Self {
-        Self { threshold, ..Default::default() }
+        Self {
+            threshold,
+            ..Default::default()
+        }
     }
 
     fn binarize(&self, x: &Matrix) -> Vec<Vec<bool>> {
@@ -59,7 +67,9 @@ impl EcmClassifier {
 
     /// Fitted Bernoulli parameters `(π_M, m, u)` (after `fit`).
     pub fn parameters(&self) -> Option<(f64, &[f64], &[f64])> {
-        self.params.as_ref().map(|p| (p.pi_m, p.m.as_slice(), p.u.as_slice()))
+        self.params
+            .as_ref()
+            .map(|p| (p.pi_m, p.m.as_slice(), p.u.as_slice()))
     }
 }
 
@@ -190,7 +200,10 @@ mod tests {
         let (x, _) = bernoulli_data();
         let mut ecm = EcmClassifier::default();
         ecm.fit(&x, &[]);
-        assert!(ecm.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(ecm
+            .predict_proba(&x)
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p)));
     }
 
     #[test]
@@ -207,6 +220,9 @@ mod tests {
         let p = ecm.predict_proba(&x);
         let spread = p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - p.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread < 1e-6, "uniform binarized data must give uniform posteriors");
+        assert!(
+            spread < 1e-6,
+            "uniform binarized data must give uniform posteriors"
+        );
     }
 }

@@ -26,12 +26,21 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates a forest with the paper's defaults (100 trees).
     pub fn new(min_samples_leaf: usize, seed: u64) -> Self {
-        Self { n_trees: 100, max_depth: 12, min_samples_leaf, seed, trees: Vec::new() }
+        Self {
+            n_trees: 100,
+            max_depth: 12,
+            min_samples_leaf,
+            seed,
+            trees: Vec::new(),
+        }
     }
 
     /// Smaller, faster forest for tests and quick experiments.
     pub fn small(min_samples_leaf: usize, seed: u64) -> Self {
-        Self { n_trees: 25, ..Self::new(min_samples_leaf, seed) }
+        Self {
+            n_trees: 25,
+            ..Self::new(min_samples_leaf, seed)
+        }
     }
 }
 
@@ -63,7 +72,11 @@ impl Classifier for RandomForest {
         (0..x.rows())
             .map(|i| {
                 let row = x.row(i);
-                self.trees.iter().map(|(t, _)| t.predict_row(row)).sum::<f64>() / k
+                self.trees
+                    .iter()
+                    .map(|(t, _)| t.predict_row(row))
+                    .sum::<f64>()
+                    / k
             })
             .collect()
     }
@@ -131,9 +144,7 @@ mod tests {
         shallow.fit(&x, &y);
         // The heavily-regularized forest must produce smoother (less
         // extreme) probabilities on average.
-        let extremity = |p: &[f64]| {
-            p.iter().map(|v| (v - 0.5).abs()).sum::<f64>() / p.len() as f64
-        };
+        let extremity = |p: &[f64]| p.iter().map(|v| (v - 0.5).abs()).sum::<f64>() / p.len() as f64;
         assert!(extremity(&shallow.predict_proba(&x)) <= extremity(&deep.predict_proba(&x)));
     }
 }

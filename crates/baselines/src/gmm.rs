@@ -35,14 +35,22 @@ struct GmmState {
 
 impl Default for GaussianMixture {
     fn default() -> Self {
-        Self { reg_covar: 1e-6, max_iter: 100, tol: 1e-5, state: None }
+        Self {
+            reg_covar: 1e-6,
+            max_iter: 100,
+            tol: 1e-5,
+            state: None,
+        }
     }
 }
 
 impl GaussianMixture {
     /// Creates the baseline with a chosen regularization constant.
     pub fn new(reg_covar: f64) -> Self {
-        Self { reg_covar, ..Default::default() }
+        Self {
+            reg_covar,
+            ..Default::default()
+        }
     }
 
     fn build_gaussian(
@@ -98,6 +106,7 @@ impl Classifier for GaussianMixture {
             let u = Self::build_gaussian(x, &gu, self.reg_covar, &layout);
             // E-step.
             let mut ll = 0.0;
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 let row = x.row(i);
                 let lm = pi_m.ln() + m.log_pdf(row);

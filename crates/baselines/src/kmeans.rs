@@ -31,13 +31,22 @@ pub struct KMeans {
 impl KMeans {
     /// Standard k-means ("K-Means (SK)").
     pub fn standard(seed: u64) -> Self {
-        Self { match_weight: 1.0, n_init: 5, max_iter: 100, seed, centroids: None }
+        Self {
+            match_weight: 1.0,
+            n_init: 5,
+            max_iter: 100,
+            seed,
+            centroids: None,
+        }
     }
 
     /// Class-weighted variant ("K-Means (RL)"): match-side distances are
     /// scaled by 0.5, biasing assignment toward the minority cluster.
     pub fn class_weighted(seed: u64) -> Self {
-        Self { match_weight: 0.5, ..Self::standard(seed) }
+        Self {
+            match_weight: 0.5,
+            ..Self::standard(seed)
+        }
     }
 
     fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -50,7 +59,9 @@ impl KMeans {
         let n = x.rows();
         // k-means++ for k=2: first random, second proportional to d².
         let first = rng.gen_range(0..n);
-        let d2: Vec<f64> = (0..n).map(|i| Self::sq_dist(x.row(i), x.row(first))).collect();
+        let d2: Vec<f64> = (0..n)
+            .map(|i| Self::sq_dist(x.row(i), x.row(first)))
+            .collect();
         let total: f64 = d2.iter().sum();
         let second = if total > 0.0 {
             let mut target = rng.gen_range(0.0..total);
@@ -71,6 +82,7 @@ impl KMeans {
         let mut assign = vec![0usize; n];
         for _ in 0..self.max_iter {
             let mut changed = false;
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 let d0 = Self::sq_dist(x.row(i), &centroids[0]);
                 let d1 = Self::sq_dist(x.row(i), &centroids[1]);
@@ -100,7 +112,9 @@ impl KMeans {
                 break;
             }
         }
-        let inertia: f64 = (0..n).map(|i| Self::sq_dist(x.row(i), &centroids[assign[i]])).sum();
+        let inertia: f64 = (0..n)
+            .map(|i| Self::sq_dist(x.row(i), &centroids[assign[i]]))
+            .sum();
         (centroids, inertia)
     }
 }

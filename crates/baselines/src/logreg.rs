@@ -30,7 +30,14 @@ impl Default for LogisticRegression {
 impl LogisticRegression {
     /// Creates an LR with the given L2 strength.
     pub fn new(l2: f64) -> Self {
-        Self { l2, max_iter: 300, lr: 0.5, weights: Vec::new(), bias: 0.0, scaler: None }
+        Self {
+            l2,
+            max_iter: 300,
+            lr: 0.5,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: None,
+        }
     }
 
     /// The learned weight vector (after `fit`).
@@ -58,6 +65,7 @@ impl Classifier for LogisticRegression {
         for _ in 0..self.max_iter {
             grad.iter_mut().for_each(|g| *g = 0.0);
             let mut gb = 0.0;
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 let row = xs.row(i);
                 let z: f64 = b + row.iter().zip(&w).map(|(a, c)| a * c).sum::<f64>();
@@ -83,7 +91,11 @@ impl Classifier for LogisticRegression {
         (0..xs.rows())
             .map(|i| {
                 let z: f64 = self.bias
-                    + xs.row(i).iter().zip(&self.weights).map(|(a, c)| a * c).sum::<f64>();
+                    + xs.row(i)
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, c)| a * c)
+                        .sum::<f64>();
                 sigmoid(z)
             })
             .collect()

@@ -25,7 +25,9 @@ impl Layer {
     fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
         // He initialization for ReLU layers.
         let scale = (2.0 / n_in as f64).sqrt();
-        let w = (0..n_in * n_out).map(|_| rng.gen_range(-scale..scale)).collect();
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         Self {
             w,
             b: vec![0.0; n_out],
@@ -67,7 +69,15 @@ pub struct Mlp {
 impl Mlp {
     /// Creates the 50/10 architecture with a given L2 strength.
     pub fn new(l2: f64, seed: u64) -> Self {
-        Self { l2, epochs: 150, lr: 5e-3, seed, layers: Vec::new(), scaler: None, adam_t: 0 }
+        Self {
+            l2,
+            epochs: 150,
+            lr: 5e-3,
+            seed,
+            layers: Vec::new(),
+            scaler: None,
+            adam_t: 0,
+        }
     }
 
     fn adam_update(t: usize, lr: f64, p: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]) {
@@ -121,10 +131,9 @@ impl Classifier for Mlp {
 
         // Gradient buffers mirroring each layer.
         for _ in 0..self.epochs {
-            let mut gw: Vec<Vec<f64>> =
-                self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-            let mut gb: Vec<Vec<f64>> =
-                self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+            let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 let (acts, p) = self.forward_all(xs.row(i));
                 let target = f64::from(u8::from(y[i]));
@@ -147,6 +156,7 @@ impl Classifier for Mlp {
                     // Back-propagate through weights and the ReLU of the
                     // previous layer.
                     let mut prev = vec![0.0; layer.n_in];
+                    #[allow(clippy::needless_range_loop)]
                     for o in 0..layer.n_out {
                         let wrow = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
                         for (pd, &wv) in prev.iter_mut().zip(wrow) {
@@ -184,7 +194,9 @@ impl Classifier for Mlp {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         let scaler = self.scaler.as_ref().expect("fit before predict");
         let xs = scaler.transform(x);
-        (0..xs.rows()).map(|i| self.forward_all(xs.row(i)).1).collect()
+        (0..xs.rows())
+            .map(|i| self.forward_all(xs.row(i)).1)
+            .collect()
     }
 }
 
@@ -247,7 +259,10 @@ mod tests {
         let mut mlp = Mlp::new(1e-4, 1);
         mlp.epochs = 50;
         mlp.fit(&x, &y);
-        assert!(mlp.predict_proba(&x).iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(mlp
+            .predict_proba(&x)
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p)));
     }
 
     #[test]

@@ -46,7 +46,11 @@ fn gini_pair(pos_l: f64, n_l: f64, pos_r: f64, n_r: f64) -> f64 {
 impl DecisionTree {
     /// Creates an unfitted tree.
     pub fn new(max_depth: usize, min_samples_leaf: usize) -> Self {
-        Self { max_depth, min_samples_leaf, root: None }
+        Self {
+            max_depth,
+            min_samples_leaf,
+            root: None,
+        }
     }
 
     /// Fits on the rows of `x` given by `idx` (with repetition allowed),
@@ -122,8 +126,17 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { proba } => return *proba,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -165,6 +178,7 @@ mod tests {
         let idx: Vec<usize> = (0..x.rows()).collect();
         let mut t = DecisionTree::new(3, 1);
         t.fit_subset(&x, &y, &idx, &[0, 1]);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..x.rows() {
             assert_eq!(t.predict_row(x.row(i)) > 0.5, y[i]);
         }

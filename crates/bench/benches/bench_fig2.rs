@@ -85,5 +85,8 @@ fn main() {
     let a = across.0 / across.1.max(1) as f64;
     println!("\nmean |corr| within attribute groups : {w:.3}");
     println!("mean |corr| across attribute groups : {a:.3}");
-    println!("banding contrast (within / across)  : {:.1}x", w / a.max(1e-9));
+    println!(
+        "banding contrast (within / across)  : {:.1}x",
+        w / a.max(1e-9)
+    );
 }

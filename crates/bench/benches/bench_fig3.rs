@@ -44,8 +44,8 @@ fn feature_data(which: char, seed: u64) -> (Matrix, Vec<bool>) {
     let mut truth = Vec::new();
     for _ in 0..40 {
         data.push(match which {
-            '1' => 1.0,  // exactly degenerate, large gap to U
-            _ => 0.45,   // exactly degenerate, small gap to U
+            '1' => 1.0, // exactly degenerate, large gap to U
+            _ => 0.45,  // exactly degenerate, small gap to U
         });
         truth.push(true);
     }
@@ -63,12 +63,16 @@ fn main() {
     println!("== Figure 3: singularity & regularization on degenerate features ==\n");
     // Tikhonov κ is "tuned for f1" (the paper's Example 1); adaptive uses
     // the system default κ = 0.15 with K = κ(µM − µU)².
-    let regimes: [(&str, Box<dyn Fn(f64, f64) -> f64>); 3] = [
+    type Regime = (&'static str, Box<dyn Fn(f64, f64) -> f64>);
+    let regimes: [Regime; 3] = [
         ("none", Box::new(|_mu_m: f64, _mu_u: f64| 0.0)),
         // κ giving f1 the same spread the adaptive scheme would choose —
         // "a κ chosen to regularize f1 very well" (Example 1).
         ("Tikhonov", Box::new(|_, _| 0.09)),
-        ("adaptive", Box::new(|mu_m, mu_u| 0.15 * (mu_m - mu_u) * (mu_m - mu_u))),
+        (
+            "adaptive",
+            Box::new(|mu_m, mu_u| 0.15 * (mu_m - mu_u) * (mu_m - mu_u)),
+        ),
     ];
     let mut rows = Vec::new();
     for which in ['1', '2'] {
@@ -96,7 +100,16 @@ fn main() {
         }
     }
     print_table(
-        &["feature", "regularization", "mu_M", "sigma_M", "mu_U", "sigma_U", "overlap", "separation"],
+        &[
+            "feature",
+            "regularization",
+            "mu_M",
+            "sigma_M",
+            "mu_U",
+            "sigma_U",
+            "overlap",
+            "separation",
+        ],
         &rows,
     );
     println!(

@@ -39,11 +39,15 @@ fn f1_at_fraction(p: &Prepared, frac: f64, seed: u64) -> f64 {
         }
         zeroer_linalg::Matrix::from_vec(k, d, data)
     };
-    let cfg = ZeroErConfig { transitivity: false, ..Default::default() };
+    let cfg = ZeroErConfig {
+        transitivity: false,
+        ..Default::default()
+    };
     let mut m = GenerativeModel::new(cfg, p.cross.layout.clone());
     m.fit(&sub, None);
-    let preds: Vec<bool> =
-        (0..n).map(|i| m.posterior(p.cross.features.row(i)) > 0.5).collect();
+    let preds: Vec<bool> = (0..n)
+        .map(|i| m.posterior(p.cross.features.row(i)) > 0.5)
+        .collect();
     f_score(&preds, &p.labels)
 }
 
@@ -57,7 +61,10 @@ fn main() {
     for (profile, p) in profiles.iter().zip(&prepared) {
         let mut row = vec![profile.notation.to_string()];
         for &k in KAPPAS {
-            let c = ZeroErConfig { kappa: k, ..Default::default() };
+            let c = ZeroErConfig {
+                kappa: k,
+                ..Default::default()
+            };
             row.push(fmt_f1(zeroer_f1(p, c)));
         }
         rows.push(row);
@@ -72,7 +79,10 @@ fn main() {
     for (profile, p) in profiles.iter().zip(&prepared) {
         let mut row = vec![profile.notation.to_string()];
         for &e in EPSILONS {
-            let c = ZeroErConfig { init_threshold: e, ..Default::default() };
+            let c = ZeroErConfig {
+                init_threshold: e,
+                ..Default::default()
+            };
             row.push(fmt_f1(zeroer_f1(p, c)));
         }
         rows.push(row);
@@ -91,8 +101,10 @@ fn main() {
         }
         rows.push(row);
     }
-    let frac_headers: Vec<String> =
-        FRACTIONS.iter().map(|f| format!("{}%", (f * 100.0) as u32)).collect();
+    let frac_headers: Vec<String> = FRACTIONS
+        .iter()
+        .map(|f| format!("{}%", (f * 100.0) as u32))
+        .collect();
     let mut headers: Vec<&str> = vec!["Dataset"];
     headers.extend(frac_headers.iter().map(String::as_str));
     print_table(&headers, &rows);

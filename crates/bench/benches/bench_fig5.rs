@@ -35,7 +35,10 @@ fn main() {
         }
         let sub = Matrix::from_vec(k, d, data);
         let mut m = GenerativeModel::new(
-            ZeroErConfig { transitivity: false, ..Default::default() },
+            ZeroErConfig {
+                transitivity: false,
+                ..Default::default()
+            },
             p.cross.layout.clone(),
         );
         m.initialize(&sub);
@@ -58,7 +61,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["data", "pairs", "ms/iteration", "measured ratio", "linear ratio"],
+        &[
+            "data",
+            "pairs",
+            "ms/iteration",
+            "measured ratio",
+            "linear ratio",
+        ],
         &rows,
     );
     println!("\nReading: the measured ratio should track the linear ratio — the");

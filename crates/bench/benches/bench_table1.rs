@@ -11,7 +11,10 @@ use zeroer_datagen::all_profiles;
 fn main() {
     let cfg = ExperimentConfig::from_env();
     println!("== Table 1: dataset characteristics ==");
-    println!("(paper counts at scale 1.0; generated at scale {})\n", cfg.scale);
+    println!(
+        "(paper counts at scale 1.0; generated at scale {})\n",
+        cfg.scale
+    );
     let mut rows = Vec::new();
     for profile in all_profiles() {
         let p = prepare(&profile, &cfg);

@@ -50,7 +50,9 @@ fn main() {
         ]);
     }
     print_table(
-        &["Dataset", "ZeroER", "ECM", "kM(RL)", "kM(SK)", "GMM", "RF", "LR", "MLP", "time"],
+        &[
+            "Dataset", "ZeroER", "ECM", "kM(RL)", "kM(SK)", "GMM", "RF", "LR", "MLP", "time",
+        ],
         &rows,
     );
 }

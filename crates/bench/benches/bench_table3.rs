@@ -21,7 +21,10 @@ const FRACTIONS: &[f64] = &[0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5]
 fn main() {
     let cfg = ExperimentConfig::from_env();
     println!("== Table 3: labeled pairs needed to match ZeroER ==");
-    println!("(scale {}, {} run(s) per point; 100% = needs every available label)\n", cfg.scale, cfg.runs);
+    println!(
+        "(scale {}, {} run(s) per point; 100% = needs every available label)\n",
+        cfg.scale, cfg.runs
+    );
     let mut rows = Vec::new();
     for profile in all_profiles() {
         let p = prepare(&profile, &cfg);
@@ -63,7 +66,13 @@ fn main() {
     }
     print_table(
         &[
-            "Dataset", "ZeroER F", "LR Pct", "LR Pairs", "RF Pct", "RF Pairs", "MLP Pct",
+            "Dataset",
+            "ZeroER F",
+            "LR Pct",
+            "LR Pairs",
+            "RF Pct",
+            "RF Pairs",
+            "MLP Pct",
             "MLP Pairs",
         ],
         &rows,

@@ -26,7 +26,10 @@ use zeroer_eval::metrics::f_score;
 fn main() {
     let cfg = ExperimentConfig::from_env();
     println!("== Table 4: ablation analysis ==");
-    println!("(scale {}; partial variants use kappa = 0.6, full system 0.15)\n", cfg.scale);
+    println!(
+        "(scale {}; partial variants use kappa = 0.6, full system 0.15)\n",
+        cfg.scale
+    );
 
     let variants: Vec<(&str, ZeroErConfig)> = vec![
         ("Full", ZeroErConfig::ablation(Full, NoReg)),

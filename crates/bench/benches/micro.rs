@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use zeroer_blocking::{Blocker, PairMode, TokenBlocker};
 use zeroer_core::{FeatureDependence, GenerativeModel, Regularization, ZeroErConfig};
-use zeroer_datagen::profiles::rest_fz;
 use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
 use zeroer_features::PairFeaturizer;
 use zeroer_linalg::block::GroupLayout;
 use zeroer_linalg::Matrix;
@@ -25,7 +25,13 @@ fn synthetic(n: usize, sizes: &[usize], seed: u64) -> Matrix {
     let d: usize = sizes.iter().sum();
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<f64> = (0..n * d)
-        .map(|i| if (i / d).is_multiple_of(10) { rng.gen_range(0.8..1.0) } else { rng.gen_range(0.0..0.3) })
+        .map(|i| {
+            if (i / d).is_multiple_of(10) {
+                rng.gen_range(0.8..1.0)
+            } else {
+                rng.gen_range(0.0..0.3)
+            }
+        })
         .collect();
     Matrix::from_vec(n, d, data)
 }
@@ -34,8 +40,12 @@ fn bench_similarity(c: &mut Criterion) {
     let a = "efficient query processing in distributed database systems";
     let b = "eficient query procesing for distributed data systems";
     let mut g = c.benchmark_group("similarity");
-    g.bench_function("levenshtein", |bch| bch.iter(|| levenshtein(black_box(a), black_box(b))));
-    g.bench_function("jaro_winkler", |bch| bch.iter(|| jaro_winkler(black_box(a), black_box(b))));
+    g.bench_function("levenshtein", |bch| {
+        bch.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
+    g.bench_function("jaro_winkler", |bch| {
+        bch.iter(|| jaro_winkler(black_box(a), black_box(b)))
+    });
     g.bench_function("jaccard_qgm3", |bch| {
         let (ta, tb) = (qgrams(a, 3), qgrams(b, 3));
         bch.iter(|| jaccard(black_box(&ta), black_box(&tb)))
@@ -54,7 +64,10 @@ fn bench_em_iteration(c: &mut Criterion) {
         let layout = GroupLayout::from_sizes(&[5, 5, 3, 3, 3, 3]);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             let mut m = GenerativeModel::new(
-                ZeroErConfig { transitivity: false, ..Default::default() },
+                ZeroErConfig {
+                    transitivity: false,
+                    ..Default::default()
+                },
                 layout.clone(),
             );
             m.initialize(&x);
@@ -98,7 +111,9 @@ fn bench_estep_covariance(c: &mut Criterion) {
 fn bench_feature_row(c: &mut Criterion) {
     let ds = generate(&rest_fz(), 0.1, 3);
     let fz = PairFeaturizer::new(&ds.left, &ds.right);
-    let pairs: Vec<(usize, usize)> = (0..ds.left.len().min(ds.right.len())).map(|i| (i, i)).collect();
+    let pairs: Vec<(usize, usize)> = (0..ds.left.len().min(ds.right.len()))
+        .map(|i| (i, i))
+        .collect();
     c.bench_function("feature_rows_per_pair", |bch| {
         bch.iter(|| black_box(fz.featurize(black_box(&pairs))));
     });

@@ -22,7 +22,10 @@ impl ExperimentConfig {
     /// Reads the knobs from the environment.
     pub fn from_env() -> Self {
         let parse = |var: &str, default: f64| {
-            std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         };
         Self {
             scale: parse("ZEROER_SCALE", 0.08).clamp(1e-3, 1.0),
@@ -53,13 +56,38 @@ pub struct BlockingRecipe {
 /// scale 1.
 pub fn recipe_for(notation: &str) -> BlockingRecipe {
     match notation {
-        "Pub-DA" => BlockingRecipe { attr: 0, cross_overlap: 2, dedup_overlap: 3, scale_mult: 1.0 },
-        "Pub-DS" => BlockingRecipe { attr: 0, cross_overlap: 2, dedup_overlap: 3, scale_mult: 0.5 },
+        "Pub-DA" => BlockingRecipe {
+            attr: 0,
+            cross_overlap: 2,
+            dedup_overlap: 3,
+            scale_mult: 1.0,
+        },
+        "Pub-DS" => BlockingRecipe {
+            attr: 0,
+            cross_overlap: 2,
+            dedup_overlap: 3,
+            scale_mult: 0.5,
+        },
         // The two small benchmarks get a scale boost so the scaled-down
         // default still leaves enough matches for stable supervised CV.
-        "Rest-FZ" => BlockingRecipe { attr: 0, cross_overlap: 1, dedup_overlap: 1, scale_mult: 3.0 },
-        "Mv-RI" => BlockingRecipe { attr: 0, cross_overlap: 1, dedup_overlap: 1, scale_mult: 2.0 },
-        _ => BlockingRecipe { attr: 0, cross_overlap: 1, dedup_overlap: 1, scale_mult: 1.0 },
+        "Rest-FZ" => BlockingRecipe {
+            attr: 0,
+            cross_overlap: 1,
+            dedup_overlap: 1,
+            scale_mult: 3.0,
+        },
+        "Mv-RI" => BlockingRecipe {
+            attr: 0,
+            cross_overlap: 1,
+            dedup_overlap: 1,
+            scale_mult: 2.0,
+        },
+        _ => BlockingRecipe {
+            attr: 0,
+            cross_overlap: 1,
+            dedup_overlap: 1,
+            scale_mult: 1.0,
+        },
     }
 }
 
@@ -110,19 +138,20 @@ pub fn prepare(profile: &DatasetProfile, cfg: &ExperimentConfig) -> Prepared {
             Box::new(TokenBlocker::with_overlap(recipe.attr, overlap))
         }
     };
-    let cross_cs = make_blocker(recipe.cross_overlap).candidates(&ds.left, &ds.right, PairMode::Cross);
-    let left_cs = make_blocker(recipe.dedup_overlap).candidates(&ds.left, &ds.left, PairMode::Dedup);
+    let cross_cs =
+        make_blocker(recipe.cross_overlap).candidates(&ds.left, &ds.right, PairMode::Cross);
+    let left_cs =
+        make_blocker(recipe.dedup_overlap).candidates(&ds.left, &ds.left, PairMode::Dedup);
     let right_cs =
         make_blocker(recipe.dedup_overlap).candidates(&ds.right, &ds.right, PairMode::Dedup);
 
-    let make_task = |l: &zeroer_tabular::Table,
-                     r: &zeroer_tabular::Table,
-                     pairs: &[(usize, usize)]| {
-        let fz = PairFeaturizer::new(l, r);
-        let mut fs = fz.featurize(pairs);
-        fs.normalize();
-        LinkageTask::new(fs.matrix, pairs.to_vec(), fs.layout)
-    };
+    let make_task =
+        |l: &zeroer_tabular::Table, r: &zeroer_tabular::Table, pairs: &[(usize, usize)]| {
+            let fz = PairFeaturizer::new(l, r);
+            let mut fs = fz.featurize(pairs);
+            fs.normalize();
+            LinkageTask::new(fs.matrix, pairs.to_vec(), fs.layout)
+        };
 
     let cross = make_task(&ds.left, &ds.right, cross_cs.pairs());
     let left = make_task(&ds.left, &ds.left, left_cs.pairs());
@@ -131,7 +160,14 @@ pub fn prepare(profile: &DatasetProfile, cfg: &ExperimentConfig) -> Prepared {
     let labels = ds.labels_for(cross_cs.pairs());
     let blocking_recall = cross_cs.recall_against(&ds.matches);
 
-    Prepared { ds, cross, left, right, labels, blocking_recall }
+    Prepared {
+        ds,
+        cross,
+        left,
+        right,
+        labels,
+        blocking_recall,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +176,11 @@ mod tests {
     use zeroer_datagen::profiles::{prod_ab, pub_da, rest_fz};
 
     fn tiny_cfg() -> ExperimentConfig {
-        ExperimentConfig { scale: 0.05, runs: 1, seed: 7 }
+        ExperimentConfig {
+            scale: 0.05,
+            runs: 1,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -164,7 +204,14 @@ mod tests {
 
     #[test]
     fn candidate_sets_are_imbalanced() {
-        let p = prepare(&prod_ab(), &ExperimentConfig { scale: 0.1, runs: 1, seed: 3 });
+        let p = prepare(
+            &prod_ab(),
+            &ExperimentConfig {
+                scale: 0.1,
+                runs: 1,
+                seed: 3,
+            },
+        );
         let ratio = (p.n_pairs() - p.n_matches()) as f64 / p.n_matches().max(1) as f64;
         assert!(ratio > 1.0, "unmatches must outnumber matches, got {ratio}");
     }

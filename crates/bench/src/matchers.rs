@@ -129,9 +129,7 @@ pub fn supervised_f1_once(
 /// seeded repetitions.
 pub fn supervised_f1(p: &Prepared, kind: SupervisedKind, cfg: &ExperimentConfig) -> f64 {
     let total: f64 = (0..cfg.runs)
-        .map(|r| {
-            supervised_f1_once(&p.cross.features, &p.labels, kind, 0.5, cfg.seed + r as u64)
-        })
+        .map(|r| supervised_f1_once(&p.cross.features, &p.labels, kind, 0.5, cfg.seed + r as u64))
         .sum();
     total / cfg.runs as f64
 }
@@ -143,7 +141,14 @@ mod tests {
     use zeroer_datagen::profiles::rest_fz;
 
     fn tiny() -> Prepared {
-        prepare(&rest_fz(), &ExperimentConfig { scale: 0.08, runs: 1, seed: 5 })
+        prepare(
+            &rest_fz(),
+            &ExperimentConfig {
+                scale: 0.08,
+                runs: 1,
+                seed: 5,
+            },
+        )
     }
 
     #[test]
@@ -156,7 +161,11 @@ mod tests {
     #[test]
     fn supervised_runs_end_to_end() {
         let p = tiny();
-        let cfg = ExperimentConfig { scale: 0.08, runs: 1, seed: 5 };
+        let cfg = ExperimentConfig {
+            scale: 0.08,
+            runs: 1,
+            seed: 5,
+        };
         let f1 = supervised_f1(&p, SupervisedKind::Lr, &cfg);
         assert!((0.0..=1.0).contains(&f1));
     }

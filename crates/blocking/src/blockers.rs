@@ -1,10 +1,10 @@
 //! Blocking strategy implementations.
 
 use crate::candidate::{CandidateSet, PairMode};
+use crate::keys::{equivalence_key, qgram_keys, token_keys};
 use std::collections::HashMap;
 use zeroer_tabular::Table;
 use zeroer_textsim::tokenize::normalize;
-use zeroer_textsim::{qgrams, words};
 
 /// A blocking strategy: maps two tables (or one table against itself) to a
 /// [`CandidateSet`].
@@ -43,7 +43,8 @@ impl Blocker for CartesianBlocker {
 }
 
 /// Builds an inverted index `key → record indices` for one attribute of a
-/// table, using `extract` to derive keys from the attribute text.
+/// table, using `extract` to derive keys from the attribute text. The
+/// extractors (see [`crate::keys`]) return sorted, deduplicated keys.
 fn inverted_index(
     table: &Table,
     attr: usize,
@@ -52,10 +53,7 @@ fn inverted_index(
     let mut index: HashMap<String, Vec<usize>> = HashMap::new();
     for idx in 0..table.len() {
         if let Some(text) = table.value(idx, attr).as_text() {
-            let mut keys = extract(&text);
-            keys.sort();
-            keys.dedup();
-            for k in keys {
+            for k in extract(&text) {
                 index.entry(k).or_default().push(idx);
             }
         }
@@ -112,25 +110,27 @@ impl TokenBlocker {
     /// Token blocking on `attr` with a default bucket cap of 400 and
     /// single-token overlap.
     pub fn new(attr: usize) -> Self {
-        Self { attr, max_bucket: 400, min_overlap: 1 }
+        Self {
+            attr,
+            max_bucket: 400,
+            min_overlap: 1,
+        }
     }
 
     /// Overlap blocking requiring `min_overlap` shared tokens.
     pub fn with_overlap(attr: usize, min_overlap: usize) -> Self {
         assert!(min_overlap >= 1, "overlap must be at least 1");
-        Self { attr, max_bucket: 400, min_overlap }
+        Self {
+            attr,
+            max_bucket: 400,
+            min_overlap,
+        }
     }
 }
 
 impl Blocker for TokenBlocker {
     fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
-        let extract = |s: &str| {
-            words(s)
-                .tokens()
-                .filter(|t| t.len() > 1) // single chars are noise
-                .map(String::from)
-                .collect::<Vec<_>>()
-        };
+        let extract = |s: &str| token_keys(s);
         let li = inverted_index(left, self.attr, &extract);
         let ri = if mode == PairMode::Dedup {
             li.clone()
@@ -186,15 +186,18 @@ pub struct QgramBlocker {
 impl QgramBlocker {
     /// q-gram blocking on `attr` with gram size `q` and bucket cap 400.
     pub fn new(attr: usize, q: usize) -> Self {
-        Self { attr, q, max_bucket: 400 }
+        Self {
+            attr,
+            q,
+            max_bucket: 400,
+        }
     }
 }
 
 impl Blocker for QgramBlocker {
     fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
         let q = self.q;
-        let extract =
-            move |s: &str| qgrams(s, q).tokens().map(String::from).collect::<Vec<_>>();
+        let extract = move |s: &str| qgram_keys(s, q);
         let li = inverted_index(left, self.attr, &extract);
         let ri = if mode == PairMode::Dedup {
             li.clone()
@@ -214,7 +217,7 @@ pub struct AttrEquivalenceBlocker {
 
 impl Blocker for AttrEquivalenceBlocker {
     fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
-        let extract = |s: &str| vec![normalize(s)];
+        let extract = |s: &str| vec![equivalence_key(s)];
         let li = inverted_index(left, self.attr, &extract);
         let ri = if mode == PairMode::Dedup {
             li.clone()
@@ -247,12 +250,20 @@ impl Blocker for SortedNeighborhood {
         let mut entries: Vec<Entry> = Vec::new();
         for idx in 0..left.len() {
             let key = left.value(idx, self.attr).as_text().map(|t| normalize(&t));
-            entries.push(Entry { key: key.unwrap_or_default(), side: false, idx });
+            entries.push(Entry {
+                key: key.unwrap_or_default(),
+                side: false,
+                idx,
+            });
         }
         if mode == PairMode::Cross {
             for idx in 0..right.len() {
                 let key = right.value(idx, self.attr).as_text().map(|t| normalize(&t));
-                entries.push(Entry { key: key.unwrap_or_default(), side: true, idx });
+                entries.push(Entry {
+                    key: key.unwrap_or_default(),
+                    side: true,
+                    idx,
+                });
             }
         }
         entries.sort_by(|a, b| a.key.cmp(&b.key));
@@ -264,7 +275,11 @@ impl Blocker for SortedNeighborhood {
                 match mode {
                     PairMode::Cross => {
                         if a.side != b.side {
-                            let (l, r) = if a.side { (b.idx, a.idx) } else { (a.idx, b.idx) };
+                            let (l, r) = if a.side {
+                                (b.idx, a.idx)
+                            } else {
+                                (a.idx, b.idx)
+                            };
                             pairs.push((l, r));
                         }
                     }
@@ -273,6 +288,39 @@ impl Blocker for SortedNeighborhood {
             }
         }
         CandidateSet::new(mode, pairs)
+    }
+}
+
+/// The standard blocking recipe shared by the batch (`MatchOptions`) and
+/// streaming (`StreamOptions`) pipelines: token blocking unioned with
+/// q-gram blocking when any single shared token suffices, or pure
+/// overlap blocking for `min_overlap ≥ 2`. Keeping this in one place
+/// guarantees the two pipelines cannot drift apart.
+pub fn standard_recipe(
+    attr: usize,
+    min_overlap: usize,
+    q: usize,
+    max_bucket: usize,
+) -> Box<dyn Blocker + Send + Sync> {
+    if min_overlap <= 1 {
+        Box::new(UnionBlocker::new(vec![
+            Box::new(TokenBlocker {
+                attr,
+                max_bucket,
+                min_overlap: 1,
+            }),
+            Box::new(QgramBlocker {
+                attr,
+                q,
+                max_bucket,
+            }),
+        ]))
+    } else {
+        Box::new(TokenBlocker {
+            attr,
+            max_bucket,
+            min_overlap,
+        })
     }
 }
 
@@ -395,14 +443,20 @@ mod tests {
 
     #[test]
     fn overlap_floor_requires_multiple_shared_tokens() {
-        let l = table(&["efficient query processing systems", "graph mining at scale"]);
+        let l = table(&[
+            "efficient query processing systems",
+            "graph mining at scale",
+        ]);
         let r = table(&[
             "efficient query optimization", // shares 2 tokens with l0
             "parallel graph engines",       // shares 1 token with l1
         ]);
         let cs = TokenBlocker::with_overlap(0, 2).candidates(&l, &r, PairMode::Cross);
         assert!(cs.contains(0, 0), "two shared tokens pass");
-        assert!(!cs.contains(1, 1), "one shared token is pruned at overlap 2");
+        assert!(
+            !cs.contains(1, 1),
+            "one shared token is pruned at overlap 2"
+        );
     }
 
     #[test]
@@ -424,7 +478,15 @@ mod tests {
         let names: Vec<String> = (0..30).map(|i| format!("the item{i}")).collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let t = table(&refs);
-        let cs = TokenBlocker { attr: 0, max_bucket: 5, min_overlap: 1 }.candidates(&t, &t, PairMode::Dedup);
-        assert!(cs.is_empty(), "the 'the' bucket exceeds the cap and item tokens are unique");
+        let cs = TokenBlocker {
+            attr: 0,
+            max_bucket: 5,
+            min_overlap: 1,
+        }
+        .candidates(&t, &t, PairMode::Dedup);
+        assert!(
+            cs.is_empty(),
+            "the 'the' bucket exceeds the cap and item tokens are unique"
+        );
     }
 }

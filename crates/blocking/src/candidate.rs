@@ -81,7 +81,10 @@ impl CandidateSet {
     /// # Panics
     /// Panics on mode mismatch.
     pub fn union(&self, other: &CandidateSet) -> CandidateSet {
-        assert_eq!(self.mode, other.mode, "cannot union candidate sets of different modes");
+        assert_eq!(
+            self.mode, other.mode,
+            "cannot union candidate sets of different modes"
+        );
         CandidateSet::new(
             self.mode,
             self.pairs.iter().chain(other.pairs.iter()).copied(),

@@ -1,0 +1,68 @@
+//! Shared blocking-key extraction.
+//!
+//! Batch blockers ([`crate::TokenBlocker`], [`crate::QgramBlocker`],
+//! [`crate::AttrEquivalenceBlocker`]) and the incremental indexes of the
+//! streaming subsystem must derive *identical* keys from a record, or
+//! their candidate sets drift apart. This module is the single source of
+//! truth both sides call.
+
+use zeroer_textsim::tokenize::normalize;
+use zeroer_textsim::{qgrams, words};
+
+/// Word-token blocking keys: lowercase alphanumeric tokens longer than
+/// one character (single characters are noise), sorted and deduplicated.
+pub fn token_keys(s: &str) -> Vec<String> {
+    let mut keys: Vec<String> = words(s)
+        .tokens()
+        .filter(|t| t.len() > 1)
+        .map(String::from)
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Character q-gram blocking keys (padded q-grams of the normalized
+/// string), sorted and deduplicated.
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn qgram_keys(s: &str, q: usize) -> Vec<String> {
+    let mut keys: Vec<String> = qgrams(s, q).tokens().map(String::from).collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// The single normalized-equality key used by attribute-equivalence
+/// blocking.
+pub fn equivalence_key(s: &str) -> String {
+    normalize(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_keys_drop_single_chars_and_dedup() {
+        let keys = token_keys("a Red RED fox");
+        assert_eq!(keys, vec!["fox".to_string(), "red".to_string()]);
+    }
+
+    #[test]
+    fn qgram_keys_are_sorted_unique() {
+        let keys = qgram_keys("aba", 2);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+        assert!(keys.contains(&"ab".to_string()));
+        assert!(keys.contains(&"#a".to_string()));
+    }
+
+    #[test]
+    fn equivalence_key_normalizes() {
+        assert_eq!(equivalence_key("New-York "), "new york");
+    }
+}

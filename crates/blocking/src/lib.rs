@@ -20,11 +20,12 @@
 
 pub mod blockers;
 pub mod candidate;
+pub mod keys;
 pub mod quality;
 
 pub use blockers::{
-    AttrEquivalenceBlocker, Blocker, CartesianBlocker, QgramBlocker, SortedNeighborhood,
-    TokenBlocker, UnionBlocker,
+    standard_recipe, AttrEquivalenceBlocker, Blocker, CartesianBlocker, QgramBlocker,
+    SortedNeighborhood, TokenBlocker, UnionBlocker,
 };
 pub use candidate::{CandidateSet, PairMode};
 pub use quality::BlockingReport;

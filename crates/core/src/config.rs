@@ -100,7 +100,10 @@ impl ZeroErConfig {
     /// G+A+P: grouped + adaptive + shared correlation, no transitivity
     /// (the penultimate Table 4 column). Uses the final system's κ = 0.15.
     pub fn gap() -> Self {
-        Self { transitivity: false, ..Self::default() }
+        Self {
+            transitivity: false,
+            ..Self::default()
+        }
     }
 
     /// Validates parameter ranges.
@@ -116,7 +119,10 @@ impl ZeroErConfig {
         );
         assert!(self.tolerance > 0.0, "tolerance must be positive");
         assert!(self.max_iterations > 0, "need at least one EM iteration");
-        assert!(self.averaging_window > 0, "averaging window must be positive");
+        assert!(
+            self.averaging_window > 0,
+            "averaging window must be positive"
+        );
     }
 }
 
@@ -159,14 +165,20 @@ mod tests {
     fn epsilon_one_is_rejected() {
         // §7.4: ε = 0 or 1 assigns no data to one component and EM cannot
         // run — we reject it up front.
-        let c = ZeroErConfig { init_threshold: 1.0, ..Default::default() };
+        let c = ZeroErConfig {
+            init_threshold: 1.0,
+            ..Default::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "kappa")]
     fn negative_kappa_rejected() {
-        let c = ZeroErConfig { kappa: -0.1, ..Default::default() };
+        let c = ZeroErConfig {
+            kappa: -0.1,
+            ..Default::default()
+        };
         c.validate();
     }
 

@@ -45,13 +45,16 @@
 //! ```
 
 pub mod config;
+pub mod json;
 pub mod linkage;
 pub mod model;
 pub mod report;
+pub mod snapshot;
 pub mod transitivity;
 
 pub use config::{FeatureDependence, Regularization, ZeroErConfig};
 pub use linkage::{LinkageModel, LinkageOutcome, LinkageTask};
 pub use model::{FitSummary, GenerativeModel};
 pub use report::{FeatureReport, ModelReport};
+pub use snapshot::{ModelSnapshot, SnapshotScorer};
 pub use transitivity::TransitivityCalibrator;

@@ -38,8 +38,16 @@ impl LinkageTask {
     /// # Panics
     /// Panics if `features.rows() != pairs.len()`.
     pub fn new(features: Matrix, pairs: Vec<(usize, usize)>, layout: GroupLayout) -> Self {
-        assert_eq!(features.rows(), pairs.len(), "one pair per feature row required");
-        Self { features, pairs, layout }
+        assert_eq!(
+            features.rows(),
+            pairs.len(),
+            "one pair per feature row required"
+        );
+        Self {
+            features,
+            pairs,
+            layout,
+        }
     }
 }
 
@@ -72,11 +80,7 @@ struct CrossCalibrator {
 }
 
 impl CrossCalibrator {
-    fn new(
-        cross: &[(usize, usize)],
-        left: &[(usize, usize)],
-        right: &[(usize, usize)],
-    ) -> Self {
+    fn new(cross: &[(usize, usize)], left: &[(usize, usize)], right: &[(usize, usize)]) -> Self {
         let mut by_left: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
         let mut by_right: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
         for (row, &(l, r)) in cross.iter().enumerate() {
@@ -87,8 +91,16 @@ impl CrossCalibrator {
         Self {
             by_left,
             by_right,
-            left_index: left.iter().enumerate().map(|(i, &p)| (norm(p), i)).collect(),
-            right_index: right.iter().enumerate().map(|(i, &p)| (norm(p), i)).collect(),
+            left_index: left
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (norm(p), i))
+                .collect(),
+            right_index: right
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (norm(p), i))
+                .collect(),
         }
     }
 
@@ -128,9 +140,17 @@ impl CrossCalibrator {
                     let c13 = (g13 - 0.5).abs();
                     let c23 = (g23 - 0.5).abs();
                     if c12 <= c13 && c12 <= c23 {
-                        cross_g[p12] = if g13 > 0.0 { (g23 / g13).clamp(0.0, 1.0) } else { 0.0 };
+                        cross_g[p12] = if g13 > 0.0 {
+                            (g23 / g13).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
                     } else if c13 <= c12 && c13 <= c23 {
-                        cross_g[p13] = if g12 > 0.0 { (g23 / g12).clamp(0.0, 1.0) } else { 0.0 };
+                        cross_g[p13] = if g12 > 0.0 {
+                            (g23 / g12).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
                     } else if let Some(r23) = p23 {
                         within_g[r23] = (g12 * g13).clamp(0.0, 1.0);
                     } else if c12 <= c13 {
@@ -216,10 +236,8 @@ impl LinkageModel {
             // F.E() + cross calibration (may edit Fl/Fr posteriors).
             let ll = f.e_step(&cross.features);
             if let Some(cal) = &calibrator {
-                let lg: &mut [f64] =
-                    fl.as_mut().map_or(&mut empty_left[..], |m| m.gammas_mut());
-                let rg: &mut [f64] =
-                    fr.as_mut().map_or(&mut empty_right[..], |m| m.gammas_mut());
+                let lg: &mut [f64] = fl.as_mut().map_or(&mut empty_left[..], |m| m.gammas_mut());
+                let rg: &mut [f64] = fr.as_mut().map_or(&mut empty_right[..], |m| m.gammas_mut());
                 cal.calibrate(f.gammas_mut(), lg, rg);
             }
             // F.M().
@@ -269,7 +287,11 @@ impl LinkageModel {
             cross_labels,
             left_gammas: fl.map(|m| m.gammas().to_vec()).unwrap_or_default(),
             right_gammas: fr.map(|m| m.gammas().to_vec()).unwrap_or_default(),
-            summary: FitSummary { iterations, converged, ll_history },
+            summary: FitSummary {
+                iterations,
+                converged,
+                ll_history,
+            },
         }
     }
 }
@@ -298,7 +320,7 @@ mod tests {
                 truth.push(is_match);
                 let base: f64 = if is_match { 0.9 } else { 0.12 };
                 for _ in 0..d {
-                    rows.push((base + rng.gen_range(-0.07..0.07)).clamp(0.0, 1.0));
+                    rows.push((base + rng.gen_range(-0.07..0.07f64)).clamp(0.0, 1.0));
                 }
             }
         }
@@ -318,7 +340,11 @@ mod tests {
                     rows.push(rng.gen_range(0.05..0.2));
                 }
             }
-            LinkageTask::new(Matrix::from_vec(pairs.len(), d, rows), pairs, layout.clone())
+            LinkageTask::new(
+                Matrix::from_vec(pairs.len(), d, rows),
+                pairs,
+                layout.clone(),
+            )
         };
         (cross, mk_within(seed + 1), mk_within(seed + 2), truth)
     }
@@ -334,7 +360,10 @@ mod tests {
     #[test]
     fn linkage_without_transitivity_also_works_on_easy_data() {
         let (cross, left, right, truth) = toy_linkage(4);
-        let cfg = ZeroErConfig { transitivity: false, ..Default::default() };
+        let cfg = ZeroErConfig {
+            transitivity: false,
+            ..Default::default()
+        };
         let out = LinkageModel::new(cfg).fit(&cross, &left, &right);
         assert_eq!(out.cross_labels, truth);
     }
@@ -357,7 +386,16 @@ mod tests {
         // right 1, but right pair (0,1) is a known non-match: the
         // calibration must suppress the weaker cross pair.
         let layout = GroupLayout::from_sizes(&[1]);
-        let cross_pairs = vec![(0usize, 0usize), (0, 1), (5, 5), (6, 6), (7, 8), (9, 9), (2, 3), (3, 2)];
+        let cross_pairs = vec![
+            (0usize, 0usize),
+            (0, 1),
+            (5, 5),
+            (6, 6),
+            (7, 8),
+            (9, 9),
+            (2, 3),
+            (3, 2),
+        ];
         // Features: strong match, borderline, strong, strong, low, strong, low, low.
         let cross_x = Matrix::from_rows(&[
             &[0.95],
@@ -389,6 +427,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "one pair per feature row")]
     fn misaligned_task_panics() {
-        LinkageTask::new(Matrix::zeros(2, 1), vec![(0, 0)], GroupLayout::from_sizes(&[1]));
+        LinkageTask::new(
+            Matrix::zeros(2, 1),
+            vec![(0, 0)],
+            GroupLayout::from_sizes(&[1]),
+        );
     }
 }

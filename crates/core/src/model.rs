@@ -134,7 +134,11 @@ impl GenerativeModel {
     /// §6 initialization: min-max normalize the feature-vector magnitudes
     /// and threshold at ε.
     pub fn initialize(&mut self, x: &Matrix) {
-        assert_eq!(x.cols(), self.layout.dim(), "feature/layout dimensionality mismatch");
+        assert_eq!(
+            x.cols(),
+            self.layout.dim(),
+            "feature/layout dimensionality mismatch"
+        );
         let norms: Vec<f64> = (0..x.rows()).map(|i| l2_norm(x.row(i))).collect();
         let lo = norms.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = norms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -168,12 +172,7 @@ impl GenerativeModel {
     }
 
     /// Builds the class covariance, honoring correlation sharing (§4).
-    fn class_covariance(
-        &mut self,
-        x: &Matrix,
-        weights: &[f64],
-        mean: &[f64],
-    ) -> BlockDiag {
+    fn class_covariance(&mut self, x: &Matrix, weights: &[f64], mean: &[f64]) -> BlockDiag {
         if self.config.shared_correlation {
             // S_C = Λ_C R Λ_C with R estimated once from all data.
             if self.shared_corr.is_none() {
@@ -199,7 +198,11 @@ impl GenerativeModel {
     /// # Panics
     /// Panics if called before [`GenerativeModel::initialize`].
     pub fn m_step(&mut self, x: &Matrix) {
-        assert_eq!(self.gammas.len(), x.rows(), "model not initialized for this matrix");
+        assert_eq!(
+            self.gammas.len(),
+            x.rows(),
+            "model not initialized for this matrix"
+        );
         let n = x.rows() as f64;
         let gm: Vec<f64> = self.gammas.clone();
         let gu: Vec<f64> = gm.iter().map(|g| 1.0 - g).collect();
@@ -230,8 +233,14 @@ impl GenerativeModel {
             BlockGaussian::new(mu_u.clone(), &cov_u)
                 .expect("floored covariance must be positive definite"),
         );
-        self.m = Some(ClassParams { mean: mu_m, cov: cov_m });
-        self.u = Some(ClassParams { mean: mu_u, cov: cov_u });
+        self.m = Some(ClassParams {
+            mean: mu_m,
+            cov: cov_m,
+        });
+        self.u = Some(ClassParams {
+            mean: mu_u,
+            cov: cov_u,
+        });
     }
 
     /// The E-step (Eq. 3): recomputes posteriors in the log domain and
@@ -318,7 +327,11 @@ impl GenerativeModel {
             }
         }
 
-        FitSummary { iterations, converged, ll_history }
+        FitSummary {
+            iterations,
+            converged,
+            ll_history,
+        }
     }
 
     /// Observed-data log-likelihood `Σ_i log(π_M p_M(x_i) + π_U p_U(x_i))`.
@@ -369,7 +382,12 @@ mod tests {
 
     /// Synthesizes an easy two-cluster dataset: matches near 0.9,
     /// unmatches near 0.1, with `d` features in the given groups.
-    fn easy_data(n_match: usize, n_unmatch: usize, sizes: &[usize], seed: u64) -> (Matrix, Vec<bool>) {
+    fn easy_data(
+        n_match: usize,
+        n_unmatch: usize,
+        sizes: &[usize],
+        seed: u64,
+    ) -> (Matrix, Vec<bool>) {
         let d: usize = sizes.iter().sum();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = Vec::with_capacity((n_match + n_unmatch) * d);
@@ -405,7 +423,11 @@ mod tests {
         let mut m = GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2, 2]));
         m.fit(&x, None);
         assert_eq!(m.labels(), truth);
-        assert!(m.pi_m() < 0.05, "prior should reflect the imbalance, got {}", m.pi_m());
+        assert!(
+            m.pi_m() < 0.05,
+            "prior should reflect the imbalance, got {}",
+            m.pi_m()
+        );
     }
 
     #[test]
@@ -448,12 +470,23 @@ mod tests {
     fn all_ablation_variants_run() {
         let (x, _) = easy_data(10, 90, &[2, 2, 1], 5);
         let layout = GroupLayout::from_sizes(&[2, 2, 1]);
-        for dep in [FeatureDependence::Full, FeatureDependence::Independent, FeatureDependence::Grouped] {
-            for reg in [Regularization::None, Regularization::Tikhonov, Regularization::Adaptive] {
+        for dep in [
+            FeatureDependence::Full,
+            FeatureDependence::Independent,
+            FeatureDependence::Grouped,
+        ] {
+            for reg in [
+                Regularization::None,
+                Regularization::Tikhonov,
+                Regularization::Adaptive,
+            ] {
                 let mut m = GenerativeModel::new(ZeroErConfig::ablation(dep, reg), layout.clone());
                 let s = m.fit(&x, None);
                 assert!(s.iterations >= 1, "{dep:?}/{reg:?} did not run");
-                assert!(m.gammas().iter().all(|g| g.is_finite()), "{dep:?}/{reg:?} NaN gammas");
+                assert!(
+                    m.gammas().iter().all(|g| g.is_finite()),
+                    "{dep:?}/{reg:?} NaN gammas"
+                );
             }
         }
     }
@@ -497,7 +530,10 @@ mod tests {
         m.fit(&x, None);
         let labels = m.labels();
         assert!(labels[..n_m].iter().all(|&l| l), "matches must be found");
-        assert!(labels[n_m..].iter().all(|&l| !l), "unmatches must stay unmatched");
+        assert!(
+            labels[n_m..].iter().all(|&l| !l),
+            "unmatches must stay unmatched"
+        );
     }
 
     #[test]

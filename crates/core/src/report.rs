@@ -54,8 +54,12 @@ impl ModelReport {
     /// # Panics
     /// Panics if the model has not completed at least one M-step.
     pub fn from_model(model: &GenerativeModel, names: Option<&[String]>) -> Self {
-        let m = model.m_params().expect("model must be fitted before reporting");
-        let u = model.u_params().expect("model must be fitted before reporting");
+        let m = model
+            .m_params()
+            .expect("model must be fitted before reporting");
+        let u = model
+            .u_params()
+            .expect("model must be fitted before reporting");
         let var_m = m.cov.diag();
         let var_u = u.cov.diag();
         let features = (0..m.mean.len())
@@ -68,7 +72,10 @@ impl ModelReport {
                 sd_unmatch: var_u[j].max(0.0).sqrt(),
             })
             .collect();
-        Self { pi_m: model.pi_m(), features }
+        Self {
+            pi_m: model.pi_m(),
+            features,
+        }
     }
 
     /// Features sorted by descending separation (most discriminative
@@ -118,7 +125,10 @@ mod tests {
         }
         let x = Matrix::from_vec(100, 2, data);
         let mut m = GenerativeModel::new(
-            ZeroErConfig { transitivity: false, ..Default::default() },
+            ZeroErConfig {
+                transitivity: false,
+                ..Default::default()
+            },
             GroupLayout::independent(2),
         );
         m.fit(&x, None);

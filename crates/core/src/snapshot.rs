@@ -1,0 +1,473 @@
+//! Frozen-model snapshots: serialize a fitted generative model and score
+//! new pairs without re-running EM.
+//!
+//! The batch pipeline fits Θ = (π_M, µ_M, Σ_M, µ_U, Σ_U) by EM. A
+//! [`ModelSnapshot`] freezes Θ together with the feature-replay state a
+//! *new* pair needs to be scored consistently with the training run:
+//! per-column min-max normalization ranges and per-column imputation
+//! means (both captured from the fitted `FeatureSet`). The
+//! [`SnapshotScorer`] then evaluates the E-step posterior (Eq. 3) for
+//! single feature rows — pure inference, no mutation, no EM — which is
+//! what the streaming ingest path runs per candidate pair.
+
+use crate::json::{Json, JsonError};
+use crate::model::GenerativeModel;
+use zeroer_linalg::block::{BlockDiag, GroupLayout};
+use zeroer_linalg::gaussian::BlockGaussian;
+use zeroer_linalg::Matrix;
+
+/// A serializable freeze of a fitted [`GenerativeModel`] plus the feature
+/// normalization/imputation state needed to replay featurization on
+/// unseen pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Match prior π_M.
+    pub pi_m: f64,
+    /// Effective covariance group sizes (the model's layout).
+    pub group_sizes: Vec<usize>,
+    /// M-class mean µ_M.
+    pub mean_m: Vec<f64>,
+    /// U-class mean µ_U.
+    pub mean_u: Vec<f64>,
+    /// M-class covariance blocks, row-major per group.
+    pub cov_m: Vec<Vec<f64>>,
+    /// U-class covariance blocks, row-major per group.
+    pub cov_u: Vec<Vec<f64>>,
+    /// Per-column min-max ranges from the training `FeatureSet`.
+    pub ranges: Vec<(f64, f64)>,
+    /// Per-column imputation means (mean of computable training rows).
+    pub impute_means: Vec<f64>,
+    /// Feature names, for diagnostics and schema checks.
+    pub feature_names: Vec<String>,
+}
+
+fn block_to_vec(m: &Matrix) -> Vec<f64> {
+    m.as_slice().to_vec()
+}
+
+fn blocks_of(cov: &BlockDiag) -> Vec<Vec<f64>> {
+    cov.blocks().iter().map(block_to_vec).collect()
+}
+
+impl ModelSnapshot {
+    /// Captures a fitted model plus the feature-replay state.
+    ///
+    /// `ranges` and `impute_means` come from the fitted `FeatureSet`
+    /// (`FeatureSet::ranges` after `normalize()`, and
+    /// `FeatureSet::impute_means`); `feature_names` from the featurizer.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted, or if the replay vectors
+    /// do not match the model dimensionality.
+    pub fn capture(
+        model: &GenerativeModel,
+        ranges: &[(f64, f64)],
+        impute_means: &[f64],
+        feature_names: &[String],
+    ) -> Self {
+        let m = model.m_params().expect("snapshot of an unfitted model");
+        let u = model.u_params().expect("snapshot of an unfitted model");
+        let d = model.layout().dim();
+        assert_eq!(ranges.len(), d, "ranges/model dimensionality mismatch");
+        assert_eq!(
+            impute_means.len(),
+            d,
+            "imputation/model dimensionality mismatch"
+        );
+        assert_eq!(
+            feature_names.len(),
+            d,
+            "names/model dimensionality mismatch"
+        );
+        let group_sizes: Vec<usize> = model.layout().iter().map(|(_, sz)| sz).collect();
+        let all_finite = m.mean.iter().chain(&u.mean).all(|v| v.is_finite())
+            && m.cov
+                .blocks()
+                .iter()
+                .chain(u.cov.blocks())
+                .all(|b| !b.has_non_finite())
+            && ranges
+                .iter()
+                .all(|(lo, hi)| lo.is_finite() && hi.is_finite())
+            && impute_means.iter().all(|v| v.is_finite());
+        assert!(
+            all_finite,
+            "refusing to snapshot non-finite model parameters (degenerate fit)"
+        );
+        Self {
+            pi_m: model.pi_m(),
+            group_sizes,
+            mean_m: m.mean.clone(),
+            mean_u: u.mean.clone(),
+            cov_m: blocks_of(&m.cov),
+            cov_u: blocks_of(&u.cov),
+            ranges: ranges.to_vec(),
+            impute_means: impute_means.to_vec(),
+            feature_names: feature_names.to_vec(),
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.group_sizes.iter().sum()
+    }
+
+    /// Prepares a raw (pre-normalization) feature row for scoring, in
+    /// place: missing values (`NaN`) are imputed with the training means,
+    /// then every column is min-max scaled with the training ranges,
+    /// clamped to `[0, 1]` — the same replay semantics as
+    /// `zeroer_linalg::stats::apply_min_max`, so out-of-range values on
+    /// unseen pairs cannot destabilize the frozen model.
+    ///
+    /// # Panics
+    /// Panics if the row has the wrong dimensionality.
+    pub fn prepare_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dim(), "row dimensionality mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = self.impute_means[j];
+            }
+            let (lo, hi) = self.ranges[j];
+            let span = hi - lo;
+            *v = if span > 0.0 {
+                ((*v - lo) / span).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Builds the frozen scorer (factors the covariances once).
+    ///
+    /// # Errors
+    /// Fails if a stored covariance block is not positive definite — a
+    /// corrupted or hand-edited snapshot.
+    pub fn scorer(&self) -> Result<SnapshotScorer, JsonError> {
+        let layout = GroupLayout::from_sizes(&self.group_sizes);
+        let build = |blocks: &[Vec<f64>]| -> Result<BlockDiag, JsonError> {
+            if blocks.len() != self.group_sizes.len() {
+                return Err(JsonError::schema("covariance block count mismatch"));
+            }
+            let mats = blocks
+                .iter()
+                .zip(&self.group_sizes)
+                .map(|(b, &sz)| {
+                    if b.len() != sz * sz {
+                        return Err(JsonError::schema("covariance block size mismatch"));
+                    }
+                    Ok(Matrix::from_vec(sz, sz, b.clone()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(BlockDiag::from_blocks(mats))
+        };
+        let d = self.dim();
+        if self.mean_m.len() != d || self.mean_u.len() != d {
+            return Err(JsonError::schema("mean dimensionality mismatch"));
+        }
+        let _ = layout; // layout is implied by the blocks
+        let m = BlockGaussian::new(self.mean_m.clone(), &build(&self.cov_m)?)
+            .map_err(|_| JsonError::schema("M covariance is not positive definite"))?;
+        let u = BlockGaussian::new(self.mean_u.clone(), &build(&self.cov_u)?)
+            .map_err(|_| JsonError::schema("U covariance is not positive definite"))?;
+        if !(0.0..=1.0).contains(&self.pi_m) {
+            return Err(JsonError::schema("prior out of range"));
+        }
+        Ok(SnapshotScorer {
+            pi_m: self.pi_m,
+            m,
+            u,
+            snapshot: self.clone(),
+        })
+    }
+
+    /// Renders to a JSON value (see [`ModelSnapshot::to_json`]).
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::Str("zeroer-model-snapshot".into())),
+            ("version".into(), Json::Num(1.0)),
+            ("pi_m".into(), Json::Num(self.pi_m)),
+            (
+                "group_sizes".into(),
+                Json::Arr(
+                    self.group_sizes
+                        .iter()
+                        .map(|&s| Json::Num(s as f64))
+                        .collect(),
+                ),
+            ),
+            ("mean_m".into(), Json::nums(&self.mean_m)),
+            ("mean_u".into(), Json::nums(&self.mean_u)),
+            (
+                "cov_m".into(),
+                Json::Arr(self.cov_m.iter().map(|b| Json::nums(b)).collect()),
+            ),
+            (
+                "cov_u".into(),
+                Json::Arr(self.cov_u.iter().map(|b| Json::nums(b)).collect()),
+            ),
+            (
+                "ranges".into(),
+                Json::Arr(
+                    self.ranges
+                        .iter()
+                        .map(|&(lo, hi)| Json::nums(&[lo, hi]))
+                        .collect(),
+                ),
+            ),
+            ("impute_means".into(), Json::nums(&self.impute_means)),
+            (
+                "feature_names".into(),
+                Json::Arr(
+                    self.feature_names
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serializes to JSON text. Round-trips exactly: parsing the output
+    /// reproduces every parameter bit-for-bit.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Reads a snapshot from a parsed JSON value.
+    ///
+    /// # Errors
+    /// Fails on schema violations (missing fields, dimension mismatches).
+    pub fn from_json_value(j: &Json) -> Result<Self, JsonError> {
+        if j.get("format").and_then(Json::as_str) != Some("zeroer-model-snapshot") {
+            return Err(JsonError::schema("not a zeroer model snapshot"));
+        }
+        if j.get("version").and_then(Json::as_f64) != Some(1.0) {
+            return Err(JsonError::schema(
+                "unsupported model-snapshot version (expected 1)",
+            ));
+        }
+        let group_sizes = j
+            .require("group_sizes")?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema("group_sizes must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| JsonError::schema("bad group size"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let blocks = |key: &str| -> Result<Vec<Vec<f64>>, JsonError> {
+            j.require(key)?
+                .as_arr()
+                .ok_or_else(|| JsonError::schema(format!("{key} must be an array")))?
+                .iter()
+                .map(Json::to_nums)
+                .collect()
+        };
+        let ranges = j
+            .require("ranges")?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema("ranges must be an array"))?
+            .iter()
+            .map(|pair| {
+                let xs = pair.to_nums()?;
+                if xs.len() != 2 {
+                    return Err(JsonError::schema("each range must be [lo, hi]"));
+                }
+                Ok((xs[0], xs[1]))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let feature_names = j
+            .require("feature_names")?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema("feature_names must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(String::from)
+                    .ok_or_else(|| JsonError::schema("feature names must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let snapshot = Self {
+            pi_m: j
+                .require("pi_m")?
+                .as_f64()
+                .ok_or_else(|| JsonError::schema("pi_m must be a number"))?,
+            group_sizes,
+            mean_m: j.require("mean_m")?.to_nums()?,
+            mean_u: j.require("mean_u")?.to_nums()?,
+            cov_m: blocks("cov_m")?,
+            cov_u: blocks("cov_u")?,
+            ranges,
+            impute_means: j.require("impute_means")?.to_nums()?,
+            feature_names,
+        };
+        let d = snapshot.dim();
+        if snapshot.mean_m.len() != d
+            || snapshot.mean_u.len() != d
+            || snapshot.ranges.len() != d
+            || snapshot.impute_means.len() != d
+            || snapshot.feature_names.len() != d
+        {
+            return Err(JsonError::schema("snapshot dimensionality mismatch"));
+        }
+        Ok(snapshot)
+    }
+
+    /// Deserializes from JSON text.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or schema violations.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
+/// Frozen-model inference: evaluates the E-step posterior for single
+/// feature rows using snapshot parameters. Never mutates anything.
+#[derive(Debug, Clone)]
+pub struct SnapshotScorer {
+    pi_m: f64,
+    m: BlockGaussian,
+    u: BlockGaussian,
+    snapshot: ModelSnapshot,
+}
+
+impl SnapshotScorer {
+    /// Posterior match probability of a *normalized* feature row — the
+    /// same math as [`GenerativeModel::posterior`] (Eq. 3), evaluated
+    /// against the frozen parameters.
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch.
+    pub fn score(&self, row: &[f64]) -> f64 {
+        let lm = self.pi_m.ln() + self.m.log_pdf(row);
+        let lu = (1.0 - self.pi_m).ln() + self.u.log_pdf(row);
+        let max = lm.max(lu);
+        (lm - max).exp() / ((lm - max).exp() + (lu - max).exp())
+    }
+
+    /// Scores a *raw* (pre-normalization, possibly `NaN`-holed) feature
+    /// row: imputes and normalizes **in place** with the frozen training
+    /// state, then scores. Takes `&mut` to avoid an extra allocation on
+    /// the per-candidate hot path; the row is left in its prepared form.
+    pub fn score_raw(&self, raw: &mut [f64]) -> f64 {
+        self.snapshot.prepare_row(raw);
+        self.score(raw)
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.snapshot.dim()
+    }
+
+    /// The snapshot this scorer was built from.
+    pub fn snapshot(&self) -> &ModelSnapshot {
+        &self.snapshot
+    }
+
+    /// Frozen match prior.
+    pub fn pi_m(&self) -> f64 {
+        self.pi_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZeroErConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fitted_model() -> (GenerativeModel, Matrix) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (n_m, n_u, d) = (15, 150, 4);
+        let mut data = Vec::new();
+        for i in 0..n_m + n_u {
+            let base = if i < n_m { 0.88 } else { 0.12 };
+            for _ in 0..d {
+                data.push((base + rng.gen_range(-0.08..0.08f64)).clamp(0.0, 1.0));
+            }
+        }
+        let x = Matrix::from_vec(n_m + n_u, d, data);
+        let mut model =
+            GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2, 2]));
+        model.fit(&x, None);
+        (model, x)
+    }
+
+    fn replay_state(d: usize) -> (Vec<(f64, f64)>, Vec<f64>, Vec<String>) {
+        let ranges = vec![(0.0, 1.0); d];
+        let impute = vec![0.4; d];
+        let names = (0..d).map(|j| format!("f{j}")).collect();
+        (ranges, impute, names)
+    }
+
+    #[test]
+    fn snapshot_scoring_matches_live_posterior() {
+        let (model, x) = fitted_model();
+        let (ranges, impute, names) = replay_state(4);
+        let snap = ModelSnapshot::capture(&model, &ranges, &impute, &names);
+        let scorer = snap.scorer().unwrap();
+        for i in 0..x.rows() {
+            let live = model.posterior(x.row(i));
+            let frozen = scorer.score(x.row(i));
+            assert!(
+                (live - frozen).abs() < 1e-12,
+                "row {i}: live {live} vs frozen {frozen}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let (model, x) = fitted_model();
+        let (ranges, impute, names) = replay_state(4);
+        let snap = ModelSnapshot::capture(&model, &ranges, &impute, &names);
+        let text = snap.to_json();
+        let back = ModelSnapshot::from_json(&text).unwrap();
+        assert_eq!(snap, back, "snapshot must round-trip exactly");
+        let scorer = back.scorer().unwrap();
+        for i in 0..x.rows() {
+            let live = model.posterior(x.row(i));
+            let frozen = scorer.score(x.row(i));
+            assert!(
+                (live - frozen).abs() < 1e-12,
+                "row {i}: live {live} vs reloaded {frozen}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_row_imputes_then_normalizes() {
+        let (model, _) = fitted_model();
+        let ranges = vec![(0.0, 2.0), (1.0, 1.0), (0.0, 1.0), (0.0, 1.0)];
+        let impute = vec![1.0, 0.5, 0.25, 0.75];
+        let names = (0..4).map(|j| format!("f{j}")).collect::<Vec<_>>();
+        let snap = ModelSnapshot::capture(&model, &ranges, &impute, &names);
+        let mut row = [f64::NAN, 3.0, 1.5, f64::NAN];
+        snap.prepare_row(&mut row);
+        assert_eq!(row[0], 0.5, "imputed to 1.0 then scaled by (0,2)");
+        assert_eq!(row[1], 0.0, "degenerate range maps to 0");
+        assert_eq!(
+            row[2], 1.0,
+            "out-of-range values clamp, matching apply_min_max"
+        );
+        assert_eq!(row[3], 0.75, "imputed then scaled by (0,1)");
+        let mut low = [-1.0, 0.5, 0.25, 0.5];
+        snap.prepare_row(&mut low);
+        assert_eq!(low[0], 0.0, "below-range values clamp to 0");
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected() {
+        let (model, _) = fitted_model();
+        let (ranges, impute, names) = replay_state(4);
+        let snap = ModelSnapshot::capture(&model, &ranges, &impute, &names);
+        let mut truncated = snap.clone();
+        truncated.mean_m.pop();
+        assert!(truncated.scorer().is_err());
+        assert!(ModelSnapshot::from_json("{\"format\":\"nope\"}").is_err());
+        assert!(ModelSnapshot::from_json("not json at all").is_err());
+    }
+}

@@ -40,7 +40,10 @@ impl TransitivityCalibrator {
             adjacency.entry(a).or_default().push((b, row));
             adjacency.entry(b).or_default().push((a, row));
         }
-        Self { pair_index, adjacency }
+        Self {
+            pair_index,
+            adjacency,
+        }
     }
 
     /// Number of indexed pairs.
@@ -94,9 +97,17 @@ impl TransitivityCalibrator {
                     let c13 = (g13 - 0.5).abs();
                     let c23 = (g23 - 0.5).abs();
                     if c12 <= c13 && c12 <= c23 {
-                        gammas[p12] = if g13 > 0.0 { (g23 / g13).clamp(0.0, 1.0) } else { 0.0 };
+                        gammas[p12] = if g13 > 0.0 {
+                            (g23 / g13).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
                     } else if c13 <= c12 && c13 <= c23 {
-                        gammas[p13] = if g12 > 0.0 { (g23 / g12).clamp(0.0, 1.0) } else { 0.0 };
+                        gammas[p13] = if g12 > 0.0 {
+                            (g23 / g12).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
                     } else if let Some(r23) = p23 {
                         gammas[r23] = (g12 * g13).clamp(0.0, 1.0);
                     } else {
@@ -163,7 +174,10 @@ mod tests {
         // γ12·γ13 = 0.81 > γ23 = 0.6; γ23 (0.6) is closest to 0.5 → set to product.
         let mut g = vec![0.9, 0.9, 0.6];
         cal.calibrate(&mut g);
-        assert!((g[2] - 0.81).abs() < 1e-12, "γ23 should be raised to the product");
+        assert!(
+            (g[2] - 0.81).abs() < 1e-12,
+            "γ23 should be raised to the product"
+        );
         assert_eq!(cal.count_violations(&g), 0);
     }
 

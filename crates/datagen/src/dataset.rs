@@ -30,6 +30,29 @@ impl GeneratedDataset {
         pairs.iter().map(|p| truth.contains(p)).collect()
     }
 
+    /// Concatenates both sides into one deduplication table (left rows
+    /// first, then right rows, re-indexed 0..n) plus the ground-truth
+    /// duplicate pairs in the concatenated indexing — the input shape the
+    /// streaming subsystem and its benchmarks consume.
+    pub fn dedup_table(&self) -> (Table, Vec<(usize, usize)>) {
+        let mut t = Table::new(
+            format!("{}-dedup", self.notation),
+            self.left.schema().clone(),
+        );
+        for (id, r) in self
+            .left
+            .records()
+            .iter()
+            .chain(self.right.records())
+            .enumerate()
+        {
+            t.push(Record::new(id as u32, r.values.clone()));
+        }
+        let nl = self.left.len();
+        let truth = self.matches.iter().map(|&(l, r)| (l, nl + r)).collect();
+        (t, truth)
+    }
+
     /// Class-imbalance ratio of a candidate set: unmatches per match
     /// (∞ when no matches survive blocking, reported as `f64::INFINITY`).
     pub fn imbalance(&self, pairs: &[(usize, usize)]) -> f64 {
@@ -117,7 +140,9 @@ pub fn generate(profile: &DatasetProfile, scale: f64, seed: u64) -> GeneratedDat
     let n_right_fresh = n_right.saturating_sub(total_right_copies);
 
     // Entities: n_left for the left table + fresh right-only ones.
-    let entities: Vec<_> = (0..n_left + n_right_fresh).map(|_| factory.generate(&mut rng)).collect();
+    let entities: Vec<_> = (0..n_left + n_right_fresh)
+        .map(|_| factory.generate(&mut rng))
+        .collect();
 
     // Left table: one noisy rendering of entities[0..n_left].
     let mut left = Table::new(format!("{}-left", profile.notation), factory.schema());
@@ -154,12 +179,18 @@ pub fn generate(profile: &DatasetProfile, scale: f64, seed: u64) -> GeneratedDat
     for (left_idx, &k) in plan.iter().enumerate().take(n_shared) {
         for _ in 0..k {
             let values = perturb_right(&entities[left_idx], &mut rng);
-            right_rows.push(RightRow { source_left: Some(left_idx), values });
+            right_rows.push(RightRow {
+                source_left: Some(left_idx),
+                values,
+            });
         }
     }
     for e in &entities[n_left..] {
         let values = perturb_right(e, &mut rng);
-        right_rows.push(RightRow { source_left: None, values });
+        right_rows.push(RightRow {
+            source_left: None,
+            values,
+        });
     }
     right_rows.shuffle(&mut rng);
 
@@ -173,7 +204,12 @@ pub fn generate(profile: &DatasetProfile, scale: f64, seed: u64) -> GeneratedDat
     }
     matches.sort_unstable();
 
-    GeneratedDataset { notation: profile.notation.to_string(), left, right, matches }
+    GeneratedDataset {
+        notation: profile.notation.to_string(),
+        left,
+        right,
+        matches,
+    }
 }
 
 /// Vocabulary pool used for paraphrase replacements, per domain.
@@ -220,8 +256,16 @@ mod tests {
         let before = lefts.len();
         lefts.dedup();
         rights.dedup();
-        assert_eq!(lefts.len(), before, "one-to-one left endpoints must be unique");
-        assert_eq!(rights.len(), before, "one-to-one right endpoints must be unique");
+        assert_eq!(
+            lefts.len(),
+            before,
+            "one-to-one left endpoints must be unique"
+        );
+        assert_eq!(
+            rights.len(),
+            before,
+            "one-to-one right endpoints must be unique"
+        );
     }
 
     #[test]

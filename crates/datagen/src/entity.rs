@@ -10,9 +10,9 @@ use zeroer_tabular::{Schema, Value};
 /// product dataset shapes (Abt-Buy has 3 attributes, Amazon-Google 4).
 pub fn schema_for(domain: Domain, n_attrs: usize) -> Schema {
     match domain {
-        Domain::Restaurants => {
-            Schema::new(["name", "addr", "city", "phone", "cuisine", "category", "price"])
-        }
+        Domain::Restaurants => Schema::new([
+            "name", "addr", "city", "phone", "cuisine", "category", "price",
+        ]),
         Domain::Publications => Schema::new(["title", "authors", "venue", "year"]),
         Domain::Movies => Schema::new([
             "name", "year", "director", "star", "genre", "runtime", "rating", "votes",
@@ -91,8 +91,13 @@ impl EntityFactory {
             rng.gen_range(1000..9999)
         );
         let cuisine = pick(CUISINES, rng.gen()).to_string();
-        let category = ["fine dining", "casual dining", "fast food", "bistro", "buffet"]
-            [rng.gen_range(0..5)]
+        let category = [
+            "fine dining",
+            "casual dining",
+            "fast food",
+            "bistro",
+            "buffet",
+        ][rng.gen_range(0..5usize)]
         .to_string();
         let price = rng.gen_range(1..=4i64);
         Entity {
@@ -113,10 +118,11 @@ impl EntityFactory {
         // shared across many titles, creating confusable candidates under
         // overlap blocking) with rare specific tokens (suffixed variants
         // like "cacheaware", concatenated so each is a single rare token).
-        const SUFFIXES: &[&str] =
-            &["based", "aware", "driven", "oriented", "centric", "free", "level", "time"];
-        let n_common = rng.gen_range(2..=3);
-        let n_rare = rng.gen_range(3..=6);
+        const SUFFIXES: &[&str] = &[
+            "based", "aware", "driven", "oriented", "centric", "free", "level", "time",
+        ];
+        let n_common = rng.gen_range(2..=3usize);
+        let n_rare = rng.gen_range(3..=6usize);
         let mut title: Vec<String> = Vec::with_capacity(n_common + n_rare);
         for _ in 0..n_common {
             title.push(pick(CS_COMMON, rng.gen()).to_string());
@@ -197,7 +203,7 @@ impl EntityFactory {
         )
         .to_uppercase();
         let name = format!("{brand} {model} {category}");
-        let desc_len = rng.gen_range(18..40);
+        let desc_len = rng.gen_range(18..40usize);
         let mut desc: Vec<String> = Vec::with_capacity(desc_len + 3);
         desc.push(brand.to_lowercase());
         desc.push(category.to_string());
@@ -248,7 +254,10 @@ mod tests {
             let f = EntityFactory::new(domain, n_attrs);
             let e = f.generate(&mut rng(1));
             assert_eq!(e.values.len(), f.schema().arity(), "{domain:?}");
-            assert!(e.values.iter().all(|v| !v.is_null()), "clean entities have no nulls");
+            assert!(
+                e.values.iter().all(|v| !v.is_null()),
+                "clean entities have no nulls"
+            );
         }
     }
 

@@ -168,13 +168,13 @@ impl Perturber {
         let mut chars = chars;
         let pos = rng.gen_range(0..chars.len() - 1);
         match rng.gen_range(0..4u8) {
-            0 => chars.swap(pos, pos + 1),                    // transposition
+            0 => chars.swap(pos, pos + 1), // transposition
             1 => {
-                chars.remove(pos);                            // deletion
+                chars.remove(pos); // deletion
             }
             2 => {
                 let c = (b'a' + rng.gen_range(0..26u8)) as char;
-                chars.insert(pos, c);                         // insertion
+                chars.insert(pos, c); // insertion
             }
             _ => {
                 chars[pos] = (b'a' + rng.gen_range(0..26u8)) as char; // substitution
@@ -256,7 +256,7 @@ impl Perturber {
             let delta = if jitter { rng.gen_range(-3i64..=3) } else { 0 };
             Value::Int(value as i64 + delta)
         } else if jitter {
-            let v = value * (1.0 + rng.gen_range(-0.1..0.1));
+            let v: f64 = value * (1.0 + rng.gen_range(-0.1..0.1));
             Value::Float((v * 100.0).round() / 100.0)
         } else {
             Value::Float(value)
@@ -320,7 +320,10 @@ mod tests {
 
     #[test]
     fn missingness_produces_nulls() {
-        let dirt = DirtLevel { missing_rate: 1.0, ..DirtLevel::clean() };
+        let dirt = DirtLevel {
+            missing_rate: 1.0,
+            ..DirtLevel::clean()
+        };
         let p = Perturber::new(dirt, MARKETING_WORDS);
         assert_eq!(p.perturb_text("anything", &mut rng(0)), Value::Null);
         assert_eq!(p.perturb_number(5.0, &mut rng(0)), Value::Null);

@@ -186,17 +186,35 @@ mod tests {
     #[test]
     fn table1_statistics_match_the_paper() {
         let fz = rest_fz();
-        assert_eq!((fz.n_left, fz.n_right, fz.n_matches, fz.n_attrs), (533, 331, 112, 7));
+        assert_eq!(
+            (fz.n_left, fz.n_right, fz.n_matches, fz.n_attrs),
+            (533, 331, 112, 7)
+        );
         let da = pub_da();
-        assert_eq!((da.n_left, da.n_right, da.n_matches, da.n_attrs), (2616, 2294, 2224, 4));
+        assert_eq!(
+            (da.n_left, da.n_right, da.n_matches, da.n_attrs),
+            (2616, 2294, 2224, 4)
+        );
         let ds = pub_ds();
-        assert_eq!((ds.n_left, ds.n_right, ds.n_matches, ds.n_attrs), (2616, 64263, 5347, 4));
+        assert_eq!(
+            (ds.n_left, ds.n_right, ds.n_matches, ds.n_attrs),
+            (2616, 64263, 5347, 4)
+        );
         let ri = mv_ri();
-        assert_eq!((ri.n_left, ri.n_right, ri.n_matches, ri.n_attrs), (558, 556, 190, 8));
+        assert_eq!(
+            (ri.n_left, ri.n_right, ri.n_matches, ri.n_attrs),
+            (558, 556, 190, 8)
+        );
         let ab = prod_ab();
-        assert_eq!((ab.n_left, ab.n_right, ab.n_matches, ab.n_attrs), (1082, 1093, 1098, 3));
+        assert_eq!(
+            (ab.n_left, ab.n_right, ab.n_matches, ab.n_attrs),
+            (1082, 1093, 1098, 3)
+        );
         let ag = prod_ag();
-        assert_eq!((ag.n_left, ag.n_right, ag.n_matches, ag.n_attrs), (1363, 3226, 1300, 4));
+        assert_eq!(
+            (ag.n_left, ag.n_right, ag.n_matches, ag.n_attrs),
+            (1363, 3226, 1300, 4)
+        );
     }
 
     #[test]

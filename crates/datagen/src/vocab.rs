@@ -6,58 +6,200 @@
 
 /// Restaurant name adjectives.
 pub const REST_ADJ: &[&str] = &[
-    "golden", "silver", "royal", "blue", "red", "jade", "lucky", "grand", "little", "old",
-    "new", "happy", "sunny", "rustic", "urban", "coastal", "hidden", "famous", "cozy",
-    "spicy", "sweet", "salty", "smoky", "crispy", "velvet", "ivory", "copper", "amber",
+    "golden", "silver", "royal", "blue", "red", "jade", "lucky", "grand", "little", "old", "new",
+    "happy", "sunny", "rustic", "urban", "coastal", "hidden", "famous", "cozy", "spicy", "sweet",
+    "salty", "smoky", "crispy", "velvet", "ivory", "copper", "amber",
 ];
 
 /// Restaurant name nouns.
 pub const REST_NOUN: &[&str] = &[
-    "dragon", "garden", "palace", "kitchen", "table", "bistro", "grill", "diner", "tavern",
-    "cafe", "house", "corner", "terrace", "oven", "spoon", "fork", "plate", "lantern",
-    "harbor", "orchard", "barn", "cellar", "hearth", "pavilion", "court", "villa",
+    "dragon", "garden", "palace", "kitchen", "table", "bistro", "grill", "diner", "tavern", "cafe",
+    "house", "corner", "terrace", "oven", "spoon", "fork", "plate", "lantern", "harbor", "orchard",
+    "barn", "cellar", "hearth", "pavilion", "court", "villa",
 ];
 
 /// Cuisines.
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "chinese", "japanese", "mexican", "thai", "indian", "greek",
-    "spanish", "korean", "vietnamese", "american", "cajun", "seafood", "steakhouse",
-    "vegetarian", "mediterranean", "ethiopian", "peruvian", "bbq",
+    "italian",
+    "french",
+    "chinese",
+    "japanese",
+    "mexican",
+    "thai",
+    "indian",
+    "greek",
+    "spanish",
+    "korean",
+    "vietnamese",
+    "american",
+    "cajun",
+    "seafood",
+    "steakhouse",
+    "vegetarian",
+    "mediterranean",
+    "ethiopian",
+    "peruvian",
+    "bbq",
 ];
 
 /// Cities.
 pub const CITIES: &[&str] = &[
-    "new york", "los angeles", "san francisco", "chicago", "boston", "seattle", "austin",
-    "denver", "portland", "atlanta", "miami", "dallas", "houston", "phoenix", "philadelphia",
-    "san diego", "minneapolis", "detroit", "baltimore", "nashville",
+    "new york",
+    "los angeles",
+    "san francisco",
+    "chicago",
+    "boston",
+    "seattle",
+    "austin",
+    "denver",
+    "portland",
+    "atlanta",
+    "miami",
+    "dallas",
+    "houston",
+    "phoenix",
+    "philadelphia",
+    "san diego",
+    "minneapolis",
+    "detroit",
+    "baltimore",
+    "nashville",
 ];
 
 /// Street names.
 pub const STREETS: &[&str] = &[
-    "main st", "oak ave", "maple dr", "park blvd", "sunset blvd", "broadway", "market st",
-    "elm st", "pine rd", "cedar ln", "lake ave", "hill st", "river rd", "union sq",
-    "grove st", "highland ave", "madison ave", "valley rd", "ocean dr", "spring st",
+    "main st",
+    "oak ave",
+    "maple dr",
+    "park blvd",
+    "sunset blvd",
+    "broadway",
+    "market st",
+    "elm st",
+    "pine rd",
+    "cedar ln",
+    "lake ave",
+    "hill st",
+    "river rd",
+    "union sq",
+    "grove st",
+    "highland ave",
+    "madison ave",
+    "valley rd",
+    "ocean dr",
+    "spring st",
 ];
 
 /// Computer-science title words for publications.
 pub const CS_WORDS: &[&str] = &[
-    "efficient", "scalable", "distributed", "parallel", "adaptive", "incremental", "robust",
-    "optimal", "approximate", "probabilistic", "query", "processing", "optimization",
-    "indexing", "storage", "transaction", "concurrency", "recovery", "replication",
-    "partitioning", "streaming", "graph", "relational", "spatial", "temporal", "semantic",
-    "learning", "mining", "clustering", "classification", "estimation", "sampling", "join",
-    "aggregation", "caching", "compression", "encryption", "privacy", "provenance",
-    "integration", "cleaning", "matching", "resolution", "deduplication", "extraction",
-    "warehouse", "analytics", "benchmark", "evaluation", "architecture", "framework",
-    "algorithm", "model", "system", "engine", "database", "memory", "disk", "cloud",
-    "locking", "logging", "checkpointing", "serialization", "vectorized", "columnar",
-    "hierarchical", "federated", "decentralized", "asynchronous", "transactional",
-    "materialized", "views", "cardinality", "selectivity", "histogram", "sketches",
-    "bloom", "filters", "lsm", "btree", "hashing", "sorting", "shuffling", "pipelining",
-    "scheduling", "allocation", "garbage", "collection", "versioning", "snapshot",
-    "isolation", "consistency", "availability", "durability", "latency", "throughput",
-    "workload", "tuning", "autoscaling", "elasticity", "virtualization", "containers",
-    "embedding", "representation", "attention", "pretraining", "finetuning", "inference",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "robust",
+    "optimal",
+    "approximate",
+    "probabilistic",
+    "query",
+    "processing",
+    "optimization",
+    "indexing",
+    "storage",
+    "transaction",
+    "concurrency",
+    "recovery",
+    "replication",
+    "partitioning",
+    "streaming",
+    "graph",
+    "relational",
+    "spatial",
+    "temporal",
+    "semantic",
+    "learning",
+    "mining",
+    "clustering",
+    "classification",
+    "estimation",
+    "sampling",
+    "join",
+    "aggregation",
+    "caching",
+    "compression",
+    "encryption",
+    "privacy",
+    "provenance",
+    "integration",
+    "cleaning",
+    "matching",
+    "resolution",
+    "deduplication",
+    "extraction",
+    "warehouse",
+    "analytics",
+    "benchmark",
+    "evaluation",
+    "architecture",
+    "framework",
+    "algorithm",
+    "model",
+    "system",
+    "engine",
+    "database",
+    "memory",
+    "disk",
+    "cloud",
+    "locking",
+    "logging",
+    "checkpointing",
+    "serialization",
+    "vectorized",
+    "columnar",
+    "hierarchical",
+    "federated",
+    "decentralized",
+    "asynchronous",
+    "transactional",
+    "materialized",
+    "views",
+    "cardinality",
+    "selectivity",
+    "histogram",
+    "sketches",
+    "bloom",
+    "filters",
+    "lsm",
+    "btree",
+    "hashing",
+    "sorting",
+    "shuffling",
+    "pipelining",
+    "scheduling",
+    "allocation",
+    "garbage",
+    "collection",
+    "versioning",
+    "snapshot",
+    "isolation",
+    "consistency",
+    "availability",
+    "durability",
+    "latency",
+    "throughput",
+    "workload",
+    "tuning",
+    "autoscaling",
+    "elasticity",
+    "virtualization",
+    "containers",
+    "embedding",
+    "representation",
+    "attention",
+    "pretraining",
+    "finetuning",
+    "inference",
 ];
 
 /// High-frequency title words (the Zipf head): shared across many paper
@@ -65,79 +207,193 @@ pub const CS_WORDS: &[&str] = &[
 /// exactly the confusable-candidate structure real bibliographic data has
 /// under overlap blocking.
 pub const CS_COMMON: &[&str] = &[
-    "data", "systems", "query", "efficient", "learning", "distributed", "processing",
-    "analysis", "management", "approach", "large", "scale", "model", "framework",
-    "method", "evaluation", "optimization", "performance", "adaptive", "using",
+    "data",
+    "systems",
+    "query",
+    "efficient",
+    "learning",
+    "distributed",
+    "processing",
+    "analysis",
+    "management",
+    "approach",
+    "large",
+    "scale",
+    "model",
+    "framework",
+    "method",
+    "evaluation",
+    "optimization",
+    "performance",
+    "adaptive",
+    "using",
 ];
 
 /// Author surnames.
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "lee", "chen", "wang", "garcia", "kumar", "patel", "mueller",
-    "tanaka", "kim", "nguyen", "brown", "davis", "wilson", "martin", "anderson", "taylor",
-    "thomas", "moore", "jackson", "white", "harris", "thompson", "lopez", "clark", "lewis",
-    "walker", "hall", "young", "allen", "king", "wright", "scott", "green", "baker",
-    "adams", "nelson", "hill", "rivera", "campbell", "mitchell", "roberts", "carter",
+    "smith", "johnson", "lee", "chen", "wang", "garcia", "kumar", "patel", "mueller", "tanaka",
+    "kim", "nguyen", "brown", "davis", "wilson", "martin", "anderson", "taylor", "thomas", "moore",
+    "jackson", "white", "harris", "thompson", "lopez", "clark", "lewis", "walker", "hall", "young",
+    "allen", "king", "wright", "scott", "green", "baker", "adams", "nelson", "hill", "rivera",
+    "campbell", "mitchell", "roberts", "carter",
 ];
 
 /// Publication venues (full names).
 pub const VENUES: &[&str] = &[
-    "sigmod conference", "vldb", "icde", "edbt", "cidr", "sigmod record", "vldb journal",
-    "tods", "tkde", "kdd", "icml", "www conference", "cikm", "wsdm", "pods",
+    "sigmod conference",
+    "vldb",
+    "icde",
+    "edbt",
+    "cidr",
+    "sigmod record",
+    "vldb journal",
+    "tods",
+    "tkde",
+    "kdd",
+    "icml",
+    "www conference",
+    "cikm",
+    "wsdm",
+    "pods",
 ];
 
 /// Abbreviated venue forms, aligned with [`VENUES`] where applicable.
 pub const VENUE_ABBREV: &[&str] = &[
-    "sigmod", "pvldb", "icde", "edbt", "cidr", "sigmod rec", "vldbj", "tods", "tkde",
-    "kdd", "icml", "www", "cikm", "wsdm", "pods",
+    "sigmod",
+    "pvldb",
+    "icde",
+    "edbt",
+    "cidr",
+    "sigmod rec",
+    "vldbj",
+    "tods",
+    "tkde",
+    "kdd",
+    "icml",
+    "www",
+    "cikm",
+    "wsdm",
+    "pods",
 ];
 
 /// Movie title words.
 pub const MOVIE_WORDS: &[&str] = &[
-    "midnight", "shadow", "river", "king", "queen", "lost", "last", "first", "dark",
-    "bright", "silent", "broken", "golden", "iron", "glass", "paper", "stone", "fire",
-    "winter", "summer", "return", "rise", "fall", "escape", "secret", "legend", "story",
-    "dream", "night", "day", "city", "island", "mountain", "ocean", "star", "moon",
-    "crimson", "velvet", "thunder", "whisper", "echo", "mirror", "crossing", "harbor",
-    "empire", "kingdom", "voyage", "hunter", "stranger", "phantom", "horizon", "garden",
-    "castle", "bridge", "tower", "forest", "desert", "storm", "frost", "ember",
+    "midnight", "shadow", "river", "king", "queen", "lost", "last", "first", "dark", "bright",
+    "silent", "broken", "golden", "iron", "glass", "paper", "stone", "fire", "winter", "summer",
+    "return", "rise", "fall", "escape", "secret", "legend", "story", "dream", "night", "day",
+    "city", "island", "mountain", "ocean", "star", "moon", "crimson", "velvet", "thunder",
+    "whisper", "echo", "mirror", "crossing", "harbor", "empire", "kingdom", "voyage", "hunter",
+    "stranger", "phantom", "horizon", "garden", "castle", "bridge", "tower", "forest", "desert",
+    "storm", "frost", "ember",
 ];
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "action", "thriller", "horror", "romance", "sci-fi", "documentary",
-    "animation", "crime", "fantasy", "western", "musical", "mystery",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "horror",
+    "romance",
+    "sci-fi",
+    "documentary",
+    "animation",
+    "crime",
+    "fantasy",
+    "western",
+    "musical",
+    "mystery",
 ];
 
 /// Person given-name initials pool (A-Z as strings).
 pub const INITIALS: &[&str] = &[
-    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p", "q",
-    "r", "s", "t", "u", "v", "w", "x", "y", "z",
+    "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p", "q", "r", "s",
+    "t", "u", "v", "w", "x", "y", "z",
 ];
 
 /// Product brands.
 pub const BRANDS: &[&str] = &[
-    "sonex", "techno", "apex", "nova", "zenith", "orion", "vertex", "pulse", "quantum",
-    "aura", "helix", "matrix", "vortex", "titan", "lumen", "cobalt", "argon", "xenon",
-    "krypton", "neon", "fusion", "stellar", "prime", "omega", "delta", "sigma",
+    "sonex", "techno", "apex", "nova", "zenith", "orion", "vertex", "pulse", "quantum", "aura",
+    "helix", "matrix", "vortex", "titan", "lumen", "cobalt", "argon", "xenon", "krypton", "neon",
+    "fusion", "stellar", "prime", "omega", "delta", "sigma",
 ];
 
 /// Product categories.
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "laptop", "monitor", "keyboard", "mouse", "printer", "scanner", "router", "camera",
-    "speaker", "headphones", "tablet", "charger", "adapter", "cable", "dock", "drive",
-    "memory", "processor", "motherboard", "case",
+    "laptop",
+    "monitor",
+    "keyboard",
+    "mouse",
+    "printer",
+    "scanner",
+    "router",
+    "camera",
+    "speaker",
+    "headphones",
+    "tablet",
+    "charger",
+    "adapter",
+    "cable",
+    "dock",
+    "drive",
+    "memory",
+    "processor",
+    "motherboard",
+    "case",
 ];
 
 /// Marketing words for product descriptions.
 pub const MARKETING_WORDS: &[&str] = &[
-    "premium", "professional", "advanced", "powerful", "compact", "portable", "wireless",
-    "ergonomic", "durable", "sleek", "ultra", "high-performance", "energy-efficient",
-    "lightweight", "versatile", "reliable", "innovative", "stylish", "affordable",
-    "next-generation", "seamless", "intuitive", "crystal-clear", "fast", "quiet",
-    "backlit", "rechargeable", "waterproof", "adjustable", "universal", "smart",
-    "enhanced", "superior", "exceptional", "optimized", "integrated", "certified",
-    "warranty", "bundle", "edition", "series", "design", "technology", "performance",
-    "quality", "features", "connectivity", "compatibility", "resolution", "battery",
+    "premium",
+    "professional",
+    "advanced",
+    "powerful",
+    "compact",
+    "portable",
+    "wireless",
+    "ergonomic",
+    "durable",
+    "sleek",
+    "ultra",
+    "high-performance",
+    "energy-efficient",
+    "lightweight",
+    "versatile",
+    "reliable",
+    "innovative",
+    "stylish",
+    "affordable",
+    "next-generation",
+    "seamless",
+    "intuitive",
+    "crystal-clear",
+    "fast",
+    "quiet",
+    "backlit",
+    "rechargeable",
+    "waterproof",
+    "adjustable",
+    "universal",
+    "smart",
+    "enhanced",
+    "superior",
+    "exceptional",
+    "optimized",
+    "integrated",
+    "certified",
+    "warranty",
+    "bundle",
+    "edition",
+    "series",
+    "design",
+    "technology",
+    "performance",
+    "quality",
+    "features",
+    "connectivity",
+    "compatibility",
+    "resolution",
+    "battery",
 ];
 
 /// Deterministically picks an element by index (wrapping).
@@ -152,8 +408,20 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_reasonably_sized() {
         for pool in [
-            REST_ADJ, REST_NOUN, CUISINES, CITIES, STREETS, CS_WORDS, SURNAMES, VENUES,
-            VENUE_ABBREV, MOVIE_WORDS, GENRES, BRANDS, PRODUCT_CATEGORIES, MARKETING_WORDS,
+            REST_ADJ,
+            REST_NOUN,
+            CUISINES,
+            CITIES,
+            STREETS,
+            CS_WORDS,
+            SURNAMES,
+            VENUES,
+            VENUE_ABBREV,
+            MOVIE_WORDS,
+            GENRES,
+            BRANDS,
+            PRODUCT_CATEGORIES,
+            MARKETING_WORDS,
         ] {
             assert!(pool.len() >= 10, "pool too small: {}", pool.len());
         }

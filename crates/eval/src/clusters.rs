@@ -41,13 +41,19 @@ pub fn pairwise_cluster_f1(predicted: &[Vec<usize>], truth: &[Vec<usize>]) -> Co
 /// closure (union-find over the pair graph).
 pub fn clusters_from_pairs(pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
     let mut parent: HashMap<usize, usize> = HashMap::new();
+    // Iterative find with full path compression: long match chains must
+    // not recurse (a 100k-pair chain would overflow the stack).
     fn find(parent: &mut HashMap<usize, usize>, x: usize) -> usize {
-        let p = *parent.entry(x).or_insert(x);
-        if p == x {
-            return x;
+        let mut root = *parent.entry(x).or_insert(x);
+        while *parent.entry(root).or_insert(root) != root {
+            root = parent[&root];
         }
-        let root = find(parent, p);
-        parent.insert(x, root);
+        let mut cur = x;
+        while parent[&cur] != root {
+            let next = parent[&cur];
+            parent.insert(cur, root);
+            cur = next;
+        }
         root
     }
     for &(a, b) in pairs {

@@ -56,7 +56,12 @@ pub fn pr_curve(scores: &[f64], truth: &[bool]) -> Vec<PrPoint> {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        curve.push(PrPoint { threshold, precision, recall, f1 });
+        curve.push(PrPoint {
+            threshold,
+            precision,
+            recall,
+            f1,
+        });
     }
     curve
 }
@@ -78,13 +83,13 @@ pub fn auc_pr(scores: &[f64], truth: &[bool]) -> f64 {
 /// threshold, i.e. higher precision). Returns `None` when there are no
 /// positives.
 pub fn best_f1_threshold(scores: &[f64], truth: &[bool]) -> Option<PrPoint> {
-    pr_curve(scores, truth)
-        .into_iter()
-        .max_by(|a, b| {
-            a.f1.partial_cmp(&b.f1)
-                .expect("finite F1")
-                .then(a.threshold.partial_cmp(&b.threshold).expect("finite threshold"))
-        })
+    pr_curve(scores, truth).into_iter().max_by(|a, b| {
+        a.f1.partial_cmp(&b.f1).expect("finite F1").then(
+            a.threshold
+                .partial_cmp(&b.threshold)
+                .expect("finite threshold"),
+        )
+    })
 }
 
 /// Brier score: mean squared error of the probabilities against the 0/1

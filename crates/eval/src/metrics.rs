@@ -19,7 +19,11 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics if lengths differ.
     pub fn from_predictions(predicted: &[bool], truth: &[bool]) -> Self {
-        assert_eq!(predicted.len(), truth.len(), "prediction/truth length mismatch");
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "prediction/truth length mismatch"
+        );
         let mut cm = Self::default();
         for (&p, &t) in predicted.iter().zip(truth) {
             match (p, t) {
@@ -115,7 +119,15 @@ mod tests {
         let p = [true, true, true, false, false];
         let t = [true, true, false, true, false];
         let cm = ConfusionMatrix::from_predictions(&p, &t);
-        assert_eq!(cm, ConfusionMatrix { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            cm,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert!((cm.f1() - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -142,6 +154,9 @@ mod tests {
     fn f_score_helper_matches_struct() {
         let p = [true, false, true];
         let t = [true, true, true];
-        assert_eq!(f_score(&p, &t), ConfusionMatrix::from_predictions(&p, &t).f1());
+        assert_eq!(
+            f_score(&p, &t),
+            ConfusionMatrix::from_predictions(&p, &t).f1()
+        );
     }
 }

@@ -18,7 +18,10 @@ pub fn rng(seed: u64) -> StdRng {
 /// # Panics
 /// Panics if `train_frac` is outside `[0, 1]`.
 pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac must be in [0,1]"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut rng(seed));
     let cut = ((n as f64) * train_frac).round() as usize;
@@ -42,8 +45,11 @@ pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usiz
     for f in 0..k {
         let size = fold_size + usize::from(f < remainder);
         let val: Vec<usize> = idx[start..start + size].to_vec();
-        let train: Vec<usize> =
-            idx[..start].iter().chain(&idx[start + size..]).copied().collect();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
         folds.push((train, val));
         start += size;
     }
@@ -61,7 +67,11 @@ pub fn oversample_minority(labels: &[bool], indices: &[usize], seed: u64) -> Vec
     if pos.is_empty() || neg.is_empty() {
         return indices.to_vec();
     }
-    let (minority, majority) = if pos.len() < neg.len() { (&pos, &neg) } else { (&neg, &pos) };
+    let (minority, majority) = if pos.len() < neg.len() {
+        (&pos, &neg)
+    } else {
+        (&neg, &pos)
+    };
     let mut out = indices.to_vec();
     let mut r = rng(seed);
     let deficit = majority.len() - minority.len();
@@ -88,7 +98,10 @@ mod tests {
     #[test]
     fn split_is_deterministic_per_seed() {
         assert_eq!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 1));
-        assert_ne!(train_test_split(50, 0.3, 1).0, train_test_split(50, 0.3, 2).0);
+        assert_ne!(
+            train_test_split(50, 0.3, 1).0,
+            train_test_split(50, 0.3, 2).0
+        );
     }
 
     #[test]

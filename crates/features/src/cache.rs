@@ -6,9 +6,26 @@
 //! large constant-factor win because blocking typically puts each record
 //! in many candidate pairs.
 
-use zeroer_tabular::{Table, Value};
+use zeroer_tabular::{Record, Table, Value};
 use zeroer_textsim::tokenize::TokenBag;
 use zeroer_textsim::{qgrams, words};
+
+/// Borrowed view of one record's cached derived forms for one attribute —
+/// the common currency between the columnar batch cache and the
+/// per-record streaming cache.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrView<'a> {
+    /// Lowercased textual form (empty for nulls).
+    pub text: &'a str,
+    /// 3-gram token bag.
+    pub qgm3: &'a TokenBag,
+    /// Word token bag.
+    pub word: &'a TokenBag,
+    /// Numeric interpretation, when available.
+    pub number: Option<f64>,
+    /// Whether the original value was non-null.
+    pub present: bool,
+}
 
 /// Cached derived forms of one attribute column of one table.
 #[derive(Debug, Clone)]
@@ -43,7 +60,13 @@ impl AttrCache {
             word.push(words(&t));
             text.push(t.to_lowercase());
         }
-        Self { text, qgm3, word, number, present }
+        Self {
+            text,
+            qgm3,
+            word,
+            number,
+            present,
+        }
     }
 
     /// Number of cached records.
@@ -54,6 +77,73 @@ impl AttrCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.text.is_empty()
+    }
+
+    /// View of record `idx`'s cached forms.
+    pub fn view(&self, idx: usize) -> AttrView<'_> {
+        AttrView {
+            text: &self.text[idx],
+            qgm3: &self.qgm3[idx],
+            word: &self.word[idx],
+            number: self.number[idx],
+            present: self.present[idx],
+        }
+    }
+}
+
+/// Cached derived forms of one *record* across all attributes — the
+/// streaming counterpart of [`TableCache`], built incrementally as
+/// records arrive instead of column-by-column over a full table.
+#[derive(Debug, Clone)]
+pub struct RecordCache {
+    entries: Vec<RecordEntry>,
+}
+
+/// One attribute's cached forms within a [`RecordCache`].
+#[derive(Debug, Clone)]
+pub struct RecordEntry {
+    text: String,
+    qgm3: TokenBag,
+    word: TokenBag,
+    number: Option<f64>,
+    present: bool,
+}
+
+impl RecordCache {
+    /// Derives all cached forms from a record's values.
+    pub fn build(record: &Record) -> Self {
+        let entries = record
+            .values
+            .iter()
+            .map(|v| {
+                let t = v.as_text().unwrap_or_default();
+                RecordEntry {
+                    qgm3: qgrams(&t, 3),
+                    word: words(&t),
+                    number: v.as_number(),
+                    present: !v.is_null(),
+                    text: t.to_lowercase(),
+                }
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// View of attribute `a`'s cached forms.
+    pub fn view(&self, a: usize) -> AttrView<'_> {
+        let e = &self.entries[a];
+        AttrView {
+            text: &e.text,
+            qgm3: &e.qgm3,
+            word: &e.word,
+            number: e.number,
+            present: e.present,
+        }
     }
 }
 

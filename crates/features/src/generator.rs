@@ -1,6 +1,6 @@
 //! The bulk pair featurizer.
 
-use crate::cache::TableCache;
+use crate::cache::{AttrView, RecordCache, TableCache};
 use crate::registry::{functions_for, SimFunction};
 use zeroer_linalg::block::GroupLayout;
 use zeroer_linalg::stats::{apply_min_max, min_max_normalize};
@@ -20,6 +20,10 @@ pub struct FeatureSet {
     pub names: Vec<String>,
     /// Min-max ranges recorded by [`FeatureSet::normalize`], if called.
     pub ranges: Option<Vec<(f64, f64)>>,
+    /// Per-column means used to impute missing similarities (0 for
+    /// all-missing columns) — the replay state frozen-model scoring needs
+    /// to treat unseen pairs like training pairs.
+    pub impute_means: Vec<f64>,
 }
 
 impl FeatureSet {
@@ -67,7 +71,34 @@ impl FeatureSet {
             layout: self.layout.clone(),
             names: self.names.clone(),
             ranges: self.ranges.clone(),
+            impute_means: self.impute_means.clone(),
         }
+    }
+}
+
+/// Computes one similarity value from cached attribute views, `NaN` when
+/// either side is missing. This is the single scoring kernel shared by
+/// the batch featurizer and the streaming [`RowFeaturizer`].
+fn sim_value(f: SimFunction, l: AttrView<'_>, r: AttrView<'_>) -> f64 {
+    if !(l.present && r.present) {
+        return f64::NAN;
+    }
+    match f {
+        SimFunction::AbsDiff => match (l.number, r.number) {
+            (Some(x), Some(y)) => zeroer_textsim::abs_diff_sim(x, y),
+            _ => f64::NAN,
+        },
+        SimFunction::RelDiff => match (l.number, r.number) {
+            (Some(x), Some(y)) => zeroer_textsim::rel_diff_sim(x, y),
+            _ => f64::NAN,
+        },
+        SimFunction::JaccardQgm3 | SimFunction::CosineQgm3 => f.apply_tokens(l.qgm3, r.qgm3),
+        SimFunction::JaccardWord
+        | SimFunction::CosineWord
+        | SimFunction::DiceWord
+        | SimFunction::OverlapWord
+        | SimFunction::MongeElkan => f.apply_tokens(l.word, r.word),
+        _ => f.apply_text(l.text, r.text),
     }
 }
 
@@ -135,35 +166,10 @@ impl PairFeaturizer {
         debug_assert_eq!(out.len(), self.dim);
         let mut col = 0;
         for (a, funcs) in self.functions.iter().enumerate() {
-            let lc = self.left.attr(a);
-            let rc = self.right.attr(a);
-            let both_present = lc.present[li] && rc.present[ri];
+            let lv = self.left.attr(a).view(li);
+            let rv = self.right.attr(a).view(ri);
             for &f in *funcs {
-                out[col] = if !both_present {
-                    f64::NAN
-                } else {
-                    match f {
-                        SimFunction::AbsDiff => match (lc.number[li], rc.number[ri]) {
-                            (Some(x), Some(y)) => zeroer_textsim::abs_diff_sim(x, y),
-                            _ => f64::NAN,
-                        },
-                        SimFunction::RelDiff => match (lc.number[li], rc.number[ri]) {
-                            (Some(x), Some(y)) => zeroer_textsim::rel_diff_sim(x, y),
-                            _ => f64::NAN,
-                        },
-                        SimFunction::JaccardQgm3 | SimFunction::CosineQgm3 => {
-                            f.apply_tokens(&lc.qgm3[li], &rc.qgm3[ri])
-                        }
-                        SimFunction::JaccardWord
-                        | SimFunction::CosineWord
-                        | SimFunction::DiceWord
-                        | SimFunction::OverlapWord
-                        | SimFunction::MongeElkan => {
-                            f.apply_tokens(&lc.word[li], &rc.word[ri])
-                        }
-                        _ => f.apply_text(&lc.text[li], &rc.text[ri]),
-                    }
-                };
+                out[col] = sim_value(f, lv, rv);
                 col += 1;
             }
         }
@@ -179,7 +185,9 @@ impl PairFeaturizer {
         let d = self.dim;
         let mut data = vec![0.0f64; n * d];
 
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(8);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(8);
         let chunk_rows = n.div_ceil(threads.max(1)).max(1);
         crossbeam::thread::scope(|scope| {
             for (chunk_idx, out_chunk) in data.chunks_mut(chunk_rows * d).enumerate() {
@@ -196,21 +204,93 @@ impl PairFeaturizer {
         .expect("feature generation thread panicked");
 
         let mut matrix = Matrix::from_vec(n, d, data);
-        impute_column_means(&mut matrix);
+        let impute_means = impute_column_means(&mut matrix);
 
         FeatureSet {
             matrix,
             layout: GroupLayout::from_sizes(&self.group_sizes()),
             names: self.feature_names(),
             ranges: None,
+            impute_means,
         }
     }
 }
 
+/// A featurizer frozen to a fixed attribute-type assignment, producing
+/// raw feature rows for *individual* record pairs from per-record caches.
+///
+/// This is the streaming counterpart of [`PairFeaturizer`]: the batch
+/// path infers attribute types jointly over full tables, while the
+/// streaming path must keep the bootstrap-time types (and therefore the
+/// exact feature layout) fixed no matter what arrives later.
+#[derive(Debug, Clone)]
+pub struct RowFeaturizer {
+    attr_types: Vec<AttrType>,
+    functions: Vec<&'static [SimFunction]>,
+    dim: usize,
+}
+
+impl RowFeaturizer {
+    /// Builds a featurizer for a frozen attribute-type assignment.
+    pub fn new(attr_types: &[AttrType]) -> Self {
+        let functions: Vec<&'static [SimFunction]> =
+            attr_types.iter().map(|&t| functions_for(t)).collect();
+        let dim = functions.iter().map(|f| f.len()).sum();
+        Self {
+            attr_types: attr_types.to_vec(),
+            functions,
+            dim,
+        }
+    }
+
+    /// The frozen attribute types.
+    pub fn attr_types(&self) -> &[AttrType] {
+        &self.attr_types
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature group sizes, one per attribute.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.functions.iter().map(|f| f.len()).collect()
+    }
+
+    /// One pair's raw feature row (`NaN` marks not-computable entries).
+    ///
+    /// # Panics
+    /// Panics if either record's arity differs from the frozen types.
+    pub fn raw_row(&self, left: &RecordCache, right: &RecordCache) -> Vec<f64> {
+        assert_eq!(
+            left.arity(),
+            self.functions.len(),
+            "left record arity mismatch"
+        );
+        assert_eq!(
+            right.arity(),
+            self.functions.len(),
+            "right record arity mismatch"
+        );
+        let mut out = Vec::with_capacity(self.dim);
+        for (a, funcs) in self.functions.iter().enumerate() {
+            let lv = left.view(a);
+            let rv = right.view(a);
+            for &f in *funcs {
+                out.push(sim_value(f, lv, rv));
+            }
+        }
+        out
+    }
+}
+
 /// Replaces NaN entries with the column mean of the non-NaN entries
-/// (0 when the entire column is NaN).
-fn impute_column_means(m: &mut Matrix) {
+/// (0 when the entire column is NaN), returning the per-column means
+/// applied.
+fn impute_column_means(m: &mut Matrix) -> Vec<f64> {
     let (n, d) = (m.rows(), m.cols());
+    let mut means = Vec::with_capacity(d);
     for j in 0..d {
         let mut sum = 0.0;
         let mut cnt = 0usize;
@@ -227,7 +307,9 @@ fn impute_column_means(m: &mut Matrix) {
                 m[(i, j)] = mean;
             }
         }
+        means.push(mean);
     }
+    means
 }
 
 #[cfg(test)]
@@ -238,11 +320,31 @@ mod tests {
     fn restaurant_tables() -> (Table, Table) {
         let schema = Schema::new(["name", "city", "year"]);
         let mut l = Table::new("l", schema.clone());
-        l.push(Record::new(0, vec!["Ritz Carlton Cafe".into(), "new york".into(), Value::Int(1999)]));
-        l.push(Record::new(1, vec!["Joe's Diner".into(), "boston".into(), Value::Int(2005)]));
+        l.push(Record::new(
+            0,
+            vec![
+                "Ritz Carlton Cafe".into(),
+                "new york".into(),
+                Value::Int(1999),
+            ],
+        ));
+        l.push(Record::new(
+            1,
+            vec!["Joe's Diner".into(), "boston".into(), Value::Int(2005)],
+        ));
         let mut r = Table::new("r", schema);
-        r.push(Record::new(0, vec!["Ritz-Carlton Café".into(), "new york city".into(), Value::Int(1999)]));
-        r.push(Record::new(1, vec!["Completely Different".into(), "seattle".into(), Value::Null]));
+        r.push(Record::new(
+            0,
+            vec![
+                "Ritz-Carlton Café".into(),
+                "new york city".into(),
+                Value::Int(1999),
+            ],
+        ));
+        r.push(Record::new(
+            1,
+            vec!["Completely Different".into(), "seattle".into(), Value::Null],
+        ));
         (l, r)
     }
 
@@ -324,7 +426,10 @@ mod tests {
         // Identical record compared with itself scores 1 everywhere.
         let fs_self = fz.featurize(&[(0, 0)]);
         for &v in fs_self.matrix.row(0) {
-            assert!((v - 1.0).abs() < 1e-9, "self-pair feature should be 1.0, got {v}");
+            assert!(
+                (v - 1.0).abs() < 1e-9,
+                "self-pair feature should be 1.0, got {v}"
+            );
         }
     }
 }

@@ -22,5 +22,6 @@ pub mod cache;
 pub mod generator;
 pub mod registry;
 
-pub use generator::{FeatureSet, PairFeaturizer};
+pub use cache::{AttrView, RecordCache};
+pub use generator::{FeatureSet, PairFeaturizer, RowFeaturizer};
 pub use registry::{functions_for, SimFunction};

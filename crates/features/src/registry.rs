@@ -6,8 +6,8 @@ use zeroer_tabular::{AttrType, Value};
 use zeroer_textsim::align::{needleman_wunsch, smith_waterman};
 use zeroer_textsim::tokenize::TokenBag;
 use zeroer_textsim::{
-    abs_diff_sim, cosine, dice, exact_match, jaccard, jaro_winkler, levenshtein_sim,
-    monge_elkan, overlap_coefficient, rel_diff_sim,
+    abs_diff_sim, cosine, dice, exact_match, jaccard, jaro_winkler, levenshtein_sim, monge_elkan,
+    overlap_coefficient, rel_diff_sim,
 };
 
 /// A similarity function identifier, as applied by the feature generator.
@@ -94,9 +94,10 @@ impl SimFunction {
         match self {
             SimFunction::AbsDiff => Some(abs_diff_sim(a.as_number()?, b.as_number()?)),
             SimFunction::RelDiff => Some(rel_diff_sim(a.as_number()?, b.as_number()?)),
-            SimFunction::ExactMatch => {
-                Some(exact_match(&a.as_text()?.to_lowercase(), &b.as_text()?.to_lowercase()))
-            }
+            SimFunction::ExactMatch => Some(exact_match(
+                &a.as_text()?.to_lowercase(),
+                &b.as_text()?.to_lowercase(),
+            )),
             _ => {
                 let sa = a.as_text()?;
                 let sb = b.as_text()?;
@@ -117,12 +118,8 @@ impl SimFunction {
             SimFunction::JaccardWord => {
                 jaccard(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
             }
-            SimFunction::CosineWord => {
-                cosine(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
-            }
-            SimFunction::DiceWord => {
-                dice(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
-            }
+            SimFunction::CosineWord => cosine(&zeroer_textsim::words(a), &zeroer_textsim::words(b)),
+            SimFunction::DiceWord => dice(&zeroer_textsim::words(a), &zeroer_textsim::words(b)),
             SimFunction::OverlapWord => {
                 overlap_coefficient(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
             }
@@ -166,10 +163,21 @@ pub fn functions_for(attr_type: AttrType) -> &'static [SimFunction] {
     match attr_type {
         AttrType::Boolean => &[ExactMatch],
         AttrType::Numeric => &[ExactMatch, AbsDiff, RelDiff],
-        AttrType::StrShort => &[JaccardQgm3, CosineQgm3, Levenshtein, JaroWinkler, ExactMatch],
-        AttrType::StrMedium => {
-            &[JaccardQgm3, CosineQgm3, JaccardWord, MongeElkan, Levenshtein, NeedlemanWunsch]
-        }
+        AttrType::StrShort => &[
+            JaccardQgm3,
+            CosineQgm3,
+            Levenshtein,
+            JaroWinkler,
+            ExactMatch,
+        ],
+        AttrType::StrMedium => &[
+            JaccardQgm3,
+            CosineQgm3,
+            JaccardWord,
+            MongeElkan,
+            Levenshtein,
+            NeedlemanWunsch,
+        ],
         AttrType::StrLong => &[JaccardQgm3, CosineQgm3, JaccardWord, CosineWord, MongeElkan],
         AttrType::StrHuge => &[JaccardWord, CosineWord, DiceWord, OverlapWord],
     }
@@ -228,7 +236,12 @@ mod tests {
     #[test]
     fn identical_values_score_one_for_all_string_functions() {
         let v: Value = "the matrix".into();
-        for t in [AttrType::StrShort, AttrType::StrMedium, AttrType::StrLong, AttrType::StrHuge] {
+        for t in [
+            AttrType::StrShort,
+            AttrType::StrMedium,
+            AttrType::StrLong,
+            AttrType::StrHuge,
+        ] {
             for f in functions_for(t) {
                 let s = f.apply(&v, &v).unwrap();
                 assert!((s - 1.0).abs() < 1e-9, "{f:?} gave {s} on identical values");

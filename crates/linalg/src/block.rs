@@ -33,7 +33,10 @@ impl GroupLayout {
             offsets.push(acc);
             acc += s;
         }
-        Self { sizes: sizes.to_vec(), offsets }
+        Self {
+            sizes: sizes.to_vec(),
+            offsets,
+        }
     }
 
     /// A layout with one group spanning all `d` columns (the "full
@@ -54,7 +57,9 @@ impl GroupLayout {
 
     /// Total dimensionality.
     pub fn dim(&self) -> usize {
-        self.offsets.last().map_or(0, |o| o + self.sizes[self.sizes.len() - 1])
+        self.offsets
+            .last()
+            .map_or(0, |o| o + self.sizes[self.sizes.len() - 1])
     }
 
     /// `(offset, size)` of group `g`.
@@ -90,19 +95,29 @@ impl BlockDiag {
     pub fn from_blocks(blocks: Vec<Matrix>) -> Self {
         assert!(blocks.iter().all(Matrix::is_square), "non-square block");
         let sizes: Vec<usize> = blocks.iter().map(Matrix::rows).collect();
-        Self { layout: GroupLayout::from_sizes(&sizes), blocks }
+        Self {
+            layout: GroupLayout::from_sizes(&sizes),
+            blocks,
+        }
     }
 
     /// Slices a full `d×d` matrix into blocks according to `layout`,
     /// discarding entries outside the blocks (this is how the grouped
     /// covariance is *defined* from a dense sample covariance).
     pub fn from_dense(full: &Matrix, layout: &GroupLayout) -> Self {
-        assert_eq!(full.rows(), layout.dim(), "matrix/layout dimension mismatch");
+        assert_eq!(
+            full.rows(),
+            layout.dim(),
+            "matrix/layout dimension mismatch"
+        );
         let blocks = layout
             .iter()
             .map(|(off, sz)| full.principal_submatrix(off, sz))
             .collect();
-        Self { layout: layout.clone(), blocks }
+        Self {
+            layout: layout.clone(),
+            blocks,
+        }
     }
 
     /// The group layout.
@@ -172,7 +187,10 @@ impl BlockDiag {
             .iter()
             .map(Cholesky::factor)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(BlockCholesky { layout: self.layout.clone(), factors })
+        Ok(BlockCholesky {
+            layout: self.layout.clone(),
+            factors,
+        })
     }
 }
 
@@ -239,11 +257,7 @@ mod tests {
 
     #[test]
     fn from_dense_discards_cross_block_entries() {
-        let full = Matrix::from_rows(&[
-            &[1.0, 0.5, 9.0],
-            &[0.5, 2.0, 9.0],
-            &[9.0, 9.0, 3.0],
-        ]);
+        let full = Matrix::from_rows(&[&[1.0, 0.5, 9.0], &[0.5, 2.0, 9.0], &[9.0, 9.0, 3.0]]);
         let layout = GroupLayout::from_sizes(&[2, 1]);
         let bd = BlockDiag::from_dense(&full, &layout);
         let dense = bd.to_dense();

@@ -12,7 +12,11 @@ pub struct NotPositiveDefinite {
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is not positive definite (failed at pivot {})", self.pivot)
+        write!(
+            f,
+            "matrix is not positive definite (failed at pivot {})",
+            self.pivot
+        )
     }
 }
 
@@ -107,6 +111,7 @@ impl Cholesky {
     ///
     /// # Panics
     /// Panics if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // triangular solves index by k < i
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "dimension mismatch in solve");
@@ -143,6 +148,7 @@ impl Cholesky {
         // Forward-solve L z = (x - mu); return ||z||^2.
         let mut z = vec![0.0; n];
         let mut acc = 0.0;
+        #[allow(clippy::needless_range_loop)] // triangular solve indexes by k < i
         for i in 0..n {
             let mut sum = x[i] - mu[i];
             for k in 0..i {
@@ -179,11 +185,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.0],
-            &[0.6, 1.0, 3.0],
-        ])
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
     }
 
     #[test]
@@ -232,7 +234,10 @@ mod tests {
         // Rank-1 matrix: outer product of [1,2] with itself.
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
         let c = Cholesky::factor(&a).unwrap();
-        assert!(c.jitter() > 0.0, "rank-deficient input should require jitter");
+        assert!(
+            c.jitter() > 0.0,
+            "rank-deficient input should require jitter"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl BlockGaussian {
         let chol = cov.factor()?;
         let d = mean.len() as f64;
         let log_norm = -0.5 * (d * LN_2PI + chol.log_det());
-        Ok(Self { mean, chol, log_norm })
+        Ok(Self {
+            mean,
+            chol,
+            log_norm,
+        })
     }
 
     /// The mean vector.
@@ -83,8 +87,7 @@ mod tests {
             &BlockDiag::from_blocks(vec![b1.clone(), b2.clone()]),
         )
         .unwrap();
-        let g1 =
-            BlockGaussian::new(vec![0.1, 0.2], &BlockDiag::from_blocks(vec![b1])).unwrap();
+        let g1 = BlockGaussian::new(vec![0.1, 0.2], &BlockDiag::from_blocks(vec![b1])).unwrap();
         let g2 = BlockGaussian::new(vec![0.3], &BlockDiag::from_blocks(vec![b2])).unwrap();
         let x = [1.0, -0.5, 0.0];
         let sum = g1.log_pdf(&x[..2]) + g2.log_pdf(&x[2..]);

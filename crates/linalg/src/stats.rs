@@ -176,7 +176,11 @@ pub fn min_max_normalize(x: &mut Matrix) -> Vec<(f64, f64)> {
         ranges.push((lo, hi));
         let span = hi - lo;
         for i in 0..n {
-            x[(i, j)] = if span > 0.0 { (x[(i, j)] - lo) / span } else { 0.0 };
+            x[(i, j)] = if span > 0.0 {
+                (x[(i, j)] - lo) / span
+            } else {
+                0.0
+            };
         }
     }
     ranges
@@ -218,11 +222,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, 10.0],
-            &[2.0, 20.0],
-            &[3.0, 30.0],
-        ])
+        Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]])
     }
 
     #[test]

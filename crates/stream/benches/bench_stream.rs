@@ -1,0 +1,71 @@
+//! Streaming-ingest throughput: bootstrap on 70 % of a dedup dataset,
+//! then measure per-record ingest latency (incremental blocking +
+//! frozen-model scoring + cluster assignment) over the remaining 30 %.
+//!
+//! Knobs: `ZEROER_SCALE` (default 0.25), `ZEROER_SEED` (default 42).
+
+use std::time::Instant;
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_stream::{StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_f64("ZEROER_SCALE", 0.25);
+    let seed = env_f64("ZEROER_SEED", 42.0) as u64;
+    let ds = generate(&rest_fz(), scale, seed);
+
+    let (table, _truth) = ds.dedup_table();
+    let cut = table.len() * 7 / 10;
+    let mut bootstrap_table = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        bootstrap_table.push(r.clone());
+    }
+
+    println!("== bench_stream: incremental ingest throughput ==");
+    println!(
+        "dataset Rest-FZ at scale {scale}: {} records, bootstrap on {cut}\n",
+        table.len()
+    );
+
+    let t0 = Instant::now();
+    let (mut pipeline, report) =
+        StreamPipeline::bootstrap(&bootstrap_table, StreamOptions::default()).expect("bootstrap");
+    let bootstrap_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "bootstrap: {:.3} s ({} candidate pairs, {} EM iterations)",
+        bootstrap_secs,
+        report.pairs.len(),
+        report.em_iterations
+    );
+
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    let n = tail.len();
+    let t1 = Instant::now();
+    let mut scored = 0usize;
+    let mut matched = 0usize;
+    for r in tail {
+        let out = pipeline.ingest(r);
+        scored += out.candidates;
+        matched += usize::from(!out.is_new_entity());
+    }
+    let ingest_secs = t1.elapsed().as_secs_f64();
+
+    println!(
+        "ingest: {n} records in {:.4} s → {:.0} records/s ({:.1} µs/record)",
+        ingest_secs,
+        n as f64 / ingest_secs,
+        ingest_secs * 1e6 / n as f64
+    );
+    println!(
+        "        {scored} candidates scored, {matched} records joined existing entities, {} clusters",
+        pipeline.clusters().len()
+    );
+}

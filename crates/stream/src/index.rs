@@ -1,0 +1,286 @@
+//! Incremental blocking indexes.
+//!
+//! The batch blockers enumerate candidate pairs by joining two complete
+//! inverted indexes. Streaming ingest needs the *online* form of the same
+//! computation: insert one record and get back the indices of previously
+//! inserted records it shares a blocking key with, in one pass.
+//!
+//! [`IncrementalIndex`] mirrors the batch dedup recipe the high-level
+//! pipeline uses — the union of word-token blocking and character q-gram
+//! blocking on one key attribute (`TokenBlocker ∪ QgramBlocker`) — using
+//! the *same* key extraction ([`zeroer_blocking::keys`]), so batch and
+//! incremental candidate sets cannot drift apart.
+//!
+//! ## Frequency cap
+//!
+//! The batch blockers skip "stop word" buckets whose pair product exceeds
+//! `max_bucket²` (for a self-join: buckets with more than `max_bucket`
+//! members). Online, a bucket's final size is unknowable, so the cap is
+//! applied at the crossing point: a bucket that would exceed `max_bucket`
+//! members is permanently retired ("dead") and never pairs again. Inserts
+//! *before* the crossing already paired through the bucket — those early
+//! pairs are the one bounded divergence from batch semantics (at most
+//! `max_bucket·(max_bucket−1)/2` extra pairs per hot key, and none on
+//! datasets where no bucket overflows; see the parity tests).
+
+use std::collections::HashMap;
+use zeroer_blocking::keys::{qgram_keys, token_keys};
+use zeroer_tabular::Record;
+
+/// Configuration for [`IncrementalIndex`], mirroring the defaults of the
+/// batch pipeline's blocker (`MatchOptions`).
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Attribute index used as the blocking key.
+    pub attr: usize,
+    /// q-gram size of the q-gram leg (0 disables the leg).
+    pub qgram: usize,
+    /// Stop-word bucket cap (see module docs).
+    pub max_bucket: usize,
+    /// Minimum shared word tokens on the token leg. Values above 1 switch
+    /// to overlap blocking and disable the q-gram leg, exactly like the
+    /// batch `MatchOptions` recipe.
+    pub min_token_overlap: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            attr: 0,
+            qgram: 4,
+            max_bucket: 400,
+            min_token_overlap: 1,
+        }
+    }
+}
+
+/// One inverted-index bucket: live members, or retired after crossing the
+/// frequency cap.
+#[derive(Debug, Clone)]
+enum Bucket {
+    Live(Vec<usize>),
+    Dead,
+}
+
+/// One blocking leg: an inverted index with the frequency cap.
+#[derive(Debug, Clone)]
+struct Leg {
+    buckets: HashMap<String, Bucket>,
+    max_bucket: usize,
+}
+
+impl Leg {
+    fn new(max_bucket: usize) -> Self {
+        Self {
+            buckets: HashMap::new(),
+            max_bucket,
+        }
+    }
+
+    /// Collects members sharing any key, counting shared keys per member,
+    /// then inserts the new record under every key. Takes the keys by
+    /// value: they are moved into the buckets, so steady-state ingest
+    /// does no per-key cloning.
+    fn lookup_and_insert(
+        &mut self,
+        idx: usize,
+        keys: Vec<String>,
+        counts: &mut HashMap<usize, usize>,
+    ) {
+        for key in keys {
+            let bucket = self
+                .buckets
+                .entry(key)
+                .or_insert_with(|| Bucket::Live(Vec::new()));
+            match bucket {
+                Bucket::Dead => {}
+                Bucket::Live(members) => {
+                    if members.len() + 1 > self.max_bucket {
+                        // Crossing the cap: batch semantics would never
+                        // pair through this key, so retire it.
+                        *bucket = Bucket::Dead;
+                        continue;
+                    }
+                    for &m in members.iter() {
+                        *counts.entry(m).or_insert(0) += 1;
+                    }
+                    members.push(idx);
+                }
+            }
+        }
+    }
+}
+
+/// Online inverted token + q-gram indexes over one key attribute;
+/// `insert` returns blocking candidates among previously inserted
+/// records.
+#[derive(Debug, Clone)]
+pub struct IncrementalIndex {
+    cfg: IndexConfig,
+    token_leg: Leg,
+    qgram_leg: Option<Leg>,
+    len: usize,
+}
+
+impl IncrementalIndex {
+    /// An empty index.
+    ///
+    /// # Panics
+    /// Panics if `min_token_overlap` is 0.
+    pub fn new(cfg: IndexConfig) -> Self {
+        assert!(cfg.min_token_overlap >= 1, "overlap must be at least 1");
+        let qgram_leg = if cfg.min_token_overlap <= 1 && cfg.qgram > 0 {
+            Some(Leg::new(cfg.max_bucket))
+        } else {
+            None
+        };
+        Self {
+            token_leg: Leg::new(cfg.max_bucket),
+            qgram_leg,
+            len: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.cfg
+    }
+
+    /// Number of inserted records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts the next record (records must be inserted in store order:
+    /// the i-th call describes record index i) and returns the sorted
+    /// indices of previously inserted records sharing a blocking key.
+    ///
+    /// # Panics
+    /// Panics if the record lacks the key attribute.
+    pub fn insert(&mut self, record: &Record) -> Vec<usize> {
+        assert!(
+            self.cfg.attr < record.values.len(),
+            "blocking attribute {} out of range for arity {}",
+            self.cfg.attr,
+            record.values.len()
+        );
+        let idx = self.len;
+        self.len += 1;
+        let text = match record.values[self.cfg.attr].as_text() {
+            Some(t) => t,
+            None => return Vec::new(), // null key: no blocking keys, no candidates
+        };
+
+        let mut token_counts: HashMap<usize, usize> = HashMap::new();
+        self.token_leg
+            .lookup_and_insert(idx, token_keys(&text), &mut token_counts);
+
+        let mut candidates: Vec<usize> = token_counts
+            .into_iter()
+            .filter(|&(_, c)| c >= self.cfg.min_token_overlap)
+            .map(|(m, _)| m)
+            .collect();
+
+        if let Some(qleg) = &mut self.qgram_leg {
+            let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
+            qleg.lookup_and_insert(idx, qgram_keys(&text, self.cfg.qgram), &mut qgram_counts);
+            candidates.extend(qgram_counts.into_keys());
+        }
+
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::{Record, Value};
+
+    fn rec(i: u32, name: &str) -> Record {
+        Record::new(i, vec![Value::Str(name.into())])
+    }
+
+    fn insert_all(index: &mut IncrementalIndex, names: &[&str]) -> Vec<Vec<usize>> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| index.insert(&rec(i as u32, n)))
+            .collect()
+    }
+
+    #[test]
+    fn shared_tokens_become_candidates() {
+        let mut index = IncrementalIndex::new(IndexConfig {
+            qgram: 0,
+            ..Default::default()
+        });
+        let out = insert_all(&mut index, &["red apple", "green apple", "blue sky"]);
+        assert_eq!(out[0], Vec::<usize>::new());
+        assert_eq!(out[1], vec![0], "shares 'apple'");
+        assert_eq!(out[2], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn qgram_leg_survives_typos() {
+        let mut index = IncrementalIndex::new(IndexConfig::default());
+        let out = insert_all(&mut index, &["photograph", "fotograph"]);
+        assert_eq!(out[1], vec![0], "no shared token, but shared q-grams");
+    }
+
+    #[test]
+    fn overlap_mode_requires_multiple_shared_tokens() {
+        let mut index = IncrementalIndex::new(IndexConfig {
+            min_token_overlap: 2,
+            ..Default::default()
+        });
+        let out = insert_all(
+            &mut index,
+            &[
+                "efficient query processing systems",
+                "efficient query optimization",
+                "parallel query engines",
+            ],
+        );
+        assert_eq!(out[1], vec![0], "two shared tokens pass");
+        assert_eq!(out[2], Vec::<usize>::new(), "one shared token is pruned");
+    }
+
+    #[test]
+    fn null_key_is_never_a_candidate() {
+        let mut index = IncrementalIndex::new(IndexConfig::default());
+        index.insert(&rec(0, "some title"));
+        let got = index.insert(&Record::new(1, vec![Value::Null]));
+        assert!(got.is_empty());
+        let again = index.insert(&rec(2, "some title"));
+        assert_eq!(again, vec![0], "null rows must not poison the index");
+    }
+
+    #[test]
+    fn overflowing_bucket_is_retired() {
+        let cfg = IndexConfig {
+            qgram: 0,
+            max_bucket: 3,
+            ..Default::default()
+        };
+        let mut index = IncrementalIndex::new(cfg);
+        // Every record shares the token "the"; items are unique.
+        let names: Vec<String> = (0..6).map(|i| format!("the item{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let out = insert_all(&mut index, &refs);
+        // First three inserts pair within the cap...
+        assert_eq!(out[1], vec![0]);
+        assert_eq!(out[2], vec![0, 1]);
+        // ...the fourth would make the bucket exceed 3 members: retired.
+        assert_eq!(out[3], Vec::<usize>::new());
+        assert_eq!(out[4], Vec::<usize>::new());
+        assert_eq!(out[5], Vec::<usize>::new());
+    }
+}

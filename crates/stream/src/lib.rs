@@ -1,0 +1,61 @@
+//! Incremental entity resolution on top of the batch ZeroER substrate.
+//!
+//! The batch pipeline (`zeroer::pipeline`) recomputes everything per run:
+//! blocking → feature generation → EM. Production serving needs the
+//! complementary *online* path — ingest new records as they arrive, find
+//! candidates against what is already resolved, and score them with an
+//! already-fitted model, without ever re-running EM. This crate provides
+//! that path in four pieces:
+//!
+//! * [`EntityStore`] — ingested records plus a union-find cluster index
+//!   with cluster-representative lookup (transitivity is structural:
+//!   merging entities merges all their members).
+//! * [`IncrementalIndex`] — online inverted token + q-gram indexes that
+//!   mirror the batch `TokenBlocker`/`QgramBlocker` semantics (including
+//!   the stop-word frequency cap) but support
+//!   `insert(record) → candidates` in one pass. Both sides share one key
+//!   extractor ([`zeroer_blocking::keys`]), so they cannot drift.
+//! * [`PipelineSnapshot`] / [`zeroer_core::ModelSnapshot`] — a JSON
+//!   freeze of a fitted generative model (means, covariances, prior)
+//!   plus the feature replay state (per-column normalization ranges,
+//!   imputation means, attribute types) and the blocking configuration.
+//! * [`StreamPipeline`] — the façade: [`StreamPipeline::bootstrap`] fits
+//!   once on an initial batch, then [`StreamPipeline::ingest`] processes
+//!   records with frozen-model scoring only, assigning each to an
+//!   existing entity or minting a new one.
+//!
+//! ```
+//! use zeroer_stream::{StreamOptions, StreamPipeline};
+//! use zeroer_tabular::csv::read_table;
+//! use zeroer_tabular::Record;
+//!
+//! let initial = read_table(
+//!     "seed",
+//!     "name,city\n\
+//!      Golden Dragon Palace,new york\n\
+//!      Golden Dragon Palce,new york\n\
+//!      Blue Sky Tavern,austin\n\
+//!      Rustic Oak Kitchen,denver\n\
+//!      Harbor View Bistro,portland\n",
+//! )
+//! .unwrap();
+//! let (mut pipeline, _report) =
+//!     StreamPipeline::bootstrap(&initial, StreamOptions::default()).unwrap();
+//!
+//! // Online: a near-duplicate of an existing entity joins its cluster…
+//! let out = pipeline.ingest(Record::new(10, vec!["Golden Dragon Palace".into(), "ny".into()]));
+//! assert!(!out.is_new_entity());
+//! // …and an unseen restaurant mints a fresh entity. No EM either way.
+//! let out = pipeline.ingest(Record::new(11, vec!["Lunar Gate Cantina".into(), "reno".into()]));
+//! assert!(out.is_new_entity());
+//! ```
+
+pub mod index;
+pub mod pipeline;
+pub mod snapshot;
+pub mod store;
+
+pub use index::{IncrementalIndex, IndexConfig};
+pub use pipeline::{BootstrapReport, IngestOutcome, StreamError, StreamOptions, StreamPipeline};
+pub use snapshot::PipelineSnapshot;
+pub use store::EntityStore;

@@ -1,0 +1,435 @@
+//! The streaming façade: bootstrap once, then ingest forever.
+
+use crate::index::{IncrementalIndex, IndexConfig};
+use crate::snapshot::PipelineSnapshot;
+use crate::store::EntityStore;
+use zeroer_blocking::{standard_recipe, Blocker, PairMode};
+use zeroer_core::{
+    GenerativeModel, ModelSnapshot, SnapshotScorer, TransitivityCalibrator, ZeroErConfig,
+};
+use zeroer_features::{PairFeaturizer, RowFeaturizer};
+use zeroer_tabular::{Record, Table};
+
+/// Streaming-pipeline error (bootstrap degeneracies, snapshot mismatch).
+#[derive(Debug, Clone)]
+pub struct StreamError(pub String);
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<zeroer_core::json::JsonError> for StreamError {
+    fn from(e: zeroer_core::json::JsonError) -> Self {
+        StreamError(e.to_string())
+    }
+}
+
+/// Options for [`StreamPipeline`]. Blocking defaults mirror the batch
+/// `MatchOptions`, so bootstrap-vs-batch comparisons are apples to
+/// apples.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Model configuration used by the bootstrap fit.
+    pub config: ZeroErConfig,
+    /// Attribute index used as the blocking key.
+    pub blocking_attr: usize,
+    /// Minimum shared word tokens for a candidate pair (1 unions in
+    /// q-gram blocking; ≥ 2 is overlap blocking).
+    pub min_token_overlap: usize,
+    /// q-gram size for the q-gram blocking leg.
+    pub qgram: usize,
+    /// Stop-word bucket cap for both blocking legs.
+    pub max_bucket: usize,
+    /// Posterior threshold for assigning an incoming record to an
+    /// existing entity. Strictly-above semantics (`p > threshold`),
+    /// matching the paper's Eq. 5 labeling rule `γ > 0.5` — note the
+    /// CLI's `--threshold` *display* filter on the batch paths is `>=`.
+    pub threshold: f64,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            config: ZeroErConfig::default(),
+            blocking_attr: 0,
+            min_token_overlap: 1,
+            qgram: 4,
+            max_bucket: 400,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl StreamOptions {
+    fn index_config(&self) -> IndexConfig {
+        IndexConfig {
+            attr: self.blocking_attr,
+            qgram: self.qgram,
+            max_bucket: self.max_bucket,
+            min_token_overlap: self.min_token_overlap,
+        }
+    }
+
+    fn batch_blocker(&self) -> Box<dyn Blocker + Send + Sync> {
+        standard_recipe(
+            self.blocking_attr,
+            self.min_token_overlap,
+            self.qgram,
+            self.max_bucket,
+        )
+    }
+}
+
+/// What the bootstrap batch fit produced (the same shape `dedup_table`
+/// reports), for callers that want the batch results alongside the live
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct BootstrapReport {
+    /// Candidate pairs of the bootstrap dedup, `(i, j)` with `i < j`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Posterior duplicate probability per pair.
+    pub probabilities: Vec<f64>,
+    /// Hard labels at the 0.5 threshold.
+    pub labels: Vec<bool>,
+    /// EM iterations the bootstrap fit ran.
+    pub em_iterations: usize,
+}
+
+/// Result of ingesting one record.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The record's index in the entity store.
+    pub index: usize,
+    /// Number of blocking candidates that were scored.
+    pub candidates: usize,
+    /// Existing records the new one matched, with posteriors, sorted by
+    /// descending posterior.
+    pub matches: Vec<(usize, f64)>,
+    /// Cluster representative after assignment (== `index` for a fresh
+    /// entity).
+    pub cluster: usize,
+}
+
+impl IngestOutcome {
+    /// Whether the record minted a new entity.
+    pub fn is_new_entity(&self) -> bool {
+        self.matches.is_empty()
+    }
+}
+
+/// Incremental entity resolution on top of a frozen batch-fitted model:
+/// ingest records one at a time, find candidates via incremental blocking
+/// indexes, score them with snapshot inference (no EM), and maintain
+/// entity clusters transitively in a union-find.
+pub struct StreamPipeline {
+    opts: StreamOptions,
+    store: EntityStore,
+    index: IncrementalIndex,
+    featurizer: RowFeaturizer,
+    scorer: SnapshotScorer,
+}
+
+impl StreamPipeline {
+    /// Bootstraps from an initial batch: runs the full batch dedup
+    /// pipeline (blocking → features → normalization → EM with the
+    /// transitivity calibrator) on `initial`, freezes the fitted model
+    /// into a snapshot, seeds the store/indexes with the initial records,
+    /// and applies the batch match decisions to the cluster index.
+    ///
+    /// # Errors
+    /// Fails when `initial` yields no candidate pairs (nothing to fit).
+    pub fn bootstrap(
+        initial: &Table,
+        opts: StreamOptions,
+    ) -> Result<(Self, BootstrapReport), StreamError> {
+        let cs = opts
+            .batch_blocker()
+            .candidates(initial, initial, PairMode::Dedup);
+        if cs.is_empty() {
+            return Err(StreamError(
+                "bootstrap produced no candidate pairs; nothing to fit a model on".into(),
+            ));
+        }
+        let fz = PairFeaturizer::new(initial, initial);
+        let mut fs = fz.featurize(cs.pairs());
+        fs.normalize();
+
+        let mut model = GenerativeModel::new(opts.config.clone(), fs.layout.clone());
+        let calibrator = TransitivityCalibrator::new(cs.pairs());
+        let summary = model.fit(&fs.matrix, Some(&calibrator));
+
+        let ranges = fs.ranges.as_ref().expect("normalize() was called").clone();
+        let snapshot = ModelSnapshot::capture(&model, &ranges, &fs.impute_means, &fs.names);
+        let scorer = snapshot.scorer()?;
+
+        let featurizer = RowFeaturizer::new(fz.attr_types());
+        debug_assert_eq!(featurizer.dim(), snapshot.dim());
+
+        let mut store = EntityStore::new(initial.schema().clone());
+        let mut index = IncrementalIndex::new(opts.index_config());
+        for r in initial.records() {
+            index.insert(r);
+            store.push(r.clone());
+        }
+
+        // Cluster merges use the same `p > threshold` criterion ingest
+        // applies, so a pair decides identically whether it arrived in
+        // the bootstrap batch or one record later. The report's `labels`
+        // keep the paper's Eq. 5 cut (γ > 0.5) for parity with
+        // `dedup_table`; at the default threshold of 0.5 the two agree.
+        let labels = model.labels();
+        for (&(a, b), &gamma) in cs.pairs().iter().zip(model.gammas()) {
+            if gamma > opts.threshold {
+                store.merge(a, b);
+            }
+        }
+
+        let report = BootstrapReport {
+            pairs: cs.pairs().to_vec(),
+            probabilities: model.gammas().to_vec(),
+            labels,
+            em_iterations: summary.iterations,
+        };
+        Ok((
+            Self {
+                opts,
+                store,
+                index,
+                featurizer,
+                scorer,
+            },
+            report,
+        ))
+    }
+
+    /// Rebuilds a scoring pipeline from a saved [`PipelineSnapshot`] with
+    /// an empty store — the `zeroer ingest` cold-start path.
+    ///
+    /// `threshold` overrides the assignment threshold (pass
+    /// `StreamOptions::default().threshold` for the standard 0.5 cut).
+    ///
+    /// # Errors
+    /// Fails if the snapshot is internally inconsistent (feature layout
+    /// vs. model dimensionality).
+    pub fn from_snapshot(snap: &PipelineSnapshot, threshold: f64) -> Result<Self, StreamError> {
+        let featurizer = RowFeaturizer::new(&snap.attr_types);
+        if featurizer.dim() != snap.model.dim() {
+            return Err(StreamError(format!(
+                "snapshot attr types imply {} features but the model has {}",
+                featurizer.dim(),
+                snap.model.dim()
+            )));
+        }
+        let scorer = snap.model.scorer()?;
+        let opts = StreamOptions {
+            config: ZeroErConfig::default(),
+            blocking_attr: snap.index.attr,
+            min_token_overlap: snap.index.min_token_overlap,
+            qgram: snap.index.qgram,
+            max_bucket: snap.index.max_bucket,
+            threshold,
+        };
+        Ok(Self {
+            store: EntityStore::new(snap.to_schema()),
+            index: IncrementalIndex::new(snap.index.clone()),
+            featurizer,
+            scorer,
+            opts,
+        })
+    }
+
+    /// Freezes the current pipeline configuration into a serializable
+    /// snapshot.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            schema: self.store.table().schema().attributes().to_vec(),
+            attr_types: self.featurizer.attr_types().to_vec(),
+            index: self.index.config().clone(),
+            model: self.scorer.snapshot().clone(),
+        }
+    }
+
+    /// The entity store.
+    pub fn store(&self) -> &EntityStore {
+        &self.store
+    }
+
+    /// The options in effect. For pipelines restored via
+    /// [`StreamPipeline::from_snapshot`], `config` is
+    /// `ZeroErConfig::default()` — the fit-time configuration is consumed
+    /// by the bootstrap EM run and is not stored in the snapshot (scoring
+    /// depends only on the frozen parameters).
+    pub fn options(&self) -> &StreamOptions {
+        &self.opts
+    }
+
+    /// Number of ingested records (bootstrap records included).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Ingests one record: incremental blocking → frozen-model scoring of
+    /// every candidate → entity assignment. Runs **zero** EM iterations.
+    ///
+    /// The record joins the cluster of every candidate scoring above the
+    /// threshold (all of them — transitivity then merges those clusters),
+    /// or mints a fresh entity when none does.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn ingest(&mut self, record: Record) -> IngestOutcome {
+        // Validate before touching any state: a panic must not leave the
+        // index one record ahead of the store.
+        assert_eq!(
+            record.values.len(),
+            self.store.table().schema().arity(),
+            "record arity {} does not match schema arity {}",
+            record.values.len(),
+            self.store.table().schema().arity()
+        );
+        let candidates = self.index.insert(&record);
+        let idx = self.store.push(record);
+        debug_assert_eq!(self.index.len(), self.store.len());
+
+        let mut matches: Vec<(usize, f64)> = Vec::new();
+        for &c in &candidates {
+            // Feature rows are oriented (older, newer) to mirror the
+            // batch dedup convention of (i, j) with i < j — a few of the
+            // similarity measures (e.g. Monge-Elkan) are asymmetric.
+            let mut raw = self
+                .featurizer
+                .raw_row(self.store.cache(c), self.store.cache(idx));
+            let p = self.scorer.score_raw(&mut raw);
+            if p > self.opts.threshold {
+                matches.push((c, p));
+            }
+        }
+        matches.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite posteriors"));
+        for &(c, _) in &matches {
+            self.store.merge(idx, c);
+        }
+        let cluster = self.store.find(idx);
+        IngestOutcome {
+            index: idx,
+            candidates: candidates.len(),
+            matches,
+            cluster,
+        }
+    }
+
+    /// Ingests a batch of records in order; later records can match
+    /// earlier records of the same batch.
+    pub fn ingest_batch(
+        &mut self,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Vec<IngestOutcome> {
+        records.into_iter().map(|r| self.ingest(r)).collect()
+    }
+
+    /// Current duplicate clusters (≥ 2 members), in the same shape
+    /// `dedup_table` reports.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        self.store.clusters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::csv::read_table;
+
+    fn base_table() -> Table {
+        read_table(
+            "base",
+            "name,city\n\
+             Golden Dragon Palace,new york\n\
+             Golden Dragon Palce,new york\n\
+             Blue Sky Tavern,austin\n\
+             Rustic Oak Kitchen,denver\n\
+             Harbor View Bistro,portland\n\
+             Smoky Cellar Tavern,chicago\n",
+        )
+        .unwrap()
+    }
+
+    fn rec(id: u32, name: &str, city: &str) -> Record {
+        Record::new(id, vec![name.into(), city.into()])
+    }
+
+    #[test]
+    fn bootstrap_then_ingest_assigns_duplicates() {
+        let (mut p, report) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).expect("bootstrap");
+        assert!(report.em_iterations >= 1);
+        assert_eq!(p.len(), 6);
+        // The two Golden Dragon rows are a bootstrap-time cluster.
+        assert!(p.store().same_entity(0, 1), "clusters: {:?}", p.clusters());
+
+        let out = p.ingest(rec(100, "Golden Dragon Palace", "new york"));
+        assert!(!out.is_new_entity(), "exact duplicate must match");
+        assert_eq!(
+            p.store().find_readonly(out.index),
+            p.store().find_readonly(0)
+        );
+
+        let fresh = p.ingest(rec(101, "Totally Unseen Steakhouse", "miami"));
+        assert!(fresh.is_new_entity());
+        assert_eq!(fresh.cluster, fresh.index);
+    }
+
+    #[test]
+    fn ingest_matches_within_a_batch() {
+        let (mut p, _) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        let outs = p.ingest_batch(vec![
+            rec(200, "Crimson Lotus Noodle Bar", "seattle"),
+            rec(201, "Crimson Lotus Noodle Bar", "seattle"),
+        ]);
+        assert!(outs[0].is_new_entity());
+        assert!(
+            !outs[1].is_new_entity(),
+            "second copy must match the first copy ingested in the same batch"
+        );
+        assert!(p.store().same_entity(outs[0].index, outs[1].index));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_scoring() {
+        let (mut live, _) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        let snap = live.snapshot();
+        let reloaded = PipelineSnapshot::from_json(&snap.to_json()).unwrap();
+        let mut cold = StreamPipeline::from_snapshot(&reloaded, 0.5).unwrap();
+
+        // Replay the same records through both pipelines; decisions and
+        // posteriors must agree exactly.
+        for r in base_table().records() {
+            cold.ingest(r.clone());
+        }
+        let probe = rec(300, "Golden Dragon Palace", "new york");
+        let a = live.ingest(probe.clone());
+        let b = cold.ingest(probe);
+        assert_eq!(a.matches.len(), b.matches.len());
+        for ((ca, pa), (cb, pb)) in a.matches.iter().zip(&b.matches) {
+            assert_eq!(ca, cb);
+            assert!((pa - pb).abs() < 1e-12, "posterior drift: {pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn empty_bootstrap_is_an_error() {
+        // No shared tokens and no shared padded 4-grams (distinct first
+        // and last characters, no common interior runs).
+        let t = read_table("t", "name\nnorth\nquail\n").unwrap();
+        assert!(StreamPipeline::bootstrap(&t, StreamOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Whole-pipeline snapshots: everything `zeroer ingest` needs to resume
+//! scoring against a batch-fitted model from a plain JSON file.
+//!
+//! A [`zeroer_core::ModelSnapshot`] freezes the generative model and the
+//! feature replay state; the [`PipelineSnapshot`] adds the pipeline-level
+//! frozen decisions — schema, inferred attribute types (which fix the
+//! feature layout), and the blocking-index configuration — so a fresh
+//! process can rebuild an identical scoring path.
+
+use crate::index::IndexConfig;
+use zeroer_core::json::{Json, JsonError};
+use zeroer_core::ModelSnapshot;
+use zeroer_tabular::{AttrType, Schema};
+
+/// A serializable freeze of the full streaming-scoring configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineSnapshot {
+    /// Attribute names, in schema order.
+    pub schema: Vec<String>,
+    /// Frozen attribute types (fixes the feature layout).
+    pub attr_types: Vec<AttrType>,
+    /// Blocking-index configuration.
+    pub index: IndexConfig,
+    /// The frozen generative model plus feature replay state.
+    pub model: ModelSnapshot,
+}
+
+impl PipelineSnapshot {
+    /// Rebuilds the [`Schema`].
+    ///
+    /// # Panics
+    /// Panics if the stored names are empty or duplicated.
+    pub fn to_schema(&self) -> Schema {
+        Schema::new(self.schema.iter().cloned())
+    }
+
+    /// Serializes to JSON text.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            (
+                "format".into(),
+                Json::Str("zeroer-pipeline-snapshot".into()),
+            ),
+            ("version".into(), Json::Num(1.0)),
+            (
+                "schema".into(),
+                Json::Arr(self.schema.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+            (
+                "attr_types".into(),
+                Json::Arr(
+                    self.attr_types
+                        .iter()
+                        .map(|t| Json::Str(t.name().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "index".into(),
+                Json::Obj(vec![
+                    ("attr".into(), Json::Num(self.index.attr as f64)),
+                    ("qgram".into(), Json::Num(self.index.qgram as f64)),
+                    ("max_bucket".into(), Json::Num(self.index.max_bucket as f64)),
+                    (
+                        "min_token_overlap".into(),
+                        Json::Num(self.index.min_token_overlap as f64),
+                    ),
+                ]),
+            ),
+            ("model".into(), self.model.to_json_value()),
+        ])
+        .render()
+    }
+
+    /// Deserializes from JSON text.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or schema violations.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let j = Json::parse(text)?;
+        if j.get("format").and_then(Json::as_str) != Some("zeroer-pipeline-snapshot") {
+            return Err(JsonError::schema("not a zeroer pipeline snapshot"));
+        }
+        if j.get("version").and_then(Json::as_f64) != Some(1.0) {
+            return Err(JsonError::schema(
+                "unsupported pipeline-snapshot version (expected 1)",
+            ));
+        }
+        let strings = |key: &str| -> Result<Vec<String>, JsonError> {
+            j.require(key)?
+                .as_arr()
+                .ok_or_else(|| JsonError::schema(format!("{key} must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| JsonError::schema(format!("{key} must hold strings")))
+                })
+                .collect()
+        };
+        let schema = strings("schema")?;
+        let attr_types = strings("attr_types")?
+            .iter()
+            .map(|name| {
+                AttrType::from_name(name)
+                    .ok_or_else(|| JsonError::schema(format!("unknown attr type {name:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if schema.is_empty() || schema.len() != attr_types.len() {
+            return Err(JsonError::schema("schema/attr_types arity mismatch"));
+        }
+        let idx = j.require("index")?;
+        let field = |key: &str| -> Result<usize, JsonError> {
+            idx.require(key)?
+                .as_usize()
+                .ok_or_else(|| JsonError::schema(format!("index.{key} must be an integer")))
+        };
+        let index = IndexConfig {
+            attr: field("attr")?,
+            qgram: field("qgram")?,
+            max_bucket: field("max_bucket")?,
+            min_token_overlap: field("min_token_overlap")?,
+        };
+        if index.attr >= schema.len() {
+            return Err(JsonError::schema("blocking attribute out of schema range"));
+        }
+        if index.min_token_overlap == 0 {
+            return Err(JsonError::schema("min_token_overlap must be at least 1"));
+        }
+        let model = ModelSnapshot::from_json_value(j.require("model")?)?;
+        Ok(Self {
+            schema,
+            attr_types,
+            index,
+            model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ModelSnapshot {
+        ModelSnapshot {
+            pi_m: 0.1,
+            group_sizes: vec![1, 2],
+            mean_m: vec![0.9, 0.8, 0.85],
+            mean_u: vec![0.1, 0.2, 0.15],
+            cov_m: vec![vec![0.01], vec![0.02, 0.0, 0.0, 0.02]],
+            cov_u: vec![vec![0.03], vec![0.04, 0.0, 0.0, 0.04]],
+            ranges: vec![(0.0, 1.0); 3],
+            impute_means: vec![0.5; 3],
+            feature_names: vec!["a_x".into(), "b_x".into(), "b_y".into()],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = PipelineSnapshot {
+            schema: vec!["name".into(), "year".into()],
+            attr_types: vec![AttrType::StrMedium, AttrType::Numeric],
+            index: IndexConfig::default(),
+            model: tiny_model(),
+        };
+        let text = snap.to_json();
+        let back = PipelineSnapshot::from_json(&text).unwrap();
+        assert_eq!(back.schema, snap.schema);
+        assert_eq!(back.attr_types, snap.attr_types);
+        assert_eq!(back.index.attr, snap.index.attr);
+        assert_eq!(back.index.qgram, snap.index.qgram);
+        assert_eq!(back.model, snap.model);
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_bad_types() {
+        assert!(PipelineSnapshot::from_json("{\"format\":\"other\"}").is_err());
+        let snap = PipelineSnapshot {
+            schema: vec!["name".into()],
+            attr_types: vec![AttrType::StrShort],
+            index: IndexConfig {
+                attr: 3,
+                ..Default::default()
+            },
+            model: tiny_model(),
+        };
+        let text = snap.to_json();
+        assert!(
+            PipelineSnapshot::from_json(&text).is_err(),
+            "blocking attr outside the schema must be rejected"
+        );
+    }
+}

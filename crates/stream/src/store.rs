@@ -1,0 +1,182 @@
+//! The entity store: ingested records plus the live cluster index.
+
+use zeroer_features::RecordCache;
+use zeroer_tabular::{Record, Schema, Table};
+
+/// Holds every ingested record together with a union-find cluster index,
+/// so each record resolves to a cluster representative in near-constant
+/// amortized time and transitivity is enforced structurally (merging two
+/// clusters merges *all* their members).
+#[derive(Debug, Clone)]
+pub struct EntityStore {
+    table: Table,
+    caches: Vec<RecordCache>,
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl EntityStore {
+    /// An empty store over a schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            table: Table::new("entity-store", schema),
+            caches: Vec::new(),
+            parent: Vec::new(),
+            rank: Vec::new(),
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The stored records as a table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Cached derived forms of record `idx`.
+    pub fn cache(&self, idx: usize) -> &RecordCache {
+        &self.caches[idx]
+    }
+
+    /// Appends a record as a fresh singleton entity; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn push(&mut self, record: Record) -> usize {
+        let idx = self.parent.len();
+        self.caches.push(RecordCache::build(&record));
+        self.table.push(record);
+        self.parent.push(idx);
+        self.rank.push(0);
+        idx
+    }
+
+    /// Cluster representative of record `idx`, with path compression.
+    pub fn find(&mut self, idx: usize) -> usize {
+        let mut root = idx;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = idx;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Cluster representative without mutation (no path compression);
+    /// useful from shared references.
+    pub fn find_readonly(&self, idx: usize) -> usize {
+        let mut root = idx;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merges the clusters of `a` and `b` (union by rank); returns the
+    /// surviving representative.
+    pub fn merge(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser] = winner;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[winner] += 1;
+        }
+        winner
+    }
+
+    /// Whether two records currently resolve to the same entity.
+    pub fn same_entity(&self, a: usize, b: usize) -> bool {
+        self.find_readonly(a) == self.find_readonly(b)
+    }
+
+    /// All clusters with at least two members, each sorted, the list
+    /// sorted by first member — the same shape `dedup_table` reports.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..self.len() {
+            groups.entry(self.find_readonly(i)).or_default().push(i);
+        }
+        let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort();
+        clusters
+    }
+
+    /// Number of distinct entities (clusters, including singletons).
+    pub fn num_entities(&self) -> usize {
+        (0..self.len())
+            .filter(|&i| self.find_readonly(i) == i)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::Value;
+
+    fn store_with(n: usize) -> EntityStore {
+        let mut s = EntityStore::new(Schema::new(["name"]));
+        for i in 0..n {
+            s.push(Record::new(i as u32, vec![Value::Str(format!("r{i}"))]));
+        }
+        s
+    }
+
+    #[test]
+    fn fresh_records_are_singletons() {
+        let s = store_with(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.num_entities(), 4);
+        assert!(s.clusters().is_empty());
+    }
+
+    #[test]
+    fn merges_are_transitive() {
+        let mut s = store_with(5);
+        s.merge(0, 1);
+        s.merge(1, 4);
+        assert!(s.same_entity(0, 4), "0~1 and 1~4 imply 0~4");
+        assert!(!s.same_entity(0, 2));
+        assert_eq!(s.num_entities(), 3);
+        assert_eq!(s.clusters(), vec![vec![0, 1, 4]]);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut s = store_with(3);
+        let r1 = s.merge(0, 1);
+        let r2 = s.merge(1, 0);
+        assert_eq!(r1, r2);
+        assert_eq!(s.num_entities(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut s = store_with(1);
+        s.push(Record::new(9, vec![Value::Null, Value::Null]));
+    }
+}

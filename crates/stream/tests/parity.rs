@@ -1,0 +1,186 @@
+//! Batch/incremental blocking parity.
+//!
+//! The incremental index must produce exactly the candidate set the batch
+//! blockers produce when records are inserted one at a time — on any
+//! dataset where no bucket crosses the frequency cap (structurally
+//! guaranteed here: every table is far smaller than the cap), the sets
+//! are equal, not merely similar.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use zeroer_blocking::{Blocker, PairMode, QgramBlocker, TokenBlocker, UnionBlocker};
+use zeroer_datagen::{all_profiles, generate};
+use zeroer_stream::{IncrementalIndex, IndexConfig};
+use zeroer_tabular::{Record, Schema, Table, Value};
+
+/// One dedup table (left ++ right) from a generated linkage dataset.
+fn dedup_table_of(profile_idx: usize, scale: f64, seed: u64) -> Table {
+    let profiles = all_profiles();
+    let ds = generate(&profiles[profile_idx % profiles.len()], scale, seed);
+    ds.dedup_table().0
+}
+
+/// Runs the incremental index record-by-record and collects the full
+/// emitted pair set, normalized as `(small, large)`.
+fn incremental_pairs(table: &Table, cfg: IndexConfig) -> BTreeSet<(usize, usize)> {
+    let mut index = IncrementalIndex::new(cfg);
+    let mut pairs = BTreeSet::new();
+    for (idx, r) in table.records().iter().enumerate() {
+        for c in index.insert(r) {
+            assert!(c < idx, "candidates must be previously inserted records");
+            pairs.insert((c, idx));
+        }
+    }
+    pairs
+}
+
+fn batch_pairs(table: &Table, blocker: &dyn Blocker) -> BTreeSet<(usize, usize)> {
+    blocker
+        .candidates(table, table, PairMode::Dedup)
+        .pairs()
+        .iter()
+        .copied()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Default recipe (token ∪ 4-gram blocking) on every dataset profile.
+    /// The cap is lifted above the table size on both sides so no bucket
+    /// can overflow: in that regime batch and incremental candidate sets
+    /// must be *identical* (overflow divergence is tested separately).
+    #[test]
+    fn union_recipe_matches_batch(profile in 0usize..6, seed in 0u64..1000) {
+        let table = dedup_table_of(profile, 0.01, seed);
+        let cap = table.len().max(2);
+        let batch = batch_pairs(
+            &table,
+            &UnionBlocker::new(vec![
+                Box::new(TokenBlocker { attr: 0, max_bucket: cap, min_overlap: 1 }),
+                Box::new(QgramBlocker { attr: 0, q: 4, max_bucket: cap }),
+            ]),
+        );
+        let incremental = incremental_pairs(
+            &table,
+            IndexConfig { max_bucket: cap, ..Default::default() },
+        );
+        prop_assert_eq!(incremental.len(), batch.len(),
+            "batch and incremental candidate-set sizes diverge");
+        prop_assert!(incremental == batch, "candidate sets diverge");
+    }
+
+    /// Overlap blocking (≥ 2 shared tokens, no q-gram leg).
+    #[test]
+    fn overlap_recipe_matches_batch(profile in 0usize..6, seed in 0u64..1000) {
+        let table = dedup_table_of(profile, 0.01, seed);
+        let cap = table.len().max(2);
+        let batch = batch_pairs(
+            &table,
+            &TokenBlocker { attr: 0, max_bucket: cap, min_overlap: 2 },
+        );
+        let incremental = incremental_pairs(
+            &table,
+            IndexConfig { min_token_overlap: 2, max_bucket: cap, ..Default::default() },
+        );
+        prop_assert!(incremental == batch, "overlap candidate sets diverge");
+    }
+
+    /// Random short strings over a tiny vocabulary — much denser bucket
+    /// collisions than the realistic generators produce.
+    #[test]
+    fn dense_collisions_match_batch(
+        words in proptest::collection::vec(0usize..8, 30),
+        seed in 0u64..50,
+    ) {
+        const VOCAB: [&str; 8] =
+            ["red", "green", "blue", "apple", "pear", "plum", "sky", "sea"];
+        let mut t = Table::new("dense", Schema::new(["name"]));
+        for (i, &w) in words.iter().enumerate() {
+            let second = VOCAB[(w + seed as usize + i) % VOCAB.len()];
+            t.push(Record::new(
+                i as u32,
+                vec![Value::Str(format!("{} {second}", VOCAB[w]))],
+            ));
+        }
+        let batch = batch_pairs(
+            &t,
+            &UnionBlocker::new(vec![
+                Box::new(TokenBlocker::new(0)),
+                Box::new(QgramBlocker::new(0, 4)),
+            ]),
+        );
+        let incremental = incremental_pairs(&t, IndexConfig::default());
+        prop_assert_eq!(&incremental, &batch);
+    }
+}
+
+/// Realistic setting: default cap (400) on a dataset smaller than the
+/// cap, where overflow is impossible and parity must be exact.
+#[test]
+fn default_cap_parity_on_restaurants() {
+    let profiles = all_profiles();
+    let rest = profiles
+        .iter()
+        .position(|p| p.notation.contains("FZ"))
+        .unwrap_or(0);
+    let table = dedup_table_of(rest, 0.25, 5);
+    assert!(
+        table.len() < 400,
+        "premise: table smaller than the bucket cap"
+    );
+    let batch = batch_pairs(
+        &table,
+        &UnionBlocker::new(vec![
+            Box::new(TokenBlocker::new(0)),
+            Box::new(QgramBlocker::new(0, 4)),
+        ]),
+    );
+    let incremental = incremental_pairs(&table, IndexConfig::default());
+    assert_eq!(incremental, batch);
+}
+
+/// The one intended divergence: a bucket overflowing the cap mid-stream
+/// stops pairing from the crossing point on, while batch drops the bucket
+/// retroactively. The divergence is bounded by pairs among the first
+/// `cap` members.
+#[test]
+fn cap_overflow_divergence_is_bounded_and_one_sided() {
+    let mut t = Table::new("hot", Schema::new(["name"]));
+    for i in 0..30 {
+        t.push(Record::new(
+            i as u32,
+            vec![Value::Str(format!("the item{i}"))],
+        ));
+    }
+    let cap = 5;
+    let batch = batch_pairs(
+        &t,
+        &TokenBlocker {
+            attr: 0,
+            max_bucket: cap,
+            min_overlap: 1,
+        },
+    );
+    let incremental = incremental_pairs(
+        &t,
+        IndexConfig {
+            qgram: 0,
+            max_bucket: cap,
+            ..Default::default()
+        },
+    );
+    assert!(
+        batch.is_empty(),
+        "batch drops the overflowing 'the' bucket entirely"
+    );
+    assert!(
+        incremental.len() <= cap * (cap - 1) / 2,
+        "early pairs are bounded by the cap: {}",
+        incremental.len()
+    );
+    assert!(
+        incremental.iter().all(|&(_, b)| b < cap),
+        "no pairs may be emitted after the bucket is retired"
+    );
+}

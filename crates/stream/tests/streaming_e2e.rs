@@ -1,0 +1,78 @@
+//! End-to-end streaming accuracy: bootstrap on 70 % of a dedup dataset,
+//! ingest the remaining 30 % through the streaming path (frozen-model
+//! scoring only — zero EM iterations during ingest), and compare
+//! pairwise cluster F1 against the full-batch pipeline on the same data.
+
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_eval::clusters::{clusters_from_pairs, pairwise_cluster_f1};
+use zeroer_stream::{StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+/// Builds a dedup table (left ++ right) plus ground-truth duplicate pairs
+/// in concatenated indexing.
+fn dedup_dataset(scale: f64, seed: u64) -> (Table, Vec<(usize, usize)>) {
+    generate(&rest_fz(), scale, seed).dedup_table()
+}
+
+fn prefix_table(t: &Table, n: usize) -> Table {
+    let mut out = Table::new("prefix", t.schema().clone());
+    for r in t.records().iter().take(n) {
+        out.push(r.clone());
+    }
+    out
+}
+
+fn pair_f1(clusters: &[Vec<usize>], truth: &[(usize, usize)]) -> f64 {
+    pairwise_cluster_f1(clusters, &clusters_from_pairs(truth)).f1()
+}
+
+#[test]
+fn streaming_f1_stays_within_two_points_of_batch() {
+    let (table, truth) = dedup_dataset(0.25, 42);
+    let opts = StreamOptions::default();
+
+    // Full-batch reference: bootstrap on 100 % of the data is exactly the
+    // batch dedup pipeline (blocking → features → EM → transitive
+    // closure).
+    let (batch, _) = StreamPipeline::bootstrap(&table, opts.clone()).expect("batch fit");
+    let batch_f1 = pair_f1(&batch.clusters(), &truth);
+
+    // Streaming: fit on the first 70 %, ingest the rest in batches.
+    let cut = table.len() * 7 / 10;
+    let bootstrap_table = prefix_table(&table, cut);
+    let (mut stream, report) =
+        StreamPipeline::bootstrap(&bootstrap_table, opts).expect("bootstrap fit");
+    assert!(report.em_iterations >= 1, "bootstrap runs EM");
+
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    for chunk in tail.chunks(16) {
+        let outcomes = stream.ingest_batch(chunk.to_vec());
+        assert_eq!(outcomes.len(), chunk.len());
+    }
+    assert_eq!(stream.store().len(), table.len());
+    let stream_f1 = pair_f1(&stream.clusters(), &truth);
+
+    assert!(
+        batch_f1 > 0.85,
+        "batch reference must be accurate on Rest-FZ, got {batch_f1}"
+    );
+    assert!(
+        batch_f1 - stream_f1 <= 0.02,
+        "streaming F1 {stream_f1} must be within 2 points of batch F1 {batch_f1}"
+    );
+}
+
+#[test]
+fn streaming_is_stable_across_seeds() {
+    for seed in [7, 19] {
+        let (table, truth) = dedup_dataset(0.15, seed);
+        let cut = table.len() * 7 / 10;
+        let (mut stream, _) =
+            StreamPipeline::bootstrap(&prefix_table(&table, cut), StreamOptions::default())
+                .expect("bootstrap fit");
+        stream.ingest_batch(table.records()[cut..].to_vec());
+        let f1 = pair_f1(&stream.clusters(), &truth);
+        assert!(f1 > 0.8, "seed {seed}: streaming F1 {f1}");
+    }
+}

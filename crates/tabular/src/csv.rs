@@ -30,7 +30,11 @@ pub enum CsvError {
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CsvError::RaggedRow { row, found, expected } => {
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => {
                 write!(f, "row {row}: found {found} fields, expected {expected}")
             }
             CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
@@ -102,7 +106,11 @@ pub fn read_table(name: &str, input: &str) -> Result<Table, CsvError> {
     let mut table = Table::new(name, schema);
     for (i, row) in iter.enumerate() {
         if row.len() != expected {
-            return Err(CsvError::RaggedRow { row: i + 2, found: row.len(), expected });
+            return Err(CsvError::RaggedRow {
+                row: i + 2,
+                found: row.len(),
+                expected,
+            });
         }
         let values = row.iter().map(|f| Value::parse(f)).collect();
         table.push(Record::new(i as u32, values));
@@ -201,7 +209,14 @@ mod tests {
     #[test]
     fn ragged_row_is_error() {
         let err = read_table("t", "a,b\n1\n").unwrap_err();
-        assert_eq!(err, CsvError::RaggedRow { row: 2, found: 1, expected: 2 });
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                found: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]

@@ -25,6 +25,33 @@ pub enum AttrType {
     StrHuge,
 }
 
+impl AttrType {
+    /// Stable lowercase identifier, used by snapshot serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Boolean => "boolean",
+            AttrType::Numeric => "numeric",
+            AttrType::StrShort => "str_short",
+            AttrType::StrMedium => "str_medium",
+            AttrType::StrLong => "str_long",
+            AttrType::StrHuge => "str_huge",
+        }
+    }
+
+    /// Parses a [`AttrType::name`] identifier.
+    pub fn from_name(name: &str) -> Option<AttrType> {
+        Some(match name {
+            "boolean" => AttrType::Boolean,
+            "numeric" => AttrType::Numeric,
+            "str_short" => AttrType::StrShort,
+            "str_medium" => AttrType::StrMedium,
+            "str_long" => AttrType::StrLong,
+            "str_huge" => AttrType::StrHuge,
+            _ => return None,
+        })
+    }
+}
+
 /// Infers the [`AttrType`] of a column from its non-null values.
 ///
 /// Rules (in order): all-boolean-like → `Boolean`; ≥ 90 % numeric →
@@ -88,7 +115,10 @@ impl Schema {
     /// Panics if names are empty or duplicated.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
         let attributes: Vec<String> = names.into_iter().map(Into::into).collect();
-        assert!(!attributes.is_empty(), "schema must have at least one attribute");
+        assert!(
+            !attributes.is_empty(),
+            "schema must have at least one attribute"
+        );
         for (i, a) in attributes.iter().enumerate() {
             assert!(
                 !attributes[..i].contains(a),
@@ -163,7 +193,12 @@ mod tests {
 
     #[test]
     fn nulls_are_ignored_for_inference() {
-        let v = vec![Value::Null, Value::parse("1999"), Value::Null, Value::parse("2001")];
+        let v = vec![
+            Value::Null,
+            Value::parse("1999"),
+            Value::Null,
+            Value::parse("2001"),
+        ];
         assert_eq!(infer_attr_type(&v), AttrType::Numeric);
     }
 

@@ -33,7 +33,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Self { name: name.into(), schema, records: Vec::new() }
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+        }
     }
 
     /// Table name (for diagnostics).
@@ -103,7 +107,11 @@ impl Table {
         let n = self.len().max(1) as f64;
         (0..self.schema.arity())
             .map(|a| {
-                self.records.iter().filter(|r| r.values[a].is_null()).count() as f64 / n
+                self.records
+                    .iter()
+                    .filter(|r| r.values[a].is_null())
+                    .count() as f64
+                    / n
             })
             .collect()
     }

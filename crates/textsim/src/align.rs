@@ -100,7 +100,12 @@ mod tests {
 
     #[test]
     fn results_are_in_unit_range() {
-        for (a, b) in [("a", "ab"), ("kitten", "sitting"), ("ab", "ba"), ("x", "yyyyy")] {
+        for (a, b) in [
+            ("a", "ab"),
+            ("kitten", "sitting"),
+            ("ab", "ba"),
+            ("x", "yyyyy"),
+        ] {
             for f in [needleman_wunsch, smith_waterman] {
                 let v = f(a, b);
                 assert!((0.0..=1.0).contains(&v), "{a} vs {b} gave {v}");

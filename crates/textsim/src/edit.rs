@@ -7,7 +7,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     // Keep the shorter string in the inner dimension for memory.
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -69,9 +73,18 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions: compare matched sequences in order.
-    let b_matched: Vec<char> =
-        b_used.iter().zip(&b).filter(|(u, _)| **u).map(|(_, &c)| c).collect();
-    let t = a_matched.iter().zip(&b_matched).filter(|(x, y)| x != y).count() / 2;
+    let b_matched: Vec<char> = b_used
+        .iter()
+        .zip(&b)
+        .filter(|(u, _)| **u)
+        .map(|(_, &c)| c)
+        .collect();
+    let t = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
 }

@@ -27,8 +27,8 @@ pub mod tokenize;
 
 pub use edit::{hamming_sim, jaro, jaro_winkler, levenshtein, levenshtein_sim, prefix_sim};
 pub use numeric::{abs_diff_sim, exact_match, rel_diff_sim};
-pub use token::{cosine, dice, jaccard, monge_elkan, overlap_coefficient};
 pub use tfidf::IdfModel;
+pub use token::{cosine, dice, jaccard, monge_elkan, overlap_coefficient};
 pub use tokenize::{qgrams, words};
 
 #[cfg(test)]

@@ -49,7 +49,9 @@ impl IdfModel {
 
     /// TF-IDF vector of a bag: token → tf·idf weight.
     fn weights<'b>(&self, bag: &'b TokenBag) -> HashMap<&'b str, f64> {
-        bag.iter().map(|(t, c)| (t, c as f64 * self.idf(t))).collect()
+        bag.iter()
+            .map(|(t, c)| (t, c as f64 * self.idf(t)))
+            .collect()
     }
 
     /// TF-IDF cosine similarity between two bags in `[0, 1]`; empty bags
@@ -173,7 +175,10 @@ mod tests {
         let typo = words("premium keybaord k750");
         let hard = m.cosine(&a, &typo);
         let soft = m.soft_cosine(&a, &typo, 0.85);
-        assert!(soft > hard, "soft ({soft}) must recover the typo'd token vs hard ({hard})");
+        assert!(
+            soft > hard,
+            "soft ({soft}) must recover the typo'd token vs hard ({hard})"
+        );
     }
 
     #[test]

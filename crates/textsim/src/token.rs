@@ -138,7 +138,10 @@ mod tests {
         let a = words("jonathan smith");
         let b = words("jonathon smyth");
         let sim = monge_elkan(&a, &b);
-        assert!(sim > 0.8, "near-identical tokens should score high, got {sim}");
+        assert!(
+            sim > 0.8,
+            "near-identical tokens should score high, got {sim}"
+        );
         let c = words("completely different");
         assert!(monge_elkan(&a, &c) < sim);
     }

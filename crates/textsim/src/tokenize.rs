@@ -62,7 +62,11 @@ impl TokenBag {
         } else {
             (other, self)
         };
-        small.counts.keys().filter(|t| large.counts.contains_key(*t)).count()
+        small
+            .counts
+            .keys()
+            .filter(|t| large.counts.contains_key(*t))
+            .count()
     }
 
     /// Size of the set union (distinct tokens present in either).
@@ -98,7 +102,12 @@ pub fn normalize(s: &str) -> String {
 
 /// Splits into lowercase word tokens (alphanumeric runs).
 pub fn words(s: &str) -> TokenBag {
-    TokenBag::from_tokens(normalize(s).split(' ').filter(|w| !w.is_empty()).map(String::from))
+    TokenBag::from_tokens(
+        normalize(s)
+            .split(' ')
+            .filter(|w| !w.is_empty())
+            .map(String::from),
+    )
 }
 
 /// Character q-grams of the *normalized* string, padded with `q − 1`
@@ -162,7 +171,10 @@ mod tests {
     #[test]
     fn qgrams_shorter_than_q_still_tokenize() {
         let bag = qgrams("a", 3);
-        assert!(!bag.is_empty(), "padding must produce tokens for short strings");
+        assert!(
+            !bag.is_empty(),
+            "padding must produce tokens for short strings"
+        );
     }
 
     #[test]

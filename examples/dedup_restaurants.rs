@@ -27,8 +27,7 @@ fn main() {
         table.push(Record::new((offset + i) as u32, r.values.clone()));
     }
     // Ground-truth duplicate pairs in the concatenated index space.
-    let truth: Vec<(usize, usize)> =
-        ds.matches.iter().map(|&(l, r)| (l, offset + r)).collect();
+    let truth: Vec<(usize, usize)> = ds.matches.iter().map(|&(l, r)| (l, offset + r)).collect();
 
     let result = dedup_table(&table, &MatchOptions::default());
 
@@ -40,8 +39,16 @@ fn main() {
     println!("records                 : {}", table.len());
     println!("candidate pairs         : {}", result.pairs.len());
     println!("true duplicate pairs    : {}", truth_set.len());
-    println!("predicted duplicates    : {}", result.labels.iter().filter(|&&l| l).count());
-    println!("precision / recall / F1 : {:.3} / {:.3} / {:.3}", cm.precision(), cm.recall(), cm.f1());
+    println!(
+        "predicted duplicates    : {}",
+        result.labels.iter().filter(|&&l| l).count()
+    );
+    println!(
+        "precision / recall / F1 : {:.3} / {:.3} / {:.3}",
+        cm.precision(),
+        cm.recall(),
+        cm.f1()
+    );
     println!("duplicate clusters      : {}\n", result.clusters.len());
 
     for cluster in result.clusters.iter().take(5) {

@@ -10,7 +10,9 @@
 //! cargo run --release --example diagnose_model
 //! ```
 
-use zeroer::blocking::{Blocker, BlockingReport, PairMode, QgramBlocker, TokenBlocker, UnionBlocker};
+use zeroer::blocking::{
+    Blocker, BlockingReport, PairMode, QgramBlocker, TokenBlocker, UnionBlocker,
+};
 use zeroer::core::{GenerativeModel, ModelReport, TransitivityCalibrator, ZeroErConfig};
 use zeroer::datagen::{generate, profiles::mv_ri};
 use zeroer::eval::curves::{auc_pr, best_f1_threshold, brier_score};
@@ -49,7 +51,10 @@ fn main() {
 
     // How good are the posteriors as scores?
     let gammas = model.gammas();
-    println!("F1 @ 0.5 threshold : {:.3}", f_score(&model.labels(), &labels));
+    println!(
+        "F1 @ 0.5 threshold : {:.3}",
+        f_score(&model.labels(), &labels)
+    );
     println!("AUC-PR             : {:.3}", auc_pr(gammas, &labels));
     println!("Brier score        : {:.3}", brier_score(gammas, &labels));
     if let Some(best) = best_f1_threshold(gammas, &labels) {

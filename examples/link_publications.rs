@@ -8,8 +8,8 @@
 
 use zeroer::baselines::common::Classifier;
 use zeroer::baselines::{GaussianMixture, KMeans};
-use zeroer::core::{LinkageModel, LinkageTask, ZeroErConfig};
 use zeroer::blocking::{Blocker, PairMode, TokenBlocker};
+use zeroer::core::{LinkageModel, LinkageTask, ZeroErConfig};
 use zeroer::datagen::{generate, profiles::pub_da};
 use zeroer::eval::metrics::f_score;
 use zeroer::features::PairFeaturizer;
@@ -26,7 +26,10 @@ fn main() {
     let left_cs = blocker.candidates(&ds.left, &ds.left, PairMode::Dedup);
     let right_cs = blocker.candidates(&ds.right, &ds.right, PairMode::Dedup);
     println!("candidates (cross): {}", cross_cs.len());
-    println!("blocking recall   : {:.3}\n", cross_cs.recall_against(&ds.matches));
+    println!(
+        "blocking recall   : {:.3}\n",
+        cross_cs.recall_against(&ds.matches)
+    );
 
     // Feature generation per leg.
     let make_task = |l, r, cs: &zeroer::blocking::CandidateSet| {
@@ -42,17 +45,27 @@ fn main() {
 
     // ZeroER: the three-model joint trainer (F, Fl, Fr).
     let out = LinkageModel::new(ZeroErConfig::default()).fit(&cross, &left, &right);
-    println!("ZeroER       F1 = {:.3}  ({} EM iterations, converged: {})",
-        f_score(&out.cross_labels, &labels), out.summary.iterations, out.summary.converged);
+    println!(
+        "ZeroER       F1 = {:.3}  ({} EM iterations, converged: {})",
+        f_score(&out.cross_labels, &labels),
+        out.summary.iterations,
+        out.summary.converged
+    );
 
     // Unsupervised baselines on the same features.
     let mut km = KMeans::class_weighted(1);
     km.fit(&cross.features, &[]);
-    println!("KMeans (RL)  F1 = {:.3}", f_score(&km.predict(&cross.features), &labels));
+    println!(
+        "KMeans (RL)  F1 = {:.3}",
+        f_score(&km.predict(&cross.features), &labels)
+    );
 
     let mut gmm = GaussianMixture::default();
     gmm.fit(&cross.features, &[]);
-    println!("GMM          F1 = {:.3}", f_score(&gmm.predict(&cross.features), &labels));
+    println!(
+        "GMM          F1 = {:.3}",
+        f_score(&gmm.predict(&cross.features), &labels)
+    );
 
     // Show a few matched titles.
     println!("\nsample predicted matches:");

@@ -12,8 +12,8 @@
 
 use zeroer::baselines::common::{take_labels, take_rows, Classifier};
 use zeroer::baselines::RandomForest;
-use zeroer::core::{FeatureDependence, GenerativeModel, Regularization, ZeroErConfig};
 use zeroer::blocking::{Blocker, PairMode, QgramBlocker, TokenBlocker, UnionBlocker};
+use zeroer::core::{FeatureDependence, GenerativeModel, Regularization, ZeroErConfig};
 use zeroer::datagen::{generate, profiles::prod_ag};
 use zeroer::eval::metrics::f_score;
 use zeroer::eval::split::{oversample_minority, train_test_split};
@@ -31,22 +31,39 @@ fn main() {
     let cs = blocker.candidates(&ds.left, &ds.right, PairMode::Cross);
     let labels = ds.labels_for(cs.pairs());
     let n_matches = labels.iter().filter(|&&l| l).count();
-    println!("candidates           : {} ({} true matches)\n", cs.len(), n_matches);
+    println!(
+        "candidates           : {} ({} true matches)\n",
+        cs.len(),
+        n_matches
+    );
 
     let fz = PairFeaturizer::new(&ds.left, &ds.right);
     let mut fs = fz.featurize(cs.pairs());
     fs.normalize();
-    println!("features             : {} in {} attribute groups", fs.dim(), fs.layout.num_groups());
-    println!("feature names        : {:?}\n", &fs.names[..fs.names.len().min(6)]);
+    println!(
+        "features             : {} in {} attribute groups",
+        fs.dim(),
+        fs.layout.num_groups()
+    );
+    println!(
+        "feature names        : {:?}\n",
+        &fs.names[..fs.names.len().min(6)]
+    );
 
     // Ablation ladder: each step adds one of the paper's innovations.
     let ladder = [
-        ("naive GMM-ish (full cov, Tikhonov)",
-         ZeroErConfig::ablation(FeatureDependence::Full, Regularization::Tikhonov)),
-        ("grouped + Tikhonov",
-         ZeroErConfig::ablation(FeatureDependence::Grouped, Regularization::Tikhonov)),
-        ("grouped + adaptive reg",
-         ZeroErConfig::ablation(FeatureDependence::Grouped, Regularization::Adaptive)),
+        (
+            "naive GMM-ish (full cov, Tikhonov)",
+            ZeroErConfig::ablation(FeatureDependence::Full, Regularization::Tikhonov),
+        ),
+        (
+            "grouped + Tikhonov",
+            ZeroErConfig::ablation(FeatureDependence::Grouped, Regularization::Tikhonov),
+        ),
+        (
+            "grouped + adaptive reg",
+            ZeroErConfig::ablation(FeatureDependence::Grouped, Regularization::Adaptive),
+        ),
         ("+ shared Pearson correlation (G+A+P)", ZeroErConfig::gap()),
     ];
     for (name, cfg) in ladder {
@@ -60,7 +77,10 @@ fn main() {
     let (train, test) = train_test_split(fs.matrix.rows(), 0.5, 9);
     let balanced = oversample_minority(&labels, &train, 9);
     let mut rf = RandomForest::new(2, 9);
-    rf.fit(&take_rows(&fs.matrix, &balanced), &take_labels(&labels, &balanced));
+    rf.fit(
+        &take_rows(&fs.matrix, &balanced),
+        &take_labels(&labels, &balanced),
+    );
     let preds = rf.predict(&take_rows(&fs.matrix, &test));
     println!(
         "{:<42} F1 = {:.3}  (uses {} labels)",

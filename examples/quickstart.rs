@@ -33,7 +33,10 @@ fn main() {
     let result = match_tables(&left, &right, &MatchOptions::default());
 
     println!("candidate pairs after blocking : {}", result.pairs.len());
-    println!("predicted matches              : {}\n", result.num_matches());
+    println!(
+        "predicted matches              : {}\n",
+        result.num_matches()
+    );
     for (l, r, p) in result.matches() {
         let lt = left.value(l, 0);
         let rt = right.value(r, 0);

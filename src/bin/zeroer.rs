@@ -4,17 +4,28 @@
 //! ```text
 //! zeroer match <left.csv> <right.csv> [--threshold 0.5] [--overlap N]
 //!              [--block-on ATTR] [--kappa K] [--no-transitivity] [--out pairs.csv]
-//! zeroer dedup <table.csv>          [same flags]
+//! zeroer dedup <table.csv>          [same flags] [--save-model snap.json]
+//! zeroer ingest <stream.csv>        --model snap.json [--base resolved.csv]
+//!                                   [--threshold 0.5] [--out assign.csv]
 //! ```
 //!
 //! `match` links records across two CSVs with identical headers; `dedup`
 //! finds duplicate rows inside one CSV. Output is CSV on stdout (or
 //! `--out`): `left_id,right_id,probability` sorted by descending
 //! probability, thresholded at `--threshold`.
+//!
+//! `dedup --save-model` additionally freezes the fitted model into a
+//! JSON snapshot; `ingest` then streams new records against it — no EM
+//! at ingest time — emitting one line per record:
+//! `record,cluster,best_match,probability` (empty match fields for fresh
+//! entities).
 
 use std::process::ExitCode;
 use zeroer::core::ZeroErConfig;
-use zeroer::pipeline::{dedup_table, match_tables, MatchOptions};
+use zeroer::pipeline::{
+    dedup_table, dedup_table_with_snapshot, match_tables, MatchOptions, PipelineSnapshot,
+    StreamPipeline,
+};
 use zeroer::tabular::csv::read_table;
 use zeroer::tabular::Table;
 
@@ -27,6 +38,9 @@ struct Args {
     kappa: f64,
     transitivity: bool,
     out: Option<String>,
+    save_model: Option<String>,
+    model: Option<String>,
+    base: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -35,6 +49,8 @@ fn usage() -> &'static str {
      USAGE:\n\
        zeroer match <left.csv> <right.csv> [flags]   link records across two tables\n\
        zeroer dedup <table.csv>            [flags]   find duplicates inside one table\n\
+       zeroer ingest <stream.csv> --model <snap.json> [flags]\n\
+                                                     stream records against a frozen model\n\
      \n\
      FLAGS:\n\
        --threshold <p>     posterior cut-off for reporting a match (default 0.5)\n\
@@ -42,7 +58,11 @@ fn usage() -> &'static str {
        --block-on <attr>   attribute name to block on (default: first column)\n\
        --kappa <k>         regularization strength (default 0.15, the paper's)\n\
        --no-transitivity   disable the transitivity soft constraint\n\
-       --out <file>        write matches to a CSV file instead of stdout\n"
+       --out <file>        write results to a CSV file instead of stdout\n\
+       --save-model <file> (dedup) also freeze the fitted model to a JSON snapshot\n\
+       --model <file>      (ingest) snapshot produced by --save-model\n\
+       --base <csv>        (ingest) records to pre-load through the streaming path\n\
+                           before the stream (re-scored, not batch-preserved)\n"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -55,12 +75,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         kappa: 0.15,
         transitivity: true,
         out: None,
+        save_model: None,
+        model: None,
+        base: None,
     };
+    let mut batch_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.iter().peekable();
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, String> {
-        it.next().cloned().ok_or_else(|| format!("{flag} requires a value"))
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,18 +96,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--threshold must be a number".to_string())?;
             }
             "--overlap" => {
+                batch_flags.push("--overlap");
                 args.overlap = take_value(&mut it, "--overlap")?
                     .parse()
                     .map_err(|_| "--overlap must be an integer".to_string())?;
             }
-            "--block-on" => args.block_on = Some(take_value(&mut it, "--block-on")?),
+            "--block-on" => {
+                batch_flags.push("--block-on");
+                args.block_on = Some(take_value(&mut it, "--block-on")?);
+            }
             "--kappa" => {
+                batch_flags.push("--kappa");
                 args.kappa = take_value(&mut it, "--kappa")?
                     .parse()
                     .map_err(|_| "--kappa must be a number".to_string())?;
             }
-            "--no-transitivity" => args.transitivity = false,
+            "--no-transitivity" => {
+                batch_flags.push("--no-transitivity");
+                args.transitivity = false;
+            }
             "--out" => args.out = Some(take_value(&mut it, "--out")?),
+            "--save-model" => args.save_model = Some(take_value(&mut it, "--save-model")?),
+            "--model" => args.model = Some(take_value(&mut it, "--model")?),
+            "--base" => args.base = Some(take_value(&mut it, "--base")?),
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
             positional => {
@@ -96,10 +133,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if !(0.0..=1.0).contains(&args.threshold) {
         return Err("--threshold must lie in [0, 1]".into());
     }
+    if args.save_model.is_some() && args.command != "dedup" {
+        return Err("--save-model is only supported on the `dedup` batch path".into());
+    }
+    if args.command != "ingest" {
+        if args.model.is_some() {
+            return Err("--model is only supported by the `ingest` command".into());
+        }
+        if args.base.is_some() {
+            return Err("--base is only supported by the `ingest` command".into());
+        }
+    } else if let Some(flag) = batch_flags.first() {
+        return Err(format!(
+            "{flag} configures the batch fit and is frozen in the snapshot; \
+             it cannot be changed at ingest time"
+        ));
+    }
     match (args.command.as_str(), args.files.len()) {
         ("match", 2) | ("dedup", 1) => Ok(args),
+        ("ingest", 1) => {
+            if args.model.is_none() {
+                return Err("`ingest` requires --model <snapshot.json>".into());
+            }
+            Ok(args)
+        }
         ("match", n) => Err(format!("`match` needs exactly two CSV files, got {n}")),
         ("dedup", n) => Err(format!("`dedup` needs exactly one CSV file, got {n}")),
+        ("ingest", n) => Err(format!(
+            "`ingest` needs exactly one stream CSV file, got {n}"
+        )),
         (other, _) => Err(format!("unknown command: {other:?}")),
     }
 }
@@ -118,7 +180,11 @@ fn options(args: &Args, schema_probe: &Table) -> Result<MatchOptions, String> {
             .ok_or_else(|| format!("no attribute named {name:?} in the input schema"))?,
     };
     Ok(MatchOptions {
-        config: ZeroErConfig { kappa: args.kappa, transitivity: args.transitivity, ..Default::default() },
+        config: ZeroErConfig {
+            kappa: args.kappa,
+            transitivity: args.transitivity,
+            ..Default::default()
+        },
         blocking_attr,
         min_token_overlap: args.overlap,
     })
@@ -165,7 +231,17 @@ fn run() -> Result<(), String> {
         "dedup" => {
             let table = load(&args.files[0])?;
             let opts = options(&args, &table)?;
-            let result = dedup_table(&table, &opts);
+            let result = match &args.save_model {
+                None => dedup_table(&table, &opts),
+                Some(path) => {
+                    let (result, pipeline) = dedup_table_with_snapshot(&table, &opts)
+                        .map_err(|e| format!("cannot fit a model to freeze: {e}"))?;
+                    let json = pipeline.snapshot().to_json();
+                    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("zeroer: model snapshot written to {path}");
+                    result
+                }
+            };
             rows = result
                 .pairs
                 .iter()
@@ -180,10 +256,90 @@ fn run() -> Result<(), String> {
                 result.clusters.len()
             );
         }
+        "ingest" => return run_ingest(&args),
         _ => unreachable!("validated in parse_args"),
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
     emit(&rows, &args.out)
+}
+
+/// The `ingest` subcommand: stream records against a frozen snapshot.
+fn run_ingest(args: &Args) -> Result<(), String> {
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let text = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let snapshot = PipelineSnapshot::from_json(&text)
+        .map_err(|e| format!("cannot parse {model_path}: {e}"))?;
+    let mut pipeline = StreamPipeline::from_snapshot(&snapshot, args.threshold)
+        .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
+    let expected_schema = pipeline.store().table().schema().clone();
+
+    let check_schema = |table: &Table| -> Result<(), String> {
+        if table.schema() != &expected_schema {
+            return Err(format!(
+                "schema of {} does not match the snapshot ({:?} vs {:?})",
+                table.name(),
+                table.schema().attributes(),
+                expected_schema.attributes()
+            ));
+        }
+        Ok(())
+    };
+
+    if let Some(base_path) = &args.base {
+        let base = load(base_path)?;
+        check_schema(&base)?;
+        for r in base.records() {
+            pipeline.ingest(r.clone());
+        }
+        eprintln!(
+            "zeroer: pre-loaded {} base records ({} clusters)",
+            base.len(),
+            pipeline.clusters().len()
+        );
+    }
+    let base_offset = pipeline.store().len();
+
+    let stream = load(&args.files[0])?;
+    check_schema(&stream)?;
+    let mut outcomes = Vec::with_capacity(stream.len());
+    let mut fresh = 0usize;
+    for r in stream.records() {
+        let out = pipeline.ingest(r.clone());
+        fresh += usize::from(out.is_new_entity());
+        outcomes.push(out);
+    }
+    // Cluster ids are written only after the whole stream is ingested:
+    // a later record can merge two earlier clusters, so each record's
+    // *final* representative is what consumers should group by.
+    let mut text = String::from("record,cluster,best_match,probability\n");
+    for out in &outcomes {
+        let cluster = pipeline.store().find_readonly(out.index);
+        match out.matches.first() {
+            Some(&(best, p)) => {
+                text.push_str(&format!("{},{cluster},{best},{p:.4}\n", out.index));
+            }
+            None => {
+                text.push_str(&format!("{},{cluster},,\n", out.index));
+            }
+        }
+    }
+    eprintln!(
+        "zeroer: ingested {} records ({} new entities, {} joined existing; store {} → {} records, {} duplicate clusters)",
+        stream.len(),
+        fresh,
+        stream.len() - fresh,
+        base_offset,
+        pipeline.store().len(),
+        pipeline.clusters().len()
+    );
+    match &args.out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
 }
 
 fn main() -> ExitCode {

@@ -50,7 +50,24 @@
 //! * [`linalg`] — the small dense linear algebra the model needs;
 //! * [`baselines`] — k-means / GMM / ECM / LR / RF / MLP comparators (§7.1);
 //! * [`eval`] — F-score, splits, CV, oversampling;
-//! * [`datagen`] — synthetic stand-ins for the six benchmark datasets.
+//! * [`datagen`] — synthetic stand-ins for the six benchmark datasets;
+//! * [`stream`] — incremental entity resolution (online ingest, frozen
+//!   model-snapshot scoring — no EM at serving time).
+//!
+//! ## Batch vs. streaming entry points
+//!
+//! * **Batch** ([`pipeline::match_tables`] / [`pipeline::dedup_table`]):
+//!   one-shot resolution of complete tables. Every run re-blocks,
+//!   re-featurizes and re-fits the generative model by EM.
+//! * **Streaming** ([`pipeline::StreamPipeline`], re-exported from
+//!   [`zeroer_stream`]): bootstrap once on an initial batch (one EM fit,
+//!   frozen into a JSON-serializable [`pipeline::PipelineSnapshot`]),
+//!   then `ingest` records continuously — incremental blocking indexes
+//!   find candidates among everything already resolved, the frozen model
+//!   scores them (E-step math only, zero EM iterations), and a
+//!   union-find keeps clusters transitively consistent. The `zeroer`
+//!   CLI exposes the same split: `zeroer dedup --save-model` writes a
+//!   snapshot, `zeroer ingest` serves from it.
 
 pub use zeroer_baselines as baselines;
 pub use zeroer_blocking as blocking;
@@ -59,6 +76,7 @@ pub use zeroer_datagen as datagen;
 pub use zeroer_eval as eval;
 pub use zeroer_features as features;
 pub use zeroer_linalg as linalg;
+pub use zeroer_stream as stream;
 pub use zeroer_tabular as tabular;
 pub use zeroer_textsim as textsim;
 

@@ -6,10 +6,16 @@
 //! calls: [`match_tables`] for record linkage (`T ≠ T'`) and
 //! [`dedup_table`] for deduplication (`T = T'`).
 
-use zeroer_blocking::{Blocker, CandidateSet, PairMode, QgramBlocker, TokenBlocker, UnionBlocker};
-use zeroer_core::{GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, ZeroErConfig};
+use zeroer_blocking::{standard_recipe, Blocker, CandidateSet, PairMode};
+use zeroer_core::{
+    GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, ZeroErConfig,
+};
 use zeroer_features::PairFeaturizer;
 use zeroer_tabular::Table;
+
+pub use zeroer_stream::{
+    BootstrapReport, IngestOutcome, PipelineSnapshot, StreamError, StreamOptions, StreamPipeline,
+};
 
 /// Options for the high-level pipelines.
 #[derive(Debug, Clone)]
@@ -27,20 +33,17 @@ pub struct MatchOptions {
 
 impl Default for MatchOptions {
     fn default() -> Self {
-        Self { config: ZeroErConfig::default(), blocking_attr: 0, min_token_overlap: 1 }
+        Self {
+            config: ZeroErConfig::default(),
+            blocking_attr: 0,
+            min_token_overlap: 1,
+        }
     }
 }
 
 impl MatchOptions {
     fn blocker(&self) -> Box<dyn Blocker + Send + Sync> {
-        if self.min_token_overlap <= 1 {
-            Box::new(UnionBlocker::new(vec![
-                Box::new(TokenBlocker::new(self.blocking_attr)),
-                Box::new(QgramBlocker::new(self.blocking_attr, 4)),
-            ]))
-        } else {
-            Box::new(TokenBlocker::with_overlap(self.blocking_attr, self.min_token_overlap))
-        }
+        standard_recipe(self.blocking_attr, self.min_token_overlap, 4, 400)
     }
 }
 
@@ -85,11 +88,19 @@ impl MatchResult {
 /// # Panics
 /// Panics if the schemas differ.
 pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchResult {
-    assert_eq!(left.schema(), right.schema(), "match_tables requires aligned schemas");
+    assert_eq!(
+        left.schema(),
+        right.schema(),
+        "match_tables requires aligned schemas"
+    );
     let blocker = opts.blocker();
     let cross_cs = blocker.candidates(left, right, PairMode::Cross);
     if cross_cs.is_empty() {
-        return MatchResult { pairs: vec![], probabilities: vec![], labels: vec![] };
+        return MatchResult {
+            pairs: vec![],
+            probabilities: vec![],
+            labels: vec![],
+        };
     }
     let left_cs = blocker.candidates(left, left, PairMode::Dedup);
     let right_cs = blocker.candidates(right, right, PairMode::Dedup);
@@ -127,7 +138,12 @@ pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
     let blocker = opts.blocker();
     let cs = blocker.candidates(table, table, PairMode::Dedup);
     if cs.is_empty() {
-        return DedupResult { pairs: vec![], probabilities: vec![], labels: vec![], clusters: vec![] };
+        return DedupResult {
+            pairs: vec![],
+            probabilities: vec![],
+            labels: vec![],
+            clusters: vec![],
+        };
     }
     let task = build_task(table, table, &cs);
     let mut model = GenerativeModel::new(opts.config.clone(), task.layout.clone());
@@ -159,11 +175,43 @@ pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
         let root = find(&mut parent, i);
         groups.entry(root).or_default().push(i);
     }
-    let mut clusters: Vec<Vec<usize>> =
-        groups.into_values().filter(|g| g.len() > 1).collect();
+    let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
     clusters.sort();
 
-    DedupResult { pairs: task.pairs, probabilities, labels, clusters }
+    DedupResult {
+        pairs: task.pairs,
+        probabilities,
+        labels,
+        clusters,
+    }
+}
+
+/// Like [`dedup_table`], but additionally freezes the fitted model (and
+/// the feature/blocking replay state) into a [`PipelineSnapshot`] ready
+/// for the streaming path and returns the live [`StreamPipeline`] seeded
+/// with the batch decisions — the `zeroer dedup --save-model` path.
+///
+/// # Errors
+/// Fails when blocking yields no candidate pairs (there is nothing to
+/// fit, so there is nothing to freeze).
+pub fn dedup_table_with_snapshot(
+    table: &Table,
+    opts: &MatchOptions,
+) -> Result<(DedupResult, StreamPipeline), StreamError> {
+    let stream_opts = StreamOptions {
+        config: opts.config.clone(),
+        blocking_attr: opts.blocking_attr,
+        min_token_overlap: opts.min_token_overlap,
+        ..StreamOptions::default()
+    };
+    let (pipeline, report) = StreamPipeline::bootstrap(table, stream_opts)?;
+    let result = DedupResult {
+        pairs: report.pairs,
+        probabilities: report.probabilities,
+        labels: report.labels,
+        clusters: pipeline.clusters(),
+    };
+    Ok((result, pipeline))
 }
 
 #[cfg(test)]
@@ -196,11 +244,19 @@ mod tests {
     #[test]
     fn match_tables_finds_obvious_pairs() {
         let result = match_tables(&left(), &right(), &MatchOptions::default());
-        let matched: Vec<(usize, usize)> =
-            result.matches().map(|(l, r, _)| (l, r)).collect();
-        assert!(matched.contains(&(0, 0)), "exact duplicate must match: {matched:?}");
-        assert!(matched.contains(&(2, 1)), "typo'd duplicate must match: {matched:?}");
-        assert!(!matched.contains(&(1, 2)), "unrelated records must not match");
+        let matched: Vec<(usize, usize)> = result.matches().map(|(l, r, _)| (l, r)).collect();
+        assert!(
+            matched.contains(&(0, 0)),
+            "exact duplicate must match: {matched:?}"
+        );
+        assert!(
+            matched.contains(&(2, 1)),
+            "typo'd duplicate must match: {matched:?}"
+        );
+        assert!(
+            !matched.contains(&(1, 2)),
+            "unrelated records must not match"
+        );
     }
 
     #[test]
@@ -215,9 +271,40 @@ mod tests {
         )
         .unwrap();
         let result = dedup_table(&table, &MatchOptions::default());
-        assert_eq!(result.clusters.len(), 1, "one duplicate cluster: {:?}", result.clusters);
+        assert_eq!(
+            result.clusters.len(),
+            1,
+            "one duplicate cluster: {:?}",
+            result.clusters
+        );
         let cluster = &result.clusters[0];
         assert!(cluster.contains(&0) && cluster.contains(&3), "{cluster:?}");
+    }
+
+    #[test]
+    fn dedup_with_snapshot_matches_plain_dedup() {
+        let table = read_table(
+            "t",
+            "name,city\n\
+             Golden Dragon,new york\n\
+             Golden Dragon Palace,new york\n\
+             Blue Sky Tavern,austin\n\
+             Golden Dragn,new york\n\
+             Harbor View Bistro,portland\n",
+        )
+        .unwrap();
+        let opts = MatchOptions::default();
+        let plain = dedup_table(&table, &opts);
+        let (with_snap, pipeline) =
+            dedup_table_with_snapshot(&table, &opts).expect("candidates exist");
+        assert_eq!(plain.pairs, with_snap.pairs);
+        assert_eq!(plain.labels, with_snap.labels);
+        assert_eq!(plain.probabilities, with_snap.probabilities);
+        assert_eq!(plain.clusters, with_snap.clusters);
+        // The frozen snapshot round-trips through JSON.
+        let snap = pipeline.snapshot();
+        let reloaded = PipelineSnapshot::from_json(&snap.to_json()).expect("valid JSON");
+        assert_eq!(reloaded.model, snap.model);
     }
 
     #[test]

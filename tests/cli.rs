@@ -32,12 +32,19 @@ fn match_command_emits_expected_pairs() {
         .args(["match", l.to_str().unwrap(), r.to_str().unwrap()])
         .output()
         .expect("spawn zeroer");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.starts_with("left_id,right_id,probability"));
     assert!(stdout.contains("0,0,"), "typo'd title must match: {stdout}");
     assert!(stdout.contains("2,2,"), "exact title must match: {stdout}");
-    assert!(!stdout.contains("1,1,"), "unrelated rows must not match: {stdout}");
+    assert!(
+        !stdout.contains("1,1,"),
+        "unrelated rows must not match: {stdout}"
+    );
 }
 
 #[test]
@@ -45,10 +52,19 @@ fn threshold_flag_filters_output() {
     let l = write_tmp("l2", LEFT);
     let r = write_tmp("r2", RIGHT);
     let out = Command::new(zeroer_bin())
-        .args(["match", l.to_str().unwrap(), r.to_str().unwrap(), "--threshold", "1.1"])
+        .args([
+            "match",
+            l.to_str().unwrap(),
+            r.to_str().unwrap(),
+            "--threshold",
+            "1.1",
+        ])
         .output()
         .expect("spawn zeroer");
-    assert!(!out.status.success(), "threshold outside [0,1] must be rejected");
+    assert!(
+        !out.status.success(),
+        "threshold outside [0,1] must be rejected"
+    );
 }
 
 #[test]
@@ -82,9 +98,107 @@ fn dedup_command_runs() {
         .args(["dedup", t.to_str().unwrap()])
         .output()
         .expect("spawn zeroer");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("0,1,"), "near-duplicate names must pair: {stdout}");
+    assert!(
+        stdout.contains("0,1,"),
+        "near-duplicate names must pair: {stdout}"
+    );
+}
+
+#[test]
+fn save_model_then_ingest_round_trip() {
+    let base = write_tmp(
+        "sm1",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let stream = write_tmp(
+        "sm2",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Totally Unseen Steakhouse,miami\n",
+    );
+    let snap = std::env::temp_dir().join(format!("zeroer-snap-{}.json", std::process::id()));
+
+    // Batch path with --save-model.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snap_text = std::fs::read_to_string(&snap).expect("snapshot written");
+    assert!(snap_text.contains("zeroer-pipeline-snapshot"));
+
+    // Streaming path against the frozen snapshot.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer ingest");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "record,cluster,best_match,probability");
+    assert_eq!(lines.len(), 3, "one line per ingested record: {stdout}");
+    assert!(
+        !lines[1].ends_with(",,"),
+        "the exact duplicate must join an existing entity: {stdout}"
+    );
+    assert!(
+        lines[2].ends_with(",,"),
+        "the unseen restaurant must mint a fresh entity: {stdout}"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn ingest_requires_model_flag() {
+    let stream = write_tmp("sm3", "name\nwhatever\n");
+    let out = Command::new(zeroer_bin())
+        .args(["ingest", stream.to_str().unwrap()])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+}
+
+#[test]
+fn save_model_is_dedup_only() {
+    let out = Command::new(zeroer_bin())
+        .args(["match", "a.csv", "b.csv", "--save-model", "x.json"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only supported on the `dedup`"));
 }
 
 #[test]

@@ -43,7 +43,13 @@ fn run_pipeline(ds: GeneratedDataset, overlap: usize) -> Pipeline {
     let left = task(&ds.left, &ds.left, &left_cs);
     let right = task(&ds.right, &ds.right, &right_cs);
     let labels = ds.labels_for(cross_cs.pairs());
-    Pipeline { ds, cross, left, right, labels }
+    Pipeline {
+        ds,
+        cross,
+        left,
+        right,
+        labels,
+    }
 }
 
 #[test]
@@ -83,13 +89,19 @@ fn hard_products_are_harder_than_clean_restaurants() {
     let restaurants = run_pipeline(generate(&rest_fz(), 0.25, 3), 1);
     let products = run_pipeline(generate(&prod_ag(), 0.05, 3), 1);
     let f_rest = {
-        let out = LinkageModel::new(ZeroErConfig::default())
-            .fit(&restaurants.cross, &restaurants.left, &restaurants.right);
+        let out = LinkageModel::new(ZeroErConfig::default()).fit(
+            &restaurants.cross,
+            &restaurants.left,
+            &restaurants.right,
+        );
         f_score(&out.cross_labels, &restaurants.labels)
     };
     let f_prod = {
-        let out = LinkageModel::new(ZeroErConfig::default())
-            .fit(&products.cross, &products.left, &products.right);
+        let out = LinkageModel::new(ZeroErConfig::default()).fit(
+            &products.cross,
+            &products.left,
+            &products.right,
+        );
         f_score(&out.cross_labels, &products.labels)
     };
     assert!(
@@ -102,7 +114,10 @@ fn hard_products_are_harder_than_clean_restaurants() {
 fn posteriors_are_probabilities_end_to_end() {
     let p = run_pipeline(generate(&rest_fz(), 0.15, 4), 1);
     let out = LinkageModel::new(ZeroErConfig::default()).fit(&p.cross, &p.left, &p.right);
-    assert!(out.cross_gammas.iter().all(|g| (0.0..=1.0).contains(g) && g.is_finite()));
+    assert!(out
+        .cross_gammas
+        .iter()
+        .all(|g| (0.0..=1.0).contains(g) && g.is_finite()));
     assert_eq!(out.cross_gammas.len(), p.labels.len());
 }
 

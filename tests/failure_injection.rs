@@ -33,7 +33,11 @@ fn zero_variance_columns_survive_every_ablation() {
         FeatureDependence::Independent,
         FeatureDependence::Grouped,
     ] {
-        for reg in [Regularization::None, Regularization::Tikhonov, Regularization::Adaptive] {
+        for reg in [
+            Regularization::None,
+            Regularization::Tikhonov,
+            Regularization::Adaptive,
+        ] {
             let mut m = GenerativeModel::new(
                 ZeroErConfig::ablation(dep, reg),
                 GroupLayout::from_sizes(&[1, 1, 1]),
@@ -53,8 +57,14 @@ fn all_null_attribute_is_tolerated() {
     let mut l = Table::new("l", schema.clone());
     let mut r = Table::new("r", schema);
     for i in 0..12u32 {
-        l.push(Record::new(i, vec![format!("item number {i}").into(), Value::Null]));
-        r.push(Record::new(i, vec![format!("item number {i}").into(), Value::Null]));
+        l.push(Record::new(
+            i,
+            vec![format!("item number {i}").into(), Value::Null],
+        ));
+        r.push(Record::new(
+            i,
+            vec![format!("item number {i}").into(), Value::Null],
+        ));
     }
     let result = match_tables(&l, &r, &MatchOptions::default());
     assert!(!result.pairs.is_empty());
@@ -79,13 +89,19 @@ fn featurizer_handles_pairs_of_fully_null_records() {
     t.push(Record::new(1, vec!["x".into(), Value::Int(3)]));
     let fz = PairFeaturizer::new(&t, &t);
     let fs = fz.featurize(&[(0, 1), (0, 0)]);
-    assert!(!fs.matrix.has_non_finite(), "imputation must clear all NaNs");
+    assert!(
+        !fs.matrix.has_non_finite(),
+        "imputation must clear all NaNs"
+    );
 }
 
 #[test]
 fn calibrator_with_self_consistent_chain_terminates() {
     // A long chain of overlapping triangles must not oscillate or panic.
-    let pairs: Vec<(usize, usize)> = (0..50).map(|i| (i, i + 1)).chain((0..49).map(|i| (i, i + 2))).collect();
+    let pairs: Vec<(usize, usize)> = (0..50)
+        .map(|i| (i, i + 1))
+        .chain((0..49).map(|i| (i, i + 2)))
+        .collect();
     let cal = TransitivityCalibrator::new(&pairs);
     let mut gammas = vec![0.9; pairs.len()];
     for _ in 0..5 {
@@ -101,5 +117,8 @@ fn tiny_candidate_sets_fit() {
     let mut m = GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2]));
     m.fit(&x, None);
     let labels = m.labels();
-    assert!(labels[0] || !labels[1], "ordering of the two pairs must be sane");
+    assert!(
+        labels[0] || !labels[1],
+        "ordering of the two pairs must be sane"
+    );
 }

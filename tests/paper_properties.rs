@@ -2,6 +2,8 @@
 //! properties EXPERIMENTS.md reports, asserted at small scale so CI
 //! catches regressions in any layer.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use zeroer::core::{
     FeatureDependence, GenerativeModel, Regularization, TransitivityCalibrator, ZeroErConfig,
 };
@@ -11,8 +13,6 @@ use zeroer::features::PairFeaturizer;
 use zeroer::linalg::block::GroupLayout;
 use zeroer::linalg::stats::{covariance_to_correlation, weighted_covariance, weighted_mean};
 use zeroer::linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// §3.2 / Figure 2: features from the same attribute correlate far more
 /// strongly than features from different attributes.
@@ -50,7 +50,10 @@ fn feature_correlations_band_by_attribute() {
     }
     let w = within.0 / within.1 as f64;
     let a = across.0 / across.1 as f64;
-    assert!(w > 2.0 * a, "banding contrast too weak: within {w:.3} vs across {a:.3}");
+    assert!(
+        w > 2.0 * a,
+        "banding contrast too weak: within {w:.3} vs across {a:.3}"
+    );
 }
 
 /// §3.3: without regularization a degenerate feature produces a
@@ -120,7 +123,10 @@ fn calibration_removes_transitivity_violations() {
         cal.calibrate(&mut gammas);
     }
     let after = cal.count_violations(&gammas);
-    assert!(after <= before, "calibration increased violations: {before} -> {after}");
+    assert!(
+        after <= before,
+        "calibration increased violations: {before} -> {after}"
+    );
     assert_eq!(after, 0, "violations remain after calibration");
 }
 
@@ -140,8 +146,7 @@ fn em_converges_at_multiple_scales() {
             }
         }
         let x = Matrix::from_vec(n, 4, data);
-        let mut m =
-            GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2, 2]));
+        let mut m = GenerativeModel::new(ZeroErConfig::default(), GroupLayout::from_sizes(&[2, 2]));
         let s = m.fit(&x, None);
         assert!(s.converged, "EM did not converge at n = {n}");
     }
@@ -166,7 +171,10 @@ fn grouped_adaptive_beats_naive_full() {
         m.fit(&fs.matrix, None);
         f_score(&m.labels(), &labels)
     };
-    let naive = fit(ZeroErConfig::ablation(FeatureDependence::Full, Regularization::None));
+    let naive = fit(ZeroErConfig::ablation(
+        FeatureDependence::Full,
+        Regularization::None,
+    ));
     let system = fit(ZeroErConfig::gap());
     assert!(
         system > naive,

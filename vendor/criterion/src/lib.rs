@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the `micro` benchmark target uses —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`], [`black_box`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — with a
+//! simple median-of-samples timer instead of criterion's statistical
+//! machinery. Good enough to spot order-of-magnitude regressions by eye.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<P: fmt::Display>(p: P) -> Self {
+        Self {
+            label: p.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: fmt::Display>(name: &str, p: P) -> Self {
+        Self {
+            label: format!("{name}/{p}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs one benchmark body repeatedly and reports the median sample time.
+pub struct Bencher {
+    last_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then a handful of timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        const SAMPLES: usize = 7;
+        let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.last_ns = Some(times[SAMPLES / 2]);
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { last_ns: None };
+    f(&mut b);
+    match b.last_ns {
+        Some(ns) => println!("bench {name:<40} {}", human(ns)),
+        None => println!("bench {name:<40} (no iter call)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks (prefixes every benchmark's label).
+pub struct BenchmarkGroup {
+    prefix: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.prefix), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.prefix), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for bench targets with `harness = false`. Under
+/// `cargo test` (which passes `--test`) the benchmarks are skipped so the
+/// test suite stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

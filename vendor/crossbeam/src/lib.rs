@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Only the `crossbeam::thread::scope` API used by the feature generator
+//! is provided. Upstream returns `Err` when a spawned thread panics; the
+//! std scope re-raises the panic instead, which is an acceptable
+//! strengthening for this workspace (callers `.expect()` the result).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; `spawn` borrows from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it
+        /// can spawn further threads), mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Always `Ok` (panics propagate instead of becoming `Err`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        super::thread::scope(|s| {
+            let counter = &counter;
+            for &x in &data {
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let flag = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    flag.store(42, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 42);
+    }
+}

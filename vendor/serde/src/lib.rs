@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io. The workspace
+//! uses `#[derive(Serialize, Deserialize)]` purely as declarative metadata
+//! on config/value types — nothing actually serializes through serde (the
+//! model-snapshot subsystem hand-rolls its JSON in `zeroer-core`), so the
+//! derives are re-exported as no-ops.
+
+pub use serde_derive_stub::{Deserialize, Serialize};
