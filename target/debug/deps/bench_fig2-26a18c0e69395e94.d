@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fig2-26a18c0e69395e94.d: crates/bench/benches/bench_fig2.rs
+
+/root/repo/target/debug/deps/libbench_fig2-26a18c0e69395e94.rmeta: crates/bench/benches/bench_fig2.rs
+
+crates/bench/benches/bench_fig2.rs:

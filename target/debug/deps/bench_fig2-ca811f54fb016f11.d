@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig2-ca811f54fb016f11.d: crates/bench/benches/bench_fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig2-ca811f54fb016f11.rmeta: crates/bench/benches/bench_fig2.rs Cargo.toml
+
+crates/bench/benches/bench_fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

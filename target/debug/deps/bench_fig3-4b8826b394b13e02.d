@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fig3-4b8826b394b13e02.d: crates/bench/benches/bench_fig3.rs
+
+/root/repo/target/debug/deps/libbench_fig3-4b8826b394b13e02.rmeta: crates/bench/benches/bench_fig3.rs
+
+crates/bench/benches/bench_fig3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig3-b2b643f7655d8588.d: crates/bench/benches/bench_fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig3-b2b643f7655d8588.rmeta: crates/bench/benches/bench_fig3.rs Cargo.toml
+
+crates/bench/benches/bench_fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

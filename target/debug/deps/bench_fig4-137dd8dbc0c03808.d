@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fig4-137dd8dbc0c03808.d: crates/bench/benches/bench_fig4.rs
+
+/root/repo/target/debug/deps/libbench_fig4-137dd8dbc0c03808.rmeta: crates/bench/benches/bench_fig4.rs
+
+crates/bench/benches/bench_fig4.rs:

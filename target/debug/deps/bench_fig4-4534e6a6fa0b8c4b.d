@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig4-4534e6a6fa0b8c4b.d: crates/bench/benches/bench_fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig4-4534e6a6fa0b8c4b.rmeta: crates/bench/benches/bench_fig4.rs Cargo.toml
+
+crates/bench/benches/bench_fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_fig5-f479d440a6ddb928.d: crates/bench/benches/bench_fig5.rs
+
+/root/repo/target/debug/deps/libbench_fig5-f479d440a6ddb928.rmeta: crates/bench/benches/bench_fig5.rs
+
+crates/bench/benches/bench_fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_stream-1d6a9a1915921785.d: crates/stream/benches/bench_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_stream-1d6a9a1915921785.rmeta: crates/stream/benches/bench_stream.rs Cargo.toml
+
+crates/stream/benches/bench_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

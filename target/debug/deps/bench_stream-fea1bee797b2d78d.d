@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_stream-fea1bee797b2d78d.d: crates/stream/benches/bench_stream.rs
+
+/root/repo/target/debug/deps/libbench_stream-fea1bee797b2d78d.rmeta: crates/stream/benches/bench_stream.rs
+
+crates/stream/benches/bench_stream.rs:

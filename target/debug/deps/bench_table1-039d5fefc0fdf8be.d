@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_table1-039d5fefc0fdf8be.d: crates/bench/benches/bench_table1.rs
+
+/root/repo/target/debug/deps/libbench_table1-039d5fefc0fdf8be.rmeta: crates/bench/benches/bench_table1.rs
+
+crates/bench/benches/bench_table1.rs:

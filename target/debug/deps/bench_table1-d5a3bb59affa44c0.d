@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table1-d5a3bb59affa44c0.d: crates/bench/benches/bench_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table1-d5a3bb59affa44c0.rmeta: crates/bench/benches/bench_table1.rs Cargo.toml
+
+crates/bench/benches/bench_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_table2-110744904d1208a2.d: crates/bench/benches/bench_table2.rs
+
+/root/repo/target/debug/deps/libbench_table2-110744904d1208a2.rmeta: crates/bench/benches/bench_table2.rs
+
+crates/bench/benches/bench_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_table3-d642850bec8e3ead.d: crates/bench/benches/bench_table3.rs
+
+/root/repo/target/debug/deps/libbench_table3-d642850bec8e3ead.rmeta: crates/bench/benches/bench_table3.rs
+
+crates/bench/benches/bench_table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table3-e014656f9fef68f2.d: crates/bench/benches/bench_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table3-e014656f9fef68f2.rmeta: crates/bench/benches/bench_table3.rs Cargo.toml
+
+crates/bench/benches/bench_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

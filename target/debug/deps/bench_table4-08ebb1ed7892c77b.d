@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table4-08ebb1ed7892c77b.d: crates/bench/benches/bench_table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table4-08ebb1ed7892c77b.rmeta: crates/bench/benches/bench_table4.rs Cargo.toml
+
+crates/bench/benches/bench_table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

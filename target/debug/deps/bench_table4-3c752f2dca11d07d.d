@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_table4-3c752f2dca11d07d.d: crates/bench/benches/bench_table4.rs
+
+/root/repo/target/debug/deps/libbench_table4-3c752f2dca11d07d.rmeta: crates/bench/benches/bench_table4.rs
+
+crates/bench/benches/bench_table4.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-16a2a96678242eb5.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-16a2a96678242eb5.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_zeroer=placeholder:zeroer
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-35b0f9982cfb7250.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-35b0f9982cfb7250.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_zeroer=placeholder:zeroer

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-f32e7e940fe34b4f.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-f32e7e940fe34b4f: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_zeroer=/root/repo/target/debug/zeroer

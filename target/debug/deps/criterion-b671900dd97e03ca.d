@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b671900dd97e03ca.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b671900dd97e03ca.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-456c46a4b90c195c.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-456c46a4b90c195c.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-afc1a6a68418b370.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-afc1a6a68418b370.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-80c49744a719b53f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-80c49744a719b53f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

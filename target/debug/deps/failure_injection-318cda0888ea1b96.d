@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-318cda0888ea1b96.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-318cda0888ea1b96.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-9eab079809854b2e.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-9eab079809854b2e: tests/failure_injection.rs
+
+tests/failure_injection.rs:

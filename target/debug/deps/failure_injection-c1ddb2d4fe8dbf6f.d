@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-c1ddb2d4fe8dbf6f.d: tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-c1ddb2d4fe8dbf6f.rmeta: tests/failure_injection.rs Cargo.toml
+
+tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-1f433bf3830b7e2a.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-1f433bf3830b7e2a.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-9f9d9c726535d6a8.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/paper_properties-9f9d9c726535d6a8: tests/paper_properties.rs
+
+tests/paper_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_properties-af160e86ae7413e4.d: tests/paper_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_properties-af160e86ae7413e4.rmeta: tests/paper_properties.rs Cargo.toml
+
+tests/paper_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-c71ccba9efe017c7.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/libpaper_properties-c71ccba9efe017c7.rmeta: tests/paper_properties.rs
+
+tests/paper_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parity-1e8593f72bdd0072.d: crates/stream/tests/parity.rs
+
+/root/repo/target/debug/deps/libparity-1e8593f72bdd0072.rmeta: crates/stream/tests/parity.rs
+
+crates/stream/tests/parity.rs:

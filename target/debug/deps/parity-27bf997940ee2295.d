@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parity-27bf997940ee2295.d: crates/stream/tests/parity.rs
+
+/root/repo/target/debug/deps/parity-27bf997940ee2295: crates/stream/tests/parity.rs
+
+crates/stream/tests/parity.rs:

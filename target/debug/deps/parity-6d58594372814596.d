@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parity-6d58594372814596.d: crates/stream/tests/parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparity-6d58594372814596.rmeta: crates/stream/tests/parity.rs Cargo.toml
+
+crates/stream/tests/parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-312674a1e28f3cab.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-312674a1e28f3cab.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-312674a1e28f3cab.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

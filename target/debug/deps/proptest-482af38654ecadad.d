@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-482af38654ecadad.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-482af38654ecadad.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b9813f84764bc99b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b9813f84764bc99b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d509117616416ca4.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d509117616416ca4.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-42af8da875c7299e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-42af8da875c7299e.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

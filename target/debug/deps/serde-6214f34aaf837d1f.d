@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-6214f34aaf837d1f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6214f34aaf837d1f.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

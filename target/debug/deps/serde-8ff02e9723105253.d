@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-8ff02e9723105253.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-8ff02e9723105253: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

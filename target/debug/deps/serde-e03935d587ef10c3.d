@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e03935d587ef10c3.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e03935d587ef10c3.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-e9c8de8e11d3d1e7.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e9c8de8e11d3d1e7.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e9c8de8e11d3d1e7.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

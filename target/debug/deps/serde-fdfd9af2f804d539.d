@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-fdfd9af2f804d539.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fdfd9af2f804d539.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

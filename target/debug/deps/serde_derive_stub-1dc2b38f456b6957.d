@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive_stub-1dc2b38f456b6957.d: vendor/serde-derive-stub/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive_stub-1dc2b38f456b6957.rmeta: vendor/serde-derive-stub/src/lib.rs Cargo.toml
+
+vendor/serde-derive-stub/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

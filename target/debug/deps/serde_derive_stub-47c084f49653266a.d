@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-47c084f49653266a.d: vendor/serde-derive-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_stub-47c084f49653266a.rmeta: vendor/serde-derive-stub/src/lib.rs
+
+vendor/serde-derive-stub/src/lib.rs:

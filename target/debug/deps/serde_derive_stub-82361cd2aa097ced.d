@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-82361cd2aa097ced.d: vendor/serde-derive-stub/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive_stub-82361cd2aa097ced: vendor/serde-derive-stub/src/lib.rs
+
+vendor/serde-derive-stub/src/lib.rs:

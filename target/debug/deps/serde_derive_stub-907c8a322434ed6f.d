@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-907c8a322434ed6f.d: vendor/serde-derive-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_stub-907c8a322434ed6f.rmeta: vendor/serde-derive-stub/src/lib.rs
+
+vendor/serde-derive-stub/src/lib.rs:

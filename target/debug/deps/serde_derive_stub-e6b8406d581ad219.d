@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive_stub-e6b8406d581ad219.d: vendor/serde-derive-stub/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive_stub-e6b8406d581ad219.so: vendor/serde-derive-stub/src/lib.rs
+
+vendor/serde-derive-stub/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_e2e-4e68aef247ca69db.d: crates/stream/tests/streaming_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_e2e-4e68aef247ca69db.rmeta: crates/stream/tests/streaming_e2e.rs Cargo.toml
+
+crates/stream/tests/streaming_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_e2e-6d0b32cb12c17096.d: crates/stream/tests/streaming_e2e.rs
+
+/root/repo/target/debug/deps/libstreaming_e2e-6d0b32cb12c17096.rmeta: crates/stream/tests/streaming_e2e.rs
+
+crates/stream/tests/streaming_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_e2e-9e8b3f1245ce3ceb.d: crates/stream/tests/streaming_e2e.rs
+
+/root/repo/target/debug/deps/streaming_e2e-9e8b3f1245ce3ceb: crates/stream/tests/streaming_e2e.rs
+
+crates/stream/tests/streaming_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroer-11ff36088fb7daf2.d: src/bin/zeroer.rs
+
+/root/repo/target/debug/deps/libzeroer-11ff36088fb7daf2.rmeta: src/bin/zeroer.rs
+
+src/bin/zeroer.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/zeroer-173070165c167f98.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/zeroer-173070165c167f98: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer-1c977018417f4ac9.d: src/lib.rs src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer-1c977018417f4ac9.rmeta: src/lib.rs src/pipeline.rs Cargo.toml
+
+src/lib.rs:
+src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroer-50c9fcd0de74e581.d: src/bin/zeroer.rs
+
+/root/repo/target/debug/deps/zeroer-50c9fcd0de74e581: src/bin/zeroer.rs
+
+src/bin/zeroer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer-5c20b59f08253747.d: src/bin/zeroer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer-5c20b59f08253747.rmeta: src/bin/zeroer.rs Cargo.toml
+
+src/bin/zeroer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

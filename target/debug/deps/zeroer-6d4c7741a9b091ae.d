@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer-6d4c7741a9b091ae.d: src/lib.rs src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer-6d4c7741a9b091ae.rmeta: src/lib.rs src/pipeline.rs Cargo.toml
+
+src/lib.rs:
+src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

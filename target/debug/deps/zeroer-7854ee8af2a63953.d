@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroer-7854ee8af2a63953.d: src/bin/zeroer.rs
+
+/root/repo/target/debug/deps/zeroer-7854ee8af2a63953: src/bin/zeroer.rs
+
+src/bin/zeroer.rs:

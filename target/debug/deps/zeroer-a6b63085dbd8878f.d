@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/zeroer-a6b63085dbd8878f.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libzeroer-a6b63085dbd8878f.rmeta: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/zeroer-b9ba8017470ad341.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libzeroer-b9ba8017470ad341.rmeta: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeroer-cd262e0270d7125e.d: src/bin/zeroer.rs
+
+/root/repo/target/debug/deps/libzeroer-cd262e0270d7125e.rmeta: src/bin/zeroer.rs
+
+src/bin/zeroer.rs:

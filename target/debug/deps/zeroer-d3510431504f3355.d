@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zeroer-d3510431504f3355.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libzeroer-d3510431504f3355.rlib: src/lib.rs src/pipeline.rs
+
+/root/repo/target/debug/deps/libzeroer-d3510431504f3355.rmeta: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

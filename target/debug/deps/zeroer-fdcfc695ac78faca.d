@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer-fdcfc695ac78faca.d: src/bin/zeroer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer-fdcfc695ac78faca.rmeta: src/bin/zeroer.rs Cargo.toml
+
+src/bin/zeroer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

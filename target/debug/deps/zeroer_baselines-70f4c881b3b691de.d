@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/zeroer_baselines-70f4c881b3b691de.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/ecm.rs crates/baselines/src/forest.rs crates/baselines/src/gmm.rs crates/baselines/src/kmeans.rs crates/baselines/src/logreg.rs crates/baselines/src/mlp.rs crates/baselines/src/nbayes.rs crates/baselines/src/tree.rs crates/baselines/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_baselines-70f4c881b3b691de.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/ecm.rs crates/baselines/src/forest.rs crates/baselines/src/gmm.rs crates/baselines/src/kmeans.rs crates/baselines/src/logreg.rs crates/baselines/src/mlp.rs crates/baselines/src/nbayes.rs crates/baselines/src/tree.rs crates/baselines/src/tuning.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/ecm.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gmm.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/logreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/nbayes.rs:
+crates/baselines/src/tree.rs:
+crates/baselines/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zeroer_baselines-814750fd6f8ebad8.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/ecm.rs crates/baselines/src/forest.rs crates/baselines/src/gmm.rs crates/baselines/src/kmeans.rs crates/baselines/src/logreg.rs crates/baselines/src/mlp.rs crates/baselines/src/nbayes.rs crates/baselines/src/tree.rs crates/baselines/src/tuning.rs
+
+/root/repo/target/debug/deps/libzeroer_baselines-814750fd6f8ebad8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/ecm.rs crates/baselines/src/forest.rs crates/baselines/src/gmm.rs crates/baselines/src/kmeans.rs crates/baselines/src/logreg.rs crates/baselines/src/mlp.rs crates/baselines/src/nbayes.rs crates/baselines/src/tree.rs crates/baselines/src/tuning.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/ecm.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gmm.rs:
+crates/baselines/src/kmeans.rs:
+crates/baselines/src/logreg.rs:
+crates/baselines/src/mlp.rs:
+crates/baselines/src/nbayes.rs:
+crates/baselines/src/tree.rs:
+crates/baselines/src/tuning.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zeroer_bench-30ea08434d8b0a63.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libzeroer_bench-30ea08434d8b0a63.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/matchers.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zeroer_bench-7355201de7ba53f3.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/zeroer_bench-7355201de7ba53f3: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/matchers.rs:
+crates/bench/src/table.rs:

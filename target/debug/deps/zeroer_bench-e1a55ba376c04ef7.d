@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zeroer_bench-e1a55ba376c04ef7.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libzeroer_bench-e1a55ba376c04ef7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/matchers.rs:
+crates/bench/src/table.rs:

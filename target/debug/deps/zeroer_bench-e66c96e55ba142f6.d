@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer_bench-e66c96e55ba142f6.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libzeroer_bench-e66c96e55ba142f6.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libzeroer_bench-e66c96e55ba142f6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/matchers.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_blocking-6f7da11187aacd6e.d: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+/root/repo/target/debug/deps/libzeroer_blocking-6f7da11187aacd6e.rmeta: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+crates/blocking/src/lib.rs:
+crates/blocking/src/blockers.rs:
+crates/blocking/src/candidate.rs:
+crates/blocking/src/keys.rs:
+crates/blocking/src/quality.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zeroer_blocking-df9415fecb28e08e.d: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+/root/repo/target/debug/deps/libzeroer_blocking-df9415fecb28e08e.rlib: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+/root/repo/target/debug/deps/libzeroer_blocking-df9415fecb28e08e.rmeta: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+crates/blocking/src/lib.rs:
+crates/blocking/src/blockers.rs:
+crates/blocking/src/candidate.rs:
+crates/blocking/src/keys.rs:
+crates/blocking/src/quality.rs:

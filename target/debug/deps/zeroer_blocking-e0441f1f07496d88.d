@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zeroer_blocking-e0441f1f07496d88.d: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_blocking-e0441f1f07496d88.rmeta: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs Cargo.toml
+
+crates/blocking/src/lib.rs:
+crates/blocking/src/blockers.rs:
+crates/blocking/src/candidate.rs:
+crates/blocking/src/keys.rs:
+crates/blocking/src/quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_blocking-f0bebc238aeccd1c.d: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+/root/repo/target/debug/deps/zeroer_blocking-f0bebc238aeccd1c: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+crates/blocking/src/lib.rs:
+crates/blocking/src/blockers.rs:
+crates/blocking/src/candidate.rs:
+crates/blocking/src/keys.rs:
+crates/blocking/src/quality.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zeroer_core-9c4825ea79475e07.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_core-9c4825ea79475e07.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/json.rs:
+crates/core/src/linkage.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/transitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

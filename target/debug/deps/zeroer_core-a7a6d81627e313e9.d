@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zeroer_core-a7a6d81627e313e9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+/root/repo/target/debug/deps/libzeroer_core-a7a6d81627e313e9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+/root/repo/target/debug/deps/libzeroer_core-a7a6d81627e313e9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/json.rs:
+crates/core/src/linkage.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/transitivity.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zeroer_core-bdbd052da0c06946.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+/root/repo/target/debug/deps/libzeroer_core-bdbd052da0c06946.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/json.rs:
+crates/core/src/linkage.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/transitivity.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer_datagen-473150cab2f472af.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libzeroer_datagen-473150cab2f472af.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/entity.rs:
+crates/datagen/src/perturb.rs:
+crates/datagen/src/profiles.rs:
+crates/datagen/src/vocab.rs:

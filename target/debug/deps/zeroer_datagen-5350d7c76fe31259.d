@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer_datagen-5350d7c76fe31259.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libzeroer_datagen-5350d7c76fe31259.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/entity.rs:
+crates/datagen/src/perturb.rs:
+crates/datagen/src/profiles.rs:
+crates/datagen/src/vocab.rs:

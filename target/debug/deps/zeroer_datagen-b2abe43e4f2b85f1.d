@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zeroer_datagen-b2abe43e4f2b85f1.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_datagen-b2abe43e4f2b85f1.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/entity.rs:
+crates/datagen/src/perturb.rs:
+crates/datagen/src/profiles.rs:
+crates/datagen/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zeroer_datagen-d46a1e3d715ee12c.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libzeroer_datagen-d46a1e3d715ee12c.rlib: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libzeroer_datagen-d46a1e3d715ee12c.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/entity.rs:
+crates/datagen/src/perturb.rs:
+crates/datagen/src/profiles.rs:
+crates/datagen/src/vocab.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zeroer_eval-0c6a98d32590ee64.d: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_eval-0c6a98d32590ee64.rmeta: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/clusters.rs:
+crates/eval/src/curves.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_eval-3793a552621d4518.d: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libzeroer_eval-3793a552621d4518.rmeta: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clusters.rs:
+crates/eval/src/curves.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/split.rs:

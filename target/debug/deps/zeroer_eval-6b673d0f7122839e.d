@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_eval-6b673d0f7122839e.d: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/zeroer_eval-6b673d0f7122839e: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clusters.rs:
+crates/eval/src/curves.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/split.rs:

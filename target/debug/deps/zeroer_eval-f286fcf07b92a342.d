@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zeroer_eval-f286fcf07b92a342.d: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libzeroer_eval-f286fcf07b92a342.rlib: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libzeroer_eval-f286fcf07b92a342.rmeta: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clusters.rs:
+crates/eval/src/curves.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/split.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zeroer_features-27e772017520dae9.d: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libzeroer_features-27e772017520dae9.rmeta: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cache.rs:
+crates/features/src/generator.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zeroer_features-5f338723e2ff458f.d: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_features-5f338723e2ff458f.rmeta: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs Cargo.toml
+
+crates/features/src/lib.rs:
+crates/features/src/cache.rs:
+crates/features/src/generator.rs:
+crates/features/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

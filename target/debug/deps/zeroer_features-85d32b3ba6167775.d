@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zeroer_features-85d32b3ba6167775.d: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/zeroer_features-85d32b3ba6167775: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cache.rs:
+crates/features/src/generator.rs:
+crates/features/src/registry.rs:

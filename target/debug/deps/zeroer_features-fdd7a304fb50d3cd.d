@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer_features-fdd7a304fb50d3cd.d: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libzeroer_features-fdd7a304fb50d3cd.rlib: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+/root/repo/target/debug/deps/libzeroer_features-fdd7a304fb50d3cd.rmeta: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cache.rs:
+crates/features/src/generator.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zeroer_linalg-18cd2f86dbe5f6de.d: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_linalg-18cd2f86dbe5f6de.rmeta: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/block.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gaussian.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

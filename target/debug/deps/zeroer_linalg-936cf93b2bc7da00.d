@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeroer_linalg-936cf93b2bc7da00.d: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libzeroer_linalg-936cf93b2bc7da00.rmeta: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/block.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gaussian.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zeroer_linalg-beec79cff8d7709b.d: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libzeroer_linalg-beec79cff8d7709b.rlib: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libzeroer_linalg-beec79cff8d7709b.rmeta: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/block.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gaussian.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:

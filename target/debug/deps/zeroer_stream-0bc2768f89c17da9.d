@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_stream-0bc2768f89c17da9.d: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+/root/repo/target/debug/deps/libzeroer_stream-0bc2768f89c17da9.rmeta: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/index.rs:
+crates/stream/src/pipeline.rs:
+crates/stream/src/snapshot.rs:
+crates/stream/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zeroer_stream-126860ffac19fee7.d: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+/root/repo/target/debug/deps/libzeroer_stream-126860ffac19fee7.rlib: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+/root/repo/target/debug/deps/libzeroer_stream-126860ffac19fee7.rmeta: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/index.rs:
+crates/stream/src/pipeline.rs:
+crates/stream/src/snapshot.rs:
+crates/stream/src/store.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zeroer_stream-3292f198baaffb9d.d: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_stream-3292f198baaffb9d.rmeta: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/index.rs:
+crates/stream/src/pipeline.rs:
+crates/stream/src/snapshot.rs:
+crates/stream/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zeroer_tabular-640d8e72b0cc4625.d: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_tabular-640d8e72b0cc4625.rmeta: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs Cargo.toml
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/table.rs:
+crates/tabular/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

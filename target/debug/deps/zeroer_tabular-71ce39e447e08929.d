@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_tabular-71ce39e447e08929.d: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/libzeroer_tabular-71ce39e447e08929.rmeta: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/table.rs:
+crates/tabular/src/value.rs:

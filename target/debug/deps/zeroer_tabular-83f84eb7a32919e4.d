@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zeroer_tabular-83f84eb7a32919e4.d: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/zeroer_tabular-83f84eb7a32919e4: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/table.rs:
+crates/tabular/src/value.rs:

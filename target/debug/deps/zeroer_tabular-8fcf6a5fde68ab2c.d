@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zeroer_tabular-8fcf6a5fde68ab2c.d: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/libzeroer_tabular-8fcf6a5fde68ab2c.rlib: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+/root/repo/target/debug/deps/libzeroer_tabular-8fcf6a5fde68ab2c.rmeta: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/table.rs:
+crates/tabular/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zeroer_textsim-664821b798e2c884.d: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+/root/repo/target/debug/deps/libzeroer_textsim-664821b798e2c884.rlib: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+/root/repo/target/debug/deps/libzeroer_textsim-664821b798e2c884.rmeta: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+crates/textsim/src/lib.rs:
+crates/textsim/src/align.rs:
+crates/textsim/src/edit.rs:
+crates/textsim/src/numeric.rs:
+crates/textsim/src/tfidf.rs:
+crates/textsim/src/token.rs:
+crates/textsim/src/tokenize.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zeroer_textsim-71546663dd723815.d: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+/root/repo/target/debug/deps/zeroer_textsim-71546663dd723815: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+crates/textsim/src/lib.rs:
+crates/textsim/src/align.rs:
+crates/textsim/src/edit.rs:
+crates/textsim/src/numeric.rs:
+crates/textsim/src/tfidf.rs:
+crates/textsim/src/token.rs:
+crates/textsim/src/tokenize.rs:

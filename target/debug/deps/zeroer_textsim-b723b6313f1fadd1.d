@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zeroer_textsim-b723b6313f1fadd1.d: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzeroer_textsim-b723b6313f1fadd1.rmeta: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs Cargo.toml
+
+crates/textsim/src/lib.rs:
+crates/textsim/src/align.rs:
+crates/textsim/src/edit.rs:
+crates/textsim/src/numeric.rs:
+crates/textsim/src/tfidf.rs:
+crates/textsim/src/token.rs:
+crates/textsim/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_restaurants-3d78d55979c8c891.d: examples/dedup_restaurants.rs
+
+/root/repo/target/debug/examples/dedup_restaurants-3d78d55979c8c891: examples/dedup_restaurants.rs
+
+examples/dedup_restaurants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dedup_restaurants-70f288c9cb4fc69f.d: examples/dedup_restaurants.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdedup_restaurants-70f288c9cb4fc69f.rmeta: examples/dedup_restaurants.rs Cargo.toml
+
+examples/dedup_restaurants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dedup_restaurants-afe1f1237a44d506.d: examples/dedup_restaurants.rs
+
+/root/repo/target/debug/examples/libdedup_restaurants-afe1f1237a44d506.rmeta: examples/dedup_restaurants.rs
+
+examples/dedup_restaurants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_model-199f170439fd3f83.d: examples/diagnose_model.rs
+
+/root/repo/target/debug/examples/libdiagnose_model-199f170439fd3f83.rmeta: examples/diagnose_model.rs
+
+examples/diagnose_model.rs:

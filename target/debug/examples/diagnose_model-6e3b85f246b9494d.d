@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_model-6e3b85f246b9494d.d: examples/diagnose_model.rs
+
+/root/repo/target/debug/examples/diagnose_model-6e3b85f246b9494d: examples/diagnose_model.rs
+
+examples/diagnose_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose_model-cdb1d63e73f6a28f.d: examples/diagnose_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose_model-cdb1d63e73f6a28f.rmeta: examples/diagnose_model.rs Cargo.toml
+
+examples/diagnose_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/link_publications-a0add4e0358badd6.d: examples/link_publications.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblink_publications-a0add4e0358badd6.rmeta: examples/link_publications.rs Cargo.toml
+
+examples/link_publications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_publications-daa4627e5cf8f9fe.d: examples/link_publications.rs
+
+/root/repo/target/debug/examples/liblink_publications-daa4627e5cf8f9fe.rmeta: examples/link_publications.rs
+
+examples/link_publications.rs:

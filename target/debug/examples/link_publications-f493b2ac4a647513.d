@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_publications-f493b2ac4a647513.d: examples/link_publications.rs
+
+/root/repo/target/debug/examples/link_publications-f493b2ac4a647513: examples/link_publications.rs
+
+examples/link_publications.rs:

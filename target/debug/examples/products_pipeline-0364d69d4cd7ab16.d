@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/products_pipeline-0364d69d4cd7ab16.d: examples/products_pipeline.rs
+
+/root/repo/target/debug/examples/products_pipeline-0364d69d4cd7ab16: examples/products_pipeline.rs
+
+examples/products_pipeline.rs:

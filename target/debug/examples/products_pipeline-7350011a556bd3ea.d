@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/products_pipeline-7350011a556bd3ea.d: examples/products_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproducts_pipeline-7350011a556bd3ea.rmeta: examples/products_pipeline.rs Cargo.toml
+
+examples/products_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/products_pipeline-9f118013aeca9aff.d: examples/products_pipeline.rs
+
+/root/repo/target/debug/examples/libproducts_pipeline-9f118013aeca9aff.rmeta: examples/products_pipeline.rs
+
+examples/products_pipeline.rs:

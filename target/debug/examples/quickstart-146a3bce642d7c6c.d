@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-146a3bce642d7c6c.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-146a3bce642d7c6c.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-53e9b7706f60bda6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-53e9b7706f60bda6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cad68daa3ce5b265.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-cad68daa3ce5b265.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_ingest-30ebdbfb3a38ce77.d: examples/stream_ingest.rs
+
+/root/repo/target/debug/examples/stream_ingest-30ebdbfb3a38ce77: examples/stream_ingest.rs
+
+examples/stream_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_ingest-bc54653fa12cb207.d: examples/stream_ingest.rs
+
+/root/repo/target/debug/examples/libstream_ingest-bc54653fa12cb207.rmeta: examples/stream_ingest.rs
+
+examples/stream_ingest.rs:

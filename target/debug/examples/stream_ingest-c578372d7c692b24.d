@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stream_ingest-c578372d7c692b24.d: examples/stream_ingest.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstream_ingest-c578372d7c692b24.rmeta: examples/stream_ingest.rs Cargo.toml
+
+examples/stream_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

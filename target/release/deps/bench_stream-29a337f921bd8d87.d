@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_stream-29a337f921bd8d87.d: crates/stream/benches/bench_stream.rs
+
+/root/repo/target/release/deps/bench_stream-29a337f921bd8d87: crates/stream/benches/bench_stream.rs
+
+crates/stream/benches/bench_stream.rs:

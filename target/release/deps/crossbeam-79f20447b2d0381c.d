@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-79f20447b2d0381c.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-79f20447b2d0381c.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-79f20447b2d0381c.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cf3d2229c3c902b7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cf3d2229c3c902b7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cf3d2229c3c902b7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

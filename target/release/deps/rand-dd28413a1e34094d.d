@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dd28413a1e34094d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dd28413a1e34094d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dd28413a1e34094d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

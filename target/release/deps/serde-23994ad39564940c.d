@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-23994ad39564940c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-23994ad39564940c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-23994ad39564940c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_stub-48acdedadb9f84ad.d: vendor/serde-derive-stub/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_stub-48acdedadb9f84ad.so: vendor/serde-derive-stub/src/lib.rs
+
+vendor/serde-derive-stub/src/lib.rs:

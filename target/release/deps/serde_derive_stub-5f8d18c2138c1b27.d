@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive_stub-5f8d18c2138c1b27.d: vendor/serde-derive-stub/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive_stub-5f8d18c2138c1b27.so: vendor/serde-derive-stub/src/lib.rs
+
+vendor/serde-derive-stub/src/lib.rs:

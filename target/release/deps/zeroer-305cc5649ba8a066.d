@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zeroer-305cc5649ba8a066.d: src/bin/zeroer.rs
+
+/root/repo/target/release/deps/zeroer-305cc5649ba8a066: src/bin/zeroer.rs
+
+src/bin/zeroer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zeroer-7870b0301249915c.d: src/lib.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libzeroer-7870b0301249915c.rlib: src/lib.rs src/pipeline.rs
+
+/root/repo/target/release/deps/libzeroer-7870b0301249915c.rmeta: src/lib.rs src/pipeline.rs
+
+src/lib.rs:
+src/pipeline.rs:

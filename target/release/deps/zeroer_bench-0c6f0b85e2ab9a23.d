@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zeroer_bench-0c6f0b85e2ab9a23.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libzeroer_bench-0c6f0b85e2ab9a23.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libzeroer_bench-0c6f0b85e2ab9a23.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs crates/bench/src/matchers.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+crates/bench/src/matchers.rs:
+crates/bench/src/table.rs:

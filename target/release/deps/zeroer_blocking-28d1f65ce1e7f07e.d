@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zeroer_blocking-28d1f65ce1e7f07e.d: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+/root/repo/target/release/deps/libzeroer_blocking-28d1f65ce1e7f07e.rlib: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+/root/repo/target/release/deps/libzeroer_blocking-28d1f65ce1e7f07e.rmeta: crates/blocking/src/lib.rs crates/blocking/src/blockers.rs crates/blocking/src/candidate.rs crates/blocking/src/keys.rs crates/blocking/src/quality.rs
+
+crates/blocking/src/lib.rs:
+crates/blocking/src/blockers.rs:
+crates/blocking/src/candidate.rs:
+crates/blocking/src/keys.rs:
+crates/blocking/src/quality.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/zeroer_core-0d87f31bf5ad652a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+/root/repo/target/release/deps/libzeroer_core-0d87f31bf5ad652a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+/root/repo/target/release/deps/libzeroer_core-0d87f31bf5ad652a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/json.rs crates/core/src/linkage.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/snapshot.rs crates/core/src/transitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/json.rs:
+crates/core/src/linkage.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/transitivity.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zeroer_datagen-a3785298c98ee2ca.d: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/libzeroer_datagen-a3785298c98ee2ca.rlib: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/libzeroer_datagen-a3785298c98ee2ca.rmeta: crates/datagen/src/lib.rs crates/datagen/src/dataset.rs crates/datagen/src/entity.rs crates/datagen/src/perturb.rs crates/datagen/src/profiles.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/dataset.rs:
+crates/datagen/src/entity.rs:
+crates/datagen/src/perturb.rs:
+crates/datagen/src/profiles.rs:
+crates/datagen/src/vocab.rs:

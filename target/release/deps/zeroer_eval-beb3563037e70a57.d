@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zeroer_eval-beb3563037e70a57.d: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+/root/repo/target/release/deps/libzeroer_eval-beb3563037e70a57.rlib: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+/root/repo/target/release/deps/libzeroer_eval-beb3563037e70a57.rmeta: crates/eval/src/lib.rs crates/eval/src/clusters.rs crates/eval/src/curves.rs crates/eval/src/metrics.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/clusters.rs:
+crates/eval/src/curves.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/split.rs:

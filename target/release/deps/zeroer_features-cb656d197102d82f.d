@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zeroer_features-cb656d197102d82f.d: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+/root/repo/target/release/deps/libzeroer_features-cb656d197102d82f.rlib: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+/root/repo/target/release/deps/libzeroer_features-cb656d197102d82f.rmeta: crates/features/src/lib.rs crates/features/src/cache.rs crates/features/src/generator.rs crates/features/src/registry.rs
+
+crates/features/src/lib.rs:
+crates/features/src/cache.rs:
+crates/features/src/generator.rs:
+crates/features/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zeroer_linalg-49d66ba61b2e3a1a.d: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libzeroer_linalg-49d66ba61b2e3a1a.rlib: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libzeroer_linalg-49d66ba61b2e3a1a.rmeta: crates/linalg/src/lib.rs crates/linalg/src/block.rs crates/linalg/src/cholesky.rs crates/linalg/src/gaussian.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/block.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/gaussian.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zeroer_stream-29274284fe46f1e6.d: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+/root/repo/target/release/deps/zeroer_stream-29274284fe46f1e6: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/index.rs:
+crates/stream/src/pipeline.rs:
+crates/stream/src/snapshot.rs:
+crates/stream/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zeroer_stream-e6f8cd74b2012500.d: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+/root/repo/target/release/deps/libzeroer_stream-e6f8cd74b2012500.rlib: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+/root/repo/target/release/deps/libzeroer_stream-e6f8cd74b2012500.rmeta: crates/stream/src/lib.rs crates/stream/src/index.rs crates/stream/src/pipeline.rs crates/stream/src/snapshot.rs crates/stream/src/store.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/index.rs:
+crates/stream/src/pipeline.rs:
+crates/stream/src/snapshot.rs:
+crates/stream/src/store.rs:

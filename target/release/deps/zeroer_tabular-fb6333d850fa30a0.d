@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zeroer_tabular-fb6333d850fa30a0.d: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+/root/repo/target/release/deps/libzeroer_tabular-fb6333d850fa30a0.rlib: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+/root/repo/target/release/deps/libzeroer_tabular-fb6333d850fa30a0.rmeta: crates/tabular/src/lib.rs crates/tabular/src/csv.rs crates/tabular/src/schema.rs crates/tabular/src/table.rs crates/tabular/src/value.rs
+
+crates/tabular/src/lib.rs:
+crates/tabular/src/csv.rs:
+crates/tabular/src/schema.rs:
+crates/tabular/src/table.rs:
+crates/tabular/src/value.rs:

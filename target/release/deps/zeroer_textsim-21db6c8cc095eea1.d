@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/zeroer_textsim-21db6c8cc095eea1.d: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+/root/repo/target/release/deps/libzeroer_textsim-21db6c8cc095eea1.rlib: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+/root/repo/target/release/deps/libzeroer_textsim-21db6c8cc095eea1.rmeta: crates/textsim/src/lib.rs crates/textsim/src/align.rs crates/textsim/src/edit.rs crates/textsim/src/numeric.rs crates/textsim/src/tfidf.rs crates/textsim/src/token.rs crates/textsim/src/tokenize.rs
+
+crates/textsim/src/lib.rs:
+crates/textsim/src/align.rs:
+crates/textsim/src/edit.rs:
+crates/textsim/src/numeric.rs:
+crates/textsim/src/tfidf.rs:
+crates/textsim/src/token.rs:
+crates/textsim/src/tokenize.rs:

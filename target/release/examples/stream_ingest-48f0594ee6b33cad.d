@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stream_ingest-48f0594ee6b33cad.d: examples/stream_ingest.rs
+
+/root/repo/target/release/examples/stream_ingest-48f0594ee6b33cad: examples/stream_ingest.rs
+
+examples/stream_ingest.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive_stub.so: /root/repo/vendor/serde-derive-stub/src/lib.rs
