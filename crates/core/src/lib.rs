@@ -51,10 +51,12 @@ pub mod model;
 pub mod report;
 pub mod snapshot;
 pub mod transitivity;
+pub mod union_find;
 
 pub use config::{FeatureDependence, Regularization, ZeroErConfig};
 pub use linkage::{LinkageModel, LinkageOutcome, LinkageTask};
-pub use model::{FitSummary, GenerativeModel};
+pub use model::{eq3_posterior, FitSummary, GenerativeModel};
 pub use report::{FeatureReport, ModelReport};
 pub use snapshot::{ModelSnapshot, SnapshotScorer};
 pub use transitivity::TransitivityCalibrator;
+pub use union_find::{clusters_of_pairs, UnionFind};

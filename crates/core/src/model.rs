@@ -14,6 +14,20 @@ use zeroer_linalg::{Matrix, VARIANCE_FLOOR};
 /// finite when one component momentarily empties out.
 const PRIOR_FLOOR: f64 = 1e-9;
 
+/// The Eq. 3 posterior softmax: `γ = exp(lm) / (exp(lm) + exp(lu))`,
+/// evaluated stably in the log domain, where `lm = log π_M + log p_M(x)`
+/// and `lu = log π_U + log p_U(x)`.
+///
+/// This is the single softmax shared by live EM inference
+/// ([`GenerativeModel::posterior`], [`GenerativeModel::e_step`]) and
+/// frozen-snapshot scoring (`SnapshotScorer::score`), so the two paths
+/// cannot drift apart numerically.
+#[inline]
+pub fn eq3_posterior(lm: f64, lu: f64) -> f64 {
+    let max = lm.max(lu);
+    (lm - max).exp() / ((lm - max).exp() + (lu - max).exp())
+}
+
 /// Outcome of a [`GenerativeModel::fit`] run.
 #[derive(Debug, Clone)]
 pub struct FitSummary {
@@ -258,9 +272,7 @@ impl GenerativeModel {
             let row = x.row(i);
             let lm = log_pi_m + m_dist.log_pdf(row);
             let lu = log_pi_u + u_dist.log_pdf(row);
-            // γ = exp(lm) / (exp(lm) + exp(lu)), stably.
-            let max = lm.max(lu);
-            let gm = ((lm - max).exp()) / ((lm - max).exp() + (lu - max).exp());
+            let gm = eq3_posterior(lm, lu);
             self.gammas[i] = gm;
             ll += gm * lm + (1.0 - gm) * lu;
         }
@@ -369,8 +381,7 @@ impl GenerativeModel {
         let u_dist = self.u_dist.as_ref().expect("model not fitted");
         let lm = self.pi_m.ln() + m_dist.log_pdf(row);
         let lu = (1.0 - self.pi_m).ln() + u_dist.log_pdf(row);
-        let max = lm.max(lu);
-        (lm - max).exp() / ((lm - max).exp() + (lu - max).exp())
+        eq3_posterior(lm, lu)
     }
 }
 

@@ -11,9 +11,10 @@
 //! what the streaming ingest path runs per candidate pair.
 
 use crate::json::{Json, JsonError};
-use crate::model::GenerativeModel;
+use crate::model::{eq3_posterior, GenerativeModel};
 use zeroer_linalg::block::{BlockDiag, GroupLayout};
 use zeroer_linalg::gaussian::BlockGaussian;
+use zeroer_linalg::stats::min_max_scale;
 use zeroer_linalg::Matrix;
 
 /// A serializable freeze of a fitted [`GenerativeModel`] plus the feature
@@ -114,9 +115,9 @@ impl ModelSnapshot {
 
     /// Prepares a raw (pre-normalization) feature row for scoring, in
     /// place: missing values (`NaN`) are imputed with the training means,
-    /// then every column is min-max scaled with the training ranges,
-    /// clamped to `[0, 1]` — the same replay semantics as
-    /// `zeroer_linalg::stats::apply_min_max`, so out-of-range values on
+    /// then every column is min-max scaled with the training ranges via
+    /// the *same* [`min_max_scale`] rule `apply_min_max` uses (clamped to
+    /// `[0, 1]`, degenerate spans map to 0), so out-of-range values on
     /// unseen pairs cannot destabilize the frozen model.
     ///
     /// # Panics
@@ -128,12 +129,7 @@ impl ModelSnapshot {
                 *v = self.impute_means[j];
             }
             let (lo, hi) = self.ranges[j];
-            let span = hi - lo;
-            *v = if span > 0.0 {
-                ((*v - lo) / span).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
+            *v = min_max_scale(*v, lo, hi);
         }
     }
 
@@ -335,16 +331,15 @@ pub struct SnapshotScorer {
 
 impl SnapshotScorer {
     /// Posterior match probability of a *normalized* feature row — the
-    /// same math as [`GenerativeModel::posterior`] (Eq. 3), evaluated
-    /// against the frozen parameters.
+    /// same [`eq3_posterior`] softmax [`GenerativeModel::posterior`]
+    /// evaluates, applied to the frozen parameters.
     ///
     /// # Panics
     /// Panics on a dimensionality mismatch.
     pub fn score(&self, row: &[f64]) -> f64 {
         let lm = self.pi_m.ln() + self.m.log_pdf(row);
         let lu = (1.0 - self.pi_m).ln() + self.u.log_pdf(row);
-        let max = lm.max(lu);
-        (lm - max).exp() / ((lm - max).exp() + (lu - max).exp())
+        eq3_posterior(lm, lu)
     }
 
     /// Scores a *raw* (pre-normalization, possibly `NaN`-holed) feature

@@ -1,0 +1,213 @@
+//! The one union-find.
+//!
+//! Entity resolution needs transitive closure in three places — the
+//! streaming `EntityStore`, the evaluation-side `clusters_from_pairs`,
+//! and the batch `dedup_table` clustering — and for one PR the repo had
+//! three hand-rolled copies whose agreement was only test-detected. This
+//! module is the single implementation all of them consume, so the
+//! closure semantics (union by rank, path compression, the cluster
+//! reporting shape) cannot drift again.
+
+/// Disjoint-set forest over dense indices `0..len`, with union by rank
+/// and path compression.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// A forest of `n` singletons.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Appends a fresh singleton; returns its index.
+    pub fn push(&mut self) -> usize {
+        let idx = self.parent.len();
+        self.parent.push(idx);
+        self.rank.push(0);
+        idx
+    }
+
+    /// Representative of `x`, with full path compression.
+    ///
+    /// # Panics
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative of `x` without mutation (no path compression);
+    /// usable from shared references.
+    pub fn find_readonly(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b` (union by rank); returns the
+    /// surviving representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[loser] = winner;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[winner] += 1;
+        }
+        winner
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn same_set(&self, a: usize, b: usize) -> bool {
+        self.find_readonly(a) == self.find_readonly(b)
+    }
+
+    /// Number of distinct sets (singletons included).
+    pub fn num_sets(&self) -> usize {
+        (0..self.len())
+            .filter(|&i| self.find_readonly(i) == i)
+            .count()
+    }
+
+    /// All sets with at least `min_size` members, each sorted ascending,
+    /// the list sorted by its first member — the canonical cluster
+    /// reporting shape shared by `dedup_table`, `EntityStore::clusters`,
+    /// and `clusters_from_pairs`.
+    pub fn clusters(&self, min_size: usize) -> Vec<Vec<usize>> {
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..self.len() {
+            groups.entry(self.find_readonly(i)).or_default().push(i);
+        }
+        let mut clusters: Vec<Vec<usize>> = groups
+            .into_values()
+            .filter(|g| g.len() >= min_size)
+            .collect();
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort();
+        clusters
+    }
+}
+
+/// Transitive closure of a pair list: clusters (≥ 2 members) over the
+/// union-find built by uniting every pair. Elements never mentioned in a
+/// pair stay singletons and are not reported.
+///
+/// Expects *dense* indices (record positions): the forest is allocated up
+/// to the largest mentioned index, so feeding sparse ids (e.g. 64-bit
+/// uids) would allocate proportionally to the largest value, not to the
+/// pair count.
+pub fn clusters_of_pairs(pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let n = pairs.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0);
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in pairs {
+        uf.union(a, b);
+    }
+    uf.clusters(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_elements_are_singletons() {
+        let uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(uf.clusters(2).is_empty());
+    }
+
+    #[test]
+    fn unions_are_transitive() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 4);
+        assert!(uf.same_set(0, 4), "0~1 and 1~4 imply 0~4");
+        assert!(!uf.same_set(0, 2));
+        assert_eq!(uf.num_sets(), 3);
+        assert_eq!(uf.clusters(2), vec![vec![0, 1, 4]]);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_symmetric() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(1, 0);
+        assert_eq!(r1, r2);
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn push_grows_the_forest() {
+        let mut uf = UnionFind::new(2);
+        let idx = uf.push();
+        assert_eq!(idx, 2);
+        assert_eq!(uf.find(idx), idx);
+        uf.union(idx, 0);
+        assert!(uf.same_set(0, 2));
+    }
+
+    #[test]
+    fn long_chains_do_not_recurse() {
+        // Path compression is iterative; a 100k chain must not overflow.
+        let n = 100_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert_eq!(uf.find(n - 1), uf.find(0));
+    }
+
+    #[test]
+    fn clusters_of_pairs_builds_chains() {
+        let clusters = clusters_of_pairs(&[(1, 2), (2, 3), (8, 9)]);
+        assert_eq!(clusters, vec![vec![1, 2, 3], vec![8, 9]]);
+    }
+
+    #[test]
+    fn clusters_of_pairs_ignores_duplicates_order_and_self_pairs() {
+        assert_eq!(
+            clusters_of_pairs(&[(5, 4), (4, 5), (5, 4)]),
+            vec![vec![4, 5]]
+        );
+        assert!(clusters_of_pairs(&[(3, 3)]).is_empty());
+        assert!(clusters_of_pairs(&[]).is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! the dedup literature.
 
 use crate::metrics::ConfusionMatrix;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// All unordered within-cluster pairs implied by a clustering (singletons
 /// contribute nothing).
@@ -38,46 +38,10 @@ pub fn pairwise_cluster_f1(predicted: &[Vec<usize>], truth: &[Vec<usize>]) -> Co
 }
 
 /// Builds ground-truth duplicate clusters from match pairs by transitive
-/// closure (union-find over the pair graph).
+/// closure — a thin alias of [`zeroer_core::clusters_of_pairs`], the one
+/// shared union-find closure.
 pub fn clusters_from_pairs(pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
-    let mut parent: HashMap<usize, usize> = HashMap::new();
-    // Iterative find with full path compression: long match chains must
-    // not recurse (a 100k-pair chain would overflow the stack).
-    fn find(parent: &mut HashMap<usize, usize>, x: usize) -> usize {
-        let mut root = *parent.entry(x).or_insert(x);
-        while *parent.entry(root).or_insert(root) != root {
-            root = parent[&root];
-        }
-        let mut cur = x;
-        while parent[&cur] != root {
-            let next = parent[&cur];
-            parent.insert(cur, root);
-            cur = next;
-        }
-        root
-    }
-    for &(a, b) in pairs {
-        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
-        if ra != rb {
-            parent.insert(ra, rb);
-        }
-    }
-    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
-    let keys: Vec<usize> = parent.keys().copied().collect();
-    for k in keys {
-        let root = find(&mut parent, k);
-        groups.entry(root).or_default().push(k);
-    }
-    let mut clusters: Vec<Vec<usize>> = groups
-        .into_values()
-        .map(|mut g| {
-            g.sort_unstable();
-            g
-        })
-        .filter(|g| g.len() > 1)
-        .collect();
-    clusters.sort();
-    clusters
+    zeroer_core::clusters_of_pairs(pairs)
 }
 
 #[cfg(test)]

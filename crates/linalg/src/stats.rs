@@ -153,6 +153,23 @@ pub fn correlation_to_covariance(r: &Matrix, sd: &[f64]) -> Matrix {
     cov
 }
 
+/// The one min-max replay rule (§6): scales `v` by the `(lo, hi)` range,
+/// clamping to `[0, 1]`; a degenerate span (`hi <= lo`) maps everything
+/// to 0 (there is no scale to recover).
+///
+/// Both the batch replay path ([`apply_min_max`]) and the frozen-snapshot
+/// row preparation (`zeroer_core::ModelSnapshot::prepare_row`) call this
+/// single function, so the clamp/degenerate-span semantics cannot drift.
+#[inline]
+pub fn min_max_scale(v: f64, lo: f64, hi: f64) -> f64 {
+    let span = hi - lo;
+    if span > 0.0 {
+        ((v - lo) / span).clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
 /// Per-column min-max normalization to `[0, 1]` (§6), in place.
 ///
 /// Constant columns are mapped to all-zeros (there is no scale to recover);
@@ -192,13 +209,8 @@ pub fn apply_min_max(x: &mut Matrix, ranges: &[(f64, f64)]) {
     assert_eq!(ranges.len(), x.cols(), "one range per column required");
     for j in 0..x.cols() {
         let (lo, hi) = ranges[j];
-        let span = hi - lo;
         for i in 0..x.rows() {
-            x[(i, j)] = if span > 0.0 {
-                ((x[(i, j)] - lo) / span).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
+            x[(i, j)] = min_max_scale(x[(i, j)], lo, hi);
         }
     }
 }

@@ -1,13 +1,24 @@
 //! Streaming-ingest throughput: bootstrap on 70 % of a dedup dataset,
-//! then measure per-record ingest latency (incremental blocking +
-//! frozen-model scoring + cluster assignment) over the remaining 30 %.
+//! then measure ingest over the remaining 30 % — sequentially, across a
+//! scaling worker pool, and with/without per-candidate allocation.
 //!
-//! Knobs: `ZEROER_SCALE` (default 0.25), `ZEROER_SEED` (default 42).
+//! Sections:
+//! 1. sequential per-record ingest latency (incremental blocking +
+//!    frozen-model scoring + cluster assignment);
+//! 2. scoring-loop allocation delta: `raw_row` (one `Vec` per candidate)
+//!    vs. `raw_row_into` (one reused buffer) over the same pairs;
+//! 3. multi-thread batch-ingest scaling (`ingest_batch_parallel`), with
+//!    a cluster-parity check across thread counts.
+//!
+//! Knobs: `ZEROER_SCALE` (default 0.25, section 1),
+//! `ZEROER_SCALE_PAR` (default 1.0, section 3), `ZEROER_SEED`
+//! (default 42), `ZEROER_MAX_THREADS` (default 8).
 
 use std::time::Instant;
 use zeroer_datagen::generate;
 use zeroer_datagen::profiles::rest_fz;
-use zeroer_stream::{StreamOptions, StreamPipeline};
+use zeroer_features::{RecordCache, RowFeaturizer};
+use zeroer_stream::{PipelineSnapshot, StreamOptions, StreamPipeline};
 use zeroer_tabular::{Record, Table};
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -17,27 +28,44 @@ fn env_f64(key: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Bootstrap table (first 70 %) and streamed tail (last 30 %).
+fn split(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = table.len() * 7 / 10;
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+fn cold(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
+    let mut p = StreamPipeline::from_snapshot(snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    p.seed_base(boot).expect("bootstrap decisions replay");
+    p
+}
+
 fn main() {
     let scale = env_f64("ZEROER_SCALE", 0.25);
+    let scale_par = env_f64("ZEROER_SCALE_PAR", 1.0);
     let seed = env_f64("ZEROER_SEED", 42.0) as u64;
-    let ds = generate(&rest_fz(), scale, seed);
+    let max_threads = env_f64("ZEROER_MAX_THREADS", 8.0) as usize;
 
-    let (table, _truth) = ds.dedup_table();
-    let cut = table.len() * 7 / 10;
-    let mut bootstrap_table = Table::new("boot", table.schema().clone());
-    for r in table.records().iter().take(cut) {
-        bootstrap_table.push(r.clone());
-    }
-
+    // ---- Section 1: sequential per-record ingest -------------------
+    let (boot, tail) = split(scale, seed);
     println!("== bench_stream: incremental ingest throughput ==");
     println!(
-        "dataset Rest-FZ at scale {scale}: {} records, bootstrap on {cut}\n",
-        table.len()
+        "dataset Rest-FZ at scale {scale}: {} records, bootstrap on {}\n",
+        boot.len() + tail.len(),
+        boot.len()
     );
 
     let t0 = Instant::now();
     let (mut pipeline, report) =
-        StreamPipeline::bootstrap(&bootstrap_table, StreamOptions::default()).expect("bootstrap");
+        StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
     let bootstrap_secs = t0.elapsed().as_secs_f64();
     println!(
         "bootstrap: {:.3} s ({} candidate pairs, {} EM iterations)",
@@ -46,18 +74,19 @@ fn main() {
         report.em_iterations
     );
 
-    let tail: Vec<Record> = table.records()[cut..].to_vec();
     let n = tail.len();
+    // Clone outside the timed region: the measured loop should pay for
+    // ingest, not for Record copies.
+    let tail_seq = tail.clone();
     let t1 = Instant::now();
     let mut scored = 0usize;
     let mut matched = 0usize;
-    for r in tail {
+    for r in tail_seq {
         let out = pipeline.ingest(r);
         scored += out.candidates;
         matched += usize::from(!out.is_new_entity());
     }
     let ingest_secs = t1.elapsed().as_secs_f64();
-
     println!(
         "ingest: {n} records in {:.4} s → {:.0} records/s ({:.1} µs/record)",
         ingest_secs,
@@ -65,7 +94,97 @@ fn main() {
         ingest_secs * 1e6 / n as f64
     );
     println!(
-        "        {scored} candidates scored, {matched} records joined existing entities, {} clusters",
+        "        {scored} candidates scored, {matched} records joined existing entities, {} clusters\n",
         pipeline.clusters().len()
     );
+
+    // ---- Section 2: scoring-loop allocation delta ------------------
+    // Same feature rows, same scorer; the only difference is one Vec
+    // allocation per candidate (raw_row) vs. one reused buffer
+    // (raw_row_into, what ingest actually runs).
+    let snap = pipeline.snapshot();
+    let featurizer = RowFeaturizer::new(&snap.attr_types);
+    let scorer = snap.model.scorer().expect("snapshot scorer");
+    let caches: Vec<RecordCache> = boot.records().iter().map(RecordCache::build).collect();
+    let pairs: Vec<(usize, usize)> = (0..caches.len().saturating_sub(1))
+        .map(|i| (i, i + 1))
+        .collect();
+    let reps = (20_000 / pairs.len().max(1)).max(1);
+
+    let t2 = Instant::now();
+    let mut acc_alloc = 0.0f64;
+    for _ in 0..reps {
+        for &(i, j) in &pairs {
+            let mut row = featurizer.raw_row(&caches[i], &caches[j]);
+            acc_alloc += scorer.score_raw(&mut row);
+        }
+    }
+    let alloc_secs = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let mut acc_reuse = 0.0f64;
+    let mut buf: Vec<f64> = Vec::new();
+    for _ in 0..reps {
+        for &(i, j) in &pairs {
+            featurizer.raw_row_into(&caches[i], &caches[j], &mut buf);
+            acc_reuse += scorer.score_raw(&mut buf);
+        }
+    }
+    let reuse_secs = t3.elapsed().as_secs_f64();
+    assert_eq!(acc_alloc.to_bits(), acc_reuse.to_bits(), "paths must agree");
+    let per = (pairs.len() * reps) as f64;
+    println!(
+        "== scoring-loop allocation delta ({} scores) ==",
+        pairs.len() * reps
+    );
+    println!(
+        "raw_row (alloc/candidate): {:.3} µs/score | raw_row_into (reused buffer): {:.3} µs/score → {:+.1} %\n",
+        alloc_secs * 1e6 / per,
+        reuse_secs * 1e6 / per,
+        (reuse_secs / alloc_secs - 1.0) * 100.0
+    );
+
+    // ---- Section 3: multi-thread batch-ingest scaling --------------
+    let (boot_par, tail_par) = split(scale_par, seed);
+    let (fitted, _) =
+        StreamPipeline::bootstrap(&boot_par, StreamOptions::default()).expect("bootstrap");
+    let snap_par = fitted.snapshot();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "== parallel batch ingest (Rest-FZ at scale {scale_par}: {} streamed records, {cores} core(s) available) ==",
+        tail_par.len()
+    );
+    if cores < 2 {
+        println!("NOTE: single-core machine — speedups above 1× require more cores; this run only demonstrates determinism and overhead.");
+    }
+
+    let mut baseline = f64::NAN;
+    let mut reference_clusters: Option<Vec<Vec<usize>>> = None;
+    let mut threads = 1;
+    while threads <= max_threads {
+        let mut p = cold(&snap_par, &boot_par);
+        let t = Instant::now();
+        let outcomes = p.ingest_batch_parallel(tail_par.clone(), threads);
+        let secs = t.elapsed().as_secs_f64();
+        if threads == 1 {
+            baseline = secs;
+        }
+        let clusters = p.clusters();
+        let parity = match &reference_clusters {
+            None => {
+                reference_clusters = Some(clusters);
+                "reference"
+            }
+            Some(reference) if *reference == clusters => "identical clusters",
+            Some(_) => "CLUSTER MISMATCH",
+        };
+        println!(
+            "threads={threads}: {:.4} s → {:.0} records/s ({:.2}× vs 1 thread, {} outcomes, {parity})",
+            secs,
+            tail_par.len() as f64 / secs,
+            baseline / secs,
+            outcomes.len()
+        );
+        threads *= 2;
+    }
 }

@@ -62,53 +62,86 @@ enum Bucket {
     Dead,
 }
 
-/// One blocking leg: an inverted index with the frequency cap.
+/// One blocking leg: an inverted index with the frequency cap. Shared by
+/// the unsharded [`IncrementalIndex`] and the key-space shards of
+/// [`crate::shard::ShardedIndex`] — each key's bucket evolves identically
+/// no matter which structure owns it.
 #[derive(Debug, Clone)]
-struct Leg {
+pub(crate) struct Leg {
     buckets: HashMap<String, Bucket>,
     max_bucket: usize,
 }
 
 impl Leg {
-    fn new(max_bucket: usize) -> Self {
+    pub(crate) fn new(max_bucket: usize) -> Self {
         Self {
             buckets: HashMap::new(),
             max_bucket,
         }
     }
 
-    /// Collects members sharing any key, counting shared keys per member,
-    /// then inserts the new record under every key. Takes the keys by
-    /// value: they are moved into the buckets, so steady-state ingest
-    /// does no per-key cloning.
-    fn lookup_and_insert(
+    /// Collects the members sharing `key` into `counts`, then inserts the
+    /// new record under the key. Takes the key by value: it is moved into
+    /// the bucket, so steady-state ingest does no per-key cloning.
+    pub(crate) fn insert_key(
+        &mut self,
+        idx: usize,
+        key: String,
+        counts: &mut HashMap<usize, usize>,
+    ) {
+        let bucket = self
+            .buckets
+            .entry(key)
+            .or_insert_with(|| Bucket::Live(Vec::new()));
+        match bucket {
+            Bucket::Dead => {}
+            Bucket::Live(members) => {
+                if members.len() + 1 > self.max_bucket {
+                    // Crossing the cap: batch semantics would never
+                    // pair through this key, so retire it.
+                    *bucket = Bucket::Dead;
+                    return;
+                }
+                for &m in members.iter() {
+                    *counts.entry(m).or_insert(0) += 1;
+                }
+                members.push(idx);
+            }
+        }
+    }
+
+    /// [`Leg::insert_key`] over every key, counting shared keys per
+    /// member.
+    pub(crate) fn lookup_and_insert(
         &mut self,
         idx: usize,
         keys: Vec<String>,
         counts: &mut HashMap<usize, usize>,
     ) {
         for key in keys {
-            let bucket = self
-                .buckets
-                .entry(key)
-                .or_insert_with(|| Bucket::Live(Vec::new()));
-            match bucket {
-                Bucket::Dead => {}
-                Bucket::Live(members) => {
-                    if members.len() + 1 > self.max_bucket {
-                        // Crossing the cap: batch semantics would never
-                        // pair through this key, so retire it.
-                        *bucket = Bucket::Dead;
-                        continue;
-                    }
-                    for &m in members.iter() {
-                        *counts.entry(m).or_insert(0) += 1;
-                    }
-                    members.push(idx);
-                }
-            }
+            self.insert_key(idx, key, counts);
         }
     }
+}
+
+/// Turns per-leg lookup results into the final sorted candidate list: a
+/// member qualifies with at least `min_token_overlap` shared word tokens
+/// *or* any shared q-gram. The single merge rule shared by the unsharded
+/// and sharded indexes, so their candidate semantics cannot drift.
+pub(crate) fn merge_candidates(
+    token_counts: HashMap<usize, usize>,
+    qgram_members: impl IntoIterator<Item = usize>,
+    min_token_overlap: usize,
+) -> Vec<usize> {
+    let mut candidates: Vec<usize> = token_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_token_overlap)
+        .map(|(m, _)| m)
+        .collect();
+    candidates.extend(qgram_members);
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
 }
 
 /// Online inverted token + q-gram indexes over one key attribute;
@@ -181,21 +214,16 @@ impl IncrementalIndex {
         self.token_leg
             .lookup_and_insert(idx, token_keys(&text), &mut token_counts);
 
-        let mut candidates: Vec<usize> = token_counts
-            .into_iter()
-            .filter(|&(_, c)| c >= self.cfg.min_token_overlap)
-            .map(|(m, _)| m)
-            .collect();
-
+        let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
         if let Some(qleg) = &mut self.qgram_leg {
-            let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
             qleg.lookup_and_insert(idx, qgram_keys(&text, self.cfg.qgram), &mut qgram_counts);
-            candidates.extend(qgram_counts.into_keys());
         }
 
-        candidates.sort_unstable();
-        candidates.dedup();
-        candidates
+        merge_candidates(
+            token_counts,
+            qgram_counts.into_keys(),
+            self.cfg.min_token_overlap,
+        )
     }
 }
 

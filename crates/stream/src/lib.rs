@@ -52,10 +52,12 @@
 
 pub mod index;
 pub mod pipeline;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 
 pub use index::{IncrementalIndex, IndexConfig};
 pub use pipeline::{BootstrapReport, IngestOutcome, StreamError, StreamOptions, StreamPipeline};
+pub use shard::{RecordKeys, ShardedIndex, DEFAULT_SHARDS};
 pub use snapshot::PipelineSnapshot;
 pub use store::EntityStore;

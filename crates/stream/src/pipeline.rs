@@ -1,14 +1,25 @@
-//! The streaming façade: bootstrap once, then ingest forever.
+//! The streaming façade: bootstrap once, then ingest forever —
+//! sequentially one record at a time, or in parallel batches across a
+//! worker pool (see [`StreamPipeline::ingest_batch_parallel`]).
 
-use crate::index::{IncrementalIndex, IndexConfig};
+use crate::index::IndexConfig;
+use crate::shard::{RecordKeys, ShardedIndex};
 use crate::snapshot::PipelineSnapshot;
 use crate::store::EntityStore;
+use std::sync::Mutex;
 use zeroer_blocking::{standard_recipe, Blocker, PairMode};
 use zeroer_core::{
     GenerativeModel, ModelSnapshot, SnapshotScorer, TransitivityCalibrator, ZeroErConfig,
 };
-use zeroer_features::{PairFeaturizer, RowFeaturizer};
+use zeroer_features::{PairFeaturizer, RecordCache, RowFeaturizer};
 use zeroer_tabular::{Record, Table};
+
+/// The machine's available parallelism — the default for the `--threads`
+/// ingest flag and [`StreamPipeline::ingest_batch_parallel`] callers that
+/// do not care.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
 
 /// Streaming-pipeline error (bootstrap degeneracies, snapshot mismatch).
 #[derive(Debug, Clone)]
@@ -128,9 +139,83 @@ impl IngestOutcome {
 pub struct StreamPipeline {
     opts: StreamOptions,
     store: EntityStore,
-    index: IncrementalIndex,
+    index: ShardedIndex,
     featurizer: RowFeaturizer,
     scorer: SnapshotScorer,
+    /// Reusable raw-feature buffer for the sequential scoring hot loop
+    /// (parallel workers carry their own), keeping steady-state scoring
+    /// allocation-free.
+    scratch: Vec<f64>,
+    /// Bootstrap provenance: how many records the model was fitted on,
+    /// which pairs were merged at fit time, and a digest of those
+    /// records; persisted into the snapshot so `seed_base` can replay
+    /// batch decisions without re-scoring (and refuse the wrong table).
+    base_len: usize,
+    base_matches: Vec<(usize, usize)>,
+    base_digest: u64,
+}
+
+/// A slice of per-record match slots handed to a scoring worker, tagged
+/// with the index of its first record.
+type ScoreJob<'m> = (usize, &'m mut [Vec<(usize, f64)>]);
+
+/// Order-sensitive FNV-1a digest of a record sequence (ids + values),
+/// used to pin persisted bootstrap decisions to the exact table they
+/// were made on: replaying merge pairs onto different or reordered
+/// records would silently produce wrong clusters.
+fn records_digest(records: &[Record]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in records {
+        eat(&r.id.to_le_bytes());
+        for v in &r.values {
+            match v.as_text() {
+                Some(t) => {
+                    eat(&[0xff]);
+                    eat(t.as_bytes());
+                }
+                None => eat(&[0xfe]),
+            }
+        }
+    }
+    h
+}
+
+/// Scores `candidates` (cluster-state-independent: features depend only
+/// on the two records) against the new record's cache, returning the
+/// `(candidate, posterior)` pairs above `threshold`, sorted by descending
+/// posterior (stable, so ties keep ascending candidate order).
+///
+/// Both the sequential and the parallel ingest paths call this single
+/// function on identical inputs, which is what makes parallel ingest
+/// bit-identical to sequential ingest.
+fn score_candidates<'a>(
+    featurizer: &RowFeaturizer,
+    scorer: &SnapshotScorer,
+    threshold: f64,
+    candidates: &[usize],
+    cache_of: &dyn Fn(usize) -> &'a RecordCache,
+    new_cache: &RecordCache,
+    buf: &mut Vec<f64>,
+) -> Vec<(usize, f64)> {
+    let mut matches: Vec<(usize, f64)> = Vec::new();
+    for &c in candidates {
+        // Feature rows are oriented (older, newer) to mirror the batch
+        // dedup convention of (i, j) with i < j — a few of the similarity
+        // measures (e.g. Monge-Elkan) are asymmetric.
+        featurizer.raw_row_into(cache_of(c), new_cache, buf);
+        let p = scorer.score_raw(buf);
+        if p > threshold {
+            matches.push((c, p));
+        }
+    }
+    matches.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite posteriors"));
+    matches
 }
 
 impl StreamPipeline {
@@ -170,7 +255,7 @@ impl StreamPipeline {
         debug_assert_eq!(featurizer.dim(), snapshot.dim());
 
         let mut store = EntityStore::new(initial.schema().clone());
-        let mut index = IncrementalIndex::new(opts.index_config());
+        let mut index = ShardedIndex::new(opts.index_config());
         for r in initial.records() {
             index.insert(r);
             store.push(r.clone());
@@ -181,10 +266,14 @@ impl StreamPipeline {
         // the bootstrap batch or one record later. The report's `labels`
         // keep the paper's Eq. 5 cut (γ > 0.5) for parity with
         // `dedup_table`; at the default threshold of 0.5 the two agree.
+        // The merged pairs are kept (and persisted in the snapshot) so a
+        // restored pipeline can replay these decisions via `seed_base`.
         let labels = model.labels();
+        let mut base_matches = Vec::new();
         for (&(a, b), &gamma) in cs.pairs().iter().zip(model.gammas()) {
             if gamma > opts.threshold {
                 store.merge(a, b);
+                base_matches.push((a, b));
             }
         }
 
@@ -197,10 +286,14 @@ impl StreamPipeline {
         Ok((
             Self {
                 opts,
+                base_len: store.len(),
+                base_matches,
+                base_digest: records_digest(initial.records()),
                 store,
                 index,
                 featurizer,
                 scorer,
+                scratch: Vec::new(),
             },
             report,
         ))
@@ -235,22 +328,77 @@ impl StreamPipeline {
         };
         Ok(Self {
             store: EntityStore::new(snap.to_schema()),
-            index: IncrementalIndex::new(snap.index.clone()),
+            index: ShardedIndex::new(snap.index.clone()),
             featurizer,
             scorer,
             opts,
+            scratch: Vec::new(),
+            base_len: snap.bootstrap_len,
+            base_matches: snap.bootstrap_pairs.clone(),
+            base_digest: snap.bootstrap_digest,
         })
     }
 
     /// Freezes the current pipeline configuration into a serializable
-    /// snapshot.
+    /// snapshot, including the bootstrap match decisions (if this
+    /// pipeline knows them) so a cold restart can preserve them.
     pub fn snapshot(&self) -> PipelineSnapshot {
         PipelineSnapshot {
             schema: self.store.table().schema().attributes().to_vec(),
             attr_types: self.featurizer.attr_types().to_vec(),
             index: self.index.config().clone(),
             model: self.scorer.snapshot().clone(),
+            bootstrap_len: self.base_len,
+            bootstrap_pairs: self.base_matches.clone(),
+            bootstrap_digest: self.base_digest,
         }
+    }
+
+    /// Seeds a freshly [`StreamPipeline::from_snapshot`]-restored
+    /// pipeline with the bootstrap-batch records, replaying the
+    /// *persisted batch decisions* instead of re-scoring each record
+    /// through the streaming path — the cold-start equivalent of what
+    /// [`StreamPipeline::bootstrap`] does in-process. `base` must be the
+    /// bootstrap table (same records, same order) the snapshot's model
+    /// was fitted on.
+    ///
+    /// # Errors
+    /// Fails if the store already holds records, the snapshot carries no
+    /// bootstrap decisions, or `base` has the wrong record count.
+    pub fn seed_base(&mut self, base: &Table) -> Result<(), StreamError> {
+        if !self.store.is_empty() {
+            return Err(StreamError(
+                "seed_base requires an empty (just-restored) pipeline".into(),
+            ));
+        }
+        if self.base_len == 0 {
+            return Err(StreamError(
+                "snapshot carries no bootstrap decisions to replay".into(),
+            ));
+        }
+        if base.len() != self.base_len {
+            return Err(StreamError(format!(
+                "base table has {} records but the snapshot was bootstrapped on {}",
+                base.len(),
+                self.base_len
+            )));
+        }
+        if self.base_digest != 0 && records_digest(base.records()) != self.base_digest {
+            return Err(StreamError(
+                "base table does not match the records the snapshot was bootstrapped on \
+                 (same length, different or reordered records); the persisted batch \
+                 decisions cannot be replayed onto it"
+                    .into(),
+            ));
+        }
+        for r in base.records() {
+            self.index.insert(r);
+            self.store.push(r.clone());
+        }
+        for &(a, b) in &self.base_matches {
+            self.store.merge(a, b);
+        }
+        Ok(())
     }
 
     /// The entity store.
@@ -300,20 +448,16 @@ impl StreamPipeline {
         let idx = self.store.push(record);
         debug_assert_eq!(self.index.len(), self.store.len());
 
-        let mut matches: Vec<(usize, f64)> = Vec::new();
-        for &c in &candidates {
-            // Feature rows are oriented (older, newer) to mirror the
-            // batch dedup convention of (i, j) with i < j — a few of the
-            // similarity measures (e.g. Monge-Elkan) are asymmetric.
-            let mut raw = self
-                .featurizer
-                .raw_row(self.store.cache(c), self.store.cache(idx));
-            let p = self.scorer.score_raw(&mut raw);
-            if p > self.opts.threshold {
-                matches.push((c, p));
-            }
-        }
-        matches.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite posteriors"));
+        let store = &self.store;
+        let matches = score_candidates(
+            &self.featurizer,
+            &self.scorer,
+            self.opts.threshold,
+            &candidates,
+            &|c| store.cache(c),
+            store.cache(idx),
+            &mut self.scratch,
+        );
         for &(c, _) in &matches {
             self.store.merge(idx, c);
         }
@@ -333,6 +477,153 @@ impl StreamPipeline {
         records: impl IntoIterator<Item = Record>,
     ) -> Vec<IngestOutcome> {
         records.into_iter().map(|r| self.ingest(r)).collect()
+    }
+
+    /// Ingests a batch across a pool of `threads` workers, producing
+    /// outcomes **bit-identical** to [`StreamPipeline::ingest_batch`] on
+    /// the same records.
+    ///
+    /// This works because the frozen model makes streaming inference
+    /// embarrassingly parallel: candidate generation depends only on
+    /// previously inserted records (parallelized across index key-space
+    /// shards), and candidate scoring is read-only against the snapshot
+    /// (parallelized across records with per-worker buffers). Only the
+    /// cluster union is a write, and a single writer applies those
+    /// decisions in ingest order as the final step — so the union-find
+    /// evolves through exactly the sequential sequence of states.
+    ///
+    /// # Panics
+    /// Panics if any record's arity does not match the schema (checked
+    /// up front, before any state is touched).
+    pub fn ingest_batch_parallel(
+        &mut self,
+        records: Vec<Record>,
+        threads: usize,
+    ) -> Vec<IngestOutcome> {
+        let threads = threads.max(1);
+        if threads == 1 || records.len() < 2 {
+            return self.ingest_batch(records);
+        }
+        let arity = self.store.table().schema().arity();
+        for r in &records {
+            assert_eq!(
+                r.values.len(),
+                arity,
+                "record arity {} does not match schema arity {}",
+                r.values.len(),
+                arity
+            );
+        }
+        let n = records.len();
+        let base = self.store.len();
+
+        // Phase 1 (parallel over records): build each record's derived
+        // cache and blocking keys — the tokenization-heavy, state-free
+        // work.
+        let cfg = self.index.config().clone();
+        let mut caches: Vec<Option<RecordCache>> = (0..n).map(|_| None).collect();
+        let mut keys: Vec<RecordKeys> = (0..n).map(|_| RecordKeys::default()).collect();
+        let chunk = n.div_ceil(threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for ((rec_chunk, cache_chunk), key_chunk) in records
+                .chunks(chunk)
+                .zip(caches.chunks_mut(chunk))
+                .zip(keys.chunks_mut(chunk))
+            {
+                let cfg = &cfg;
+                scope.spawn(move |_| {
+                    for ((r, c), k) in rec_chunk.iter().zip(cache_chunk).zip(key_chunk) {
+                        *c = Some(RecordCache::build(r));
+                        *k = RecordKeys::extract(r, cfg);
+                    }
+                });
+            }
+        })
+        .expect("cache/key worker panicked");
+        let caches: Vec<RecordCache> = caches
+            .into_iter()
+            .map(|c| c.expect("filled above"))
+            .collect();
+
+        // Phase 2 (parallel over index shards): candidate generation.
+        let candidates = self.index.insert_batch(keys, threads);
+
+        // Phase 3 (parallel over records, work-stealing queue): frozen-
+        // model scoring. Chunks are small so a record with many
+        // candidates cannot straggle a whole static partition.
+        let store = &self.store;
+        let featurizer = &self.featurizer;
+        let scorer = &self.scorer;
+        let threshold = self.opts.threshold;
+        let mut matches: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
+        {
+            let score_chunk = n.div_ceil(threads * 8).max(1);
+            let queue: Mutex<Vec<ScoreJob<'_>>> = Mutex::new(
+                matches
+                    .chunks_mut(score_chunk)
+                    .enumerate()
+                    .map(|(ci, ch)| (ci * score_chunk, ch))
+                    .collect(),
+            );
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let queue = &queue;
+                    let candidates = &candidates;
+                    let caches = &caches;
+                    scope.spawn(move |_| {
+                        let mut buf: Vec<f64> = Vec::new();
+                        loop {
+                            let job = queue.lock().expect("queue poisoned").pop();
+                            let Some((start, out)) = job else { break };
+                            for (off, slot) in out.iter_mut().enumerate() {
+                                let i = start + off;
+                                *slot = score_candidates(
+                                    featurizer,
+                                    scorer,
+                                    threshold,
+                                    &candidates[i],
+                                    &|c| {
+                                        if c < base {
+                                            store.cache(c)
+                                        } else {
+                                            &caches[c - base]
+                                        }
+                                    },
+                                    &caches[i],
+                                    &mut buf,
+                                );
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("scoring worker panicked");
+        }
+
+        // Phase 4 (sequential, single writer): apply match decisions in
+        // ingest order — the union-find passes through exactly the states
+        // sequential ingest would produce.
+        let mut outcomes = Vec::with_capacity(n);
+        for (((record, cache), matches), cands) in records
+            .into_iter()
+            .zip(caches)
+            .zip(matches)
+            .zip(&candidates)
+        {
+            let idx = self.store.push_with_cache(record, cache);
+            for &(c, _) in &matches {
+                self.store.merge(idx, c);
+            }
+            let cluster = self.store.find(idx);
+            outcomes.push(IngestOutcome {
+                index: idx,
+                candidates: cands.len(),
+                matches,
+                cluster,
+            });
+        }
+        debug_assert_eq!(self.index.len(), self.store.len());
+        outcomes
     }
 
     /// Current duplicate clusters (≥ 2 members), in the same shape

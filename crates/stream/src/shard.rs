@@ -1,0 +1,446 @@
+//! Key-space-sharded incremental blocking.
+//!
+//! [`ShardedIndex`] splits the blocking key-space — *not* the record
+//! space — across `S` independent shards by a stable FNV-1a hash of the
+//! key string. Every shard holds the full inverted-index machinery
+//! ([`crate::index::Leg`]) for the keys it owns, so a bucket's lifetime
+//! (membership order, frequency-cap retirement) is byte-identical to the
+//! unsharded [`crate::IncrementalIndex`]: a key's bucket sees exactly the
+//! same insert sequence no matter which shard owns it or how many shards
+//! exist.
+//!
+//! ## Why this is exactly equivalent to the unsharded index
+//!
+//! Candidate generation is a union over per-key lookups, and token
+//! overlap counting is additive over disjoint key sets: each key lives in
+//! exactly one shard, so summing per-shard counts per member reproduces
+//! the unsharded count, and the final sort+dedup merge
+//! ([`crate::index::merge_candidates`]) is shared verbatim. The property
+//! test in `tests/sharded.rs` asserts set equality against
+//! [`crate::IncrementalIndex`] for arbitrary record streams and shard
+//! counts.
+//!
+//! ## Parallel batch ingest
+//!
+//! [`ShardedIndex::insert_batch`] processes a whole batch with a worker
+//! pool: keys are routed to their shards up front, each worker walks its
+//! shards' records *in batch order* (preserving per-bucket insertion
+//! order), and the per-shard partial results are then merged per record.
+//! Because shards share no keys, no locks are needed — each worker
+//! mutates only its own shards.
+
+use crate::index::{merge_candidates, IndexConfig, Leg};
+use std::collections::HashMap;
+use zeroer_blocking::keys::{qgram_keys, token_keys};
+use zeroer_tabular::Record;
+
+/// Default shard count for pipelines that do not choose one. Sixteen
+/// shards keep per-shard skew low at every realistic `--threads` setting
+/// while costing only a few empty hash maps when running sequentially.
+/// The shard count never affects results (see the module docs), only
+/// load balance.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Stable 64-bit FNV-1a hash of a blocking key. Deliberately *not*
+/// `DefaultHasher`: shard routing must be identical across processes,
+/// platforms, and std versions so that index state rebuilt elsewhere
+/// shards the same way.
+#[inline]
+pub fn stable_key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Blocking keys of one record, pre-extracted so the expensive
+/// tokenization happens once (and can happen on a worker pool) no matter
+/// how many shards later consume them.
+#[derive(Debug, Clone, Default)]
+pub struct RecordKeys {
+    token: Vec<String>,
+    qgram: Vec<String>,
+}
+
+impl RecordKeys {
+    /// Extracts the blocking keys `cfg` implies for `record` (empty when
+    /// the key attribute is null — null rows never block).
+    ///
+    /// # Panics
+    /// Panics if the record lacks the key attribute.
+    pub fn extract(record: &Record, cfg: &IndexConfig) -> Self {
+        assert!(
+            cfg.attr < record.values.len(),
+            "blocking attribute {} out of range for arity {}",
+            cfg.attr,
+            record.values.len()
+        );
+        match record.values[cfg.attr].as_text() {
+            None => Self::default(),
+            Some(text) => Self {
+                token: token_keys(&text),
+                qgram: if cfg.min_token_overlap <= 1 && cfg.qgram > 0 {
+                    qgram_keys(&text, cfg.qgram)
+                } else {
+                    Vec::new()
+                },
+            },
+        }
+    }
+}
+
+/// One shard: the token and (optional) q-gram legs for the keys it owns.
+#[derive(Debug, Clone)]
+struct IndexShard {
+    token_leg: Leg,
+    qgram_leg: Option<Leg>,
+}
+
+/// Per-shard lookup partials produced by the batch phase for one record:
+/// shared-token counts and q-gram co-members among the shard's keys.
+type ShardPartial = (HashMap<usize, usize>, HashMap<usize, usize>);
+
+/// One record's `(token, qgram)` keys routed to a single shard.
+type ShardJob = (Vec<String>, Vec<String>);
+
+/// An [`crate::IncrementalIndex`] with its key-space split across
+/// independent shards, enabling lock-free parallel candidate generation
+/// while producing exactly the unsharded candidate sets.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    cfg: IndexConfig,
+    shards: Vec<IndexShard>,
+    len: usize,
+}
+
+impl ShardedIndex {
+    /// An empty index with [`DEFAULT_SHARDS`] shards.
+    ///
+    /// # Panics
+    /// Panics if `min_token_overlap` is 0.
+    pub fn new(cfg: IndexConfig) -> Self {
+        Self::with_shards(cfg, DEFAULT_SHARDS)
+    }
+
+    /// An empty index with an explicit shard count. The shard count
+    /// affects load balance only, never results.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is 0 or `min_token_overlap` is 0.
+    pub fn with_shards(cfg: IndexConfig, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "at least one shard required");
+        assert!(cfg.min_token_overlap >= 1, "overlap must be at least 1");
+        let has_qgram = cfg.min_token_overlap <= 1 && cfg.qgram > 0;
+        let shards = (0..num_shards)
+            .map(|_| IndexShard {
+                token_leg: Leg::new(cfg.max_bucket),
+                qgram_leg: if has_qgram {
+                    Some(Leg::new(cfg.max_bucket))
+                } else {
+                    None
+                },
+            })
+            .collect();
+        Self {
+            cfg,
+            shards,
+            len: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of inserted records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &str) -> usize {
+        (stable_key_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts the next record (records must be inserted in store order)
+    /// and returns the sorted indices of previously inserted records
+    /// sharing a blocking key — the same contract as
+    /// [`crate::IncrementalIndex::insert`].
+    ///
+    /// # Panics
+    /// Panics if the record lacks the key attribute.
+    pub fn insert(&mut self, record: &Record) -> Vec<usize> {
+        let keys = RecordKeys::extract(record, &self.cfg);
+        self.insert_keys(keys)
+    }
+
+    /// [`ShardedIndex::insert`] with pre-extracted keys.
+    pub fn insert_keys(&mut self, keys: RecordKeys) -> Vec<usize> {
+        let idx = self.len;
+        self.len += 1;
+        let mut token_counts: HashMap<usize, usize> = HashMap::new();
+        let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
+        for key in keys.token {
+            let s = self.shard_of(&key);
+            self.shards[s]
+                .token_leg
+                .insert_key(idx, key, &mut token_counts);
+        }
+        for key in keys.qgram {
+            let s = self.shard_of(&key);
+            if let Some(qleg) = &mut self.shards[s].qgram_leg {
+                qleg.insert_key(idx, key, &mut qgram_counts);
+            }
+        }
+        merge_candidates(
+            token_counts,
+            qgram_counts.into_keys(),
+            self.cfg.min_token_overlap,
+        )
+    }
+
+    /// Inserts a whole batch across a pool of `threads` workers and
+    /// returns each record's candidate list — element `i` is exactly what
+    /// [`ShardedIndex::insert_keys`] would have returned for record `i`
+    /// inserted sequentially (candidates may point at earlier records of
+    /// the same batch).
+    pub fn insert_batch(&mut self, keys: Vec<RecordKeys>, threads: usize) -> Vec<Vec<usize>> {
+        let threads = threads.max(1);
+        if threads == 1 || keys.len() < 2 {
+            return keys.into_iter().map(|k| self.insert_keys(k)).collect();
+        }
+        let n = keys.len();
+        let base = self.len;
+        let ns = self.shards.len();
+
+        // Route every key to its owning shard (moves the strings; no
+        // cloning). Per shard, a *sparse* record-ordered job list — a
+        // record appears only in shards that own at least one of its
+        // keys, so memory stays proportional to the key count, not to
+        // shards × batch size. Record order is preserved because keys
+        // are drained record by record.
+        let mut jobs: Vec<Vec<(usize, ShardJob)>> = (0..ns).map(|_| Vec::new()).collect();
+        for (i, rk) in keys.into_iter().enumerate() {
+            for key in rk.token {
+                let shard_jobs = &mut jobs[self.shard_of(&key)];
+                match shard_jobs.last_mut() {
+                    Some((rec, job)) if *rec == i => job.0.push(key),
+                    _ => shard_jobs.push((i, (vec![key], Vec::new()))),
+                }
+            }
+            for key in rk.qgram {
+                let shard_jobs = &mut jobs[self.shard_of(&key)];
+                match shard_jobs.last_mut() {
+                    Some((rec, job)) if *rec == i => job.1.push(key),
+                    _ => shard_jobs.push((i, (Vec::new(), vec![key]))),
+                }
+            }
+        }
+
+        // Each worker owns a contiguous run of shards and walks the batch
+        // in record order, so every bucket sees inserts in exactly the
+        // sequential order. partials[s] = shard s's sparse, record-
+        // ordered lookup results.
+        let per = ns.div_ceil(threads);
+        let mut job_chunks: Vec<Vec<Vec<(usize, ShardJob)>>> = Vec::new();
+        {
+            let mut it = jobs.into_iter();
+            loop {
+                let chunk: Vec<_> = it.by_ref().take(per).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                job_chunks.push(chunk);
+            }
+        }
+        let mut partials: Vec<Vec<(usize, ShardPartial)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .chunks_mut(per)
+                .zip(job_chunks)
+                .map(|(shard_chunk, chunk_jobs)| {
+                    scope.spawn(move |_| {
+                        let mut chunk_partials: Vec<Vec<(usize, ShardPartial)>> = Vec::new();
+                        for (shard, shard_jobs) in shard_chunk.iter_mut().zip(chunk_jobs) {
+                            let mut out: Vec<(usize, ShardPartial)> =
+                                Vec::with_capacity(shard_jobs.len());
+                            for (i, (token, qgram)) in shard_jobs {
+                                let idx = base + i;
+                                let mut tc = HashMap::new();
+                                shard.token_leg.lookup_and_insert(idx, token, &mut tc);
+                                let mut qc = HashMap::new();
+                                if let Some(qleg) = &mut shard.qgram_leg {
+                                    qleg.lookup_and_insert(idx, qgram, &mut qc);
+                                }
+                                out.push((i, (tc, qc)));
+                            }
+                            chunk_partials.push(out);
+                        }
+                        chunk_partials
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("shard scope panicked");
+
+        // Merge with one cursor per shard (each partial list is sorted
+        // by record): token counts are additive across shards (each key
+        // lives in exactly one), q-gram membership is a union; the
+        // shared merge_candidates rule finishes the job.
+        self.len += n;
+        let mut results = Vec::with_capacity(n);
+        let mut cursors = vec![0usize; partials.len()];
+        for i in 0..n {
+            let mut token_counts: HashMap<usize, usize> = HashMap::new();
+            let mut qgram: Vec<usize> = Vec::new();
+            for (shard_partials, cursor) in partials.iter_mut().zip(&mut cursors) {
+                if *cursor >= shard_partials.len() || shard_partials[*cursor].0 != i {
+                    continue;
+                }
+                let (_, (tc, qc)) = std::mem::take(&mut shard_partials[*cursor]);
+                *cursor += 1;
+                if token_counts.is_empty() {
+                    token_counts = tc;
+                } else {
+                    for (m, c) in tc {
+                        *token_counts.entry(m).or_insert(0) += c;
+                    }
+                }
+                qgram.extend(qc.into_keys());
+            }
+            results.push(merge_candidates(
+                token_counts,
+                qgram,
+                self.cfg.min_token_overlap,
+            ));
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IncrementalIndex;
+    use zeroer_tabular::{Record, Value};
+
+    fn rec(i: u32, name: &str) -> Record {
+        Record::new(i, vec![Value::Str(name.into())])
+    }
+
+    const NAMES: &[&str] = &[
+        "red apple pie",
+        "green apple tart",
+        "blue sky photograph",
+        "fotograph of the sky",
+        "red apple pie",
+        "completely unrelated",
+    ];
+
+    #[test]
+    fn matches_unsharded_record_by_record() {
+        for shards in [1, 2, 3, 7, 16] {
+            let mut sharded = ShardedIndex::with_shards(IndexConfig::default(), shards);
+            let mut flat = IncrementalIndex::new(IndexConfig::default());
+            for (i, name) in NAMES.iter().enumerate() {
+                let r = rec(i as u32, name);
+                assert_eq!(
+                    sharded.insert(&r),
+                    flat.insert(&r),
+                    "shards={shards} record={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_inserts() {
+        for threads in [1, 2, 4] {
+            let cfg = IndexConfig::default();
+            let mut seq = ShardedIndex::with_shards(cfg.clone(), 4);
+            let expected: Vec<Vec<usize>> = NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| seq.insert(&rec(i as u32, n)))
+                .collect();
+
+            let mut batch = ShardedIndex::with_shards(cfg.clone(), 4);
+            let keys: Vec<RecordKeys> = NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| RecordKeys::extract(&rec(i as u32, n), &cfg))
+                .collect();
+            let got = batch.insert_batch(keys, threads);
+            assert_eq!(got, expected, "threads={threads}");
+            assert_eq!(batch.len(), seq.len());
+        }
+    }
+
+    #[test]
+    fn batch_continues_an_existing_index() {
+        let cfg = IndexConfig::default();
+        let mut seq = ShardedIndex::with_shards(cfg.clone(), 4);
+        let mut batch = ShardedIndex::with_shards(cfg.clone(), 4);
+        for (i, n) in NAMES.iter().take(3).enumerate() {
+            let r = rec(i as u32, n);
+            seq.insert(&r);
+            batch.insert(&r);
+        }
+        let tail: Vec<Vec<usize>> = NAMES
+            .iter()
+            .enumerate()
+            .skip(3)
+            .map(|(i, n)| seq.insert(&rec(i as u32, n)))
+            .collect();
+        let keys: Vec<RecordKeys> = NAMES
+            .iter()
+            .enumerate()
+            .skip(3)
+            .map(|(i, n)| RecordKeys::extract(&rec(i as u32, n), &cfg))
+            .collect();
+        assert_eq!(batch.insert_batch(keys, 2), tail);
+    }
+
+    #[test]
+    fn overlap_counts_survive_sharding() {
+        // min_token_overlap = 2 with the two shared tokens hashed into
+        // (potentially) different shards: counts must sum across shards.
+        let cfg = IndexConfig {
+            min_token_overlap: 2,
+            ..Default::default()
+        };
+        for shards in [1, 2, 8] {
+            let mut idx = ShardedIndex::with_shards(cfg.clone(), shards);
+            idx.insert(&rec(0, "efficient query processing"));
+            let got = idx.insert(&rec(1, "efficient query optimization"));
+            assert_eq!(got, vec![0], "shards={shards}");
+            let none = idx.insert(&rec(2, "parallel engines"));
+            assert!(none.is_empty(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        // Pinned values: shard routing must never change across builds,
+        // or persisted pipelines would re-shard on upgrade.
+        assert_eq!(stable_key_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_key_hash("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -23,6 +23,20 @@ pub struct PipelineSnapshot {
     pub index: IndexConfig,
     /// The frozen generative model plus feature replay state.
     pub model: ModelSnapshot,
+    /// Number of bootstrap-batch records the model was fitted on (0 when
+    /// the origin pipeline recorded none — e.g. a hand-built snapshot).
+    pub bootstrap_len: usize,
+    /// The bootstrap match decisions: candidate pairs whose posterior
+    /// cleared the assignment threshold at fit time, in decision order.
+    /// `StreamPipeline::seed_base` replays these so `zeroer ingest
+    /// --base` preserves the batch decisions instead of re-scoring the
+    /// base records through the streaming path.
+    pub bootstrap_pairs: Vec<(usize, usize)>,
+    /// Order-sensitive FNV-1a digest of the bootstrap records (ids +
+    /// values), so `seed_base` can reject a `--base` table that merely
+    /// *looks* compatible (same length/schema, different or reordered
+    /// records). 0 = unknown (older snapshots).
+    pub bootstrap_digest: u64,
 }
 
 impl PipelineSnapshot {
@@ -64,6 +78,27 @@ impl PipelineSnapshot {
                     (
                         "min_token_overlap".into(),
                         Json::Num(self.index.min_token_overlap as f64),
+                    ),
+                ]),
+            ),
+            (
+                "bootstrap".into(),
+                Json::Obj(vec![
+                    ("len".into(), Json::Num(self.bootstrap_len as f64)),
+                    (
+                        "pairs".into(),
+                        Json::Arr(
+                            self.bootstrap_pairs
+                                .iter()
+                                .map(|&(a, b)| Json::nums(&[a as f64, b as f64]))
+                                .collect(),
+                        ),
+                    ),
+                    // Hex, not Num: JSON numbers are f64 and cannot hold
+                    // every u64 exactly.
+                    (
+                        "digest".into(),
+                        Json::Str(format!("{:016x}", self.bootstrap_digest)),
                     ),
                 ]),
             ),
@@ -127,12 +162,62 @@ impl PipelineSnapshot {
         if index.min_token_overlap == 0 {
             return Err(JsonError::schema("min_token_overlap must be at least 1"));
         }
+        // The bootstrap section arrived after the format's first release;
+        // absence (old snapshots) reads as "no recorded decisions", which
+        // callers treat as the legacy re-score behavior.
+        let (bootstrap_len, bootstrap_pairs, bootstrap_digest) = match j.get("bootstrap") {
+            None => (0, Vec::new(), 0),
+            Some(boot) => {
+                let len = boot
+                    .require("len")?
+                    .as_usize()
+                    .ok_or_else(|| JsonError::schema("bootstrap.len must be an integer"))?;
+                let pairs = boot
+                    .require("pairs")?
+                    .as_arr()
+                    .ok_or_else(|| JsonError::schema("bootstrap.pairs must be an array"))?
+                    .iter()
+                    .map(|pair| {
+                        let err =
+                            || JsonError::schema("each bootstrap pair must be [i, j] of integers");
+                        let xs = pair.as_arr().ok_or_else(err)?;
+                        if xs.len() != 2 {
+                            return Err(err());
+                        }
+                        // as_usize rejects negatives and fractions — the
+                        // same validation bootstrap.len itself gets.
+                        let a = xs[0].as_usize().ok_or_else(err)?;
+                        let b = xs[1].as_usize().ok_or_else(err)?;
+                        if a >= len || b >= len {
+                            return Err(JsonError::schema(
+                                "bootstrap pair indices must lie below bootstrap.len",
+                            ));
+                        }
+                        Ok((a, b))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let digest = match boot.get("digest") {
+                    None => 0, // older writers: digest unknown
+                    Some(d) => u64::from_str_radix(
+                        d.as_str().ok_or_else(|| {
+                            JsonError::schema("bootstrap.digest must be a string")
+                        })?,
+                        16,
+                    )
+                    .map_err(|_| JsonError::schema("bootstrap.digest must be hex"))?,
+                };
+                (len, pairs, digest)
+            }
+        };
         let model = ModelSnapshot::from_json_value(j.require("model")?)?;
         Ok(Self {
             schema,
             attr_types,
             index,
             model,
+            bootstrap_len,
+            bootstrap_pairs,
+            bootstrap_digest,
         })
     }
 }
@@ -162,6 +247,9 @@ mod tests {
             attr_types: vec![AttrType::StrMedium, AttrType::Numeric],
             index: IndexConfig::default(),
             model: tiny_model(),
+            bootstrap_len: 4,
+            bootstrap_pairs: vec![(0, 1), (1, 3)],
+            bootstrap_digest: 0xdead_beef_0123_4567,
         };
         let text = snap.to_json();
         let back = PipelineSnapshot::from_json(&text).unwrap();
@@ -170,6 +258,37 @@ mod tests {
         assert_eq!(back.index.attr, snap.index.attr);
         assert_eq!(back.index.qgram, snap.index.qgram);
         assert_eq!(back.model, snap.model);
+        assert_eq!(back.bootstrap_len, snap.bootstrap_len);
+        assert_eq!(back.bootstrap_pairs, snap.bootstrap_pairs);
+    }
+
+    #[test]
+    fn missing_bootstrap_section_reads_as_empty() {
+        // Pre-bootstrap-section snapshots (PR 1 format) must stay
+        // readable: strip the section and parse.
+        let snap = PipelineSnapshot {
+            schema: vec!["name".into()],
+            attr_types: vec![AttrType::StrShort],
+            index: IndexConfig::default(),
+            model: tiny_model(),
+            bootstrap_len: 2,
+            bootstrap_pairs: vec![(0, 1)],
+            bootstrap_digest: 7,
+        };
+        let json = Json::parse(&snap.to_json()).unwrap();
+        let Json::Obj(fields) = json else {
+            panic!("snapshot must render an object")
+        };
+        let stripped = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "bootstrap")
+                .collect(),
+        )
+        .render();
+        let back = PipelineSnapshot::from_json(&stripped).expect("legacy snapshot must parse");
+        assert_eq!(back.bootstrap_len, 0);
+        assert!(back.bootstrap_pairs.is_empty());
     }
 
     #[test]
@@ -183,11 +302,31 @@ mod tests {
                 ..Default::default()
             },
             model: tiny_model(),
+            bootstrap_len: 0,
+            bootstrap_pairs: Vec::new(),
+            bootstrap_digest: 0,
         };
         let text = snap.to_json();
         assert!(
             PipelineSnapshot::from_json(&text).is_err(),
             "blocking attr outside the schema must be rejected"
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_bootstrap_pairs() {
+        let snap = PipelineSnapshot {
+            schema: vec!["name".into()],
+            attr_types: vec![AttrType::StrShort],
+            index: IndexConfig::default(),
+            model: tiny_model(),
+            bootstrap_len: 2,
+            bootstrap_pairs: vec![(0, 5)],
+            bootstrap_digest: 0,
+        };
+        assert!(
+            PipelineSnapshot::from_json(&snap.to_json()).is_err(),
+            "pair index beyond bootstrap.len must be rejected"
         );
     }
 }

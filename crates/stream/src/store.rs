@@ -1,18 +1,19 @@
 //! The entity store: ingested records plus the live cluster index.
 
+use zeroer_core::UnionFind;
 use zeroer_features::RecordCache;
 use zeroer_tabular::{Record, Schema, Table};
 
-/// Holds every ingested record together with a union-find cluster index,
-/// so each record resolves to a cluster representative in near-constant
-/// amortized time and transitivity is enforced structurally (merging two
-/// clusters merges *all* their members).
+/// Holds every ingested record together with a union-find cluster index
+/// (the shared [`zeroer_core::UnionFind`]), so each record resolves to a
+/// cluster representative in near-constant amortized time and
+/// transitivity is enforced structurally (merging two clusters merges
+/// *all* their members).
 #[derive(Debug, Clone)]
 pub struct EntityStore {
     table: Table,
     caches: Vec<RecordCache>,
-    parent: Vec<usize>,
-    rank: Vec<u8>,
+    clusters: UnionFind,
 }
 
 impl EntityStore {
@@ -21,19 +22,18 @@ impl EntityStore {
         Self {
             table: Table::new("entity-store", schema),
             caches: Vec::new(),
-            parent: Vec::new(),
-            rank: Vec::new(),
+            clusters: UnionFind::default(),
         }
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.parent.len()
+        self.clusters.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.parent.is_empty()
+        self.clusters.is_empty()
     }
 
     /// The stored records as a table.
@@ -51,84 +51,53 @@ impl EntityStore {
     /// # Panics
     /// Panics if the record arity does not match the schema.
     pub fn push(&mut self, record: Record) -> usize {
-        let idx = self.parent.len();
-        self.caches.push(RecordCache::build(&record));
+        let cache = RecordCache::build(&record);
+        self.push_with_cache(record, cache)
+    }
+
+    /// Appends a record whose [`RecordCache`] was already built (the
+    /// parallel ingest path derives caches on the worker pool); returns
+    /// the record index.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn push_with_cache(&mut self, record: Record, cache: RecordCache) -> usize {
+        self.caches.push(cache);
         self.table.push(record);
-        self.parent.push(idx);
-        self.rank.push(0);
-        idx
+        self.clusters.push()
     }
 
     /// Cluster representative of record `idx`, with path compression.
     pub fn find(&mut self, idx: usize) -> usize {
-        let mut root = idx;
-        while self.parent[root] != root {
-            root = self.parent[root];
-        }
-        let mut cur = idx;
-        while self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
-            cur = next;
-        }
-        root
+        self.clusters.find(idx)
     }
 
     /// Cluster representative without mutation (no path compression);
     /// useful from shared references.
     pub fn find_readonly(&self, idx: usize) -> usize {
-        let mut root = idx;
-        while self.parent[root] != root {
-            root = self.parent[root];
-        }
-        root
+        self.clusters.find_readonly(idx)
     }
 
     /// Merges the clusters of `a` and `b` (union by rank); returns the
     /// surviving representative.
     pub fn merge(&mut self, a: usize, b: usize) -> usize {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return ra;
-        }
-        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
-        self.parent[loser] = winner;
-        if self.rank[ra] == self.rank[rb] {
-            self.rank[winner] += 1;
-        }
-        winner
+        self.clusters.union(a, b)
     }
 
     /// Whether two records currently resolve to the same entity.
     pub fn same_entity(&self, a: usize, b: usize) -> bool {
-        self.find_readonly(a) == self.find_readonly(b)
+        self.clusters.same_set(a, b)
     }
 
     /// All clusters with at least two members, each sorted, the list
     /// sorted by first member — the same shape `dedup_table` reports.
     pub fn clusters(&self) -> Vec<Vec<usize>> {
-        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
-        for i in 0..self.len() {
-            groups.entry(self.find_readonly(i)).or_default().push(i);
-        }
-        let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
-        for c in &mut clusters {
-            c.sort_unstable();
-        }
-        clusters.sort();
-        clusters
+        self.clusters.clusters(2)
     }
 
     /// Number of distinct entities (clusters, including singletons).
     pub fn num_entities(&self) -> usize {
-        (0..self.len())
-            .filter(|&i| self.find_readonly(i) == i)
-            .count()
+        self.clusters.num_sets()
     }
 }
 

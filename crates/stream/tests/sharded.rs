@@ -1,0 +1,120 @@
+//! Sharded/unsharded candidate-set parity.
+//!
+//! [`ShardedIndex`] must produce exactly the candidate sets of the
+//! unsharded [`IncrementalIndex`] for any record stream, any shard
+//! count, and any thread count — sharding the key-space is a load-balance
+//! decision, never a semantic one. Combined with `tests/parity.rs`
+//! (incremental vs. batch blockers), this transitively pins the sharded
+//! index to the batch blocking semantics too.
+
+use proptest::prelude::*;
+use zeroer_datagen::{all_profiles, generate};
+use zeroer_stream::{IncrementalIndex, IndexConfig, RecordKeys, ShardedIndex};
+use zeroer_tabular::{Record, Schema, Table, Value};
+
+fn dedup_table_of(profile_idx: usize, scale: f64, seed: u64) -> Table {
+    let profiles = all_profiles();
+    let ds = generate(&profiles[profile_idx % profiles.len()], scale, seed);
+    ds.dedup_table().0
+}
+
+/// Record-by-record reference: the unsharded index.
+fn unsharded_candidates(table: &Table, cfg: &IndexConfig) -> Vec<Vec<usize>> {
+    let mut index = IncrementalIndex::new(cfg.clone());
+    table.records().iter().map(|r| index.insert(r)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary generated record streams, arbitrary shard counts,
+    /// record-by-record inserts.
+    #[test]
+    fn sharded_insert_matches_unsharded(
+        profile in 0usize..6,
+        seed in 0u64..500,
+        shards in 1usize..9,
+    ) {
+        let table = dedup_table_of(profile, 0.01, seed);
+        let cfg = IndexConfig::default();
+        let expected = unsharded_candidates(&table, &cfg);
+        let mut sharded = ShardedIndex::with_shards(cfg, shards);
+        for (i, r) in table.records().iter().enumerate() {
+            prop_assert_eq!(
+                sharded.insert(r),
+                expected[i].clone(),
+                "record {} diverged with {} shards", i, shards
+            );
+        }
+    }
+
+    /// Same, through the parallel batch path with arbitrary thread
+    /// counts, and with an overlap-blocking configuration in the mix
+    /// (token counts must sum correctly across shards).
+    #[test]
+    fn sharded_batch_matches_unsharded(
+        profile in 0usize..6,
+        seed in 0u64..500,
+        shards in 1usize..9,
+        threads in 1usize..5,
+        overlap in 1usize..3,
+    ) {
+        let table = dedup_table_of(profile, 0.01, seed);
+        let cfg = IndexConfig { min_token_overlap: overlap, ..Default::default() };
+        let expected = unsharded_candidates(&table, &cfg);
+        let mut sharded = ShardedIndex::with_shards(cfg.clone(), shards);
+        let keys: Vec<RecordKeys> = table
+            .records()
+            .iter()
+            .map(|r| RecordKeys::extract(r, &cfg))
+            .collect();
+        let got = sharded.insert_batch(keys, threads);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(sharded.len(), table.len());
+    }
+
+    /// Dense collisions over a tiny vocabulary with a tiny bucket cap:
+    /// cap retirement must fire identically regardless of sharding.
+    #[test]
+    fn cap_retirement_is_shard_independent(
+        words in proptest::collection::vec(0usize..6, 40),
+        shards in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        const VOCAB: [&str; 6] = ["red", "green", "blue", "apple", "pear", "plum"];
+        let mut t = Table::new("dense", Schema::new(["name"]));
+        for (i, &w) in words.iter().enumerate() {
+            let second = VOCAB[(w + i) % VOCAB.len()];
+            t.push(Record::new(
+                i as u32,
+                vec![Value::Str(format!("{} {second}", VOCAB[w]))],
+            ));
+        }
+        let cfg = IndexConfig { max_bucket: 5, ..Default::default() };
+        let expected = unsharded_candidates(&t, &cfg);
+        let mut sharded = ShardedIndex::with_shards(cfg.clone(), shards);
+        let keys: Vec<RecordKeys> = t
+            .records()
+            .iter()
+            .map(|r| RecordKeys::extract(r, &cfg))
+            .collect();
+        prop_assert_eq!(sharded.insert_batch(keys, threads), expected);
+    }
+}
+
+/// Null key attributes must behave identically through both structures
+/// (no keys, no candidates, no index poisoning).
+#[test]
+fn null_keys_are_shard_neutral() {
+    let cfg = IndexConfig::default();
+    let records = vec![
+        Record::new(0, vec![Value::Str("some title".into())]),
+        Record::new(1, vec![Value::Null]),
+        Record::new(2, vec![Value::Str("some title".into())]),
+    ];
+    let mut flat = IncrementalIndex::new(cfg.clone());
+    let mut sharded = ShardedIndex::with_shards(cfg, 4);
+    for r in &records {
+        assert_eq!(sharded.insert(r), flat.insert(r));
+    }
+}

@@ -6,7 +6,7 @@
 //!              [--block-on ATTR] [--kappa K] [--no-transitivity] [--out pairs.csv]
 //! zeroer dedup <table.csv>          [same flags] [--save-model snap.json]
 //! zeroer ingest <stream.csv>        --model snap.json [--base resolved.csv]
-//!                                   [--threshold 0.5] [--out assign.csv]
+//!                                   [--threads N] [--threshold 0.5] [--out assign.csv]
 //! ```
 //!
 //! `match` links records across two CSVs with identical headers; `dedup`
@@ -41,6 +41,7 @@ struct Args {
     save_model: Option<String>,
     model: Option<String>,
     base: Option<String>,
+    threads: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -61,8 +62,11 @@ fn usage() -> &'static str {
        --out <file>        write results to a CSV file instead of stdout\n\
        --save-model <file> (dedup) also freeze the fitted model to a JSON snapshot\n\
        --model <file>      (ingest) snapshot produced by --save-model\n\
-       --base <csv>        (ingest) records to pre-load through the streaming path\n\
-                           before the stream (re-scored, not batch-preserved)\n"
+       --base <csv>        (ingest) the resolved bootstrap records; their batch\n\
+                           cluster decisions are replayed from the snapshot (never\n\
+                           re-scored) when the snapshot carries them\n\
+       --threads <n>       (ingest) ingest worker threads (default: all cores);\n\
+                           results are identical for every thread count\n"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -78,6 +82,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         save_model: None,
         model: None,
         base: None,
+        threads: None,
     };
     let mut batch_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -115,6 +120,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 batch_flags.push("--no-transitivity");
                 args.transitivity = false;
             }
+            "--threads" => {
+                let n: usize = take_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--out" => args.out = Some(take_value(&mut it, "--out")?),
             "--save-model" => args.save_model = Some(take_value(&mut it, "--save-model")?),
             "--model" => args.model = Some(take_value(&mut it, "--model")?),
@@ -142,6 +156,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         if args.base.is_some() {
             return Err("--base is only supported by the `ingest` command".into());
+        }
+        if args.threads.is_some() {
+            return Err("--threads is only supported by the `ingest` command".into());
         }
     } else if let Some(flag) = batch_flags.first() {
         return Err(format!(
@@ -286,29 +303,46 @@ fn run_ingest(args: &Args) -> Result<(), String> {
         Ok(())
     };
 
+    let threads = args
+        .threads
+        .unwrap_or_else(zeroer::stream::pipeline::available_threads);
+
     if let Some(base_path) = &args.base {
         let base = load(base_path)?;
         check_schema(&base)?;
-        for r in base.records() {
-            pipeline.ingest(r.clone());
+        if snapshot.bootstrap_len > 0 {
+            // The snapshot carries the batch fit's cluster decisions:
+            // replay them exactly instead of re-scoring the base records
+            // through the streaming path.
+            pipeline
+                .seed_base(&base)
+                .map_err(|e| format!("cannot seed base records from {base_path}: {e}"))?;
+            eprintln!(
+                "zeroer: pre-loaded {} base records with preserved batch decisions ({} clusters)",
+                base.len(),
+                pipeline.clusters().len()
+            );
+        } else {
+            // Legacy snapshot without bootstrap decisions: the only
+            // option is streaming re-scoring.
+            eprintln!(
+                "zeroer: warning: {model_path} predates bootstrap persistence; \
+                 re-scoring base records through the streaming path"
+            );
+            pipeline.ingest_batch_parallel(base.records().to_vec(), threads);
+            eprintln!(
+                "zeroer: pre-loaded {} base records ({} clusters)",
+                base.len(),
+                pipeline.clusters().len()
+            );
         }
-        eprintln!(
-            "zeroer: pre-loaded {} base records ({} clusters)",
-            base.len(),
-            pipeline.clusters().len()
-        );
     }
     let base_offset = pipeline.store().len();
 
     let stream = load(&args.files[0])?;
     check_schema(&stream)?;
-    let mut outcomes = Vec::with_capacity(stream.len());
-    let mut fresh = 0usize;
-    for r in stream.records() {
-        let out = pipeline.ingest(r.clone());
-        fresh += usize::from(out.is_new_entity());
-        outcomes.push(out);
-    }
+    let outcomes = pipeline.ingest_batch_parallel(stream.records().to_vec(), threads);
+    let fresh = outcomes.iter().filter(|o| o.is_new_entity()).count();
     // Cluster ids are written only after the whole stream is ingested:
     // a later record can merge two earlier clusters, so each record's
     // *final* representative is what consumers should group by.

@@ -8,7 +8,7 @@
 
 use zeroer_blocking::{standard_recipe, Blocker, CandidateSet, PairMode};
 use zeroer_core::{
-    GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, ZeroErConfig,
+    GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, UnionFind, ZeroErConfig,
 };
 use zeroer_features::PairFeaturizer;
 use zeroer_tabular::Table;
@@ -152,31 +152,15 @@ pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
     let labels = model.labels();
     let probabilities = model.gammas().to_vec();
 
-    // Transitive closure over predicted duplicates (union-find).
-    let n = table.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
+    // Transitive closure over predicted duplicates, via the shared
+    // union-find (the same structure `EntityStore` clusters with).
+    let mut uf = UnionFind::new(table.len());
     for (&(a, b), &dup) in task.pairs.iter().zip(&labels) {
         if dup {
-            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
-            if ra != rb {
-                parent[ra] = rb;
-            }
+            uf.union(a, b);
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
-    for i in 0..n {
-        let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(i);
-    }
-    let mut clusters: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
-    clusters.sort();
+    let clusters = uf.clusters(2);
 
     DedupResult {
         pairs: task.pairs,

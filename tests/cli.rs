@@ -181,6 +181,123 @@ fn save_model_then_ingest_round_trip() {
 }
 
 #[test]
+fn ingest_base_preserves_batch_decisions() {
+    let base = write_tmp(
+        "bp1",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let stream = write_tmp(
+        "bp2",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Totally Unseen Steakhouse,miami\n",
+    );
+    let snap = std::env::temp_dir().join(format!("zeroer-snap-bp-{}.json", std::process::id()));
+
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // "zeroer: N candidates, M duplicate pairs, K clusters"
+    let dedup_stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    let batch_clusters: usize = dedup_stderr
+        .lines()
+        .find_map(|l| {
+            l.strip_suffix(" clusters")
+                .and_then(|rest| rest.rsplit(' ').next())
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("dedup must report a cluster count");
+
+    // The snapshot must carry the bootstrap decisions.
+    let snap_text = std::fs::read_to_string(&snap).expect("snapshot written");
+    assert!(
+        snap_text.contains("\"bootstrap\""),
+        "snapshot must persist bootstrap decisions"
+    );
+
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("spawn zeroer ingest");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("preserved batch decisions"),
+        "base records must replay batch decisions, not re-score: {stderr}"
+    );
+    let preserved_clusters: usize = stderr
+        .lines()
+        .find(|l| l.contains("preserved batch decisions"))
+        .and_then(|l| {
+            l.split('(')
+                .nth(1)
+                .and_then(|tail| tail.split(' ').next())
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("ingest must report the preserved cluster count");
+    assert_eq!(
+        preserved_clusters, batch_clusters,
+        "replayed base clustering must equal the batch dedup clustering"
+    );
+
+    // The exact duplicate joins an existing (batch-decided) cluster; the
+    // unseen record mints a fresh entity.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "record,cluster,best_match,probability");
+    assert!(!lines[1].ends_with(",,"), "{stdout}");
+    assert!(lines[2].ends_with(",,"), "{stdout}");
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn threads_flag_is_ingest_only_and_validated() {
+    let out = Command::new(zeroer_bin())
+        .args(["match", "a.csv", "b.csv", "--threads", "4"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only supported by the `ingest`"));
+
+    let out = Command::new(zeroer_bin())
+        .args(["ingest", "s.csv", "--model", "m.json", "--threads", "0"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads must be at least 1"));
+}
+
+#[test]
 fn ingest_requires_model_flag() {
     let stream = write_tmp("sm3", "name\nwhatever\n");
     let out = Command::new(zeroer_bin())
