@@ -19,7 +19,7 @@ use zeroer_datagen::profiles::rest_fz;
 use zeroer_features::PairFeaturizer;
 use zeroer_linalg::block::GroupLayout;
 use zeroer_linalg::Matrix;
-use zeroer_textsim::{jaccard, jaro_winkler, levenshtein, monge_elkan, qgrams, words};
+use zeroer_textsim::{jaccard, jaro_winkler, levenshtein, monge_elkan, qgrams, words, Interner};
 
 fn synthetic(n: usize, sizes: &[usize], seed: u64) -> Matrix {
     let d: usize = sizes.iter().sum();
@@ -47,12 +47,14 @@ fn bench_similarity(c: &mut Criterion) {
         bch.iter(|| jaro_winkler(black_box(a), black_box(b)))
     });
     g.bench_function("jaccard_qgm3", |bch| {
-        let (ta, tb) = (qgrams(a, 3), qgrams(b, 3));
+        let mut it = Interner::new();
+        let (ta, tb) = (qgrams(&mut it, a, 3), qgrams(&mut it, b, 3));
         bch.iter(|| jaccard(black_box(&ta), black_box(&tb)))
     });
     g.bench_function("monge_elkan", |bch| {
-        let (wa, wb) = (words(a), words(b));
-        bch.iter(|| monge_elkan(black_box(&wa), black_box(&wb)))
+        let mut it = Interner::new();
+        let (wa, wb) = (words(&mut it, a), words(&mut it, b));
+        bch.iter(|| monge_elkan(black_box(&it), black_box(&wa), black_box(&wb)))
     });
     g.finish();
 }

@@ -1,9 +1,20 @@
 //! Blocking strategy implementations.
+//!
+//! All key-based blockers operate on *interned* blocking keys
+//! ([`zeroer_textsim::intern::Sym`]) extracted through the record
+//! derivation layer — inverted indexes are `Sym → members`, so bucket
+//! joins compare 4-byte symbols instead of hashing strings. Callers that
+//! already hold a derivation (the high-level pipelines, the streaming
+//! bootstrap) use [`standard_candidates_derived`] to block without
+//! re-tokenizing anything; the [`Blocker`] trait implementations extract
+//! keys themselves for standalone use and share the same join core.
 
 use crate::candidate::{CandidateSet, PairMode};
-use crate::keys::{equivalence_key, qgram_keys, token_keys};
+use crate::keys::TableKeys;
 use std::collections::HashMap;
 use zeroer_tabular::Table;
+use zeroer_textsim::derive::{DerivedRecord, KeySet};
+use zeroer_textsim::intern::Sym;
 use zeroer_textsim::tokenize::normalize;
 
 /// A blocking strategy: maps two tables (or one table against itself) to a
@@ -42,33 +53,60 @@ impl Blocker for CartesianBlocker {
     }
 }
 
-/// Builds an inverted index `key → record indices` for one attribute of a
-/// table, using `extract` to derive keys from the attribute text. The
-/// extractors (see [`crate::keys`]) return sorted, deduplicated keys.
-fn inverted_index(
-    table: &Table,
-    attr: usize,
-    extract: &dyn Fn(&str) -> Vec<String>,
-) -> HashMap<String, Vec<usize>> {
-    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-    for idx in 0..table.len() {
-        if let Some(text) = table.value(idx, attr).as_text() {
-            for k in extract(&text) {
-                index.entry(k).or_default().push(idx);
-            }
+/// Inverted index over interned blocking keys: `key → record indices`.
+type SymIndex = HashMap<Sym, Vec<usize>>;
+
+/// Builds an inverted index from per-record key lists selected by
+/// `select` (token keys, q-gram keys, or the equivalence key).
+fn inverted_index<'a, I, F>(keysets: I, select: F) -> SymIndex
+where
+    I: Iterator<Item = &'a KeySet>,
+    F: Fn(&KeySet) -> &[Sym],
+{
+    let mut index = SymIndex::new();
+    for (idx, ks) in keysets.enumerate() {
+        for &k in select(ks) {
+            index.entry(k).or_default().push(idx);
         }
     }
     index
 }
 
+/// The left index plus an optional distinct right index (`None` for a
+/// self-join: the right side *is* the left index, no clone needed).
+struct IndexPair {
+    left: SymIndex,
+    right: Option<SymIndex>,
+}
+
+impl IndexPair {
+    fn build<'a, F>(
+        left: impl Iterator<Item = &'a KeySet>,
+        right: Option<impl Iterator<Item = &'a KeySet>>,
+        select: F,
+    ) -> Self
+    where
+        F: Fn(&KeySet) -> &[Sym],
+    {
+        Self {
+            left: inverted_index(left, &select),
+            right: right.map(|r| inverted_index(r, &select)),
+        }
+    }
+
+    fn sides(&self) -> (&SymIndex, &SymIndex) {
+        (&self.left, self.right.as_ref().unwrap_or(&self.left))
+    }
+}
+
 fn join_indices(
-    left_index: HashMap<String, Vec<usize>>,
-    right_index: HashMap<String, Vec<usize>>,
+    left_index: &SymIndex,
+    right_index: &SymIndex,
     mode: PairMode,
     max_bucket: usize,
 ) -> CandidateSet {
     let mut pairs = Vec::new();
-    for (key, ls) in &left_index {
+    for (key, ls) in left_index {
         if let Some(rs) = right_index.get(key) {
             // Skip stop-word-like keys whose bucket product explodes.
             if ls.len().saturating_mul(rs.len()) > max_bucket.saturating_mul(max_bucket) {
@@ -85,6 +123,95 @@ fn join_indices(
         }
     }
     CandidateSet::new(mode, pairs)
+}
+
+/// Overlap blocking: pairs sharing at least `min_overlap` keys.
+fn join_with_overlap(
+    left_index: &SymIndex,
+    right_index: &SymIndex,
+    mode: PairMode,
+    max_bucket: usize,
+    min_overlap: usize,
+) -> CandidateSet {
+    if min_overlap <= 1 {
+        return join_indices(left_index, right_index, mode, max_bucket);
+    }
+    // Count shared keys per pair, then keep pairs meeting the floor.
+    let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for (key, ls) in left_index {
+        if let Some(rs) = right_index.get(key) {
+            if ls.len().saturating_mul(rs.len()) > max_bucket.saturating_mul(max_bucket) {
+                continue;
+            }
+            for &l in ls {
+                for &r in rs {
+                    if mode == PairMode::Dedup && l >= r {
+                        continue;
+                    }
+                    *counts.entry((l, r)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    CandidateSet::new(
+        mode,
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_overlap)
+            .map(|(p, _)| p),
+    )
+}
+
+/// The standard blocking recipe over an **existing derivation**: token
+/// blocking unioned with q-gram blocking when any single shared token
+/// suffices, or pure overlap blocking for `min_overlap ≥ 2` — exactly
+/// what [`standard_recipe`] computes, minus any tokenization. Pass
+/// `right = None` to block one derivation against itself.
+///
+/// The derivations must carry blocking keys (derive with a
+/// `BlockSpec` whose `qgram` matches: > 0 when `min_overlap ≤ 1`).
+pub fn standard_candidates_derived(
+    left: &[DerivedRecord],
+    right: Option<&[DerivedRecord]>,
+    mode: PairMode,
+    min_overlap: usize,
+    max_bucket: usize,
+) -> CandidateSet {
+    let index = |select: fn(&KeySet) -> &[Sym]| {
+        IndexPair::build(
+            left.iter().map(|r| r.keys()),
+            right.map(|r| r.iter().map(|rec| rec.keys())),
+            select,
+        )
+    };
+    let tok = index(|k| &k.tokens);
+    let (li, ri) = tok.sides();
+    if min_overlap >= 2 {
+        return join_with_overlap(li, ri, mode, max_bucket, min_overlap);
+    }
+    let tokens = join_indices(li, ri, mode, max_bucket);
+    let qgm = index(|k| &k.qgrams);
+    let (qli, qri) = qgm.sides();
+    let qgrams = join_indices(qli, qri, mode, max_bucket);
+    tokens.union(&qgrams)
+}
+
+/// Extracts left/right key sets for a trait blocker invocation: one
+/// shared interner, the right side reusing the left for dedup mode.
+fn extract_keys(
+    left: &Table,
+    right: &Table,
+    mode: PairMode,
+    attr: usize,
+    qgram: usize,
+    equiv: bool,
+) -> (Vec<KeySet>, Option<Vec<KeySet>>) {
+    if mode == PairMode::Dedup {
+        (TableKeys::build(left, attr, qgram, equiv).keys, None)
+    } else {
+        let (lk, rk) = TableKeys::build_pair(left, right, attr, qgram, equiv);
+        (lk.keys, Some(rk))
+    }
 }
 
 /// Pairs that share at least `min_overlap` *word tokens* on a key
@@ -130,43 +257,10 @@ impl TokenBlocker {
 
 impl Blocker for TokenBlocker {
     fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
-        let extract = |s: &str| token_keys(s);
-        let li = inverted_index(left, self.attr, &extract);
-        let ri = if mode == PairMode::Dedup {
-            li.clone()
-        } else {
-            inverted_index(right, self.attr, &extract)
-        };
-        if self.min_overlap <= 1 {
-            return join_indices(li, ri, mode, self.max_bucket);
-        }
-        // Count shared tokens per pair, then keep pairs meeting the
-        // overlap floor.
-        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
-        for (key, ls) in &li {
-            if let Some(rs) = ri.get(key) {
-                if ls.len().saturating_mul(rs.len())
-                    > self.max_bucket.saturating_mul(self.max_bucket)
-                {
-                    continue;
-                }
-                for &l in ls {
-                    for &r in rs {
-                        if mode == PairMode::Dedup && l >= r {
-                            continue;
-                        }
-                        *counts.entry((l, r)).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-        CandidateSet::new(
-            mode,
-            counts
-                .into_iter()
-                .filter(|&(_, c)| c >= self.min_overlap)
-                .map(|(p, _)| p),
-        )
+        let (lk, rk) = extract_keys(left, right, mode, self.attr, 0, false);
+        let pair = IndexPair::build(lk.iter(), rk.as_ref().map(|r| r.iter()), |k| &k.tokens);
+        let (li, ri) = pair.sides();
+        join_with_overlap(li, ri, mode, self.max_bucket, self.min_overlap)
     }
 }
 
@@ -196,14 +290,9 @@ impl QgramBlocker {
 
 impl Blocker for QgramBlocker {
     fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
-        let q = self.q;
-        let extract = move |s: &str| qgram_keys(s, q);
-        let li = inverted_index(left, self.attr, &extract);
-        let ri = if mode == PairMode::Dedup {
-            li.clone()
-        } else {
-            inverted_index(right, self.attr, &extract)
-        };
+        let (lk, rk) = extract_keys(left, right, mode, self.attr, self.q, false);
+        let pair = IndexPair::build(lk.iter(), rk.as_ref().map(|r| r.iter()), |k| &k.qgrams);
+        let (li, ri) = pair.sides();
         join_indices(li, ri, mode, self.max_bucket)
     }
 }
@@ -217,13 +306,12 @@ pub struct AttrEquivalenceBlocker {
 
 impl Blocker for AttrEquivalenceBlocker {
     fn candidates(&self, left: &Table, right: &Table, mode: PairMode) -> CandidateSet {
-        let extract = |s: &str| vec![equivalence_key(s)];
-        let li = inverted_index(left, self.attr, &extract);
-        let ri = if mode == PairMode::Dedup {
-            li.clone()
-        } else {
-            inverted_index(right, self.attr, &extract)
-        };
+        fn select(k: &KeySet) -> &[Sym] {
+            k.equiv.as_slice()
+        }
+        let (lk, rk) = extract_keys(left, right, mode, self.attr, 0, true);
+        let pair = IndexPair::build(lk.iter(), rk.as_ref().map(|r| r.iter()), select);
+        let (li, ri) = pair.sides();
         join_indices(li, ri, mode, usize::MAX / 2)
     }
 }
@@ -247,20 +335,32 @@ impl Blocker for SortedNeighborhood {
             side: bool, // false = left, true = right
             idx: usize,
         }
+        // The sort key is the derivation layer's normalized-equality
+        // form; computed directly (no bags, no interner) since this
+        // blocker only compares keys lexicographically.
+        let sort_keys = |table: &Table| -> Vec<String> {
+            (0..table.len())
+                .map(|idx| {
+                    table
+                        .value(idx, self.attr)
+                        .as_text()
+                        .map(|t| normalize(&t))
+                        .unwrap_or_default()
+                })
+                .collect()
+        };
         let mut entries: Vec<Entry> = Vec::new();
-        for idx in 0..left.len() {
-            let key = left.value(idx, self.attr).as_text().map(|t| normalize(&t));
+        for (idx, key) in sort_keys(left).into_iter().enumerate() {
             entries.push(Entry {
-                key: key.unwrap_or_default(),
+                key,
                 side: false,
                 idx,
             });
         }
         if mode == PairMode::Cross {
-            for idx in 0..right.len() {
-                let key = right.value(idx, self.attr).as_text().map(|t| normalize(&t));
+            for (idx, key) in sort_keys(right).into_iter().enumerate() {
                 entries.push(Entry {
-                    key: key.unwrap_or_default(),
+                    key,
                     side: true,
                     idx,
                 });
@@ -296,6 +396,10 @@ impl Blocker for SortedNeighborhood {
 /// q-gram blocking when any single shared token suffices, or pure
 /// overlap blocking for `min_overlap ≥ 2`. Keeping this in one place
 /// guarantees the two pipelines cannot drift apart.
+///
+/// Callers that already derived their tables should prefer
+/// [`standard_candidates_derived`], which computes the same candidate
+/// set from the derivation's keys without tokenizing anything.
 pub fn standard_recipe(
     attr: usize,
     min_overlap: usize,
@@ -356,6 +460,7 @@ impl Blocker for UnionBlocker {
 mod tests {
     use super::*;
     use zeroer_tabular::{Record, Schema, Value};
+    use zeroer_textsim::derive::{DeriveConfig, Deriver};
 
     fn table(names: &[&str]) -> Table {
         let mut t = Table::new("t", Schema::new(["name"]));
@@ -488,5 +593,30 @@ mod tests {
             cs.is_empty(),
             "the 'the' bucket exceeds the cap and item tokens are unique"
         );
+    }
+
+    /// The derived-path recipe must equal the trait-path recipe.
+    #[test]
+    fn derived_candidates_match_trait_blockers() {
+        let names = [
+            "golden dragon palace",
+            "golden dragon palce",
+            "blue sky tavern",
+            "photograph studio",
+            "fotograph studio",
+        ];
+        let t = table(&names);
+        let mut deriver = Deriver::new(DeriveConfig::blocking(0, 4));
+        let derived: Vec<_> = t
+            .records()
+            .iter()
+            .map(|r| deriver.derive(&r.values))
+            .collect();
+        for overlap in [1usize, 2] {
+            let via_derived =
+                standard_candidates_derived(&derived, None, PairMode::Dedup, overlap, 400);
+            let via_trait = standard_recipe(0, overlap, 4, 400).candidates(&t, &t, PairMode::Dedup);
+            assert_eq!(via_derived.pairs(), via_trait.pairs(), "overlap={overlap}");
+        }
     }
 }

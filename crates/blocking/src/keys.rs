@@ -3,66 +3,132 @@
 //! Batch blockers ([`crate::TokenBlocker`], [`crate::QgramBlocker`],
 //! [`crate::AttrEquivalenceBlocker`]) and the incremental indexes of the
 //! streaming subsystem must derive *identical* keys from a record, or
-//! their candidate sets drift apart. This module is the single source of
-//! truth both sides call.
+//! their candidate sets drift apart. Key extraction is part of the
+//! record-derivation layer (`zeroer_textsim::derive`): a derivation pass
+//! tokenizes each record once and carries the blocking keys — interned
+//! symbols, not strings — in its
+//! [`zeroer_textsim::derive::DerivedRecord`]. This module provides the
+//! standalone per-table form the batch blockers use when no shared
+//! derivation is available.
 
-use zeroer_textsim::tokenize::normalize;
-use zeroer_textsim::{qgrams, words};
+use zeroer_tabular::Table;
+use zeroer_textsim::derive::{DeriveConfig, Deriver, KeySet};
+use zeroer_textsim::intern::Interner;
 
-/// Word-token blocking keys: lowercase alphanumeric tokens longer than
-/// one character (single characters are noise), sorted and deduplicated.
-pub fn token_keys(s: &str) -> Vec<String> {
-    let mut keys: Vec<String> = words(s)
-        .tokens()
-        .filter(|t| t.len() > 1)
-        .map(String::from)
-        .collect();
-    keys.sort();
-    keys.dedup();
-    keys
-}
-
-/// Character q-gram blocking keys (padded q-grams of the normalized
-/// string), sorted and deduplicated.
+/// Per-record blocking keys of one attribute of one table, extracted
+/// through the derivation layer with a table-local interner.
 ///
-/// # Panics
-/// Panics if `q == 0`.
-pub fn qgram_keys(s: &str, q: usize) -> Vec<String> {
-    let mut keys: Vec<String> = qgrams(s, q).tokens().map(String::from).collect();
-    keys.sort();
-    keys.dedup();
-    keys
+/// `qgram` = 0 skips q-gram keys; `equiv` controls the
+/// attribute-equivalence key. Null values yield empty key sets (null
+/// rows never block).
+pub struct TableKeys {
+    /// The interner the keys resolve against.
+    pub interner: Interner,
+    /// One key set per record, in table order.
+    pub keys: Vec<KeySet>,
 }
 
-/// The single normalized-equality key used by attribute-equivalence
-/// blocking.
-pub fn equivalence_key(s: &str) -> String {
-    normalize(s)
+impl TableKeys {
+    /// Extracts keys for `attr` of `table`.
+    pub fn build(table: &Table, attr: usize, qgram: usize, equiv: bool) -> Self {
+        let mut deriver = Deriver::new(DeriveConfig::default());
+        let keys = extract_into(&mut deriver, table, attr, qgram, equiv);
+        Self {
+            interner: deriver.into_interner(),
+            keys,
+        }
+    }
+
+    /// Extracts keys for the same attribute of two tables against one
+    /// shared interner (record-linkage blocking joins the two key
+    /// spaces, so the symbols must be comparable).
+    pub fn build_pair(
+        left: &Table,
+        right: &Table,
+        attr: usize,
+        qgram: usize,
+        equiv: bool,
+    ) -> (Self, Vec<KeySet>) {
+        let mut deriver = Deriver::new(DeriveConfig::default());
+        let lk = extract_into(&mut deriver, left, attr, qgram, equiv);
+        let rk = extract_into(&mut deriver, right, attr, qgram, equiv);
+        (
+            Self {
+                interner: deriver.into_interner(),
+                keys: lk,
+            },
+            rk,
+        )
+    }
+}
+
+fn extract_into(
+    deriver: &mut Deriver,
+    table: &Table,
+    attr: usize,
+    qgram: usize,
+    equiv: bool,
+) -> Vec<KeySet> {
+    (0..table.len())
+        .map(|idx| {
+            let text = table.value(idx, attr).as_text();
+            deriver.derive_keys(text.as_deref(), qgram, equiv)
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zeroer_tabular::{Record, Schema, Value};
+
+    fn table(names: &[&str]) -> Table {
+        let mut t = Table::new("t", Schema::new(["name"]));
+        for (i, n) in names.iter().enumerate() {
+            t.push(Record::new(i as u32, vec![Value::Str((*n).into())]));
+        }
+        t
+    }
 
     #[test]
     fn token_keys_drop_single_chars_and_dedup() {
-        let keys = token_keys("a Red RED fox");
-        assert_eq!(keys, vec!["fox".to_string(), "red".to_string()]);
+        let tk = TableKeys::build(&table(&["a Red RED fox"]), 0, 0, false);
+        let mut texts: Vec<&str> = tk.keys[0]
+            .tokens
+            .iter()
+            .map(|&s| tk.interner.resolve(s))
+            .collect();
+        texts.sort();
+        assert_eq!(texts, vec!["fox", "red"]);
     }
 
     #[test]
     fn qgram_keys_are_sorted_unique() {
-        let keys = qgram_keys("aba", 2);
+        let tk = TableKeys::build(&table(&["aba"]), 0, 2, false);
+        let keys = &tk.keys[0].qgrams;
         let mut sorted = keys.clone();
         sorted.sort();
         sorted.dedup();
-        assert_eq!(keys, sorted);
-        assert!(keys.contains(&"ab".to_string()));
-        assert!(keys.contains(&"#a".to_string()));
+        assert_eq!(keys, &sorted);
+        let texts: Vec<&str> = keys.iter().map(|&s| tk.interner.resolve(s)).collect();
+        assert!(texts.contains(&"ab"));
+        assert!(texts.contains(&"#a"));
     }
 
     #[test]
     fn equivalence_key_normalizes() {
-        assert_eq!(equivalence_key("New-York "), "new york");
+        let tk = TableKeys::build(&table(&["New-York "]), 0, 0, true);
+        let e = tk.keys[0].equiv.expect("equiv key requested");
+        assert_eq!(tk.interner.resolve(e), "new york");
+    }
+
+    #[test]
+    fn null_values_yield_no_keys() {
+        let mut t = Table::new("t", Schema::new(["name"]));
+        t.push(Record::new(0, vec![Value::Null]));
+        let tk = TableKeys::build(&t, 0, 3, true);
+        assert!(tk.keys[0].tokens.is_empty());
+        assert!(tk.keys[0].qgrams.is_empty());
+        assert!(tk.keys[0].equiv.is_none());
     }
 }

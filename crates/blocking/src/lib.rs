@@ -24,8 +24,9 @@ pub mod keys;
 pub mod quality;
 
 pub use blockers::{
-    standard_recipe, AttrEquivalenceBlocker, Blocker, CartesianBlocker, QgramBlocker,
-    SortedNeighborhood, TokenBlocker, UnionBlocker,
+    standard_candidates_derived, standard_recipe, AttrEquivalenceBlocker, Blocker,
+    CartesianBlocker, QgramBlocker, SortedNeighborhood, TokenBlocker, UnionBlocker,
 };
 pub use candidate::{CandidateSet, PairMode};
+pub use keys::TableKeys;
 pub use quality::BlockingReport;

@@ -317,8 +317,9 @@ mod tests {
         for &(li, ri) in ds.matches.iter().take(20) {
             let l = ds.left.value(li, 2).as_text().unwrap_or_default();
             let r = ds.right.value(ri, 2).as_text().unwrap_or_default();
-            let lb = zeroer_textsim::words(&l);
-            let rb = zeroer_textsim::words(&r);
+            let mut it = zeroer_textsim::Interner::new();
+            let lb = zeroer_textsim::words(&mut it, &l);
+            let rb = zeroer_textsim::words(&mut it, &r);
             overlaps.push(zeroer_textsim::jaccard(&lb, &rb));
         }
         let mean: f64 = overlaps.iter().sum::<f64>() / overlaps.len() as f64;

@@ -1,12 +1,14 @@
-//! The bulk pair featurizer.
+//! The bulk pair featurizer, built on the shared record-derivation
+//! layer (`zeroer_textsim::derive`).
 
-use crate::cache::{AttrView, RecordCache, TableCache};
 use crate::registry::{functions_for, SimFunction};
 use zeroer_linalg::block::GroupLayout;
 use zeroer_linalg::stats::{apply_min_max, min_max_normalize};
 use zeroer_linalg::Matrix;
 use zeroer_tabular::table::infer_joint_types;
 use zeroer_tabular::{AttrType, Table};
+use zeroer_textsim::derive::{AttrView, DeriveConfig, DerivedRecord, Deriver};
+use zeroer_textsim::intern::Interner;
 
 /// The output of feature generation: the `N × d` similarity matrix plus
 /// the grouping metadata ZeroER's block-diagonal covariance needs.
@@ -76,10 +78,11 @@ impl FeatureSet {
     }
 }
 
-/// Computes one similarity value from cached attribute views, `NaN` when
-/// either side is missing. This is the single scoring kernel shared by
-/// the batch featurizer and the streaming [`RowFeaturizer`].
-fn sim_value(f: SimFunction, l: AttrView<'_>, r: AttrView<'_>) -> f64 {
+/// Computes one similarity value from derived attribute views, `NaN`
+/// when either side is missing. This is the single scoring kernel shared
+/// by the batch featurizer and the streaming [`RowFeaturizer`]; both
+/// views must come from derivations over `interner`.
+fn sim_value(f: SimFunction, interner: &Interner, l: AttrView<'_>, r: AttrView<'_>) -> f64 {
     if !(l.present && r.present) {
         return f64::NAN;
     }
@@ -92,44 +95,96 @@ fn sim_value(f: SimFunction, l: AttrView<'_>, r: AttrView<'_>) -> f64 {
             (Some(x), Some(y)) => zeroer_textsim::rel_diff_sim(x, y),
             _ => f64::NAN,
         },
-        SimFunction::JaccardQgm3 | SimFunction::CosineQgm3 => f.apply_tokens(l.qgm3, r.qgm3),
+        SimFunction::JaccardQgm3 | SimFunction::CosineQgm3 => {
+            f.apply_tokens(interner, l.qgm3, r.qgm3)
+        }
         SimFunction::JaccardWord
         | SimFunction::CosineWord
         | SimFunction::DiceWord
         | SimFunction::OverlapWord
-        | SimFunction::MongeElkan => f.apply_tokens(l.word, r.word),
+        | SimFunction::MongeElkan => f.apply_tokens(interner, l.word, r.word),
         _ => f.apply_text(l.text, r.text),
     }
 }
 
 /// Generates similarity features for candidate pairs between two tables
 /// (or one table against itself for dedup).
+///
+/// The featurizer owns the tables' **derivation**: one interner shared
+/// by both sides and one [`DerivedRecord`] per record, produced in a
+/// single pass. When left and right are the same table (`dedup`), the
+/// table is derived once, and callers that also need blocking keys can
+/// request them through [`PairFeaturizer::with_config`] — the batch
+/// blockers then consume [`PairFeaturizer::left_derived`] /
+/// [`PairFeaturizer::right_derived`] instead of re-tokenizing, and the
+/// streaming bootstrap hands the whole derivation to the entity store
+/// via [`PairFeaturizer::into_parts`].
 pub struct PairFeaturizer {
     attr_names: Vec<String>,
     attr_types: Vec<AttrType>,
     functions: Vec<&'static [SimFunction]>,
-    left: TableCache,
-    right: TableCache,
+    interner: Interner,
+    left: Vec<DerivedRecord>,
+    /// `None` when featurizing a table against itself (derived once).
+    right: Option<Vec<DerivedRecord>>,
     dim: usize,
 }
 
 impl PairFeaturizer {
     /// Builds the featurizer: infers joint attribute types, selects
-    /// function sets, and pre-tokenizes both tables.
+    /// function sets, and derives both tables (no blocking keys).
     ///
     /// # Panics
     /// Panics if the schemas are not aligned.
     pub fn new(left: &Table, right: &Table) -> Self {
+        Self::with_config(left, right, DeriveConfig::default())
+    }
+
+    /// [`PairFeaturizer::new`] with an explicit derivation configuration
+    /// — pass a blocking [`zeroer_textsim::derive::BlockSpec`] to get
+    /// blocking keys extracted in the same pass.
+    ///
+    /// # Panics
+    /// Panics if the schemas are not aligned, or if `cfg` blocks on an
+    /// attribute the schema lacks (a misconfiguration that would
+    /// otherwise silently derive empty key sets for every record).
+    pub fn with_config(left: &Table, right: &Table, cfg: DeriveConfig) -> Self {
+        if let Some(block) = &cfg.block {
+            assert!(
+                block.attr < left.schema().arity(),
+                "blocking attribute {} out of range for arity {}",
+                block.attr,
+                left.schema().arity()
+            );
+        }
         let attr_types = infer_joint_types(left, right);
         let functions: Vec<&'static [SimFunction]> =
             attr_types.iter().map(|&t| functions_for(t)).collect();
         let dim = functions.iter().map(|f| f.len()).sum();
+        let mut deriver = Deriver::new(cfg);
+        let left_recs: Vec<DerivedRecord> = left
+            .records()
+            .iter()
+            .map(|r| deriver.derive(&r.values))
+            .collect();
+        let right_recs = if std::ptr::eq(left, right) {
+            None
+        } else {
+            Some(
+                right
+                    .records()
+                    .iter()
+                    .map(|r| deriver.derive(&r.values))
+                    .collect(),
+            )
+        };
         Self {
             attr_names: left.schema().attributes().to_vec(),
             attr_types,
             functions,
-            left: TableCache::build(left),
-            right: TableCache::build(right),
+            interner: deriver.into_interner(),
+            left: left_recs,
+            right: right_recs,
             dim,
         }
     }
@@ -137,6 +192,36 @@ impl PairFeaturizer {
     /// Inferred attribute types (aligned with the schema).
     pub fn attr_types(&self) -> &[AttrType] {
         &self.attr_types
+    }
+
+    /// The shared interner both tables were derived against.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The left table's derivation.
+    pub fn left_derived(&self) -> &[DerivedRecord] {
+        &self.left
+    }
+
+    /// The right table's derivation (the left one for dedup
+    /// featurizers).
+    pub fn right_derived(&self) -> &[DerivedRecord] {
+        self.right.as_deref().unwrap_or(&self.left)
+    }
+
+    /// Consumes a *dedup* featurizer, yielding its interner and derived
+    /// records — the bootstrap path hands these to the streaming entity
+    /// store so records are derived exactly once.
+    ///
+    /// # Panics
+    /// Panics on a cross-table featurizer.
+    pub fn into_parts(self) -> (Interner, Vec<DerivedRecord>) {
+        assert!(
+            self.right.is_none(),
+            "into_parts is only meaningful for dedup featurizers"
+        );
+        (self.interner, self.left)
     }
 
     /// Total feature dimensionality.
@@ -164,12 +249,13 @@ impl PairFeaturizer {
     /// value on either side); imputation happens in [`Self::featurize`].
     fn fill_row(&self, li: usize, ri: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.dim);
+        let (left, right) = (&self.left[li], &self.right_derived()[ri]);
         let mut col = 0;
         for (a, funcs) in self.functions.iter().enumerate() {
-            let lv = self.left.attr(a).view(li);
-            let rv = self.right.attr(a).view(ri);
+            let lv = left.view(a);
+            let rv = right.view(a);
             for &f in *funcs {
-                out[col] = sim_value(f, lv, rv);
+                out[col] = sim_value(f, &self.interner, lv, rv);
                 col += 1;
             }
         }
@@ -217,7 +303,8 @@ impl PairFeaturizer {
 }
 
 /// A featurizer frozen to a fixed attribute-type assignment, producing
-/// raw feature rows for *individual* record pairs from per-record caches.
+/// raw feature rows for *individual* record pairs from per-record
+/// derivations.
 ///
 /// This is the streaming counterpart of [`PairFeaturizer`]: the batch
 /// path infers attribute types jointly over full tables, while the
@@ -259,12 +346,18 @@ impl RowFeaturizer {
     }
 
     /// One pair's raw feature row (`NaN` marks not-computable entries).
+    /// Both records must be derived against `interner`.
     ///
     /// # Panics
     /// Panics if either record's arity differs from the frozen types.
-    pub fn raw_row(&self, left: &RecordCache, right: &RecordCache) -> Vec<f64> {
+    pub fn raw_row(
+        &self,
+        interner: &Interner,
+        left: &DerivedRecord,
+        right: &DerivedRecord,
+    ) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.dim);
-        self.raw_row_into(left, right, &mut out);
+        self.raw_row_into(interner, left, right, &mut out);
         out
     }
 
@@ -275,7 +368,13 @@ impl RowFeaturizer {
     ///
     /// # Panics
     /// Panics if either record's arity differs from the frozen types.
-    pub fn raw_row_into(&self, left: &RecordCache, right: &RecordCache, out: &mut Vec<f64>) {
+    pub fn raw_row_into(
+        &self,
+        interner: &Interner,
+        left: &DerivedRecord,
+        right: &DerivedRecord,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(
             left.arity(),
             self.functions.len(),
@@ -292,7 +391,7 @@ impl RowFeaturizer {
             let lv = left.view(a);
             let rv = right.view(a);
             for &f in *funcs {
-                out.push(sim_value(f, lv, rv));
+                out.push(sim_value(f, interner, lv, rv));
             }
         }
     }
@@ -434,6 +533,10 @@ mod tests {
     fn dedup_self_featurization_works() {
         let (l, _) = restaurant_tables();
         let fz = PairFeaturizer::new(&l, &l);
+        assert!(
+            fz.right.is_none(),
+            "same table on both sides must be derived once"
+        );
         let fs = fz.featurize(&[(0, 1)]);
         assert_eq!(fs.len(), 1);
         // Identical record compared with itself scores 1 everywhere.
@@ -443,6 +546,29 @@ mod tests {
                 (v - 1.0).abs() < 1e-9,
                 "self-pair feature should be 1.0, got {v}"
             );
+        }
+    }
+
+    #[test]
+    fn row_featurizer_matches_batch_rows_bitwise() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::with_config(&l, &r, DeriveConfig::blocking(0, 4));
+        let fs = fz.featurize(&[(0, 0), (1, 1), (0, 1)]);
+        let row_fz = RowFeaturizer::new(fz.attr_types());
+        for (i, &(li, ri)) in [(0usize, 0usize), (1, 1), (0, 1)].iter().enumerate() {
+            let raw = row_fz.raw_row(
+                fz.interner(),
+                &fz.left_derived()[li],
+                &fz.right_derived()[ri],
+            );
+            for (j, &v) in raw.iter().enumerate() {
+                let batch = fs.matrix[(i, j)];
+                if v.is_nan() {
+                    // Batch imputes missing entries; raw rows keep NaN.
+                    continue;
+                }
+                assert_eq!(v.to_bits(), batch.to_bits(), "row {i} col {j}");
+            }
         }
     }
 }

@@ -15,13 +15,23 @@
 //!    produce `NaN`, later mean-imputed per column;
 //! 4. min-max normalize each feature to `[0, 1]` (§6).
 //!
+//! Tokenization happens exactly once per record, through the shared
+//! derivation layer (`zeroer_textsim::derive`): the featurizer owns the
+//! tables' [`zeroer_textsim::derive::DerivedRecord`]s and the interner
+//! they were built against, and the same derivation feeds the batch
+//! blockers and the streaming subsystem. See `crates/features/README.md`
+//! for the design note.
+//!
 //! Feature generation is embarrassingly parallel over pairs and is chunked
 //! across threads with `crossbeam`.
 
-pub mod cache;
 pub mod generator;
 pub mod registry;
 
-pub use cache::{AttrView, RecordCache};
 pub use generator::{FeatureSet, PairFeaturizer, RowFeaturizer};
 pub use registry::{functions_for, SimFunction};
+// The derivation layer the featurizers consume, re-exported for
+// convenience.
+pub use zeroer_textsim::derive::{
+    AttrDerived, AttrView, BlockSpec, DeriveConfig, DerivedRecord, Deriver,
+};

@@ -4,10 +4,11 @@
 use serde::{Deserialize, Serialize};
 use zeroer_tabular::{AttrType, Value};
 use zeroer_textsim::align::{needleman_wunsch, smith_waterman};
+use zeroer_textsim::intern::Interner;
 use zeroer_textsim::tokenize::TokenBag;
 use zeroer_textsim::{
     abs_diff_sim, cosine, dice, exact_match, jaccard, jaro_winkler, levenshtein_sim, monge_elkan,
-    overlap_coefficient, rel_diff_sim,
+    overlap_coefficient, qgrams, rel_diff_sim, words,
 };
 
 /// A similarity function identifier, as applied by the feature generator.
@@ -107,27 +108,30 @@ impl SimFunction {
     }
 
     /// Applies a string-based function to already-extracted text.
+    ///
+    /// Token-based functions tokenize both sides into a throwaway
+    /// interner per call — this is the slow uncached path; bulk scoring
+    /// goes through the derivation layer and [`Self::apply_tokens`].
     pub fn apply_text(self, a: &str, b: &str) -> f64 {
         match self {
-            SimFunction::JaccardQgm3 => {
-                jaccard(&zeroer_textsim::qgrams(a, 3), &zeroer_textsim::qgrams(b, 3))
-            }
-            SimFunction::CosineQgm3 => {
-                cosine(&zeroer_textsim::qgrams(a, 3), &zeroer_textsim::qgrams(b, 3))
-            }
-            SimFunction::JaccardWord => {
-                jaccard(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
-            }
-            SimFunction::CosineWord => cosine(&zeroer_textsim::words(a), &zeroer_textsim::words(b)),
-            SimFunction::DiceWord => dice(&zeroer_textsim::words(a), &zeroer_textsim::words(b)),
-            SimFunction::OverlapWord => {
-                overlap_coefficient(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
+            SimFunction::JaccardQgm3
+            | SimFunction::CosineQgm3
+            | SimFunction::JaccardWord
+            | SimFunction::CosineWord
+            | SimFunction::DiceWord
+            | SimFunction::OverlapWord
+            | SimFunction::MongeElkan => {
+                let mut it = Interner::new();
+                let (ta, tb) = if matches!(self, SimFunction::JaccardQgm3 | SimFunction::CosineQgm3)
+                {
+                    (qgrams(&mut it, a, 3), qgrams(&mut it, b, 3))
+                } else {
+                    (words(&mut it, a), words(&mut it, b))
+                };
+                self.apply_tokens(&it, &ta, &tb)
             }
             SimFunction::Levenshtein => levenshtein_sim(a, b),
             SimFunction::JaroWinkler => jaro_winkler(a, b),
-            SimFunction::MongeElkan => {
-                monge_elkan(&zeroer_textsim::words(a), &zeroer_textsim::words(b))
-            }
             SimFunction::NeedlemanWunsch => needleman_wunsch(a, b),
             SimFunction::SmithWaterman => smith_waterman(a, b),
             SimFunction::ExactMatch => exact_match(&a.to_lowercase(), &b.to_lowercase()),
@@ -137,17 +141,18 @@ impl SimFunction {
         }
     }
 
-    /// Applies a token-based function to pre-computed token bags.
+    /// Applies a token-based function to pre-computed token bags (both
+    /// built against `interner`).
     ///
     /// # Panics
     /// Panics if called on a non-token function.
-    pub fn apply_tokens(self, a: &TokenBag, b: &TokenBag) -> f64 {
+    pub fn apply_tokens(self, interner: &Interner, a: &TokenBag, b: &TokenBag) -> f64 {
         match self {
             SimFunction::JaccardQgm3 | SimFunction::JaccardWord => jaccard(a, b),
             SimFunction::CosineQgm3 | SimFunction::CosineWord => cosine(a, b),
             SimFunction::DiceWord => dice(a, b),
             SimFunction::OverlapWord => overlap_coefficient(a, b),
-            SimFunction::MongeElkan => monge_elkan(a, b),
+            SimFunction::MongeElkan => monge_elkan(interner, a, b),
             _ => panic!("{self:?} is not token-based"),
         }
     }

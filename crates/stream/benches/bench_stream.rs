@@ -3,23 +3,28 @@
 //! scaling worker pool, and with/without per-candidate allocation.
 //!
 //! Sections:
-//! 1. sequential per-record ingest latency (incremental blocking +
+//! 1. derivation throughput: the retired string-based per-record caches
+//!    (HashMap token bags, separate blocking-key tokenization — what the
+//!    pre-interning code ran) vs. the one-pass interned derivation, with
+//!    interner size and bytes saved;
+//! 2. sequential per-record ingest latency (incremental blocking +
 //!    frozen-model scoring + cluster assignment);
-//! 2. scoring-loop allocation delta: `raw_row` (one `Vec` per candidate)
+//! 3. scoring-loop allocation delta: `raw_row` (one `Vec` per candidate)
 //!    vs. `raw_row_into` (one reused buffer) over the same pairs;
-//! 3. multi-thread batch-ingest scaling (`ingest_batch_parallel`), with
+//! 4. multi-thread batch-ingest scaling (`ingest_batch_parallel`), with
 //!    a cluster-parity check across thread counts.
 //!
-//! Knobs: `ZEROER_SCALE` (default 0.25, section 1),
-//! `ZEROER_SCALE_PAR` (default 1.0, section 3), `ZEROER_SEED`
+//! Knobs: `ZEROER_SCALE` (default 0.25, sections 1–3),
+//! `ZEROER_SCALE_PAR` (default 1.0, section 4), `ZEROER_SEED`
 //! (default 42), `ZEROER_MAX_THREADS` (default 8).
 
 use std::time::Instant;
 use zeroer_datagen::generate;
 use zeroer_datagen::profiles::rest_fz;
-use zeroer_features::{RecordCache, RowFeaturizer};
-use zeroer_stream::{PipelineSnapshot, StreamOptions, StreamPipeline};
+use zeroer_features::RowFeaturizer;
+use zeroer_stream::{IndexConfig, PipelineSnapshot, StreamOptions, StreamPipeline};
 use zeroer_tabular::{Record, Table};
+use zeroer_textsim::derive::{DerivedRecord, Deriver};
 
 fn env_f64(key: &str, default: f64) -> f64 {
     std::env::var(key)
@@ -48,27 +53,182 @@ fn cold(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
     p
 }
 
+/// The pre-interning per-record derivation work, reproduced verbatim for
+/// the before/after comparison: one `HashMap<String, u32>` bag per
+/// tokenizer per attribute plus a separate string-keyed blocking-key
+/// extraction (`normalize` ran up to three times per value).
+mod reference {
+    use std::collections::HashMap;
+    use zeroer_tabular::Record;
+
+    pub fn normalize(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut last_space = true;
+        for ch in s.chars() {
+            if ch.is_alphanumeric() {
+                out.extend(ch.to_lowercase());
+                last_space = false;
+            } else if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out
+    }
+
+    pub fn words(s: &str) -> HashMap<String, u32> {
+        let mut bag = HashMap::new();
+        for t in normalize(s).split(' ').filter(|w| !w.is_empty()) {
+            *bag.entry(t.to_string()).or_insert(0) += 1;
+        }
+        bag
+    }
+
+    pub fn qgrams(s: &str, q: usize) -> HashMap<String, u32> {
+        let norm = normalize(s);
+        let mut bag = HashMap::new();
+        if norm.is_empty() {
+            return bag;
+        }
+        let pad = "#".repeat(q - 1);
+        let padded: Vec<char> = format!("{pad}{norm}{pad}").chars().collect();
+        for w in padded.windows(q) {
+            *bag.entry(w.iter().collect::<String>()).or_insert(0) += 1;
+        }
+        bag
+    }
+
+    /// Lowercased text plus the 3-gram and word bags of one attribute.
+    pub type OldAttr = (String, HashMap<String, u32>, HashMap<String, u32>);
+
+    /// One record's worth of the old cache + blocking-key work.
+    pub struct OldCache {
+        pub bags: Vec<OldAttr>,
+        pub token_keys: Vec<String>,
+        pub qgram_keys: Vec<String>,
+    }
+
+    pub fn build(record: &Record, block_attr: usize, block_q: usize) -> OldCache {
+        let bags = record
+            .values
+            .iter()
+            .map(|v| {
+                let t = v.as_text().unwrap_or_default();
+                (t.to_lowercase(), qgrams(&t, 3), words(&t))
+            })
+            .collect();
+        let (token_keys, qgram_keys) = match record.values[block_attr].as_text() {
+            None => (Vec::new(), Vec::new()),
+            Some(t) => {
+                let mut tk: Vec<String> = words(&t).into_keys().filter(|k| k.len() > 1).collect();
+                tk.sort();
+                let mut qk: Vec<String> = qgrams(&t, block_q).into_keys().collect();
+                qk.sort();
+                (tk, qk)
+            }
+        };
+        OldCache {
+            bags,
+            token_keys,
+            qgram_keys,
+        }
+    }
+
+    /// Bytes of token text the old representation stored for one record
+    /// (every bag and key list owned its strings).
+    pub fn token_bytes(c: &OldCache) -> usize {
+        let mut b = 0;
+        for (_, qgm, word) in &c.bags {
+            b += qgm.keys().map(String::len).sum::<usize>();
+            b += word.keys().map(String::len).sum::<usize>();
+        }
+        b += c.token_keys.iter().map(String::len).sum::<usize>();
+        b += c.qgram_keys.iter().map(String::len).sum::<usize>();
+        b
+    }
+}
+
 fn main() {
     let scale = env_f64("ZEROER_SCALE", 0.25);
     let scale_par = env_f64("ZEROER_SCALE_PAR", 1.0);
     let seed = env_f64("ZEROER_SEED", 42.0) as u64;
     let max_threads = env_f64("ZEROER_MAX_THREADS", 8.0) as usize;
 
-    // ---- Section 1: sequential per-record ingest -------------------
     let (boot, tail) = split(scale, seed);
-    println!("== bench_stream: incremental ingest throughput ==");
+    let all: Vec<Record> = boot
+        .records()
+        .iter()
+        .cloned()
+        .chain(tail.iter().cloned())
+        .collect();
+
+    // ---- Section 1: derivation throughput -------------------------
+    println!("== bench_stream ==");
     println!(
         "dataset Rest-FZ at scale {scale}: {} records, bootstrap on {}\n",
-        boot.len() + tail.len(),
+        all.len(),
         boot.len()
     );
+    let cfg = IndexConfig::default();
+    let reps = (20_000 / all.len().max(1)).max(1);
+    println!(
+        "== derivation: string-based caches vs one-pass interned ({} records × {reps} reps) ==",
+        all.len()
+    );
 
+    let t_ref = Instant::now();
+    let mut naive_bytes = 0usize;
+    for rep in 0..reps {
+        for r in &all {
+            let c = reference::build(r, cfg.attr, cfg.qgram);
+            if rep == 0 {
+                naive_bytes += reference::token_bytes(&c);
+            }
+            std::hint::black_box(&c);
+        }
+    }
+    let ref_secs = t_ref.elapsed().as_secs_f64();
+
+    let t_new = Instant::now();
+    let mut last: Option<(Deriver, Vec<DerivedRecord>)> = None;
+    for _ in 0..reps {
+        let mut deriver = Deriver::new(cfg.derive_config());
+        let derived: Vec<DerivedRecord> = all.iter().map(|r| deriver.derive(&r.values)).collect();
+        last = Some((deriver, derived));
+    }
+    let new_secs = t_new.elapsed().as_secs_f64();
+    let (deriver, _derived) = last.expect("at least one rep");
+
+    let per = (all.len() * reps) as f64;
+    println!(
+        "string-based caches (reference): {:.0} records/s ({:.1} µs/record)",
+        per / ref_secs,
+        ref_secs * 1e6 / per
+    );
+    println!(
+        "one-pass interned derivation:    {:.0} records/s ({:.1} µs/record) → {:.2}×",
+        per / new_secs,
+        new_secs * 1e6 / per,
+        ref_secs / new_secs
+    );
+    println!(
+        "interner: {} distinct tokens, {} bytes; string-bag token storage: {} bytes ({:.1}% saved)\n",
+        deriver.interner().len(),
+        deriver.interner().bytes(),
+        naive_bytes,
+        100.0 * (1.0 - deriver.interner().bytes() as f64 / naive_bytes.max(1) as f64)
+    );
+
+    // ---- Section 2: sequential per-record ingest -------------------
     let t0 = Instant::now();
     let (mut pipeline, report) =
         StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
     let bootstrap_secs = t0.elapsed().as_secs_f64();
     println!(
-        "bootstrap: {:.3} s ({} candidate pairs, {} EM iterations)",
+        "== sequential ingest (bootstrap: {:.3} s, {} candidate pairs, {} EM iterations) ==",
         bootstrap_secs,
         report.pairs.len(),
         report.em_iterations
@@ -98,24 +258,30 @@ fn main() {
         pipeline.clusters().len()
     );
 
-    // ---- Section 2: scoring-loop allocation delta ------------------
+    // ---- Section 3: scoring-loop allocation delta ------------------
     // Same feature rows, same scorer; the only difference is one Vec
     // allocation per candidate (raw_row) vs. one reused buffer
     // (raw_row_into, what ingest actually runs).
     let snap = pipeline.snapshot();
     let featurizer = RowFeaturizer::new(&snap.attr_types);
     let scorer = snap.model.scorer().expect("snapshot scorer");
-    let caches: Vec<RecordCache> = boot.records().iter().map(RecordCache::build).collect();
+    let mut score_deriver = Deriver::new(cfg.derive_config());
+    let caches: Vec<DerivedRecord> = boot
+        .records()
+        .iter()
+        .map(|r| score_deriver.derive(&r.values))
+        .collect();
+    let interner = score_deriver.interner();
     let pairs: Vec<(usize, usize)> = (0..caches.len().saturating_sub(1))
         .map(|i| (i, i + 1))
         .collect();
-    let reps = (20_000 / pairs.len().max(1)).max(1);
+    let score_reps = (20_000 / pairs.len().max(1)).max(1);
 
     let t2 = Instant::now();
     let mut acc_alloc = 0.0f64;
-    for _ in 0..reps {
+    for _ in 0..score_reps {
         for &(i, j) in &pairs {
-            let mut row = featurizer.raw_row(&caches[i], &caches[j]);
+            let mut row = featurizer.raw_row(interner, &caches[i], &caches[j]);
             acc_alloc += scorer.score_raw(&mut row);
         }
     }
@@ -124,18 +290,18 @@ fn main() {
     let t3 = Instant::now();
     let mut acc_reuse = 0.0f64;
     let mut buf: Vec<f64> = Vec::new();
-    for _ in 0..reps {
+    for _ in 0..score_reps {
         for &(i, j) in &pairs {
-            featurizer.raw_row_into(&caches[i], &caches[j], &mut buf);
+            featurizer.raw_row_into(interner, &caches[i], &caches[j], &mut buf);
             acc_reuse += scorer.score_raw(&mut buf);
         }
     }
     let reuse_secs = t3.elapsed().as_secs_f64();
     assert_eq!(acc_alloc.to_bits(), acc_reuse.to_bits(), "paths must agree");
-    let per = (pairs.len() * reps) as f64;
+    let per = (pairs.len() * score_reps) as f64;
     println!(
         "== scoring-loop allocation delta ({} scores) ==",
-        pairs.len() * reps
+        pairs.len() * score_reps
     );
     println!(
         "raw_row (alloc/candidate): {:.3} µs/score | raw_row_into (reused buffer): {:.3} µs/score → {:+.1} %\n",
@@ -144,7 +310,7 @@ fn main() {
         (reuse_secs / alloc_secs - 1.0) * 100.0
     );
 
-    // ---- Section 3: multi-thread batch-ingest scaling --------------
+    // ---- Section 4: multi-thread batch-ingest scaling --------------
     let (boot_par, tail_par) = split(scale_par, seed);
     let (fitted, _) =
         StreamPipeline::bootstrap(&boot_par, StreamOptions::default()).expect("bootstrap");

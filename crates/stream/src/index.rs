@@ -7,9 +7,12 @@
 //!
 //! [`IncrementalIndex`] mirrors the batch dedup recipe the high-level
 //! pipeline uses — the union of word-token blocking and character q-gram
-//! blocking on one key attribute (`TokenBlocker ∪ QgramBlocker`) — using
-//! the *same* key extraction ([`zeroer_blocking::keys`]), so batch and
-//! incremental candidate sets cannot drift apart.
+//! blocking on one key attribute (`TokenBlocker ∪ QgramBlocker`) — and
+//! consumes the *same* blocking keys the batch blockers do: interned
+//! symbols extracted by the record-derivation layer
+//! (`zeroer_textsim::derive`), so batch and incremental candidate sets
+//! cannot drift apart. Buckets are keyed by [`Sym`], not strings — no key
+//! text is duplicated into the index.
 //!
 //! ## Frequency cap
 //!
@@ -23,9 +26,10 @@
 //! `max_bucket·(max_bucket−1)/2` extra pairs per hot key, and none on
 //! datasets where no bucket overflows; see the parity tests).
 
+use crate::shard::RecordKeys;
 use std::collections::HashMap;
-use zeroer_blocking::keys::{qgram_keys, token_keys};
-use zeroer_tabular::Record;
+use zeroer_textsim::derive::{BlockSpec, DeriveConfig};
+use zeroer_textsim::intern::Sym;
 
 /// Configuration for [`IncrementalIndex`], mirroring the defaults of the
 /// batch pipeline's blocker (`MatchOptions`).
@@ -54,6 +58,25 @@ impl Default for IndexConfig {
     }
 }
 
+impl IndexConfig {
+    /// Whether the q-gram leg is active under this configuration.
+    pub fn has_qgram_leg(&self) -> bool {
+        self.min_token_overlap <= 1 && self.qgram > 0
+    }
+
+    /// The derivation configuration that extracts exactly the blocking
+    /// keys this index consumes.
+    pub fn derive_config(&self) -> DeriveConfig {
+        DeriveConfig {
+            block: Some(BlockSpec {
+                attr: self.attr,
+                qgram: if self.has_qgram_leg() { self.qgram } else { 0 },
+                equiv: false,
+            }),
+        }
+    }
+}
+
 /// One inverted-index bucket: live members, or retired after crossing the
 /// frequency cap.
 #[derive(Debug, Clone)]
@@ -62,13 +85,31 @@ enum Bucket {
     Dead,
 }
 
-/// One blocking leg: an inverted index with the frequency cap. Shared by
-/// the unsharded [`IncrementalIndex`] and the key-space shards of
-/// [`crate::shard::ShardedIndex`] — each key's bucket evolves identically
-/// no matter which structure owns it.
+/// Live/retired bucket counts of one blocking leg.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LegStats {
+    /// Buckets still pairing.
+    pub live: usize,
+    /// Buckets retired by the frequency cap.
+    pub retired: usize,
+}
+
+/// Bucket statistics of an incremental index, per leg.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// The word-token leg.
+    pub token: LegStats,
+    /// The q-gram leg (all zeros when disabled).
+    pub qgram: LegStats,
+}
+
+/// One blocking leg: an inverted index with the frequency cap, keyed by
+/// interned symbol. Shared by the unsharded [`IncrementalIndex`] and the
+/// key-space shards of [`crate::shard::ShardedIndex`] — each key's bucket
+/// evolves identically no matter which structure owns it.
 #[derive(Debug, Clone)]
 pub(crate) struct Leg {
-    buckets: HashMap<String, Bucket>,
+    buckets: HashMap<Sym, Bucket>,
     max_bucket: usize,
 }
 
@@ -81,14 +122,8 @@ impl Leg {
     }
 
     /// Collects the members sharing `key` into `counts`, then inserts the
-    /// new record under the key. Takes the key by value: it is moved into
-    /// the bucket, so steady-state ingest does no per-key cloning.
-    pub(crate) fn insert_key(
-        &mut self,
-        idx: usize,
-        key: String,
-        counts: &mut HashMap<usize, usize>,
-    ) {
+    /// new record under the key.
+    pub(crate) fn insert_key(&mut self, idx: usize, key: Sym, counts: &mut HashMap<usize, usize>) {
         let bucket = self
             .buckets
             .entry(key)
@@ -115,12 +150,31 @@ impl Leg {
     pub(crate) fn lookup_and_insert(
         &mut self,
         idx: usize,
-        keys: Vec<String>,
+        keys: impl IntoIterator<Item = Sym>,
         counts: &mut HashMap<usize, usize>,
     ) {
         for key in keys {
             self.insert_key(idx, key, counts);
         }
+    }
+
+    /// Live/retired bucket counts.
+    pub(crate) fn stats(&self) -> LegStats {
+        let mut s = LegStats::default();
+        for b in self.buckets.values() {
+            match b {
+                Bucket::Live(_) => s.live += 1,
+                Bucket::Dead => s.retired += 1,
+            }
+        }
+        s
+    }
+
+    /// Merges another leg's stats into an accumulator (sharded form).
+    pub(crate) fn accumulate_stats(&self, acc: &mut LegStats) {
+        let s = self.stats();
+        acc.live += s.live;
+        acc.retired += s.retired;
     }
 }
 
@@ -145,8 +199,8 @@ pub(crate) fn merge_candidates(
 }
 
 /// Online inverted token + q-gram indexes over one key attribute;
-/// `insert` returns blocking candidates among previously inserted
-/// records.
+/// `insert_keys` consumes a record's derived blocking keys and returns
+/// blocking candidates among previously inserted records.
 #[derive(Debug, Clone)]
 pub struct IncrementalIndex {
     cfg: IndexConfig,
@@ -162,7 +216,7 @@ impl IncrementalIndex {
     /// Panics if `min_token_overlap` is 0.
     pub fn new(cfg: IndexConfig) -> Self {
         assert!(cfg.min_token_overlap >= 1, "overlap must be at least 1");
-        let qgram_leg = if cfg.min_token_overlap <= 1 && cfg.qgram > 0 {
+        let qgram_leg = if cfg.has_qgram_leg() {
             Some(Leg::new(cfg.max_bucket))
         } else {
             None
@@ -190,33 +244,29 @@ impl IncrementalIndex {
         self.len == 0
     }
 
-    /// Inserts the next record (records must be inserted in store order:
-    /// the i-th call describes record index i) and returns the sorted
-    /// indices of previously inserted records sharing a blocking key.
-    ///
-    /// # Panics
-    /// Panics if the record lacks the key attribute.
-    pub fn insert(&mut self, record: &Record) -> Vec<usize> {
-        assert!(
-            self.cfg.attr < record.values.len(),
-            "blocking attribute {} out of range for arity {}",
-            self.cfg.attr,
-            record.values.len()
-        );
+    /// Live/retired bucket counts per leg.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            token: self.token_leg.stats(),
+            qgram: self.qgram_leg.as_ref().map(Leg::stats).unwrap_or_default(),
+        }
+    }
+
+    /// Inserts the next record's derived blocking keys (records must be
+    /// inserted in store order: the i-th call describes record index i)
+    /// and returns the sorted indices of previously inserted records
+    /// sharing a blocking key.
+    pub fn insert_keys(&mut self, keys: &RecordKeys) -> Vec<usize> {
         let idx = self.len;
         self.len += 1;
-        let text = match record.values[self.cfg.attr].as_text() {
-            Some(t) => t,
-            None => return Vec::new(), // null key: no blocking keys, no candidates
-        };
 
         let mut token_counts: HashMap<usize, usize> = HashMap::new();
         self.token_leg
-            .lookup_and_insert(idx, token_keys(&text), &mut token_counts);
+            .lookup_and_insert(idx, keys.token_syms(), &mut token_counts);
 
         let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
         if let Some(qleg) = &mut self.qgram_leg {
-            qleg.lookup_and_insert(idx, qgram_keys(&text, self.cfg.qgram), &mut qgram_counts);
+            qleg.lookup_and_insert(idx, keys.qgram_syms(), &mut qgram_counts);
         }
 
         merge_candidates(
@@ -231,26 +281,49 @@ impl IncrementalIndex {
 mod tests {
     use super::*;
     use zeroer_tabular::{Record, Value};
+    use zeroer_textsim::derive::Deriver;
+
+    /// Derives records through the shared derivation layer and feeds the
+    /// keys to the index — the miniature of what `StreamPipeline` does.
+    struct Harness {
+        deriver: Deriver,
+        index: IncrementalIndex,
+    }
+
+    impl Harness {
+        fn new(cfg: IndexConfig) -> Self {
+            Self {
+                deriver: Deriver::new(cfg.derive_config()),
+                index: IncrementalIndex::new(cfg),
+            }
+        }
+
+        fn insert(&mut self, record: &Record) -> Vec<usize> {
+            let d = self.deriver.derive(&record.values);
+            let keys = RecordKeys::from_derived(&d, self.deriver.interner());
+            self.index.insert_keys(&keys)
+        }
+    }
 
     fn rec(i: u32, name: &str) -> Record {
         Record::new(i, vec![Value::Str(name.into())])
     }
 
-    fn insert_all(index: &mut IncrementalIndex, names: &[&str]) -> Vec<Vec<usize>> {
+    fn insert_all(h: &mut Harness, names: &[&str]) -> Vec<Vec<usize>> {
         names
             .iter()
             .enumerate()
-            .map(|(i, n)| index.insert(&rec(i as u32, n)))
+            .map(|(i, n)| h.insert(&rec(i as u32, n)))
             .collect()
     }
 
     #[test]
     fn shared_tokens_become_candidates() {
-        let mut index = IncrementalIndex::new(IndexConfig {
+        let mut h = Harness::new(IndexConfig {
             qgram: 0,
             ..Default::default()
         });
-        let out = insert_all(&mut index, &["red apple", "green apple", "blue sky"]);
+        let out = insert_all(&mut h, &["red apple", "green apple", "blue sky"]);
         assert_eq!(out[0], Vec::<usize>::new());
         assert_eq!(out[1], vec![0], "shares 'apple'");
         assert_eq!(out[2], Vec::<usize>::new());
@@ -258,19 +331,19 @@ mod tests {
 
     #[test]
     fn qgram_leg_survives_typos() {
-        let mut index = IncrementalIndex::new(IndexConfig::default());
-        let out = insert_all(&mut index, &["photograph", "fotograph"]);
+        let mut h = Harness::new(IndexConfig::default());
+        let out = insert_all(&mut h, &["photograph", "fotograph"]);
         assert_eq!(out[1], vec![0], "no shared token, but shared q-grams");
     }
 
     #[test]
     fn overlap_mode_requires_multiple_shared_tokens() {
-        let mut index = IncrementalIndex::new(IndexConfig {
+        let mut h = Harness::new(IndexConfig {
             min_token_overlap: 2,
             ..Default::default()
         });
         let out = insert_all(
-            &mut index,
+            &mut h,
             &[
                 "efficient query processing systems",
                 "efficient query optimization",
@@ -283,11 +356,11 @@ mod tests {
 
     #[test]
     fn null_key_is_never_a_candidate() {
-        let mut index = IncrementalIndex::new(IndexConfig::default());
-        index.insert(&rec(0, "some title"));
-        let got = index.insert(&Record::new(1, vec![Value::Null]));
+        let mut h = Harness::new(IndexConfig::default());
+        h.insert(&rec(0, "some title"));
+        let got = h.insert(&Record::new(1, vec![Value::Null]));
         assert!(got.is_empty());
-        let again = index.insert(&rec(2, "some title"));
+        let again = h.insert(&rec(2, "some title"));
         assert_eq!(again, vec![0], "null rows must not poison the index");
     }
 
@@ -298,11 +371,11 @@ mod tests {
             max_bucket: 3,
             ..Default::default()
         };
-        let mut index = IncrementalIndex::new(cfg);
+        let mut h = Harness::new(cfg);
         // Every record shares the token "the"; items are unique.
         let names: Vec<String> = (0..6).map(|i| format!("the item{i}")).collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let out = insert_all(&mut index, &refs);
+        let out = insert_all(&mut h, &refs);
         // First three inserts pair within the cap...
         assert_eq!(out[1], vec![0]);
         assert_eq!(out[2], vec![0, 1]);
@@ -310,5 +383,8 @@ mod tests {
         assert_eq!(out[3], Vec::<usize>::new());
         assert_eq!(out[4], Vec::<usize>::new());
         assert_eq!(out[5], Vec::<usize>::new());
+        let stats = h.index.stats();
+        assert_eq!(stats.token.retired, 1, "the 'the' bucket is retired");
+        assert_eq!(stats.token.live, 6, "one live bucket per unique item");
     }
 }

@@ -56,8 +56,10 @@ pub mod shard;
 pub mod snapshot;
 pub mod store;
 
-pub use index::{IncrementalIndex, IndexConfig};
-pub use pipeline::{BootstrapReport, IngestOutcome, StreamError, StreamOptions, StreamPipeline};
+pub use index::{IncrementalIndex, IndexConfig, IndexStats, LegStats};
+pub use pipeline::{
+    BootstrapReport, IngestOutcome, StreamError, StreamOptions, StreamPipeline, StreamStats,
+};
 pub use shard::{RecordKeys, ShardedIndex, DEFAULT_SHARDS};
 pub use snapshot::PipelineSnapshot;
 pub use store::EntityStore;

@@ -2,17 +2,19 @@
 //! sequentially one record at a time, or in parallel batches across a
 //! worker pool (see [`StreamPipeline::ingest_batch_parallel`]).
 
-use crate::index::IndexConfig;
+use crate::index::{IndexConfig, IndexStats};
 use crate::shard::{RecordKeys, ShardedIndex};
 use crate::snapshot::PipelineSnapshot;
 use crate::store::EntityStore;
 use std::sync::Mutex;
-use zeroer_blocking::{standard_recipe, Blocker, PairMode};
+use zeroer_blocking::{standard_candidates_derived, PairMode};
 use zeroer_core::{
     GenerativeModel, ModelSnapshot, SnapshotScorer, TransitivityCalibrator, ZeroErConfig,
 };
-use zeroer_features::{PairFeaturizer, RecordCache, RowFeaturizer};
+use zeroer_features::{PairFeaturizer, RowFeaturizer};
 use zeroer_tabular::{Record, Table};
+use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
+use zeroer_textsim::intern::{Interner, Sym};
 
 /// The machine's available parallelism — the default for the `--threads`
 /// ingest flag and [`StreamPipeline::ingest_batch_parallel`] callers that
@@ -84,15 +86,6 @@ impl StreamOptions {
             min_token_overlap: self.min_token_overlap,
         }
     }
-
-    fn batch_blocker(&self) -> Box<dyn Blocker + Send + Sync> {
-        standard_recipe(
-            self.blocking_attr,
-            self.min_token_overlap,
-            self.qgram,
-            self.max_bucket,
-        )
-    }
 }
 
 /// What the bootstrap batch fit produced (the same shape `dedup_table`
@@ -132,6 +125,20 @@ impl IngestOutcome {
     }
 }
 
+/// Blocking / derivation observability counters (`zeroer ... --stats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Distinct tokens in the store interner.
+    pub interned_tokens: usize,
+    /// Bytes of distinct token text stored (each token once).
+    pub interned_bytes: usize,
+    /// Live/retired bucket counts per blocking leg.
+    pub index: IndexStats,
+    /// Candidate pairs generated so far (bootstrap blocking + every
+    /// ingest's blocking lookups).
+    pub candidate_pairs: usize,
+}
+
 /// Incremental entity resolution on top of a frozen batch-fitted model:
 /// ingest records one at a time, find candidates via incremental blocking
 /// indexes, score them with snapshot inference (no EM), and maintain
@@ -146,6 +153,8 @@ pub struct StreamPipeline {
     /// (parallel workers carry their own), keeping steady-state scoring
     /// allocation-free.
     scratch: Vec<f64>,
+    /// Candidate pairs generated so far (see [`StreamStats`]).
+    candidates_seen: usize,
     /// Bootstrap provenance: how many records the model was fitted on,
     /// which pairs were merged at fit time, and a digest of those
     /// records; persisted into the snapshot so `seed_base` can replay
@@ -187,20 +196,22 @@ fn records_digest(records: &[Record]) -> u64 {
 }
 
 /// Scores `candidates` (cluster-state-independent: features depend only
-/// on the two records) against the new record's cache, returning the
+/// on the two records) against the new record's derivation, returning the
 /// `(candidate, posterior)` pairs above `threshold`, sorted by descending
 /// posterior (stable, so ties keep ascending candidate order).
 ///
 /// Both the sequential and the parallel ingest paths call this single
 /// function on identical inputs, which is what makes parallel ingest
 /// bit-identical to sequential ingest.
+#[allow(clippy::too_many_arguments)]
 fn score_candidates<'a>(
     featurizer: &RowFeaturizer,
     scorer: &SnapshotScorer,
+    interner: &Interner,
     threshold: f64,
     candidates: &[usize],
-    cache_of: &dyn Fn(usize) -> &'a RecordCache,
-    new_cache: &RecordCache,
+    derived_of: &dyn Fn(usize) -> &'a DerivedRecord,
+    new_derived: &DerivedRecord,
     buf: &mut Vec<f64>,
 ) -> Vec<(usize, f64)> {
     let mut matches: Vec<(usize, f64)> = Vec::new();
@@ -208,7 +219,7 @@ fn score_candidates<'a>(
         // Feature rows are oriented (older, newer) to mirror the batch
         // dedup convention of (i, j) with i < j — a few of the similarity
         // measures (e.g. Monge-Elkan) are asymmetric.
-        featurizer.raw_row_into(cache_of(c), new_cache, buf);
+        featurizer.raw_row_into(interner, derived_of(c), new_derived, buf);
         let p = scorer.score_raw(buf);
         if p > threshold {
             matches.push((c, p));
@@ -225,21 +236,31 @@ impl StreamPipeline {
     /// into a snapshot, seeds the store/indexes with the initial records,
     /// and applies the batch match decisions to the cluster index.
     ///
+    /// The initial records are derived exactly **once**: the featurizer's
+    /// derivation (which also carries the blocking keys) feeds batch
+    /// blocking, feature generation, the index seed, and is then handed
+    /// to the entity store together with its interner.
+    ///
     /// # Errors
     /// Fails when `initial` yields no candidate pairs (nothing to fit).
     pub fn bootstrap(
         initial: &Table,
         opts: StreamOptions,
     ) -> Result<(Self, BootstrapReport), StreamError> {
-        let cs = opts
-            .batch_blocker()
-            .candidates(initial, initial, PairMode::Dedup);
+        let index_cfg = opts.index_config();
+        let fz = PairFeaturizer::with_config(initial, initial, index_cfg.derive_config());
+        let cs = standard_candidates_derived(
+            fz.left_derived(),
+            None,
+            PairMode::Dedup,
+            opts.min_token_overlap,
+            opts.max_bucket,
+        );
         if cs.is_empty() {
             return Err(StreamError(
                 "bootstrap produced no candidate pairs; nothing to fit a model on".into(),
             ));
         }
-        let fz = PairFeaturizer::new(initial, initial);
         let mut fs = fz.featurize(cs.pairs());
         fs.normalize();
 
@@ -254,11 +275,16 @@ impl StreamPipeline {
         let featurizer = RowFeaturizer::new(fz.attr_types());
         debug_assert_eq!(featurizer.dim(), snapshot.dim());
 
-        let mut store = EntityStore::new(initial.schema().clone());
-        let mut index = ShardedIndex::new(opts.index_config());
-        for r in initial.records() {
-            index.insert(r);
-            store.push(r.clone());
+        // Hand the featurizer's derivation (and interner) to the store —
+        // no record is derived twice — and seed the blocking index from
+        // the derived keys.
+        let (interner, derived) = fz.into_parts();
+        let mut store =
+            EntityStore::from_derived(initial, interner, derived, index_cfg.derive_config());
+        let mut index = ShardedIndex::new(index_cfg);
+        for i in 0..store.len() {
+            let keys = RecordKeys::from_derived(store.derived(i), store.interner());
+            index.insert_keys(keys);
         }
 
         // Cluster merges use the same `p > threshold` criterion ingest
@@ -286,6 +312,7 @@ impl StreamPipeline {
         Ok((
             Self {
                 opts,
+                candidates_seen: cs.pairs().len(),
                 base_len: store.len(),
                 base_matches,
                 base_digest: records_digest(initial.records()),
@@ -327,12 +354,13 @@ impl StreamPipeline {
             threshold,
         };
         Ok(Self {
-            store: EntityStore::new(snap.to_schema()),
+            store: EntityStore::new(snap.to_schema(), snap.index.derive_config()),
             index: ShardedIndex::new(snap.index.clone()),
             featurizer,
             scorer,
             opts,
             scratch: Vec::new(),
+            candidates_seen: 0,
             base_len: snap.bootstrap_len,
             base_matches: snap.bootstrap_pairs.clone(),
             base_digest: snap.bootstrap_digest,
@@ -392,8 +420,10 @@ impl StreamPipeline {
             ));
         }
         for r in base.records() {
-            self.index.insert(r);
-            self.store.push(r.clone());
+            let derived = self.store.derive(r);
+            let keys = RecordKeys::from_derived(&derived, self.store.interner());
+            self.index.insert_keys(keys);
+            self.store.push_derived(r.clone(), derived);
         }
         for &(a, b) in &self.base_matches {
             self.store.merge(a, b);
@@ -425,8 +455,19 @@ impl StreamPipeline {
         self.store.is_empty()
     }
 
-    /// Ingests one record: incremental blocking → frozen-model scoring of
-    /// every candidate → entity assignment. Runs **zero** EM iterations.
+    /// Derivation and blocking observability counters.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            interned_tokens: self.store.interner().len(),
+            interned_bytes: self.store.interner().bytes(),
+            index: self.index.stats(),
+            candidate_pairs: self.candidates_seen,
+        }
+    }
+
+    /// Ingests one record: one derivation pass → incremental blocking →
+    /// frozen-model scoring of every candidate → entity assignment. Runs
+    /// **zero** EM iterations.
     ///
     /// The record joins the cluster of every candidate scoring above the
     /// threshold (all of them — transitivity then merges those clusters),
@@ -444,18 +485,22 @@ impl StreamPipeline {
             record.values.len(),
             self.store.table().schema().arity()
         );
-        let candidates = self.index.insert(&record);
-        let idx = self.store.push(record);
+        let derived = self.store.derive(&record);
+        let keys = RecordKeys::from_derived(&derived, self.store.interner());
+        let candidates = self.index.insert_keys(keys);
+        self.candidates_seen += candidates.len();
+        let idx = self.store.push_derived(record, derived);
         debug_assert_eq!(self.index.len(), self.store.len());
 
         let store = &self.store;
         let matches = score_candidates(
             &self.featurizer,
             &self.scorer,
+            store.interner(),
             self.opts.threshold,
             &candidates,
-            &|c| store.cache(c),
-            store.cache(idx),
+            &|c| store.derived(c),
+            store.derived(idx),
             &mut self.scratch,
         );
         for &(c, _) in &matches {
@@ -487,10 +532,14 @@ impl StreamPipeline {
     /// embarrassingly parallel: candidate generation depends only on
     /// previously inserted records (parallelized across index key-space
     /// shards), and candidate scoring is read-only against the snapshot
-    /// (parallelized across records with per-worker buffers). Only the
-    /// cluster union is a write, and a single writer applies those
-    /// decisions in ingest order as the final step — so the union-find
-    /// evolves through exactly the sequential sequence of states.
+    /// (parallelized across records with per-worker buffers). The two
+    /// writes are serialized: fresh tokens discovered by the workers'
+    /// scratch interners are committed into the store interner in ingest
+    /// order (reproducing the sequential symbol numbering exactly — see
+    /// `zeroer_textsim::derive`), and a single writer applies the match
+    /// decisions in ingest order as the final step — so both the interner
+    /// and the union-find evolve through exactly the sequential sequence
+    /// of states.
     ///
     /// # Panics
     /// Panics if any record's arity does not match the schema (checked
@@ -517,36 +566,53 @@ impl StreamPipeline {
         let n = records.len();
         let base = self.store.len();
 
-        // Phase 1 (parallel over records): build each record's derived
-        // cache and blocking keys — the tokenization-heavy, state-free
-        // work.
-        let cfg = self.index.config().clone();
-        let mut caches: Vec<Option<RecordCache>> = (0..n).map(|_| None).collect();
-        let mut keys: Vec<RecordKeys> = (0..n).map(|_| RecordKeys::default()).collect();
+        // Phase 1 (parallel over records): derive each record — the
+        // tokenization-heavy work — against a frozen snapshot of the
+        // store interner, parking unseen tokens in per-worker scratch
+        // tables.
+        let cfg = self.store.derive_config();
         let chunk = n.div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for ((rec_chunk, cache_chunk), key_chunk) in records
-                .chunks(chunk)
-                .zip(caches.chunks_mut(chunk))
-                .zip(keys.chunks_mut(chunk))
-            {
-                let cfg = &cfg;
-                scope.spawn(move |_| {
-                    for ((r, c), k) in rec_chunk.iter().zip(cache_chunk).zip(key_chunk) {
-                        *c = Some(RecordCache::build(r));
-                        *k = RecordKeys::extract(r, cfg);
-                    }
-                });
+        let mut scratch_chunks: Vec<(Vec<ScratchDerived>, Vec<String>)> = {
+            let interner = self.store.interner();
+            let mut chunks: Vec<Option<(Vec<ScratchDerived>, Vec<String>)>> =
+                (0..records.chunks(chunk).len()).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                for (rec_chunk, out) in records.chunks(chunk).zip(chunks.iter_mut()) {
+                    let cfg = &cfg;
+                    scope.spawn(move |_| {
+                        let mut deriver = ScratchDeriver::new(interner, cfg.clone());
+                        let derived: Vec<ScratchDerived> = rec_chunk
+                            .iter()
+                            .map(|r| deriver.derive(&r.values))
+                            .collect();
+                        *out = Some((derived, deriver.into_texts()));
+                    });
+                }
+            })
+            .expect("derivation worker panicked");
+            chunks
+                .into_iter()
+                .map(|c| c.expect("filled above"))
+                .collect()
+        };
+
+        // Commit (sequential, single writer, ingest order): intern each
+        // record's fresh tokens — reproducing the sequential symbol
+        // numbering — and rebind its derivation onto global symbols.
+        let mut derived: Vec<DerivedRecord> = Vec::with_capacity(n);
+        let mut keys: Vec<RecordKeys> = Vec::with_capacity(n);
+        for (chunk_derived, texts) in scratch_chunks.drain(..) {
+            let mut map: Vec<Option<Sym>> = vec![None; texts.len()];
+            for sd in chunk_derived {
+                let rec = sd.commit(&texts, &mut map, self.store.interner_mut());
+                keys.push(RecordKeys::from_derived(&rec, self.store.interner()));
+                derived.push(rec);
             }
-        })
-        .expect("cache/key worker panicked");
-        let caches: Vec<RecordCache> = caches
-            .into_iter()
-            .map(|c| c.expect("filled above"))
-            .collect();
+        }
 
         // Phase 2 (parallel over index shards): candidate generation.
         let candidates = self.index.insert_batch(keys, threads);
+        self.candidates_seen += candidates.iter().map(Vec::len).sum::<usize>();
 
         // Phase 3 (parallel over records, work-stealing queue): frozen-
         // model scoring. Chunks are small so a record with many
@@ -569,7 +635,7 @@ impl StreamPipeline {
                 for _ in 0..threads {
                     let queue = &queue;
                     let candidates = &candidates;
-                    let caches = &caches;
+                    let derived = &derived;
                     scope.spawn(move |_| {
                         let mut buf: Vec<f64> = Vec::new();
                         loop {
@@ -580,16 +646,17 @@ impl StreamPipeline {
                                 *slot = score_candidates(
                                     featurizer,
                                     scorer,
+                                    store.interner(),
                                     threshold,
                                     &candidates[i],
                                     &|c| {
                                         if c < base {
-                                            store.cache(c)
+                                            store.derived(c)
                                         } else {
-                                            &caches[c - base]
+                                            &derived[c - base]
                                         }
                                     },
-                                    &caches[i],
+                                    &derived[i],
                                     &mut buf,
                                 );
                             }
@@ -604,13 +671,13 @@ impl StreamPipeline {
         // ingest order — the union-find passes through exactly the states
         // sequential ingest would produce.
         let mut outcomes = Vec::with_capacity(n);
-        for (((record, cache), matches), cands) in records
+        for (((record, rec_derived), matches), cands) in records
             .into_iter()
-            .zip(caches)
+            .zip(derived)
             .zip(matches)
             .zip(&candidates)
         {
-            let idx = self.store.push_with_cache(record, cache);
+            let idx = self.store.push_derived(record, rec_derived);
             for &(c, _) in &matches {
                 self.store.merge(idx, c);
             }
@@ -722,5 +789,23 @@ mod tests {
         // and last characters, no common interior runs).
         let t = read_table("t", "name\nnorth\nquail\n").unwrap();
         assert!(StreamPipeline::bootstrap(&t, StreamOptions::default()).is_err());
+    }
+
+    #[test]
+    fn stats_report_interner_and_blocking_counters() {
+        let (mut p, report) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        let s0 = p.stats();
+        assert!(s0.interned_tokens > 0);
+        assert!(s0.interned_bytes > 0);
+        assert_eq!(s0.candidate_pairs, report.pairs.len());
+        assert!(s0.index.token.live > 0);
+
+        p.ingest(rec(400, "Golden Dragon Palace", "new york"));
+        let s1 = p.stats();
+        assert!(
+            s1.candidate_pairs > s0.candidate_pairs,
+            "ingest candidates are counted"
+        );
     }
 }

@@ -2,11 +2,14 @@
 //!
 //! [`ShardedIndex`] splits the blocking key-space — *not* the record
 //! space — across `S` independent shards by a stable FNV-1a hash of the
-//! key string. Every shard holds the full inverted-index machinery
-//! ([`crate::index::Leg`]) for the keys it owns, so a bucket's lifetime
-//! (membership order, frequency-cap retirement) is byte-identical to the
-//! unsharded [`crate::IncrementalIndex`]: a key's bucket sees exactly the
-//! same insert sequence no matter which shard owns it or how many shards
+//! key **text** (never the symbol id: symbol numbering depends on intern
+//! order, text does not, so placement is identical across processes,
+//! thread counts, and interner histories). Every shard holds the full
+//! inverted-index machinery ([`crate::index::Leg`]) for the keys it
+//! owns, so a bucket's lifetime (membership order, frequency-cap
+//! retirement) is byte-identical to the unsharded
+//! [`crate::IncrementalIndex`]: a key's bucket sees exactly the same
+//! insert sequence no matter which shard owns it or how many shards
 //! exist.
 //!
 //! ## Why this is exactly equivalent to the unsharded index
@@ -23,16 +26,16 @@
 //! ## Parallel batch ingest
 //!
 //! [`ShardedIndex::insert_batch`] processes a whole batch with a worker
-//! pool: keys are routed to their shards up front, each worker walks its
-//! shards' records *in batch order* (preserving per-bucket insertion
-//! order), and the per-shard partial results are then merged per record.
-//! Because shards share no keys, no locks are needed — each worker
-//! mutates only its own shards.
+//! pool: keys are routed to their shards up front (by the hash memoized
+//! in [`RecordKeys`]), each worker walks its shards' records *in batch
+//! order* (preserving per-bucket insertion order), and the per-shard
+//! partial results are then merged per record. Because shards share no
+//! keys, no locks are needed — each worker mutates only its own shards.
 
-use crate::index::{merge_candidates, IndexConfig, Leg};
+use crate::index::{merge_candidates, IndexConfig, IndexStats, Leg};
 use std::collections::HashMap;
-use zeroer_blocking::keys::{qgram_keys, token_keys};
-use zeroer_tabular::Record;
+use zeroer_textsim::derive::DerivedRecord;
+use zeroer_textsim::intern::{fnv1a, Interner, Sym};
 
 /// Default shard count for pipelines that do not choose one. Sixteen
 /// shards keep per-shard skew low at every realistic `--threads` setting
@@ -41,53 +44,54 @@ use zeroer_tabular::Record;
 /// load balance.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Stable 64-bit FNV-1a hash of a blocking key. Deliberately *not*
-/// `DefaultHasher`: shard routing must be identical across processes,
-/// platforms, and std versions so that index state rebuilt elsewhere
-/// shards the same way.
+/// Stable 64-bit FNV-1a hash of a blocking key's text. Deliberately
+/// *not* `DefaultHasher`: shard routing must be identical across
+/// processes, platforms, and std versions so that index state rebuilt
+/// elsewhere shards the same way.
 #[inline]
 pub fn stable_key_hash(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in key.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv1a(key)
 }
 
-/// Blocking keys of one record, pre-extracted so the expensive
-/// tokenization happens once (and can happen on a worker pool) no matter
-/// how many shards later consume them.
+/// Blocking keys of one record as `(symbol, text-hash)` pairs — the
+/// symbol keys the index buckets use plus the stable text hash shard
+/// routing uses, both pre-extracted so the expensive derivation happens
+/// once no matter how many shards later consume them.
 #[derive(Debug, Clone, Default)]
 pub struct RecordKeys {
-    token: Vec<String>,
-    qgram: Vec<String>,
+    token: Vec<(Sym, u64)>,
+    qgram: Vec<(Sym, u64)>,
 }
 
 impl RecordKeys {
-    /// Extracts the blocking keys `cfg` implies for `record` (empty when
-    /// the key attribute is null — null rows never block).
-    ///
-    /// # Panics
-    /// Panics if the record lacks the key attribute.
-    pub fn extract(record: &Record, cfg: &IndexConfig) -> Self {
-        assert!(
-            cfg.attr < record.values.len(),
-            "blocking attribute {} out of range for arity {}",
-            cfg.attr,
-            record.values.len()
-        );
-        match record.values[cfg.attr].as_text() {
-            None => Self::default(),
-            Some(text) => Self {
-                token: token_keys(&text),
-                qgram: if cfg.min_token_overlap <= 1 && cfg.qgram > 0 {
-                    qgram_keys(&text, cfg.qgram)
-                } else {
-                    Vec::new()
-                },
-            },
+    /// Pairs a derived record's blocking keys with their memoized text
+    /// hashes (empty when the key attribute was null — null rows never
+    /// block). The record must have been derived against `interner`
+    /// (committed, for scratch-derived records).
+    pub fn from_derived(record: &DerivedRecord, interner: &Interner) -> Self {
+        let keys = record.keys();
+        Self {
+            token: keys
+                .tokens
+                .iter()
+                .map(|&s| (s, interner.text_hash(s)))
+                .collect(),
+            qgram: keys
+                .qgrams
+                .iter()
+                .map(|&s| (s, interner.text_hash(s)))
+                .collect(),
         }
+    }
+
+    /// The token-leg key symbols.
+    pub fn token_syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.token.iter().map(|&(s, _)| s)
+    }
+
+    /// The q-gram-leg key symbols.
+    pub fn qgram_syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.qgram.iter().map(|&(s, _)| s)
     }
 }
 
@@ -102,8 +106,8 @@ struct IndexShard {
 /// shared-token counts and q-gram co-members among the shard's keys.
 type ShardPartial = (HashMap<usize, usize>, HashMap<usize, usize>);
 
-/// One record's `(token, qgram)` keys routed to a single shard.
-type ShardJob = (Vec<String>, Vec<String>);
+/// One record's `(token, qgram)` key symbols routed to a single shard.
+type ShardJob = (Vec<Sym>, Vec<Sym>);
 
 /// An [`crate::IncrementalIndex`] with its key-space split across
 /// independent shards, enabling lock-free parallel candidate generation
@@ -132,7 +136,7 @@ impl ShardedIndex {
     pub fn with_shards(cfg: IndexConfig, num_shards: usize) -> Self {
         assert!(num_shards >= 1, "at least one shard required");
         assert!(cfg.min_token_overlap >= 1, "overlap must be at least 1");
-        let has_qgram = cfg.min_token_overlap <= 1 && cfg.qgram > 0;
+        let has_qgram = cfg.has_qgram_leg();
         let shards = (0..num_shards)
             .map(|_| IndexShard {
                 token_leg: Leg::new(cfg.max_bucket),
@@ -170,37 +174,40 @@ impl ShardedIndex {
         self.len == 0
     }
 
+    /// Live/retired bucket counts per leg, aggregated across shards.
+    pub fn stats(&self) -> IndexStats {
+        let mut stats = IndexStats::default();
+        for shard in &self.shards {
+            shard.token_leg.accumulate_stats(&mut stats.token);
+            if let Some(qleg) = &shard.qgram_leg {
+                qleg.accumulate_stats(&mut stats.qgram);
+            }
+        }
+        stats
+    }
+
     #[inline]
-    fn shard_of(&self, key: &str) -> usize {
-        (stable_key_hash(key) % self.shards.len() as u64) as usize
+    fn shard_of(&self, text_hash: u64) -> usize {
+        (text_hash % self.shards.len() as u64) as usize
     }
 
-    /// Inserts the next record (records must be inserted in store order)
-    /// and returns the sorted indices of previously inserted records
-    /// sharing a blocking key — the same contract as
-    /// [`crate::IncrementalIndex::insert`].
-    ///
-    /// # Panics
-    /// Panics if the record lacks the key attribute.
-    pub fn insert(&mut self, record: &Record) -> Vec<usize> {
-        let keys = RecordKeys::extract(record, &self.cfg);
-        self.insert_keys(keys)
-    }
-
-    /// [`ShardedIndex::insert`] with pre-extracted keys.
+    /// Inserts the next record's keys (records must be inserted in store
+    /// order) and returns the sorted indices of previously inserted
+    /// records sharing a blocking key — the same contract as
+    /// [`crate::IncrementalIndex::insert_keys`].
     pub fn insert_keys(&mut self, keys: RecordKeys) -> Vec<usize> {
         let idx = self.len;
         self.len += 1;
         let mut token_counts: HashMap<usize, usize> = HashMap::new();
         let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
-        for key in keys.token {
-            let s = self.shard_of(&key);
+        for (key, h) in keys.token {
+            let s = self.shard_of(h);
             self.shards[s]
                 .token_leg
                 .insert_key(idx, key, &mut token_counts);
         }
-        for key in keys.qgram {
-            let s = self.shard_of(&key);
+        for (key, h) in keys.qgram {
+            let s = self.shard_of(h);
             if let Some(qleg) = &mut self.shards[s].qgram_leg {
                 qleg.insert_key(idx, key, &mut qgram_counts);
             }
@@ -226,23 +233,23 @@ impl ShardedIndex {
         let base = self.len;
         let ns = self.shards.len();
 
-        // Route every key to its owning shard (moves the strings; no
-        // cloning). Per shard, a *sparse* record-ordered job list — a
-        // record appears only in shards that own at least one of its
-        // keys, so memory stays proportional to the key count, not to
-        // shards × batch size. Record order is preserved because keys
-        // are drained record by record.
+        // Route every key symbol to its owning shard. Per shard, a
+        // *sparse* record-ordered job list — a record appears only in
+        // shards that own at least one of its keys, so memory stays
+        // proportional to the key count, not to shards × batch size.
+        // Record order is preserved because keys are drained record by
+        // record.
         let mut jobs: Vec<Vec<(usize, ShardJob)>> = (0..ns).map(|_| Vec::new()).collect();
         for (i, rk) in keys.into_iter().enumerate() {
-            for key in rk.token {
-                let shard_jobs = &mut jobs[self.shard_of(&key)];
+            for (key, h) in rk.token {
+                let shard_jobs = &mut jobs[(h % ns as u64) as usize];
                 match shard_jobs.last_mut() {
                     Some((rec, job)) if *rec == i => job.0.push(key),
                     _ => shard_jobs.push((i, (vec![key], Vec::new()))),
                 }
             }
-            for key in rk.qgram {
-                let shard_jobs = &mut jobs[self.shard_of(&key)];
+            for (key, h) in rk.qgram {
+                let shard_jobs = &mut jobs[(h % ns as u64) as usize];
                 match shard_jobs.last_mut() {
                     Some((rec, job)) if *rec == i => job.1.push(key),
                     _ => shard_jobs.push((i, (Vec::new(), vec![key]))),
@@ -340,9 +347,15 @@ mod tests {
     use super::*;
     use crate::IncrementalIndex;
     use zeroer_tabular::{Record, Value};
+    use zeroer_textsim::derive::Deriver;
 
     fn rec(i: u32, name: &str) -> Record {
         Record::new(i, vec![Value::Str(name.into())])
+    }
+
+    fn keys_of(deriver: &mut Deriver, r: &Record) -> RecordKeys {
+        let d = deriver.derive(&r.values);
+        RecordKeys::from_derived(&d, deriver.interner())
     }
 
     const NAMES: &[&str] = &[
@@ -357,13 +370,15 @@ mod tests {
     #[test]
     fn matches_unsharded_record_by_record() {
         for shards in [1, 2, 3, 7, 16] {
-            let mut sharded = ShardedIndex::with_shards(IndexConfig::default(), shards);
-            let mut flat = IncrementalIndex::new(IndexConfig::default());
+            let cfg = IndexConfig::default();
+            let mut deriver = Deriver::new(cfg.derive_config());
+            let mut sharded = ShardedIndex::with_shards(cfg.clone(), shards);
+            let mut flat = IncrementalIndex::new(cfg);
             for (i, name) in NAMES.iter().enumerate() {
-                let r = rec(i as u32, name);
+                let keys = keys_of(&mut deriver, &rec(i as u32, name));
                 assert_eq!(
-                    sharded.insert(&r),
-                    flat.insert(&r),
+                    sharded.insert_keys(keys.clone()),
+                    flat.insert_keys(&keys),
                     "shards={shards} record={i}"
                 );
             }
@@ -374,20 +389,21 @@ mod tests {
     fn batch_matches_sequential_inserts() {
         for threads in [1, 2, 4] {
             let cfg = IndexConfig::default();
-            let mut seq = ShardedIndex::with_shards(cfg.clone(), 4);
-            let expected: Vec<Vec<usize>> = NAMES
+            let mut deriver = Deriver::new(cfg.derive_config());
+            let all_keys: Vec<RecordKeys> = NAMES
                 .iter()
                 .enumerate()
-                .map(|(i, n)| seq.insert(&rec(i as u32, n)))
+                .map(|(i, n)| keys_of(&mut deriver, &rec(i as u32, n)))
+                .collect();
+
+            let mut seq = ShardedIndex::with_shards(cfg.clone(), 4);
+            let expected: Vec<Vec<usize>> = all_keys
+                .iter()
+                .map(|k| seq.insert_keys(k.clone()))
                 .collect();
 
             let mut batch = ShardedIndex::with_shards(cfg.clone(), 4);
-            let keys: Vec<RecordKeys> = NAMES
-                .iter()
-                .enumerate()
-                .map(|(i, n)| RecordKeys::extract(&rec(i as u32, n), &cfg))
-                .collect();
-            let got = batch.insert_batch(keys, threads);
+            let got = batch.insert_batch(all_keys, threads);
             assert_eq!(got, expected, "threads={threads}");
             assert_eq!(batch.len(), seq.len());
         }
@@ -396,26 +412,28 @@ mod tests {
     #[test]
     fn batch_continues_an_existing_index() {
         let cfg = IndexConfig::default();
+        let mut deriver = Deriver::new(cfg.derive_config());
+        let all_keys: Vec<RecordKeys> = NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, n)| keys_of(&mut deriver, &rec(i as u32, n)))
+            .collect();
         let mut seq = ShardedIndex::with_shards(cfg.clone(), 4);
         let mut batch = ShardedIndex::with_shards(cfg.clone(), 4);
-        for (i, n) in NAMES.iter().take(3).enumerate() {
-            let r = rec(i as u32, n);
-            seq.insert(&r);
-            batch.insert(&r);
+        for k in all_keys.iter().take(3) {
+            seq.insert_keys(k.clone());
+            batch.insert_keys(k.clone());
         }
-        let tail: Vec<Vec<usize>> = NAMES
+        let tail: Vec<Vec<usize>> = all_keys
             .iter()
-            .enumerate()
             .skip(3)
-            .map(|(i, n)| seq.insert(&rec(i as u32, n)))
+            .map(|k| seq.insert_keys(k.clone()))
             .collect();
-        let keys: Vec<RecordKeys> = NAMES
-            .iter()
-            .enumerate()
-            .skip(3)
-            .map(|(i, n)| RecordKeys::extract(&rec(i as u32, n), &cfg))
-            .collect();
-        assert_eq!(batch.insert_batch(keys, 2), tail);
+        assert_eq!(
+            batch.insert_batch(all_keys[3..].to_vec(), 2),
+            tail,
+            "batch continuation must match sequential"
+        );
     }
 
     #[test]
@@ -427,11 +445,15 @@ mod tests {
             ..Default::default()
         };
         for shards in [1, 2, 8] {
+            let mut deriver = Deriver::new(cfg.derive_config());
             let mut idx = ShardedIndex::with_shards(cfg.clone(), shards);
-            idx.insert(&rec(0, "efficient query processing"));
-            let got = idx.insert(&rec(1, "efficient query optimization"));
+            idx.insert_keys(keys_of(&mut deriver, &rec(0, "efficient query processing")));
+            let got = idx.insert_keys(keys_of(
+                &mut deriver,
+                &rec(1, "efficient query optimization"),
+            ));
             assert_eq!(got, vec![0], "shards={shards}");
-            let none = idx.insert(&rec(2, "parallel engines"));
+            let none = idx.insert_keys(keys_of(&mut deriver, &rec(2, "parallel engines")));
             assert!(none.is_empty(), "shards={shards}");
         }
     }

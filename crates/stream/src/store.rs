@@ -1,28 +1,85 @@
-//! The entity store: ingested records plus the live cluster index.
+//! The entity store: ingested records, their shared derivation, and the
+//! live cluster index.
 
 use zeroer_core::UnionFind;
-use zeroer_features::RecordCache;
 use zeroer_tabular::{Record, Schema, Table};
+use zeroer_textsim::derive::{DeriveConfig, DerivedRecord, Deriver};
+use zeroer_textsim::intern::Interner;
 
-/// Holds every ingested record together with a union-find cluster index
-/// (the shared [`zeroer_core::UnionFind`]), so each record resolves to a
-/// cluster representative in near-constant amortized time and
-/// transitivity is enforced structurally (merging two clusters merges
-/// *all* their members).
+/// Fail fast on a blocking attribute the schema lacks — the derivation
+/// would otherwise silently produce empty key sets for every record.
+fn check_block_attr(cfg: &DeriveConfig, arity: usize) {
+    if let Some(block) = &cfg.block {
+        assert!(
+            block.attr < arity,
+            "blocking attribute {} out of range for arity {arity}",
+            block.attr
+        );
+    }
+}
+
+/// Holds every ingested record together with its derived forms (token
+/// bags, blocking keys — produced exactly once per record by the
+/// store-owned [`Deriver`]) and a union-find cluster index (the shared
+/// [`zeroer_core::UnionFind`]), so each record resolves to a cluster
+/// representative in near-constant amortized time and transitivity is
+/// enforced structurally (merging two clusters merges *all* their
+/// members).
+///
+/// The store owns the single token [`Interner`] of the pipeline: every
+/// derivation — bootstrap, sequential ingest, committed parallel ingest
+/// — resolves against it, so any two records' bags are directly
+/// comparable.
 #[derive(Debug, Clone)]
 pub struct EntityStore {
     table: Table,
-    caches: Vec<RecordCache>,
+    derived: Vec<DerivedRecord>,
     clusters: UnionFind,
+    deriver: Deriver,
 }
 
 impl EntityStore {
-    /// An empty store over a schema.
-    pub fn new(schema: Schema) -> Self {
+    /// An empty store over a schema; `cfg` fixes which blocking keys the
+    /// derivation extracts.
+    ///
+    /// # Panics
+    /// Panics if `cfg` blocks on an attribute the schema lacks (a
+    /// misconfiguration that would otherwise silently derive empty key
+    /// sets for every record).
+    pub fn new(schema: Schema, cfg: DeriveConfig) -> Self {
+        check_block_attr(&cfg, schema.arity());
         Self {
             table: Table::new("entity-store", schema),
-            caches: Vec::new(),
+            derived: Vec::new(),
             clusters: UnionFind::default(),
+            deriver: Deriver::new(cfg),
+        }
+    }
+
+    /// A store seeded with an already-derived table (the bootstrap path
+    /// hands over the featurizer's interner and derivations, so the
+    /// records are never derived twice).
+    ///
+    /// # Panics
+    /// Panics if `derived` and `table` disagree on length, or if `cfg`
+    /// blocks on an attribute the schema lacks.
+    pub fn from_derived(
+        table: &Table,
+        interner: Interner,
+        derived: Vec<DerivedRecord>,
+        cfg: DeriveConfig,
+    ) -> Self {
+        assert_eq!(table.len(), derived.len(), "derivation/table mismatch");
+        check_block_attr(&cfg, table.schema().arity());
+        let mut clusters = UnionFind::default();
+        for _ in 0..table.len() {
+            clusters.push();
+        }
+        Self {
+            table: table.clone(),
+            derived,
+            clusters,
+            deriver: Deriver::with_interner(interner, cfg),
         }
     }
 
@@ -41,9 +98,32 @@ impl EntityStore {
         &self.table
     }
 
-    /// Cached derived forms of record `idx`.
-    pub fn cache(&self, idx: usize) -> &RecordCache {
-        &self.caches[idx]
+    /// The store's interner (the symbol space of every stored bag).
+    pub fn interner(&self) -> &Interner {
+        self.deriver.interner()
+    }
+
+    /// Mutable interner access for the parallel-ingest commit phase
+    /// (fresh scratch tokens are interned here, in ingest order).
+    pub(crate) fn interner_mut(&mut self) -> &mut Interner {
+        self.deriver.interner_mut()
+    }
+
+    /// The derivation configuration records are derived under.
+    pub fn derive_config(&self) -> DeriveConfig {
+        self.deriver.config().clone()
+    }
+
+    /// Derived forms of record `idx`.
+    pub fn derived(&self, idx: usize) -> &DerivedRecord {
+        &self.derived[idx]
+    }
+
+    /// Derives a record's forms against the store interner *without*
+    /// inserting it (the sequential ingest path derives, blocks, then
+    /// pushes).
+    pub fn derive(&mut self, record: &Record) -> DerivedRecord {
+        self.deriver.derive(&record.values)
     }
 
     /// Appends a record as a fresh singleton entity; returns its index.
@@ -51,18 +131,17 @@ impl EntityStore {
     /// # Panics
     /// Panics if the record arity does not match the schema.
     pub fn push(&mut self, record: Record) -> usize {
-        let cache = RecordCache::build(&record);
-        self.push_with_cache(record, cache)
+        let derived = self.derive(&record);
+        self.push_derived(record, derived)
     }
 
-    /// Appends a record whose [`RecordCache`] was already built (the
-    /// parallel ingest path derives caches on the worker pool); returns
-    /// the record index.
+    /// Appends a record whose derivation was already built (the ingest
+    /// paths derive before blocking); returns the record index.
     ///
     /// # Panics
     /// Panics if the record arity does not match the schema.
-    pub fn push_with_cache(&mut self, record: Record, cache: RecordCache) -> usize {
-        self.caches.push(cache);
+    pub fn push_derived(&mut self, record: Record, derived: DerivedRecord) -> usize {
+        self.derived.push(derived);
         self.table.push(record);
         self.clusters.push()
     }
@@ -107,7 +186,7 @@ mod tests {
     use zeroer_tabular::Value;
 
     fn store_with(n: usize) -> EntityStore {
-        let mut s = EntityStore::new(Schema::new(["name"]));
+        let mut s = EntityStore::new(Schema::new(["name"]), DeriveConfig::blocking(0, 4));
         for i in 0..n {
             s.push(Record::new(i as u32, vec![Value::Str(format!("r{i}"))]));
         }
@@ -143,9 +222,26 @@ mod tests {
     }
 
     #[test]
+    fn derivation_is_shared_across_records() {
+        let mut s = EntityStore::new(Schema::new(["name"]), DeriveConfig::blocking(0, 4));
+        s.push(Record::new(0, vec!["golden dragon".into()]));
+        s.push(Record::new(1, vec!["golden gate".into()]));
+        // "golden" is interned once; both word bags reference it.
+        let sym = s.interner().get("golden").expect("token interned");
+        assert_eq!(s.derived(0).attr(0).word.count(sym), 1);
+        assert_eq!(s.derived(1).attr(0).word.count(sym), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
         let mut s = store_with(1);
         s.push(Record::new(9, vec![Value::Null, Value::Null]));
+    }
+
+    #[test]
+    #[should_panic(expected = "blocking attribute 5 out of range")]
+    fn out_of_range_blocking_attr_panics() {
+        EntityStore::new(Schema::new(["name"]), DeriveConfig::blocking(5, 4));
     }
 }

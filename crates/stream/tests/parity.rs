@@ -10,8 +10,9 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 use zeroer_blocking::{Blocker, PairMode, QgramBlocker, TokenBlocker, UnionBlocker};
 use zeroer_datagen::{all_profiles, generate};
-use zeroer_stream::{IncrementalIndex, IndexConfig};
+use zeroer_stream::{IncrementalIndex, IndexConfig, RecordKeys};
 use zeroer_tabular::{Record, Schema, Table, Value};
+use zeroer_textsim::derive::Deriver;
 
 /// One dedup table (left ++ right) from a generated linkage dataset.
 fn dedup_table_of(profile_idx: usize, scale: f64, seed: u64) -> Table {
@@ -20,13 +21,17 @@ fn dedup_table_of(profile_idx: usize, scale: f64, seed: u64) -> Table {
     ds.dedup_table().0
 }
 
-/// Runs the incremental index record-by-record and collects the full
+/// Runs the incremental index record-by-record — deriving each record
+/// once through the shared derivation layer — and collects the full
 /// emitted pair set, normalized as `(small, large)`.
 fn incremental_pairs(table: &Table, cfg: IndexConfig) -> BTreeSet<(usize, usize)> {
+    let mut deriver = Deriver::new(cfg.derive_config());
     let mut index = IncrementalIndex::new(cfg);
     let mut pairs = BTreeSet::new();
     for (idx, r) in table.records().iter().enumerate() {
-        for c in index.insert(r) {
+        let d = deriver.derive(&r.values);
+        let keys = RecordKeys::from_derived(&d, deriver.interner());
+        for c in index.insert_keys(&keys) {
             assert!(c < idx, "candidates must be previously inserted records");
             pairs.insert((c, idx));
         }

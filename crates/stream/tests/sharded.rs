@@ -11,6 +11,7 @@ use proptest::prelude::*;
 use zeroer_datagen::{all_profiles, generate};
 use zeroer_stream::{IncrementalIndex, IndexConfig, RecordKeys, ShardedIndex};
 use zeroer_tabular::{Record, Schema, Table, Value};
+use zeroer_textsim::derive::Deriver;
 
 fn dedup_table_of(profile_idx: usize, scale: f64, seed: u64) -> Table {
     let profiles = all_profiles();
@@ -18,10 +19,24 @@ fn dedup_table_of(profile_idx: usize, scale: f64, seed: u64) -> Table {
     ds.dedup_table().0
 }
 
+/// Derives every record of a table once (the shared derivation layer)
+/// and extracts its blocking keys.
+fn table_keys(table: &Table, cfg: &IndexConfig) -> Vec<RecordKeys> {
+    let mut deriver = Deriver::new(cfg.derive_config());
+    table
+        .records()
+        .iter()
+        .map(|r| {
+            let d = deriver.derive(&r.values);
+            RecordKeys::from_derived(&d, deriver.interner())
+        })
+        .collect()
+}
+
 /// Record-by-record reference: the unsharded index.
-fn unsharded_candidates(table: &Table, cfg: &IndexConfig) -> Vec<Vec<usize>> {
+fn unsharded_candidates(keys: &[RecordKeys], cfg: &IndexConfig) -> Vec<Vec<usize>> {
     let mut index = IncrementalIndex::new(cfg.clone());
-    table.records().iter().map(|r| index.insert(r)).collect()
+    keys.iter().map(|k| index.insert_keys(k)).collect()
 }
 
 proptest! {
@@ -37,11 +52,12 @@ proptest! {
     ) {
         let table = dedup_table_of(profile, 0.01, seed);
         let cfg = IndexConfig::default();
-        let expected = unsharded_candidates(&table, &cfg);
+        let keys = table_keys(&table, &cfg);
+        let expected = unsharded_candidates(&keys, &cfg);
         let mut sharded = ShardedIndex::with_shards(cfg, shards);
-        for (i, r) in table.records().iter().enumerate() {
+        for (i, k) in keys.iter().enumerate() {
             prop_assert_eq!(
-                sharded.insert(r),
+                sharded.insert_keys(k.clone()),
                 expected[i].clone(),
                 "record {} diverged with {} shards", i, shards
             );
@@ -61,13 +77,9 @@ proptest! {
     ) {
         let table = dedup_table_of(profile, 0.01, seed);
         let cfg = IndexConfig { min_token_overlap: overlap, ..Default::default() };
-        let expected = unsharded_candidates(&table, &cfg);
+        let keys = table_keys(&table, &cfg);
+        let expected = unsharded_candidates(&keys, &cfg);
         let mut sharded = ShardedIndex::with_shards(cfg.clone(), shards);
-        let keys: Vec<RecordKeys> = table
-            .records()
-            .iter()
-            .map(|r| RecordKeys::extract(r, &cfg))
-            .collect();
         let got = sharded.insert_batch(keys, threads);
         prop_assert_eq!(got, expected);
         prop_assert_eq!(sharded.len(), table.len());
@@ -91,13 +103,9 @@ proptest! {
             ));
         }
         let cfg = IndexConfig { max_bucket: 5, ..Default::default() };
-        let expected = unsharded_candidates(&t, &cfg);
+        let keys = table_keys(&t, &cfg);
+        let expected = unsharded_candidates(&keys, &cfg);
         let mut sharded = ShardedIndex::with_shards(cfg.clone(), shards);
-        let keys: Vec<RecordKeys> = t
-            .records()
-            .iter()
-            .map(|r| RecordKeys::extract(r, &cfg))
-            .collect();
         prop_assert_eq!(sharded.insert_batch(keys, threads), expected);
     }
 }
@@ -112,9 +120,12 @@ fn null_keys_are_shard_neutral() {
         Record::new(1, vec![Value::Null]),
         Record::new(2, vec![Value::Str("some title".into())]),
     ];
+    let mut deriver = Deriver::new(cfg.derive_config());
     let mut flat = IncrementalIndex::new(cfg.clone());
     let mut sharded = ShardedIndex::with_shards(cfg, 4);
     for r in &records {
-        assert_eq!(sharded.insert(r), flat.insert(r));
+        let d = deriver.derive(&r.values);
+        let keys = RecordKeys::from_derived(&d, deriver.interner());
+        assert_eq!(sharded.insert_keys(keys.clone()), flat.insert_keys(&keys));
     }
 }

@@ -1,0 +1,634 @@
+//! The record-derivation layer: every derived form of a record, computed
+//! in **one pass** over its raw values.
+//!
+//! Historically the pipeline tokenized each record up to three times —
+//! the batch table cache, the streaming record cache, and blocking-key
+//! extraction each re-ran `normalize`/`words`/`qgrams` on the raw
+//! strings. This module is now the single place raw attribute text is
+//! tokenized: one `normalize` per value into a reusable buffer, then the
+//! word bag, the 3-gram bag (the feature layer's `qgm_3` tokenizer), the
+//! numeric interpretation, and — for the configured blocking attribute —
+//! the blocking keys, all from that one normalized form. Everything
+//! downstream (feature generation, batch blockers, streaming indexes)
+//! consumes the resulting [`DerivedRecord`]s.
+//!
+//! ## Determinism constraints (parallel ingest)
+//!
+//! Tokens are interned into a shared [`Interner`], whose symbol
+//! numbering is the first-intern order. The streaming subsystem derives
+//! batches on a worker pool, which would race on that order, so workers
+//! use a [`ScratchDeriver`]: reads resolve against a *frozen* snapshot
+//! of the store's interner, and unseen tokens get worker-local scratch
+//! symbols (high bit set) plus a per-record first-occurrence list. A
+//! single writer then commits records **in ingest order**
+//! ([`ScratchDerived::commit`]), interning each record's fresh tokens in
+//! exactly the order sequential derivation would have — so the global
+//! interner passes through the identical sequence of states for any
+//! worker count, and every committed bag is bit-for-bit the sequential
+//! one. Shard routing never depends on symbol numbering at all: it
+//! hashes the token *text* with FNV-1a ([`Interner::text_hash`]).
+
+use crate::intern::{fnv1a, InternSink, Interner, Sym, LOCAL_BIT};
+use crate::tokenize::{normalize_into, qgrams_from_norm, TokenBag};
+use std::collections::HashMap;
+use zeroer_tabular::Value;
+
+/// Which blocking keys the derivation pass should extract alongside the
+/// feature bags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSpec {
+    /// Attribute index used as the blocking key.
+    pub attr: usize,
+    /// q-gram size for q-gram blocking keys (0 disables them).
+    pub qgram: usize,
+    /// Whether to intern the full normalized value as an
+    /// attribute-equivalence key.
+    pub equiv: bool,
+}
+
+/// Derivation configuration. The default extracts no blocking keys
+/// (feature bags only).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeriveConfig {
+    /// Blocking-key extraction, if any.
+    pub block: Option<BlockSpec>,
+}
+
+impl DeriveConfig {
+    /// Keys for token (+ optional q-gram) blocking on `attr`.
+    pub fn blocking(attr: usize, qgram: usize) -> Self {
+        Self {
+            block: Some(BlockSpec {
+                attr,
+                qgram,
+                equiv: false,
+            }),
+        }
+    }
+}
+
+/// One attribute's derived forms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDerived {
+    /// Lowercased textual form (empty for nulls; see `present`).
+    pub text: String,
+    /// Word token bag.
+    pub word: TokenBag,
+    /// 3-gram token bag.
+    pub qgm3: TokenBag,
+    /// Numeric interpretation, when available.
+    pub number: Option<f64>,
+    /// Whether the original value was non-null.
+    pub present: bool,
+}
+
+/// Borrowed view of one attribute's derived forms — the currency of the
+/// feature layer's similarity kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrView<'a> {
+    /// Lowercased textual form (empty for nulls).
+    pub text: &'a str,
+    /// 3-gram token bag.
+    pub qgm3: &'a TokenBag,
+    /// Word token bag.
+    pub word: &'a TokenBag,
+    /// Numeric interpretation, when available.
+    pub number: Option<f64>,
+    /// Whether the original value was non-null.
+    pub present: bool,
+}
+
+/// Blocking keys of one record (empty when the key attribute is null —
+/// null rows never block). Symbol lists are sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KeySet {
+    /// Word-token keys: tokens longer than one byte (single characters
+    /// are noise).
+    pub tokens: Vec<Sym>,
+    /// Character q-gram keys.
+    pub qgrams: Vec<Sym>,
+    /// The normalized-equality key used by attribute-equivalence
+    /// blocking.
+    pub equiv: Option<Sym>,
+}
+
+/// All derived forms of one record: per-attribute feature forms plus the
+/// blocking keys the [`DeriveConfig`] asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedRecord {
+    attrs: Box<[AttrDerived]>,
+    keys: KeySet,
+}
+
+impl DerivedRecord {
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// One attribute's derived forms.
+    pub fn attr(&self, a: usize) -> &AttrDerived {
+        &self.attrs[a]
+    }
+
+    /// View of attribute `a`'s derived forms.
+    pub fn view(&self, a: usize) -> AttrView<'_> {
+        let e = &self.attrs[a];
+        AttrView {
+            text: &e.text,
+            qgm3: &e.qgm3,
+            word: &e.word,
+            number: e.number,
+            present: e.present,
+        }
+    }
+
+    /// The record's blocking keys.
+    pub fn keys(&self) -> &KeySet {
+        &self.keys
+    }
+}
+
+/// Reusable scratch buffers for the derivation pass.
+#[derive(Debug, Clone, Default)]
+struct DeriveBufs {
+    norm: String,
+    chars: Vec<char>,
+    tok: String,
+    syms: Vec<Sym>,
+    key_toks: Vec<Sym>,
+}
+
+/// The single-pass derivation core, generic over the intern sink so the
+/// sequential ([`Deriver`]) and worker-local ([`ScratchDeriver`]) paths
+/// run exactly the same token stream in exactly the same order.
+fn derive_record<S: InternSink>(
+    sink: &mut S,
+    bufs: &mut DeriveBufs,
+    cfg: &DeriveConfig,
+    values: &[Value],
+) -> DerivedRecord {
+    let mut attrs = Vec::with_capacity(values.len());
+    let mut keys = KeySet::default();
+    for (a, v) in values.iter().enumerate() {
+        let text = v.as_text();
+        let present = text.is_some();
+        let t = text.unwrap_or_default();
+        normalize_into(&t, &mut bufs.norm);
+        let key_spec = cfg.block.as_ref().filter(|b| b.attr == a && present);
+
+        // Word tokens (and token keys for the blocking attribute) in one
+        // sweep over the normalized buffer.
+        bufs.syms.clear();
+        bufs.key_toks.clear();
+        for tok in bufs.norm.split(' ') {
+            if tok.is_empty() {
+                continue;
+            }
+            let s = sink.intern_token(tok);
+            bufs.syms.push(s);
+            if key_spec.is_some() && tok.len() > 1 {
+                bufs.key_toks.push(s);
+            }
+        }
+        let word = TokenBag::from_sym_buf(&mut bufs.syms);
+
+        // 3-gram bag (the feature layer's qgm_3 tokenizer), windows over
+        // the same normalized buffer.
+        qgrams_from_norm(
+            sink,
+            &bufs.norm,
+            3,
+            &mut bufs.chars,
+            &mut bufs.tok,
+            &mut bufs.syms,
+        );
+        let qgm3 = TokenBag::from_sym_buf(&mut bufs.syms);
+
+        if let Some(spec) = key_spec {
+            bufs.key_toks.sort_unstable();
+            bufs.key_toks.dedup();
+            keys.tokens = bufs.key_toks.clone();
+            if spec.qgram == 3 {
+                // The key q-grams *are* the feature 3-grams: reuse.
+                keys.qgrams = qgm3.syms().collect();
+            } else if spec.qgram > 0 {
+                qgrams_from_norm(
+                    sink,
+                    &bufs.norm,
+                    spec.qgram,
+                    &mut bufs.chars,
+                    &mut bufs.tok,
+                    &mut bufs.syms,
+                );
+                bufs.syms.sort_unstable();
+                bufs.syms.dedup();
+                keys.qgrams = bufs.syms.clone();
+                bufs.syms.clear();
+            }
+            if spec.equiv {
+                keys.equiv = Some(sink.intern_token(&bufs.norm));
+            }
+        }
+
+        attrs.push(AttrDerived {
+            text: if present {
+                t.to_lowercase()
+            } else {
+                String::new()
+            },
+            word,
+            qgm3,
+            number: v.as_number(),
+            present,
+        });
+    }
+    DerivedRecord {
+        attrs: attrs.into_boxed_slice(),
+        keys,
+    }
+}
+
+/// The sequential deriver: owns the global [`Interner`] and the scratch
+/// buffers, and derives records one at a time.
+#[derive(Debug, Clone, Default)]
+pub struct Deriver {
+    interner: Interner,
+    cfg: DeriveConfig,
+    bufs: DeriveBufs,
+}
+
+impl Deriver {
+    /// A fresh deriver with an empty interner.
+    pub fn new(cfg: DeriveConfig) -> Self {
+        Self {
+            interner: Interner::new(),
+            cfg,
+            bufs: DeriveBufs::default(),
+        }
+    }
+
+    /// A deriver continuing an existing interner (e.g. one handed over
+    /// from the bootstrap featurizer to the streaming store).
+    pub fn with_interner(interner: Interner, cfg: DeriveConfig) -> Self {
+        Self {
+            interner,
+            cfg,
+            bufs: DeriveBufs::default(),
+        }
+    }
+
+    /// Derives all forms of one record's values.
+    pub fn derive(&mut self, values: &[Value]) -> DerivedRecord {
+        derive_record(&mut self.interner, &mut self.bufs, &self.cfg, values)
+    }
+
+    /// Derives *only* the blocking keys of one attribute value — the
+    /// light path for standalone batch blockers that never featurize.
+    pub fn derive_keys(&mut self, text: Option<&str>, qgram: usize, equiv: bool) -> KeySet {
+        let mut keys = KeySet::default();
+        let Some(t) = text else {
+            return keys;
+        };
+        normalize_into(t, &mut self.bufs.norm);
+        self.bufs.key_toks.clear();
+        for tok in self.bufs.norm.split(' ') {
+            if tok.len() > 1 {
+                self.bufs.key_toks.push(self.interner.intern(tok));
+            }
+        }
+        self.bufs.key_toks.sort_unstable();
+        self.bufs.key_toks.dedup();
+        keys.tokens = std::mem::take(&mut self.bufs.key_toks);
+        if qgram > 0 {
+            qgrams_from_norm(
+                &mut self.interner,
+                &self.bufs.norm,
+                qgram,
+                &mut self.bufs.chars,
+                &mut self.bufs.tok,
+                &mut self.bufs.syms,
+            );
+            self.bufs.syms.sort_unstable();
+            self.bufs.syms.dedup();
+            keys.qgrams = std::mem::take(&mut self.bufs.syms);
+        }
+        if equiv {
+            keys.equiv = Some(self.interner.intern(&self.bufs.norm));
+        }
+        keys
+    }
+
+    /// The interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable interner access (the streaming commit path interns fresh
+    /// tokens of scratch-derived records here).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Consumes the deriver, yielding the interner.
+    pub fn into_interner(self) -> Interner {
+        self.interner
+    }
+
+    /// The derivation configuration.
+    pub fn config(&self) -> &DeriveConfig {
+        &self.cfg
+    }
+}
+
+/// Worker-local scratch symbol table: tokens missing from the frozen
+/// base interner get local ids (tagged with the high bit).
+#[derive(Debug, Default)]
+struct ScratchTable {
+    map: HashMap<u64, Vec<u32>>,
+    texts: Vec<String>,
+    /// Local ids first assigned while deriving the *current* record, in
+    /// assignment order — drained into [`ScratchDerived::fresh`].
+    fresh: Vec<u32>,
+}
+
+struct ScratchSink<'a, 'b> {
+    base: &'a Interner,
+    table: &'b mut ScratchTable,
+}
+
+impl InternSink for ScratchSink<'_, '_> {
+    fn intern_token(&mut self, s: &str) -> Sym {
+        if let Some(sym) = self.base.get(s) {
+            return sym;
+        }
+        let h = fnv1a(s);
+        if let Some(ids) = self.table.map.get(&h) {
+            for &i in ids {
+                if self.table.texts[i as usize] == s {
+                    return Sym(LOCAL_BIT | i);
+                }
+            }
+        }
+        let id = self.table.texts.len() as u32;
+        assert!(id < LOCAL_BIT, "scratch interner overflow");
+        self.table.texts.push(s.to_string());
+        self.table.map.entry(h).or_default().push(id);
+        self.table.fresh.push(id);
+        Sym(LOCAL_BIT | id)
+    }
+}
+
+/// A worker's deriver: resolves tokens against a frozen snapshot of the
+/// global interner, parking unseen tokens in a local scratch table. The
+/// produced [`ScratchDerived`] records must be committed in ingest order
+/// by the single writer.
+#[derive(Debug)]
+pub struct ScratchDeriver<'a> {
+    base: &'a Interner,
+    cfg: DeriveConfig,
+    bufs: DeriveBufs,
+    table: ScratchTable,
+}
+
+impl<'a> ScratchDeriver<'a> {
+    /// A scratch deriver over a frozen interner snapshot.
+    pub fn new(base: &'a Interner, cfg: DeriveConfig) -> Self {
+        Self {
+            base,
+            cfg,
+            bufs: DeriveBufs::default(),
+            table: ScratchTable::default(),
+        }
+    }
+
+    /// Derives one record; fresh (base-unknown) tokens get scratch-local
+    /// symbols recorded in the result's first-occurrence list.
+    pub fn derive(&mut self, values: &[Value]) -> ScratchDerived {
+        let rec = derive_record(
+            &mut ScratchSink {
+                base: self.base,
+                table: &mut self.table,
+            },
+            &mut self.bufs,
+            &self.cfg,
+            values,
+        );
+        ScratchDerived {
+            rec,
+            fresh: std::mem::take(&mut self.table.fresh),
+        }
+    }
+
+    /// Consumes the deriver, yielding the scratch token texts (indexed
+    /// by local id) needed to commit its records.
+    pub fn into_texts(self) -> Vec<String> {
+        self.table.texts
+    }
+}
+
+/// A record derived by a [`ScratchDeriver`], awaiting commit into the
+/// global interner.
+#[derive(Debug)]
+pub struct ScratchDerived {
+    rec: DerivedRecord,
+    /// Scratch-local ids first assigned while deriving this record, in
+    /// assignment order — the exact order sequential derivation would
+    /// have interned them.
+    fresh: Vec<u32>,
+}
+
+#[inline]
+fn remap(sym: Sym, map: &[Option<Sym>]) -> Sym {
+    if sym.0 & LOCAL_BIT != 0 {
+        map[(sym.0 & !LOCAL_BIT) as usize].expect("scratch token committed before use")
+    } else {
+        sym
+    }
+}
+
+fn rebind_bag(bag: &TokenBag, map: &[Option<Sym>]) -> TokenBag {
+    let entries: Vec<(Sym, u32)> = bag.iter().map(|(s, c)| (remap(s, map), c)).collect();
+    TokenBag::from_entries(entries, bag.len() as u32)
+}
+
+fn rebind_syms(syms: &mut [Sym], map: &[Option<Sym>]) {
+    for s in syms.iter_mut() {
+        *s = remap(*s, map);
+    }
+    syms.sort_unstable();
+}
+
+impl ScratchDerived {
+    /// Commits this record into the global interner: interns its fresh
+    /// tokens in first-occurrence order (reproducing the sequential
+    /// symbol numbering exactly) and rewrites all scratch-local symbols.
+    ///
+    /// `texts` are the worker's scratch texts ([`ScratchDeriver::into_texts`])
+    /// and `map` is the worker's local→global table, sized to `texts`
+    /// and shared across that worker's records; records must be
+    /// committed in ingest order.
+    pub fn commit(
+        self,
+        texts: &[String],
+        map: &mut [Option<Sym>],
+        interner: &mut Interner,
+    ) -> DerivedRecord {
+        for &lid in &self.fresh {
+            map[lid as usize] = Some(interner.intern(&texts[lid as usize]));
+        }
+        let mut rec = self.rec;
+        let needs = |bag: &TokenBag| bag.entries().iter().any(|&(s, _)| s.0 & LOCAL_BIT != 0);
+        for a in rec.attrs.iter_mut() {
+            if needs(&a.word) {
+                a.word = rebind_bag(&a.word, map);
+            }
+            if needs(&a.qgm3) {
+                a.qgm3 = rebind_bag(&a.qgm3, map);
+            }
+        }
+        if rec.keys.tokens.iter().any(|s| s.0 & LOCAL_BIT != 0) {
+            rebind_syms(&mut rec.keys.tokens, map);
+        }
+        if rec.keys.qgrams.iter().any(|s| s.0 & LOCAL_BIT != 0) {
+            rebind_syms(&mut rec.keys.qgrams, map);
+        }
+        if let Some(e) = rec.keys.equiv {
+            rec.keys.equiv = Some(remap(e, map));
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::{qgrams, words};
+
+    fn cfg4() -> DeriveConfig {
+        DeriveConfig::blocking(0, 4)
+    }
+
+    #[test]
+    fn derivation_tracks_presence_text_and_numbers() {
+        let mut d = Deriver::new(DeriveConfig::default());
+        let rec = d.derive(&["Alpha Beta".into(), Value::Int(1999)]);
+        assert_eq!(rec.arity(), 2);
+        assert!(rec.attr(0).present);
+        assert_eq!(rec.attr(0).text, "alpha beta");
+        assert_eq!(rec.attr(0).word.count_text(d.interner(), "alpha"), 1);
+        assert_eq!(rec.attr(1).number, Some(1999.0));
+
+        let nul = d.derive(&[Value::Null, "2001".into()]);
+        assert!(!nul.attr(0).present);
+        assert!(nul.attr(0).word.is_empty());
+        assert_eq!(nul.attr(1).number, Some(2001.0));
+    }
+
+    #[test]
+    fn derived_bags_match_convenience_tokenizers() {
+        let mut d = Deriver::new(cfg4());
+        let rec = d.derive(&["Golden Dragon, Palace!".into()]);
+        let mut check = Interner::new();
+        let w = words(&mut check, "Golden Dragon, Palace!");
+        let q = qgrams(&mut check, "Golden Dragon, Palace!", 3);
+        assert_eq!(rec.attr(0).word.distinct(), w.distinct());
+        assert_eq!(rec.attr(0).word.len(), w.len());
+        assert_eq!(rec.attr(0).qgm3.distinct(), q.distinct());
+        assert_eq!(rec.attr(0).qgm3.len(), q.len());
+    }
+
+    #[test]
+    fn keys_filter_single_characters_and_dedup() {
+        let mut d = Deriver::new(DeriveConfig::blocking(0, 0));
+        let rec = d.derive(&["a Red RED fox".into()]);
+        let texts: Vec<&str> = rec
+            .keys()
+            .tokens
+            .iter()
+            .map(|&s| d.interner().resolve(s))
+            .collect();
+        let mut sorted = texts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(texts.len(), sorted.len(), "keys deduplicated");
+        assert!(texts.contains(&"red") && texts.contains(&"fox"));
+        assert!(!texts.contains(&"a"), "single characters are noise");
+    }
+
+    #[test]
+    fn null_key_attribute_yields_no_keys() {
+        let mut d = Deriver::new(cfg4());
+        let rec = d.derive(&[Value::Null, "other".into()]);
+        assert!(rec.keys().tokens.is_empty());
+        assert!(rec.keys().qgrams.is_empty());
+        assert!(rec.keys().equiv.is_none());
+    }
+
+    #[test]
+    fn qgram3_keys_reuse_the_feature_bag() {
+        let mut d = Deriver::new(DeriveConfig::blocking(0, 3));
+        let rec = d.derive(&["abc".into()]);
+        let bag_syms: Vec<Sym> = rec.attr(0).qgm3.syms().collect();
+        assert_eq!(rec.keys().qgrams, bag_syms);
+    }
+
+    #[test]
+    fn derive_keys_matches_record_derivation() {
+        let text = "Efficient Query-Processing";
+        let mut a = Deriver::new(cfg4());
+        let rec = a.derive(&[text.into()]);
+        let mut b = Deriver::new(DeriveConfig::default());
+        let ks = b.derive_keys(Some(text), 4, false);
+        let of = |it: &Interner, syms: &[Sym]| -> Vec<String> {
+            syms.iter().map(|&s| it.resolve(s).to_string()).collect()
+        };
+        assert_eq!(
+            of(a.interner(), &rec.keys().tokens),
+            of(b.interner(), &ks.tokens)
+        );
+        let mut qa = of(a.interner(), &rec.keys().qgrams);
+        let mut qb = of(b.interner(), &ks.qgrams);
+        qa.sort();
+        qb.sort();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn scratch_commit_reproduces_sequential_derivation_exactly() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec!["golden dragon palace".into(), Value::Int(1999)],
+            vec!["blue sky tavern".into(), Value::Null],
+            vec!["golden dragon palce".into(), Value::Int(1999)],
+            vec![Value::Null, "2001".into()],
+        ];
+        // Sequential reference, continuing from a non-empty interner.
+        let mut base = Interner::new();
+        base.intern("golden");
+        base.intern("sky");
+        let mut seq = Deriver::with_interner(base.clone(), cfg4());
+        let seq_recs: Vec<DerivedRecord> = rows.iter().map(|r| seq.derive(r)).collect();
+
+        // Scratch path: derive everything against the frozen base, then
+        // commit in order.
+        let mut scratch = ScratchDeriver::new(&base, cfg4());
+        let derived: Vec<ScratchDerived> = rows.iter().map(|r| scratch.derive(r)).collect();
+        let texts = scratch.into_texts();
+        let mut map = vec![None; texts.len()];
+        let mut interner = base;
+        let committed: Vec<DerivedRecord> = derived
+            .into_iter()
+            .map(|d| d.commit(&texts, &mut map, &mut interner))
+            .collect();
+
+        assert_eq!(committed, seq_recs, "bags and keys must be identical");
+        assert_eq!(interner.len(), seq.interner().len());
+        for i in 0..interner.len() {
+            assert_eq!(
+                interner.resolve(Sym(i as u32)),
+                seq.interner().resolve(Sym(i as u32)),
+                "symbol numbering must match sequential order"
+            );
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! String and numeric similarity measures for entity resolution.
+//! String and numeric similarity measures for entity resolution, plus
+//! the shared record-derivation layer.
 //!
 //! ZeroER consumes similarity feature vectors produced by applying a set of
 //! similarity functions to each aligned attribute of a tuple pair (the
@@ -13,23 +14,38 @@
 //! * numeric / categorical: exact match, absolute-difference and
 //!   relative-difference similarity ([`numeric`]).
 //!
+//! Tokens are interned ([`intern`]): a [`tokenize::TokenBag`] stores
+//! sorted `(Sym, count)` pairs, so set operations are merge-joins over
+//! 4-byte symbols instead of string-hash probes, and each distinct token
+//! is stored once per corpus. The [`derive`] module computes every
+//! derived form of a record (normalized text, word bag, q-gram bag,
+//! numeric form, blocking keys) in a single pass — the one place in the
+//! workspace that tokenizes raw attribute text.
+//!
 //! All similarity functions return values in a documented range (almost
 //! always `[0, 1]`, higher = more similar) and treat empty inputs
 //! consistently: two empty strings are maximally similar, an empty and a
 //! non-empty string are maximally dissimilar.
 
 pub mod align;
+pub mod derive;
 pub mod edit;
+pub mod intern;
 pub mod numeric;
 pub mod tfidf;
 pub mod token;
 pub mod tokenize;
 
+pub use derive::{
+    AttrDerived, AttrView, BlockSpec, DeriveConfig, DerivedRecord, Deriver, KeySet, ScratchDerived,
+    ScratchDeriver,
+};
 pub use edit::{hamming_sim, jaro, jaro_winkler, levenshtein, levenshtein_sim, prefix_sim};
+pub use intern::{fnv1a, InternSink, Interner, Sym};
 pub use numeric::{abs_diff_sim, exact_match, rel_diff_sim};
 pub use tfidf::IdfModel;
 pub use token::{cosine, dice, jaccard, monge_elkan, overlap_coefficient};
-pub use tokenize::{qgrams, words};
+pub use tokenize::{normalize, qgrams, words, TokenBag};
 
 #[cfg(test)]
 mod proptests {
@@ -54,8 +70,9 @@ mod proptests {
 
         #[test]
         fn similarities_are_in_unit_range(a in short_ascii(), b in short_ascii()) {
-            let ta = qgrams(&a, 3);
-            let tb = qgrams(&b, 3);
+            let mut it = Interner::new();
+            let ta = qgrams(&mut it, &a, 3);
+            let tb = qgrams(&mut it, &b, 3);
             for v in [
                 jaccard(&ta, &tb),
                 cosine(&ta, &tb),
@@ -71,7 +88,8 @@ mod proptests {
 
         #[test]
         fn similarities_are_symmetric(a in short_ascii(), b in short_ascii()) {
-            let (ta, tb) = (qgrams(&a, 3), qgrams(&b, 3));
+            let mut it = Interner::new();
+            let (ta, tb) = (qgrams(&mut it, &a, 3), qgrams(&mut it, &b, 3));
             prop_assert!((jaccard(&ta, &tb) - jaccard(&tb, &ta)).abs() < 1e-12);
             prop_assert!((cosine(&ta, &tb) - cosine(&tb, &ta)).abs() < 1e-12);
             prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
@@ -80,7 +98,8 @@ mod proptests {
 
         #[test]
         fn identical_strings_are_maximally_similar(a in "[a-z0-9]{1,12}") {
-            let t = qgrams(&a, 3);
+            let mut it = Interner::new();
+            let t = qgrams(&mut it, &a, 3);
             prop_assert_eq!(jaccard(&t, &t), 1.0);
             prop_assert_eq!(levenshtein_sim(&a, &a), 1.0);
             prop_assert_eq!(jaro(&a, &a), 1.0);
@@ -91,6 +110,17 @@ mod proptests {
         fn jaro_winkler_dominates_jaro(a in short_ascii(), b in short_ascii()) {
             prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12,
                 "Winkler prefix bonus can only increase Jaro");
+        }
+
+        #[test]
+        fn interned_set_ops_match_naive_string_sets(a in short_ascii(), b in short_ascii()) {
+            use std::collections::BTreeSet;
+            let mut it = Interner::new();
+            let (ta, tb) = (words(&mut it, &a), words(&mut it, &b));
+            let sa: BTreeSet<&str> = ta.tokens(&it).collect();
+            let sb: BTreeSet<&str> = tb.tokens(&it).collect();
+            prop_assert_eq!(ta.set_intersection(&tb), sa.intersection(&sb).count());
+            prop_assert_eq!(ta.set_union(&tb), sa.union(&sb).count());
         }
     }
 }

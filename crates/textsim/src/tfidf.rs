@@ -7,14 +7,18 @@
 //! (marketing words) are common.
 
 use crate::edit::jaro_winkler;
+use crate::intern::{Interner, Sym};
 use crate::tokenize::TokenBag;
 use std::collections::HashMap;
 
 /// Token document frequencies learned from a corpus of values; produces
 /// IDF weights for the weighted similarity measures.
+///
+/// Document frequencies are keyed by interned symbol; fit the model and
+/// score with bags from the same [`Interner`].
 #[derive(Debug, Clone, Default)]
 pub struct IdfModel {
-    doc_freq: HashMap<String, u32>,
+    doc_freq: HashMap<Sym, u32>,
     num_docs: u32,
 }
 
@@ -22,12 +26,12 @@ impl IdfModel {
     /// Builds the model from an iterator of token bags (one per document /
     /// attribute value).
     pub fn fit<'a, I: IntoIterator<Item = &'a TokenBag>>(bags: I) -> Self {
-        let mut doc_freq: HashMap<String, u32> = HashMap::new();
+        let mut doc_freq: HashMap<Sym, u32> = HashMap::new();
         let mut num_docs = 0;
         for bag in bags {
             num_docs += 1;
-            for token in bag.tokens() {
-                *doc_freq.entry(token.to_string()).or_insert(0) += 1;
+            for sym in bag.syms() {
+                *doc_freq.entry(sym).or_insert(0) += 1;
             }
         }
         Self { doc_freq, num_docs }
@@ -39,18 +43,24 @@ impl IdfModel {
     }
 
     /// Smoothed IDF weight of a token: `ln(1 + N / (1 + df))`.
-    ///
-    /// Unseen tokens get the maximum weight (they are maximally
-    /// discriminative by definition).
-    pub fn idf(&self, token: &str) -> f64 {
-        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+    pub fn idf(&self, sym: Sym) -> f64 {
+        let df = self.doc_freq.get(&sym).copied().unwrap_or(0);
         (1.0 + self.num_docs as f64 / (1.0 + df as f64)).ln()
     }
 
-    /// TF-IDF vector of a bag: token → tf·idf weight.
-    fn weights<'b>(&self, bag: &'b TokenBag) -> HashMap<&'b str, f64> {
+    /// IDF weight looked up by token text. Unseen tokens get the maximum
+    /// weight (they are maximally discriminative by definition).
+    pub fn idf_text(&self, interner: &Interner, token: &str) -> f64 {
+        match interner.get(token) {
+            Some(sym) => self.idf(sym),
+            None => (1.0 + self.num_docs as f64).ln(),
+        }
+    }
+
+    /// TF-IDF vector of a bag: `(sym, tf·idf)` in symbol order.
+    fn weights(&self, bag: &TokenBag) -> Vec<(Sym, f64)> {
         bag.iter()
-            .map(|(t, c)| (t, c as f64 * self.idf(t)))
+            .map(|(s, c)| (s, c as f64 * self.idf(s)))
             .collect()
     }
 
@@ -65,14 +75,21 @@ impl IdfModel {
         }
         let wa = self.weights(a);
         let wb = self.weights(b);
-        let mut dot = 0.0;
-        for (t, &w) in &wa {
-            if let Some(&v) = wb.get(t) {
-                dot += w * v;
+        // Merge-join over the sorted weight vectors.
+        let (mut i, mut j, mut dot) = (0, 0, 0.0);
+        while i < wa.len() && j < wb.len() {
+            match wa[i].0.cmp(&wb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += wa[i].1 * wb[j].1;
+                    i += 1;
+                    j += 1;
+                }
             }
         }
-        let na: f64 = wa.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = wb.values().map(|w| w * w).sum::<f64>().sqrt();
+        let na: f64 = wa.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = wb.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {
@@ -83,8 +100,15 @@ impl IdfModel {
     /// Soft TF-IDF (Cohen et al.): like TF-IDF cosine but tokens match
     /// *approximately* — a token of `a` pairs with its best Jaro-Winkler
     /// partner in `b` above `threshold`. Robust to typos inside rare
-    /// discriminative tokens. Range `[0, 1]`.
-    pub fn soft_cosine(&self, a: &TokenBag, b: &TokenBag, threshold: f64) -> f64 {
+    /// discriminative tokens. Range `[0, 1]`. Both bags must come from
+    /// `interner`.
+    pub fn soft_cosine(
+        &self,
+        interner: &Interner,
+        a: &TokenBag,
+        b: &TokenBag,
+        threshold: f64,
+    ) -> f64 {
         if a.is_empty() && b.is_empty() {
             return 1.0;
         }
@@ -94,11 +118,16 @@ impl IdfModel {
         let wa = self.weights(a);
         let wb = self.weights(b);
         let mut dot = 0.0;
-        for (ta, &weight_a) in &wa {
+        for &(sa, weight_a) in &wa {
+            let ta = interner.resolve(sa);
             // Best approximate partner in b.
             let mut best: Option<(f64, f64)> = None; // (sim, weight_b)
-            for (tb, &weight_b) in &wb {
-                let sim = if ta == tb { 1.0 } else { jaro_winkler(ta, tb) };
+            for &(sb, weight_b) in &wb {
+                let sim = if sa == sb {
+                    1.0
+                } else {
+                    jaro_winkler(ta, interner.resolve(sb))
+                };
                 if sim >= threshold && best.is_none_or(|(s, _)| sim > s) {
                     best = Some((sim, weight_b));
                 }
@@ -107,8 +136,8 @@ impl IdfModel {
                 dot += sim * weight_a * weight_b;
             }
         }
-        let na: f64 = wa.values().map(|w| w * w).sum::<f64>().sqrt();
-        let nb: f64 = wb.values().map(|w| w * w).sum::<f64>().sqrt();
+        let na: f64 = wa.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        let nb: f64 = wb.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {
@@ -122,7 +151,8 @@ mod tests {
     use super::*;
     use crate::tokenize::words;
 
-    fn corpus() -> (IdfModel, Vec<TokenBag>) {
+    fn corpus() -> (Interner, IdfModel, Vec<TokenBag>) {
+        let mut it = Interner::new();
         let docs: Vec<TokenBag> = [
             "premium wireless keyboard model k750",
             "premium wireless mouse model m310",
@@ -130,51 +160,52 @@ mod tests {
             "wireless compact keyboard model k750 deluxe",
         ]
         .iter()
-        .map(|s| words(s))
+        .map(|s| words(&mut it, s))
         .collect();
-        (IdfModel::fit(&docs), docs)
+        let m = IdfModel::fit(&docs);
+        (it, m, docs)
     }
 
     #[test]
     fn rare_tokens_get_higher_idf() {
-        let (m, _) = corpus();
+        let (it, m, _) = corpus();
         assert!(
-            m.idf("k750") > m.idf("premium"),
+            m.idf_text(&it, "k750") > m.idf_text(&it, "premium"),
             "model number must outweigh the marketing word"
         );
-        assert!(m.idf("neverseen") >= m.idf("k750"));
+        assert!(m.idf_text(&it, "neverseen") >= m.idf_text(&it, "k750"));
     }
 
     #[test]
     fn tfidf_cosine_favors_rare_token_overlap() {
-        let (m, _) = corpus();
+        let (mut it, m, _) = corpus();
         // Shares the rare "k750" vs shares only the common "premium
         // wireless".
-        let a = words("premium wireless keyboard model k750");
-        let rare_match = words("compact keyboard k750");
-        let common_match = words("premium wireless speaker s220");
+        let a = words(&mut it, "premium wireless keyboard model k750");
+        let rare_match = words(&mut it, "compact keyboard k750");
+        let common_match = words(&mut it, "premium wireless speaker s220");
         assert!(m.cosine(&a, &rare_match) > m.cosine(&a, &common_match));
     }
 
     #[test]
     fn cosine_bounds_and_identity() {
-        let (m, docs) = corpus();
+        let (mut it, m, docs) = corpus();
         for d in &docs {
             let s = m.cosine(d, d);
             assert!((s - 1.0).abs() < 1e-9, "self-similarity {s}");
         }
-        let empty = words("");
+        let empty = words(&mut it, "");
         assert_eq!(m.cosine(&empty, &empty), 1.0);
         assert_eq!(m.cosine(&empty, &docs[0]), 0.0);
     }
 
     #[test]
     fn soft_cosine_survives_typos_in_rare_tokens() {
-        let (m, _) = corpus();
-        let a = words("premium keyboard k750");
-        let typo = words("premium keybaord k750");
+        let (mut it, m, _) = corpus();
+        let a = words(&mut it, "premium keyboard k750");
+        let typo = words(&mut it, "premium keybaord k750");
         let hard = m.cosine(&a, &typo);
-        let soft = m.soft_cosine(&a, &typo, 0.85);
+        let soft = m.soft_cosine(&it, &a, &typo, 0.85);
         assert!(
             soft > hard,
             "soft ({soft}) must recover the typo'd token vs hard ({hard})"
@@ -183,9 +214,9 @@ mod tests {
 
     #[test]
     fn soft_cosine_threshold_gates_matches() {
-        let (m, _) = corpus();
-        let a = words("alpha");
-        let b = words("omega");
-        assert_eq!(m.soft_cosine(&a, &b, 0.99), 0.0);
+        let (mut it, m, _) = corpus();
+        let a = words(&mut it, "alpha");
+        let b = words(&mut it, "omega");
+        assert_eq!(m.soft_cosine(&it, &a, &b, 0.99), 0.0);
     }
 }

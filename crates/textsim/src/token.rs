@@ -1,6 +1,7 @@
 //! Token-based and hybrid similarity measures.
 
 use crate::edit::jaro_winkler;
+use crate::intern::Interner;
 use crate::tokenize::TokenBag;
 
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|` over distinct tokens, in
@@ -59,24 +60,29 @@ pub fn overlap_coefficient(a: &TokenBag, b: &TokenBag) -> f64 {
 /// Monge-Elkan similarity: for each token of `a`, the best Jaro-Winkler
 /// match among tokens of `b`, averaged. Range `[0, 1]`. Asymmetric by
 /// definition; Magellan uses it as-is (first argument = left tuple).
-pub fn monge_elkan(a: &TokenBag, b: &TokenBag) -> f64 {
+///
+/// Both bags must come from `interner`. The outer sum runs in canonical
+/// token-*text* order, so the floating-point result is independent of
+/// interner history and bag representation — the property the streaming
+/// subsystem's bit-exact determinism tests rely on.
+pub fn monge_elkan(interner: &Interner, a: &TokenBag, b: &TokenBag) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
+    let mut a_toks: Vec<&str> = a.tokens(interner).collect();
+    a_toks.sort_unstable();
     let mut total = 0.0;
-    let mut n = 0usize;
-    for ta in a.tokens() {
+    for ta in &a_toks {
         let best = b
-            .tokens()
+            .tokens(interner)
             .map(|tb| jaro_winkler(ta, tb))
             .fold(0.0f64, f64::max);
         total += best;
-        n += 1;
     }
-    total / n as f64
+    total / a_toks.len() as f64
 }
 
 #[cfg(test)]
@@ -84,71 +90,90 @@ mod tests {
     use super::*;
     use crate::tokenize::words;
 
+    fn bags(ss: &[&str]) -> (Interner, Vec<TokenBag>) {
+        let mut it = Interner::new();
+        let bags = ss.iter().map(|s| words(&mut it, s)).collect();
+        (it, bags)
+    }
+
     #[test]
     fn jaccard_known_values() {
-        let a = words("a b c");
-        let b = words("b c d");
-        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
-        assert_eq!(jaccard(&a, &a), 1.0);
+        let (_, b) = bags(&["a b c", "b c d"]);
+        assert!((jaccard(&b[0], &b[1]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&b[0], &b[0]), 1.0);
     }
 
     #[test]
     fn jaccard_disjoint_is_zero() {
-        assert_eq!(jaccard(&words("a b"), &words("x y")), 0.0);
+        let (_, b) = bags(&["a b", "x y"]);
+        assert_eq!(jaccard(&b[0], &b[1]), 0.0);
     }
 
     #[test]
     fn empty_bag_conventions() {
-        let e = words("");
-        let x = words("a");
-        assert_eq!(jaccard(&e, &e), 1.0);
-        assert_eq!(jaccard(&e, &x), 0.0);
-        assert_eq!(cosine(&e, &e), 1.0);
-        assert_eq!(cosine(&e, &x), 0.0);
-        assert_eq!(dice(&e, &e), 1.0);
-        assert_eq!(overlap_coefficient(&e, &e), 1.0);
-        assert_eq!(monge_elkan(&e, &e), 1.0);
-        assert_eq!(monge_elkan(&e, &x), 0.0);
+        let (it, b) = bags(&["", "a"]);
+        let (e, x) = (&b[0], &b[1]);
+        assert_eq!(jaccard(e, e), 1.0);
+        assert_eq!(jaccard(e, x), 0.0);
+        assert_eq!(cosine(e, e), 1.0);
+        assert_eq!(cosine(e, x), 0.0);
+        assert_eq!(dice(e, e), 1.0);
+        assert_eq!(overlap_coefficient(e, e), 1.0);
+        assert_eq!(monge_elkan(&it, e, e), 1.0);
+        assert_eq!(monge_elkan(&it, e, x), 0.0);
     }
 
     #[test]
     fn cosine_known_values() {
-        let a = words("a b c d");
-        let b = words("c d");
+        let (_, b) = bags(&["a b c d", "c d"]);
         // |inter| = 2, sqrt(4*2) = 2.828…
-        assert!((cosine(&a, &b) - 2.0 / 8.0f64.sqrt()).abs() < 1e-12);
+        assert!((cosine(&b[0], &b[1]) - 2.0 / 8.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
     fn dice_known_values() {
-        let a = words("a b c");
-        let b = words("b c d");
-        assert!((dice(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+        let (_, b) = bags(&["a b c", "b c d"]);
+        assert!((dice(&b[0], &b[1]) - 4.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn overlap_subset_is_one() {
-        let full = words("new york city");
-        let abbrev = words("new york");
-        assert_eq!(overlap_coefficient(&full, &abbrev), 1.0);
+        let (_, b) = bags(&["new york city", "new york"]);
+        assert_eq!(overlap_coefficient(&b[0], &b[1]), 1.0);
     }
 
     #[test]
     fn monge_elkan_rewards_near_matches() {
-        let a = words("jonathan smith");
-        let b = words("jonathon smyth");
-        let sim = monge_elkan(&a, &b);
+        let (it, b) = bags(&["jonathan smith", "jonathon smyth", "completely different"]);
+        let sim = monge_elkan(&it, &b[0], &b[1]);
         assert!(
             sim > 0.8,
             "near-identical tokens should score high, got {sim}"
         );
-        let c = words("completely different");
-        assert!(monge_elkan(&a, &c) < sim);
+        assert!(monge_elkan(&it, &b[0], &b[2]) < sim);
     }
 
     #[test]
     fn monge_elkan_identity() {
-        let a = words("alpha beta");
-        assert!((monge_elkan(&a, &a) - 1.0).abs() < 1e-12);
+        let (it, b) = bags(&["alpha beta"]);
+        assert!((monge_elkan(&it, &b[0], &b[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_is_representation_independent() {
+        // Same texts interned in different orders (different symbol
+        // numbering) must give bit-identical results.
+        let mut it1 = Interner::new();
+        let a1 = words(&mut it1, "zeta alpha mid");
+        let b1 = words(&mut it1, "zetta alpa mid");
+        let mut it2 = Interner::new();
+        let warm = words(&mut it2, "mid alpa zetta unrelated");
+        let a2 = words(&mut it2, "zeta alpha mid");
+        let b2 = words(&mut it2, "zetta alpa mid");
+        drop(warm);
+        assert_eq!(
+            monge_elkan(&it1, &a1, &b1).to_bits(),
+            monge_elkan(&it2, &a2, &b2).to_bits()
+        );
     }
 }

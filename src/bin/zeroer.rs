@@ -42,6 +42,7 @@ struct Args {
     model: Option<String>,
     base: Option<String>,
     threads: Option<usize>,
+    stats: bool,
 }
 
 fn usage() -> &'static str {
@@ -66,7 +67,10 @@ fn usage() -> &'static str {
                            cluster decisions are replayed from the snapshot (never\n\
                            re-scored) when the snapshot carries them\n\
        --threads <n>       (ingest) ingest worker threads (default: all cores);\n\
-                           results are identical for every thread count\n"
+                           results are identical for every thread count\n\
+       --stats             (dedup, ingest) print derivation/blocking observability\n\
+                           to stderr: distinct tokens interned, live/retired\n\
+                           buckets per blocking leg, candidate pairs generated\n"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -83,6 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         model: None,
         base: None,
         threads: None,
+        stats: false,
     };
     let mut batch_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -129,6 +134,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.threads = Some(n);
             }
+            "--stats" => args.stats = true,
             "--out" => args.out = Some(take_value(&mut it, "--out")?),
             "--save-model" => args.save_model = Some(take_value(&mut it, "--save-model")?),
             "--model" => args.model = Some(take_value(&mut it, "--model")?),
@@ -149,6 +155,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.save_model.is_some() && args.command != "dedup" {
         return Err("--save-model is only supported on the `dedup` batch path".into());
+    }
+    if args.stats && args.command == "match" {
+        return Err("--stats is only supported by the `dedup` and `ingest` commands".into());
     }
     if args.command != "ingest" {
         if args.model.is_some() {
@@ -272,6 +281,15 @@ fn run() -> Result<(), String> {
                 rows.len(),
                 result.clusters.len()
             );
+            if args.stats {
+                eprintln!(
+                    "zeroer: derivation: {} distinct tokens interned ({} bytes); \
+                     candidate pairs generated: {}",
+                    result.stats.distinct_tokens,
+                    result.stats.interner_bytes,
+                    result.pairs.len()
+                );
+            }
         }
         "ingest" => return run_ingest(&args),
         _ => unreachable!("validated in parse_args"),
@@ -367,6 +385,19 @@ fn run_ingest(args: &Args) -> Result<(), String> {
         pipeline.store().len(),
         pipeline.clusters().len()
     );
+    if args.stats {
+        let s = pipeline.stats();
+        eprintln!(
+            "zeroer: derivation: {} distinct tokens interned ({} bytes); \
+             candidate pairs generated: {}",
+            s.interned_tokens, s.interned_bytes, s.candidate_pairs
+        );
+        eprintln!(
+            "zeroer: blocking legs: token {} live / {} retired buckets; \
+             qgram {} live / {} retired buckets",
+            s.index.token.live, s.index.token.retired, s.index.qgram.live, s.index.qgram.retired
+        );
+    }
     match &args.out {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
         None => {

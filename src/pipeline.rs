@@ -5,16 +5,23 @@
 //! the three-model transitivity trainer for record linkage) — behind two
 //! calls: [`match_tables`] for record linkage (`T ≠ T'`) and
 //! [`dedup_table`] for deduplication (`T = T'`).
+//!
+//! Both pipelines derive each record **once** through the shared
+//! derivation layer: the featurizer's derivation (interned token bags +
+//! blocking keys) feeds blocking and feature generation alike, so no
+//! call site here ever re-tokenizes raw attribute text.
 
-use zeroer_blocking::{standard_recipe, Blocker, CandidateSet, PairMode};
+use zeroer_blocking::{standard_candidates_derived, CandidateSet, PairMode};
 use zeroer_core::{
     GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, UnionFind, ZeroErConfig,
 };
-use zeroer_features::PairFeaturizer;
+use zeroer_features::{DeriveConfig, PairFeaturizer};
 use zeroer_tabular::Table;
+use zeroer_textsim::derive::BlockSpec;
 
 pub use zeroer_stream::{
     BootstrapReport, IngestOutcome, PipelineSnapshot, StreamError, StreamOptions, StreamPipeline,
+    StreamStats,
 };
 
 /// Options for the high-level pipelines.
@@ -27,7 +34,7 @@ pub struct MatchOptions {
     pub blocking_attr: usize,
     /// Minimum shared word tokens for a candidate pair (1 = any shared
     /// token, unioned with q-gram blocking for typo robustness; ≥ 2 =
-    /// overlap blocking for multi-word keys).
+    /// overlap blocking).
     pub min_token_overlap: usize,
 }
 
@@ -41,14 +48,61 @@ impl Default for MatchOptions {
     }
 }
 
+const STANDARD_QGRAM: usize = 4;
+const STANDARD_MAX_BUCKET: usize = 400;
+
 impl MatchOptions {
-    fn blocker(&self) -> Box<dyn Blocker + Send + Sync> {
-        standard_recipe(self.blocking_attr, self.min_token_overlap, 4, 400)
+    /// The derivation configuration whose blocking keys the standard
+    /// recipe consumes (no q-gram keys needed under overlap blocking).
+    fn derive_config(&self) -> DeriveConfig {
+        DeriveConfig {
+            block: Some(BlockSpec {
+                attr: self.blocking_attr,
+                qgram: if self.min_token_overlap <= 1 {
+                    STANDARD_QGRAM
+                } else {
+                    0
+                },
+                equiv: false,
+            }),
+        }
+    }
+
+    /// The standard-recipe candidate set over a featurizer's derivation.
+    fn candidates(&self, fz: &PairFeaturizer, mode: PairMode) -> CandidateSet {
+        let right = match mode {
+            PairMode::Cross => Some(fz.right_derived()),
+            PairMode::Dedup => None,
+        };
+        standard_candidates_derived(
+            fz.left_derived(),
+            right,
+            mode,
+            self.min_token_overlap,
+            STANDARD_MAX_BUCKET,
+        )
     }
 }
 
-fn build_task(left: &Table, right: &Table, cs: &CandidateSet) -> LinkageTask {
-    let fz = PairFeaturizer::new(left, right);
+/// Derivation observability of one pipeline run (`zeroer dedup --stats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DerivationStats {
+    /// Distinct tokens interned across the run's derivations.
+    pub distinct_tokens: usize,
+    /// Bytes of distinct token text stored (each token once).
+    pub interner_bytes: usize,
+}
+
+impl DerivationStats {
+    fn of(fz: &PairFeaturizer) -> Self {
+        Self {
+            distinct_tokens: fz.interner().len(),
+            interner_bytes: fz.interner().bytes(),
+        }
+    }
+}
+
+fn build_task(fz: &PairFeaturizer, cs: &CandidateSet) -> LinkageTask {
     let mut fs = fz.featurize(cs.pairs());
     fs.normalize();
     LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout)
@@ -93,8 +147,14 @@ pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchRe
         right.schema(),
         "match_tables requires aligned schemas"
     );
-    let blocker = opts.blocker();
-    let cross_cs = blocker.candidates(left, right, PairMode::Cross);
+    // Three featurizers, three derivations: the cross task infers
+    // attribute types jointly over (left, right) while each self task
+    // infers over its own table alone — the type assignments (and hence
+    // feature layouts) legitimately differ, so the derivations cannot be
+    // shared across tasks. Within each task, blocking and featurization
+    // share one derivation.
+    let cross_fz = PairFeaturizer::with_config(left, right, opts.derive_config());
+    let cross_cs = opts.candidates(&cross_fz, PairMode::Cross);
     if cross_cs.is_empty() {
         return MatchResult {
             pairs: vec![],
@@ -102,12 +162,14 @@ pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchRe
             labels: vec![],
         };
     }
-    let left_cs = blocker.candidates(left, left, PairMode::Dedup);
-    let right_cs = blocker.candidates(right, right, PairMode::Dedup);
+    let left_fz = PairFeaturizer::with_config(left, left, opts.derive_config());
+    let right_fz = PairFeaturizer::with_config(right, right, opts.derive_config());
+    let left_cs = opts.candidates(&left_fz, PairMode::Dedup);
+    let right_cs = opts.candidates(&right_fz, PairMode::Dedup);
 
-    let cross = build_task(left, right, &cross_cs);
-    let left_task = build_task(left, left, &left_cs);
-    let right_task = build_task(right, right, &right_cs);
+    let cross = build_task(&cross_fz, &cross_cs);
+    let left_task = build_task(&left_fz, &left_cs);
+    let right_task = build_task(&right_fz, &right_cs);
 
     let out = LinkageModel::new(opts.config.clone()).fit(&cross, &left_task, &right_task);
     MatchResult {
@@ -129,23 +191,29 @@ pub struct DedupResult {
     /// Duplicate clusters: connected components over the predicted
     /// duplicate pairs (singletons omitted).
     pub clusters: Vec<Vec<usize>>,
+    /// Derivation observability (`--stats`).
+    pub stats: DerivationStats,
 }
 
 /// Deduplicates one table: blocking within the table, one generative
 /// model, transitivity calibration (§5's `T = T'` case), and a final
-/// transitive-closure clustering of the predicted duplicates.
+/// transitive-closure clustering of the predicted duplicates. The table
+/// is derived exactly once; blocking and featurization share the
+/// derivation.
 pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
-    let blocker = opts.blocker();
-    let cs = blocker.candidates(table, table, PairMode::Dedup);
+    let fz = PairFeaturizer::with_config(table, table, opts.derive_config());
+    let stats = DerivationStats::of(&fz);
+    let cs = opts.candidates(&fz, PairMode::Dedup);
     if cs.is_empty() {
         return DedupResult {
             pairs: vec![],
             probabilities: vec![],
             labels: vec![],
             clusters: vec![],
+            stats,
         };
     }
-    let task = build_task(table, table, &cs);
+    let task = build_task(&fz, &cs);
     let mut model = GenerativeModel::new(opts.config.clone(), task.layout.clone());
     let calibrator = TransitivityCalibrator::new(&task.pairs);
     model.fit(&task.features, Some(&calibrator));
@@ -167,6 +235,7 @@ pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
         probabilities,
         labels,
         clusters,
+        stats,
     }
 }
 
@@ -189,11 +258,16 @@ pub fn dedup_table_with_snapshot(
         ..StreamOptions::default()
     };
     let (pipeline, report) = StreamPipeline::bootstrap(table, stream_opts)?;
+    let stream_stats = pipeline.stats();
     let result = DedupResult {
         pairs: report.pairs,
         probabilities: report.probabilities,
         labels: report.labels,
         clusters: pipeline.clusters(),
+        stats: DerivationStats {
+            distinct_tokens: stream_stats.interned_tokens,
+            interner_bytes: stream_stats.interned_bytes,
+        },
     };
     Ok((result, pipeline))
 }
@@ -263,6 +337,7 @@ mod tests {
         );
         let cluster = &result.clusters[0];
         assert!(cluster.contains(&0) && cluster.contains(&3), "{cluster:?}");
+        assert!(result.stats.distinct_tokens > 0, "stats are populated");
     }
 
     #[test]
@@ -285,6 +360,9 @@ mod tests {
         assert_eq!(plain.labels, with_snap.labels);
         assert_eq!(plain.probabilities, with_snap.probabilities);
         assert_eq!(plain.clusters, with_snap.clusters);
+        // Both paths derived the same table with the same config: the
+        // interner statistics must agree exactly.
+        assert_eq!(plain.stats.distinct_tokens, with_snap.stats.distinct_tokens);
         // The frozen snapshot round-trips through JSON.
         let snap = pipeline.snapshot();
         let reloaded = PipelineSnapshot::from_json(&snap.to_json()).expect("valid JSON");

@@ -357,3 +357,92 @@ fn block_on_validates_attribute_names() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no attribute named"));
 }
+
+#[test]
+fn stats_flag_prints_observability_and_is_rejected_on_match() {
+    let base = write_tmp(
+        "st1",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let snap = std::env::temp_dir().join(format!("zeroer-stats-snap-{}.json", std::process::id()));
+
+    // dedup --stats: derivation observability on the batch path.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--stats",
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup --stats");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("distinct tokens interned"),
+        "dedup --stats must report interner stats: {stderr}"
+    );
+    assert!(
+        stderr.contains("candidate pairs generated"),
+        "dedup --stats must report candidate counts: {stderr}"
+    );
+
+    // ingest --stats: interner plus per-leg bucket counts.
+    let stream = write_tmp(
+        "st2",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Totally Unseen Steakhouse,miami\n",
+    );
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--stats",
+        ])
+        .output()
+        .expect("spawn zeroer ingest --stats");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("distinct tokens interned"),
+        "ingest --stats must report interner stats: {stderr}"
+    );
+    assert!(
+        stderr.contains("blocking legs: token"),
+        "ingest --stats must report per-leg bucket counts: {stderr}"
+    );
+    assert!(
+        stderr.contains("candidate pairs generated"),
+        "ingest --stats must report candidate counts: {stderr}"
+    );
+
+    // match has no streaming index or persistent derivation: rejected.
+    let l = write_tmp("st3", LEFT);
+    let r = write_tmp("st4", RIGHT);
+    let out = Command::new(zeroer_bin())
+        .args(["match", l.to_str().unwrap(), r.to_str().unwrap(), "--stats"])
+        .output()
+        .expect("spawn zeroer match --stats");
+    assert!(!out.status.success(), "--stats is dedup/ingest-only");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only supported by the `dedup`"));
+}

@@ -1,0 +1,378 @@
+//! Old-vs-new derivation parity: the regression guard for the interned
+//! one-pass derivation layer.
+//!
+//! The [`reference`] module preserves the *pre-interning* implementation
+//! verbatim — string-keyed `HashMap` token bags, string blocking keys,
+//! string-keyed inverted-index blocking — and the proptests assert that
+//! the interned derivation produces **identical** word/q-gram bags,
+//! blocking keys, candidate sets, and feature rows (the latter down to
+//! `f64::to_bits`) on generated records.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use zeroer::blocking::{standard_candidates_derived, PairMode};
+use zeroer::features::{functions_for, DeriveConfig, PairFeaturizer, RowFeaturizer, SimFunction};
+use zeroer::tabular::{Record, Schema, Table, Value};
+use zeroer::textsim::derive::Deriver;
+use zeroer::textsim::{jaro_winkler, Interner, Sym, TokenBag};
+
+/// The retired string-based tokenizers and blockers, kept as the parity
+/// reference. This is a line-for-line port of the pre-refactor code.
+mod reference {
+    use std::collections::HashMap;
+
+    pub fn normalize(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut last_space = true;
+        for ch in s.chars() {
+            if ch.is_alphanumeric() {
+                out.extend(ch.to_lowercase());
+                last_space = false;
+            } else if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out
+    }
+
+    pub fn words(s: &str) -> HashMap<String, u32> {
+        let mut bag = HashMap::new();
+        for t in normalize(s).split(' ').filter(|w| !w.is_empty()) {
+            *bag.entry(t.to_string()).or_insert(0) += 1;
+        }
+        bag
+    }
+
+    pub fn qgrams(s: &str, q: usize) -> HashMap<String, u32> {
+        assert!(q > 0);
+        let norm = normalize(s);
+        let mut bag = HashMap::new();
+        if norm.is_empty() {
+            return bag;
+        }
+        let pad = "#".repeat(q - 1);
+        let padded: Vec<char> = format!("{pad}{norm}{pad}").chars().collect();
+        if padded.len() < q {
+            bag.insert(padded.iter().collect(), 1);
+            return bag;
+        }
+        for w in padded.windows(q) {
+            *bag.entry(w.iter().collect::<String>()).or_insert(0) += 1;
+        }
+        bag
+    }
+
+    pub fn token_keys(s: &str) -> Vec<String> {
+        let mut keys: Vec<String> = words(s).into_keys().filter(|t| t.len() > 1).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    pub fn qgram_keys(s: &str, q: usize) -> Vec<String> {
+        let mut keys: Vec<String> = qgrams(s, q).into_keys().collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// The old string-keyed inverted-index join (dedup mode), including
+    /// the stop-word bucket guard.
+    pub fn join(index: &HashMap<String, Vec<usize>>, max_bucket: usize) -> Vec<(usize, usize)> {
+        let mut pairs = std::collections::BTreeSet::new();
+        for members in index.values() {
+            if members.len() * members.len() > max_bucket * max_bucket {
+                continue;
+            }
+            for &a in members {
+                for &b in members {
+                    if a < b {
+                        pairs.insert((a, b));
+                    }
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// The old standard dedup recipe: token ∪ q-gram blocking.
+    pub fn standard_dedup_pairs(
+        names: &[String],
+        q: usize,
+        max_bucket: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut tok: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut qgm: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, n) in names.iter().enumerate() {
+            for k in token_keys(n) {
+                tok.entry(k).or_default().push(i);
+            }
+            for k in qgram_keys(n, q) {
+                qgm.entry(k).or_default().push(i);
+            }
+        }
+        let mut pairs: std::collections::BTreeSet<(usize, usize)> =
+            join(&tok, max_bucket).into_iter().collect();
+        pairs.extend(join(&qgm, max_bucket));
+        pairs.into_iter().collect()
+    }
+}
+
+/// Renders an interned bag as text → count for comparison.
+fn bag_to_map(bag: &TokenBag, interner: &Interner) -> BTreeMap<String, u32> {
+    bag.iter()
+        .map(|(s, c)| (interner.resolve(s).to_string(), c))
+        .collect()
+}
+
+fn syms_to_sorted_texts(syms: &[Sym], interner: &Interner) -> Vec<String> {
+    let mut v: Vec<String> = syms
+        .iter()
+        .map(|&s| interner.resolve(s).to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+fn to_map(bag: HashMap<String, u32>) -> BTreeMap<String, u32> {
+    bag.into_iter().collect()
+}
+
+/// Messy attribute text: words, punctuation, unicode, digits.
+fn attr_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,.!_-]{0,24}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word and q-gram bags are identical to the string-based reference.
+    #[test]
+    fn bags_match_reference(s in attr_text(), q in 1usize..6) {
+        let mut deriver = Deriver::new(DeriveConfig::blocking(0, q));
+        let rec = deriver.derive(&[Value::Str(s.clone())]);
+        let it = deriver.interner();
+        prop_assert_eq!(
+            bag_to_map(&rec.attr(0).word, it),
+            to_map(reference::words(&s)),
+            "word bags diverge on {:?}", s
+        );
+        prop_assert_eq!(
+            bag_to_map(&rec.attr(0).qgm3, it),
+            to_map(reference::qgrams(&s, 3)),
+            "3-gram bags diverge on {:?}", s
+        );
+    }
+
+    /// Blocking keys (token and q-gram) are identical to the reference
+    /// extractors.
+    #[test]
+    fn blocking_keys_match_reference(s in attr_text(), q in 1usize..6) {
+        let mut deriver = Deriver::new(DeriveConfig::blocking(0, q));
+        let rec = deriver.derive(&[Value::Str(s.clone())]);
+        let it = deriver.interner();
+        prop_assert_eq!(
+            syms_to_sorted_texts(&rec.keys().tokens, it),
+            reference::token_keys(&s),
+            "token keys diverge on {:?}", s
+        );
+        prop_assert_eq!(
+            syms_to_sorted_texts(&rec.keys().qgrams, it),
+            reference::qgram_keys(&s, q),
+            "q-gram keys diverge on {:?}", s
+        );
+    }
+
+    /// The standard dedup candidate set over the derived keys equals the
+    /// old string-keyed inverted-index blocking exactly.
+    #[test]
+    fn candidate_sets_match_reference(
+        names in proptest::collection::vec(attr_text(), 16),
+        max_bucket in 2usize..12,
+    ) {
+        let mut deriver = Deriver::new(DeriveConfig::blocking(0, 4));
+        let derived: Vec<_> = names
+            .iter()
+            .map(|n| deriver.derive(&[Value::Str(n.clone())]))
+            .collect();
+        let got: BTreeSet<(usize, usize)> =
+            standard_candidates_derived(&derived, None, PairMode::Dedup, 1, max_bucket)
+                .pairs()
+                .iter()
+                .copied()
+                .collect();
+        let want: BTreeSet<(usize, usize)> =
+            reference::standard_dedup_pairs(&names, 4, max_bucket).into_iter().collect();
+        prop_assert_eq!(got, want, "candidate sets diverge on {:?}", names);
+    }
+
+    /// Feature rows are bit-identical to rows computed with the
+    /// string-based reference bags.
+    #[test]
+    fn feature_rows_match_reference_bitwise(
+        texts in proptest::collection::vec(attr_text(), 6),
+        nums in proptest::collection::vec(-1e6f64..1e6, 6),
+        null_mask in proptest::collection::vec(0usize..4, 6),
+    ) {
+        let mut table = Table::new("t", Schema::new(["name", "score"]));
+        for (i, s) in texts.iter().enumerate() {
+            let v = if null_mask[i] == 0 {
+                Value::Null
+            } else {
+                Value::Float(nums[i])
+            };
+            table.push(Record::new(i as u32, vec![Value::Str(s.clone()), v]));
+        }
+        let fz = PairFeaturizer::with_config(&table, &table, DeriveConfig::blocking(0, 4));
+        let row_fz = RowFeaturizer::new(fz.attr_types());
+        let pairs: Vec<(usize, usize)> = (1..texts.len()).map(|j| (0, j)).collect();
+        for &(a, b) in &pairs {
+            let got = row_fz.raw_row(
+                fz.interner(),
+                &fz.left_derived()[a],
+                &fz.right_derived()[b],
+            );
+            let want = reference_row(&table, a, b, fz.attr_types());
+            prop_assert_eq!(got.len(), want.len());
+            for (col, (g, w)) in got.iter().zip(&want).enumerate() {
+                if g.is_nan() && w.is_nan() {
+                    continue;
+                }
+                prop_assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "col {} diverges on pair ({}, {}): {} vs {}", col, a, b, g, w
+                );
+            }
+        }
+    }
+}
+
+/// One pair's feature row computed entirely from the string-based
+/// reference bags (token measures) and the shared sequence/numeric
+/// kernels.
+fn reference_row(
+    table: &Table,
+    a: usize,
+    b: usize,
+    attr_types: &[zeroer::tabular::AttrType],
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (attr, &ty) in attr_types.iter().enumerate() {
+        let va = table.value(a, attr);
+        let vb = table.value(b, attr);
+        for &f in functions_for(ty) {
+            out.push(reference_sim(f, va, vb));
+        }
+    }
+    out
+}
+
+fn set_of(bag: &HashMap<String, u32>) -> BTreeSet<&str> {
+    bag.keys().map(String::as_str).collect()
+}
+
+fn reference_sim(f: SimFunction, a: &Value, b: &Value) -> f64 {
+    if a.is_null() || b.is_null() {
+        return f64::NAN;
+    }
+    let ta = a.as_text().unwrap_or_default();
+    let tb = b.as_text().unwrap_or_default();
+    let token_sets = |q: Option<usize>| {
+        let (ba, bb) = match q {
+            Some(q) => (reference::qgrams(&ta, q), reference::qgrams(&tb, q)),
+            None => (reference::words(&ta), reference::words(&tb)),
+        };
+        (ba, bb)
+    };
+    let set_measure = |q: Option<usize>, f: &dyn Fn(usize, usize, usize) -> f64| {
+        let (ba, bb) = token_sets(q);
+        if ba.is_empty() && bb.is_empty() {
+            return 1.0;
+        }
+        let (sa, sb) = (set_of(&ba), set_of(&bb));
+        let inter = sa.intersection(&sb).count();
+        f(inter, sa.len(), sb.len())
+    };
+    match f {
+        SimFunction::JaccardQgm3 => set_measure(Some(3), &|i, na, nb| {
+            let union = na + nb - i;
+            if union == 0 {
+                0.0
+            } else {
+                i as f64 / union as f64
+            }
+        }),
+        SimFunction::CosineQgm3 => set_measure(Some(3), &|i, na, nb| {
+            if na == 0 || nb == 0 {
+                0.0
+            } else {
+                i as f64 / ((na as f64) * (nb as f64)).sqrt()
+            }
+        }),
+        SimFunction::JaccardWord => set_measure(None, &|i, na, nb| {
+            let union = na + nb - i;
+            if union == 0 {
+                0.0
+            } else {
+                i as f64 / union as f64
+            }
+        }),
+        SimFunction::CosineWord => set_measure(None, &|i, na, nb| {
+            if na == 0 || nb == 0 {
+                0.0
+            } else {
+                i as f64 / ((na as f64) * (nb as f64)).sqrt()
+            }
+        }),
+        SimFunction::DiceWord => set_measure(None, &|i, na, nb| {
+            if na + nb == 0 {
+                0.0
+            } else {
+                2.0 * i as f64 / (na + nb) as f64
+            }
+        }),
+        SimFunction::OverlapWord => set_measure(None, &|i, na, nb| {
+            let min = na.min(nb);
+            if min == 0 {
+                0.0
+            } else {
+                i as f64 / min as f64
+            }
+        }),
+        SimFunction::MongeElkan => {
+            let (ba, bb) = token_sets(None);
+            if ba.is_empty() && bb.is_empty() {
+                return 1.0;
+            }
+            if ba.is_empty() || bb.is_empty() {
+                return 0.0;
+            }
+            // Canonical token-text order — the documented summation
+            // order of the interned implementation.
+            let toks_a: BTreeSet<&str> = set_of(&ba);
+            let toks_b: Vec<&str> = set_of(&bb).into_iter().collect();
+            let mut total = 0.0;
+            for ta in &toks_a {
+                let best = toks_b
+                    .iter()
+                    .map(|tb| jaro_winkler(ta, tb))
+                    .fold(0.0f64, f64::max);
+                total += best;
+            }
+            total / toks_a.len() as f64
+        }
+        // The sequence/numeric kernels were never touched by the
+        // refactor; apply the production code directly. The cached path
+        // feeds sequence measures the *lowercased* text form, so the
+        // reference must too.
+        SimFunction::AbsDiff | SimFunction::RelDiff | SimFunction::ExactMatch => {
+            f.apply(a, b).unwrap_or(f64::NAN)
+        }
+        _ => f.apply_text(&ta.to_lowercase(), &tb.to_lowercase()),
+    }
+}
