@@ -90,6 +90,27 @@ impl UnionFind {
         winner
     }
 
+    /// Resets every listed element to a fresh singleton (`parent = self`,
+    /// `rank = 0`), leaving all other elements untouched.
+    ///
+    /// Only sound when `members` is closed under the forest's edges —
+    /// i.e. it contains every element whose parent chain passes through
+    /// any member (one or more *complete* connected components).
+    /// Resetting a proper subset would leave outside elements pointing at
+    /// re-singletonized parents, silently splitting their sets. The
+    /// streaming retraction path uses this to rebuild one component after
+    /// a record is withdrawn: reset the component, then re-union the
+    /// surviving decision edges.
+    ///
+    /// # Panics
+    /// Panics if any member index is `>= len`.
+    pub fn reset_members(&mut self, members: &[usize]) {
+        for &m in members {
+            self.parent[m] = m;
+            self.rank[m] = 0;
+        }
+    }
+
     /// Whether `a` and `b` are currently in the same set.
     pub fn same_set(&self, a: usize, b: usize) -> bool {
         self.find_readonly(a) == self.find_readonly(b)
@@ -193,6 +214,22 @@ mod tests {
         }
         assert_eq!(uf.num_sets(), 1);
         assert_eq!(uf.find(n - 1), uf.find(0));
+    }
+
+    #[test]
+    fn reset_members_rebuilds_one_component_without_touching_others() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        // Reset the {0,1,2} component and replay only the 1-2 edge (as
+        // if record 0 were retracted).
+        uf.reset_members(&[0, 1, 2]);
+        assert_eq!(uf.num_sets(), 5, "component members become singletons");
+        uf.union(1, 2);
+        assert!(uf.same_set(1, 2));
+        assert!(!uf.same_set(0, 1), "0 stays out after the replay");
+        assert!(uf.same_set(4, 5), "other components are untouched");
     }
 
     #[test]

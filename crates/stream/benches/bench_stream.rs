@@ -321,36 +321,104 @@ fn main() {
         tail_par.len()
     );
     if cores < 2 {
-        println!("NOTE: single-core machine — speedups above 1× require more cores; this run only demonstrates determinism and overhead.");
+        // Speedup numbers off a single core are pure pool overhead and
+        // read as a scaling regression; don't print misleading 1.0×
+        // lines, just prove determinism at one multi-thread point.
+        println!(
+            "SKIPPED: parallel-scaling timings need >1 core (available_parallelism = 1); \
+             run on multi-core hardware for the speedup numbers."
+        );
+        let mut seq = cold(&snap_par, &boot_par);
+        seq.ingest_batch_parallel(tail_par.clone(), 1);
+        let mut par = cold(&snap_par, &boot_par);
+        par.ingest_batch_parallel(tail_par.clone(), 4);
+        println!(
+            "determinism check (threads 1 vs 4): {}\n",
+            if seq.clusters() == par.clusters() {
+                "identical clusters"
+            } else {
+                "CLUSTER MISMATCH"
+            }
+        );
+    } else {
+        let mut baseline = f64::NAN;
+        let mut reference_clusters: Option<Vec<Vec<usize>>> = None;
+        let mut threads = 1;
+        while threads <= max_threads {
+            let mut p = cold(&snap_par, &boot_par);
+            let t = Instant::now();
+            let outcomes = p.ingest_batch_parallel(tail_par.clone(), threads);
+            let secs = t.elapsed().as_secs_f64();
+            if threads == 1 {
+                baseline = secs;
+            }
+            let clusters = p.clusters();
+            let parity = match &reference_clusters {
+                None => {
+                    reference_clusters = Some(clusters);
+                    "reference"
+                }
+                Some(reference) if *reference == clusters => "identical clusters",
+                Some(_) => "CLUSTER MISMATCH",
+            };
+            println!(
+                "threads={threads}: {:.4} s → {:.0} records/s ({:.2}× vs 1 thread, {} outcomes, {parity})",
+                secs,
+                tail_par.len() as f64 / secs,
+                baseline / secs,
+                outcomes.len()
+            );
+            threads *= 2;
+        }
+        println!();
     }
 
-    let mut baseline = f64::NAN;
-    let mut reference_clusters: Option<Vec<Vec<usize>>> = None;
-    let mut threads = 1;
-    while threads <= max_threads {
-        let mut p = cold(&snap_par, &boot_par);
-        let t = Instant::now();
-        let outcomes = p.ingest_batch_parallel(tail_par.clone(), threads);
-        let secs = t.elapsed().as_secs_f64();
-        if threads == 1 {
-            baseline = secs;
+    // ---- Section 5: retraction + compaction ------------------------
+    // Retract ~40 % of the store, then compact. Per-retraction latency
+    // includes the component rebuild and the watermark check (the
+    // default 0.5 watermark stays armed; a line is printed if it
+    // fires).
+    let mut p = cold(&snap_par, &boot_par);
+    p.ingest_batch_parallel(tail_par.clone(), 1.max(cores));
+    let total = p.len();
+    let victims: Vec<usize> = (0..total).filter(|i| i % 3 == 0 || i % 10 == 9).collect();
+    println!(
+        "== retraction + compaction ({} of {} records retracted) ==",
+        victims.len(),
+        total
+    );
+    let t4 = Instant::now();
+    let mut max_component = 0usize;
+    for &v in &victims {
+        let r = p.retract(v).expect("live record");
+        max_component = max_component.max(r.component_size);
+        if let Some(auto) = r.auto_compaction {
+            println!(
+                "watermark compaction fired at epoch {}: {} bytes reclaimed",
+                auto.epoch,
+                auto.bytes_reclaimed()
+            );
         }
-        let clusters = p.clusters();
-        let parity = match &reference_clusters {
-            None => {
-                reference_clusters = Some(clusters);
-                "reference"
-            }
-            Some(reference) if *reference == clusters => "identical clusters",
-            Some(_) => "CLUSTER MISMATCH",
-        };
-        println!(
-            "threads={threads}: {:.4} s → {:.0} records/s ({:.2}× vs 1 thread, {} outcomes, {parity})",
-            secs,
-            tail_par.len() as f64 / secs,
-            baseline / secs,
-            outcomes.len()
-        );
-        threads *= 2;
     }
+    let retract_secs = t4.elapsed().as_secs_f64();
+    println!(
+        "retract: {} records in {:.4} s → {:.0} retractions/s ({:.1} µs each, largest component rebuilt: {max_component})",
+        victims.len(),
+        retract_secs,
+        victims.len() as f64 / retract_secs,
+        retract_secs * 1e6 / victims.len() as f64
+    );
+    let stats = p.stats();
+    let t5 = Instant::now();
+    let report = p.compact();
+    let compact_secs = t5.elapsed().as_secs_f64();
+    println!(
+        "compact: {:.4} s → {} bytes reclaimed ({} of {} postings dropped, {} buckets freed, {} log edges pruned)",
+        compact_secs,
+        report.bytes_reclaimed(),
+        report.index.postings_dropped,
+        stats.index.postings(),
+        report.index.buckets_freed,
+        report.store.decisions_pruned
+    );
 }

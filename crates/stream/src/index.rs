@@ -25,6 +25,22 @@
 //! pairs are the one bounded divergence from batch semantics (at most
 //! `max_bucket·(max_bucket−1)/2` extra pairs per hot key, and none on
 //! datasets where no bucket overflows; see the parity tests).
+//!
+//! ## Retraction & compaction
+//!
+//! Records can be withdrawn after insertion (`EntityStore::retract`).
+//! The index handles this with **tombstoned postings**: retraction marks
+//! the record's posting dead in every bucket that holds it (a per-bucket
+//! dead count, O(bucket) per key), and lookups filter members against
+//! the caller's tombstone set — so a retracted record never appears as a
+//! candidate again, and the frequency cap counts *live* members only.
+//! The postings themselves stay in place until [`IncrementalIndex::
+//! compact`] (or the sharded equivalent) drops them, frees buckets that
+//! end up empty, removes cap-retired `Dead` buckets, and reports the
+//! reclaimed bytes. Note that dropping a `Dead` bucket lets its key pair
+//! again if it reappears — a hot key simply re-retires once its *live*
+//! population crosses the cap, which is exactly the state a fresh index
+//! over the surviving records would reach.
 
 use crate::shard::RecordKeys;
 use std::collections::HashMap;
@@ -77,12 +93,26 @@ impl IndexConfig {
     }
 }
 
-/// One inverted-index bucket: live members, or retired after crossing the
-/// frequency cap.
+/// One inverted-index bucket: live members (some possibly tombstoned,
+/// counted in `dead`), or retired after crossing the frequency cap.
 #[derive(Debug, Clone)]
 enum Bucket {
-    Live(Vec<usize>),
+    Live {
+        members: Vec<usize>,
+        /// How many of `members` are tombstoned (marked by
+        /// [`Leg::retract_key`], dropped by [`Leg::compact`]).
+        dead: u32,
+    },
     Dead,
+}
+
+/// Whether `idx` is tombstoned under the caller's tombstone set. Indices
+/// beyond the set (e.g. records of an in-flight parallel batch, not yet
+/// committed to the store) are live by definition. An empty slice means
+/// "no retractions".
+#[inline]
+pub(crate) fn is_dead(tombstones: &[bool], idx: usize) -> bool {
+    tombstones.get(idx).copied().unwrap_or(false)
 }
 
 /// Live/retired bucket counts of one blocking leg.
@@ -92,6 +122,11 @@ pub struct LegStats {
     pub live: usize,
     /// Buckets retired by the frequency cap.
     pub retired: usize,
+    /// Postings stored in live buckets (tombstoned ones included until
+    /// compaction drops them).
+    pub postings: usize,
+    /// Postings marked dead by retraction and not yet compacted away.
+    pub dead_postings: usize,
 }
 
 /// Bucket statistics of an incremental index, per leg.
@@ -103,6 +138,44 @@ pub struct IndexStats {
     pub qgram: LegStats,
 }
 
+impl IndexStats {
+    /// Postings stored across both legs.
+    pub fn postings(&self) -> usize {
+        self.token.postings + self.qgram.postings
+    }
+
+    /// Dead (tombstoned, uncompacted) postings across both legs.
+    pub fn dead_postings(&self) -> usize {
+        self.token.dead_postings + self.qgram.dead_postings
+    }
+
+    /// Retired (cap-killed, uncompacted) buckets across both legs.
+    pub fn retired_buckets(&self) -> usize {
+        self.token.retired + self.qgram.retired
+    }
+}
+
+/// What one compaction pass reclaimed (see [`IncrementalIndex::compact`]
+/// / `ShardedIndex::compact`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionDelta {
+    /// Tombstoned postings dropped from live buckets.
+    pub postings_dropped: usize,
+    /// Buckets removed outright: emptied live buckets plus cap-retired
+    /// `Dead` markers.
+    pub buckets_freed: usize,
+    /// Estimated bytes released (posting slots + bucket entries).
+    pub bytes_reclaimed: usize,
+}
+
+impl CompactionDelta {
+    pub(crate) fn absorb(&mut self, other: CompactionDelta) {
+        self.postings_dropped += other.postings_dropped;
+        self.buckets_freed += other.buckets_freed;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+    }
+}
+
 /// One blocking leg: an inverted index with the frequency cap, keyed by
 /// interned symbol. Shared by the unsharded [`IncrementalIndex`] and the
 /// key-space shards of [`crate::shard::ShardedIndex`] — each key's bucket
@@ -111,6 +184,10 @@ pub struct IndexStats {
 pub(crate) struct Leg {
     buckets: HashMap<Sym, Bucket>,
     max_bucket: usize,
+    /// Postings stored in live buckets (dead-marked ones included).
+    postings: usize,
+    /// Postings marked dead and not yet compacted away.
+    dead_postings: usize,
 }
 
 impl Leg {
@@ -118,29 +195,44 @@ impl Leg {
         Self {
             buckets: HashMap::new(),
             max_bucket,
+            postings: 0,
+            dead_postings: 0,
         }
     }
 
-    /// Collects the members sharing `key` into `counts`, then inserts the
-    /// new record under the key.
-    pub(crate) fn insert_key(&mut self, idx: usize, key: Sym, counts: &mut HashMap<usize, usize>) {
-        let bucket = self
-            .buckets
-            .entry(key)
-            .or_insert_with(|| Bucket::Live(Vec::new()));
+    /// Collects the *live* members sharing `key` into `counts`, then
+    /// inserts the new record under the key. The frequency cap counts
+    /// live members only, so a bucket's retirement point is where a
+    /// fresh index over the surviving records would retire it.
+    pub(crate) fn insert_key(
+        &mut self,
+        idx: usize,
+        key: Sym,
+        counts: &mut HashMap<usize, usize>,
+        tombstones: &[bool],
+    ) {
+        let bucket = self.buckets.entry(key).or_insert_with(|| Bucket::Live {
+            members: Vec::new(),
+            dead: 0,
+        });
         match bucket {
             Bucket::Dead => {}
-            Bucket::Live(members) => {
-                if members.len() + 1 > self.max_bucket {
+            Bucket::Live { members, dead } => {
+                if members.len() - *dead as usize + 1 > self.max_bucket {
                     // Crossing the cap: batch semantics would never
                     // pair through this key, so retire it.
+                    self.postings -= members.len();
+                    self.dead_postings -= *dead as usize;
                     *bucket = Bucket::Dead;
                     return;
                 }
                 for &m in members.iter() {
-                    *counts.entry(m).or_insert(0) += 1;
+                    if !is_dead(tombstones, m) {
+                        *counts.entry(m).or_insert(0) += 1;
+                    }
                 }
                 members.push(idx);
+                self.postings += 1;
             }
         }
     }
@@ -152,18 +244,76 @@ impl Leg {
         idx: usize,
         keys: impl IntoIterator<Item = Sym>,
         counts: &mut HashMap<usize, usize>,
+        tombstones: &[bool],
     ) {
         for key in keys {
-            self.insert_key(idx, key, counts);
+            self.insert_key(idx, key, counts, tombstones);
         }
     }
 
-    /// Live/retired bucket counts.
+    /// Marks record `idx`'s posting under `key` dead (the posting stays
+    /// until [`Leg::compact`]). Returns whether a posting was found —
+    /// false when the bucket was already cap-retired at insert time.
+    pub(crate) fn retract_key(&mut self, idx: usize, key: Sym) -> bool {
+        match self.buckets.get_mut(&key) {
+            Some(Bucket::Live { members, dead }) if members.contains(&idx) => {
+                *dead += 1;
+                self.dead_postings += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops every tombstoned posting, frees buckets left empty, and
+    /// removes cap-retired `Dead` markers. `tombstones` must be the same
+    /// set the dead marks were made against.
+    pub(crate) fn compact(&mut self, tombstones: &[bool]) -> CompactionDelta {
+        let mut delta = CompactionDelta::default();
+        self.buckets.retain(|_, bucket| match bucket {
+            Bucket::Dead => {
+                delta.buckets_freed += 1;
+                false
+            }
+            Bucket::Live { members, dead } => {
+                if *dead > 0 {
+                    let before = members.len();
+                    members.retain(|&m| !is_dead(tombstones, m));
+                    delta.postings_dropped += before - members.len();
+                    members.shrink_to_fit();
+                    *dead = 0;
+                }
+                if members.is_empty() {
+                    delta.buckets_freed += 1;
+                    false
+                } else {
+                    true
+                }
+            }
+        });
+        self.postings -= delta.postings_dropped;
+        self.dead_postings = 0;
+        delta.bytes_reclaimed = delta.postings_dropped * std::mem::size_of::<usize>()
+            + delta.buckets_freed * (std::mem::size_of::<Sym>() + std::mem::size_of::<Bucket>());
+        delta
+    }
+
+    /// `(postings, dead_postings)` — the O(1) counters the
+    /// auto-compaction watermark reads (no bucket scan).
+    pub(crate) fn posting_counts(&self) -> (usize, usize) {
+        (self.postings, self.dead_postings)
+    }
+
+    /// Live/retired bucket counts plus posting counters.
     pub(crate) fn stats(&self) -> LegStats {
-        let mut s = LegStats::default();
+        let mut s = LegStats {
+            postings: self.postings,
+            dead_postings: self.dead_postings,
+            ..LegStats::default()
+        };
         for b in self.buckets.values() {
             match b {
-                Bucket::Live(_) => s.live += 1,
+                Bucket::Live { .. } => s.live += 1,
                 Bucket::Dead => s.retired += 1,
             }
         }
@@ -175,6 +325,8 @@ impl Leg {
         let s = self.stats();
         acc.live += s.live;
         acc.retired += s.retired;
+        acc.postings += s.postings;
+        acc.dead_postings += s.dead_postings;
     }
 }
 
@@ -257,16 +409,23 @@ impl IncrementalIndex {
     /// and returns the sorted indices of previously inserted records
     /// sharing a blocking key.
     pub fn insert_keys(&mut self, keys: &RecordKeys) -> Vec<usize> {
+        self.insert_keys_live(keys, &[])
+    }
+
+    /// [`IncrementalIndex::insert_keys`] with a tombstone filter:
+    /// retracted records are skipped as candidates and excluded from the
+    /// frequency cap. An empty slice means "no retractions".
+    pub fn insert_keys_live(&mut self, keys: &RecordKeys, tombstones: &[bool]) -> Vec<usize> {
         let idx = self.len;
         self.len += 1;
 
         let mut token_counts: HashMap<usize, usize> = HashMap::new();
         self.token_leg
-            .lookup_and_insert(idx, keys.token_syms(), &mut token_counts);
+            .lookup_and_insert(idx, keys.token_syms(), &mut token_counts, tombstones);
 
         let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
         if let Some(qleg) = &mut self.qgram_leg {
-            qleg.lookup_and_insert(idx, keys.qgram_syms(), &mut qgram_counts);
+            qleg.lookup_and_insert(idx, keys.qgram_syms(), &mut qgram_counts, tombstones);
         }
 
         merge_candidates(
@@ -274,6 +433,34 @@ impl IncrementalIndex {
             qgram_counts.into_keys(),
             self.cfg.min_token_overlap,
         )
+    }
+
+    /// Marks record `idx`'s postings dead under its blocking keys (the
+    /// same [`RecordKeys`] it was inserted with); the postings stay in
+    /// place until [`IncrementalIndex::compact`]. Returns the number of
+    /// postings tombstoned.
+    pub fn retract_keys(&mut self, idx: usize, keys: &RecordKeys) -> usize {
+        let mut marked = 0;
+        for key in keys.token_syms() {
+            marked += usize::from(self.token_leg.retract_key(idx, key));
+        }
+        if let Some(qleg) = &mut self.qgram_leg {
+            for key in keys.qgram_syms() {
+                marked += usize::from(qleg.retract_key(idx, key));
+            }
+        }
+        marked
+    }
+
+    /// Drops tombstoned postings, frees emptied buckets and cap-retired
+    /// markers, and reports what was reclaimed. `tombstones` must be the
+    /// set the retractions were recorded against.
+    pub fn compact(&mut self, tombstones: &[bool]) -> CompactionDelta {
+        let mut delta = self.token_leg.compact(tombstones);
+        if let Some(qleg) = &mut self.qgram_leg {
+            delta.absorb(qleg.compact(tombstones));
+        }
+        delta
     }
 }
 
@@ -362,6 +549,64 @@ mod tests {
         assert!(got.is_empty());
         let again = h.insert(&rec(2, "some title"));
         assert_eq!(again, vec![0], "null rows must not poison the index");
+    }
+
+    #[test]
+    fn retracted_records_stop_being_candidates_and_compaction_reclaims() {
+        let mut h = Harness::new(IndexConfig {
+            qgram: 0,
+            ..Default::default()
+        });
+        let out = insert_all(&mut h, &["red apple", "green apple"]);
+        assert_eq!(out[1], vec![0]);
+
+        // Retract record 0: mark its postings dead under its keys.
+        let d = h.deriver.derive(&rec(0, "red apple").values);
+        let keys = RecordKeys::from_derived(&d, h.deriver.interner());
+        let marked = h.index.retract_keys(0, &keys);
+        assert_eq!(marked, 2, "'red' and 'apple' postings tombstoned");
+        let stats = h.index.stats();
+        assert_eq!(stats.token.dead_postings, 2);
+        assert_eq!(stats.token.postings, 4);
+
+        // A new record sharing 'apple' sees only the live record 1.
+        let tombstones = [true, false];
+        let d = h.deriver.derive(&rec(2, "apple strudel").values);
+        let keys = RecordKeys::from_derived(&d, h.deriver.interner());
+        assert_eq!(h.index.insert_keys_live(&keys, &tombstones), vec![1]);
+
+        // Compaction drops the dead postings and frees the now-empty
+        // 'red' bucket.
+        let delta = h.index.compact(&tombstones);
+        assert_eq!(delta.postings_dropped, 2);
+        assert_eq!(delta.buckets_freed, 1, "'red' bucket emptied");
+        assert!(delta.bytes_reclaimed > 0);
+        let stats = h.index.stats();
+        assert_eq!(stats.token.dead_postings, 0);
+        assert_eq!(stats.token.postings, 4, "apple×2, green×1, strudel×1");
+    }
+
+    #[test]
+    fn frequency_cap_counts_live_members_only() {
+        let cfg = IndexConfig {
+            qgram: 0,
+            max_bucket: 2,
+            ..Default::default()
+        };
+        let mut h = Harness::new(cfg);
+        insert_all(&mut h, &["shared zero", "shared one"]);
+        // Retract record 0; the 'shared' bucket holds {0(dead), 1}.
+        let d = h.deriver.derive(&rec(0, "shared zero").values);
+        let keys = RecordKeys::from_derived(&d, h.deriver.interner());
+        h.index.retract_keys(0, &keys);
+
+        // A third record would cross max_bucket=2 if dead members
+        // counted; live-only counting keeps the bucket pairing.
+        let tombstones = [true, false];
+        let d = h.deriver.derive(&rec(2, "shared two").values);
+        let keys = RecordKeys::from_derived(&d, h.deriver.interner());
+        assert_eq!(h.index.insert_keys_live(&keys, &tombstones), vec![1]);
+        assert_eq!(h.index.stats().token.retired, 0);
     }
 
     #[test]

@@ -22,7 +22,13 @@
 //! * [`StreamPipeline`] — the façade: [`StreamPipeline::bootstrap`] fits
 //!   once on an initial batch, then [`StreamPipeline::ingest`] processes
 //!   records with frozen-model scoring only, assigning each to an
-//!   existing entity or minting a new one.
+//!   existing entity or minting a new one. Records can be withdrawn
+//!   again ([`StreamPipeline::retract`] / [`StreamPipeline::update`]):
+//!   tombstones hide them from candidates, the match-decision log
+//!   rebuilds the affected component's clusters, and online compaction
+//!   ([`StreamPipeline::compact`], automatic past a dead-fraction
+//!   watermark) reclaims the dead index postings — no stop-the-world
+//!   rebuild, record indices stay stable forever.
 //!
 //! ```
 //! use zeroer_stream::{StreamOptions, StreamPipeline};
@@ -56,10 +62,11 @@ pub mod shard;
 pub mod snapshot;
 pub mod store;
 
-pub use index::{IncrementalIndex, IndexConfig, IndexStats, LegStats};
+pub use index::{CompactionDelta, IncrementalIndex, IndexConfig, IndexStats, LegStats};
 pub use pipeline::{
-    BootstrapReport, IngestOutcome, StreamError, StreamOptions, StreamPipeline, StreamStats,
+    BootstrapReport, CompactionReport, IngestOutcome, RetractionReport, StreamError, StreamOptions,
+    StreamPipeline, StreamStats,
 };
 pub use shard::{RecordKeys, ShardedIndex, DEFAULT_SHARDS};
 pub use snapshot::PipelineSnapshot;
-pub use store::EntityStore;
+pub use store::{EntityStore, RetractOutcome, StoreCompaction};

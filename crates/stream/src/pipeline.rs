@@ -1,11 +1,15 @@
 //! The streaming façade: bootstrap once, then ingest forever —
 //! sequentially one record at a time, or in parallel batches across a
-//! worker pool (see [`StreamPipeline::ingest_batch_parallel`]).
+//! worker pool (see [`StreamPipeline::ingest_batch_parallel`]) — and
+//! retract records again ([`StreamPipeline::retract`]) with online
+//! compaction ([`StreamPipeline::compact`], plus an automatic
+//! dead-fraction watermark) so long-lived nodes never need a
+//! stop-the-world rebuild.
 
-use crate::index::{IndexConfig, IndexStats};
+use crate::index::{CompactionDelta, IndexConfig, IndexStats};
 use crate::shard::{RecordKeys, ShardedIndex};
 use crate::snapshot::PipelineSnapshot;
-use crate::store::EntityStore;
+use crate::store::{EntityStore, StoreCompaction};
 use std::sync::Mutex;
 use zeroer_blocking::{standard_candidates_derived, PairMode};
 use zeroer_core::{
@@ -62,6 +66,11 @@ pub struct StreamOptions {
     /// matching the paper's Eq. 5 labeling rule `γ > 0.5` — note the
     /// CLI's `--threshold` *display* filter on the batch paths is `>=`.
     pub threshold: f64,
+    /// Dead-fraction watermark for automatic compaction: when, after a
+    /// retraction, at least this fraction of index postings is
+    /// tombstoned, the pipeline compacts itself. `None` disables
+    /// auto-compaction ([`StreamPipeline::compact`] stays available).
+    pub compact_watermark: Option<f64>,
 }
 
 impl Default for StreamOptions {
@@ -73,6 +82,7 @@ impl Default for StreamOptions {
             qgram: 4,
             max_bucket: 400,
             threshold: 0.5,
+            compact_watermark: Some(0.5),
         }
     }
 }
@@ -132,11 +142,53 @@ pub struct StreamStats {
     pub interned_tokens: usize,
     /// Bytes of distinct token text stored (each token once).
     pub interned_bytes: usize,
-    /// Live/retired bucket counts per blocking leg.
+    /// Live/retired bucket and posting counts per blocking leg.
     pub index: IndexStats,
     /// Candidate pairs generated so far (bootstrap blocking + every
     /// ingest's blocking lookups).
     pub candidate_pairs: usize,
+    /// Live (non-retracted) records in the store.
+    pub live_records: usize,
+    /// Retracted records (tombstoned slots; their indices stay
+    /// allocated).
+    pub retracted_records: usize,
+    /// Edges currently held in the match-decision log.
+    pub decision_log: usize,
+    /// Store epoch (advances on every retraction and compaction).
+    pub epoch: u64,
+}
+
+/// What one retraction did (see [`StreamPipeline::retract`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetractionReport {
+    /// Pipeline epoch after the retraction (and any auto-compaction).
+    pub epoch: u64,
+    /// Size of the rebuilt connected component (1 = singleton, nothing
+    /// to rebuild).
+    pub component_size: usize,
+    /// Index postings tombstoned for the record.
+    pub postings_tombstoned: usize,
+    /// The compaction the dead-fraction watermark triggered, if any.
+    pub auto_compaction: Option<CompactionReport>,
+}
+
+/// What one compaction pass reclaimed (see [`StreamPipeline::compact`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionReport {
+    /// Pipeline epoch after the compaction.
+    pub epoch: u64,
+    /// Index-side reclaim: postings dropped, buckets freed, bytes.
+    pub index: CompactionDelta,
+    /// Store-side reclaim: pruned decision edges, freed derivation
+    /// bytes.
+    pub store: StoreCompaction,
+}
+
+impl CompactionReport {
+    /// Total estimated bytes released by this pass.
+    pub fn bytes_reclaimed(&self) -> usize {
+        self.index.bytes_reclaimed + self.store.derived_bytes_freed
+    }
 }
 
 /// Incremental entity resolution on top of a frozen batch-fitted model:
@@ -162,6 +214,13 @@ pub struct StreamPipeline {
     base_len: usize,
     base_matches: Vec<(usize, usize)>,
     base_digest: u64,
+    /// Tombstones restored from a snapshot and not yet replayed: they
+    /// name bootstrap-record indices and are applied by `seed_base`
+    /// (retraction is refused until then — the indices would otherwise
+    /// be ambiguous against freshly streamed records).
+    pending_tombstones: Vec<usize>,
+    /// Epoch restored from a snapshot, re-pinned after `seed_base`.
+    pending_epoch: u64,
 }
 
 /// A slice of per-record match slots handed to a scoring worker, tagged
@@ -321,6 +380,8 @@ impl StreamPipeline {
                 featurizer,
                 scorer,
                 scratch: Vec::new(),
+                pending_tombstones: Vec::new(),
+                pending_epoch: 0,
             },
             report,
         ))
@@ -332,9 +393,15 @@ impl StreamPipeline {
     /// `threshold` overrides the assignment threshold (pass
     /// `StreamOptions::default().threshold` for the standard 0.5 cut).
     ///
+    /// Runtime knobs are not persisted: like `threshold`, the
+    /// compaction watermark comes back at its default — callers that
+    /// disabled or tuned it must re-apply
+    /// [`StreamPipeline::set_compact_watermark`] after restoring.
+    ///
     /// # Errors
     /// Fails if the snapshot is internally inconsistent (feature layout
-    /// vs. model dimensionality).
+    /// vs. model dimensionality), or if it carries tombstones for
+    /// streamed (non-persisted) records.
     pub fn from_snapshot(snap: &PipelineSnapshot, threshold: f64) -> Result<Self, StreamError> {
         let featurizer = RowFeaturizer::new(&snap.attr_types);
         if featurizer.dim() != snap.model.dim() {
@@ -342,6 +409,13 @@ impl StreamPipeline {
                 "snapshot attr types imply {} features but the model has {}",
                 featurizer.dim(),
                 snap.model.dim()
+            )));
+        }
+        if let Some(&t) = snap.tombstones.iter().find(|&&t| t >= snap.bootstrap_len) {
+            return Err(StreamError(format!(
+                "snapshot tombstones record {t}, which lies beyond the {} bootstrap records; \
+                 streamed records are not persisted, so their retractions cannot be restored",
+                snap.bootstrap_len
             )));
         }
         let scorer = snap.model.scorer()?;
@@ -352,6 +426,7 @@ impl StreamPipeline {
             qgram: snap.index.qgram,
             max_bucket: snap.index.max_bucket,
             threshold,
+            compact_watermark: StreamOptions::default().compact_watermark,
         };
         Ok(Self {
             store: EntityStore::new(snap.to_schema(), snap.index.derive_config()),
@@ -364,6 +439,8 @@ impl StreamPipeline {
             base_len: snap.bootstrap_len,
             base_matches: snap.bootstrap_pairs.clone(),
             base_digest: snap.bootstrap_digest,
+            pending_tombstones: snap.tombstones.clone(),
+            pending_epoch: snap.epoch,
         })
     }
 
@@ -371,6 +448,19 @@ impl StreamPipeline {
     /// snapshot, including the bootstrap match decisions (if this
     /// pipeline knows them) so a cold restart can preserve them.
     pub fn snapshot(&self) -> PipelineSnapshot {
+        // Un-replayed pending tombstones pass through verbatim (the
+        // store cannot have its own while they exist — retraction is
+        // refused until `seed_base` consumes them).
+        let (tombstones, epoch) = if self.pending_tombstones.is_empty() {
+            (
+                (0..self.store.len())
+                    .filter(|&i| self.store.is_retracted(i))
+                    .collect(),
+                self.store.epoch(),
+            )
+        } else {
+            (self.pending_tombstones.clone(), self.pending_epoch)
+        };
         PipelineSnapshot {
             schema: self.store.table().schema().attributes().to_vec(),
             attr_types: self.featurizer.attr_types().to_vec(),
@@ -379,6 +469,8 @@ impl StreamPipeline {
             bootstrap_len: self.base_len,
             bootstrap_pairs: self.base_matches.clone(),
             bootstrap_digest: self.base_digest,
+            tombstones,
+            epoch,
         }
     }
 
@@ -428,6 +520,16 @@ impl StreamPipeline {
         for &(a, b) in &self.base_matches {
             self.store.merge(a, b);
         }
+        // Replay persisted retractions (bootstrap-record indices only —
+        // from_snapshot already rejected anything beyond), then re-pin
+        // the persisted epoch so the restored state orders exactly like
+        // the saved one.
+        let pending = std::mem::take(&mut self.pending_tombstones);
+        for &i in &pending {
+            self.retract_now(i)?;
+        }
+        let epoch = self.pending_epoch.max(self.store.epoch());
+        self.store.set_epoch(epoch);
         Ok(())
     }
 
@@ -443,6 +545,13 @@ impl StreamPipeline {
     /// depends only on the frozen parameters).
     pub fn options(&self) -> &StreamOptions {
         &self.opts
+    }
+
+    /// Reconfigures the dead-fraction auto-compaction watermark
+    /// (`None` disables it). A runtime knob, not persisted in
+    /// snapshots — restored pipelines start at the default.
+    pub fn set_compact_watermark(&mut self, watermark: Option<f64>) {
+        self.opts.compact_watermark = watermark;
     }
 
     /// Number of ingested records (bootstrap records included).
@@ -462,7 +571,16 @@ impl StreamPipeline {
             interned_bytes: self.store.interner().bytes(),
             index: self.index.stats(),
             candidate_pairs: self.candidates_seen,
+            live_records: self.store.live_len(),
+            retracted_records: self.store.retracted_count(),
+            decision_log: self.store.decision_log_len(),
+            epoch: self.store.epoch(),
         }
+    }
+
+    /// The pipeline epoch: advances on every retraction and compaction.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
     }
 
     /// Ingests one record: one derivation pass → incremental blocking →
@@ -487,7 +605,7 @@ impl StreamPipeline {
         );
         let derived = self.store.derive(&record);
         let keys = RecordKeys::from_derived(&derived, self.store.interner());
-        let candidates = self.index.insert_keys(keys);
+        let candidates = self.index.insert_keys_live(keys, self.store.tombstones());
         self.candidates_seen += candidates.len();
         let idx = self.store.push_derived(record, derived);
         debug_assert_eq!(self.index.len(), self.store.len());
@@ -611,7 +729,12 @@ impl StreamPipeline {
         }
 
         // Phase 2 (parallel over index shards): candidate generation.
-        let candidates = self.index.insert_batch(keys, threads);
+        // The tombstone set is frozen for the whole batch (retraction
+        // needs `&mut self`), so every worker filters identically and
+        // candidate lists stay bit-identical at any thread count.
+        let candidates = self
+            .index
+            .insert_batch_live(keys, threads, self.store.tombstones());
         self.candidates_seen += candidates.iter().map(Vec::len).sum::<usize>();
 
         // Phase 3 (parallel over records, work-stealing queue): frozen-
@@ -694,9 +817,150 @@ impl StreamPipeline {
     }
 
     /// Current duplicate clusters (≥ 2 members), in the same shape
-    /// `dedup_table` reports.
+    /// `dedup_table` reports. Retracted records never appear.
     pub fn clusters(&self) -> Vec<Vec<usize>> {
         self.store.clusters()
+    }
+
+    /// The shared retraction core: tombstone the record in the store
+    /// (rebuilding its connected component from the decision log) and
+    /// mark its index postings dead. No watermark check — `seed_base`
+    /// replays persisted tombstones through this without compacting.
+    fn retract_now(&mut self, idx: usize) -> Result<RetractionReport, StreamError> {
+        if idx >= self.store.len() {
+            return Err(StreamError(format!(
+                "unknown record index {idx} (store holds {} records)",
+                self.store.len()
+            )));
+        }
+        if self.store.is_retracted(idx) {
+            return Err(StreamError(format!("record {idx} is already retracted")));
+        }
+        // Capture the keys before the store mutates: the derivation is
+        // the only place the record's blocking keys live.
+        let keys = RecordKeys::from_derived(self.store.derived(idx), self.store.interner());
+        let out = self.store.retract(idx).map_err(StreamError)?;
+        let postings_tombstoned = self.index.retract_keys(idx, &keys);
+        Ok(RetractionReport {
+            epoch: out.epoch,
+            component_size: out.component_size,
+            postings_tombstoned,
+            auto_compaction: None,
+        })
+    }
+
+    /// Retracts record `idx`: the record is tombstoned, its connected
+    /// component's clusters are rebuilt from the match-decision log as
+    /// if it had never been ingested, and its index postings are marked
+    /// dead (candidates never see it again). If the dead-posting
+    /// fraction then crosses [`StreamOptions::compact_watermark`], the
+    /// pipeline compacts itself and reports it.
+    ///
+    /// Record indices are never reused: every other record keeps its
+    /// index, and the slot stays allocated until compaction releases its
+    /// heavy state.
+    ///
+    /// # Errors
+    /// Fails on an out-of-range index, an already-retracted record, or a
+    /// snapshot-restored pipeline whose persisted tombstones have not
+    /// been replayed yet (call [`StreamPipeline::seed_base`] first).
+    pub fn retract(&mut self, idx: usize) -> Result<RetractionReport, StreamError> {
+        if !self.pending_tombstones.is_empty() {
+            return Err(StreamError(
+                "snapshot tombstones are pending; seed_base must replay the bootstrap \
+                 records before new retractions"
+                    .into(),
+            ));
+        }
+        let mut report = self.retract_now(idx)?;
+        report.auto_compaction = self.maybe_autocompact();
+        if let Some(c) = &report.auto_compaction {
+            report.epoch = c.epoch;
+        }
+        Ok(report)
+    }
+
+    /// Retracts a batch of records, all-or-nothing: every id is
+    /// validated (in range, live, no duplicates) before the first
+    /// retraction is applied, so a bad id cannot leave the pipeline
+    /// half-updated.
+    ///
+    /// # Errors
+    /// Fails without side effects if any id is invalid.
+    pub fn retract_batch(&mut self, ids: &[usize]) -> Result<Vec<RetractionReport>, StreamError> {
+        let mut seen = std::collections::HashSet::new();
+        for &idx in ids {
+            if idx >= self.store.len() {
+                return Err(StreamError(format!(
+                    "unknown record index {idx} (store holds {} records)",
+                    self.store.len()
+                )));
+            }
+            if self.store.is_retracted(idx) {
+                return Err(StreamError(format!("record {idx} is already retracted")));
+            }
+            if !seen.insert(idx) {
+                return Err(StreamError(format!(
+                    "record {idx} appears twice in the retraction batch"
+                )));
+            }
+        }
+        ids.iter().map(|&idx| self.retract(idx)).collect()
+    }
+
+    /// Replaces record `idx` with `record`: retract the old version,
+    /// ingest the new one (which gets a **fresh index** — slots are
+    /// never reused). Returns the ingest outcome of the new version.
+    ///
+    /// # Errors
+    /// Fails like [`StreamPipeline::retract`], or when the new record's
+    /// arity does not match the schema. Either way nothing is applied:
+    /// the old version must never be destroyed for a replacement that
+    /// cannot be ingested.
+    pub fn update(&mut self, idx: usize, record: Record) -> Result<IngestOutcome, StreamError> {
+        let arity = self.store.table().schema().arity();
+        if record.values.len() != arity {
+            return Err(StreamError(format!(
+                "replacement record arity {} does not match schema arity {arity}",
+                record.values.len()
+            )));
+        }
+        self.retract(idx)?;
+        Ok(self.ingest(record))
+    }
+
+    /// Compacts the pipeline in place: drops tombstoned index postings,
+    /// frees emptied and cap-retired buckets, prunes dead decision-log
+    /// edges, and releases retracted records' derivations. Advances the
+    /// epoch.
+    ///
+    /// Dead postings and dead log edges were already invisible, so
+    /// dropping them never changes behavior. The one semantic edge is
+    /// cap-retired (`Dead`) bucket markers: compaction removes them, so
+    /// a formerly hot blocking key becomes pairable again until its
+    /// *live* population re-crosses the frequency cap — the state a
+    /// fresh index over the surviving records would be in. See the
+    /// retraction section of the `crate::index` module docs.
+    pub fn compact(&mut self) -> CompactionReport {
+        let index = self.index.compact(self.store.tombstones());
+        let store = self.store.compact();
+        CompactionReport {
+            epoch: self.store.epoch(),
+            index,
+            store,
+        }
+    }
+
+    /// Runs [`StreamPipeline::compact`] when the dead-posting fraction
+    /// has crossed the configured watermark.
+    fn maybe_autocompact(&mut self) -> Option<CompactionReport> {
+        let watermark = self.opts.compact_watermark?;
+        let (postings, dead) = self.index.posting_counts();
+        if dead > 0 && dead as f64 >= watermark * postings.max(1) as f64 {
+            Some(self.compact())
+        } else {
+            None
+        }
     }
 }
 
@@ -789,6 +1053,147 @@ mod tests {
         // and last characters, no common interior runs).
         let t = read_table("t", "name\nnorth\nquail\n").unwrap();
         assert!(StreamPipeline::bootstrap(&t, StreamOptions::default()).is_err());
+    }
+
+    #[test]
+    fn retract_undoes_a_match_and_hides_the_record_from_candidates() {
+        let (mut p, _) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        let out = p.ingest(rec(100, "Golden Dragon Palace", "new york"));
+        assert!(!out.is_new_entity());
+        let epoch0 = p.epoch();
+
+        let report = p.retract(out.index).expect("live record retracts");
+        assert!(report.component_size >= 2, "it sat in the Dragon cluster");
+        assert!(report.postings_tombstoned > 0);
+        assert!(p.epoch() > epoch0);
+        assert!(p.store().is_retracted(out.index));
+        // The bootstrap-time Golden Dragon pair survives the rebuild.
+        assert!(p.store().same_entity(0, 1));
+
+        // A fresh ingest never sees the retracted record as a candidate
+        // or match, but still matches the live duplicates.
+        let again = p.ingest(rec(101, "Golden Dragon Palace", "new york"));
+        assert!(!again.is_new_entity());
+        assert!(
+            again.matches.iter().all(|&(c, _)| c != out.index),
+            "retracted record must not match: {:?}",
+            again.matches
+        );
+    }
+
+    #[test]
+    fn retract_errors_are_clean_and_stateless() {
+        let (mut p, _) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        let epoch0 = p.epoch();
+        assert!(p.retract(999).is_err(), "unknown index");
+        p.retract(2).unwrap();
+        let err = p.retract(2).expect_err("double retraction");
+        assert!(err.to_string().contains("already retracted"), "{err}");
+        assert_eq!(p.epoch(), epoch0 + 1, "failed calls must not advance");
+
+        // Batch validation is all-or-nothing.
+        let err = p.retract_batch(&[3, 3]).expect_err("duplicate id");
+        assert!(err.to_string().contains("twice"), "{err}");
+        assert!(!p.store().is_retracted(3), "no partial application");
+    }
+
+    #[test]
+    fn update_replaces_a_record_under_a_fresh_index() {
+        let (mut p, _) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        let len0 = p.len();
+        let out = p
+            .update(2, rec(200, "Blue Sky Tavern and Grill", "austin"))
+            .expect("update");
+        assert_eq!(out.index, len0, "the new version gets a fresh slot");
+        assert!(p.store().is_retracted(2));
+        assert_eq!(p.store().live_len(), len0, "one out, one in");
+
+        // A replacement that cannot be ingested must not destroy the
+        // old version: update is atomic, not retract-then-maybe-ingest.
+        let err = p
+            .update(3, Record::new(201, vec!["only one value".into()]))
+            .expect_err("arity mismatch");
+        assert!(err.to_string().contains("arity"), "{err}");
+        assert!(!p.store().is_retracted(3), "record 3 must survive");
+    }
+
+    #[test]
+    fn compact_reclaims_dead_postings_and_reports_bytes() {
+        let opts = StreamOptions {
+            compact_watermark: None, // manual compaction only
+            ..Default::default()
+        };
+        let (mut p, _) = StreamPipeline::bootstrap(&base_table(), opts).unwrap();
+        // Retract 2 of 6 records (≥ 30 % of the store).
+        p.retract(2).unwrap();
+        p.retract(3).unwrap();
+        let before = p.stats();
+        assert!(before.index.dead_postings() > 0);
+        let clusters_before = p.clusters();
+
+        let report = p.compact();
+        assert!(report.index.postings_dropped > 0);
+        assert!(report.bytes_reclaimed() > 0);
+        assert!(report.store.derived_bytes_freed > 0);
+        let after = p.stats();
+        assert_eq!(after.index.dead_postings(), 0);
+        assert_eq!(after.index.retired_buckets(), 0);
+        assert_eq!(after.epoch, report.epoch);
+        assert_eq!(
+            p.clusters(),
+            clusters_before,
+            "compaction never changes cluster semantics"
+        );
+
+        // Ingest still works against the compacted index.
+        let out = p.ingest(rec(300, "Golden Dragon Palace", "new york"));
+        assert!(!out.is_new_entity());
+    }
+
+    #[test]
+    fn watermark_triggers_automatic_compaction() {
+        let opts = StreamOptions {
+            compact_watermark: Some(0.1), // compact eagerly
+            ..Default::default()
+        };
+        let (mut p, _) = StreamPipeline::bootstrap(&base_table(), opts).unwrap();
+        let report = p.retract(4).expect("retract");
+        let auto = report
+            .auto_compaction
+            .expect("a 10% watermark must fire on the first retraction");
+        assert!(auto.index.postings_dropped > 0);
+        assert_eq!(p.stats().index.dead_postings(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_tombstones_and_epoch() {
+        let (mut live, _) =
+            StreamPipeline::bootstrap(&base_table(), StreamOptions::default()).unwrap();
+        live.retract(1).unwrap();
+        live.retract(4).unwrap();
+        let snap = live.snapshot();
+        assert_eq!(snap.tombstones, vec![1, 4]);
+        assert_eq!(snap.epoch, live.epoch());
+
+        let reloaded = PipelineSnapshot::from_json(&snap.to_json()).expect("round-trips");
+        let mut cold = StreamPipeline::from_snapshot(&reloaded, 0.5).unwrap();
+        // Retraction before seeding is refused: the persisted indices
+        // refer to bootstrap records that are not loaded yet.
+        assert!(cold.retract(0).is_err());
+        cold.seed_base(&base_table()).expect("seed with tombstones");
+        assert_eq!(cold.epoch(), live.epoch());
+        assert!(cold.store().is_retracted(1));
+        assert!(cold.store().is_retracted(4));
+        assert_eq!(cold.clusters(), live.clusters());
+
+        // Future behavior is identical too.
+        let a = live.ingest(rec(400, "Golden Dragon Palace", "new york"));
+        let b = cold.ingest(rec(400, "Golden Dragon Palace", "new york"));
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.matches, b.matches);
     }
 
     #[test]

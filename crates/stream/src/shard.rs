@@ -32,7 +32,7 @@
 //! partial results are then merged per record. Because shards share no
 //! keys, no locks are needed — each worker mutates only its own shards.
 
-use crate::index::{merge_candidates, IndexConfig, IndexStats, Leg};
+use crate::index::{merge_candidates, CompactionDelta, IndexConfig, IndexStats, Leg};
 use std::collections::HashMap;
 use zeroer_textsim::derive::DerivedRecord;
 use zeroer_textsim::intern::{fnv1a, Interner, Sym};
@@ -174,6 +174,25 @@ impl ShardedIndex {
         self.len == 0
     }
 
+    /// `(postings, dead_postings)` across all shards and legs — cheap
+    /// per-shard counters, no bucket scan; what the pipeline's
+    /// auto-compaction watermark polls after every retraction.
+    pub fn posting_counts(&self) -> (usize, usize) {
+        let mut postings = 0;
+        let mut dead = 0;
+        for shard in &self.shards {
+            let (p, d) = shard.token_leg.posting_counts();
+            postings += p;
+            dead += d;
+            if let Some(qleg) = &shard.qgram_leg {
+                let (p, d) = qleg.posting_counts();
+                postings += p;
+                dead += d;
+            }
+        }
+        (postings, dead)
+    }
+
     /// Live/retired bucket counts per leg, aggregated across shards.
     pub fn stats(&self) -> IndexStats {
         let mut stats = IndexStats::default();
@@ -196,6 +215,13 @@ impl ShardedIndex {
     /// records sharing a blocking key — the same contract as
     /// [`crate::IncrementalIndex::insert_keys`].
     pub fn insert_keys(&mut self, keys: RecordKeys) -> Vec<usize> {
+        self.insert_keys_live(keys, &[])
+    }
+
+    /// [`ShardedIndex::insert_keys`] with a tombstone filter: retracted
+    /// records are skipped as candidates and excluded from the frequency
+    /// cap. An empty slice means "no retractions".
+    pub fn insert_keys_live(&mut self, keys: RecordKeys, tombstones: &[bool]) -> Vec<usize> {
         let idx = self.len;
         self.len += 1;
         let mut token_counts: HashMap<usize, usize> = HashMap::new();
@@ -204,12 +230,12 @@ impl ShardedIndex {
             let s = self.shard_of(h);
             self.shards[s]
                 .token_leg
-                .insert_key(idx, key, &mut token_counts);
+                .insert_key(idx, key, &mut token_counts, tombstones);
         }
         for (key, h) in keys.qgram {
             let s = self.shard_of(h);
             if let Some(qleg) = &mut self.shards[s].qgram_leg {
-                qleg.insert_key(idx, key, &mut qgram_counts);
+                qleg.insert_key(idx, key, &mut qgram_counts, tombstones);
             }
         }
         merge_candidates(
@@ -219,15 +245,65 @@ impl ShardedIndex {
         )
     }
 
+    /// Marks record `idx`'s postings dead under its blocking keys,
+    /// routing each key to its owning shard; postings stay in place until
+    /// [`ShardedIndex::compact`]. Returns the number of postings
+    /// tombstoned.
+    pub fn retract_keys(&mut self, idx: usize, keys: &RecordKeys) -> usize {
+        let mut marked = 0;
+        for &(key, h) in &keys.token {
+            let s = self.shard_of(h);
+            marked += usize::from(self.shards[s].token_leg.retract_key(idx, key));
+        }
+        for &(key, h) in &keys.qgram {
+            let s = self.shard_of(h);
+            if let Some(qleg) = &mut self.shards[s].qgram_leg {
+                marked += usize::from(qleg.retract_key(idx, key));
+            }
+        }
+        marked
+    }
+
+    /// Compacts every shard: drops tombstoned postings, frees emptied
+    /// buckets and cap-retired markers, and reports the aggregate
+    /// reclaim. `tombstones` must be the set the retractions were
+    /// recorded against.
+    pub fn compact(&mut self, tombstones: &[bool]) -> CompactionDelta {
+        let mut delta = CompactionDelta::default();
+        for shard in &mut self.shards {
+            delta.absorb(shard.token_leg.compact(tombstones));
+            if let Some(qleg) = &mut shard.qgram_leg {
+                delta.absorb(qleg.compact(tombstones));
+            }
+        }
+        delta
+    }
+
     /// Inserts a whole batch across a pool of `threads` workers and
     /// returns each record's candidate list — element `i` is exactly what
     /// [`ShardedIndex::insert_keys`] would have returned for record `i`
     /// inserted sequentially (candidates may point at earlier records of
     /// the same batch).
     pub fn insert_batch(&mut self, keys: Vec<RecordKeys>, threads: usize) -> Vec<Vec<usize>> {
+        self.insert_batch_live(keys, threads, &[])
+    }
+
+    /// [`ShardedIndex::insert_batch`] with a tombstone filter, applied
+    /// identically by every worker — the tombstone set is frozen for the
+    /// whole batch (retraction needs `&mut self`), so candidate lists are
+    /// bit-identical at any thread count.
+    pub fn insert_batch_live(
+        &mut self,
+        keys: Vec<RecordKeys>,
+        threads: usize,
+        tombstones: &[bool],
+    ) -> Vec<Vec<usize>> {
         let threads = threads.max(1);
         if threads == 1 || keys.len() < 2 {
-            return keys.into_iter().map(|k| self.insert_keys(k)).collect();
+            return keys
+                .into_iter()
+                .map(|k| self.insert_keys_live(k, tombstones))
+                .collect();
         }
         let n = keys.len();
         let base = self.len;
@@ -287,10 +363,12 @@ impl ShardedIndex {
                             for (i, (token, qgram)) in shard_jobs {
                                 let idx = base + i;
                                 let mut tc = HashMap::new();
-                                shard.token_leg.lookup_and_insert(idx, token, &mut tc);
+                                shard
+                                    .token_leg
+                                    .lookup_and_insert(idx, token, &mut tc, tombstones);
                                 let mut qc = HashMap::new();
                                 if let Some(qleg) = &mut shard.qgram_leg {
-                                    qleg.lookup_and_insert(idx, qgram, &mut qc);
+                                    qleg.lookup_and_insert(idx, qgram, &mut qc, tombstones);
                                 }
                                 out.push((i, (tc, qc)));
                             }
@@ -455,6 +533,51 @@ mod tests {
             assert_eq!(got, vec![0], "shards={shards}");
             let none = idx.insert_keys(keys_of(&mut deriver, &rec(2, "parallel engines")));
             assert!(none.is_empty(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn retraction_and_compaction_match_the_unsharded_index() {
+        for shards in [1, 3, 16] {
+            let cfg = IndexConfig::default();
+            let mut deriver = Deriver::new(cfg.derive_config());
+            let mut sharded = ShardedIndex::with_shards(cfg.clone(), shards);
+            let mut flat = IncrementalIndex::new(cfg);
+            let all_keys: Vec<RecordKeys> = NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| keys_of(&mut deriver, &rec(i as u32, n)))
+                .collect();
+            let mut tombstones = vec![false; NAMES.len() + 1];
+            for k in &all_keys {
+                sharded.insert_keys_live(k.clone(), &tombstones);
+                flat.insert_keys_live(k, &tombstones);
+            }
+            // Retract record 0 ("red apple pie") in both.
+            tombstones[0] = true;
+            assert_eq!(
+                sharded.retract_keys(0, &all_keys[0]),
+                flat.retract_keys(0, &all_keys[0]),
+                "shards={shards}"
+            );
+            // An exact copy of record 0 must now only see record 1
+            // (shared 'apple') and record 4 (the other copy).
+            let probe = keys_of(&mut deriver, &rec(9, "red apple pie"));
+            assert_eq!(
+                sharded.insert_keys_live(probe.clone(), &tombstones),
+                flat.insert_keys_live(&probe, &tombstones),
+                "shards={shards}"
+            );
+            // Compaction reclaims the same postings either way.
+            let s = sharded.compact(&tombstones);
+            let f = flat.compact(&tombstones);
+            assert_eq!(s.postings_dropped, f.postings_dropped, "shards={shards}");
+            assert_eq!(s.buckets_freed, f.buckets_freed, "shards={shards}");
+            assert_eq!(
+                sharded.stats().dead_postings(),
+                0,
+                "shards={shards}: compaction clears every dead posting"
+            );
         }
     }
 

@@ -37,6 +37,15 @@ pub struct PipelineSnapshot {
     /// *looks* compatible (same length/schema, different or reordered
     /// records). 0 = unknown (older snapshots).
     pub bootstrap_digest: u64,
+    /// Retracted record indices, ascending. `seed_base` replays these
+    /// after the bootstrap decisions; restore refuses indices at or
+    /// beyond `bootstrap_len` (streamed records are not persisted, so
+    /// their retractions cannot be reconstructed). Empty for pre-PR-4
+    /// snapshots.
+    pub tombstones: Vec<usize>,
+    /// Pipeline epoch at save time (retraction + compaction counter);
+    /// 0 for pre-PR-4 snapshots.
+    pub epoch: u64,
 }
 
 impl PipelineSnapshot {
@@ -99,6 +108,21 @@ impl PipelineSnapshot {
                     (
                         "digest".into(),
                         Json::Str(format!("{:016x}", self.bootstrap_digest)),
+                    ),
+                ]),
+            ),
+            (
+                "retraction".into(),
+                Json::Obj(vec![
+                    ("epoch".into(), Json::Num(self.epoch as f64)),
+                    (
+                        "tombstones".into(),
+                        Json::Arr(
+                            self.tombstones
+                                .iter()
+                                .map(|&t| Json::Num(t as f64))
+                                .collect(),
+                        ),
                     ),
                 ]),
             ),
@@ -209,6 +233,35 @@ impl PipelineSnapshot {
                 (len, pairs, digest)
             }
         };
+        // The retraction section arrived with retraction support;
+        // absence (older snapshots) reads as "nothing ever retracted".
+        let (epoch, tombstones) = match j.get("retraction") {
+            None => (0, Vec::new()),
+            Some(retr) => {
+                let epoch = retr
+                    .require("epoch")?
+                    .as_usize()
+                    .ok_or_else(|| JsonError::schema("retraction.epoch must be an integer"))?
+                    as u64;
+                let tombstones: Vec<usize> = retr
+                    .require("tombstones")?
+                    .as_arr()
+                    .ok_or_else(|| JsonError::schema("retraction.tombstones must be an array"))?
+                    .iter()
+                    .map(|t| {
+                        t.as_usize().ok_or_else(|| {
+                            JsonError::schema("retraction.tombstones must hold integers")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if tombstones.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(JsonError::schema(
+                        "retraction.tombstones must be strictly ascending",
+                    ));
+                }
+                (epoch, tombstones)
+            }
+        };
         let model = ModelSnapshot::from_json_value(j.require("model")?)?;
         Ok(Self {
             schema,
@@ -218,6 +271,8 @@ impl PipelineSnapshot {
             bootstrap_len,
             bootstrap_pairs,
             bootstrap_digest,
+            tombstones,
+            epoch,
         })
     }
 }
@@ -250,6 +305,8 @@ mod tests {
             bootstrap_len: 4,
             bootstrap_pairs: vec![(0, 1), (1, 3)],
             bootstrap_digest: 0xdead_beef_0123_4567,
+            tombstones: vec![1, 3],
+            epoch: 5,
         };
         let text = snap.to_json();
         let back = PipelineSnapshot::from_json(&text).unwrap();
@@ -260,6 +317,8 @@ mod tests {
         assert_eq!(back.model, snap.model);
         assert_eq!(back.bootstrap_len, snap.bootstrap_len);
         assert_eq!(back.bootstrap_pairs, snap.bootstrap_pairs);
+        assert_eq!(back.tombstones, snap.tombstones);
+        assert_eq!(back.epoch, snap.epoch);
     }
 
     #[test]
@@ -274,6 +333,8 @@ mod tests {
             bootstrap_len: 2,
             bootstrap_pairs: vec![(0, 1)],
             bootstrap_digest: 7,
+            tombstones: vec![0],
+            epoch: 1,
         };
         let json = Json::parse(&snap.to_json()).unwrap();
         let Json::Obj(fields) = json else {
@@ -292,6 +353,56 @@ mod tests {
     }
 
     #[test]
+    fn missing_retraction_section_reads_as_never_retracted() {
+        // Pre-retraction snapshots (PR 1–3 formats) must stay readable:
+        // strip the section and parse.
+        let snap = PipelineSnapshot {
+            schema: vec!["name".into()],
+            attr_types: vec![AttrType::StrShort],
+            index: IndexConfig::default(),
+            model: tiny_model(),
+            bootstrap_len: 2,
+            bootstrap_pairs: vec![(0, 1)],
+            bootstrap_digest: 7,
+            tombstones: vec![0],
+            epoch: 3,
+        };
+        let json = Json::parse(&snap.to_json()).unwrap();
+        let Json::Obj(fields) = json else {
+            panic!("snapshot must render an object")
+        };
+        let stripped = Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "retraction")
+                .collect(),
+        )
+        .render();
+        let back = PipelineSnapshot::from_json(&stripped).expect("legacy snapshot must parse");
+        assert!(back.tombstones.is_empty());
+        assert_eq!(back.epoch, 0);
+    }
+
+    #[test]
+    fn rejects_unsorted_or_duplicated_tombstones() {
+        let snap = PipelineSnapshot {
+            schema: vec!["name".into()],
+            attr_types: vec![AttrType::StrShort],
+            index: IndexConfig::default(),
+            model: tiny_model(),
+            bootstrap_len: 4,
+            bootstrap_pairs: Vec::new(),
+            bootstrap_digest: 0,
+            tombstones: vec![2, 2],
+            epoch: 2,
+        };
+        assert!(
+            PipelineSnapshot::from_json(&snap.to_json()).is_err(),
+            "duplicated tombstone indices must be rejected"
+        );
+    }
+
+    #[test]
     fn rejects_wrong_format_and_bad_types() {
         assert!(PipelineSnapshot::from_json("{\"format\":\"other\"}").is_err());
         let snap = PipelineSnapshot {
@@ -305,6 +416,8 @@ mod tests {
             bootstrap_len: 0,
             bootstrap_pairs: Vec::new(),
             bootstrap_digest: 0,
+            tombstones: Vec::new(),
+            epoch: 0,
         };
         let text = snap.to_json();
         assert!(
@@ -323,6 +436,8 @@ mod tests {
             bootstrap_len: 2,
             bootstrap_pairs: vec![(0, 5)],
             bootstrap_digest: 0,
+            tombstones: Vec::new(),
+            epoch: 0,
         };
         assert!(
             PipelineSnapshot::from_json(&snap.to_json()).is_err(),

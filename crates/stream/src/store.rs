@@ -1,6 +1,26 @@
 //! The entity store: ingested records, their shared derivation, and the
-//! live cluster index.
+//! live cluster index — now with record **retraction**.
+//!
+//! ## Retraction and the decision log
+//!
+//! A union-find cannot un-merge, so the store keeps the per-record
+//! match-decision log: every `merge(a, b)` is appended to an edge list
+//! (with a per-record adjacency over it). Retracting record `x` then
+//! tombstones `x`, walks the adjacency to collect `x`'s *historical*
+//! connected component, resets those members to singletons
+//! ([`zeroer_core::UnionFind::reset_members`]), and replays the
+//! component's logged decisions skipping any edge that touches a
+//! tombstoned record — rebuilding exactly the clustering a store that
+//! never held `x` would have (match decisions are pure functions of the
+//! two records, so no other component can be affected). An `epoch`
+//! counter advances on every retraction and compaction so snapshots and
+//! observers can order states.
+//!
+//! [`EntityStore::compact`] prunes dead log edges and releases retracted
+//! records' derivations (their token bags are the heavy part); record
+//! *indices* are never reused, so live indices stay stable forever.
 
+use std::collections::{HashMap, HashSet};
 use zeroer_core::UnionFind;
 use zeroer_tabular::{Record, Schema, Table};
 use zeroer_textsim::derive::{DeriveConfig, DerivedRecord, Deriver};
@@ -36,6 +56,36 @@ pub struct EntityStore {
     derived: Vec<DerivedRecord>,
     clusters: UnionFind,
     deriver: Deriver,
+    /// `tombstones[i]` — record `i` has been retracted.
+    tombstones: Vec<bool>,
+    /// Number of set tombstones (`len() - live_len()`).
+    retracted: usize,
+    /// Advances on every retraction and compaction.
+    epoch: u64,
+    /// Every merge decision ever applied, in application order.
+    decisions: Vec<(usize, usize)>,
+    /// Record → indices into `decisions` that mention it.
+    adjacency: HashMap<usize, Vec<u32>>,
+}
+
+/// What a retraction did (see [`EntityStore::retract`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetractOutcome {
+    /// The store epoch after the retraction.
+    pub epoch: u64,
+    /// Size of the connected component that was reset and replayed
+    /// (1 = the record was a singleton; nothing needed rebuilding).
+    pub component_size: usize,
+}
+
+/// What a store-level compaction reclaimed (see [`EntityStore::compact`];
+/// the index-side reclaim is reported separately by the pipeline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCompaction {
+    /// Decision-log edges dropped because they touch retracted records.
+    pub decisions_pruned: usize,
+    /// Heap bytes released by clearing retracted records' derivations.
+    pub derived_bytes_freed: usize,
 }
 
 impl EntityStore {
@@ -53,6 +103,11 @@ impl EntityStore {
             derived: Vec::new(),
             clusters: UnionFind::default(),
             deriver: Deriver::new(cfg),
+            tombstones: Vec::new(),
+            retracted: 0,
+            epoch: 0,
+            decisions: Vec::new(),
+            adjacency: HashMap::new(),
         }
     }
 
@@ -76,10 +131,15 @@ impl EntityStore {
             clusters.push();
         }
         Self {
+            tombstones: vec![false; table.len()],
             table: table.clone(),
             derived,
             clusters,
             deriver: Deriver::with_interner(interner, cfg),
+            retracted: 0,
+            epoch: 0,
+            decisions: Vec::new(),
+            adjacency: HashMap::new(),
         }
     }
 
@@ -143,6 +203,7 @@ impl EntityStore {
     pub fn push_derived(&mut self, record: Record, derived: DerivedRecord) -> usize {
         self.derived.push(derived);
         self.table.push(record);
+        self.tombstones.push(false);
         self.clusters.push()
     }
 
@@ -158,8 +219,16 @@ impl EntityStore {
     }
 
     /// Merges the clusters of `a` and `b` (union by rank); returns the
-    /// surviving representative.
+    /// surviving representative. The decision is appended to the match
+    /// log so a later retraction of either record (or of a transitive
+    /// neighbor) can rebuild the component without it.
     pub fn merge(&mut self, a: usize, b: usize) -> usize {
+        if a != b {
+            let edge = self.decisions.len() as u32;
+            self.decisions.push((a, b));
+            self.adjacency.entry(a).or_default().push(edge);
+            self.adjacency.entry(b).or_default().push(edge);
+        }
         self.clusters.union(a, b)
     }
 
@@ -170,13 +239,149 @@ impl EntityStore {
 
     /// All clusters with at least two members, each sorted, the list
     /// sorted by first member — the same shape `dedup_table` reports.
+    /// Retracted records never appear: the component rebuild leaves them
+    /// as singletons.
     pub fn clusters(&self) -> Vec<Vec<usize>> {
         self.clusters.clusters(2)
     }
 
-    /// Number of distinct entities (clusters, including singletons).
+    /// Number of distinct *live* entities (clusters, including
+    /// singletons; retracted records are excluded).
     pub fn num_entities(&self) -> usize {
-        self.clusters.num_sets()
+        self.clusters.num_sets() - self.retracted
+    }
+
+    /// Number of live (non-retracted) records.
+    pub fn live_len(&self) -> usize {
+        self.len() - self.retracted
+    }
+
+    /// Number of retracted records.
+    pub fn retracted_count(&self) -> usize {
+        self.retracted
+    }
+
+    /// Whether record `idx` has been retracted.
+    pub fn is_retracted(&self, idx: usize) -> bool {
+        self.tombstones.get(idx).copied().unwrap_or(false)
+    }
+
+    /// The tombstone flags, indexed by record (the filter the blocking
+    /// indexes apply to candidate lookups).
+    pub fn tombstones(&self) -> &[bool] {
+        &self.tombstones
+    }
+
+    /// The store epoch: advances on every retraction and compaction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Overrides the epoch (snapshot restore re-pins the persisted value
+    /// after replaying tombstones one by one).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Number of edges currently held in the match-decision log
+    /// (compaction prunes edges that touch retracted records).
+    pub fn decision_log_len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Retracts record `idx`: tombstones it and rebuilds its connected
+    /// component's clusters from the decision log as if the record had
+    /// never been ingested (see the module docs). The record's slot —
+    /// and every other record's index — stays stable.
+    ///
+    /// # Errors
+    /// Fails on an out-of-range index or an already-retracted record.
+    pub fn retract(&mut self, idx: usize) -> Result<RetractOutcome, String> {
+        if idx >= self.len() {
+            return Err(format!(
+                "unknown record index {idx} (store holds {} records)",
+                self.len()
+            ));
+        }
+        if self.tombstones[idx] {
+            return Err(format!("record {idx} is already retracted"));
+        }
+        self.tombstones[idx] = true;
+        self.retracted += 1;
+        self.epoch += 1;
+
+        // Collect the *historical* component: everything reachable from
+        // `idx` over logged decision edges (tombstoned intermediates
+        // included — their edges still connect the component).
+        let mut members: Vec<usize> = vec![idx];
+        let mut seen: HashSet<usize> = HashSet::from([idx]);
+        let mut edges: Vec<u32> = Vec::new();
+        let mut edge_seen: HashSet<u32> = HashSet::new();
+        let mut frontier = 0;
+        while frontier < members.len() {
+            let node = members[frontier];
+            frontier += 1;
+            if let Some(adj) = self.adjacency.get(&node) {
+                for &e in adj {
+                    if !edge_seen.insert(e) {
+                        continue;
+                    }
+                    edges.push(e);
+                    let (a, b) = self.decisions[e as usize];
+                    let other = if a == node { b } else { a };
+                    if seen.insert(other) {
+                        members.push(other);
+                    }
+                }
+            }
+        }
+        let component_size = members.len();
+        if component_size > 1 {
+            self.clusters.reset_members(&members);
+            // Replay the component's surviving decisions in log order —
+            // deterministic, so any observer (including the parallel
+            // ingest writer) sees one canonical rebuilt state.
+            edges.sort_unstable();
+            for &e in &edges {
+                let (a, b) = self.decisions[e as usize];
+                if !self.tombstones[a] && !self.tombstones[b] {
+                    self.clusters.union(a, b);
+                }
+            }
+        }
+        Ok(RetractOutcome {
+            epoch: self.epoch,
+            component_size,
+        })
+    }
+
+    /// Store-side compaction: prunes decision-log edges that touch
+    /// retracted records (rebuilding the adjacency) and clears retracted
+    /// records' derivations, releasing their token bags. Advances the
+    /// epoch. Cluster state is untouched — every pruned edge was already
+    /// skipped by any rebuild.
+    pub fn compact(&mut self) -> StoreCompaction {
+        self.epoch += 1;
+        let mut out = StoreCompaction::default();
+        let before = self.decisions.len();
+        let tombstones = &self.tombstones;
+        self.decisions
+            .retain(|&(a, b)| !tombstones[a] && !tombstones[b]);
+        out.decisions_pruned = before - self.decisions.len();
+        if out.decisions_pruned > 0 {
+            self.adjacency.clear();
+            for (e, &(a, b)) in self.decisions.iter().enumerate() {
+                self.adjacency.entry(a).or_default().push(e as u32);
+                self.adjacency.entry(b).or_default().push(e as u32);
+            }
+        }
+        for (i, dead) in self.tombstones.iter().enumerate() {
+            if *dead && self.derived[i].arity() > 0 {
+                out.derived_bytes_freed += self.derived[i].heap_bytes();
+                self.derived[i] = DerivedRecord::empty();
+            }
+        }
+        out
     }
 }
 
@@ -230,6 +435,76 @@ mod tests {
         let sym = s.interner().get("golden").expect("token interned");
         assert_eq!(s.derived(0).attr(0).word.count(sym), 1);
         assert_eq!(s.derived(1).attr(0).word.count(sym), 1);
+    }
+
+    #[test]
+    fn retracting_a_bridge_record_splits_its_component() {
+        let mut s = store_with(5);
+        s.merge(0, 1);
+        s.merge(1, 2);
+        assert!(s.same_entity(0, 2), "1 bridges 0 and 2");
+        let out = s.retract(1).expect("live record retracts");
+        assert_eq!(out.component_size, 3);
+        assert_eq!(out.epoch, 1);
+        assert!(!s.same_entity(0, 2), "the bridge is gone");
+        assert!(s.clusters().is_empty());
+        assert_eq!(s.live_len(), 4);
+        assert_eq!(s.num_entities(), 4, "four live singletons");
+    }
+
+    #[test]
+    fn retraction_keeps_surviving_edges_of_the_component() {
+        let mut s = store_with(4);
+        s.merge(0, 1);
+        s.merge(1, 2);
+        s.merge(0, 2);
+        s.retract(1).unwrap();
+        assert!(
+            s.same_entity(0, 2),
+            "0 and 2 matched directly; losing 1 must not split them"
+        );
+        assert_eq!(s.clusters(), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn retraction_of_unrelated_records_leaves_components_alone() {
+        let mut s = store_with(5);
+        s.merge(0, 1);
+        s.merge(3, 4);
+        s.retract(2).unwrap();
+        assert_eq!(s.clusters(), vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn retract_rejects_unknown_and_double_retraction() {
+        let mut s = store_with(2);
+        assert!(s.retract(9).is_err(), "out of range");
+        s.retract(0).unwrap();
+        let err = s.retract(0).expect_err("double retraction");
+        assert!(err.contains("already retracted"), "{err}");
+        assert_eq!(s.epoch(), 1, "the failed retraction must not advance");
+    }
+
+    #[test]
+    fn compact_prunes_dead_edges_and_frees_derivations() {
+        let mut s = store_with(4);
+        s.merge(0, 1);
+        s.merge(2, 3);
+        s.retract(0).unwrap();
+        assert_eq!(s.decision_log_len(), 2);
+        let out = s.compact();
+        assert_eq!(out.decisions_pruned, 1, "the 0-1 edge touches a tombstone");
+        assert!(out.derived_bytes_freed > 0, "token bags are released");
+        assert_eq!(s.decision_log_len(), 1);
+        assert_eq!(s.epoch(), 2);
+        // Cluster state is untouched, and further retractions still work
+        // against the rebuilt adjacency.
+        assert_eq!(s.clusters(), vec![vec![2, 3]]);
+        s.retract(2).unwrap();
+        assert!(s.clusters().is_empty());
+        // Compacting again finds nothing new to prune from live edges.
+        let again = s.compact();
+        assert_eq!(again.decisions_pruned, 1);
     }
 
     #[test]

@@ -147,6 +147,32 @@ impl DerivedRecord {
     pub fn keys(&self) -> &KeySet {
         &self.keys
     }
+
+    /// A zero-arity placeholder derivation. The streaming store swaps
+    /// this in for retracted records at compaction time to release their
+    /// token bags; a retracted record's derivation is never read again
+    /// (retraction captures its blocking keys up front and candidates
+    /// are filtered to live records).
+    pub fn empty() -> Self {
+        Self {
+            attrs: Box::new([]),
+            keys: KeySet::default(),
+        }
+    }
+
+    /// Approximate heap bytes this derivation owns (attribute texts,
+    /// token-bag entries, blocking-key symbols) — what compaction
+    /// reclaims when it clears a retracted record's derivation.
+    pub fn heap_bytes(&self) -> usize {
+        let sym_entry = std::mem::size_of::<(Sym, u32)>();
+        let mut bytes = 0;
+        for a in self.attrs.iter() {
+            bytes += a.text.capacity();
+            bytes += (a.word.len() + a.qgm3.len()) * sym_entry;
+        }
+        bytes += (self.keys.tokens.len() + self.keys.qgrams.len()) * std::mem::size_of::<Sym>();
+        bytes
+    }
 }
 
 /// Reusable scratch buffers for the derivation pass.

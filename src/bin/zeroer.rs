@@ -7,6 +7,8 @@
 //! zeroer dedup <table.csv>          [same flags] [--save-model snap.json]
 //! zeroer ingest <stream.csv>        --model snap.json [--base resolved.csv]
 //!                                   [--threads N] [--threshold 0.5] [--out assign.csv]
+//! zeroer retract --ids <file>       --model snap.json --base resolved.csv [--out snap.json]
+//! zeroer compact                    --model snap.json --base resolved.csv [--stats]
 //! ```
 //!
 //! `match` links records across two CSVs with identical headers; `dedup`
@@ -19,12 +21,18 @@
 //! at ingest time — emitting one line per record:
 //! `record,cluster,best_match,probability` (empty match fields for fresh
 //! entities).
+//!
+//! `retract` withdraws base records by index (one per line in the
+//! `--ids` file): their clusters are rebuilt as if never ingested and
+//! the tombstones are persisted back into the snapshot. `compact`
+//! reclaims the index memory those tombstones pin (dead postings, empty
+//! buckets, dead decision-log edges) and reports the freed bytes.
 
 use std::process::ExitCode;
 use zeroer::core::ZeroErConfig;
 use zeroer::pipeline::{
     dedup_table, dedup_table_with_snapshot, match_tables, MatchOptions, PipelineSnapshot,
-    StreamPipeline,
+    StreamPipeline, StreamStats,
 };
 use zeroer::tabular::csv::read_table;
 use zeroer::tabular::Table;
@@ -41,6 +49,7 @@ struct Args {
     save_model: Option<String>,
     model: Option<String>,
     base: Option<String>,
+    ids: Option<String>,
     threads: Option<usize>,
     stats: bool,
 }
@@ -53,6 +62,12 @@ fn usage() -> &'static str {
        zeroer dedup <table.csv>            [flags]   find duplicates inside one table\n\
        zeroer ingest <stream.csv> --model <snap.json> [flags]\n\
                                                      stream records against a frozen model\n\
+       zeroer retract --ids <file> --model <snap.json> --base <csv> [flags]\n\
+                                                     withdraw base records (indices, one per\n\
+                                                     line); tombstones persist in the snapshot\n\
+       zeroer compact --model <snap.json> --base <csv> [flags]\n\
+                                                     drop tombstoned index state, report the\n\
+                                                     reclaimed bytes\n\
      \n\
      FLAGS:\n\
        --threshold <p>     posterior cut-off for reporting a match (default 0.5)\n\
@@ -68,9 +83,12 @@ fn usage() -> &'static str {
                            re-scored) when the snapshot carries them\n\
        --threads <n>       (ingest) ingest worker threads (default: all cores);\n\
                            results are identical for every thread count\n\
-       --stats             (dedup, ingest) print derivation/blocking observability\n\
-                           to stderr: distinct tokens interned, live/retired\n\
-                           buckets per blocking leg, candidate pairs generated\n"
+       --ids <file>        (retract) record indices to withdraw, one per line\n\
+                           ('#' comments and blank lines are skipped)\n\
+       --stats             (dedup, ingest, retract, compact) print derivation/\n\
+                           blocking observability to stderr: tokens interned,\n\
+                           live/retired buckets and live/dead postings per leg,\n\
+                           candidate pairs, live/retracted records, epoch\n"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -86,6 +104,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         save_model: None,
         model: None,
         base: None,
+        ids: None,
         threads: None,
         stats: false,
     };
@@ -139,6 +158,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--save-model" => args.save_model = Some(take_value(&mut it, "--save-model")?),
             "--model" => args.model = Some(take_value(&mut it, "--model")?),
             "--base" => args.base = Some(take_value(&mut it, "--base")?),
+            "--ids" => args.ids = Some(take_value(&mut it, "--ids")?),
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
             positional => {
@@ -157,29 +177,73 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err("--save-model is only supported on the `dedup` batch path".into());
     }
     if args.stats && args.command == "match" {
-        return Err("--stats is only supported by the `dedup` and `ingest` commands".into());
+        return Err(
+            "--stats is only supported by the `dedup`, `ingest`, `retract` and `compact` \
+             commands"
+                .into(),
+        );
     }
-    if args.command != "ingest" {
+    let snapshot_command = matches!(args.command.as_str(), "ingest" | "retract" | "compact");
+    if !snapshot_command {
         if args.model.is_some() {
-            return Err("--model is only supported by the `ingest` command".into());
+            return Err(
+                "--model is only supported by the `ingest`, `retract` and `compact` commands"
+                    .into(),
+            );
         }
         if args.base.is_some() {
-            return Err("--base is only supported by the `ingest` command".into());
-        }
-        if args.threads.is_some() {
-            return Err("--threads is only supported by the `ingest` command".into());
+            return Err(
+                "--base is only supported by the `ingest`, `retract` and `compact` commands".into(),
+            );
         }
     } else if let Some(flag) = batch_flags.first() {
         return Err(format!(
             "{flag} configures the batch fit and is frozen in the snapshot; \
-             it cannot be changed at ingest time"
+             it cannot be changed after fitting"
         ));
     }
+    if args.threads.is_some() && args.command != "ingest" {
+        return Err("--threads is only supported by the `ingest` command".into());
+    }
+    if args.ids.is_some() && args.command != "retract" {
+        return Err("--ids is only supported by the `retract` command".into());
+    }
+    let need_model = |args: &Args, cmd: &str| -> Result<(), String> {
+        if args.model.is_none() {
+            return Err(format!("`{cmd}` requires --model <snapshot.json>"));
+        }
+        Ok(())
+    };
     match (args.command.as_str(), args.files.len()) {
         ("match", 2) | ("dedup", 1) => Ok(args),
         ("ingest", 1) => {
-            if args.model.is_none() {
-                return Err("`ingest` requires --model <snapshot.json>".into());
+            need_model(&args, "ingest")?;
+            Ok(args)
+        }
+        ("retract", 0) => {
+            need_model(&args, "retract")?;
+            if args.ids.is_none() {
+                return Err(
+                    "`retract` requires --ids <file> (record indices, one per line)".into(),
+                );
+            }
+            if args.base.is_none() {
+                return Err(
+                    "`retract` requires --base <csv> (the bootstrap records the \
+                            snapshot indices refer to)"
+                        .into(),
+                );
+            }
+            Ok(args)
+        }
+        ("compact", 0) => {
+            need_model(&args, "compact")?;
+            if args.base.is_none() {
+                return Err(
+                    "`compact` requires --base <csv> (the bootstrap records the \
+                            snapshot tombstones refer to)"
+                        .into(),
+                );
             }
             Ok(args)
         }
@@ -187,6 +251,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ("dedup", n) => Err(format!("`dedup` needs exactly one CSV file, got {n}")),
         ("ingest", n) => Err(format!(
             "`ingest` needs exactly one stream CSV file, got {n}"
+        )),
+        ("retract", n) | ("compact", n) => Err(format!(
+            "`{}` takes no positional files (got {n}); the store is rebuilt from \
+             --model and --base",
+            args.command
         )),
         (other, _) => Err(format!("unknown command: {other:?}")),
     }
@@ -292,6 +361,8 @@ fn run() -> Result<(), String> {
             }
         }
         "ingest" => return run_ingest(&args),
+        "retract" => return run_retract(&args),
+        "compact" => return run_compact(&args),
         _ => unreachable!("validated in parse_args"),
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
@@ -386,17 +457,7 @@ fn run_ingest(args: &Args) -> Result<(), String> {
         pipeline.clusters().len()
     );
     if args.stats {
-        let s = pipeline.stats();
-        eprintln!(
-            "zeroer: derivation: {} distinct tokens interned ({} bytes); \
-             candidate pairs generated: {}",
-            s.interned_tokens, s.interned_bytes, s.candidate_pairs
-        );
-        eprintln!(
-            "zeroer: blocking legs: token {} live / {} retired buckets; \
-             qgram {} live / {} retired buckets",
-            s.index.token.live, s.index.token.retired, s.index.qgram.live, s.index.qgram.retired
-        );
+        print_stream_stats(&pipeline.stats());
     }
     match &args.out {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
@@ -405,6 +466,149 @@ fn run_ingest(args: &Args) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// The `--stats` observability block shared by `ingest`, `retract` and
+/// `compact`.
+fn print_stream_stats(s: &StreamStats) {
+    eprintln!(
+        "zeroer: derivation: {} distinct tokens interned ({} bytes); \
+         candidate pairs generated: {}",
+        s.interned_tokens, s.interned_bytes, s.candidate_pairs
+    );
+    eprintln!(
+        "zeroer: blocking legs: token {} live / {} retired buckets ({} postings, {} dead); \
+         qgram {} live / {} retired buckets ({} postings, {} dead)",
+        s.index.token.live,
+        s.index.token.retired,
+        s.index.token.postings,
+        s.index.token.dead_postings,
+        s.index.qgram.live,
+        s.index.qgram.retired,
+        s.index.qgram.postings,
+        s.index.qgram.dead_postings
+    );
+    eprintln!(
+        "zeroer: store: {} live / {} retracted records; decision log {} edges; epoch {}",
+        s.live_records, s.retracted_records, s.decision_log, s.epoch
+    );
+}
+
+/// Rebuilds a seeded pipeline from `--model` + `--base` — the shared
+/// entry of the `retract` and `compact` subcommands, which both operate
+/// on the bootstrap-record store.
+fn load_pipeline_with_base(args: &Args) -> Result<StreamPipeline, String> {
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let base_path = args.base.as_deref().expect("validated in parse_args");
+    let text = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let snapshot = PipelineSnapshot::from_json(&text)
+        .map_err(|e| format!("cannot parse {model_path}: {e}"))?;
+    if snapshot.bootstrap_len == 0 {
+        return Err(format!(
+            "{model_path} carries no bootstrap decisions; `{}` needs a snapshot written \
+             by `zeroer dedup --save-model`",
+            args.command
+        ));
+    }
+    let mut pipeline = StreamPipeline::from_snapshot(&snapshot, args.threshold)
+        .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
+    let base = load(base_path)?;
+    if base.schema() != pipeline.store().table().schema() {
+        return Err(format!(
+            "schema of {base_path} does not match the snapshot ({:?} vs {:?})",
+            base.schema().attributes(),
+            pipeline.store().table().schema().attributes()
+        ));
+    }
+    pipeline
+        .seed_base(&base)
+        .map_err(|e| format!("cannot seed base records from {base_path}: {e}"))?;
+    Ok(pipeline)
+}
+
+/// Parses a `--ids` file: record indices, one per line; `#` comments and
+/// blank lines are skipped.
+fn parse_ids(path: &str) -> Result<Vec<usize>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut ids = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        ids.push(
+            line.parse()
+                .map_err(|_| format!("{path}:{}: {line:?} is not a record index", lineno + 1))?,
+        );
+    }
+    Ok(ids)
+}
+
+/// The `retract` subcommand: withdraw base records, persist tombstones.
+fn run_retract(args: &Args) -> Result<(), String> {
+    let mut pipeline = load_pipeline_with_base(args)?;
+    let ids_path = args.ids.as_deref().expect("validated in parse_args");
+    let ids = parse_ids(ids_path)?;
+    if ids.is_empty() {
+        return Err(format!("no record indices found in {ids_path}"));
+    }
+    let reports = pipeline
+        .retract_batch(&ids)
+        .map_err(|e| format!("cannot retract: {e}"))?;
+    let postings: usize = reports.iter().map(|r| r.postings_tombstoned).sum();
+    let largest = reports.iter().map(|r| r.component_size).max().unwrap_or(0);
+    eprintln!(
+        "zeroer: retracted {} records ({postings} index postings tombstoned, \
+         largest component rebuilt: {largest} records; epoch {})",
+        reports.len(),
+        pipeline.epoch()
+    );
+    for auto in reports.iter().filter_map(|r| r.auto_compaction) {
+        eprintln!(
+            "zeroer: watermark compaction reclaimed {} bytes \
+             ({} postings dropped, {} buckets freed)",
+            auto.bytes_reclaimed(),
+            auto.index.postings_dropped,
+            auto.index.buckets_freed
+        );
+    }
+    if args.stats {
+        print_stream_stats(&pipeline.stats());
+    }
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let out_path = args.out.as_deref().unwrap_or(model_path);
+    std::fs::write(out_path, pipeline.snapshot().to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "zeroer: snapshot with {} tombstones written to {out_path}",
+        pipeline.store().retracted_count()
+    );
+    Ok(())
+}
+
+/// The `compact` subcommand: reclaim tombstoned index/store state.
+fn run_compact(args: &Args) -> Result<(), String> {
+    let mut pipeline = load_pipeline_with_base(args)?;
+    let report = pipeline.compact();
+    eprintln!(
+        "zeroer: compaction reclaimed {} bytes ({} postings dropped, {} buckets freed, \
+         {} decision edges pruned, {} derivation bytes freed; epoch {})",
+        report.bytes_reclaimed(),
+        report.index.postings_dropped,
+        report.index.buckets_freed,
+        report.store.decisions_pruned,
+        report.store.derived_bytes_freed,
+        report.epoch
+    );
+    if args.stats {
+        print_stream_stats(&pipeline.stats());
+    }
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let out_path = args.out.as_deref().unwrap_or(model_path);
+    std::fs::write(out_path, pipeline.snapshot().to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -20,8 +20,8 @@ use zeroer_tabular::Table;
 use zeroer_textsim::derive::BlockSpec;
 
 pub use zeroer_stream::{
-    BootstrapReport, IngestOutcome, PipelineSnapshot, StreamError, StreamOptions, StreamPipeline,
-    StreamStats,
+    BootstrapReport, CompactionReport, IngestOutcome, PipelineSnapshot, RetractionReport,
+    StreamError, StreamOptions, StreamPipeline, StreamStats,
 };
 
 /// Options for the high-level pipelines.

@@ -281,6 +281,250 @@ fn ingest_base_preserves_batch_decisions() {
 }
 
 #[test]
+fn retract_then_compact_round_trip_through_the_snapshot() {
+    let base = write_tmp(
+        "rc1",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let ids = write_tmp("rc-ids", "1\n3 # retired listing\n\n");
+    let snap = std::env::temp_dir().join(format!("zeroer-snap-rc-{}.json", std::process::id()));
+
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Retract 2 of 6 base records (≥ 30 % of the store); tombstones
+    // persist back into the snapshot.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "retract",
+            "--ids",
+            ids.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer retract");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("retracted 2 records"), "{stderr}");
+    assert!(
+        stderr.contains("snapshot with 2 tombstones written"),
+        "{stderr}"
+    );
+    let snap_text = std::fs::read_to_string(&snap).expect("snapshot rewritten");
+    assert!(
+        snap_text.contains("\"retraction\""),
+        "tombstones must be persisted"
+    );
+
+    // Compact: reclaimed bytes > 0, and --stats shows zero dead
+    // postings / zero retired buckets afterwards.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "compact",
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--stats",
+        ])
+        .output()
+        .expect("spawn zeroer compact");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let reclaimed: usize = stderr
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("zeroer: compaction reclaimed ")
+                .and_then(|rest| rest.split(' ').next())
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("compact must report reclaimed bytes");
+    assert!(reclaimed > 0, "reclaimed bytes must be positive: {stderr}");
+    // ", 0 dead)" is an exact token — a regressed "10 dead)" or
+    // "20 dead)" must not satisfy it — and both legs must report it.
+    let legs_line = stderr
+        .lines()
+        .find(|l| l.contains("blocking legs:"))
+        .expect("--stats must print the blocking-legs line");
+    assert_eq!(
+        legs_line.matches(", 0 dead)").count(),
+        2,
+        "stats after compact must show zero dead postings on both legs: {legs_line}"
+    );
+    assert_eq!(
+        legs_line.matches(" 0 retired buckets").count(),
+        2,
+        "stats after compact must show zero retired buckets on both legs: {legs_line}"
+    );
+    assert!(
+        stderr.contains("2 retracted records"),
+        "tombstones survive compaction: {stderr}"
+    );
+
+    // The compacted snapshot still serves ingest, with the retracted
+    // near-duplicate (record 1) gone: an exact copy of record 0 still
+    // joins record 0's entity.
+    let stream = write_tmp(
+        "rc2",
+        "name,city\n\
+         Golden Dragon Palace,new york\n",
+    );
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer ingest");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[1].starts_with("6,") && !lines[1].ends_with(",,"),
+        "the duplicate must still match a live record: {stdout}"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn retract_flag_validation() {
+    // --ids is retract-only.
+    let out = Command::new(zeroer_bin())
+        .args(["dedup", "t.csv", "--ids", "x.txt"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only supported by the `retract`"));
+
+    // retract requires --ids, --model and --base.
+    let out = Command::new(zeroer_bin())
+        .args(["retract", "--model", "m.json", "--base", "b.csv"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --ids"));
+
+    let out = Command::new(zeroer_bin())
+        .args(["retract", "--ids", "x.txt", "--model", "m.json"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --base"));
+
+    // compact takes no positional files.
+    let out = Command::new(zeroer_bin())
+        .args(["compact", "t.csv", "--model", "m.json", "--base", "b.csv"])
+        .output()
+        .expect("spawn zeroer");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no positional files"));
+}
+
+#[test]
+fn retract_rejects_bad_ids_cleanly() {
+    let base = write_tmp(
+        "ri1",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let snap = std::env::temp_dir().join(format!("zeroer-snap-ri-{}.json", std::process::id()));
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(out.status.success());
+
+    // An out-of-range index fails with a clear message and does not
+    // rewrite the snapshot.
+    let before = std::fs::read_to_string(&snap).unwrap();
+    let ids = write_tmp("ri-ids", "42\n");
+    let out = Command::new(zeroer_bin())
+        .args([
+            "retract",
+            "--ids",
+            ids.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer retract");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown record index"));
+    assert_eq!(
+        std::fs::read_to_string(&snap).unwrap(),
+        before,
+        "a failed retraction must not rewrite the snapshot"
+    );
+
+    // A non-numeric ids file is rejected with file/line context.
+    let ids = write_tmp("ri-ids2", "banana\n");
+    let out = Command::new(zeroer_bin())
+        .args([
+            "retract",
+            "--ids",
+            ids.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer retract");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("is not a record index"));
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
 fn threads_flag_is_ingest_only_and_validated() {
     let out = Command::new(zeroer_bin())
         .args(["match", "a.csv", "b.csv", "--threads", "4"])

@@ -5,6 +5,8 @@ use zeroer::features::PairFeaturizer;
 use zeroer::linalg::block::GroupLayout;
 use zeroer::linalg::Matrix;
 use zeroer::pipeline::{dedup_table, match_tables, MatchOptions};
+use zeroer::stream::{PipelineSnapshot, StreamOptions, StreamPipeline};
+use zeroer::tabular::csv::read_table;
 use zeroer::tabular::{Record, Schema, Table, Value};
 
 #[test]
@@ -121,4 +123,145 @@ fn tiny_candidate_sets_fit() {
         labels[0] || !labels[1],
         "ordering of the two pairs must be sane"
     );
+}
+
+// ---- retraction / compaction failure paths (PR 4) -------------------
+
+fn boot_table() -> Table {
+    read_table(
+        "boot",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    )
+    .unwrap()
+}
+
+fn boot_pipeline() -> StreamPipeline {
+    StreamPipeline::bootstrap(&boot_table(), StreamOptions::default())
+        .expect("bootstrap fits")
+        .0
+}
+
+#[test]
+fn retract_of_unknown_or_dead_record_fails_without_side_effects() {
+    let mut p = boot_pipeline();
+    let epoch0 = p.epoch();
+    let clusters0 = p.clusters();
+
+    let err = p.retract(p.len()).expect_err("out-of-range index");
+    assert!(err.to_string().contains("unknown record index"), "{err}");
+
+    p.retract(2).expect("first retraction");
+    let err = p.retract(2).expect_err("double retraction");
+    assert!(err.to_string().contains("already retracted"), "{err}");
+
+    // Failed calls leave no trace: one epoch tick, untouched clusters.
+    assert_eq!(p.epoch(), epoch0 + 1);
+    assert_eq!(p.clusters(), clusters0, "record 2 was a singleton");
+
+    // A poisoned batch rolls back entirely (valid ids included).
+    let err = p
+        .retract_batch(&[0, 2])
+        .expect_err("batch containing a dead record");
+    assert!(err.to_string().contains("already retracted"), "{err}");
+    assert!(!p.store().is_retracted(0), "valid id must not be applied");
+}
+
+#[test]
+fn compaction_between_parallel_batches_keeps_thread_parity() {
+    // Compaction cannot literally race a batch (`&mut self` serializes
+    // them), so the adversarial schedule is compact *between* batches,
+    // mid-tombstone, and the guarantee is thread-count parity of the
+    // whole schedule.
+    let (live, _) = StreamPipeline::bootstrap(&boot_table(), StreamOptions::default()).unwrap();
+    let snap = live.snapshot();
+    let batch_a: Vec<Record> = boot_table().records().to_vec();
+    let batch_b: Vec<Record> = vec![
+        Record::new(100, vec!["Golden Dragon Palace".into(), "new york".into()]),
+        Record::new(101, vec!["Blue Sky Tavern".into(), "austin".into()]),
+        Record::new(
+            102,
+            vec!["Totally Unseen Steakhouse".into(), "miami".into()],
+        ),
+    ];
+
+    let run = |threads: usize| {
+        let mut p = StreamPipeline::from_snapshot(&snap, 0.5).expect("restores");
+        let mut outs = p.ingest_batch_parallel(batch_a.clone(), threads);
+        p.retract(0).expect("retract mid-stream");
+        p.retract(2).expect("retract mid-stream");
+        p.compact();
+        outs.extend(p.ingest_batch_parallel(batch_b.clone(), threads));
+        (p.clusters(), p.epoch(), outs)
+    };
+    let (clusters1, epoch1, outs1) = run(1);
+    for threads in [2, 4] {
+        let (c, e, o) = run(threads);
+        assert_eq!(c, clusters1, "threads={threads}");
+        assert_eq!(e, epoch1, "threads={threads}");
+        assert_eq!(o.len(), outs1.len());
+        for (a, b) in outs1.iter().zip(&o) {
+            assert_eq!(a.index, b.index, "threads={threads}");
+            assert_eq!(a.candidates, b.candidates, "threads={threads}");
+            assert_eq!(a.matches, b.matches, "threads={threads}");
+            assert_eq!(a.cluster, b.cluster, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn snapshot_save_load_mid_tombstone_round_trips_exactly() {
+    let mut live = boot_pipeline();
+    live.retract(1).expect("retract a bootstrap record");
+    let snap_text = live.snapshot().to_json();
+
+    let reloaded = PipelineSnapshot::from_json(&snap_text).expect("parses");
+    assert_eq!(reloaded.tombstones, vec![1]);
+    let mut cold = StreamPipeline::from_snapshot(&reloaded, 0.5).expect("restores");
+    cold.seed_base(&boot_table())
+        .expect("seeds with tombstones");
+    assert_eq!(cold.clusters(), live.clusters());
+    assert_eq!(cold.epoch(), live.epoch());
+    assert!(cold.store().is_retracted(1));
+}
+
+#[test]
+fn snapshot_with_streamed_tombstones_fails_cleanly_to_restore() {
+    let mut live = boot_pipeline();
+    let out = live.ingest(Record::new(
+        50,
+        vec!["Totally Unseen Steakhouse".into(), "miami".into()],
+    ));
+    live.retract(out.index).expect("retract a streamed record");
+    let snap = live.snapshot();
+    assert!(snap.tombstones.contains(&out.index));
+
+    // The streamed record is not persisted, so its retraction cannot be
+    // reconstructed: restore must refuse with a real error, not panic or
+    // silently drop the tombstone.
+    let reparsed = PipelineSnapshot::from_json(&snap.to_json()).expect("format stays parseable");
+    let Err(err) = StreamPipeline::from_snapshot(&reparsed, 0.5) else {
+        panic!("restore must refuse a snapshot with streamed tombstones");
+    };
+    assert!(
+        err.to_string().contains("cannot be restored"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn pending_tombstones_block_retraction_until_seeded() {
+    let mut live = boot_pipeline();
+    live.retract(3).unwrap();
+    let snap = live.snapshot();
+    let mut cold = StreamPipeline::from_snapshot(&snap, 0.5).expect("restores");
+    let err = cold.retract(0).expect_err("tombstones pending");
+    assert!(err.to_string().contains("seed_base"), "{err}");
+    cold.seed_base(&boot_table()).expect("seeds");
+    cold.retract(0).expect("retraction works after seeding");
 }
