@@ -44,6 +44,8 @@
 //! assert!(summary.iterations >= 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod json;
 pub mod linkage;
@@ -54,9 +56,9 @@ pub mod transitivity;
 pub mod union_find;
 
 pub use config::{FeatureDependence, Regularization, ZeroErConfig};
-pub use linkage::{LinkageModel, LinkageOutcome, LinkageTask};
+pub use linkage::{FittedLinkage, LinkageModel, LinkageOutcome, LinkageTask};
 pub use model::{eq3_posterior, FitSummary, GenerativeModel};
 pub use report::{FeatureReport, ModelReport};
-pub use snapshot::{ModelSnapshot, SnapshotScorer};
+pub use snapshot::{LinkageSnapshot, ModelSnapshot, SnapshotScorer};
 pub use transitivity::TransitivityCalibrator;
 pub use union_find::{clusters_of_pairs, UnionFind};

@@ -51,6 +51,21 @@ impl LinkageTask {
     }
 }
 
+/// The three fitted generative models a linkage fit produces, returned
+/// by [`LinkageModel::fit_models`] so callers can freeze them into a
+/// [`crate::snapshot::LinkageSnapshot`] for online (streaming) scoring.
+///
+/// `left`/`right` are `None` when the corresponding within-table leg had
+/// no candidate pairs (the trainer skips fitting a model over nothing).
+pub struct FittedLinkage {
+    /// The cross-table model `F`, fitted.
+    pub cross: GenerativeModel,
+    /// The within-left model `Fl`, if the left leg had pairs.
+    pub left: Option<GenerativeModel>,
+    /// The within-right model `Fr`, if the right leg had pairs.
+    pub right: Option<GenerativeModel>,
+}
+
 /// Result of a [`LinkageModel::fit`].
 #[derive(Debug, Clone)]
 pub struct LinkageOutcome {
@@ -195,6 +210,18 @@ impl LinkageModel {
         left: &LinkageTask,
         right: &LinkageTask,
     ) -> LinkageOutcome {
+        self.fit_models(cross, left, right).0
+    }
+
+    /// [`LinkageModel::fit`] that additionally hands back the three
+    /// fitted models, so callers can capture their parameters (e.g. into
+    /// a [`crate::snapshot::LinkageSnapshot`]) for frozen-model scoring.
+    pub fn fit_models(
+        &self,
+        cross: &LinkageTask,
+        left: &LinkageTask,
+        right: &LinkageTask,
+    ) -> (LinkageOutcome, FittedLinkage) {
         let mut f = GenerativeModel::new(self.config.clone(), cross.layout.clone());
         f.initialize(&cross.features);
 
@@ -282,17 +309,25 @@ impl LinkageModel {
         }
         let cross_labels = cross_gammas.iter().map(|&g| g > 0.5).collect();
 
-        LinkageOutcome {
+        let outcome = LinkageOutcome {
             cross_gammas,
             cross_labels,
-            left_gammas: fl.map(|m| m.gammas().to_vec()).unwrap_or_default(),
-            right_gammas: fr.map(|m| m.gammas().to_vec()).unwrap_or_default(),
+            left_gammas: fl.as_ref().map(|m| m.gammas().to_vec()).unwrap_or_default(),
+            right_gammas: fr.as_ref().map(|m| m.gammas().to_vec()).unwrap_or_default(),
             summary: FitSummary {
                 iterations,
                 converged,
                 ll_history,
             },
-        }
+        };
+        (
+            outcome,
+            FittedLinkage {
+                cross: f,
+                left: fl,
+                right: fr,
+            },
+        )
     }
 }
 

@@ -66,6 +66,25 @@ impl ModelSnapshot {
         impute_means: &[f64],
         feature_names: &[String],
     ) -> Self {
+        Self::capture_checked(model, ranges, impute_means, feature_names)
+            .expect("refusing to snapshot non-finite model parameters (degenerate fit)")
+    }
+
+    /// Non-panicking [`ModelSnapshot::capture`]: returns `None` instead
+    /// of panicking when the fit left non-finite parameters behind (a
+    /// degenerate fit on too few or pathological pairs). Used by the
+    /// linkage freeze, where a tiny within-table leg may legitimately be
+    /// unfreezable while the cross model is fine.
+    ///
+    /// # Panics
+    /// Still panics on *caller* errors: an unfitted model, or replay
+    /// vectors that do not match the model dimensionality.
+    pub fn capture_checked(
+        model: &GenerativeModel,
+        ranges: &[(f64, f64)],
+        impute_means: &[f64],
+        feature_names: &[String],
+    ) -> Option<Self> {
         let m = model.m_params().expect("snapshot of an unfitted model");
         let u = model.u_params().expect("snapshot of an unfitted model");
         let d = model.layout().dim();
@@ -91,11 +110,10 @@ impl ModelSnapshot {
                 .iter()
                 .all(|(lo, hi)| lo.is_finite() && hi.is_finite())
             && impute_means.iter().all(|v| v.is_finite());
-        assert!(
-            all_finite,
-            "refusing to snapshot non-finite model parameters (degenerate fit)"
-        );
-        Self {
+        if !all_finite {
+            return None;
+        }
+        Some(Self {
             pi_m: model.pi_m(),
             group_sizes,
             mean_m: m.mean.clone(),
@@ -105,7 +123,7 @@ impl ModelSnapshot {
             ranges: ranges.to_vec(),
             impute_means: impute_means.to_vec(),
             feature_names: feature_names.to_vec(),
-        }
+        })
     }
 
     /// Feature dimensionality.
@@ -367,6 +385,112 @@ impl SnapshotScorer {
     }
 }
 
+/// A serializable freeze of a full three-model record-linkage fit
+/// ([`crate::linkage::LinkageModel::fit_models`]): the cross-table model
+/// `F` plus the within-table models `Fl`/`Fr`, each frozen as a
+/// [`ModelSnapshot`] (parameters **and** feature-replay layout —
+/// per-column normalization ranges, imputation means, feature names).
+///
+/// The fit-time [`crate::transitivity::TransitivityCalibrator`] (and its
+/// cross-table counterpart) is pure training scaffolding built from the
+/// candidate-pair adjacency: once EM has converged, every posterior edit
+/// it made is already baked into the posteriors and the match decisions
+/// derived from them. What survives into the frozen world is therefore
+/// (a) the [`LinkageSnapshot::transitivity`] flag recording that the
+/// calibrators ran, and (b) the calibrated match *decisions*, which the
+/// streaming layer persists alongside this snapshot and replays
+/// structurally through its union-find (merging clusters enforces
+/// transitivity exactly rather than softly).
+///
+/// Like [`ModelSnapshot`], the JSON form round-trips exactly: parsing
+/// [`LinkageSnapshot::to_json`] output reproduces every parameter
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkageSnapshot {
+    /// The cross-table model `F` — the one streaming linkage scores
+    /// with.
+    pub cross: ModelSnapshot,
+    /// The within-left model `Fl` (`None` when the left leg had no
+    /// candidate pairs, or its fit was too degenerate to freeze).
+    pub left: Option<ModelSnapshot>,
+    /// The within-right model `Fr` (`None` like [`LinkageSnapshot::left`]).
+    pub right: Option<ModelSnapshot>,
+    /// Whether the transitivity calibrators were active during the fit.
+    pub transitivity: bool,
+}
+
+impl LinkageSnapshot {
+    /// Builds the frozen cross-pair scorer from the cross model — the
+    /// only scorer streamed (cross-table) candidates need.
+    ///
+    /// # Errors
+    /// Fails if the stored cross covariances are not positive definite
+    /// (a corrupted or hand-edited snapshot).
+    pub fn cross_scorer(&self) -> Result<SnapshotScorer, JsonError> {
+        self.cross.scorer()
+    }
+
+    /// Renders to a JSON value. Absent within-table models are omitted
+    /// (not serialized as `null`).
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("format".into(), Json::Str("zeroer-linkage-snapshot".into())),
+            ("version".into(), Json::Num(1.0)),
+            ("transitivity".into(), Json::Bool(self.transitivity)),
+            ("cross".into(), self.cross.to_json_value()),
+        ];
+        if let Some(l) = &self.left {
+            fields.push(("left".into(), l.to_json_value()));
+        }
+        if let Some(r) = &self.right {
+            fields.push(("right".into(), r.to_json_value()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Serializes to JSON text. Round-trips exactly.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Reads a linkage snapshot from a parsed JSON value.
+    ///
+    /// # Errors
+    /// Fails on schema violations (wrong format marker, malformed
+    /// embedded model snapshots).
+    pub fn from_json_value(j: &Json) -> Result<Self, JsonError> {
+        if j.get("format").and_then(Json::as_str) != Some("zeroer-linkage-snapshot") {
+            return Err(JsonError::schema("not a zeroer linkage snapshot"));
+        }
+        if j.get("version").and_then(Json::as_f64) != Some(1.0) {
+            return Err(JsonError::schema(
+                "unsupported linkage-snapshot version (expected 1)",
+            ));
+        }
+        let transitivity = j
+            .require("transitivity")?
+            .as_bool()
+            .ok_or_else(|| JsonError::schema("transitivity must be a boolean"))?;
+        let side = |key: &str| -> Result<Option<ModelSnapshot>, JsonError> {
+            j.get(key).map(ModelSnapshot::from_json_value).transpose()
+        };
+        Ok(Self {
+            cross: ModelSnapshot::from_json_value(j.require("cross")?)?,
+            left: side("left")?,
+            right: side("right")?,
+            transitivity,
+        })
+    }
+
+    /// Deserializes from JSON text.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or schema violations.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +576,50 @@ mod tests {
         let mut low = [-1.0, 0.5, 0.25, 0.5];
         snap.prepare_row(&mut low);
         assert_eq!(low[0], 0.0, "below-range values clamp to 0");
+    }
+
+    #[test]
+    fn linkage_snapshot_round_trip_is_bit_exact() {
+        let (model, _) = fitted_model();
+        let (ranges, impute, names) = replay_state(4);
+        let cross = ModelSnapshot::capture(&model, &ranges, &impute, &names);
+        let mut left = cross.clone();
+        left.pi_m = 0.123_456_789_012_345_67;
+        let snap = LinkageSnapshot {
+            cross,
+            left: Some(left),
+            right: None,
+            transitivity: true,
+        };
+        let back = LinkageSnapshot::from_json(&snap.to_json()).expect("round-trips");
+        assert_eq!(snap, back, "linkage snapshot must round-trip exactly");
+        // Exactness down to the f64 bit pattern, not mere closeness.
+        for (a, b) in snap.cross.mean_m.iter().zip(&back.cross.mean_m) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            snap.left.as_ref().unwrap().pi_m.to_bits(),
+            back.left.as_ref().unwrap().pi_m.to_bits()
+        );
+        assert!(back.right.is_none(), "absent legs stay absent");
+        assert!(back.transitivity);
+
+        // A frozen cross scorer comes straight out of the reloaded form.
+        let scorer = back.cross_scorer().expect("cross model is sound");
+        assert_eq!(scorer.dim(), 4);
+
+        // Wrong/foreign formats are rejected.
+        assert!(LinkageSnapshot::from_json("{\"format\":\"other\"}").is_err());
+        assert!(LinkageSnapshot::from_json(&snap.cross.to_json()).is_err());
+    }
+
+    #[test]
+    fn capture_checked_rejects_non_finite_replay_state() {
+        let (model, _) = fitted_model();
+        let (mut ranges, impute, names) = replay_state(4);
+        assert!(ModelSnapshot::capture_checked(&model, &ranges, &impute, &names).is_some());
+        ranges[2].1 = f64::INFINITY;
+        assert!(ModelSnapshot::capture_checked(&model, &ranges, &impute, &names).is_none());
     }
 
     #[test]

@@ -224,6 +224,21 @@ impl PairFeaturizer {
         (self.interner, self.left)
     }
 
+    /// Consumes a *cross-table* featurizer, yielding its interner and
+    /// both tables' derived records — the streaming-linkage bootstrap
+    /// hands these to the entity store so neither table is derived
+    /// twice, and both sides' token bags stay directly comparable (one
+    /// symbol space).
+    ///
+    /// # Panics
+    /// Panics on a dedup featurizer (use [`PairFeaturizer::into_parts`]).
+    pub fn into_parts_cross(self) -> (Interner, Vec<DerivedRecord>, Vec<DerivedRecord>) {
+        let right = self
+            .right
+            .expect("into_parts_cross is only meaningful for cross-table featurizers");
+        (self.interner, self.left, right)
+    }
+
     /// Total feature dimensionality.
     pub fn dim(&self) -> usize {
         self.dim

@@ -87,7 +87,8 @@ impl SimFunction {
     /// similarity otherwise.
     ///
     /// This is the slow uncached path used by tests and one-off scoring;
-    /// the bulk generator uses pre-tokenized caches (see [`crate::cache`]).
+    /// the bulk generator works from pre-derived records (interned token
+    /// bags built once per record by `zeroer_textsim::derive`).
     pub fn apply(self, a: &Value, b: &Value) -> Option<f64> {
         if a.is_null() || b.is_null() {
             return None;

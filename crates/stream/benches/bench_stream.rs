@@ -12,9 +12,17 @@
 //! 3. scoring-loop allocation delta: `raw_row` (one `Vec` per candidate)
 //!    vs. `raw_row_into` (one reused buffer) over the same pairs;
 //! 4. multi-thread batch-ingest scaling (`ingest_batch_parallel`), with
-//!    a cluster-parity check across thread counts.
+//!    a cluster-parity check across thread counts;
+//! 5. retraction throughput + compaction reclaim;
+//! 6. streaming record linkage: freeze a three-model fit, stream
+//!    right-side records through the frozen cross model, thread-parity
+//!    check.
 //!
-//! Knobs: `ZEROER_SCALE` (default 0.25, sections 1–3),
+//! The final summary line always prints the detected core count: on a
+//! 1-core machine section 4 is SKIPPED and the >1.5×@4-threads
+//! criterion stays unproven — rerun on multi-core hardware.
+//!
+//! Knobs: `ZEROER_SCALE` (default 0.25, sections 1–3 and 5–6),
 //! `ZEROER_SCALE_PAR` (default 1.0, section 4), `ZEROER_SEED`
 //! (default 42), `ZEROER_MAX_THREADS` (default 8).
 
@@ -22,7 +30,9 @@ use std::time::Instant;
 use zeroer_datagen::generate;
 use zeroer_datagen::profiles::rest_fz;
 use zeroer_features::RowFeaturizer;
-use zeroer_stream::{IndexConfig, PipelineSnapshot, StreamOptions, StreamPipeline};
+use zeroer_stream::{
+    IndexConfig, LinkPipeline, PipelineSnapshot, Side, StreamOptions, StreamPipeline,
+};
 use zeroer_tabular::{Record, Table};
 use zeroer_textsim::derive::{DerivedRecord, Deriver};
 
@@ -420,5 +430,83 @@ fn main() {
         stats.index.postings(),
         report.index.buckets_freed,
         report.store.decisions_pruned
+    );
+
+    // ---- Section 6: streaming record linkage -----------------------
+    // Freeze a three-model linkage fit on (left, 70 % of right), then
+    // stream the remaining right-side records through the frozen cross
+    // model: sequential throughput plus a thread-parity check.
+    let ds = generate(&rest_fz(), scale, seed);
+    let cut = ds.right.len() * 7 / 10;
+    let mut boot_right = Table::new("right-boot", ds.right.schema().clone());
+    for r in ds.right.records().iter().take(cut) {
+        boot_right.push(r.clone());
+    }
+    let link_tail: Vec<Record> = ds.right.records()[cut..].to_vec();
+    let t6 = Instant::now();
+    let (link, link_report) =
+        LinkPipeline::bootstrap(&ds.left, &boot_right, StreamOptions::default())
+            .expect("linkage bootstrap");
+    let link_boot_secs = t6.elapsed().as_secs_f64();
+    let link_snap = link.snapshot();
+    println!(
+        "\n== streaming linkage (Rest-FZ at scale {scale}: left {} + right {} bootstrap, {} streamed) ==",
+        ds.left.len(),
+        cut,
+        link_tail.len()
+    );
+    println!(
+        "bootstrap: {:.3} s ({} cross candidates, {} EM iterations, snapshot {} bytes)",
+        link_boot_secs,
+        link_report.pairs.len(),
+        link_report.em_iterations,
+        link_snap.to_json().len()
+    );
+    let cold_link = || {
+        let mut p = LinkPipeline::from_snapshot(&link_snap, StreamOptions::default().threshold)
+            .expect("link snapshot restores");
+        p.seed_base(&ds.left, &boot_right).expect("seed");
+        p
+    };
+    let mut p = cold_link();
+    let t7 = Instant::now();
+    let mut linked = 0usize;
+    for r in &link_tail {
+        if !p.ingest(r.clone(), Side::Right).is_new_entity() {
+            linked += 1;
+        }
+    }
+    let link_secs = t7.elapsed().as_secs_f64();
+    println!(
+        "sequential right-side ingest: {:.0} records/s ({:.1} µs/record, {} of {} linked across)",
+        link_tail.len() as f64 / link_secs,
+        link_secs * 1e6 / link_tail.len().max(1) as f64,
+        linked,
+        link_tail.len()
+    );
+    let mut par = cold_link();
+    par.ingest_batch_parallel(link_tail.clone(), Side::Right, 4);
+    println!(
+        "thread parity (1 vs 4): {}",
+        if p.clusters() == par.clusters() {
+            "identical clusters"
+        } else {
+            "CLUSTER MISMATCH"
+        }
+    );
+
+    // Final summary: always state the detected core count, so a reader
+    // of pasted bench output can tell at a glance whether the parallel
+    // scaling criterion (>1.5× at 4 threads) was actually *measured* or
+    // only SKIPPED for want of cores — a 1-core run proves determinism,
+    // never speedup.
+    println!(
+        "\n== summary: ran on {cores} detected core(s){} ==",
+        if cores < 2 {
+            "; parallel-scaling timings were SKIPPED — rerun on multi-core hardware \
+             to demonstrate the >1.5×@4-threads criterion"
+        } else {
+            ""
+        }
     );
 }

@@ -237,6 +237,52 @@ impl Leg {
         }
     }
 
+    /// Collects the *live* members sharing `key` into `counts` without
+    /// inserting anything — the read-only half of [`Leg::insert_key`],
+    /// used by the linkage path to probe the *opposite* side's index
+    /// (a right-side record looks up left-side candidates but is never
+    /// stored there).
+    pub(crate) fn lookup_key(
+        &self,
+        key: Sym,
+        counts: &mut HashMap<usize, usize>,
+        tombstones: &[bool],
+    ) {
+        if let Some(Bucket::Live { members, .. }) = self.buckets.get(&key) {
+            for &m in members {
+                if !is_dead(tombstones, m) {
+                    *counts.entry(m).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Inserts record `idx` under `key` without collecting candidates —
+    /// the write-only half of [`Leg::insert_key`], with the identical
+    /// live-member frequency-cap rule (the bucket retires at the same
+    /// crossing point either way). Used by the linkage path, where a
+    /// record's candidates come from the opposite side's index and its
+    /// own side's index only needs the posting.
+    pub(crate) fn insert_key_silent(&mut self, idx: usize, key: Sym) {
+        let bucket = self.buckets.entry(key).or_insert_with(|| Bucket::Live {
+            members: Vec::new(),
+            dead: 0,
+        });
+        match bucket {
+            Bucket::Dead => {}
+            Bucket::Live { members, dead } => {
+                if members.len() - *dead as usize + 1 > self.max_bucket {
+                    self.postings -= members.len();
+                    self.dead_postings -= *dead as usize;
+                    *bucket = Bucket::Dead;
+                } else {
+                    members.push(idx);
+                    self.postings += 1;
+                }
+            }
+        }
+    }
+
     /// [`Leg::insert_key`] over every key, counting shared keys per
     /// member.
     pub(crate) fn lookup_and_insert(

@@ -56,17 +56,21 @@
 //! assert!(out.is_new_entity());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod index;
+pub mod link;
 pub mod pipeline;
 pub mod shard;
 pub mod snapshot;
 pub mod store;
 
 pub use index::{CompactionDelta, IncrementalIndex, IndexConfig, IndexStats, LegStats};
+pub use link::{LinkBootstrapReport, LinkPipeline, Side};
 pub use pipeline::{
     BootstrapReport, CompactionReport, IngestOutcome, RetractionReport, StreamError, StreamOptions,
     StreamPipeline, StreamStats,
 };
 pub use shard::{RecordKeys, ShardedIndex, DEFAULT_SHARDS};
-pub use snapshot::PipelineSnapshot;
+pub use snapshot::{LinkSnapshot, PipelineSnapshot};
 pub use store::{EntityStore, RetractOutcome, StoreCompaction};

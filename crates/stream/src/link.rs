@@ -1,0 +1,1142 @@
+//! Streaming **record linkage** (`T ≠ T'`): the `match`-path counterpart
+//! of [`crate::StreamPipeline`].
+//!
+//! The batch linkage pipeline fits three generative models jointly — the
+//! cross-table model `F` plus the within-table models `Fl`/`Fr` (§5 of
+//! the paper) — and [`LinkPipeline::bootstrap`] freezes that whole fit
+//! into a [`crate::LinkSnapshot`]. Afterwards the pipeline serves the
+//! *online* form of the workload: records arrive tagged with a
+//! [`Side`], an incoming right-side record blocks **only against the
+//! left side's index** (and vice versa), every cross candidate is scored
+//! with the frozen cross model `F` — zero EM iterations — and matches
+//! merge entities in the shared union-find, so transitivity is enforced
+//! structurally across both tables.
+//!
+//! ## Side-aware design
+//!
+//! One [`EntityStore`] holds both sides' records in one combined
+//! numbering (bootstrap left records first, then bootstrap right
+//! records, then streamed records in arrival order) with one token
+//! interner, so any left/right pair can be featurized directly. Each
+//! side owns its own [`ShardedIndex`]; ingest *probes* the opposite
+//! side's index ([`ShardedIndex::probe_live`], read-only) and *inserts*
+//! into its own side's index ([`ShardedIndex::insert_keys_at`]), so
+//! same-side records never become candidates of one another — exactly
+//! the candidate structure of batch cross-table blocking. The
+//! within-table models `Fl`/`Fr` play the role the paper gives them:
+//! they *calibrate* the cross model during the joint fit (and are frozen
+//! alongside it), but match decisions — applied at bootstrap, persisted
+//! in the snapshot, replayed by [`LinkPipeline::seed_base`] — are cross
+//! pairs only, exactly like the batch `match_tables` report.
+//!
+//! ## Determinism and retraction
+//!
+//! The single-writer discipline of the dedup path carries over
+//! unchanged: parallel batch ingest derives and scores on a worker pool
+//! but commits interner symbols, index postings, and match decisions in
+//! ingest order, so outcomes are **bit-identical for every thread
+//! count** — in fact the argument is simpler here, because a single-side
+//! batch only probes the (frozen) opposite index and can contain no
+//! intra-batch matches. Retraction uses the same tombstone + decision-log
+//! component rebuild as dedup, with the record's postings routed to its
+//! own side's index.
+
+use crate::index::IndexStats;
+use crate::pipeline::{
+    records_digest, score_candidates, CompactionReport, IngestOutcome, RetractionReport,
+};
+use crate::pipeline::{StreamError, StreamOptions, StreamStats};
+use crate::shard::{RecordKeys, ShardedIndex};
+use crate::snapshot::LinkSnapshot;
+use crate::store::EntityStore;
+use std::sync::Mutex;
+use zeroer_blocking::{standard_candidates_derived, CandidateSet, PairMode};
+use zeroer_core::{
+    LinkageModel, LinkageSnapshot, LinkageTask, ModelSnapshot, SnapshotScorer, ZeroErConfig,
+};
+use zeroer_features::{PairFeaturizer, RowFeaturizer};
+use zeroer_tabular::{Record, Table};
+use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
+use zeroer_textsim::intern::Sym;
+
+/// Which table a record belongs to in a record-linkage workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left table `T`.
+    Left,
+    /// The right table `T'`.
+    Right,
+}
+
+impl Side {
+    /// The opposite side (the one an incoming record blocks against).
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Lower-case name, as the CLI `--side` flag spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Side::Left => "left",
+            Side::Right => "right",
+        }
+    }
+}
+
+/// What the linkage bootstrap's batch fit produced — the same shape
+/// `match_tables` reports, for callers that want the batch results
+/// alongside the live pipeline.
+#[derive(Debug, Clone)]
+pub struct LinkBootstrapReport {
+    /// Cross candidate pairs as `(left index, right index)` —
+    /// *table-local* indices, like `match_tables`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Calibrated posterior match probability per cross pair.
+    pub probabilities: Vec<f64>,
+    /// Hard labels at the 0.5 posterior threshold (Eq. 5).
+    pub labels: Vec<bool>,
+    /// Within-left pairs the fit *labelled* duplicates (diagnostic only
+    /// — within-table posteriors calibrate the cross model, they are
+    /// never applied as merge decisions).
+    pub left_matches: usize,
+    /// Within-right pairs labelled duplicates (diagnostic, like
+    /// [`LinkBootstrapReport::left_matches`]).
+    pub right_matches: usize,
+    /// EM iterations the joint fit ran.
+    pub em_iterations: usize,
+}
+
+/// One leg's feature replay state, kept alongside its task until the
+/// models are frozen.
+struct LegReplay {
+    task: LinkageTask,
+    ranges: Vec<(f64, f64)>,
+    impute_means: Vec<f64>,
+    names: Vec<String>,
+}
+
+fn build_leg(fz: &PairFeaturizer, cs: &CandidateSet) -> LegReplay {
+    let mut fs = fz.featurize(cs.pairs());
+    fs.normalize();
+    LegReplay {
+        ranges: fs.ranges.clone().expect("normalize() was called"),
+        impute_means: fs.impute_means.clone(),
+        names: fs.names.clone(),
+        task: LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout),
+    }
+}
+
+/// A slice of per-record match slots handed to a scoring worker, tagged
+/// with the offset of its first record within the batch.
+type LinkScoreJob<'m> = (usize, &'m mut [Vec<(usize, f64)>]);
+
+/// Streaming record linkage on top of a frozen three-model linkage fit:
+/// ingest side-tagged records, block them against the opposite side's
+/// incremental index, score cross candidates with the frozen cross
+/// model, and maintain cross-table entity clusters in a union-find.
+pub struct LinkPipeline {
+    opts: StreamOptions,
+    store: EntityStore,
+    /// Which side each stored record belongs to, indexed like the store.
+    sides: Vec<Side>,
+    left_index: ShardedIndex,
+    right_index: ShardedIndex,
+    featurizer: RowFeaturizer,
+    scorer: SnapshotScorer,
+    /// The full frozen fit (cross + within-table models), kept for
+    /// snapshotting.
+    linkage: LinkageSnapshot,
+    /// Reusable raw-feature buffer for the sequential scoring hot loop.
+    scratch: Vec<f64>,
+    candidates_seen: usize,
+    /// Bootstrap provenance (see [`LinkSnapshot`]).
+    left_len: usize,
+    right_len: usize,
+    left_digest: u64,
+    right_digest: u64,
+    base_matches: Vec<(usize, usize)>,
+    /// Tombstones restored from a snapshot, replayed by `seed_base`.
+    pending_tombstones: Vec<usize>,
+    pending_epoch: u64,
+}
+
+impl LinkPipeline {
+    /// Bootstraps from two complete tables: runs the full batch linkage
+    /// pipeline (cross + within-table blocking → features →
+    /// normalization → the three-model joint EM with cross-table
+    /// transitivity calibration), freezes the fitted models into a
+    /// [`LinkageSnapshot`], seeds the combined store and the two
+    /// side-indexes, and applies the batch match decisions to the
+    /// cluster index.
+    ///
+    /// Cross pairs are derived exactly once: the cross featurizer's
+    /// derivation feeds blocking, feature generation, both index seeds,
+    /// and the entity store.
+    ///
+    /// # Errors
+    /// Fails when the schemas differ, when cross blocking yields no
+    /// candidate pairs (nothing to fit), or when the fit is too
+    /// degenerate to freeze.
+    pub fn bootstrap(
+        left: &Table,
+        right: &Table,
+        opts: StreamOptions,
+    ) -> Result<(Self, LinkBootstrapReport), StreamError> {
+        if left.schema() != right.schema() {
+            return Err(StreamError(format!(
+                "record linkage requires aligned schemas ({:?} vs {:?})",
+                left.schema().attributes(),
+                right.schema().attributes()
+            )));
+        }
+        let index_cfg = opts.index_config();
+        let cross_fz = PairFeaturizer::with_config(left, right, index_cfg.derive_config());
+        let cross_cs = standard_candidates_derived(
+            cross_fz.left_derived(),
+            Some(cross_fz.right_derived()),
+            PairMode::Cross,
+            opts.min_token_overlap,
+            opts.max_bucket,
+        );
+        if cross_cs.is_empty() {
+            return Err(StreamError(
+                "cross-table blocking produced no candidate pairs; nothing to fit a model on"
+                    .into(),
+            ));
+        }
+        // The within-table legs infer their attribute types over their
+        // own table alone, exactly like the batch `match_tables` path —
+        // the type assignments (and hence feature layouts) legitimately
+        // differ from the cross leg's, so the derivations are separate.
+        let left_fz = PairFeaturizer::with_config(left, left, index_cfg.derive_config());
+        let right_fz = PairFeaturizer::with_config(right, right, index_cfg.derive_config());
+        let left_cs = standard_candidates_derived(
+            left_fz.left_derived(),
+            None,
+            PairMode::Dedup,
+            opts.min_token_overlap,
+            opts.max_bucket,
+        );
+        let right_cs = standard_candidates_derived(
+            right_fz.left_derived(),
+            None,
+            PairMode::Dedup,
+            opts.min_token_overlap,
+            opts.max_bucket,
+        );
+
+        let cross_leg = build_leg(&cross_fz, &cross_cs);
+        let left_leg = build_leg(&left_fz, &left_cs);
+        let right_leg = build_leg(&right_fz, &right_cs);
+
+        let trainer = LinkageModel::new(opts.config.clone());
+        let (out, fitted) = trainer.fit_models(&cross_leg.task, &left_leg.task, &right_leg.task);
+
+        let cross_snapshot = ModelSnapshot::capture_checked(
+            &fitted.cross,
+            &cross_leg.ranges,
+            &cross_leg.impute_means,
+            &cross_leg.names,
+        )
+        .ok_or_else(|| {
+            StreamError(
+                "cross-model fit is degenerate (non-finite parameters); cannot freeze".into(),
+            )
+        })?;
+        // A tiny within-table leg may be unfreezable (degenerate fit) —
+        // that is tolerable: streamed candidates are always cross pairs,
+        // so only the cross model is required at serving time.
+        let capture_leg = |model: &Option<zeroer_core::GenerativeModel>, leg: &LegReplay| {
+            model.as_ref().and_then(|m| {
+                ModelSnapshot::capture_checked(m, &leg.ranges, &leg.impute_means, &leg.names)
+            })
+        };
+        let linkage = LinkageSnapshot {
+            cross: cross_snapshot,
+            left: capture_leg(&fitted.left, &left_leg),
+            right: capture_leg(&fitted.right, &right_leg),
+            transitivity: opts.config.transitivity,
+        };
+        let scorer = linkage.cross_scorer()?;
+        let featurizer = RowFeaturizer::new(cross_fz.attr_types());
+        debug_assert_eq!(featurizer.dim(), linkage.cross.dim());
+
+        // One combined store: left records first (indices 0..L), then
+        // right records (L..L+R), sharing the cross featurizer's
+        // interner and derivations.
+        let nl = left.len();
+        let mut combined = Table::new("link-store", left.schema().clone());
+        for r in left.records().iter().chain(right.records()) {
+            combined.push(r.clone());
+        }
+        let (interner, left_derived, mut right_derived) = cross_fz.into_parts_cross();
+        let mut derived = left_derived;
+        derived.append(&mut right_derived);
+        let mut store =
+            EntityStore::from_derived(&combined, interner, derived, index_cfg.derive_config());
+
+        let mut left_index = ShardedIndex::new(index_cfg.clone());
+        let mut right_index = ShardedIndex::new(index_cfg);
+        for i in 0..store.len() {
+            let keys = RecordKeys::from_derived(store.derived(i), store.interner());
+            if i < nl {
+                left_index.insert_keys_at(i, &keys);
+            } else {
+                right_index.insert_keys_at(i, &keys);
+            }
+        }
+        let mut sides = vec![Side::Left; nl];
+        sides.extend(std::iter::repeat_n(Side::Right, right.len()));
+
+        // Apply the batch decisions: **cross pairs only**, with the same
+        // `p > threshold` criterion ingest applies, recorded so
+        // `seed_base` can replay them. The within-table models exist to
+        // *calibrate* the cross model during the joint fit (their
+        // posteriors gate the transitivity triangles); their hard labels
+        // are not match decisions — on internally-deduplicated tables EM
+        // still carves out a "duplicate" component, and merging it would
+        // poison the clusters. This mirrors `match_tables`, which also
+        // reports cross labels only; the within-leg posteriors stay
+        // available in the report for diagnostics.
+        let mut base_matches: Vec<(usize, usize)> = Vec::new();
+        for (&(l, r), &g) in cross_cs.pairs().iter().zip(&out.cross_gammas) {
+            if g > opts.threshold {
+                base_matches.push((l, nl + r));
+            }
+        }
+        for &(a, b) in &base_matches {
+            store.merge(a, b);
+        }
+        let hot = |gammas: &[f64]| gammas.iter().filter(|&&g| g > opts.threshold).count();
+        let (left_matches, right_matches) = (hot(&out.left_gammas), hot(&out.right_gammas));
+
+        let report = LinkBootstrapReport {
+            pairs: cross_cs.pairs().to_vec(),
+            probabilities: out.cross_gammas,
+            labels: out.cross_labels,
+            left_matches,
+            right_matches,
+            em_iterations: out.summary.iterations,
+        };
+        let candidates_seen = cross_cs.len() + left_cs.len() + right_cs.len();
+        Ok((
+            Self {
+                left_len: nl,
+                right_len: right.len(),
+                left_digest: records_digest(left.records()),
+                right_digest: records_digest(right.records()),
+                base_matches,
+                candidates_seen,
+                opts,
+                store,
+                sides,
+                left_index,
+                right_index,
+                featurizer,
+                scorer,
+                linkage,
+                scratch: Vec::new(),
+                pending_tombstones: Vec::new(),
+                pending_epoch: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Rebuilds a scoring pipeline from a saved [`LinkSnapshot`] with an
+    /// empty store — the `zeroer ingest --side` cold-start path. Call
+    /// [`LinkPipeline::seed_base`] with both bootstrap tables before
+    /// streaming.
+    ///
+    /// `threshold` overrides the assignment threshold; like the dedup
+    /// path, runtime knobs (threshold, compaction watermark) are not
+    /// persisted.
+    ///
+    /// # Errors
+    /// Fails if the snapshot is internally inconsistent (feature layout
+    /// vs. cross-model dimensionality), or if it carries tombstones for
+    /// streamed (non-persisted) records.
+    pub fn from_snapshot(snap: &LinkSnapshot, threshold: f64) -> Result<Self, StreamError> {
+        let featurizer = RowFeaturizer::new(&snap.attr_types);
+        if featurizer.dim() != snap.linkage.cross.dim() {
+            return Err(StreamError(format!(
+                "snapshot attr types imply {} features but the cross model has {}",
+                featurizer.dim(),
+                snap.linkage.cross.dim()
+            )));
+        }
+        let total = snap.bootstrap_len();
+        if let Some(&t) = snap.tombstones.iter().find(|&&t| t >= total) {
+            return Err(StreamError(format!(
+                "snapshot tombstones record {t}, which lies beyond the {total} bootstrap \
+                 records; streamed records are not persisted, so their retractions cannot \
+                 be restored"
+            )));
+        }
+        let scorer = snap.linkage.cross_scorer()?;
+        let opts = StreamOptions {
+            config: ZeroErConfig::default(),
+            blocking_attr: snap.index.attr,
+            min_token_overlap: snap.index.min_token_overlap,
+            qgram: snap.index.qgram,
+            max_bucket: snap.index.max_bucket,
+            threshold,
+            compact_watermark: StreamOptions::default().compact_watermark,
+        };
+        Ok(Self {
+            store: EntityStore::new(snap.to_schema(), snap.index.derive_config()),
+            sides: Vec::new(),
+            left_index: ShardedIndex::new(snap.index.clone()),
+            right_index: ShardedIndex::new(snap.index.clone()),
+            featurizer,
+            scorer,
+            linkage: snap.linkage.clone(),
+            opts,
+            scratch: Vec::new(),
+            candidates_seen: 0,
+            left_len: snap.left_len,
+            right_len: snap.right_len,
+            left_digest: snap.left_digest,
+            right_digest: snap.right_digest,
+            base_matches: snap.pairs.clone(),
+            pending_tombstones: snap.tombstones.clone(),
+            pending_epoch: snap.epoch,
+        })
+    }
+
+    /// Freezes the current pipeline configuration into a serializable
+    /// snapshot, including the bootstrap match decisions so a cold
+    /// restart can preserve them.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        let (tombstones, epoch) = if self.pending_tombstones.is_empty() {
+            (
+                (0..self.store.len())
+                    .filter(|&i| self.store.is_retracted(i))
+                    .collect(),
+                self.store.epoch(),
+            )
+        } else {
+            (self.pending_tombstones.clone(), self.pending_epoch)
+        };
+        LinkSnapshot {
+            schema: self.store.table().schema().attributes().to_vec(),
+            attr_types: self.featurizer.attr_types().to_vec(),
+            index: self.left_index.config().clone(),
+            linkage: self.linkage.clone(),
+            left_len: self.left_len,
+            right_len: self.right_len,
+            left_digest: self.left_digest,
+            right_digest: self.right_digest,
+            pairs: self.base_matches.clone(),
+            tombstones,
+            epoch,
+        }
+    }
+
+    /// Seeds a freshly [`LinkPipeline::from_snapshot`]-restored pipeline
+    /// with both bootstrap tables, replaying the persisted batch
+    /// decisions (never re-scoring) and any persisted retractions — the
+    /// cold-start equivalent of what [`LinkPipeline::bootstrap`] does
+    /// in-process.
+    ///
+    /// # Errors
+    /// Fails if the store already holds records, either table has the
+    /// wrong record count, or a digest mismatch shows the records differ
+    /// from the ones the snapshot was bootstrapped on.
+    pub fn seed_base(&mut self, left: &Table, right: &Table) -> Result<(), StreamError> {
+        if !self.store.is_empty() {
+            return Err(StreamError(
+                "seed_base requires an empty (just-restored) pipeline".into(),
+            ));
+        }
+        let check =
+            |side: &str, table: &Table, len: usize, digest: u64| -> Result<(), StreamError> {
+                if table.len() != len {
+                    return Err(StreamError(format!(
+                        "{side} table has {} records but the snapshot was bootstrapped on {len}",
+                        table.len()
+                    )));
+                }
+                if digest != 0 && records_digest(table.records()) != digest {
+                    return Err(StreamError(format!(
+                        "{side} table does not match the records the snapshot was bootstrapped \
+                     on (same length, different or reordered records); the persisted batch \
+                     decisions cannot be replayed onto it"
+                    )));
+                }
+                Ok(())
+            };
+        check("left", left, self.left_len, self.left_digest)?;
+        check("right", right, self.right_len, self.right_digest)?;
+        for (side, table) in [(Side::Left, left), (Side::Right, right)] {
+            for r in table.records() {
+                let derived = self.store.derive(r);
+                let keys = RecordKeys::from_derived(&derived, self.store.interner());
+                let idx = self.store.push_derived(r.clone(), derived);
+                self.sides.push(side);
+                self.side_index_mut(side).insert_keys_at(idx, &keys);
+            }
+        }
+        // Indexed loop: `merge` needs `&mut self.store` while the pairs
+        // live in `self.base_matches`, and cloning the whole decision
+        // list per cold start would be a pointless allocation.
+        for i in 0..self.base_matches.len() {
+            let (a, b) = self.base_matches[i];
+            self.store.merge(a, b);
+        }
+        let pending = std::mem::take(&mut self.pending_tombstones);
+        for &i in &pending {
+            self.retract_now(i)?;
+        }
+        let epoch = self.pending_epoch.max(self.store.epoch());
+        self.store.set_epoch(epoch);
+        Ok(())
+    }
+
+    fn side_index(&self, side: Side) -> &ShardedIndex {
+        match side {
+            Side::Left => &self.left_index,
+            Side::Right => &self.right_index,
+        }
+    }
+
+    fn side_index_mut(&mut self, side: Side) -> &mut ShardedIndex {
+        match side {
+            Side::Left => &mut self.left_index,
+            Side::Right => &mut self.right_index,
+        }
+    }
+
+    /// The entity store (both sides, combined numbering).
+    pub fn store(&self) -> &EntityStore {
+        &self.store
+    }
+
+    /// The options in effect (for restored pipelines, `config` is the
+    /// default — scoring depends only on the frozen parameters).
+    pub fn options(&self) -> &StreamOptions {
+        &self.opts
+    }
+
+    /// Which side record `idx` belongs to.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn side(&self, idx: usize) -> Side {
+        self.sides[idx]
+    }
+
+    /// Number of stored records (both sides, bootstrap included).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The pipeline epoch: advances on every retraction and compaction.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// The frozen three-model fit this pipeline scores with.
+    pub fn linkage(&self) -> &LinkageSnapshot {
+        &self.linkage
+    }
+
+    /// Derivation/blocking observability counters; index counters
+    /// aggregate both sides' indexes.
+    pub fn stats(&self) -> StreamStats {
+        let combine = |a: IndexStats, b: IndexStats| -> IndexStats {
+            let leg = |mut x: crate::index::LegStats, y: crate::index::LegStats| {
+                x.live += y.live;
+                x.retired += y.retired;
+                x.postings += y.postings;
+                x.dead_postings += y.dead_postings;
+                x
+            };
+            IndexStats {
+                token: leg(a.token, b.token),
+                qgram: leg(a.qgram, b.qgram),
+            }
+        };
+        StreamStats {
+            interned_tokens: self.store.interner().len(),
+            interned_bytes: self.store.interner().bytes(),
+            index: combine(self.left_index.stats(), self.right_index.stats()),
+            candidate_pairs: self.candidates_seen,
+            live_records: self.store.live_len(),
+            retracted_records: self.store.retracted_count(),
+            decision_log: self.store.decision_log_len(),
+            epoch: self.store.epoch(),
+        }
+    }
+
+    /// Current entity clusters (≥ 2 members) over the combined
+    /// numbering, in the same shape `dedup_table` reports.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        self.store.clusters()
+    }
+
+    /// All cross-table links the current clustering implies: `(left
+    /// combined index, right combined index)` for every co-clustered
+    /// left/right pair, sorted. This is the linkage-world notion of
+    /// "predicted matches" (transitive closure included), the quantity
+    /// the pair-F1 e2e measures.
+    pub fn cross_links(&self) -> Vec<(usize, usize)> {
+        let mut links = Vec::new();
+        for cluster in self.clusters() {
+            for &a in &cluster {
+                if self.sides[a] != Side::Left {
+                    continue;
+                }
+                for &b in &cluster {
+                    if self.sides[b] == Side::Right {
+                        links.push((a, b));
+                    }
+                }
+            }
+        }
+        links.sort_unstable();
+        links
+    }
+
+    /// Ingests one side-tagged record: one derivation pass → a read-only
+    /// probe of the **opposite** side's blocking index → frozen
+    /// cross-model scoring of every candidate → entity assignment. Runs
+    /// **zero** EM iterations. The record's own postings go into its own
+    /// side's index, so only future opposite-side arrivals can match it.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn ingest(&mut self, record: Record, side: Side) -> IngestOutcome {
+        assert_eq!(
+            record.values.len(),
+            self.store.table().schema().arity(),
+            "record arity {} does not match schema arity {}",
+            record.values.len(),
+            self.store.table().schema().arity()
+        );
+        let derived = self.store.derive(&record);
+        let keys = RecordKeys::from_derived(&derived, self.store.interner());
+        let candidates = self
+            .side_index(side.opposite())
+            .probe_live(&keys, self.store.tombstones());
+        self.candidates_seen += candidates.len();
+        let idx = self.store.push_derived(record, derived);
+        self.sides.push(side);
+        self.side_index_mut(side).insert_keys_at(idx, &keys);
+
+        let store = &self.store;
+        // Rows stay (left, right) — the orientation the cross model was
+        // fitted under — so left-side ingest puts the *new* record on
+        // the left of every scored pair.
+        let matches = score_candidates(
+            &self.featurizer,
+            &self.scorer,
+            store.interner(),
+            self.opts.threshold,
+            side == Side::Left,
+            &candidates,
+            &|c| store.derived(c),
+            store.derived(idx),
+            &mut self.scratch,
+        );
+        for &(c, _) in &matches {
+            self.store.merge(idx, c);
+        }
+        let cluster = self.store.find(idx);
+        IngestOutcome {
+            index: idx,
+            candidates: candidates.len(),
+            matches,
+            cluster,
+        }
+    }
+
+    /// Ingests a batch of same-side records in order.
+    pub fn ingest_batch(
+        &mut self,
+        records: impl IntoIterator<Item = Record>,
+        side: Side,
+    ) -> Vec<IngestOutcome> {
+        records.into_iter().map(|r| self.ingest(r, side)).collect()
+    }
+
+    /// Ingests a same-side batch across a pool of `threads` workers,
+    /// producing outcomes **bit-identical** to
+    /// [`LinkPipeline::ingest_batch`] on the same records.
+    ///
+    /// The argument is even simpler than the dedup path's: a same-side
+    /// batch only *probes* the opposite side's index, which no record of
+    /// the batch writes to — so candidate generation is read-only and
+    /// embarrassingly parallel, and there are no intra-batch matches at
+    /// all. Derivation runs against a frozen interner snapshot with
+    /// per-worker scratch tables; a single writer then commits fresh
+    /// tokens, store pushes, own-side index postings, and match
+    /// decisions in ingest order.
+    ///
+    /// # Panics
+    /// Panics if any record's arity does not match the schema (checked
+    /// up front, before any state is touched).
+    pub fn ingest_batch_parallel(
+        &mut self,
+        records: Vec<Record>,
+        side: Side,
+        threads: usize,
+    ) -> Vec<IngestOutcome> {
+        let threads = threads.max(1);
+        if threads == 1 || records.len() < 2 {
+            return self.ingest_batch(records, side);
+        }
+        let arity = self.store.table().schema().arity();
+        for r in &records {
+            assert_eq!(
+                r.values.len(),
+                arity,
+                "record arity {} does not match schema arity {}",
+                r.values.len(),
+                arity
+            );
+        }
+        let n = records.len();
+
+        // Phase 1 (parallel over records): derive against a frozen
+        // interner snapshot, parking unseen tokens per worker.
+        let cfg = self.store.derive_config();
+        let chunk = n.div_ceil(threads).max(1);
+        let mut scratch_chunks: Vec<(Vec<ScratchDerived>, Vec<String>)> = {
+            let interner = self.store.interner();
+            let mut chunks: Vec<Option<(Vec<ScratchDerived>, Vec<String>)>> =
+                (0..records.chunks(chunk).len()).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                for (rec_chunk, out) in records.chunks(chunk).zip(chunks.iter_mut()) {
+                    let cfg = &cfg;
+                    scope.spawn(move |_| {
+                        let mut deriver = ScratchDeriver::new(interner, cfg.clone());
+                        let derived: Vec<ScratchDerived> = rec_chunk
+                            .iter()
+                            .map(|r| deriver.derive(&r.values))
+                            .collect();
+                        *out = Some((derived, deriver.into_texts()));
+                    });
+                }
+            })
+            .expect("derivation worker panicked");
+            chunks
+                .into_iter()
+                .map(|c| c.expect("filled above"))
+                .collect()
+        };
+
+        // Commit (sequential, single writer, ingest order): intern fresh
+        // tokens — reproducing the sequential symbol numbering — and
+        // rebind each derivation onto global symbols.
+        let mut derived: Vec<DerivedRecord> = Vec::with_capacity(n);
+        let mut keys: Vec<RecordKeys> = Vec::with_capacity(n);
+        for (chunk_derived, texts) in scratch_chunks.drain(..) {
+            let mut map: Vec<Option<Sym>> = vec![None; texts.len()];
+            for sd in chunk_derived {
+                let rec = sd.commit(&texts, &mut map, self.store.interner_mut());
+                keys.push(RecordKeys::from_derived(&rec, self.store.interner()));
+                derived.push(rec);
+            }
+        }
+
+        // Phase 2 (parallel over records, work-stealing queue): probe
+        // the frozen opposite index and score with the frozen cross
+        // model — all read-only. The tombstone set is frozen for the
+        // batch (retraction needs `&mut self`).
+        let store = &self.store;
+        let opposite = self.side_index(side.opposite());
+        let featurizer = &self.featurizer;
+        let scorer = &self.scorer;
+        let threshold = self.opts.threshold;
+        let mut candidate_counts: Vec<usize> = vec![0; n];
+        let mut matches: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
+        {
+            let score_chunk = n.div_ceil(threads * 8).max(1);
+            let count_chunks: Vec<(usize, &mut [usize])> = candidate_counts
+                .chunks_mut(score_chunk)
+                .enumerate()
+                .map(|(ci, ch)| (ci * score_chunk, ch))
+                .collect();
+            let queue: Mutex<Vec<(LinkScoreJob<'_>, &mut [usize])>> = Mutex::new(
+                matches
+                    .chunks_mut(score_chunk)
+                    .enumerate()
+                    .zip(count_chunks)
+                    .map(|((ci, ch), (_, counts))| ((ci * score_chunk, ch), counts))
+                    .collect(),
+            );
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let queue = &queue;
+                    let derived = &derived;
+                    let keys = &keys;
+                    scope.spawn(move |_| {
+                        let mut buf: Vec<f64> = Vec::new();
+                        loop {
+                            let job = queue.lock().expect("queue poisoned").pop();
+                            let Some(((start, out), counts)) = job else {
+                                break;
+                            };
+                            for (off, (slot, count)) in
+                                out.iter_mut().zip(counts.iter_mut()).enumerate()
+                            {
+                                let i = start + off;
+                                let candidates = opposite.probe_live(&keys[i], store.tombstones());
+                                *count = candidates.len();
+                                *slot = score_candidates(
+                                    featurizer,
+                                    scorer,
+                                    store.interner(),
+                                    threshold,
+                                    side == Side::Left,
+                                    &candidates,
+                                    &|c| store.derived(c),
+                                    &derived[i],
+                                    &mut buf,
+                                );
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("scoring worker panicked");
+        }
+        self.candidates_seen += candidate_counts.iter().sum::<usize>();
+
+        // Phase 3 (sequential, single writer): push records, insert
+        // own-side postings, and apply match decisions in ingest order.
+        let mut outcomes = Vec::with_capacity(n);
+        for (((record, rec_derived), rec_keys), (rec_matches, cands)) in records
+            .into_iter()
+            .zip(derived)
+            .zip(keys)
+            .zip(matches.into_iter().zip(candidate_counts))
+        {
+            let idx = self.store.push_derived(record, rec_derived);
+            self.sides.push(side);
+            self.side_index_mut(side).insert_keys_at(idx, &rec_keys);
+            for &(c, _) in &rec_matches {
+                self.store.merge(idx, c);
+            }
+            let cluster = self.store.find(idx);
+            outcomes.push(IngestOutcome {
+                index: idx,
+                candidates: cands,
+                matches: rec_matches,
+                cluster,
+            });
+        }
+        outcomes
+    }
+
+    /// The shared retraction core: tombstone the record in the store
+    /// (rebuilding its connected component from the decision log) and
+    /// mark its postings dead in its **own side's** index. No watermark
+    /// check — `seed_base` replays persisted tombstones through this.
+    fn retract_now(&mut self, idx: usize) -> Result<RetractionReport, StreamError> {
+        if idx >= self.store.len() {
+            return Err(StreamError(format!(
+                "unknown record index {idx} (store holds {} records)",
+                self.store.len()
+            )));
+        }
+        if self.store.is_retracted(idx) {
+            return Err(StreamError(format!("record {idx} is already retracted")));
+        }
+        let keys = RecordKeys::from_derived(self.store.derived(idx), self.store.interner());
+        let out = self.store.retract(idx).map_err(StreamError)?;
+        let side = self.sides[idx];
+        let postings_tombstoned = self.side_index_mut(side).retract_keys(idx, &keys);
+        Ok(RetractionReport {
+            epoch: out.epoch,
+            component_size: out.component_size,
+            postings_tombstoned,
+            auto_compaction: None,
+        })
+    }
+
+    /// Retracts record `idx` (combined numbering): tombstoned, its
+    /// connected component rebuilt from the match-decision log as if it
+    /// had never been ingested, its postings marked dead in its side's
+    /// index — the same semantics as [`crate::StreamPipeline::retract`].
+    /// Crossing [`StreamOptions::compact_watermark`] triggers an
+    /// automatic compaction.
+    ///
+    /// # Errors
+    /// Fails on an out-of-range index, an already-retracted record, or a
+    /// snapshot-restored pipeline whose persisted tombstones have not
+    /// been replayed yet (call [`LinkPipeline::seed_base`] first).
+    pub fn retract(&mut self, idx: usize) -> Result<RetractionReport, StreamError> {
+        if !self.pending_tombstones.is_empty() {
+            return Err(StreamError(
+                "snapshot tombstones are pending; seed_base must replay the bootstrap \
+                 records before new retractions"
+                    .into(),
+            ));
+        }
+        let mut report = self.retract_now(idx)?;
+        report.auto_compaction = self.maybe_autocompact();
+        if let Some(c) = &report.auto_compaction {
+            report.epoch = c.epoch;
+        }
+        Ok(report)
+    }
+
+    /// Compacts the pipeline in place: drops tombstoned postings from
+    /// **both** side indexes, prunes dead decision-log edges, and
+    /// releases retracted records' derivations. Advances the epoch.
+    pub fn compact(&mut self) -> CompactionReport {
+        let mut index = self.left_index.compact(self.store.tombstones());
+        index.absorb(self.right_index.compact(self.store.tombstones()));
+        let store = self.store.compact();
+        CompactionReport {
+            epoch: self.store.epoch(),
+            index,
+            store,
+        }
+    }
+
+    /// Runs [`LinkPipeline::compact`] when the dead-posting fraction
+    /// across both indexes has crossed the configured watermark.
+    fn maybe_autocompact(&mut self) -> Option<CompactionReport> {
+        let watermark = self.opts.compact_watermark?;
+        let (lp, ld) = self.left_index.posting_counts();
+        let (rp, rd) = self.right_index.posting_counts();
+        let (postings, dead) = (lp + rp, ld + rd);
+        if dead > 0 && dead as f64 >= watermark * postings.max(1) as f64 {
+            Some(self.compact())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeroer_tabular::csv::read_table;
+
+    fn left_table() -> Table {
+        read_table(
+            "left",
+            "name,city\n\
+             Golden Dragon Palace,new york\n\
+             Blue Sky Tavern,austin\n\
+             Rustic Oak Kitchen,denver\n\
+             Harbor View Bistro,portland\n\
+             Smoky Cellar Tavern,chicago\n",
+        )
+        .unwrap()
+    }
+
+    fn right_table() -> Table {
+        read_table(
+            "right",
+            "name,city\n\
+             Golden Dragon Palce,new york\n\
+             Rustic Oak Kitchn,denver\n\
+             Totally Unrelated Bistro,miami\n\
+             Smoky Cellar Tavern,chicago\n",
+        )
+        .unwrap()
+    }
+
+    fn rec(id: u32, name: &str, city: &str) -> Record {
+        Record::new(id, vec![name.into(), city.into()])
+    }
+
+    fn pipeline() -> (LinkPipeline, LinkBootstrapReport) {
+        LinkPipeline::bootstrap(&left_table(), &right_table(), StreamOptions::default())
+            .expect("bootstrap")
+    }
+
+    #[test]
+    fn bootstrap_links_obvious_cross_pairs() {
+        let (p, report) = pipeline();
+        assert!(report.em_iterations >= 1);
+        assert_eq!(p.len(), 9);
+        let nl = left_table().len();
+        // Golden Dragon (0 ↔ 0) and Rustic Oak (2 ↔ 1) link across.
+        assert!(p.store().same_entity(0, nl), "{:?}", p.clusters());
+        assert!(p.store().same_entity(2, nl + 1), "{:?}", p.clusters());
+        // Unrelated right record stays a singleton.
+        assert!(!p.clusters().iter().any(|c| c.contains(&(nl + 2))));
+        let links = p.cross_links();
+        assert!(links.contains(&(0, nl)) && links.contains(&(2, nl + 1)));
+    }
+
+    #[test]
+    fn right_ingest_blocks_against_left_only() {
+        let (mut p, _) = pipeline();
+        let nl = left_table().len();
+        // An exact copy of a *right* record must not match it (same
+        // side); only the cross pair with the left original counts.
+        let out = p.ingest(rec(100, "Golden Dragon Palce", "new york"), Side::Right);
+        assert!(!out.is_new_entity());
+        assert!(
+            out.matches.iter().all(|&(c, _)| c < nl),
+            "right-side ingest may only match left records: {:?}",
+            out.matches
+        );
+        // It still lands in the Golden Dragon entity via the left match.
+        assert!(p.store().same_entity(out.index, nl));
+
+        let fresh = p.ingest(rec(101, "Totally Unseen Steakhouse", "miami"), Side::Right);
+        assert!(fresh.is_new_entity());
+    }
+
+    #[test]
+    fn left_ingest_blocks_against_right_only() {
+        let (mut p, _) = pipeline();
+        let nl = left_table().len();
+        // A new left record matching an unmatched right record links it.
+        let out = p.ingest(rec(200, "Totally Unrelated Bistro", "miami"), Side::Left);
+        assert!(!out.is_new_entity());
+        assert!(
+            out.matches.iter().all(|&(c, _)| c >= nl),
+            "left-side ingest may only match right records: {:?}",
+            out.matches
+        );
+        assert!(p.store().same_entity(out.index, nl + 2));
+    }
+
+    #[test]
+    fn streamed_records_become_candidates_for_the_opposite_side() {
+        let (mut p, _) = pipeline();
+        let a = p.ingest(rec(300, "Crimson Lotus Noodle Bar", "seattle"), Side::Left);
+        assert!(a.is_new_entity());
+        let b = p.ingest(rec(301, "Crimson Lotus Noodle Bar", "seattle"), Side::Right);
+        assert!(
+            !b.is_new_entity(),
+            "a streamed left record must be matchable by a later right record"
+        );
+        assert!(p.store().same_entity(a.index, b.index));
+    }
+
+    #[test]
+    fn parallel_link_ingest_is_bit_identical() {
+        let tail: Vec<Record> = vec![
+            rec(400, "Golden Dragon Palace", "new york"),
+            rec(401, "Blue Sky Tavern", "austin"),
+            rec(402, "Totally New Place", "boston"),
+            rec(403, "Harbor View Bistro", "portland"),
+            rec(404, "Rustic Oak Kitchen", "denver"),
+            rec(405, "Another Fresh Venue", "reno"),
+        ];
+        let (seq, _) = pipeline();
+        let snap = seq.snapshot();
+        let mut reference: Option<Vec<IngestOutcome>> = None;
+        for threads in [1, 2, 4] {
+            let mut p = LinkPipeline::from_snapshot(&snap, 0.5).expect("restore");
+            p.seed_base(&left_table(), &right_table()).expect("seed");
+            let outcomes = p.ingest_batch_parallel(tail.clone(), Side::Right, threads);
+            match &reference {
+                None => reference = Some(outcomes),
+                Some(want) => {
+                    assert_eq!(want.len(), outcomes.len());
+                    for (w, g) in want.iter().zip(&outcomes) {
+                        assert_eq!(w.index, g.index, "threads={threads}");
+                        assert_eq!(w.candidates, g.candidates, "threads={threads}");
+                        assert_eq!(w.cluster, g.cluster, "threads={threads}");
+                        assert_eq!(w.matches.len(), g.matches.len(), "threads={threads}");
+                        for ((wc, wp), (gc, gp)) in w.matches.iter().zip(&g.matches) {
+                            assert_eq!(wc, gc, "threads={threads}");
+                            assert_eq!(
+                                wp.to_bits(),
+                                gp.to_bits(),
+                                "threads={threads}: posterior bits must match"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_scoring() {
+        let (mut live, _) = pipeline();
+        let snap = live.snapshot();
+        let reloaded = LinkSnapshot::from_json(&snap.to_json()).expect("round-trips");
+        assert_eq!(reloaded.linkage, snap.linkage);
+        assert_eq!(reloaded.pairs, snap.pairs);
+        let mut cold = LinkPipeline::from_snapshot(&reloaded, 0.5).expect("restore");
+        cold.seed_base(&left_table(), &right_table()).expect("seed");
+        assert_eq!(cold.clusters(), live.clusters());
+
+        let probe = rec(500, "Golden Dragon Palace", "new york");
+        let a = live.ingest(probe.clone(), Side::Right);
+        let b = cold.ingest(probe, Side::Right);
+        assert_eq!(a.matches.len(), b.matches.len());
+        for ((ca, pa), (cb, pb)) in a.matches.iter().zip(&b.matches) {
+            assert_eq!(ca, cb);
+            assert_eq!(pa.to_bits(), pb.to_bits(), "posterior drift");
+        }
+    }
+
+    #[test]
+    fn seed_base_rejects_wrong_tables() {
+        let (live, _) = pipeline();
+        let snap = live.snapshot();
+        let mut cold = LinkPipeline::from_snapshot(&snap, 0.5).unwrap();
+        let err = cold
+            .seed_base(&right_table(), &right_table())
+            .expect_err("wrong left table");
+        assert!(err.to_string().contains("left table"), "{err}");
+        // Errors must leave the pipeline re-seedable… with the right
+        // tables. (The failed left seed never touched the store.)
+        assert!(cold.is_empty());
+        cold.seed_base(&left_table(), &right_table())
+            .expect("correct tables seed");
+    }
+
+    #[test]
+    fn retraction_unlinks_and_hides_the_record() {
+        let (mut p, _) = pipeline();
+        let nl = left_table().len();
+        assert!(p.store().same_entity(0, nl));
+        let report = p.retract(nl).expect("live record retracts");
+        assert!(report.component_size >= 2);
+        assert!(report.postings_tombstoned > 0);
+        assert!(p.store().is_retracted(nl));
+        assert!(!p.clusters().iter().any(|c| c.contains(&nl)));
+
+        // A fresh right ingest matches the left original, never the
+        // retracted right twin.
+        let again = p.ingest(rec(600, "Golden Dragon Palace", "new york"), Side::Right);
+        assert!(!again.is_new_entity());
+        assert!(again.matches.iter().all(|&(c, _)| c != nl));
+    }
+
+    #[test]
+    fn compact_reclaims_both_indexes() {
+        let mut opts = StreamOptions::default();
+        opts.compact_watermark = None;
+        let (mut p, _) =
+            LinkPipeline::bootstrap(&left_table(), &right_table(), opts).expect("bootstrap");
+        let nl = left_table().len();
+        p.retract(0).unwrap(); // a left record
+        p.retract(nl).unwrap(); // a right record
+        let clusters_before = p.clusters();
+        let report = p.compact();
+        assert!(report.index.postings_dropped > 0);
+        assert!(report.bytes_reclaimed() > 0);
+        assert_eq!(p.stats().index.dead_postings(), 0);
+        assert_eq!(p.clusters(), clusters_before);
+    }
+
+    #[test]
+    fn mismatched_schemas_are_rejected() {
+        let other = read_table("o", "title\nsomething\n").unwrap();
+        assert!(LinkPipeline::bootstrap(&left_table(), &other, StreamOptions::default()).is_err());
+    }
+}

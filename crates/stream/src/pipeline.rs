@@ -88,7 +88,7 @@ impl Default for StreamOptions {
 }
 
 impl StreamOptions {
-    fn index_config(&self) -> IndexConfig {
+    pub(crate) fn index_config(&self) -> IndexConfig {
         IndexConfig {
             attr: self.blocking_attr,
             qgram: self.qgram,
@@ -231,7 +231,7 @@ type ScoreJob<'m> = (usize, &'m mut [Vec<(usize, f64)>]);
 /// used to pin persisted bootstrap decisions to the exact table they
 /// were made on: replaying merge pairs onto different or reordered
 /// records would silently produce wrong clusters.
-fn records_digest(records: &[Record]) -> u64 {
+pub(crate) fn records_digest(records: &[Record]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -259,15 +259,24 @@ fn records_digest(records: &[Record]) -> u64 {
 /// `(candidate, posterior)` pairs above `threshold`, sorted by descending
 /// posterior (stable, so ties keep ascending candidate order).
 ///
-/// Both the sequential and the parallel ingest paths call this single
-/// function on identical inputs, which is what makes parallel ingest
-/// bit-identical to sequential ingest.
+/// Orientation matters because a few of the similarity measures (e.g.
+/// Monge-Elkan) are asymmetric. With `new_on_left = false`, rows are
+/// `(candidate, new)` — the dedup `(older, newer)` convention mirroring
+/// batch pairs `(i, j)` with `i < j`, which is also the linkage
+/// orientation when the *new* record is right-side. `new_on_left = true`
+/// flips to `(new, candidate)` for left-side linkage ingest, keeping
+/// rows `(left, right)` as the cross model was fitted.
+///
+/// Every ingest path — sequential and parallel, dedup and linkage —
+/// calls this single function on identical inputs, which is what makes
+/// parallel ingest bit-identical to sequential ingest.
 #[allow(clippy::too_many_arguments)]
-fn score_candidates<'a>(
+pub(crate) fn score_candidates<'a>(
     featurizer: &RowFeaturizer,
     scorer: &SnapshotScorer,
     interner: &Interner,
     threshold: f64,
+    new_on_left: bool,
     candidates: &[usize],
     derived_of: &dyn Fn(usize) -> &'a DerivedRecord,
     new_derived: &DerivedRecord,
@@ -275,10 +284,11 @@ fn score_candidates<'a>(
 ) -> Vec<(usize, f64)> {
     let mut matches: Vec<(usize, f64)> = Vec::new();
     for &c in candidates {
-        // Feature rows are oriented (older, newer) to mirror the batch
-        // dedup convention of (i, j) with i < j — a few of the similarity
-        // measures (e.g. Monge-Elkan) are asymmetric.
-        featurizer.raw_row_into(interner, derived_of(c), new_derived, buf);
+        if new_on_left {
+            featurizer.raw_row_into(interner, new_derived, derived_of(c), buf);
+        } else {
+            featurizer.raw_row_into(interner, derived_of(c), new_derived, buf);
+        }
         let p = scorer.score_raw(buf);
         if p > threshold {
             matches.push((c, p));
@@ -616,6 +626,7 @@ impl StreamPipeline {
             &self.scorer,
             store.interner(),
             self.opts.threshold,
+            false,
             &candidates,
             &|c| store.derived(c),
             store.derived(idx),
@@ -771,6 +782,7 @@ impl StreamPipeline {
                                     scorer,
                                     store.interner(),
                                     threshold,
+                                    false,
                                     &candidates[i],
                                     &|c| {
                                         if c < base {

@@ -5,7 +5,7 @@
 //! key **text** (never the symbol id: symbol numbering depends on intern
 //! order, text does not, so placement is identical across processes,
 //! thread counts, and interner histories). Every shard holds the full
-//! inverted-index machinery ([`crate::index::Leg`]) for the keys it
+//! inverted-index machinery (`crate::index::Leg`) for the keys it
 //! owns, so a bucket's lifetime (membership order, frequency-cap
 //! retirement) is byte-identical to the unsharded
 //! [`crate::IncrementalIndex`]: a key's bucket sees exactly the same
@@ -18,7 +18,7 @@
 //! overlap counting is additive over disjoint key sets: each key lives in
 //! exactly one shard, so summing per-shard counts per member reproduces
 //! the unsharded count, and the final sort+dedup merge
-//! ([`crate::index::merge_candidates`]) is shared verbatim. The property
+//! (`crate::index::merge_candidates`) is shared verbatim. The property
 //! test in `tests/sharded.rs` asserts set equality against
 //! [`crate::IncrementalIndex`] for arbitrary record streams and shard
 //! counts.
@@ -243,6 +243,62 @@ impl ShardedIndex {
             qgram_counts.into_keys(),
             self.cfg.min_token_overlap,
         )
+    }
+
+    /// Read-only candidate lookup: the sorted indices of inserted records
+    /// sharing a blocking key with `keys`, **without** inserting anything
+    /// — the candidate rule (token-overlap threshold, q-gram union,
+    /// tombstone filter) is exactly [`ShardedIndex::insert_keys_live`]'s.
+    ///
+    /// This is how streaming record linkage blocks across tables: an
+    /// incoming right-side record probes the *left* side's index for
+    /// candidates (and is then inserted into the right side's index via
+    /// [`ShardedIndex::insert_keys_at`], never into this one). Because
+    /// probing takes `&self`, a whole batch can probe one frozen index
+    /// from many workers with no synchronization.
+    pub fn probe_live(&self, keys: &RecordKeys, tombstones: &[bool]) -> Vec<usize> {
+        let mut token_counts: HashMap<usize, usize> = HashMap::new();
+        for &(key, h) in &keys.token {
+            let s = self.shard_of(h);
+            self.shards[s]
+                .token_leg
+                .lookup_key(key, &mut token_counts, tombstones);
+        }
+        let mut qgram_counts: HashMap<usize, usize> = HashMap::new();
+        for &(key, h) in &keys.qgram {
+            let s = self.shard_of(h);
+            if let Some(qleg) = &self.shards[s].qgram_leg {
+                qleg.lookup_key(key, &mut qgram_counts, tombstones);
+            }
+        }
+        merge_candidates(
+            token_counts,
+            qgram_counts.into_keys(),
+            self.cfg.min_token_overlap,
+        )
+    }
+
+    /// Inserts a record's postings under an explicit record index,
+    /// without candidate generation — the linkage path's write half,
+    /// where the caller's record numbering (a store shared by both
+    /// sides) is not this index's insertion count. Buckets still apply
+    /// the live-member frequency cap at the same crossing points.
+    ///
+    /// Unlike [`ShardedIndex::insert_keys`], `idx` values need not be
+    /// dense or contiguous here — each side's index holds only its own
+    /// side's records out of the shared numbering.
+    pub fn insert_keys_at(&mut self, idx: usize, keys: &RecordKeys) {
+        for &(key, h) in &keys.token {
+            let s = self.shard_of(h);
+            self.shards[s].token_leg.insert_key_silent(idx, key);
+        }
+        for &(key, h) in &keys.qgram {
+            let s = self.shard_of(h);
+            if let Some(qleg) = &mut self.shards[s].qgram_leg {
+                qleg.insert_key_silent(idx, key);
+            }
+        }
+        self.len += 1;
     }
 
     /// Marks record `idx`'s postings dead under its blocking keys,

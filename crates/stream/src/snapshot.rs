@@ -9,7 +9,7 @@
 
 use crate::index::IndexConfig;
 use zeroer_core::json::{Json, JsonError};
-use zeroer_core::ModelSnapshot;
+use zeroer_core::{LinkageSnapshot, ModelSnapshot};
 use zeroer_tabular::{AttrType, Schema};
 
 /// A serializable freeze of the full streaming-scoring configuration.
@@ -65,44 +65,17 @@ impl PipelineSnapshot {
                 Json::Str("zeroer-pipeline-snapshot".into()),
             ),
             ("version".into(), Json::Num(1.0)),
-            (
-                "schema".into(),
-                Json::Arr(self.schema.iter().map(|s| Json::Str(s.clone())).collect()),
-            ),
+            ("schema".into(), fields::schema_json(&self.schema)),
             (
                 "attr_types".into(),
-                Json::Arr(
-                    self.attr_types
-                        .iter()
-                        .map(|t| Json::Str(t.name().into()))
-                        .collect(),
-                ),
+                fields::attr_types_json(&self.attr_types),
             ),
-            (
-                "index".into(),
-                Json::Obj(vec![
-                    ("attr".into(), Json::Num(self.index.attr as f64)),
-                    ("qgram".into(), Json::Num(self.index.qgram as f64)),
-                    ("max_bucket".into(), Json::Num(self.index.max_bucket as f64)),
-                    (
-                        "min_token_overlap".into(),
-                        Json::Num(self.index.min_token_overlap as f64),
-                    ),
-                ]),
-            ),
+            ("index".into(), fields::index_json(&self.index)),
             (
                 "bootstrap".into(),
                 Json::Obj(vec![
                     ("len".into(), Json::Num(self.bootstrap_len as f64)),
-                    (
-                        "pairs".into(),
-                        Json::Arr(
-                            self.bootstrap_pairs
-                                .iter()
-                                .map(|&(a, b)| Json::nums(&[a as f64, b as f64]))
-                                .collect(),
-                        ),
-                    ),
+                    ("pairs".into(), fields::pairs_json(&self.bootstrap_pairs)),
                     // Hex, not Num: JSON numbers are f64 and cannot hold
                     // every u64 exactly.
                     (
@@ -113,18 +86,7 @@ impl PipelineSnapshot {
             ),
             (
                 "retraction".into(),
-                Json::Obj(vec![
-                    ("epoch".into(), Json::Num(self.epoch as f64)),
-                    (
-                        "tombstones".into(),
-                        Json::Arr(
-                            self.tombstones
-                                .iter()
-                                .map(|&t| Json::Num(t as f64))
-                                .collect(),
-                        ),
-                    ),
-                ]),
+                fields::retraction_json(self.epoch, &self.tombstones),
             ),
             ("model".into(), self.model.to_json_value()),
         ])
@@ -145,41 +107,12 @@ impl PipelineSnapshot {
                 "unsupported pipeline-snapshot version (expected 1)",
             ));
         }
-        let strings = |key: &str| -> Result<Vec<String>, JsonError> {
-            j.require(key)?
-                .as_arr()
-                .ok_or_else(|| JsonError::schema(format!("{key} must be an array")))?
-                .iter()
-                .map(|v| {
-                    v.as_str()
-                        .map(String::from)
-                        .ok_or_else(|| JsonError::schema(format!("{key} must hold strings")))
-                })
-                .collect()
-        };
-        let schema = strings("schema")?;
-        let attr_types = strings("attr_types")?
-            .iter()
-            .map(|name| {
-                AttrType::from_name(name)
-                    .ok_or_else(|| JsonError::schema(format!("unknown attr type {name:?}")))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let schema = fields::parse_strings(&j, "schema")?;
+        let attr_types = fields::parse_attr_types(&fields::parse_strings(&j, "attr_types")?)?;
         if schema.is_empty() || schema.len() != attr_types.len() {
             return Err(JsonError::schema("schema/attr_types arity mismatch"));
         }
-        let idx = j.require("index")?;
-        let field = |key: &str| -> Result<usize, JsonError> {
-            idx.require(key)?
-                .as_usize()
-                .ok_or_else(|| JsonError::schema(format!("index.{key} must be an integer")))
-        };
-        let index = IndexConfig {
-            attr: field("attr")?,
-            qgram: field("qgram")?,
-            max_bucket: field("max_bucket")?,
-            min_token_overlap: field("min_token_overlap")?,
-        };
+        let index = fields::parse_index(&j)?;
         if index.attr >= schema.len() {
             return Err(JsonError::schema("blocking attribute out of schema range"));
         }
@@ -196,47 +129,153 @@ impl PipelineSnapshot {
                     .require("len")?
                     .as_usize()
                     .ok_or_else(|| JsonError::schema("bootstrap.len must be an integer"))?;
-                let pairs = boot
-                    .require("pairs")?
-                    .as_arr()
-                    .ok_or_else(|| JsonError::schema("bootstrap.pairs must be an array"))?
-                    .iter()
-                    .map(|pair| {
-                        let err =
-                            || JsonError::schema("each bootstrap pair must be [i, j] of integers");
-                        let xs = pair.as_arr().ok_or_else(err)?;
-                        if xs.len() != 2 {
-                            return Err(err());
-                        }
-                        // as_usize rejects negatives and fractions — the
-                        // same validation bootstrap.len itself gets.
-                        let a = xs[0].as_usize().ok_or_else(err)?;
-                        let b = xs[1].as_usize().ok_or_else(err)?;
-                        if a >= len || b >= len {
-                            return Err(JsonError::schema(
-                                "bootstrap pair indices must lie below bootstrap.len",
-                            ));
-                        }
-                        Ok((a, b))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                let digest = match boot.get("digest") {
-                    None => 0, // older writers: digest unknown
-                    Some(d) => u64::from_str_radix(
-                        d.as_str().ok_or_else(|| {
-                            JsonError::schema("bootstrap.digest must be a string")
-                        })?,
-                        16,
-                    )
-                    .map_err(|_| JsonError::schema("bootstrap.digest must be hex"))?,
-                };
+                let pairs = fields::parse_pairs(boot, "pairs", len)?;
+                // Older writers: digest absent reads as unknown (0).
+                let digest = fields::parse_digest(boot, "digest")?;
                 (len, pairs, digest)
             }
         };
         // The retraction section arrived with retraction support;
         // absence (older snapshots) reads as "nothing ever retracted".
-        let (epoch, tombstones) = match j.get("retraction") {
-            None => (0, Vec::new()),
+        let (epoch, tombstones) = fields::parse_retraction(&j)?;
+        let model = ModelSnapshot::from_json_value(j.require("model")?)?;
+        Ok(Self {
+            schema,
+            attr_types,
+            index,
+            model,
+            bootstrap_len,
+            bootstrap_pairs,
+            bootstrap_digest,
+            tombstones,
+            epoch,
+        })
+    }
+}
+
+/// Shared field renderers/parsers for the two snapshot formats.
+mod fields {
+    use super::*;
+
+    pub(super) fn schema_json(schema: &[String]) -> Json {
+        Json::Arr(schema.iter().map(|s| Json::Str(s.clone())).collect())
+    }
+
+    pub(super) fn attr_types_json(types: &[AttrType]) -> Json {
+        Json::Arr(types.iter().map(|t| Json::Str(t.name().into())).collect())
+    }
+
+    pub(super) fn index_json(index: &IndexConfig) -> Json {
+        Json::Obj(vec![
+            ("attr".into(), Json::Num(index.attr as f64)),
+            ("qgram".into(), Json::Num(index.qgram as f64)),
+            ("max_bucket".into(), Json::Num(index.max_bucket as f64)),
+            (
+                "min_token_overlap".into(),
+                Json::Num(index.min_token_overlap as f64),
+            ),
+        ])
+    }
+
+    pub(super) fn pairs_json(pairs: &[(usize, usize)]) -> Json {
+        Json::Arr(
+            pairs
+                .iter()
+                .map(|&(a, b)| Json::nums(&[a as f64, b as f64]))
+                .collect(),
+        )
+    }
+
+    pub(super) fn retraction_json(epoch: u64, tombstones: &[usize]) -> Json {
+        Json::Obj(vec![
+            ("epoch".into(), Json::Num(epoch as f64)),
+            (
+                "tombstones".into(),
+                Json::Arr(tombstones.iter().map(|&t| Json::Num(t as f64)).collect()),
+            ),
+        ])
+    }
+
+    pub(super) fn parse_strings(j: &Json, key: &str) -> Result<Vec<String>, JsonError> {
+        j.require(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema(format!("{key} must be an array")))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(String::from)
+                    .ok_or_else(|| JsonError::schema(format!("{key} must hold strings")))
+            })
+            .collect()
+    }
+
+    pub(super) fn parse_attr_types(names: &[String]) -> Result<Vec<AttrType>, JsonError> {
+        names
+            .iter()
+            .map(|name| {
+                AttrType::from_name(name)
+                    .ok_or_else(|| JsonError::schema(format!("unknown attr type {name:?}")))
+            })
+            .collect()
+    }
+
+    pub(super) fn parse_index(j: &Json) -> Result<IndexConfig, JsonError> {
+        let idx = j.require("index")?;
+        let field = |key: &str| -> Result<usize, JsonError> {
+            idx.require(key)?
+                .as_usize()
+                .ok_or_else(|| JsonError::schema(format!("index.{key} must be an integer")))
+        };
+        Ok(IndexConfig {
+            attr: field("attr")?,
+            qgram: field("qgram")?,
+            max_bucket: field("max_bucket")?,
+            min_token_overlap: field("min_token_overlap")?,
+        })
+    }
+
+    pub(super) fn parse_pairs(
+        j: &Json,
+        key: &str,
+        limit: usize,
+    ) -> Result<Vec<(usize, usize)>, JsonError> {
+        j.require(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema(format!("{key} must be an array")))?
+            .iter()
+            .map(|pair| {
+                let err = || JsonError::schema(format!("each {key} pair must be [i, j]"));
+                let xs = pair.as_arr().ok_or_else(err)?;
+                if xs.len() != 2 {
+                    return Err(err());
+                }
+                let a = xs[0].as_usize().ok_or_else(err)?;
+                let b = xs[1].as_usize().ok_or_else(err)?;
+                if a >= limit || b >= limit {
+                    return Err(JsonError::schema(format!(
+                        "{key} pair indices must lie below the bootstrap record count"
+                    )));
+                }
+                Ok((a, b))
+            })
+            .collect()
+    }
+
+    pub(super) fn parse_digest(j: &Json, key: &str) -> Result<u64, JsonError> {
+        match j.get(key) {
+            None => Ok(0),
+            Some(d) => u64::from_str_radix(
+                d.as_str()
+                    .ok_or_else(|| JsonError::schema(format!("{key} must be a string")))?,
+                16,
+            )
+            .map_err(|_| JsonError::schema(format!("{key} must be hex"))),
+        }
+    }
+
+    pub(super) fn parse_retraction(j: &Json) -> Result<(u64, Vec<usize>), JsonError> {
+        match j.get("retraction") {
+            None => Ok((0, Vec::new())),
             Some(retr) => {
                 let epoch = retr
                     .require("epoch")?
@@ -259,18 +298,171 @@ impl PipelineSnapshot {
                         "retraction.tombstones must be strictly ascending",
                     ));
                 }
-                (epoch, tombstones)
+                Ok((epoch, tombstones))
             }
+        }
+    }
+}
+
+/// A serializable freeze of the full streaming **record-linkage**
+/// configuration — the `match`-path counterpart of [`PipelineSnapshot`].
+///
+/// Where the dedup snapshot carries one [`ModelSnapshot`], this carries
+/// a [`zeroer_core::LinkageSnapshot`] (the three-model fit of
+/// `LinkageModel`) plus the two-sided bootstrap provenance: how many
+/// records each side contributed, digests of both tables, and the
+/// calibrated match decisions (in the *combined* record numbering —
+/// left records first, then right) that `LinkPipeline::seed_base`
+/// replays on a cold start.
+#[derive(Debug, Clone)]
+pub struct LinkSnapshot {
+    /// Attribute names, in schema order (both sides share one schema).
+    pub schema: Vec<String>,
+    /// Frozen attribute types of the **cross** leg (they fix the
+    /// feature layout streamed cross pairs are scored under; the
+    /// within-table legs' layouts live inside their [`ModelSnapshot`]s).
+    pub attr_types: Vec<AttrType>,
+    /// Blocking-index configuration (shared by both sides' indexes).
+    pub index: IndexConfig,
+    /// The frozen three-model linkage fit plus feature replay state.
+    pub linkage: LinkageSnapshot,
+    /// Number of left-table bootstrap records (combined indices
+    /// `0..left_len`).
+    pub left_len: usize,
+    /// Number of right-table bootstrap records (combined indices
+    /// `left_len..left_len + right_len`).
+    pub right_len: usize,
+    /// Order-sensitive FNV-1a digest of the left bootstrap table
+    /// (0 = unknown).
+    pub left_digest: u64,
+    /// Order-sensitive FNV-1a digest of the right bootstrap table
+    /// (0 = unknown).
+    pub right_digest: u64,
+    /// The bootstrap match decisions in decision order, as combined
+    /// indices. Always **cross** pairs `(left, left_len + right)`: the
+    /// within-table models calibrate the fit but never emit merge
+    /// decisions (mirroring `match_tables`, which reports cross labels
+    /// only). Every pair here cleared the assignment threshold at fit
+    /// time.
+    pub pairs: Vec<(usize, usize)>,
+    /// Retracted combined record indices, ascending. `seed_base`
+    /// replays these after the bootstrap decisions; restore refuses
+    /// indices at or beyond [`LinkSnapshot::bootstrap_len`] (streamed
+    /// records are not persisted, so their retractions cannot be
+    /// reconstructed — like the dedup format, the writer records them
+    /// and the reader refuses them rather than dropping them silently).
+    pub tombstones: Vec<usize>,
+    /// Pipeline epoch at save time.
+    pub epoch: u64,
+}
+
+impl LinkSnapshot {
+    /// Rebuilds the [`Schema`].
+    ///
+    /// # Panics
+    /// Panics if the stored names are empty or duplicated.
+    pub fn to_schema(&self) -> Schema {
+        Schema::new(self.schema.iter().cloned())
+    }
+
+    /// Total bootstrap record count (both sides).
+    pub fn bootstrap_len(&self) -> usize {
+        self.left_len + self.right_len
+    }
+
+    /// Serializes to JSON text.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("format".into(), Json::Str("zeroer-link-snapshot".into())),
+            ("version".into(), Json::Num(1.0)),
+            ("schema".into(), fields::schema_json(&self.schema)),
+            (
+                "attr_types".into(),
+                fields::attr_types_json(&self.attr_types),
+            ),
+            ("index".into(), fields::index_json(&self.index)),
+            (
+                "bootstrap".into(),
+                Json::Obj(vec![
+                    ("left_len".into(), Json::Num(self.left_len as f64)),
+                    ("right_len".into(), Json::Num(self.right_len as f64)),
+                    (
+                        "left_digest".into(),
+                        Json::Str(format!("{:016x}", self.left_digest)),
+                    ),
+                    (
+                        "right_digest".into(),
+                        Json::Str(format!("{:016x}", self.right_digest)),
+                    ),
+                    ("pairs".into(), fields::pairs_json(&self.pairs)),
+                ]),
+            ),
+            (
+                "retraction".into(),
+                fields::retraction_json(self.epoch, &self.tombstones),
+            ),
+            ("linkage".into(), self.linkage.to_json_value()),
+        ])
+        .render()
+    }
+
+    /// Deserializes from JSON text.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or schema violations (wrong format
+    /// marker, out-of-range pair indices, unsorted tombstones, a
+    /// blocking attribute outside the schema).
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let j = Json::parse(text)?;
+        if j.get("format").and_then(Json::as_str) != Some("zeroer-link-snapshot") {
+            return Err(JsonError::schema("not a zeroer link snapshot"));
+        }
+        if j.get("version").and_then(Json::as_f64) != Some(1.0) {
+            return Err(JsonError::schema(
+                "unsupported link-snapshot version (expected 1)",
+            ));
+        }
+        let schema = fields::parse_strings(&j, "schema")?;
+        let attr_types = fields::parse_attr_types(&fields::parse_strings(&j, "attr_types")?)?;
+        if schema.is_empty() || schema.len() != attr_types.len() {
+            return Err(JsonError::schema("schema/attr_types arity mismatch"));
+        }
+        let index = fields::parse_index(&j)?;
+        if index.attr >= schema.len() {
+            return Err(JsonError::schema("blocking attribute out of schema range"));
+        }
+        if index.min_token_overlap == 0 {
+            return Err(JsonError::schema("min_token_overlap must be at least 1"));
+        }
+        let boot = j.require("bootstrap")?;
+        let side_len = |key: &str| -> Result<usize, JsonError> {
+            boot.require(key)?
+                .as_usize()
+                .ok_or_else(|| JsonError::schema(format!("bootstrap.{key} must be an integer")))
         };
-        let model = ModelSnapshot::from_json_value(j.require("model")?)?;
+        let left_len = side_len("left_len")?;
+        let right_len = side_len("right_len")?;
+        let pairs = fields::parse_pairs(boot, "pairs", left_len + right_len)?;
+        // Decisions are documented as cross pairs; enforce the
+        // orientation so a corrupted or hand-edited snapshot cannot
+        // smuggle same-side merges past seed_base (the digests cover
+        // the tables, not this array).
+        if pairs.iter().any(|&(l, r)| l >= left_len || r < left_len) {
+            return Err(JsonError::schema(
+                "bootstrap.pairs must be cross pairs: [left index, left_len + right index]",
+            ));
+        }
+        let (epoch, tombstones) = fields::parse_retraction(&j)?;
         Ok(Self {
             schema,
             attr_types,
             index,
-            model,
-            bootstrap_len,
-            bootstrap_pairs,
-            bootstrap_digest,
+            linkage: LinkageSnapshot::from_json_value(j.require("linkage")?)?,
+            left_len,
+            right_len,
+            left_digest: fields::parse_digest(boot, "left_digest")?,
+            right_digest: fields::parse_digest(boot, "right_digest")?,
+            pairs,
             tombstones,
             epoch,
         })
@@ -400,6 +592,79 @@ mod tests {
             PipelineSnapshot::from_json(&snap.to_json()).is_err(),
             "duplicated tombstone indices must be rejected"
         );
+    }
+
+    fn tiny_link_snapshot() -> LinkSnapshot {
+        LinkSnapshot {
+            schema: vec!["name".into(), "year".into()],
+            attr_types: vec![AttrType::StrMedium, AttrType::Numeric],
+            index: IndexConfig::default(),
+            linkage: LinkageSnapshot {
+                cross: tiny_model(),
+                left: None,
+                right: Some(tiny_model()),
+                transitivity: true,
+            },
+            left_len: 3,
+            right_len: 2,
+            left_digest: 0x0123_4567_89ab_cdef,
+            right_digest: 0xfedc_ba98_7654_3210,
+            pairs: vec![(0, 3), (2, 4)],
+            tombstones: vec![1],
+            epoch: 2,
+        }
+    }
+
+    #[test]
+    fn link_snapshot_round_trip() {
+        let snap = tiny_link_snapshot();
+        let text = snap.to_json();
+        let back = LinkSnapshot::from_json(&text).unwrap();
+        assert_eq!(back.schema, snap.schema);
+        assert_eq!(back.attr_types, snap.attr_types);
+        assert_eq!(back.linkage, snap.linkage);
+        assert_eq!(back.left_len, snap.left_len);
+        assert_eq!(back.right_len, snap.right_len);
+        assert_eq!(back.left_digest, snap.left_digest);
+        assert_eq!(back.right_digest, snap.right_digest);
+        assert_eq!(back.pairs, snap.pairs);
+        assert_eq!(back.tombstones, snap.tombstones);
+        assert_eq!(back.epoch, snap.epoch);
+        assert_eq!(back.to_json(), text, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn link_snapshot_rejects_non_cross_pairs() {
+        // Decisions are cross pairs by construction; a same-side pair in
+        // the file means corruption or hand editing, and seed_base must
+        // never replay it.
+        let mut snap = tiny_link_snapshot();
+        snap.pairs = vec![(0, 1)]; // both below left_len: a left-left merge
+        assert!(
+            LinkSnapshot::from_json(&snap.to_json()).is_err(),
+            "same-side bootstrap pairs must be rejected"
+        );
+        let mut snap = tiny_link_snapshot();
+        snap.pairs = vec![(3, 4)]; // both at/after left_len: right-right
+        assert!(LinkSnapshot::from_json(&snap.to_json()).is_err());
+    }
+
+    #[test]
+    fn link_snapshot_rejects_dedup_format_and_vice_versa() {
+        let link = tiny_link_snapshot();
+        assert!(PipelineSnapshot::from_json(&link.to_json()).is_err());
+        let dedup = PipelineSnapshot {
+            schema: vec!["name".into()],
+            attr_types: vec![AttrType::StrShort],
+            index: IndexConfig::default(),
+            model: tiny_model(),
+            bootstrap_len: 0,
+            bootstrap_pairs: Vec::new(),
+            bootstrap_digest: 0,
+            tombstones: Vec::new(),
+            epoch: 0,
+        };
+        assert!(LinkSnapshot::from_json(&dedup.to_json()).is_err());
     }
 
     #[test]

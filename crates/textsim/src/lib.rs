@@ -17,7 +17,7 @@
 //! Tokens are interned ([`intern`]): a [`tokenize::TokenBag`] stores
 //! sorted `(Sym, count)` pairs, so set operations are merge-joins over
 //! 4-byte symbols instead of string-hash probes, and each distinct token
-//! is stored once per corpus. The [`derive`] module computes every
+//! is stored once per corpus. The [`mod@derive`] module computes every
 //! derived form of a record (normalized text, word bag, q-gram bag,
 //! numeric form, blocking keys) in a single pass — the one place in the
 //! workspace that tokenizes raw attribute text.

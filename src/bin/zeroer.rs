@@ -4,9 +4,12 @@
 //! ```text
 //! zeroer match <left.csv> <right.csv> [--threshold 0.5] [--overlap N]
 //!              [--block-on ATTR] [--kappa K] [--no-transitivity] [--out pairs.csv]
+//! zeroer link  <left.csv> <right.csv> --save-model link.json [same flags]
 //! zeroer dedup <table.csv>          [same flags] [--save-model snap.json]
 //! zeroer ingest <stream.csv>        --model snap.json [--base resolved.csv]
 //!                                   [--threads N] [--threshold 0.5] [--out assign.csv]
+//! zeroer ingest <stream.csv>        --model link.json --side left|right
+//!                                   --base-left left.csv --base-right right.csv [same flags]
 //! zeroer retract --ids <file>       --model snap.json --base resolved.csv [--out snap.json]
 //! zeroer compact                    --model snap.json --base resolved.csv [--stats]
 //! ```
@@ -22,6 +25,14 @@
 //! `record,cluster,best_match,probability` (empty match fields for fresh
 //! entities).
 //!
+//! `link` is the record-linkage (`match`-path) counterpart of `dedup
+//! --save-model`: it fits the three-model linkage trainer and freezes
+//! all three models into a linkage snapshot. `ingest --side left|right`
+//! then streams side-tagged records against it: each record blocks only
+//! against the *opposite* side's index and is scored with the frozen
+//! cross model; `--base-left`/`--base-right` replay the persisted batch
+//! decisions for the bootstrap tables.
+//!
 //! `retract` withdraws base records by index (one per line in the
 //! `--ids` file): their clusters are rebuilt as if never ingested and
 //! the tombstones are persisted back into the snapshot. `compact`
@@ -31,11 +42,12 @@
 use std::process::ExitCode;
 use zeroer::core::ZeroErConfig;
 use zeroer::pipeline::{
-    dedup_table, dedup_table_with_snapshot, match_tables, MatchOptions, PipelineSnapshot,
+    dedup_table, dedup_table_with_snapshot, match_tables, match_tables_with_snapshot,
+    IngestOutcome, LinkPipeline, LinkSnapshot, MatchOptions, PipelineSnapshot, Side,
     StreamPipeline, StreamStats,
 };
 use zeroer::tabular::csv::read_table;
-use zeroer::tabular::Table;
+use zeroer::tabular::{Schema, Table};
 
 struct Args {
     command: String,
@@ -49,6 +61,9 @@ struct Args {
     save_model: Option<String>,
     model: Option<String>,
     base: Option<String>,
+    base_left: Option<String>,
+    base_right: Option<String>,
+    side: Option<Side>,
     ids: Option<String>,
     threads: Option<usize>,
     stats: bool,
@@ -59,9 +74,16 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        zeroer match <left.csv> <right.csv> [flags]   link records across two tables\n\
+       zeroer link <left.csv> <right.csv> --save-model <link.json> [flags]\n\
+                                                     `match` + freeze the three-model linkage\n\
+                                                     fit into a streaming snapshot\n\
        zeroer dedup <table.csv>            [flags]   find duplicates inside one table\n\
        zeroer ingest <stream.csv> --model <snap.json> [flags]\n\
                                                      stream records against a frozen model\n\
+       zeroer ingest <stream.csv> --model <link.json> --side left|right\n\
+                     --base-left <csv> --base-right <csv> [flags]\n\
+                                                     stream side-tagged records against a\n\
+                                                     frozen linkage snapshot (cross-table)\n\
        zeroer retract --ids <file> --model <snap.json> --base <csv> [flags]\n\
                                                      withdraw base records (indices, one per\n\
                                                      line); tombstones persist in the snapshot\n\
@@ -76,16 +98,20 @@ fn usage() -> &'static str {
        --kappa <k>         regularization strength (default 0.15, the paper's)\n\
        --no-transitivity   disable the transitivity soft constraint\n\
        --out <file>        write results to a CSV file instead of stdout\n\
-       --save-model <file> (dedup) also freeze the fitted model to a JSON snapshot\n\
+       --save-model <file> (dedup, link) freeze the fitted model(s) to a JSON snapshot\n\
        --model <file>      (ingest) snapshot produced by --save-model\n\
        --base <csv>        (ingest) the resolved bootstrap records; their batch\n\
                            cluster decisions are replayed from the snapshot (never\n\
                            re-scored) when the snapshot carries them\n\
+       --side <l|r>        (ingest) which table the streamed records belong to;\n\
+                           requires a linkage snapshot from `zeroer link`\n\
+       --base-left <csv>   (ingest --side) the left bootstrap table\n\
+       --base-right <csv>  (ingest --side) the right bootstrap table\n\
        --threads <n>       (ingest) ingest worker threads (default: all cores);\n\
                            results are identical for every thread count\n\
        --ids <file>        (retract) record indices to withdraw, one per line\n\
                            ('#' comments and blank lines are skipped)\n\
-       --stats             (dedup, ingest, retract, compact) print derivation/\n\
+       --stats             (dedup, link, ingest, retract, compact) print derivation/\n\
                            blocking observability to stderr: tokens interned,\n\
                            live/retired buckets and live/dead postings per leg,\n\
                            candidate pairs, live/retracted records, epoch\n"
@@ -104,6 +130,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         save_model: None,
         model: None,
         base: None,
+        base_left: None,
+        base_right: None,
+        side: None,
         ids: None,
         threads: None,
         stats: false,
@@ -158,6 +187,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--save-model" => args.save_model = Some(take_value(&mut it, "--save-model")?),
             "--model" => args.model = Some(take_value(&mut it, "--model")?),
             "--base" => args.base = Some(take_value(&mut it, "--base")?),
+            "--base-left" => args.base_left = Some(take_value(&mut it, "--base-left")?),
+            "--base-right" => args.base_right = Some(take_value(&mut it, "--base-right")?),
+            "--side" => {
+                args.side = Some(match take_value(&mut it, "--side")?.as_str() {
+                    "left" => Side::Left,
+                    "right" => Side::Right,
+                    other => return Err(format!("--side must be left or right, got {other:?}")),
+                });
+            }
             "--ids" => args.ids = Some(take_value(&mut it, "--ids")?),
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
@@ -173,13 +211,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if !(0.0..=1.0).contains(&args.threshold) {
         return Err("--threshold must lie in [0, 1]".into());
     }
-    if args.save_model.is_some() && args.command != "dedup" {
-        return Err("--save-model is only supported on the `dedup` batch path".into());
+    if args.save_model.is_some() && !matches!(args.command.as_str(), "dedup" | "link") {
+        return Err("--save-model is only supported on the `dedup` and `link` batch paths".into());
     }
     if args.stats && args.command == "match" {
         return Err(
-            "--stats is only supported by the `dedup`, `ingest`, `retract` and `compact` \
-             commands"
+            "--stats is only supported by the `dedup`, `link`, `ingest`, `retract` and \
+             `compact` commands"
                 .into(),
         );
     }
@@ -202,6 +240,32 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
              it cannot be changed after fitting"
         ));
     }
+    if args.side.is_some() && args.command != "ingest" {
+        return Err("--side is only supported by the `ingest` command".into());
+    }
+    if (args.base_left.is_some() || args.base_right.is_some()) && args.command != "ingest" {
+        return Err("--base-left/--base-right are only supported by the `ingest` command".into());
+    }
+    if args.command == "ingest" {
+        if args.side.is_some() {
+            if args.base.is_some() {
+                return Err(
+                    "--base is the dedup-path seed; linkage ingest takes --base-left and \
+                     --base-right"
+                        .into(),
+                );
+            }
+            if args.base_left.is_none() || args.base_right.is_none() {
+                return Err(
+                    "`ingest --side` requires --base-left <csv> and --base-right <csv> (the \
+                     bootstrap tables the linkage snapshot was fitted on)"
+                        .into(),
+                );
+            }
+        } else if args.base_left.is_some() || args.base_right.is_some() {
+            return Err("--base-left/--base-right require --side left|right".into());
+        }
+    }
     if args.threads.is_some() && args.command != "ingest" {
         return Err("--threads is only supported by the `ingest` command".into());
     }
@@ -216,6 +280,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     match (args.command.as_str(), args.files.len()) {
         ("match", 2) | ("dedup", 1) => Ok(args),
+        ("link", 2) => {
+            if args.save_model.is_none() {
+                return Err(
+                    "`link` requires --save-model <link.json> (use `match` for a one-shot \
+                     linkage without freezing)"
+                        .into(),
+                );
+            }
+            Ok(args)
+        }
         ("ingest", 1) => {
             need_model(&args, "ingest")?;
             Ok(args)
@@ -248,6 +322,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             Ok(args)
         }
         ("match", n) => Err(format!("`match` needs exactly two CSV files, got {n}")),
+        ("link", n) => Err(format!("`link` needs exactly two CSV files, got {n}")),
         ("dedup", n) => Err(format!("`dedup` needs exactly one CSV file, got {n}")),
         ("ingest", n) => Err(format!(
             "`ingest` needs exactly one stream CSV file, got {n}"
@@ -360,6 +435,7 @@ fn run() -> Result<(), String> {
                 );
             }
         }
+        "link" => return run_link(&args),
         "ingest" => return run_ingest(&args),
         "retract" => return run_retract(&args),
         "compact" => return run_compact(&args),
@@ -369,28 +445,121 @@ fn run() -> Result<(), String> {
     emit(&rows, &args.out)
 }
 
-/// The `ingest` subcommand: stream records against a frozen snapshot.
-fn run_ingest(args: &Args) -> Result<(), String> {
+/// The `link` subcommand: batch record linkage + freeze the three-model
+/// fit into a linkage snapshot for `ingest --side`.
+fn run_link(args: &Args) -> Result<(), String> {
+    let left = load(&args.files[0])?;
+    let right = load(&args.files[1])?;
+    let opts = options(args, &left)?;
+    let (result, pipeline) = match_tables_with_snapshot(&left, &right, &opts)
+        .map_err(|e| format!("cannot fit a linkage model to freeze: {e}"))?;
+    let path = args.save_model.as_deref().expect("validated in parse_args");
+    std::fs::write(path, pipeline.snapshot().to_json())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("zeroer: linkage snapshot (3 models) written to {path}");
+    let mut rows: Vec<(usize, usize, f64)> = result
+        .pairs
+        .iter()
+        .zip(&result.probabilities)
+        .filter(|(_, &p)| p >= args.threshold)
+        .map(|(&(l, r), &p)| (l, r, p))
+        .collect();
+    eprintln!(
+        "zeroer: {} cross candidates, {} matches at threshold {} ({} entity clusters)",
+        result.pairs.len(),
+        rows.len(),
+        args.threshold,
+        pipeline.clusters().len()
+    );
+    if args.stats {
+        print_stream_stats(&pipeline.stats());
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
+    emit(&rows, &args.out)
+}
+
+/// The `ingest --side` subcommand: stream side-tagged records against a
+/// frozen linkage snapshot.
+fn run_link_ingest(args: &Args, side: Side) -> Result<(), String> {
     let model_path = args.model.as_deref().expect("validated in parse_args");
     let text = std::fs::read_to_string(model_path)
         .map_err(|e| format!("cannot read {model_path}: {e}"))?;
-    let snapshot = PipelineSnapshot::from_json(&text)
-        .map_err(|e| format!("cannot parse {model_path}: {e}"))?;
+    let snapshot = LinkSnapshot::from_json(&text).map_err(|e| {
+        if text.contains("zeroer-pipeline-snapshot") {
+            format!(
+                "{model_path} is a dedup snapshot (from `zeroer dedup --save-model`); \
+                 `ingest --side` needs a linkage snapshot from `zeroer link --save-model`"
+            )
+        } else {
+            format!("cannot parse {model_path}: {e}")
+        }
+    })?;
+    let mut pipeline = LinkPipeline::from_snapshot(&snapshot, args.threshold)
+        .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
+    let schema = pipeline.store().table().schema().clone();
+
+    let base_left = load(args.base_left.as_deref().expect("validated"))?;
+    let base_right = load(args.base_right.as_deref().expect("validated"))?;
+    check_snapshot_schema(&schema, &base_left)?;
+    check_snapshot_schema(&schema, &base_right)?;
+    pipeline
+        .seed_base(&base_left, &base_right)
+        .map_err(|e| format!("cannot seed base records: {e}"))?;
+    eprintln!(
+        "zeroer: pre-loaded {} left + {} right base records with preserved batch decisions \
+         ({} clusters)",
+        base_left.len(),
+        base_right.len(),
+        pipeline.clusters().len()
+    );
+    let base_offset = pipeline.len();
+
+    let stream = load(&args.files[0])?;
+    check_snapshot_schema(&schema, &stream)?;
+    let threads = args
+        .threads
+        .unwrap_or_else(zeroer::stream::pipeline::available_threads);
+    let outcomes = pipeline.ingest_batch_parallel(stream.records().to_vec(), side, threads);
+    let fresh = outcomes.iter().filter(|o| o.is_new_entity()).count();
+    let text = outcomes_csv(&outcomes, &|i| pipeline.store().find_readonly(i));
+    eprintln!(
+        "zeroer: ingested {} {}-side records ({} new entities, {} linked across; store {} → {} \
+         records, {} clusters)",
+        stream.len(),
+        side.name(),
+        fresh,
+        stream.len() - fresh,
+        base_offset,
+        pipeline.len(),
+        pipeline.clusters().len()
+    );
+    if args.stats {
+        print_stream_stats(&pipeline.stats());
+    }
+    emit_text(text, &args.out)
+}
+
+/// The `ingest` subcommand: stream records against a frozen snapshot.
+fn run_ingest(args: &Args) -> Result<(), String> {
+    if let Some(side) = args.side {
+        return run_link_ingest(args, side);
+    }
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let text = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let snapshot = PipelineSnapshot::from_json(&text).map_err(|e| {
+        if text.contains("zeroer-link-snapshot") {
+            format!(
+                "{model_path} is a linkage snapshot (from `zeroer link --save-model`); \
+                 pass --side left|right (with --base-left/--base-right) to stream against it"
+            )
+        } else {
+            format!("cannot parse {model_path}: {e}")
+        }
+    })?;
     let mut pipeline = StreamPipeline::from_snapshot(&snapshot, args.threshold)
         .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
-    let expected_schema = pipeline.store().table().schema().clone();
-
-    let check_schema = |table: &Table| -> Result<(), String> {
-        if table.schema() != &expected_schema {
-            return Err(format!(
-                "schema of {} does not match the snapshot ({:?} vs {:?})",
-                table.name(),
-                table.schema().attributes(),
-                expected_schema.attributes()
-            ));
-        }
-        Ok(())
-    };
+    let schema = pipeline.store().table().schema().clone();
 
     let threads = args
         .threads
@@ -398,7 +567,7 @@ fn run_ingest(args: &Args) -> Result<(), String> {
 
     if let Some(base_path) = &args.base {
         let base = load(base_path)?;
-        check_schema(&base)?;
+        check_snapshot_schema(&schema, &base)?;
         if snapshot.bootstrap_len > 0 {
             // The snapshot carries the batch fit's cluster decisions:
             // replay them exactly instead of re-scoring the base records
@@ -429,24 +598,10 @@ fn run_ingest(args: &Args) -> Result<(), String> {
     let base_offset = pipeline.store().len();
 
     let stream = load(&args.files[0])?;
-    check_schema(&stream)?;
+    check_snapshot_schema(&schema, &stream)?;
     let outcomes = pipeline.ingest_batch_parallel(stream.records().to_vec(), threads);
     let fresh = outcomes.iter().filter(|o| o.is_new_entity()).count();
-    // Cluster ids are written only after the whole stream is ingested:
-    // a later record can merge two earlier clusters, so each record's
-    // *final* representative is what consumers should group by.
-    let mut text = String::from("record,cluster,best_match,probability\n");
-    for out in &outcomes {
-        let cluster = pipeline.store().find_readonly(out.index);
-        match out.matches.first() {
-            Some(&(best, p)) => {
-                text.push_str(&format!("{},{cluster},{best},{p:.4}\n", out.index));
-            }
-            None => {
-                text.push_str(&format!("{},{cluster},,\n", out.index));
-            }
-        }
-    }
+    let text = outcomes_csv(&outcomes, &|i| pipeline.store().find_readonly(i));
     eprintln!(
         "zeroer: ingested {} records ({} new entities, {} joined existing; store {} → {} records, {} duplicate clusters)",
         stream.len(),
@@ -459,7 +614,46 @@ fn run_ingest(args: &Args) -> Result<(), String> {
     if args.stats {
         print_stream_stats(&pipeline.stats());
     }
-    match &args.out {
+    emit_text(text, &args.out)
+}
+
+/// Rejects a table whose schema differs from the snapshot's — shared by
+/// every snapshot-seeded path.
+fn check_snapshot_schema(expected: &Schema, table: &Table) -> Result<(), String> {
+    if table.schema() != expected {
+        return Err(format!(
+            "schema of {} does not match the snapshot ({:?} vs {:?})",
+            table.name(),
+            table.schema().attributes(),
+            expected.attributes()
+        ));
+    }
+    Ok(())
+}
+
+/// The `record,cluster,best_match,probability` block both ingest paths
+/// emit. Cluster ids are resolved only after the whole stream is
+/// ingested: a later record can merge two earlier clusters, so each
+/// record's *final* representative is what consumers should group by.
+fn outcomes_csv(outcomes: &[IngestOutcome], cluster_of: &dyn Fn(usize) -> usize) -> String {
+    let mut text = String::from("record,cluster,best_match,probability\n");
+    for out in outcomes {
+        let cluster = cluster_of(out.index);
+        match out.matches.first() {
+            Some(&(best, p)) => {
+                text.push_str(&format!("{},{cluster},{best},{p:.4}\n", out.index));
+            }
+            None => {
+                text.push_str(&format!("{},{cluster},,\n", out.index));
+            }
+        }
+    }
+    text
+}
+
+/// stdout-or-file result emit shared by the ingest paths.
+fn emit_text(text: String, out: &Option<String>) -> Result<(), String> {
+    match out {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
         None => {
             print!("{text}");
@@ -514,13 +708,7 @@ fn load_pipeline_with_base(args: &Args) -> Result<StreamPipeline, String> {
     let mut pipeline = StreamPipeline::from_snapshot(&snapshot, args.threshold)
         .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
     let base = load(base_path)?;
-    if base.schema() != pipeline.store().table().schema() {
-        return Err(format!(
-            "schema of {base_path} does not match the snapshot ({:?} vs {:?})",
-            base.schema().attributes(),
-            pipeline.store().table().schema().attributes()
-        ));
-    }
+    check_snapshot_schema(pipeline.store().table().schema(), &base)?;
     pipeline
         .seed_base(&base)
         .map_err(|e| format!("cannot seed base records from {base_path}: {e}"))?;

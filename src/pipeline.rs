@@ -20,8 +20,9 @@ use zeroer_tabular::Table;
 use zeroer_textsim::derive::BlockSpec;
 
 pub use zeroer_stream::{
-    BootstrapReport, CompactionReport, IngestOutcome, PipelineSnapshot, RetractionReport,
-    StreamError, StreamOptions, StreamPipeline, StreamStats,
+    BootstrapReport, CompactionReport, IngestOutcome, LinkBootstrapReport, LinkPipeline,
+    LinkSnapshot, PipelineSnapshot, RetractionReport, Side, StreamError, StreamOptions,
+    StreamPipeline, StreamStats,
 };
 
 /// Options for the high-level pipelines.
@@ -177,6 +178,38 @@ pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchRe
         probabilities: out.cross_gammas,
         labels: out.cross_labels,
     }
+}
+
+/// Like [`match_tables`], but additionally freezes the three fitted
+/// models (cross, within-left, within-right) plus the feature/blocking
+/// replay state into a [`LinkSnapshot`] and returns the live
+/// [`LinkPipeline`] seeded with the batch decisions — the `zeroer link
+/// --save-model` path. At the default threshold the reported pairs,
+/// probabilities and labels are identical to [`match_tables`]'s.
+///
+/// # Errors
+/// Fails when the schemas differ, cross blocking yields no candidate
+/// pairs, or the fit is too degenerate to freeze.
+pub fn match_tables_with_snapshot(
+    left: &Table,
+    right: &Table,
+    opts: &MatchOptions,
+) -> Result<(MatchResult, LinkPipeline), StreamError> {
+    let stream_opts = StreamOptions {
+        config: opts.config.clone(),
+        blocking_attr: opts.blocking_attr,
+        min_token_overlap: opts.min_token_overlap,
+        ..StreamOptions::default()
+    };
+    let (pipeline, report) = LinkPipeline::bootstrap(left, right, stream_opts)?;
+    Ok((
+        MatchResult {
+            pairs: report.pairs,
+            probabilities: report.probabilities,
+            labels: report.labels,
+        },
+        pipeline,
+    ))
 }
 
 /// Result of [`dedup_table`].
@@ -367,6 +400,31 @@ mod tests {
         let snap = pipeline.snapshot();
         let reloaded = PipelineSnapshot::from_json(&snap.to_json()).expect("valid JSON");
         assert_eq!(reloaded.model, snap.model);
+    }
+
+    #[test]
+    fn match_with_snapshot_matches_plain_match() {
+        let (l, r) = (left(), right());
+        let opts = MatchOptions::default();
+        let plain = match_tables(&l, &r, &opts);
+        let (with_snap, pipeline) =
+            match_tables_with_snapshot(&l, &r, &opts).expect("candidates exist");
+        assert_eq!(plain.pairs, with_snap.pairs);
+        assert_eq!(plain.labels, with_snap.labels);
+        for (a, b) in plain.probabilities.iter().zip(&with_snap.probabilities) {
+            assert_eq!(a.to_bits(), b.to_bits(), "posterior drift");
+        }
+        // Every predicted cross match appears as a cross link of the
+        // seeded pipeline (transitive closure can only add links).
+        let links = pipeline.cross_links();
+        let nl = l.len();
+        for (li, ri, _) in plain.matches() {
+            assert!(links.contains(&(li, nl + ri)), "missing link ({li},{ri})");
+        }
+        // The frozen snapshot round-trips through JSON.
+        let snap = pipeline.snapshot();
+        let reloaded = LinkSnapshot::from_json(&snap.to_json()).expect("valid JSON");
+        assert_eq!(reloaded.linkage, snap.linkage);
     }
 
     #[test]

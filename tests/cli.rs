@@ -690,3 +690,196 @@ fn stats_flag_prints_observability_and_is_rejected_on_match() {
     assert!(!out.status.success(), "--stats is dedup/ingest-only");
     assert!(String::from_utf8_lossy(&out.stderr).contains("only supported by the `dedup`"));
 }
+
+#[test]
+fn link_save_model_then_side_ingest_round_trip() {
+    let left = write_tmp(
+        "lk-l",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let right = write_tmp(
+        "lk-r",
+        "name,city\n\
+         Golden Dragon Palce,new york\n\
+         Rustic Oak Kitchn,denver\n\
+         Totally Unrelated Bistro,miami\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let stream = write_tmp(
+        "lk-s",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Totally Unseen Steakhouse,reno\n",
+    );
+    let snap = std::env::temp_dir().join(format!("zeroer-link-{}.json", std::process::id()));
+
+    // `link` requires --save-model.
+    let out = Command::new(zeroer_bin())
+        .args(["link", left.to_str().unwrap(), right.to_str().unwrap()])
+        .output()
+        .expect("spawn zeroer link");
+    assert!(!out.status.success(), "link without --save-model must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--save-model"));
+
+    // Batch linkage + freeze.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "link",
+            left.to_str().unwrap(),
+            right.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer link --save-model");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("left_id,right_id,probability"));
+    assert!(stdout.contains("0,0,"), "Golden Dragon must link: {stdout}");
+    assert!(stdout.contains("2,1,"), "Rustic Oak must link: {stdout}");
+    let snap_text = std::fs::read_to_string(&snap).expect("snapshot written");
+    assert!(snap_text.contains("zeroer-link-snapshot"));
+    assert!(
+        snap_text.contains("zeroer-linkage-snapshot"),
+        "the three-model core snapshot is embedded"
+    );
+
+    // Streaming right-side ingest against the frozen linkage snapshot,
+    // with --stats observability.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--side",
+            "right",
+            "--base-left",
+            left.to_str().unwrap(),
+            "--base-right",
+            right.to_str().unwrap(),
+            "--stats",
+        ])
+        .output()
+        .expect("spawn zeroer ingest --side right");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "record,cluster,best_match,probability");
+    assert_eq!(lines.len(), 3, "one line per streamed record: {stdout}");
+    assert!(
+        !lines[1].ends_with(",,"),
+        "the Golden Dragon twin must link across tables: {stdout}"
+    );
+    assert!(
+        lines[2].ends_with(",,"),
+        "the unseen steakhouse must mint a fresh entity: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("preserved batch decisions"),
+        "base tables must replay batch decisions: {stderr}"
+    );
+    assert!(
+        stderr.contains("distinct tokens interned"),
+        "--stats must report interner stats: {stderr}"
+    );
+    assert!(
+        stderr.contains("blocking legs: token"),
+        "--stats must report per-leg bucket counts: {stderr}"
+    );
+    std::fs::remove_file(snap).ok();
+}
+
+#[test]
+fn side_flag_and_snapshot_kinds_are_cross_checked() {
+    let base = write_tmp(
+        "xk-b",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let stream = write_tmp("xk-s", "name,city\nGolden Dragon Palace,new york\n");
+    let snap = std::env::temp_dir().join(format!("zeroer-xk-{}.json", std::process::id()));
+
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(out.status.success());
+
+    // A dedup snapshot with --side must be rejected with a useful hint.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--side",
+            "right",
+            "--base-left",
+            base.to_str().unwrap(),
+            "--base-right",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer ingest --side");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("dedup snapshot"),
+        "mismatched snapshot kind needs a clear error"
+    );
+
+    // --side without the base tables is rejected up front.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--side",
+            "left",
+        ])
+        .output()
+        .expect("spawn zeroer ingest --side (no bases)");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--base-left"));
+
+    // Bad --side values are rejected.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--side",
+            "middle",
+        ])
+        .output()
+        .expect("spawn zeroer ingest --side middle");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("left or right"));
+    std::fs::remove_file(snap).ok();
+}
