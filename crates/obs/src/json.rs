@@ -1,0 +1,149 @@
+//! A minimal JSON *writer* — just enough to emit metrics snapshots
+//! and bench reports without a serialization dependency. Intentional
+//! non-goals: parsing (tests use `zeroer-core`'s reader) and
+//! pretty-printing.
+//!
+//! `u64` values are written exactly (they may exceed 2^53; readers
+//! that parse numbers as `f64` will round the top bits of such
+//! values, which in practice only affects the unbounded last
+//! histogram-bucket bound). `f64` values use Rust's shortest
+//! round-trip formatting; non-finite values become `null`.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as the contents of a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: shortest round-trip formatting,
+/// with non-finite values mapped to `null`.
+pub fn f64_value(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        // `{:?}` prints integral floats as e.g. `3.0`, which is
+        // already valid JSON; nothing more to do.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An incremental JSON object writer.
+///
+/// ```
+/// use zeroer_obs::json::Obj;
+/// let mut o = Obj::new();
+/// o.str("name", "demo").u64("count", 3).f64("mean", 1.5);
+/// assert_eq!(o.finish(), r#"{"name":"demo","count":3,"mean":1.5}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    fields: usize,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.fields > 0 {
+            self.buf.push(',');
+        }
+        self.fields += 1;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Adds a pre-rendered JSON value (e.g. a nested object).
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field (written exactly).
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&f64_value(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// An incremental JSON array writer.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+    items: usize,
+}
+
+impl Arr {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        Arr::default()
+    }
+
+    /// Appends a pre-rendered JSON value.
+    pub fn raw(&mut self, value: &str) -> &mut Self {
+        if self.items > 0 {
+            self.buf.push(',');
+        }
+        self.items += 1;
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Appends an unsigned integer (written exactly).
+    pub fn u64(&mut self, value: u64) -> &mut Self {
+        let rendered = value.to_string();
+        self.raw(&rendered)
+    }
+
+    /// Closes the array and returns the rendered JSON.
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.buf)
+    }
+}

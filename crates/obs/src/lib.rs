@@ -1,0 +1,190 @@
+//! # zeroer-obs — zero-dependency metrics and stage tracing
+//!
+//! A process-global registry of atomically updated [`Counter`]s,
+//! [`Gauge`]s and fixed-bucket latency [`Histogram`]s, plus a
+//! lightweight stage-timing API ([`time`], [`Stopwatch`]) used to
+//! instrument the batch and streaming ZeroER pipelines.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Observational only.** Nothing in this crate feeds back into
+//!    matching decisions; pipelines must produce bit-identical
+//!    clusters, posteriors and snapshots with metrics on, off, or
+//!    contended across threads. All state is `u64` atomics updated
+//!    with `Relaxed` ordering — cross-metric consistency is not
+//!    needed, only per-metric monotonicity.
+//! 2. **No dependencies.** The workspace is built offline; this crate
+//!    uses `std` only, including its own minimal JSON *writer* (see
+//!    [`json`]). Tests parse the output back with `zeroer-core`'s
+//!    reader to prove the round trip.
+//! 3. **Branch-cheap when disabled.** [`set_enabled`]`(false)` turns
+//!    [`time`] and [`Histogram::record`] into a relaxed load plus a
+//!    branch; pipelines additionally resolve their handles once and
+//!    store them as `Option<…>` so a disabled pipeline never touches
+//!    the registry on the hot path.
+//!
+//! Handles returned by [`counter`] / [`gauge`] / [`histogram`] are
+//! `&'static`: the registry leaks one small allocation per distinct
+//! metric name (bounded by name cardinality, which is fixed at compile
+//! time for the ZeroER pipelines) so handles can be copied into worker
+//! threads without lifetimes or reference counting.
+//!
+//! The JSON schema emitted by [`to_json`] is documented in this
+//! crate's `README.md` and is self-checked by
+//! [`MetricsSnapshot::self_check`].
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod metric;
+mod registry;
+mod snapshot;
+
+pub use metric::{bucket_bound, bucket_of, Counter, Gauge, Histogram, StageTimer, BUCKETS};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SCHEMA};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables metric recording.
+///
+/// When disabled, [`time`] runs its closure without reading the clock
+/// and [`Histogram::record`] / [`Counter::add`] / [`Gauge::set`]
+/// return immediately. Registration ([`counter`] etc.) still works so
+/// handles can be resolved up front regardless of the flag.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled (default: enabled).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns the process-global counter registered under `name`,
+/// creating it (initialised to zero) on first use.
+pub fn counter(name: &str) -> &'static Counter {
+    registry::global().counter(name)
+}
+
+/// Returns the process-global gauge registered under `name`, creating
+/// it (initialised to zero) on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    registry::global().gauge(name)
+}
+
+/// Returns the process-global histogram registered under `name`,
+/// creating it (empty) on first use.
+///
+/// By convention names ending in `.ns` hold nanosecond latencies and
+/// names ending in `.bytes` hold sizes; anything else is a plain
+/// count distribution. The convention only affects the `unit` field
+/// in the JSON output.
+pub fn histogram(name: &str) -> &'static Histogram {
+    registry::global().histogram(name)
+}
+
+/// Times `f` into the histogram registered under `name`.
+///
+/// This is the convenience span API for cold paths (snapshot
+/// save/load, batch model fits): it does a registry lookup per call.
+/// Hot paths should resolve a [`histogram`] handle once and use
+/// [`Histogram::time`] or a [`Stopwatch`] instead. When recording is
+/// disabled the closure runs without reading the clock.
+pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    histogram(name).time(f)
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    registry::global().snapshot()
+}
+
+/// Renders the current registry contents as a JSON document in the
+/// `zeroer-metrics-v1` schema (see `crates/obs/README.md`).
+pub fn to_json() -> String {
+    let snap = snapshot();
+    debug_assert!(
+        snap.self_check().is_ok(),
+        "metrics snapshot failed self-check"
+    );
+    snap.to_json()
+}
+
+/// Resets every registered metric to its initial state (counters and
+/// gauges to zero, histograms to empty). Registered names survive a
+/// reset. Intended for benchmarks that measure one section at a time;
+/// concurrent recorders may interleave with the reset.
+pub fn reset() {
+    registry::global().reset();
+}
+
+/// Resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmRSS`). Returns `None` on platforms without
+/// procfs or if the field is missing.
+pub fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// A lap timer for multi-stage instrumentation.
+///
+/// Constructed with `enabled = false` it never reads the clock, so an
+/// uninstrumented pipeline pays one branch per stage boundary:
+///
+/// ```
+/// let meters = true; // e.g. `self.meters.is_some()`
+/// let mut sw = zeroer_obs::Stopwatch::new(meters);
+/// // ... stage 1 ...
+/// sw.lap(zeroer_obs::histogram("doc.stage1.ns"));
+/// // ... stage 2 ...
+/// sw.lap(zeroer_obs::histogram("doc.stage2.ns"));
+/// sw.total(zeroer_obs::histogram("doc.total.ns"));
+/// ```
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Option<std::time::Instant>,
+    last: Option<std::time::Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch; a disabled stopwatch records nothing.
+    pub fn new(enabled: bool) -> Self {
+        let now = enabled.then(std::time::Instant::now);
+        Stopwatch {
+            start: now,
+            last: now,
+        }
+    }
+
+    /// Records the time since the previous lap (or construction) into
+    /// `h` and restarts the lap clock.
+    pub fn lap(&mut self, h: &Histogram) {
+        if let Some(last) = self.last {
+            let now = std::time::Instant::now();
+            h.record(duration_ns(now - last));
+            self.last = Some(now);
+        }
+    }
+
+    /// Records the total time since construction into `h`.
+    pub fn total(&self, h: &Histogram) {
+        if let Some(start) = self.start {
+            h.record(duration_ns(start.elapsed()));
+        }
+    }
+}
+
+pub(crate) fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,223 @@
+//! The three metric primitives: counters, gauges and log2-bucket
+//! histograms. All state is `u64` atomics with `Relaxed` ordering —
+//! metrics are observational, so per-metric monotonicity is the only
+//! consistency required.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::snapshot::HistogramSnapshot;
+
+const RELAXED: Ordering = Ordering::Relaxed;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter. A no-op while recording is disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, RELAXED);
+        }
+    }
+
+    /// Adds one to the counter. A no-op while recording is disabled.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(RELAXED)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, RELAXED);
+    }
+}
+
+/// A last-value-wins gauge for point-in-time quantities (live
+/// records, posting counts, interner bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge. A no-op while recording is disabled.
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.0.store(v, RELAXED);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(RELAXED)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, RELAXED);
+    }
+}
+
+/// Number of histogram buckets. Bucket `b > 0` covers values in
+/// `[2^(b-1), 2^b)`; bucket `0` covers exactly `{0}`; the last bucket
+/// is unbounded above. 64 buckets cover the full `u64` range, which
+/// at nanosecond resolution spans sub-nanosecond to ~584 years.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (`u64::MAX` for the last).
+pub fn bucket_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A fixed-bucket histogram with power-of-two bucket bounds.
+///
+/// Tracks count, sum, min and max exactly; percentiles are estimated
+/// by linear interpolation inside the bucket containing the requested
+/// rank (see [`HistogramSnapshot::percentile`]), clamped to the
+/// observed `[min, max]`. Recording is wait-free: one `fetch_add` on
+/// the bucket plus four scalar atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. A no-op while recording is disabled.
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, RELAXED);
+        self.count.fetch_add(1, RELAXED);
+        self.sum.fetch_add(v, RELAXED);
+        self.min.fetch_min(v, RELAXED);
+        self.max.fetch_max(v, RELAXED);
+    }
+
+    /// Times `f` in nanoseconds into this histogram. When recording
+    /// is disabled the closure runs without reading the clock.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !crate::enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.record(crate::duration_ns(start.elapsed()));
+        out
+    }
+
+    /// Starts a span that records into this histogram when stopped
+    /// (or dropped). Useful where a closure would fight the borrow
+    /// checker.
+    pub fn start(&self) -> StageTimer<'_> {
+        StageTimer {
+            hist: self,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(RELAXED)
+    }
+
+    /// Copies the current state out. Concurrent recorders may leave
+    /// the copy internally "torn" (e.g. count ahead of sum); the
+    /// pipelines only snapshot at quiescent points.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(RELAXED);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(RELAXED),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(RELAXED)
+            },
+            max: self.max.load(RELAXED),
+            buckets: self.buckets.iter().map(|b| b.load(RELAXED)).collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, RELAXED);
+        }
+        self.count.store(0, RELAXED);
+        self.sum.store(0, RELAXED);
+        self.min.store(u64::MAX, RELAXED);
+        self.max.store(0, RELAXED);
+    }
+}
+
+/// An in-flight span created by [`Histogram::start`]; records its
+/// elapsed nanoseconds into the histogram when dropped or explicitly
+/// [`StageTimer::stop`]ped.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl StageTimer<'_> {
+    /// Stops the span now, recording its duration.
+    pub fn stop(self) {
+        // Recording happens in `Drop`.
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(crate::duration_ns(start.elapsed()));
+        }
+    }
+}

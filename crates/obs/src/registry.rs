@@ -1,0 +1,107 @@
+//! The process-global metric registry: three name → handle maps
+//! behind mutexes. Lookups happen at pipeline construction (or on
+//! cold paths), never per record, so a plain `Mutex<BTreeMap>` is
+//! plenty. Handles are leaked `Box`es — one small allocation per
+//! distinct metric name for the life of the process — which is what
+//! makes `&'static` handles possible without reference counting.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::MetricsSnapshot;
+
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+pub(crate) fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn intern<T: Default>(map: &Mutex<BTreeMap<String, &'static T>>, name: &str) -> &'static T {
+    let mut map = map.lock().expect("metric registry poisoned");
+    if let Some(&handle) = map.get(name) {
+        return handle;
+    }
+    let handle: &'static T = Box::leak(Box::default());
+    map.insert(name.to_owned(), handle);
+    handle
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> &'static Counter {
+        intern(&self.counters, name)
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> &'static Gauge {
+        intern(&self.gauges, name)
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> &'static Histogram {
+        intern(&self.histograms, name)
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Point-in-time copies of the registry: mergeable histogram
+//! snapshots with percentile estimation, and the full
+//! `zeroer-metrics-v1` JSON rendering with its schema self-check.
+
+use crate::json::{Arr, Obj};
+use crate::metric::{bucket_bound, BUCKETS};
+
+/// A copied-out histogram: exact count/sum/min/max plus the bucket
+/// occupancy vector (always [`BUCKETS`] long).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts; bucket `b > 0` covers
+    /// `[2^(b-1), 2^b)`, bucket 0 covers `{0}`, the last bucket is
+    /// unbounded above.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`p` in 0..=100) by linear
+    /// interpolation inside the bucket containing the requested rank,
+    /// clamped to the observed `[min, max]`. A single-valued
+    /// histogram therefore reports every percentile exactly; wider
+    /// distributions are accurate to within one power-of-two bucket.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = p / 100.0 * self.count as f64;
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let lo = if b == 0 {
+                    0.0
+                } else {
+                    (1u128 << (b - 1)) as f64
+                };
+                let hi = if b + 1 >= BUCKETS {
+                    u64::MAX as f64
+                } else {
+                    (1u128 << b) as f64
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lo + frac * (hi - lo);
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
+    /// Accumulates `other` into `self` (bucket-wise sum; min/max
+    /// widen). Merging then computing a percentile is equivalent to
+    /// having recorded both series into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket layouts differ"
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn to_json(&self, name: &str) -> String {
+        let mut pairs = Arr::new();
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                let mut pair = Arr::new();
+                pair.u64(bucket_bound(b)).u64(c);
+                pairs.raw(&pair.finish());
+            }
+        }
+        let mut o = Obj::new();
+        o.str("unit", unit_of(name))
+            .u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("min", self.min)
+            .u64("max", self.max)
+            .f64("mean", self.mean())
+            .f64("p50", self.percentile(50.0))
+            .f64("p95", self.percentile(95.0))
+            .f64("p99", self.percentile(99.0))
+            .raw("buckets", &pairs.finish());
+        o.finish()
+    }
+}
+
+/// Metric-name suffix convention: `.ns` timers, `bytes` sizes,
+/// everything else a plain count.
+fn unit_of(name: &str) -> &'static str {
+    if name.ends_with(".ns") {
+        "ns"
+    } else if name.ends_with("bytes") {
+        "bytes"
+    } else {
+        "count"
+    }
+}
+
+/// Identifier of the JSON layout emitted by
+/// [`MetricsSnapshot::to_json`]; bumped only on breaking changes.
+pub const SCHEMA: &str = "zeroer-metrics-v1";
+
+/// A point-in-time copy of every registered metric, sorted by name
+/// within each section.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-ascending.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, state)` for every histogram, name-ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        lookup(&self.histograms, name)
+    }
+
+    /// Renders the snapshot in the `zeroer-metrics-v1` schema:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "zeroer-metrics-v1",
+    ///   "counters": {"name": value, ...},
+    ///   "gauges": {"name": value, ...},
+    ///   "histograms": {
+    ///     "name": {"unit": "ns", "count": n, "sum": s, "min": m,
+    ///               "max": M, "mean": x, "p50": a, "p95": b,
+    ///               "p99": c, "buckets": [[bound, count], ...]}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// `buckets` lists only occupied buckets as `[inclusive upper
+    /// bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut counters = Obj::new();
+        for (name, v) in &self.counters {
+            counters.u64(name, *v);
+        }
+        let mut gauges = Obj::new();
+        for (name, v) in &self.gauges {
+            gauges.u64(name, *v);
+        }
+        let mut histograms = Obj::new();
+        for (name, h) in &self.histograms {
+            histograms.raw(name, &h.to_json(name));
+        }
+        let mut root = Obj::new();
+        root.str("schema", SCHEMA)
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish());
+        root.finish()
+    }
+
+    /// Validates the structural invariants the schema promises:
+    /// sorted unique names, full-width bucket vectors whose sum
+    /// equals `count`, `min <= max` and in-range mean/percentiles for
+    /// non-empty histograms, all-zero scalars for empty ones.
+    pub fn self_check(&self) -> Result<(), String> {
+        check_sorted("counters", self.counters.iter().map(|(n, _)| n))?;
+        check_sorted("gauges", self.gauges.iter().map(|(n, _)| n))?;
+        check_sorted("histograms", self.histograms.iter().map(|(n, _)| n))?;
+        for (name, h) in &self.histograms {
+            if h.buckets.len() != BUCKETS {
+                return Err(format!(
+                    "histogram {name}: {} buckets, expected {BUCKETS}",
+                    h.buckets.len()
+                ));
+            }
+            let occupancy: u64 = h.buckets.iter().sum();
+            if occupancy != h.count {
+                return Err(format!(
+                    "histogram {name}: bucket occupancy {occupancy} != count {}",
+                    h.count
+                ));
+            }
+            if h.count == 0 {
+                if h.sum != 0 || h.min != 0 || h.max != 0 {
+                    return Err(format!("histogram {name}: empty but nonzero scalars"));
+                }
+                continue;
+            }
+            if h.min > h.max {
+                return Err(format!("histogram {name}: min {} > max {}", h.min, h.max));
+            }
+            for p in [50.0, 95.0, 99.0] {
+                let v = h.percentile(p);
+                if !v.is_finite() || v < h.min as f64 || v > h.max as f64 {
+                    return Err(format!("histogram {name}: p{p} = {v} out of [min, max]"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn lookup<'a, T>(entries: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    entries
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &entries[i].1)
+}
+
+fn check_sorted<'a>(section: &str, names: impl Iterator<Item = &'a String>) -> Result<(), String> {
+    let mut prev: Option<&String> = None;
+    for name in names {
+        if name.is_empty() {
+            return Err(format!("{section}: empty metric name"));
+        }
+        if let Some(p) = prev {
+            if p >= name {
+                return Err(format!("{section}: names not strictly ascending at {name}"));
+            }
+        }
+        prev = Some(name);
+    }
+    Ok(())
+}

@@ -18,18 +18,31 @@
 //!    right-side records through the frozen cross model, thread-parity
 //!    check.
 //!
-//! The final summary line always prints the detected core count: on a
+//! The first output line after the banner is a machine-readable JSON
+//! header carrying the detected core count, scales, seed and RSS: on a
 //! 1-core machine section 4 is SKIPPED and the >1.5×@4-threads
 //! criterion stays unproven — rerun on multi-core hardware.
 //!
+//! Section 2 additionally measures the `zeroer-obs` instrumentation
+//! overhead (metrics-on vs metrics-off sequential ingest over
+//! identical cold pipelines; criterion: < 5 %) and pulls per-record
+//! latency percentiles out of the metrics registry.
+//!
+//! Besides the human-readable report, the run writes
+//! `BENCH_stream.json` (schema `zeroer-bench-stream-v1`, path
+//! overridable via `ZEROER_BENCH_OUT`) with per-section throughput for
+//! dashboards and CI.
+//!
 //! Knobs: `ZEROER_SCALE` (default 0.25, sections 1–3 and 5–6),
 //! `ZEROER_SCALE_PAR` (default 1.0, section 4), `ZEROER_SEED`
-//! (default 42), `ZEROER_MAX_THREADS` (default 8).
+//! (default 42), `ZEROER_MAX_THREADS` (default 8), `ZEROER_BENCH_OUT`
+//! (default `BENCH_stream.json`).
 
 use std::time::Instant;
 use zeroer_datagen::generate;
 use zeroer_datagen::profiles::rest_fz;
 use zeroer_features::RowFeaturizer;
+use zeroer_obs::json::{Arr, Obj};
 use zeroer_stream::{
     IndexConfig, LinkPipeline, PipelineSnapshot, Side, StreamOptions, StreamPipeline,
 };
@@ -175,13 +188,36 @@ fn main() {
         .chain(tail.iter().cloned())
         .collect();
 
-    // ---- Section 1: derivation throughput -------------------------
+    // The JSON document mirrored into BENCH_stream.json at the end;
+    // sections append to it as they finish.
+    let mut bench_sections = Obj::new();
+
+    // ---- Machine-readable header -----------------------------------
+    // The core count lives HERE, not in the final summary: tooling that
+    // ingests pasted bench output reads one JSON line up front to learn
+    // whether parallel-scaling numbers below were measured or SKIPPED.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!("== bench_stream ==");
+    let mut header = Obj::new();
+    header
+        .str("bench", "zeroer-bench-stream-v1")
+        .u64("cores", cores as u64)
+        .f64("scale", scale)
+        .f64("scale_par", scale_par)
+        .u64("seed", seed);
+    match zeroer_obs::rss_bytes() {
+        Some(rss) => header.u64("rss_bytes", rss),
+        None => header.raw("rss_bytes", "null"),
+    };
+    let header_json = header.finish();
+    println!("header: {header_json}");
     println!(
         "dataset Rest-FZ at scale {scale}: {} records, bootstrap on {}\n",
         all.len(),
         boot.len()
     );
+
+    // ---- Section 1: derivation throughput -------------------------
     let cfg = IndexConfig::default();
     let reps = (20_000 / all.len().max(1)).max(1);
     println!(
@@ -231,10 +267,17 @@ fn main() {
         naive_bytes,
         100.0 * (1.0 - deriver.interner().bytes() as f64 / naive_bytes.max(1) as f64)
     );
+    let mut o = Obj::new();
+    o.f64("reference_records_per_s", per / ref_secs)
+        .f64("interned_records_per_s", per / new_secs)
+        .f64("speedup", ref_secs / new_secs)
+        .u64("interned_tokens", deriver.interner().len() as u64)
+        .u64("interned_bytes", deriver.interner().bytes() as u64);
+    bench_sections.raw("derivation", &o.finish());
 
     // ---- Section 2: sequential per-record ingest -------------------
     let t0 = Instant::now();
-    let (mut pipeline, report) =
+    let (pipeline, report) =
         StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
     let bootstrap_secs = t0.elapsed().as_secs_f64();
     println!(
@@ -243,10 +286,25 @@ fn main() {
         report.pairs.len(),
         report.em_iterations
     );
+    let snap_seq = pipeline.snapshot();
+    drop(pipeline);
 
     let n = tail.len();
-    // Clone outside the timed region: the measured loop should pay for
-    // ingest, not for Record copies.
+    // One untimed warmup pass so neither timed run below gets a cold
+    // allocator/cache advantage over the other.
+    let mut warm = cold(&snap_seq, &boot);
+    for r in tail.clone() {
+        warm.ingest(r);
+    }
+    drop(warm);
+
+    // Metrics-on run: the headline numbers, and the source of the
+    // per-record latency percentiles (registry histogram
+    // `stream.ingest.ns`). Reset first so the percentiles cover exactly
+    // this loop. Clones happen outside the timed region: the measured
+    // loop should pay for ingest, not for Record copies.
+    zeroer_obs::reset();
+    let mut pipeline = cold(&snap_seq, &boot);
     let tail_seq = tail.clone();
     let t1 = Instant::now();
     let mut scored = 0usize;
@@ -257,6 +315,26 @@ fn main() {
         matched += usize::from(!out.is_new_entity());
     }
     let ingest_secs = t1.elapsed().as_secs_f64();
+
+    // Metrics-off run over an identical cold pipeline: the
+    // instrumentation-overhead check (criterion: < 5 %).
+    let mut off = cold(&snap_seq, &boot);
+    off.set_metrics(false);
+    let tail_off = tail.clone();
+    let t_off = Instant::now();
+    for r in tail_off {
+        off.ingest(r);
+    }
+    let off_secs = t_off.elapsed().as_secs_f64();
+    assert_eq!(
+        pipeline.clusters(),
+        off.clusters(),
+        "metrics must be observational"
+    );
+    drop(off);
+
+    let ingest_hist = zeroer_obs::histogram("stream.ingest.ns").snapshot();
+    let overhead_pct = (ingest_secs / off_secs - 1.0) * 100.0;
     println!(
         "ingest: {n} records in {:.4} s → {:.0} records/s ({:.1} µs/record)",
         ingest_secs,
@@ -264,9 +342,28 @@ fn main() {
         ingest_secs * 1e6 / n as f64
     );
     println!(
-        "        {scored} candidates scored, {matched} records joined existing entities, {} clusters\n",
+        "        {scored} candidates scored, {matched} records joined existing entities, {} clusters",
         pipeline.clusters().len()
     );
+    println!(
+        "        per-record latency p50 {:.1} µs / p95 {:.1} µs / p99 {:.1} µs (stream.ingest.ns)",
+        ingest_hist.percentile(50.0) / 1e3,
+        ingest_hist.percentile(95.0) / 1e3,
+        ingest_hist.percentile(99.0) / 1e3
+    );
+    println!(
+        "        instrumentation overhead: metrics-off {:.1} µs/record → {overhead_pct:+.2} % (criterion < 5 %)\n",
+        off_secs * 1e6 / n as f64
+    );
+    let mut o = Obj::new();
+    o.u64("records", n as u64)
+        .f64("records_per_s", n as f64 / ingest_secs)
+        .f64("us_per_record", ingest_secs * 1e6 / n as f64)
+        .f64("p50_ns", ingest_hist.percentile(50.0))
+        .f64("p95_ns", ingest_hist.percentile(95.0))
+        .f64("p99_ns", ingest_hist.percentile(99.0))
+        .f64("metrics_overhead_pct", overhead_pct);
+    bench_sections.raw("sequential_ingest", &o.finish());
 
     // ---- Section 3: scoring-loop allocation delta ------------------
     // Same feature rows, same scorer; the only difference is one Vec
@@ -319,17 +416,23 @@ fn main() {
         reuse_secs * 1e6 / per,
         (reuse_secs / alloc_secs - 1.0) * 100.0
     );
+    let mut o = Obj::new();
+    o.f64("raw_row_us_per_score", alloc_secs * 1e6 / per)
+        .f64("raw_row_into_us_per_score", reuse_secs * 1e6 / per)
+        .f64("delta_pct", (reuse_secs / alloc_secs - 1.0) * 100.0);
+    bench_sections.raw("scoring_alloc", &o.finish());
 
     // ---- Section 4: multi-thread batch-ingest scaling --------------
     let (boot_par, tail_par) = split(scale_par, seed);
     let (fitted, _) =
         StreamPipeline::bootstrap(&boot_par, StreamOptions::default()).expect("bootstrap");
     let snap_par = fitted.snapshot();
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     println!(
         "== parallel batch ingest (Rest-FZ at scale {scale_par}: {} streamed records, {cores} core(s) available) ==",
         tail_par.len()
     );
+    let mut parallel = Obj::new();
+    parallel.bool("skipped", cores < 2);
     if cores < 2 {
         // Speedup numbers off a single core are pure pool overhead and
         // read as a scaling regression; don't print misleading 1.0×
@@ -342,18 +445,21 @@ fn main() {
         seq.ingest_batch_parallel(tail_par.clone(), 1);
         let mut par = cold(&snap_par, &boot_par);
         par.ingest_batch_parallel(tail_par.clone(), 4);
+        let identical = seq.clusters() == par.clusters();
         println!(
             "determinism check (threads 1 vs 4): {}\n",
-            if seq.clusters() == par.clusters() {
+            if identical {
                 "identical clusters"
             } else {
                 "CLUSTER MISMATCH"
             }
         );
+        parallel.bool("determinism_1_vs_4", identical);
     } else {
         let mut baseline = f64::NAN;
         let mut reference_clusters: Option<Vec<Vec<usize>>> = None;
         let mut threads = 1;
+        let mut rows = Arr::new();
         while threads <= max_threads {
             let mut p = cold(&snap_par, &boot_par);
             let t = Instant::now();
@@ -378,10 +484,18 @@ fn main() {
                 baseline / secs,
                 outcomes.len()
             );
+            let mut row = Obj::new();
+            row.u64("threads", threads as u64)
+                .f64("records_per_s", tail_par.len() as f64 / secs)
+                .f64("speedup_vs_1", baseline / secs)
+                .bool("cluster_parity", parity != "CLUSTER MISMATCH");
+            rows.raw(&row.finish());
             threads *= 2;
         }
+        parallel.raw("threads", &rows.finish());
         println!();
     }
+    bench_sections.raw("parallel_ingest", &parallel.finish());
 
     // ---- Section 5: retraction + compaction ------------------------
     // Retract ~40 % of the store, then compact. Per-retraction latency
@@ -431,6 +545,12 @@ fn main() {
         report.index.buckets_freed,
         report.store.decisions_pruned
     );
+    let mut o = Obj::new();
+    o.u64("retracted", victims.len() as u64)
+        .f64("retractions_per_s", victims.len() as f64 / retract_secs)
+        .f64("compact_secs", compact_secs)
+        .u64("bytes_reclaimed", report.bytes_reclaimed() as u64);
+    bench_sections.raw("retraction", &o.finish());
 
     // ---- Section 6: streaming record linkage -----------------------
     // Freeze a three-model linkage fit on (left, 70 % of right), then
@@ -486,24 +606,42 @@ fn main() {
     );
     let mut par = cold_link();
     par.ingest_batch_parallel(link_tail.clone(), Side::Right, 4);
+    let link_parity = p.clusters() == par.clusters();
     println!(
         "thread parity (1 vs 4): {}",
-        if p.clusters() == par.clusters() {
+        if link_parity {
             "identical clusters"
         } else {
             "CLUSTER MISMATCH"
         }
     );
+    let mut o = Obj::new();
+    o.u64("streamed", link_tail.len() as u64)
+        .f64(
+            "records_per_s",
+            link_tail.len() as f64 / link_secs.max(f64::MIN_POSITIVE),
+        )
+        .bool("thread_parity", link_parity);
+    bench_sections.raw("linkage", &o.finish());
 
-    // Final summary: always state the detected core count, so a reader
-    // of pasted bench output can tell at a glance whether the parallel
-    // scaling criterion (>1.5× at 4 threads) was actually *measured* or
-    // only SKIPPED for want of cores — a 1-core run proves determinism,
-    // never speedup.
+    // ---- BENCH_stream.json + summary -------------------------------
+    // The core count already sits in the machine-readable header up
+    // top; the summary only restates whether the parallel-scaling
+    // criterion (>1.5× at 4 threads) was measured or SKIPPED — a
+    // 1-core run proves determinism, never speedup.
+    let mut doc = Obj::new();
+    doc.str("schema", "zeroer-bench-stream-v1")
+        .raw("header", &header_json)
+        .raw("sections", &bench_sections.finish());
+    let out_path = std::env::var("ZEROER_BENCH_OUT").unwrap_or_else(|_| "BENCH_stream.json".into());
+    match std::fs::write(&out_path, doc.finish() + "\n") {
+        Ok(()) => println!("\nmachine-readable results written to {out_path}"),
+        Err(e) => println!("\nWARNING: cannot write {out_path}: {e}"),
+    }
     println!(
-        "\n== summary: ran on {cores} detected core(s){} ==",
+        "== summary{} ==",
         if cores < 2 {
-            "; parallel-scaling timings were SKIPPED — rerun on multi-core hardware \
+            ": parallel-scaling timings were SKIPPED — rerun on multi-core hardware \
              to demonstrate the >1.5×@4-threads criterion"
         } else {
             ""

@@ -60,6 +60,7 @@
 
 pub mod index;
 pub mod link;
+mod meters;
 pub mod pipeline;
 pub mod shard;
 pub mod snapshot;

@@ -42,6 +42,7 @@
 //! own side's index.
 
 use crate::index::IndexStats;
+use crate::meters::StageMeters;
 use crate::pipeline::{
     records_digest, score_candidates, CompactionReport, IngestOutcome, RetractionReport,
 };
@@ -55,6 +56,7 @@ use zeroer_core::{
     LinkageModel, LinkageSnapshot, LinkageTask, ModelSnapshot, SnapshotScorer, ZeroErConfig,
 };
 use zeroer_features::{PairFeaturizer, RowFeaturizer};
+use zeroer_obs::Stopwatch;
 use zeroer_tabular::{Record, Table};
 use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
 use zeroer_textsim::intern::Sym;
@@ -161,6 +163,9 @@ pub struct LinkPipeline {
     /// Tombstones restored from a snapshot, replayed by `seed_base`.
     pending_tombstones: Vec<usize>,
     pending_epoch: u64,
+    /// Metric handles (prefix `link`), resolved once at construction;
+    /// `None` when [`StreamOptions::metrics`] is off.
+    meters: Option<StageMeters>,
 }
 
 impl LinkPipeline {
@@ -192,6 +197,8 @@ impl LinkPipeline {
                 right.schema().attributes()
             )));
         }
+        let meters = StageMeters::from_flag(opts.metrics, "link");
+        let sw = Stopwatch::new(meters.is_some());
         let index_cfg = opts.index_config();
         let cross_fz = PairFeaturizer::with_config(left, right, index_cfg.derive_config());
         let cross_cs = standard_candidates_derived(
@@ -322,6 +329,12 @@ impl LinkPipeline {
             em_iterations: out.summary.iterations,
         };
         let candidates_seen = cross_cs.len() + left_cs.len() + right_cs.len();
+        if let Some(m) = meters {
+            sw.total(m.bootstrap);
+            m.records.add(store.len() as u64);
+            m.candidates.add(candidates_seen as u64);
+            m.matches.add(base_matches.len() as u64);
+        }
         Ok((
             Self {
                 left_len: nl,
@@ -341,6 +354,7 @@ impl LinkPipeline {
                 scratch: Vec::new(),
                 pending_tombstones: Vec::new(),
                 pending_epoch: 0,
+                meters,
             },
             report,
         ))
@@ -385,7 +399,9 @@ impl LinkPipeline {
             max_bucket: snap.index.max_bucket,
             threshold,
             compact_watermark: StreamOptions::default().compact_watermark,
+            metrics: StreamOptions::default().metrics,
         };
+        let meters = StageMeters::from_flag(opts.metrics, "link");
         Ok(Self {
             store: EntityStore::new(snap.to_schema(), snap.index.derive_config()),
             sides: Vec::new(),
@@ -404,6 +420,7 @@ impl LinkPipeline {
             base_matches: snap.pairs.clone(),
             pending_tombstones: snap.tombstones.clone(),
             pending_epoch: snap.epoch,
+            meters,
         })
     }
 
@@ -471,6 +488,8 @@ impl LinkPipeline {
             };
         check("left", left, self.left_len, self.left_digest)?;
         check("right", right, self.right_len, self.right_digest)?;
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
         for (side, table) in [(Side::Left, left), (Side::Right, right)] {
             for r in table.records() {
                 let derived = self.store.derive(r);
@@ -493,6 +512,10 @@ impl LinkPipeline {
         }
         let epoch = self.pending_epoch.max(self.store.epoch());
         self.store.set_epoch(epoch);
+        if let Some(m) = m {
+            sw.total(m.seed);
+            m.records.add((self.left_len + self.right_len) as u64);
+        }
         Ok(())
     }
 
@@ -519,6 +542,16 @@ impl LinkPipeline {
     /// default — scoring depends only on the frozen parameters).
     pub fn options(&self) -> &StreamOptions {
         &self.opts
+    }
+
+    /// Enables or disables this pipeline's stage metrics (see
+    /// [`StreamOptions::metrics`]; the linkage metrics carry the
+    /// `link.` prefix). A runtime knob, not persisted in snapshots.
+    /// Purely observational: on or off, every decision, cluster and
+    /// snapshot is bit-identical.
+    pub fn set_metrics(&mut self, on: bool) {
+        self.opts.metrics = on;
+        self.meters = StageMeters::from_flag(on, "link");
     }
 
     /// Which side record `idx` belongs to.
@@ -622,12 +655,21 @@ impl LinkPipeline {
             record.values.len(),
             self.store.table().schema().arity()
         );
+        let m = self.meters;
+        let mut sw = Stopwatch::new(m.is_some());
         let derived = self.store.derive(&record);
         let keys = RecordKeys::from_derived(&derived, self.store.interner());
+        if let Some(m) = m {
+            sw.lap(m.derive);
+        }
         let candidates = self
             .side_index(side.opposite())
             .probe_live(&keys, self.store.tombstones());
         self.candidates_seen += candidates.len();
+        if let Some(m) = m {
+            sw.lap(m.block);
+            m.candidates.add(candidates.len() as u64);
+        }
         let idx = self.store.push_derived(record, derived);
         self.sides.push(side);
         self.side_index_mut(side).insert_keys_at(idx, &keys);
@@ -647,10 +689,19 @@ impl LinkPipeline {
             store.derived(idx),
             &mut self.scratch,
         );
+        if let Some(m) = m {
+            sw.lap(m.score);
+        }
         for &(c, _) in &matches {
             self.store.merge(idx, c);
         }
         let cluster = self.store.find(idx);
+        if let Some(m) = m {
+            sw.lap(m.decide);
+            sw.total(m.ingest);
+            m.records.incr();
+            m.matches.add(matches.len() as u64);
+        }
         IngestOutcome {
             index: idx,
             candidates: candidates.len(),
@@ -705,6 +756,8 @@ impl LinkPipeline {
             );
         }
         let n = records.len();
+        let m = self.meters;
+        let mut sw = Stopwatch::new(m.is_some());
 
         // Phase 1 (parallel over records): derive against a frozen
         // interner snapshot, parking unseen tokens per worker.
@@ -747,6 +800,9 @@ impl LinkPipeline {
                 derived.push(rec);
             }
         }
+        if let Some(m) = m {
+            sw.lap(m.batch_derive);
+        }
 
         // Phase 2 (parallel over records, work-stealing queue): probe
         // the frozen opposite index and score with the frozen cross
@@ -774,6 +830,9 @@ impl LinkPipeline {
                     .map(|((ci, ch), (_, counts))| ((ci * score_chunk, ch), counts))
                     .collect(),
             );
+            // Queue-wait sampling measures lock acquisition only; a
+            // handle copy, not `self`, crosses into the workers.
+            let queue_wait = m.map(|m| m.queue_wait);
             crossbeam::thread::scope(|scope| {
                 for _ in 0..threads {
                     let queue = &queue;
@@ -782,7 +841,14 @@ impl LinkPipeline {
                     scope.spawn(move |_| {
                         let mut buf: Vec<f64> = Vec::new();
                         loop {
-                            let job = queue.lock().expect("queue poisoned").pop();
+                            let before = queue_wait.map(|h| (h, std::time::Instant::now()));
+                            let mut q = queue.lock().expect("queue poisoned");
+                            let waited = before.map(|(h, t)| (h, t.elapsed()));
+                            let job = q.pop();
+                            drop(q);
+                            if let Some((h, d)) = waited {
+                                h.record(d.as_nanos().min(u64::MAX as u128) as u64);
+                            }
                             let Some(((start, out), counts)) = job else {
                                 break;
                             };
@@ -810,7 +876,17 @@ impl LinkPipeline {
             })
             .expect("scoring worker panicked");
         }
-        self.candidates_seen += candidate_counts.iter().sum::<usize>();
+        let batch_candidates = candidate_counts.iter().sum::<usize>();
+        self.candidates_seen += batch_candidates;
+        if let Some(m) = m {
+            // The linkage parallel path fuses probe + score into one
+            // read-only phase, so it times under `link.batch.score.ns`
+            // (per-candidate blocking cost is visible in the
+            // sequential `link.block.ns` meter instead).
+            sw.lap(m.batch_score);
+            m.candidates.add(batch_candidates as u64);
+            m.batch_candidates.record(batch_candidates as u64);
+        }
 
         // Phase 3 (sequential, single writer): push records, insert
         // own-side postings, and apply match decisions in ingest order.
@@ -834,6 +910,13 @@ impl LinkPipeline {
                 matches: rec_matches,
                 cluster,
             });
+        }
+        if let Some(m) = m {
+            sw.lap(m.batch_decide);
+            sw.total(m.batch);
+            m.records.add(n as u64);
+            m.matches
+                .add(outcomes.iter().map(|o| o.matches.len() as u64).sum());
         }
         outcomes
     }
@@ -883,10 +966,18 @@ impl LinkPipeline {
                     .into(),
             ));
         }
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
         let mut report = self.retract_now(idx)?;
         report.auto_compaction = self.maybe_autocompact();
         if let Some(c) = &report.auto_compaction {
             report.epoch = c.epoch;
+        }
+        if let Some(m) = m {
+            // Includes any auto-compaction the watermark triggered
+            // (which also times itself under `link.compact.ns`).
+            sw.total(m.retract);
+            m.retractions.incr();
         }
         Ok(report)
     }
@@ -895,14 +986,22 @@ impl LinkPipeline {
     /// **both** side indexes, prunes dead decision-log edges, and
     /// releases retracted records' derivations. Advances the epoch.
     pub fn compact(&mut self) -> CompactionReport {
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
         let mut index = self.left_index.compact(self.store.tombstones());
         index.absorb(self.right_index.compact(self.store.tombstones()));
         let store = self.store.compact();
-        CompactionReport {
+        let report = CompactionReport {
             epoch: self.store.epoch(),
             index,
             store,
+        };
+        if let Some(m) = m {
+            sw.total(m.compact);
+            m.compactions.incr();
+            m.reclaimed_bytes.add(report.bytes_reclaimed() as u64);
         }
+        report
     }
 
     /// Runs [`LinkPipeline::compact`] when the dead-posting fraction

@@ -7,6 +7,7 @@
 //! stop-the-world rebuild.
 
 use crate::index::{CompactionDelta, IndexConfig, IndexStats};
+use crate::meters::StageMeters;
 use crate::shard::{RecordKeys, ShardedIndex};
 use crate::snapshot::PipelineSnapshot;
 use crate::store::{EntityStore, StoreCompaction};
@@ -16,6 +17,7 @@ use zeroer_core::{
     GenerativeModel, ModelSnapshot, SnapshotScorer, TransitivityCalibrator, ZeroErConfig,
 };
 use zeroer_features::{PairFeaturizer, RowFeaturizer};
+use zeroer_obs::Stopwatch;
 use zeroer_tabular::{Record, Table};
 use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
 use zeroer_textsim::intern::{Interner, Sym};
@@ -71,6 +73,14 @@ pub struct StreamOptions {
     /// tombstoned, the pipeline compacts itself. `None` disables
     /// auto-compaction ([`StreamPipeline::compact`] stays available).
     pub compact_watermark: Option<f64>,
+    /// Whether the pipeline records stage timings and counters into
+    /// the process-global `zeroer-obs` registry (default on; see
+    /// `crates/obs/README.md` for the metric catalog). Purely
+    /// observational — decisions, clusters and snapshots are
+    /// bit-identical either way — but benches flip it off to measure
+    /// instrumentation overhead honestly
+    /// ([`StreamPipeline::set_metrics`] is the runtime knob).
+    pub metrics: bool,
 }
 
 impl Default for StreamOptions {
@@ -83,6 +93,7 @@ impl Default for StreamOptions {
             max_bucket: 400,
             threshold: 0.5,
             compact_watermark: Some(0.5),
+            metrics: true,
         }
     }
 }
@@ -158,6 +169,31 @@ pub struct StreamStats {
     pub epoch: u64,
 }
 
+impl StreamStats {
+    /// Publishes these counters as gauges in the process-global
+    /// `zeroer-obs` registry (always — gauges are point-in-time
+    /// state, not hot-path instrumentation, so they ignore the
+    /// per-pipeline metrics flag). The CLI's `--stats` renderer and
+    /// `--metrics` JSON read them back from there; the names are
+    /// cataloged in `crates/obs/README.md`.
+    pub fn publish(&self) {
+        let g = |name: &str, v: usize| zeroer_obs::gauge(name).set(v as u64);
+        g("derive.interned_tokens", self.interned_tokens);
+        g("derive.interned_bytes", self.interned_bytes);
+        g("block.candidate_pairs", self.candidate_pairs);
+        for (leg, s) in [("token", &self.index.token), ("qgram", &self.index.qgram)] {
+            g(&format!("index.{leg}.live_buckets"), s.live);
+            g(&format!("index.{leg}.retired_buckets"), s.retired);
+            g(&format!("index.{leg}.postings"), s.postings);
+            g(&format!("index.{leg}.dead_postings"), s.dead_postings);
+        }
+        g("store.live_records", self.live_records);
+        g("store.retracted_records", self.retracted_records);
+        g("store.decision_log_edges", self.decision_log);
+        zeroer_obs::gauge("store.epoch").set(self.epoch);
+    }
+}
+
 /// What one retraction did (see [`StreamPipeline::retract`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RetractionReport {
@@ -221,6 +257,10 @@ pub struct StreamPipeline {
     pending_tombstones: Vec<usize>,
     /// Epoch restored from a snapshot, re-pinned after `seed_base`.
     pending_epoch: u64,
+    /// Metric handles, resolved once at construction; `None` when
+    /// [`StreamOptions::metrics`] is off, so the uninstrumented hot
+    /// path pays a single branch per stage boundary.
+    meters: Option<StageMeters>,
 }
 
 /// A slice of per-record match slots handed to a scoring worker, tagged
@@ -316,6 +356,8 @@ impl StreamPipeline {
         initial: &Table,
         opts: StreamOptions,
     ) -> Result<(Self, BootstrapReport), StreamError> {
+        let meters = StageMeters::from_flag(opts.metrics, "stream");
+        let sw = Stopwatch::new(meters.is_some());
         let index_cfg = opts.index_config();
         let fz = PairFeaturizer::with_config(initial, initial, index_cfg.derive_config());
         let cs = standard_candidates_derived(
@@ -378,6 +420,12 @@ impl StreamPipeline {
             labels,
             em_iterations: summary.iterations,
         };
+        if let Some(m) = meters {
+            sw.total(m.bootstrap);
+            m.records.add(store.len() as u64);
+            m.candidates.add(cs.pairs().len() as u64);
+            m.matches.add(base_matches.len() as u64);
+        }
         Ok((
             Self {
                 opts,
@@ -392,6 +440,7 @@ impl StreamPipeline {
                 scratch: Vec::new(),
                 pending_tombstones: Vec::new(),
                 pending_epoch: 0,
+                meters,
             },
             report,
         ))
@@ -406,7 +455,9 @@ impl StreamPipeline {
     /// Runtime knobs are not persisted: like `threshold`, the
     /// compaction watermark comes back at its default — callers that
     /// disabled or tuned it must re-apply
-    /// [`StreamPipeline::set_compact_watermark`] after restoring.
+    /// [`StreamPipeline::set_compact_watermark`] after restoring. The
+    /// metrics flag likewise restarts at its default
+    /// ([`StreamPipeline::set_metrics`] re-applies it).
     ///
     /// # Errors
     /// Fails if the snapshot is internally inconsistent (feature layout
@@ -437,7 +488,9 @@ impl StreamPipeline {
             max_bucket: snap.index.max_bucket,
             threshold,
             compact_watermark: StreamOptions::default().compact_watermark,
+            metrics: StreamOptions::default().metrics,
         };
+        let meters = StageMeters::from_flag(opts.metrics, "stream");
         Ok(Self {
             store: EntityStore::new(snap.to_schema(), snap.index.derive_config()),
             index: ShardedIndex::new(snap.index.clone()),
@@ -451,6 +504,7 @@ impl StreamPipeline {
             base_digest: snap.bootstrap_digest,
             pending_tombstones: snap.tombstones.clone(),
             pending_epoch: snap.epoch,
+            meters,
         })
     }
 
@@ -513,6 +567,8 @@ impl StreamPipeline {
                 self.base_len
             )));
         }
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
         if self.base_digest != 0 && records_digest(base.records()) != self.base_digest {
             return Err(StreamError(
                 "base table does not match the records the snapshot was bootstrapped on \
@@ -540,6 +596,10 @@ impl StreamPipeline {
         }
         let epoch = self.pending_epoch.max(self.store.epoch());
         self.store.set_epoch(epoch);
+        if let Some(m) = m {
+            sw.total(m.seed);
+            m.records.add(self.base_len as u64);
+        }
         Ok(())
     }
 
@@ -562,6 +622,15 @@ impl StreamPipeline {
     /// snapshots — restored pipelines start at the default.
     pub fn set_compact_watermark(&mut self, watermark: Option<f64>) {
         self.opts.compact_watermark = watermark;
+    }
+
+    /// Enables or disables this pipeline's stage metrics (see
+    /// [`StreamOptions::metrics`]). A runtime knob, not persisted in
+    /// snapshots. Metrics are purely observational: on or off, every
+    /// decision, cluster and snapshot is bit-identical.
+    pub fn set_metrics(&mut self, on: bool) {
+        self.opts.metrics = on;
+        self.meters = StageMeters::from_flag(on, "stream");
     }
 
     /// Number of ingested records (bootstrap records included).
@@ -613,10 +682,19 @@ impl StreamPipeline {
             record.values.len(),
             self.store.table().schema().arity()
         );
+        let m = self.meters;
+        let mut sw = Stopwatch::new(m.is_some());
         let derived = self.store.derive(&record);
         let keys = RecordKeys::from_derived(&derived, self.store.interner());
+        if let Some(m) = m {
+            sw.lap(m.derive);
+        }
         let candidates = self.index.insert_keys_live(keys, self.store.tombstones());
         self.candidates_seen += candidates.len();
+        if let Some(m) = m {
+            sw.lap(m.block);
+            m.candidates.add(candidates.len() as u64);
+        }
         let idx = self.store.push_derived(record, derived);
         debug_assert_eq!(self.index.len(), self.store.len());
 
@@ -632,10 +710,19 @@ impl StreamPipeline {
             store.derived(idx),
             &mut self.scratch,
         );
+        if let Some(m) = m {
+            sw.lap(m.score);
+        }
         for &(c, _) in &matches {
             self.store.merge(idx, c);
         }
         let cluster = self.store.find(idx);
+        if let Some(m) = m {
+            sw.lap(m.decide);
+            sw.total(m.ingest);
+            m.records.incr();
+            m.matches.add(matches.len() as u64);
+        }
         IngestOutcome {
             index: idx,
             candidates: candidates.len(),
@@ -694,6 +781,8 @@ impl StreamPipeline {
         }
         let n = records.len();
         let base = self.store.len();
+        let m = self.meters;
+        let mut sw = Stopwatch::new(m.is_some());
 
         // Phase 1 (parallel over records): derive each record — the
         // tokenization-heavy work — against a frozen snapshot of the
@@ -738,6 +827,9 @@ impl StreamPipeline {
                 derived.push(rec);
             }
         }
+        if let Some(m) = m {
+            sw.lap(m.batch_derive);
+        }
 
         // Phase 2 (parallel over index shards): candidate generation.
         // The tombstone set is frozen for the whole batch (retraction
@@ -746,7 +838,13 @@ impl StreamPipeline {
         let candidates = self
             .index
             .insert_batch_live(keys, threads, self.store.tombstones());
-        self.candidates_seen += candidates.iter().map(Vec::len).sum::<usize>();
+        let batch_candidates = candidates.iter().map(Vec::len).sum::<usize>();
+        self.candidates_seen += batch_candidates;
+        if let Some(m) = m {
+            sw.lap(m.batch_block);
+            m.candidates.add(batch_candidates as u64);
+            m.batch_candidates.record(batch_candidates as u64);
+        }
 
         // Phase 3 (parallel over records, work-stealing queue): frozen-
         // model scoring. Chunks are small so a record with many
@@ -765,6 +863,10 @@ impl StreamPipeline {
                     .map(|(ci, ch)| (ci * score_chunk, ch))
                     .collect(),
             );
+            // Queue-wait sampling measures lock acquisition only (the
+            // pop itself is O(1)); a handle copy, not `self`, crosses
+            // into the workers.
+            let queue_wait = m.map(|m| m.queue_wait);
             crossbeam::thread::scope(|scope| {
                 for _ in 0..threads {
                     let queue = &queue;
@@ -773,7 +875,14 @@ impl StreamPipeline {
                     scope.spawn(move |_| {
                         let mut buf: Vec<f64> = Vec::new();
                         loop {
-                            let job = queue.lock().expect("queue poisoned").pop();
+                            let before = queue_wait.map(|h| (h, std::time::Instant::now()));
+                            let mut q = queue.lock().expect("queue poisoned");
+                            let waited = before.map(|(h, t)| (h, t.elapsed()));
+                            let job = q.pop();
+                            drop(q);
+                            if let Some((h, d)) = waited {
+                                h.record(d.as_nanos().min(u64::MAX as u128) as u64);
+                            }
                             let Some((start, out)) = job else { break };
                             for (off, slot) in out.iter_mut().enumerate() {
                                 let i = start + off;
@@ -801,6 +910,9 @@ impl StreamPipeline {
             })
             .expect("scoring worker panicked");
         }
+        if let Some(m) = m {
+            sw.lap(m.batch_score);
+        }
 
         // Phase 4 (sequential, single writer): apply match decisions in
         // ingest order — the union-find passes through exactly the states
@@ -825,6 +937,13 @@ impl StreamPipeline {
             });
         }
         debug_assert_eq!(self.index.len(), self.store.len());
+        if let Some(m) = m {
+            sw.lap(m.batch_decide);
+            sw.total(m.batch);
+            m.records.add(n as u64);
+            m.matches
+                .add(outcomes.iter().map(|o| o.matches.len() as u64).sum());
+        }
         outcomes
     }
 
@@ -884,10 +1003,18 @@ impl StreamPipeline {
                     .into(),
             ));
         }
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
         let mut report = self.retract_now(idx)?;
         report.auto_compaction = self.maybe_autocompact();
         if let Some(c) = &report.auto_compaction {
             report.epoch = c.epoch;
+        }
+        if let Some(m) = m {
+            // Includes any auto-compaction the watermark triggered
+            // (which also times itself under `compact.ns`).
+            sw.total(m.retract);
+            m.retractions.incr();
         }
         Ok(report)
     }
@@ -954,13 +1081,21 @@ impl StreamPipeline {
     /// fresh index over the surviving records would be in. See the
     /// retraction section of the `crate::index` module docs.
     pub fn compact(&mut self) -> CompactionReport {
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
         let index = self.index.compact(self.store.tombstones());
         let store = self.store.compact();
-        CompactionReport {
+        let report = CompactionReport {
             epoch: self.store.epoch(),
             index,
             store,
+        };
+        if let Some(m) = m {
+            sw.total(m.compact);
+            m.compactions.incr();
+            m.reclaimed_bytes.add(report.bytes_reclaimed() as u64);
         }
+        report
     }
 
     /// Runs [`StreamPipeline::compact`] when the dead-posting fraction

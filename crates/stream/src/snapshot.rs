@@ -59,6 +59,7 @@ impl PipelineSnapshot {
 
     /// Serializes to JSON text.
     pub fn to_json(&self) -> String {
+        let _span = zeroer_obs::histogram("snapshot.save.ns").start();
         Json::Obj(vec![
             (
                 "format".into(),
@@ -98,6 +99,7 @@ impl PipelineSnapshot {
     /// # Errors
     /// Fails on malformed JSON or schema violations.
     pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let _span = zeroer_obs::histogram("snapshot.load.ns").start();
         let j = Json::parse(text)?;
         if j.get("format").and_then(Json::as_str) != Some("zeroer-pipeline-snapshot") {
             return Err(JsonError::schema("not a zeroer pipeline snapshot"));
@@ -372,6 +374,7 @@ impl LinkSnapshot {
 
     /// Serializes to JSON text.
     pub fn to_json(&self) -> String {
+        let _span = zeroer_obs::histogram("snapshot.save.ns").start();
         Json::Obj(vec![
             ("format".into(), Json::Str("zeroer-link-snapshot".into())),
             ("version".into(), Json::Num(1.0)),
@@ -413,6 +416,7 @@ impl LinkSnapshot {
     /// marker, out-of-range pair indices, unsorted tombstones, a
     /// blocking attribute outside the schema).
     pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let _span = zeroer_obs::histogram("snapshot.load.ns").start();
         let j = Json::parse(text)?;
         if j.get("format").and_then(Json::as_str) != Some("zeroer-link-snapshot") {
             return Err(JsonError::schema("not a zeroer link snapshot"));

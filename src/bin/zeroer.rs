@@ -44,7 +44,7 @@ use zeroer::core::ZeroErConfig;
 use zeroer::pipeline::{
     dedup_table, dedup_table_with_snapshot, match_tables, match_tables_with_snapshot,
     IngestOutcome, LinkPipeline, LinkSnapshot, MatchOptions, PipelineSnapshot, Side,
-    StreamPipeline, StreamStats,
+    StreamPipeline,
 };
 use zeroer::tabular::csv::read_table;
 use zeroer::tabular::{Schema, Table};
@@ -67,6 +67,7 @@ struct Args {
     ids: Option<String>,
     threads: Option<usize>,
     stats: bool,
+    metrics: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -114,7 +115,10 @@ fn usage() -> &'static str {
        --stats             (dedup, link, ingest, retract, compact) print derivation/\n\
                            blocking observability to stderr: tokens interned,\n\
                            live/retired buckets and live/dead postings per leg,\n\
-                           candidate pairs, live/retracted records, epoch\n"
+                           candidate pairs, live/retracted records, epoch\n\
+       --metrics <file>    (all commands) write every recorded counter, gauge and\n\
+                           stage-latency histogram as JSON (schema zeroer-metrics-v1,\n\
+                           documented in crates/obs/README.md)\n"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -136,6 +140,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ids: None,
         threads: None,
         stats: false,
+        metrics: None,
     };
     let mut batch_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -183,6 +188,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = Some(take_value(&mut it, "--metrics")?),
             "--out" => args.out = Some(take_value(&mut it, "--out")?),
             "--save-model" => args.save_model = Some(take_value(&mut it, "--save-model")?),
             "--model" => args.model = Some(take_value(&mut it, "--model")?),
@@ -377,12 +383,25 @@ fn emit(rows: &[(usize, usize, f64)], out: &Option<String>) -> Result<(), String
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
+    dispatch(&args)?;
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, zeroer::obs::to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("zeroer: metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Runs the selected subcommand. Metric recording happens as a side
+/// effect; `run` dumps the registry afterwards when `--metrics` asks
+/// for it.
+fn dispatch(args: &Args) -> Result<(), String> {
     let mut rows: Vec<(usize, usize, f64)>;
     match args.command.as_str() {
         "match" => {
             let left = load(&args.files[0])?;
             let right = load(&args.files[1])?;
-            let opts = options(&args, &left)?;
+            let opts = options(args, &left)?;
             let result = match_tables(&left, &right, &opts);
             rows = result
                 .pairs
@@ -400,7 +419,7 @@ fn run() -> Result<(), String> {
         }
         "dedup" => {
             let table = load(&args.files[0])?;
-            let opts = options(&args, &table)?;
+            let opts = options(args, &table)?;
             let result = match &args.save_model {
                 None => dedup_table(&table, &opts),
                 Some(path) => {
@@ -426,19 +445,13 @@ fn run() -> Result<(), String> {
                 result.clusters.len()
             );
             if args.stats {
-                eprintln!(
-                    "zeroer: derivation: {} distinct tokens interned ({} bytes); \
-                     candidate pairs generated: {}",
-                    result.stats.distinct_tokens,
-                    result.stats.interner_bytes,
-                    result.pairs.len()
-                );
+                render_stats();
             }
         }
-        "link" => return run_link(&args),
-        "ingest" => return run_ingest(&args),
-        "retract" => return run_retract(&args),
-        "compact" => return run_compact(&args),
+        "link" => return run_link(args),
+        "ingest" => return run_ingest(args),
+        "retract" => return run_retract(args),
+        "compact" => return run_compact(args),
         _ => unreachable!("validated in parse_args"),
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
@@ -471,8 +484,9 @@ fn run_link(args: &Args) -> Result<(), String> {
         args.threshold,
         pipeline.clusters().len()
     );
+    pipeline.stats().publish();
     if args.stats {
-        print_stream_stats(&pipeline.stats());
+        render_stats();
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
     emit(&rows, &args.out)
@@ -533,8 +547,9 @@ fn run_link_ingest(args: &Args, side: Side) -> Result<(), String> {
         pipeline.len(),
         pipeline.clusters().len()
     );
+    pipeline.stats().publish();
     if args.stats {
-        print_stream_stats(&pipeline.stats());
+        render_stats();
     }
     emit_text(text, &args.out)
 }
@@ -611,8 +626,9 @@ fn run_ingest(args: &Args) -> Result<(), String> {
         pipeline.store().len(),
         pipeline.clusters().len()
     );
+    pipeline.stats().publish();
     if args.stats {
-        print_stream_stats(&pipeline.stats());
+        render_stats();
     }
     emit_text(text, &args.out)
 }
@@ -662,29 +678,46 @@ fn emit_text(text: String, out: &Option<String>) -> Result<(), String> {
     }
 }
 
-/// The `--stats` observability block shared by `ingest`, `retract` and
-/// `compact`.
-fn print_stream_stats(s: &StreamStats) {
+/// The `--stats` observability block shared by every subcommand that
+/// supports it, rendered from the `zeroer::obs` metrics registry (the
+/// single source the `--metrics` JSON dump also reads).
+///
+/// The streaming paths publish their gauges first
+/// ([`zeroer::pipeline::StreamStats::publish`]); the batch `dedup`
+/// path publishes only the derivation/blocking gauges, so the
+/// blocking-leg and store lines print only when a streaming index has
+/// reported in.
+fn render_stats() {
+    let snap = zeroer::obs::snapshot();
+    let g = |name: &str| snap.gauge(name).unwrap_or(0);
     eprintln!(
         "zeroer: derivation: {} distinct tokens interned ({} bytes); \
          candidate pairs generated: {}",
-        s.interned_tokens, s.interned_bytes, s.candidate_pairs
+        g("derive.interned_tokens"),
+        g("derive.interned_bytes"),
+        g("block.candidate_pairs")
     );
+    if snap.gauge("index.token.live_buckets").is_none() {
+        return;
+    }
     eprintln!(
         "zeroer: blocking legs: token {} live / {} retired buckets ({} postings, {} dead); \
          qgram {} live / {} retired buckets ({} postings, {} dead)",
-        s.index.token.live,
-        s.index.token.retired,
-        s.index.token.postings,
-        s.index.token.dead_postings,
-        s.index.qgram.live,
-        s.index.qgram.retired,
-        s.index.qgram.postings,
-        s.index.qgram.dead_postings
+        g("index.token.live_buckets"),
+        g("index.token.retired_buckets"),
+        g("index.token.postings"),
+        g("index.token.dead_postings"),
+        g("index.qgram.live_buckets"),
+        g("index.qgram.retired_buckets"),
+        g("index.qgram.postings"),
+        g("index.qgram.dead_postings")
     );
     eprintln!(
         "zeroer: store: {} live / {} retracted records; decision log {} edges; epoch {}",
-        s.live_records, s.retracted_records, s.decision_log, s.epoch
+        g("store.live_records"),
+        g("store.retracted_records"),
+        g("store.decision_log_edges"),
+        g("store.epoch")
     );
 }
 
@@ -761,8 +794,9 @@ fn run_retract(args: &Args) -> Result<(), String> {
             auto.index.buckets_freed
         );
     }
+    pipeline.stats().publish();
     if args.stats {
-        print_stream_stats(&pipeline.stats());
+        render_stats();
     }
     let model_path = args.model.as_deref().expect("validated in parse_args");
     let out_path = args.out.as_deref().unwrap_or(model_path);
@@ -789,8 +823,9 @@ fn run_compact(args: &Args) -> Result<(), String> {
         report.store.derived_bytes_freed,
         report.epoch
     );
+    pipeline.stats().publish();
     if args.stats {
-        print_stream_stats(&pipeline.stats());
+        render_stats();
     }
     let model_path = args.model.as_deref().expect("validated in parse_args");
     let out_path = args.out.as_deref().unwrap_or(model_path);

@@ -52,7 +52,11 @@
 //! * [`eval`] — F-score, splits, CV, oversampling;
 //! * [`datagen`] — synthetic stand-ins for the six benchmark datasets;
 //! * [`stream`] — incremental entity resolution (online ingest, frozen
-//!   model-snapshot scoring — no EM at serving time).
+//!   model-snapshot scoring — no EM at serving time);
+//! * [`obs`] — zero-dependency metrics registry and stage tracing; the
+//!   batch and streaming pipelines record stage latencies and
+//!   candidate/record counters into it, the CLI dumps it via
+//!   `--metrics <file>` and renders `--stats` from it.
 //!
 //! ## Batch vs. streaming entry points
 //!
@@ -76,6 +80,7 @@ pub use zeroer_datagen as datagen;
 pub use zeroer_eval as eval;
 pub use zeroer_features as features;
 pub use zeroer_linalg as linalg;
+pub use zeroer_obs as obs;
 pub use zeroer_stream as stream;
 pub use zeroer_tabular as tabular;
 pub use zeroer_textsim as textsim;

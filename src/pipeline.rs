@@ -104,9 +104,21 @@ impl DerivationStats {
 }
 
 fn build_task(fz: &PairFeaturizer, cs: &CandidateSet) -> LinkageTask {
-    let mut fs = fz.featurize(cs.pairs());
-    fs.normalize();
-    LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout)
+    zeroer_obs::time("batch.featurize.ns", || {
+        let mut fs = fz.featurize(cs.pairs());
+        fs.normalize();
+        LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout)
+    })
+}
+
+/// Publishes the batch run's derivation/blocking gauges so
+/// `--metrics` dumps and the unified `--stats` renderer see the same
+/// numbers the streaming paths report. Gauge names match
+/// [`StreamStats::publish`].
+fn publish_batch_gauges(stats: &DerivationStats, candidate_pairs: usize) {
+    zeroer_obs::gauge("derive.interned_tokens").set(stats.distinct_tokens as u64);
+    zeroer_obs::gauge("derive.interned_bytes").set(stats.interner_bytes as u64);
+    zeroer_obs::gauge("block.candidate_pairs").set(candidate_pairs as u64);
 }
 
 /// Result of [`match_tables`].
@@ -154,8 +166,13 @@ pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchRe
     // feature layouts) legitimately differ, so the derivations cannot be
     // shared across tasks. Within each task, blocking and featurization
     // share one derivation.
-    let cross_fz = PairFeaturizer::with_config(left, right, opts.derive_config());
-    let cross_cs = opts.candidates(&cross_fz, PairMode::Cross);
+    let cross_fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(left, right, opts.derive_config())
+    });
+    let cross_cs = zeroer_obs::time("batch.block.ns", || {
+        opts.candidates(&cross_fz, PairMode::Cross)
+    });
+    publish_batch_gauges(&DerivationStats::of(&cross_fz), cross_cs.pairs().len());
     if cross_cs.is_empty() {
         return MatchResult {
             pairs: vec![],
@@ -163,16 +180,28 @@ pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchRe
             labels: vec![],
         };
     }
-    let left_fz = PairFeaturizer::with_config(left, left, opts.derive_config());
-    let right_fz = PairFeaturizer::with_config(right, right, opts.derive_config());
-    let left_cs = opts.candidates(&left_fz, PairMode::Dedup);
-    let right_cs = opts.candidates(&right_fz, PairMode::Dedup);
+    let left_fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(left, left, opts.derive_config())
+    });
+    let right_fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(right, right, opts.derive_config())
+    });
+    let (left_cs, right_cs) = zeroer_obs::time("batch.block.ns", || {
+        (
+            opts.candidates(&left_fz, PairMode::Dedup),
+            opts.candidates(&right_fz, PairMode::Dedup),
+        )
+    });
+    zeroer_obs::counter("batch.candidates")
+        .add((cross_cs.pairs().len() + left_cs.pairs().len() + right_cs.pairs().len()) as u64);
 
     let cross = build_task(&cross_fz, &cross_cs);
     let left_task = build_task(&left_fz, &left_cs);
     let right_task = build_task(&right_fz, &right_cs);
 
-    let out = LinkageModel::new(opts.config.clone()).fit(&cross, &left_task, &right_task);
+    let out = zeroer_obs::time("batch.fit.ns", || {
+        LinkageModel::new(opts.config.clone()).fit(&cross, &left_task, &right_task)
+    });
     MatchResult {
         pairs: cross.pairs,
         probabilities: out.cross_gammas,
@@ -234,9 +263,13 @@ pub struct DedupResult {
 /// is derived exactly once; blocking and featurization share the
 /// derivation.
 pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
-    let fz = PairFeaturizer::with_config(table, table, opts.derive_config());
+    let fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(table, table, opts.derive_config())
+    });
     let stats = DerivationStats::of(&fz);
-    let cs = opts.candidates(&fz, PairMode::Dedup);
+    let cs = zeroer_obs::time("batch.block.ns", || opts.candidates(&fz, PairMode::Dedup));
+    publish_batch_gauges(&stats, cs.pairs().len());
+    zeroer_obs::counter("batch.candidates").add(cs.pairs().len() as u64);
     if cs.is_empty() {
         return DedupResult {
             pairs: vec![],
@@ -249,19 +282,23 @@ pub fn dedup_table(table: &Table, opts: &MatchOptions) -> DedupResult {
     let task = build_task(&fz, &cs);
     let mut model = GenerativeModel::new(opts.config.clone(), task.layout.clone());
     let calibrator = TransitivityCalibrator::new(&task.pairs);
-    model.fit(&task.features, Some(&calibrator));
+    zeroer_obs::time("batch.fit.ns", || {
+        model.fit(&task.features, Some(&calibrator));
+    });
     let labels = model.labels();
     let probabilities = model.gammas().to_vec();
 
     // Transitive closure over predicted duplicates, via the shared
     // union-find (the same structure `EntityStore` clusters with).
-    let mut uf = UnionFind::new(table.len());
-    for (&(a, b), &dup) in task.pairs.iter().zip(&labels) {
-        if dup {
-            uf.union(a, b);
+    let clusters = zeroer_obs::time("batch.cluster.ns", || {
+        let mut uf = UnionFind::new(table.len());
+        for (&(a, b), &dup) in task.pairs.iter().zip(&labels) {
+            if dup {
+                uf.union(a, b);
+            }
         }
-    }
-    let clusters = uf.clusters(2);
+        uf.clusters(2)
+    });
 
     DedupResult {
         pairs: task.pairs,
@@ -302,6 +339,7 @@ pub fn dedup_table_with_snapshot(
             interner_bytes: stream_stats.interned_bytes,
         },
     };
+    publish_batch_gauges(&result.stats, result.pairs.len());
     Ok((result, pipeline))
 }
 

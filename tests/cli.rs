@@ -805,6 +805,154 @@ fn link_save_model_then_side_ingest_round_trip() {
 }
 
 #[test]
+fn metrics_flag_dumps_schema_valid_json_on_batch_and_streaming_paths() {
+    use zeroer::core::json::Json;
+
+    let base = write_tmp(
+        "mx1",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Golden Dragon Palce,new york\n\
+         Blue Sky Tavern,austin\n\
+         Rustic Oak Kitchen,denver\n\
+         Harbor View Bistro,portland\n\
+         Smoky Cellar Tavern,chicago\n",
+    );
+    let stream = write_tmp(
+        "mx2",
+        "name,city\n\
+         Golden Dragon Palace,new york\n\
+         Totally Unseen Steakhouse,miami\n",
+    );
+    let pid = std::process::id();
+    let snap = std::env::temp_dir().join(format!("zeroer-mx-snap-{pid}.json"));
+    let m_dedup = std::env::temp_dir().join(format!("zeroer-mx-dedup-{pid}.json"));
+    let m_ingest = std::env::temp_dir().join(format!("zeroer-mx-ingest-{pid}.json"));
+
+    // Round-trip helper: the metrics dump (written by zeroer-obs's own
+    // JSON writer) must parse with the workspace's JSON reader.
+    let load = |path: &std::path::Path| -> Json {
+        let text = std::fs::read_to_string(path).expect("metrics file written");
+        let doc = Json::parse(&text).expect("metrics JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("zeroer-metrics-v1"),
+            "metrics dump must carry its schema identifier"
+        );
+        doc
+    };
+    let num = |doc: &Json, section: &str, name: &str| -> f64 {
+        doc.get(section)
+            .and_then(|s| s.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("{section}.{name} missing"))
+    };
+    let hist_field = |doc: &Json, name: &str, field: &str| -> f64 {
+        doc.get("histograms")
+            .and_then(|s| s.get(name))
+            .and_then(|h| h.get(field))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("histograms.{name}.{field} missing"))
+    };
+
+    // Batch path: `dedup --metrics` records the batch stage timers.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+            "--metrics",
+            m_dedup.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup --metrics");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("metrics written to"),
+        "the dump must be announced on stderr"
+    );
+    let doc = load(&m_dedup);
+    assert!(
+        num(&doc, "gauges", "derive.interned_tokens") > 0.0,
+        "derivation gauges must be published"
+    );
+    assert!(num(&doc, "gauges", "block.candidate_pairs") > 0.0);
+    assert!(
+        hist_field(&doc, "stream.bootstrap.ns", "count") >= 1.0
+            && hist_field(&doc, "stream.bootstrap.ns", "sum") > 0.0,
+        "the save-model path times its bootstrap fit"
+    );
+    assert!(
+        hist_field(&doc, "snapshot.save.ns", "count") >= 1.0,
+        "snapshot serialization is timed"
+    );
+
+    // Streaming path: `ingest --threads 1 --metrics` must show nonzero
+    // per-record stage timings and candidate/record counters.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "ingest",
+            stream.to_str().unwrap(),
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--metrics",
+            m_ingest.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer ingest --metrics");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = load(&m_ingest);
+    for h in [
+        "stream.derive.ns",
+        "stream.block.ns",
+        "stream.score.ns",
+        "stream.ingest.ns",
+    ] {
+        assert!(
+            hist_field(&doc, h, "count") > 0.0,
+            "{h} must record per-record stage timings"
+        );
+    }
+    assert!(
+        hist_field(&doc, "stream.ingest.ns", "sum") > 0.0,
+        "stage timings must be nonzero"
+    );
+    let p50 = hist_field(&doc, "stream.ingest.ns", "p50");
+    let min = hist_field(&doc, "stream.ingest.ns", "min");
+    let max = hist_field(&doc, "stream.ingest.ns", "max");
+    assert!(
+        min <= p50 && p50 <= max,
+        "percentiles must lie within [min, max]: {min} <= {p50} <= {max}"
+    );
+    assert!(
+        num(&doc, "counters", "stream.candidates") > 0.0,
+        "candidate counter must be populated"
+    );
+    assert!(num(&doc, "counters", "stream.records") > 0.0);
+    assert!(
+        num(&doc, "gauges", "index.token.live_buckets") > 0.0,
+        "streaming index gauges must be published even without --stats"
+    );
+
+    for p in [&snap, &m_dedup, &m_ingest] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn side_flag_and_snapshot_kinds_are_cross_checked() {
     let base = write_tmp(
         "xk-b",
