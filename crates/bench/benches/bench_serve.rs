@@ -1,0 +1,229 @@
+//! Mixed read/write load against a live `zeroer serve` instance over
+//! real localhost TCP.
+//!
+//! Sections:
+//! 1. resolve-only: N concurrent protocol clients hammering `resolve`
+//!    against a bootstrap-seeded server — sustained QPS plus server-side
+//!    p50/p99 per-request latency from the `serve.resolve.ns` registry
+//!    histogram;
+//! 2. mixed read/write: the same resolver fleet while a writer client
+//!    streams ingest batches through the write path — resolve QPS and
+//!    tail latency under write load, ingest throughput, and the
+//!    read-view publication cost (`stream.publish.ns`).
+//!
+//! Besides the human-readable report, the run writes `BENCH_serve.json`
+//! (schema `zeroer-bench-serve-v1`, path overridable via
+//! `ZEROER_BENCH_OUT`) for dashboards and the CI schema check —
+//! modeled on `BENCH_stream.json`.
+//!
+//! Knobs: `ZEROER_SCALE` (default 0.25), `ZEROER_SEED` (default 42),
+//! `ZEROER_CLIENTS` (default min(4, cores)), `ZEROER_OPS` (default
+//! 1000 resolves per client per section), `ZEROER_BENCH_OUT`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_obs::json::Obj;
+use zeroer_serve::{Client, Server};
+use zeroer_stream::{StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Bootstrap table (first 70 %) and streamed tail (last 30 %).
+fn split(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = (table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+/// Runs `clients` resolver threads, each opening its own connection and
+/// resolving `ops` probes; returns (wall seconds, total resolves,
+/// resolves that matched an entity).
+fn resolver_fleet(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    ops: usize,
+    probes: &[Record],
+) -> (f64, usize, usize) {
+    let t = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let probes = probes.to_vec();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect resolver client");
+            let mut matched = 0usize;
+            for i in 0..ops {
+                let probe = &probes[(c * 31 + i) % probes.len()];
+                let out = client.resolve(&probe.values).expect("resolve");
+                matched += usize::from(out.cluster.is_some());
+            }
+            matched
+        }));
+    }
+    let mut matched = 0usize;
+    for t in threads {
+        matched += t.join().expect("resolver thread");
+    }
+    (t.elapsed().as_secs_f64(), clients * ops, matched)
+}
+
+fn section_json(secs: f64, ops: usize, matched: usize) -> Obj {
+    let resolve_hist = zeroer_obs::histogram("serve.resolve.ns").snapshot();
+    let mut o = Obj::new();
+    o.u64("resolves", ops as u64)
+        .u64("matched", matched as u64)
+        .f64("secs", secs)
+        .f64("qps", ops as f64 / secs.max(f64::MIN_POSITIVE))
+        .f64("p50_ns", resolve_hist.percentile(50.0))
+        .f64("p99_ns", resolve_hist.percentile(99.0));
+    o
+}
+
+fn print_section(label: &str, secs: f64, ops: usize, matched: usize) {
+    let resolve_hist = zeroer_obs::histogram("serve.resolve.ns").snapshot();
+    println!(
+        "{label}: {ops} resolves in {secs:.3} s → {:.0} QPS ({matched} matched); \
+         server-side resolve p50 {:.1} µs / p99 {:.1} µs",
+        ops as f64 / secs.max(f64::MIN_POSITIVE),
+        resolve_hist.percentile(50.0) / 1e3,
+        resolve_hist.percentile(99.0) / 1e3
+    );
+}
+
+fn main() {
+    let scale = env_f64("ZEROER_SCALE", 0.25);
+    let seed = env_f64("ZEROER_SEED", 42.0) as u64;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let clients = env_f64("ZEROER_CLIENTS", cores.min(4) as f64) as usize;
+    let ops = env_f64("ZEROER_OPS", 1000.0) as usize;
+
+    println!("== bench_serve ==");
+    let mut header = Obj::new();
+    header
+        .str("bench", "zeroer-bench-serve-v1")
+        .u64("cores", cores as u64)
+        .f64("scale", scale)
+        .u64("seed", seed)
+        .u64("clients", clients as u64)
+        .u64("ops_per_client", ops as u64);
+    match zeroer_obs::rss_bytes() {
+        Some(rss) => header.u64("rss_bytes", rss),
+        None => header.raw("rss_bytes", "null"),
+    };
+    let header_json = header.finish();
+    println!("header: {header_json}");
+
+    let (boot, tail) = split(scale, seed);
+    let t0 = Instant::now();
+    let (fitted, _) =
+        StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = fitted.snapshot();
+    drop(fitted);
+    let mut pipeline = StreamPipeline::from_snapshot(&snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    pipeline
+        .seed_base(&boot)
+        .expect("bootstrap decisions replay");
+    println!(
+        "dataset Rest-FZ at scale {scale}: {} bootstrap records, {} tail records \
+         (bootstrap + restore: {:.3} s)\n",
+        boot.len(),
+        tail.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let server = Server::bind(pipeline, "127.0.0.1:0", cores.min(4)).expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut bench_sections = Obj::new();
+
+    // ---- Section 1: resolve-only ----------------------------------
+    println!("== resolve-only ({clients} clients × {ops} resolves) ==");
+    zeroer_obs::reset();
+    let (secs, total, matched) = resolver_fleet(addr, clients, ops, &tail);
+    print_section("resolve-only", secs, total, matched);
+    bench_sections.raw("resolve_only", &section_json(secs, total, matched).finish());
+
+    // ---- Section 2: mixed read/write ------------------------------
+    // A writer client streams the tail in batches (re-ingesting it in
+    // rounds until the resolvers finish), so every resolve races real
+    // admissions, applies and view publications.
+    println!("\n== mixed read/write ({clients} resolver clients + 1 ingest writer) ==");
+    zeroer_obs::reset();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let tail = tail.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect writer client");
+            let mut ingested = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for chunk in tail.chunks(64) {
+                    client.ingest(chunk).expect("ingest");
+                    ingested += chunk.len();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            }
+            ingested
+        })
+    };
+    let (mixed_secs, mixed_total, mixed_matched) = resolver_fleet(addr, clients, ops, &tail);
+    stop.store(true, Ordering::Relaxed);
+    let ingested = writer.join().expect("writer thread");
+    print_section("mixed", mixed_secs, mixed_total, mixed_matched);
+    let publish_hist = zeroer_obs::histogram("stream.publish.ns").snapshot();
+    let admit_hist = zeroer_obs::histogram("stream.admit.batch_records").snapshot();
+    println!(
+        "writer: {ingested} records ingested → {:.0} records/s; view publication p50 {:.1} µs \
+         / p99 {:.1} µs; admitted micro-batch p50 {:.0} records",
+        ingested as f64 / mixed_secs.max(f64::MIN_POSITIVE),
+        publish_hist.percentile(50.0) / 1e3,
+        publish_hist.percentile(99.0) / 1e3,
+        admit_hist.percentile(50.0)
+    );
+    let mut o = section_json(mixed_secs, mixed_total, mixed_matched);
+    o.u64("ingested", ingested as u64)
+        .f64(
+            "ingest_records_per_s",
+            ingested as f64 / mixed_secs.max(f64::MIN_POSITIVE),
+        )
+        .f64("publish_p50_ns", publish_hist.percentile(50.0))
+        .f64("publish_p99_ns", publish_hist.percentile(99.0));
+    bench_sections.raw("mixed", &o.finish());
+
+    // ---- Shutdown + BENCH_serve.json ------------------------------
+    let mut admin = Client::connect(addr).expect("connect admin client");
+    admin.admin("shutdown").expect("shutdown");
+    let drained = server_thread.join().expect("server thread");
+    println!(
+        "\nserver drained: {} records, {} clusters",
+        drained.len(),
+        drained.clusters().len()
+    );
+
+    let mut doc = Obj::new();
+    doc.str("schema", "zeroer-bench-serve-v1")
+        .raw("header", &header_json)
+        .raw("sections", &bench_sections.finish());
+    let out_path = std::env::var("ZEROER_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    match std::fs::write(&out_path, doc.finish() + "\n") {
+        Ok(()) => println!("machine-readable results written to {out_path}"),
+        Err(e) => println!("WARNING: cannot write {out_path}: {e}"),
+    }
+}

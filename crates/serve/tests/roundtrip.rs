@@ -1,0 +1,162 @@
+//! In-process server round-trips over real TCP sockets.
+//!
+//! The acceptance criterion under test: a resolve over the wire makes
+//! the **same match decisions to `f64::to_bits`** as the in-process
+//! read path — the posterior survives JSON serialization because the
+//! writer emits shortest round-trip formatting. Plus: ingest-over-wire
+//! parity with the in-process write path, admin verbs (including the
+//! `--stats` byte-identity), protocol error handling, and a clean
+//! drain on shutdown.
+
+use std::net::TcpStream;
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_serve::{Client, Server};
+use zeroer_stream::{PipelineSnapshot, StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table, Value};
+
+/// Bootstrap/stream split of a generated dedup table.
+fn split_dataset(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = (table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+fn cold_pipeline(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
+    let mut p = StreamPipeline::from_snapshot(snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    p.seed_base(boot).expect("bootstrap decisions replay");
+    p
+}
+
+/// Everything over one server lifetime: resolve parity, ingest parity,
+/// admin verbs, error handling, clean shutdown. One test because the
+/// server is a process-wide resource (the obs registry is global).
+#[test]
+fn wire_round_trip_is_bit_identical_with_in_process_paths() {
+    let (boot, tail) = split_dataset(0.2, 42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+
+    // The in-process reference: resolve each probe against the
+    // bootstrap-only state, then ingest the tail and keep the outcomes.
+    let mut reference = cold_pipeline(&snap, &boot);
+    let mut handle = reference.pin_read_handle();
+    let probes: Vec<Record> = tail.iter().take(10).cloned().collect();
+    let local_resolutions: Vec<_> = probes.iter().map(|r| handle.resolve(r)).collect();
+    let local_outcomes = reference.ingest_batch_parallel(tail.clone(), 2);
+
+    let server = Server::bind(cold_pipeline(&snap, &boot), "127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Admin ping: the protocol is alive.
+    let pong = client.admin("ping").expect("ping");
+    assert_eq!(pong.get("pong").and_then(|v| v.as_bool()), Some(true));
+
+    // Resolve parity against the bootstrap-only state.
+    let mut matched_any = false;
+    for (probe, local) in probes.iter().zip(&local_resolutions) {
+        let wire = client.resolve(&probe.values).expect("resolve");
+        assert_eq!(wire.epoch, local.epoch);
+        assert_eq!(wire.candidates, local.candidates);
+        assert_eq!(wire.cluster, local.cluster);
+        assert_eq!(wire.matches.len(), local.matches.len());
+        for ((wi, wp), (li, lp)) in wire.matches.iter().zip(&local.matches) {
+            assert_eq!(wi, li);
+            assert_eq!(
+                wp.to_bits(),
+                lp.to_bits(),
+                "posterior changed across the wire: {wp} vs {lp}"
+            );
+        }
+        matched_any |= wire.cluster.is_some();
+    }
+    assert!(matched_any, "no probe matched — parity test is vacuous");
+
+    // Ingest parity: same records, same order, over the wire.
+    let wire_outcomes = client.ingest(&tail).expect("ingest");
+    assert_eq!(wire_outcomes.len(), local_outcomes.len());
+    for (w, l) in wire_outcomes.iter().zip(&local_outcomes) {
+        assert_eq!(w.index, l.index);
+        assert_eq!(w.candidates, l.candidates);
+        assert_eq!(w.cluster, l.cluster);
+        assert_eq!(w.new_entity, l.is_new_entity());
+        assert_eq!(w.matches.len(), l.matches.len());
+        for ((wi, wp), (li, lp)) in w.matches.iter().zip(&l.matches) {
+            assert_eq!(wi, li);
+            assert_eq!(wp.to_bits(), lp.to_bits());
+        }
+    }
+
+    // A post-ingest resolve sees the refreshed view (same len as the
+    // reference pipeline after its ingest).
+    let refreshed = client.resolve(&probes[0].values).expect("resolve");
+    let mut latest = reference.pin_read_handle();
+    let local_refreshed = latest.resolve(&probes[0]);
+    assert_eq!(refreshed.candidates, local_refreshed.candidates);
+    assert_eq!(refreshed.cluster, local_refreshed.cluster);
+
+    // Admin stats: byte-identical with the CLI's `--stats` renderer
+    // run against the same registry (satellite: no divergent printer).
+    let stats = client.admin("stats").expect("stats");
+    let wire_text = stats
+        .get("stats")
+        .and_then(|v| v.as_str())
+        .expect("stats carries text")
+        .to_string();
+    reference.stats().publish();
+    assert_eq!(
+        wire_text,
+        zeroer_stream::render_stats(),
+        "serve stats text diverged from the CLI renderer"
+    );
+
+    // Admin compact + snapshot.
+    let compacted = client.admin("compact").expect("compact");
+    assert!(compacted.get("bytes_reclaimed").is_some());
+    let snapshot = client.admin("snapshot").expect("snapshot");
+    let embedded = snapshot.get("snapshot").expect("embedded snapshot");
+    let restored = PipelineSnapshot::from_json(&embedded.render()).expect("snapshot parses");
+    assert_eq!(restored.attr_types.len(), snap.attr_types.len());
+
+    // Protocol errors: malformed JSON, unknown op, arity mismatch.
+    let err = client.call_raw("not json").expect("error response");
+    assert!(err.contains("\"ok\":false"), "{err}");
+    let err = client
+        .call_raw("{\"op\":\"dance\"}")
+        .expect("error response");
+    assert!(err.contains("unknown op"), "{err}");
+    assert!(client.resolve(&[Value::parse("lonely")]).is_err());
+    assert!(client
+        .ingest(&[Record::new(0, vec![Value::parse("lonely")])])
+        .is_err());
+
+    // Shutdown: acknowledged, then the server drains and hands back the
+    // pipeline with every wire ingest applied.
+    let ack = client.admin("shutdown").expect("shutdown");
+    assert_eq!(ack.get("stopping").and_then(|v| v.as_bool()), Some(true));
+    let drained = server_thread.join().expect("server thread");
+    assert_eq!(drained.len(), reference.len());
+    assert_eq!(
+        drained.clusters(),
+        reference.clusters(),
+        "wire ingest produced different clusters than the in-process path"
+    );
+    assert!(
+        TcpStream::connect(addr).map(|_| ()).is_err() || {
+            // The listener may accept one last queued connection while
+            // closing; what matters is that it stops serving.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            TcpStream::connect(addr).is_err()
+        },
+        "listener still accepting after shutdown"
+    );
+}

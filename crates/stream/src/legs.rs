@@ -1,0 +1,153 @@
+//! The shared three-featurizer linkage recipe.
+//!
+//! Batch record linkage (`zeroer::pipeline::match_tables`) and the
+//! streaming linkage bootstrap ([`crate::LinkPipeline::bootstrap`]) fit
+//! the same three generative models — the cross-table model `F` plus the
+//! within-table models `Fl`/`Fr` (§5 of the paper) — and therefore run
+//! the same preparation: three featurizers (cross, within-left,
+//! within-right, each inferring attribute types over its own task),
+//! three candidate sets under the standard blocking recipe, and three
+//! normalized feature tasks. Until this module existed the two call
+//! sites each carried their own copy of that recipe, pinned together
+//! only by a bit-parity test; [`build_linkage_legs`] is the single
+//! implementation both now call.
+//!
+//! The helper lives in `zeroer-stream` because the root crate already
+//! depends on this crate (batch `match_tables` sits above the streaming
+//! substrate), so sharing from here keeps the root→stream layering
+//! intact instead of inverting it.
+//!
+//! Stage latencies are recorded under the batch metric names
+//! (`batch.derive.ns`, `batch.block.ns`, `batch.featurize.ns`) exactly
+//! as the batch path always did; the streaming bootstrap path now
+//! contributes samples to the same histograms, which is intended — the
+//! work is literally the same.
+
+use zeroer_blocking::{standard_candidates_derived, CandidateSet, PairMode};
+use zeroer_core::LinkageTask;
+use zeroer_features::{DeriveConfig, PairFeaturizer};
+use zeroer_tabular::Table;
+
+/// One leg's normalized feature task plus the replay state
+/// (normalization ranges, imputation means, feature names) a
+/// `ModelSnapshot` capture needs after the fit.
+pub struct LegReplay {
+    /// The leg's candidate pairs, normalized feature matrix and layout.
+    pub task: LinkageTask,
+    /// Per-column min-max normalization ranges.
+    pub ranges: Vec<(f64, f64)>,
+    /// Per-column imputation means for missing values.
+    pub impute_means: Vec<f64>,
+    /// Feature names, aligned with the columns.
+    pub names: Vec<String>,
+}
+
+/// The three fitted-model legs of a linkage task, plus the total
+/// candidate count across them.
+pub struct LegTriple {
+    /// The cross-table leg (`F`).
+    pub cross: LegReplay,
+    /// The within-left leg (`Fl`).
+    pub left: LegReplay,
+    /// The within-right leg (`Fr`).
+    pub right: LegReplay,
+    /// Candidate pairs across all three legs (cross + left + right).
+    pub candidates: usize,
+}
+
+/// What [`build_linkage_legs`] produced.
+///
+/// `legs` is `None` when cross-table blocking yielded no candidate
+/// pairs — there is nothing to fit, and the within-table legs are never
+/// built. The cross featurizer is returned either way so callers can
+/// publish derivation gauges (and, on the non-empty path, hand its
+/// interner and derivations to an entity store).
+pub struct LinkageLegs {
+    /// The cross-table featurizer, holding the joint (left, right)
+    /// derivation and interner.
+    pub cross_fz: PairFeaturizer,
+    /// The three legs, or `None` when cross blocking came up empty.
+    pub legs: Option<LegTriple>,
+}
+
+/// Featurizes and normalizes one leg's candidate pairs, keeping the
+/// replay state alongside the task.
+fn build_leg(fz: &PairFeaturizer, cs: &CandidateSet) -> LegReplay {
+    zeroer_obs::time("batch.featurize.ns", || {
+        let mut fs = fz.featurize(cs.pairs());
+        fs.normalize();
+        LegReplay {
+            ranges: fs.ranges.clone().expect("normalize() was called"),
+            impute_means: fs.impute_means.clone(),
+            names: fs.names.clone(),
+            task: LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout),
+        }
+    })
+}
+
+/// Runs the shared linkage preparation: the cross featurizer + cross
+/// candidate set first (returning early with `legs: None` when cross
+/// blocking is empty), then the two within-table featurizers and
+/// candidate sets, then the three normalized feature tasks.
+///
+/// The three featurizers run three separate derivations on purpose: the
+/// cross task infers attribute types jointly over (left, right) while
+/// each self task infers over its own table alone — the type
+/// assignments (and hence feature layouts) legitimately differ, so the
+/// derivations cannot be shared across tasks. Within each task,
+/// blocking and featurization share one derivation.
+pub fn build_linkage_legs(
+    left: &Table,
+    right: &Table,
+    cfg: &DeriveConfig,
+    min_token_overlap: usize,
+    max_bucket: usize,
+) -> LinkageLegs {
+    let cross_fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(left, right, cfg.clone())
+    });
+    let cross_cs = zeroer_obs::time("batch.block.ns", || {
+        standard_candidates_derived(
+            cross_fz.left_derived(),
+            Some(cross_fz.right_derived()),
+            PairMode::Cross,
+            min_token_overlap,
+            max_bucket,
+        )
+    });
+    if cross_cs.is_empty() {
+        return LinkageLegs {
+            cross_fz,
+            legs: None,
+        };
+    }
+    let left_fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(left, left, cfg.clone())
+    });
+    let right_fz = zeroer_obs::time("batch.derive.ns", || {
+        PairFeaturizer::with_config(right, right, cfg.clone())
+    });
+    let (left_cs, right_cs) = zeroer_obs::time("batch.block.ns", || {
+        let dedup = |fz: &PairFeaturizer| {
+            standard_candidates_derived(
+                fz.left_derived(),
+                None,
+                PairMode::Dedup,
+                min_token_overlap,
+                max_bucket,
+            )
+        };
+        (dedup(&left_fz), dedup(&right_fz))
+    });
+    let candidates = cross_cs.len() + left_cs.len() + right_cs.len();
+    let legs = LegTriple {
+        cross: build_leg(&cross_fz, &cross_cs),
+        left: build_leg(&left_fz, &left_cs),
+        right: build_leg(&right_fz, &right_cs),
+        candidates,
+    };
+    LinkageLegs {
+        cross_fz,
+        legs: Some(legs),
+    }
+}

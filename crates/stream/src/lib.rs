@@ -59,19 +59,23 @@
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod legs;
 pub mod link;
 mod meters;
 pub mod pipeline;
 pub mod shard;
 pub mod snapshot;
+pub mod split;
 pub mod store;
 
 pub use index::{CompactionDelta, IncrementalIndex, IndexConfig, IndexStats, LegStats};
-pub use link::{LinkBootstrapReport, LinkPipeline, Side};
+pub use legs::{build_linkage_legs, LegReplay, LegTriple, LinkageLegs};
+pub use link::{LinkBootstrapReport, LinkPipeline, LinkReadHandle, Side};
 pub use pipeline::{
-    BootstrapReport, CompactionReport, IngestOutcome, RetractionReport, StreamError, StreamOptions,
-    StreamPipeline, StreamStats,
+    render_stats, BootstrapReport, CompactionReport, IngestOutcome, RetractionReport, StreamError,
+    StreamOptions, StreamPipeline, StreamStats,
 };
 pub use shard::{RecordKeys, ShardedIndex, DEFAULT_SHARDS};
 pub use snapshot::{LinkSnapshot, PipelineSnapshot};
+pub use split::{ReadHandle, ResolveOutcome, SplitPipeline, WriteHandle};
 pub use store::{EntityStore, RetractOutcome, StoreCompaction};

@@ -42,6 +42,7 @@
 //! own side's index.
 
 use crate::index::IndexStats;
+use crate::legs::{build_linkage_legs, LegReplay};
 use crate::meters::StageMeters;
 use crate::pipeline::{
     records_digest, score_candidates, CompactionReport, IngestOutcome, RetractionReport,
@@ -51,11 +52,8 @@ use crate::shard::{RecordKeys, ShardedIndex};
 use crate::snapshot::LinkSnapshot;
 use crate::store::EntityStore;
 use std::sync::Mutex;
-use zeroer_blocking::{standard_candidates_derived, CandidateSet, PairMode};
-use zeroer_core::{
-    LinkageModel, LinkageSnapshot, LinkageTask, ModelSnapshot, SnapshotScorer, ZeroErConfig,
-};
-use zeroer_features::{PairFeaturizer, RowFeaturizer};
+use zeroer_core::{LinkageModel, LinkageSnapshot, ModelSnapshot, SnapshotScorer, ZeroErConfig};
+use zeroer_features::RowFeaturizer;
 use zeroer_obs::Stopwatch;
 use zeroer_tabular::{Record, Table};
 use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
@@ -109,26 +107,6 @@ pub struct LinkBootstrapReport {
     pub right_matches: usize,
     /// EM iterations the joint fit ran.
     pub em_iterations: usize,
-}
-
-/// One leg's feature replay state, kept alongside its task until the
-/// models are frozen.
-struct LegReplay {
-    task: LinkageTask,
-    ranges: Vec<(f64, f64)>,
-    impute_means: Vec<f64>,
-    names: Vec<String>,
-}
-
-fn build_leg(fz: &PairFeaturizer, cs: &CandidateSet) -> LegReplay {
-    let mut fs = fz.featurize(cs.pairs());
-    fs.normalize();
-    LegReplay {
-        ranges: fs.ranges.clone().expect("normalize() was called"),
-        impute_means: fs.impute_means.clone(),
-        names: fs.names.clone(),
-        task: LinkageTask::new(fs.matrix, cs.pairs().to_vec(), fs.layout),
-    }
 }
 
 /// A slice of per-record match slots handed to a scoring worker, tagged
@@ -200,44 +178,24 @@ impl LinkPipeline {
         let meters = StageMeters::from_flag(opts.metrics, "link");
         let sw = Stopwatch::new(meters.is_some());
         let index_cfg = opts.index_config();
-        let cross_fz = PairFeaturizer::with_config(left, right, index_cfg.derive_config());
-        let cross_cs = standard_candidates_derived(
-            cross_fz.left_derived(),
-            Some(cross_fz.right_derived()),
-            PairMode::Cross,
+        // The shared three-featurizer recipe — the very same code path
+        // `match_tables` prepares its legs with (see [`crate::legs`]).
+        let prep = build_linkage_legs(
+            left,
+            right,
+            &index_cfg.derive_config(),
             opts.min_token_overlap,
             opts.max_bucket,
         );
-        if cross_cs.is_empty() {
+        let cross_fz = prep.cross_fz;
+        let Some(legs) = prep.legs else {
             return Err(StreamError(
                 "cross-table blocking produced no candidate pairs; nothing to fit a model on"
                     .into(),
             ));
-        }
-        // The within-table legs infer their attribute types over their
-        // own table alone, exactly like the batch `match_tables` path —
-        // the type assignments (and hence feature layouts) legitimately
-        // differ from the cross leg's, so the derivations are separate.
-        let left_fz = PairFeaturizer::with_config(left, left, index_cfg.derive_config());
-        let right_fz = PairFeaturizer::with_config(right, right, index_cfg.derive_config());
-        let left_cs = standard_candidates_derived(
-            left_fz.left_derived(),
-            None,
-            PairMode::Dedup,
-            opts.min_token_overlap,
-            opts.max_bucket,
-        );
-        let right_cs = standard_candidates_derived(
-            right_fz.left_derived(),
-            None,
-            PairMode::Dedup,
-            opts.min_token_overlap,
-            opts.max_bucket,
-        );
-
-        let cross_leg = build_leg(&cross_fz, &cross_cs);
-        let left_leg = build_leg(&left_fz, &left_cs);
-        let right_leg = build_leg(&right_fz, &right_cs);
+        };
+        let candidates_seen = legs.candidates;
+        let (cross_leg, left_leg, right_leg) = (legs.cross, legs.left, legs.right);
 
         let trainer = LinkageModel::new(opts.config.clone());
         let (out, fitted) = trainer.fit_models(&cross_leg.task, &left_leg.task, &right_leg.task);
@@ -309,7 +267,7 @@ impl LinkPipeline {
         // reports cross labels only; the within-leg posteriors stay
         // available in the report for diagnostics.
         let mut base_matches: Vec<(usize, usize)> = Vec::new();
-        for (&(l, r), &g) in cross_cs.pairs().iter().zip(&out.cross_gammas) {
+        for (&(l, r), &g) in cross_leg.task.pairs.iter().zip(&out.cross_gammas) {
             if g > opts.threshold {
                 base_matches.push((l, nl + r));
             }
@@ -321,14 +279,13 @@ impl LinkPipeline {
         let (left_matches, right_matches) = (hot(&out.left_gammas), hot(&out.right_gammas));
 
         let report = LinkBootstrapReport {
-            pairs: cross_cs.pairs().to_vec(),
+            pairs: cross_leg.task.pairs.clone(),
             probabilities: out.cross_gammas,
             labels: out.cross_labels,
             left_matches,
             right_matches,
             em_iterations: out.summary.iterations,
         };
-        let candidates_seen = cross_cs.len() + left_cs.len() + right_cs.len();
         if let Some(m) = meters {
             sw.total(m.bootstrap);
             m.records.add(store.len() as u64);
@@ -1015,6 +972,137 @@ impl LinkPipeline {
             Some(self.compact())
         } else {
             None
+        }
+    }
+
+    /// Pins the pipeline's current read state as an epoch-pinned
+    /// [`LinkReadHandle`] — the linkage counterpart of
+    /// [`crate::StreamPipeline::pin_read_handle`]. The handle answers
+    /// side-tagged resolve queries read-only through the same
+    /// opposite-index probe + frozen cross-model scoring the
+    /// [`LinkPipeline::ingest`] path uses.
+    pub fn pin_read_handle(&self) -> LinkReadHandle {
+        LinkReadHandle::pin(self)
+    }
+}
+
+/// The pinned state a [`LinkReadHandle`] resolves against: the combined
+/// store, both side indexes, and the frozen cross scorer.
+struct LinkReadView {
+    epoch: u64,
+    store: EntityStore,
+    left_index: ShardedIndex,
+    right_index: ShardedIndex,
+    featurizer: RowFeaturizer,
+    scorer: SnapshotScorer,
+    threshold: f64,
+}
+
+/// A shareable, epoch-pinned resolver over a [`LinkPipeline`]'s read
+/// state — the linkage counterpart of [`crate::split::ReadHandle`].
+///
+/// A resolve probes the **opposite** side's index (exactly like linkage
+/// ingest) and scores cross candidates with the frozen cross model in
+/// the `(left, right)` orientation it was fitted under, but admits
+/// nothing: the pinned view is immutable, so any number of clones can
+/// resolve concurrently. Linkage serving rides the same read-path seam
+/// as dedup; an admission queue for side-tagged writes slots in next to
+/// [`crate::split::SplitPipeline`] when the serve layer grows linkage
+/// endpoints.
+pub struct LinkReadHandle {
+    view: std::sync::Arc<LinkReadView>,
+    deriver: zeroer_textsim::derive::Deriver,
+    scratch: Vec<f64>,
+}
+
+impl Clone for LinkReadHandle {
+    fn clone(&self) -> Self {
+        Self {
+            view: std::sync::Arc::clone(&self.view),
+            deriver: self.deriver.clone(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl LinkReadHandle {
+    fn pin(pipeline: &LinkPipeline) -> Self {
+        let view = LinkReadView {
+            epoch: pipeline.store.epoch(),
+            store: pipeline.store.clone(),
+            left_index: pipeline.left_index.clone(),
+            right_index: pipeline.right_index.clone(),
+            featurizer: pipeline.featurizer.clone(),
+            scorer: pipeline.scorer.clone(),
+            threshold: pipeline.opts.threshold,
+        };
+        let deriver = zeroer_textsim::derive::Deriver::with_interner(
+            view.store.interner().clone(),
+            view.store.derive_config(),
+        );
+        Self {
+            view: std::sync::Arc::new(view),
+            deriver,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Epoch of the pinned view.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    /// Records visible in the pinned view (both sides, combined
+    /// numbering).
+    pub fn len(&self) -> usize {
+        self.view.store.len()
+    }
+
+    /// Whether the pinned view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.view.store.is_empty()
+    }
+
+    /// Resolves one side-tagged record against the pinned view: derive
+    /// → read-only probe of the opposite side's index → frozen
+    /// cross-model scoring — the exact candidate rule and scoring code
+    /// of [`LinkPipeline::ingest`], minus the insertion.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn resolve(&mut self, record: &Record, side: Side) -> crate::split::ResolveOutcome {
+        let view = &*self.view;
+        assert_eq!(
+            record.values.len(),
+            view.store.table().schema().arity(),
+            "record arity {} does not match schema arity {}",
+            record.values.len(),
+            view.store.table().schema().arity()
+        );
+        let derived = self.deriver.derive(&record.values);
+        let keys = RecordKeys::from_derived(&derived, self.deriver.interner());
+        let index = match side.opposite() {
+            Side::Left => &view.left_index,
+            Side::Right => &view.right_index,
+        };
+        let candidates = index.probe_live(&keys, view.store.tombstones());
+        let store = &view.store;
+        let matches = score_candidates(
+            &view.featurizer,
+            &view.scorer,
+            self.deriver.interner(),
+            view.threshold,
+            side == Side::Left,
+            &candidates,
+            &|c| store.derived(c),
+            &derived,
+            &mut self.scratch,
+        );
+        crate::split::ResolveOutcome {
+            epoch: view.epoch,
+            candidates: candidates.len(),
+            cluster: matches.first().map(|&(c, _)| store.find_readonly(c)),
+            matches,
         }
     }
 }

@@ -194,6 +194,60 @@ impl StreamStats {
     }
 }
 
+/// Renders the `--stats` observability block from the process-global
+/// `zeroer-obs` registry (the single source the `--metrics` JSON dump
+/// also reads). One implementation serves every consumer — the CLI
+/// prints the returned string to stderr, and the serve admin `stats`
+/// verb ships the same bytes over the wire — so the two can never
+/// drift.
+///
+/// The streaming paths publish their gauges first ([`StreamStats::publish`]);
+/// the batch `dedup` path publishes only the derivation/blocking
+/// gauges, so the blocking-leg and store lines render only when a
+/// streaming index has reported in. Lines are newline-terminated.
+pub fn render_stats() -> String {
+    use std::fmt::Write as _;
+    let snap = zeroer_obs::snapshot();
+    let g = |name: &str| snap.gauge(name).unwrap_or(0);
+    let mut text = String::new();
+    writeln!(
+        text,
+        "zeroer: derivation: {} distinct tokens interned ({} bytes); \
+         candidate pairs generated: {}",
+        g("derive.interned_tokens"),
+        g("derive.interned_bytes"),
+        g("block.candidate_pairs")
+    )
+    .expect("writing to a String cannot fail");
+    if snap.gauge("index.token.live_buckets").is_none() {
+        return text;
+    }
+    writeln!(
+        text,
+        "zeroer: blocking legs: token {} live / {} retired buckets ({} postings, {} dead); \
+         qgram {} live / {} retired buckets ({} postings, {} dead)",
+        g("index.token.live_buckets"),
+        g("index.token.retired_buckets"),
+        g("index.token.postings"),
+        g("index.token.dead_postings"),
+        g("index.qgram.live_buckets"),
+        g("index.qgram.retired_buckets"),
+        g("index.qgram.postings"),
+        g("index.qgram.dead_postings")
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(
+        text,
+        "zeroer: store: {} live / {} retracted records; decision log {} edges; epoch {}",
+        g("store.live_records"),
+        g("store.retracted_records"),
+        g("store.decision_log_edges"),
+        g("store.epoch")
+    )
+    .expect("writing to a String cannot fail");
+    text
+}
+
 /// What one retraction did (see [`StreamPipeline::retract`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RetractionReport {
@@ -660,6 +714,23 @@ impl StreamPipeline {
     /// The pipeline epoch: advances on every retraction and compaction.
     pub fn epoch(&self) -> u64 {
         self.store.epoch()
+    }
+
+    /// Clones the pipeline's read state into an immutable, epoch-tagged
+    /// [`crate::split::ReadView`] (version 0 — the publisher stamps the
+    /// real sequence number). This is everything a resolve query needs:
+    /// the store (records + derivations + interner + cluster index), the
+    /// blocking index, and the frozen featurizer/scorer pair.
+    pub fn read_view(&self) -> crate::split::ReadView {
+        crate::split::ReadView {
+            epoch: self.store.epoch(),
+            version: 0,
+            store: self.store.clone(),
+            index: self.index.clone(),
+            featurizer: self.featurizer.clone(),
+            scorer: self.scorer.clone(),
+            threshold: self.opts.threshold,
+        }
     }
 
     /// Ingests one record: one derivation pass → incremental blocking →

@@ -1,0 +1,560 @@
+//! The explicit read/write split over [`StreamPipeline`].
+//!
+//! A long-running resolution service interleaves two very different
+//! workloads over the same state: **resolve** queries ("which entity
+//! would this record join?") that must answer concurrently and never
+//! block, and **writes** (ingest/retract/compact) that must preserve the
+//! single-writer decision order proven bit-identical in the batch-ingest
+//! suites. This module splits [`StreamPipeline`] into those two halves:
+//!
+//! * **Read path** — [`ReadHandle`]: pins an immutable, epoch-tagged
+//!   [`ReadView`] of the pipeline (store + index + frozen scorer) and
+//!   answers [`ReadHandle::resolve`] through the same lock-free
+//!   [`ShardedIndex::probe_live`] + `score_candidates` code the ingest
+//!   path uses — identical candidates, identical posteriors (to
+//!   `f64::to_bits`), but **no** locks shared with the writer and no
+//!   mutation. Any number of handles resolve concurrently; each is
+//!   pinned until it explicitly [`ReadHandle::refresh`]es, so a resolve
+//!   can never observe a half-applied write.
+//! * **Write path** — [`WriteHandle`] → admission queue → one writer
+//!   thread. Writes are admitted in submission order, consecutive
+//!   ingest requests are coalesced into one micro-batch, and the batch
+//!   is applied through [`StreamPipeline::ingest_batch_parallel`] — the
+//!   existing single-writer protocol — so outcomes are bit-identical to
+//!   submitting the same records one at a time to a lone
+//!   [`StreamPipeline`]. After every applied write the writer publishes
+//!   a fresh [`ReadView`]; readers pick it up at their next refresh.
+//!
+//! The view swap is an atomic `Arc` replacement behind a brief
+//! [`RwLock`] critical section (pointer assignment only — never held
+//! across scoring or ingest work), which makes this the seam the
+//! ROADMAP's snapshot-refresh and shard-placement items slot into:
+//! anything that can produce a [`ReadView`] can be published to
+//! readers without stopping the writer.
+//!
+//! Publishing clones the live read state (store, index, scorer —
+//! O(live records + postings)). That is deliberate for this growth
+//! stage: it keeps the writer's working state completely private (no
+//! reader can alias it), and the clone cost is measured by
+//! `bench_serve` so the cheaper persistent-structure refresh the
+//! ROADMAP plans has a baseline to beat.
+
+use crate::pipeline::{score_candidates, IngestOutcome, StreamError, StreamPipeline};
+use crate::shard::{RecordKeys, ShardedIndex};
+use crate::store::EntityStore;
+use crate::{CompactionReport, RetractionReport};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use zeroer_core::SnapshotScorer;
+use zeroer_features::RowFeaturizer;
+use zeroer_tabular::Record;
+use zeroer_textsim::derive::Deriver;
+
+/// An immutable, epoch-tagged view of a pipeline's read state: the
+/// entity store, the blocking index, and the frozen scorer. Constructed
+/// by [`StreamPipeline::read_view`], shared via `Arc` among
+/// [`ReadHandle`]s, and never mutated after publication.
+pub struct ReadView {
+    /// Pipeline epoch at pin time (advances on retraction/compaction).
+    pub(crate) epoch: u64,
+    /// Publication sequence number (0 for the initial view); lets a
+    /// handle detect staleness without comparing state.
+    pub(crate) version: u64,
+    pub(crate) store: EntityStore,
+    pub(crate) index: ShardedIndex,
+    pub(crate) featurizer: RowFeaturizer,
+    pub(crate) scorer: SnapshotScorer,
+    pub(crate) threshold: f64,
+}
+
+/// What a [`ReadHandle::resolve`] query found — the read-only analogue
+/// of [`IngestOutcome`], answered against one pinned [`ReadView`]
+/// without admitting the record.
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// Epoch of the view the query was answered against.
+    pub epoch: u64,
+    /// Candidates the blocking probe produced (live records only).
+    pub candidates: usize,
+    /// Candidates scoring above the threshold as `(record index,
+    /// posterior)`, sorted by descending posterior — bit-identical to
+    /// what [`StreamPipeline::ingest`] would report for this record.
+    pub matches: Vec<(usize, f64)>,
+    /// Cluster representative the record would join (the best match's
+    /// entity), or `None` if it would mint a new entity.
+    pub cluster: Option<usize>,
+}
+
+impl ResolveOutcome {
+    /// Whether the record would mint a new entity.
+    pub fn is_new_entity(&self) -> bool {
+        self.matches.is_empty()
+    }
+}
+
+/// A shareable, epoch-pinned resolver over a [`ReadView`].
+///
+/// Each handle owns a private deriver seeded from the view's interner
+/// (an *overlay*: tokens already interned at pin time keep their exact
+/// symbols, tokens first seen in a query get handle-local symbols that
+/// cannot collide with any index posting), plus a private scratch
+/// buffer — so concurrent handles share only the immutable view and
+/// never contend.
+///
+/// The handle stays pinned to its view until [`ReadHandle::refresh`] is
+/// called; resolves are deterministic against the pinned epoch even
+/// while the write path is busy publishing newer views.
+pub struct ReadHandle {
+    view: Arc<ReadView>,
+    deriver: Deriver,
+    scratch: Vec<f64>,
+    /// Present when the handle came from a [`SplitPipeline`] (and can
+    /// therefore refresh); `None` for a standalone pin.
+    shared: Option<Arc<Shared>>,
+}
+
+impl Clone for ReadHandle {
+    fn clone(&self) -> Self {
+        Self {
+            view: Arc::clone(&self.view),
+            deriver: self.deriver.clone(),
+            scratch: Vec::new(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl ReadHandle {
+    fn pin(view: Arc<ReadView>, shared: Option<Arc<Shared>>) -> Self {
+        let deriver =
+            Deriver::with_interner(view.store.interner().clone(), view.store.derive_config());
+        Self {
+            view,
+            deriver,
+            scratch: Vec::new(),
+            shared,
+        }
+    }
+
+    /// Epoch of the pinned view.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch
+    }
+
+    /// Publication sequence number of the pinned view.
+    pub fn version(&self) -> u64 {
+        self.view.version
+    }
+
+    /// Records visible in the pinned view (tombstoned slots included,
+    /// exactly like [`StreamPipeline::len`]).
+    pub fn len(&self) -> usize {
+        self.view.store.len()
+    }
+
+    /// Whether the pinned view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.view.store.is_empty()
+    }
+
+    /// Schema arity resolve queries must match.
+    pub fn arity(&self) -> usize {
+        self.view.store.table().schema().arity()
+    }
+
+    /// Resolves one record against the pinned view: derive → lock-free
+    /// candidate probe ([`ShardedIndex::probe_live`]) → frozen-model
+    /// scoring — the exact candidate rule and scoring code of
+    /// [`StreamPipeline::ingest`], minus the insertion. Nothing is
+    /// admitted and no writer state is touched.
+    ///
+    /// # Panics
+    /// Panics if the record arity does not match the schema.
+    pub fn resolve(&mut self, record: &Record) -> ResolveOutcome {
+        let view = &*self.view;
+        assert_eq!(
+            record.values.len(),
+            view.store.table().schema().arity(),
+            "record arity {} does not match schema arity {}",
+            record.values.len(),
+            view.store.table().schema().arity()
+        );
+        let derived = self.deriver.derive(&record.values);
+        let keys = RecordKeys::from_derived(&derived, self.deriver.interner());
+        let candidates = view.index.probe_live(&keys, view.store.tombstones());
+        let store = &view.store;
+        let matches = score_candidates(
+            &view.featurizer,
+            &view.scorer,
+            self.deriver.interner(),
+            view.threshold,
+            false,
+            &candidates,
+            &|c| store.derived(c),
+            &derived,
+            &mut self.scratch,
+        );
+        ResolveOutcome {
+            epoch: view.epoch,
+            candidates: candidates.len(),
+            cluster: matches.first().map(|&(c, _)| store.find_readonly(c)),
+            matches,
+        }
+    }
+
+    /// Re-pins the handle to the latest published view, if any newer
+    /// one exists. Returns whether the view changed. Standalone handles
+    /// (pinned directly off a [`StreamPipeline`]) have nothing to
+    /// refresh from and always return `false`.
+    pub fn refresh(&mut self) -> bool {
+        let Some(shared) = &self.shared else {
+            return false;
+        };
+        let latest = Arc::clone(&read_lock(&shared.view));
+        if latest.version == self.view.version {
+            return false;
+        }
+        self.deriver = Deriver::with_interner(
+            latest.store.interner().clone(),
+            latest.store.derive_config(),
+        );
+        self.view = latest;
+        true
+    }
+}
+
+/// One queued write operation.
+enum WriteOp {
+    Ingest(Vec<Record>),
+    Retract(Vec<usize>),
+    Compact,
+    Snapshot,
+    Stats,
+}
+
+/// The writer's reply to one operation.
+enum WriteReply {
+    Ingested(Vec<IngestOutcome>),
+    Retracted(Vec<RetractionReport>),
+    Compacted(CompactionReport),
+    Snapshot(String),
+    Stats(String),
+    Failed(StreamError),
+}
+
+struct Pending {
+    op: WriteOp,
+    reply: mpsc::Sender<WriteReply>,
+}
+
+struct AdmissionQueue {
+    ops: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// State shared between handles and the writer thread.
+struct Shared {
+    queue: Mutex<AdmissionQueue>,
+    admitted: Condvar,
+    view: RwLock<Arc<ReadView>>,
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked
+/// (queue and view state stay structurally valid across panics — each
+/// critical section only moves whole elements).
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_lock(l: &RwLock<Arc<ReadView>>) -> Arc<ReadView> {
+    Arc::clone(&l.read().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// The write half: submits operations into the admission queue and
+/// blocks until the single writer has applied them, preserving
+/// submission order. Cheap to clone; every clone feeds the same queue.
+#[derive(Clone)]
+pub struct WriteHandle {
+    shared: Arc<Shared>,
+}
+
+impl WriteHandle {
+    fn submit(&self, op: WriteOp) -> Result<WriteReply, StreamError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = lock(&self.shared.queue);
+            if q.closed {
+                return Err(StreamError("write path is shut down".into()));
+            }
+            q.ops.push_back(Pending { op, reply: tx });
+        }
+        self.shared.admitted.notify_all();
+        rx.recv()
+            .map_err(|_| StreamError("writer thread exited before replying".into()))
+    }
+
+    /// Ingests a batch through the admission queue (one micro-batch
+    /// slot; consecutive pending ingests coalesce into one parallel
+    /// apply). Blocks until applied; outcomes are bit-identical to
+    /// [`StreamPipeline::ingest_batch`] on the same records in the same
+    /// admission order.
+    ///
+    /// # Errors
+    /// Fails when a record's arity does not match the schema, or when
+    /// the write path is shut down. Arity failures reject the whole
+    /// request before any record of it is applied.
+    pub fn ingest(&self, records: Vec<Record>) -> Result<Vec<IngestOutcome>, StreamError> {
+        match self.submit(WriteOp::Ingest(records))? {
+            WriteReply::Ingested(out) => Ok(out),
+            WriteReply::Failed(e) => Err(e),
+            _ => unreachable!("ingest op answered with a non-ingest reply"),
+        }
+    }
+
+    /// Retracts records by index — all-or-nothing, like
+    /// [`StreamPipeline::retract_batch`].
+    ///
+    /// # Errors
+    /// Fails like [`StreamPipeline::retract_batch`] (unknown index,
+    /// double retraction, …) or when the write path is shut down.
+    pub fn retract(&self, ids: Vec<usize>) -> Result<Vec<RetractionReport>, StreamError> {
+        match self.submit(WriteOp::Retract(ids))? {
+            WriteReply::Retracted(out) => Ok(out),
+            WriteReply::Failed(e) => Err(e),
+            _ => unreachable!("retract op answered with a non-retract reply"),
+        }
+    }
+
+    /// Runs one compaction pass on the writer.
+    ///
+    /// # Errors
+    /// Fails when the write path is shut down.
+    pub fn compact(&self) -> Result<CompactionReport, StreamError> {
+        match self.submit(WriteOp::Compact)? {
+            WriteReply::Compacted(out) => Ok(out),
+            WriteReply::Failed(e) => Err(e),
+            _ => unreachable!("compact op answered with a non-compact reply"),
+        }
+    }
+
+    /// Serializes the writer's current snapshot
+    /// ([`StreamPipeline::snapshot`]) to JSON.
+    ///
+    /// # Errors
+    /// Fails when the write path is shut down.
+    pub fn snapshot_json(&self) -> Result<String, StreamError> {
+        match self.submit(WriteOp::Snapshot)? {
+            WriteReply::Snapshot(out) => Ok(out),
+            WriteReply::Failed(e) => Err(e),
+            _ => unreachable!("snapshot op answered with a non-snapshot reply"),
+        }
+    }
+
+    /// Publishes the writer's gauges and renders the `--stats` block
+    /// via [`crate::render_stats`] — the same bytes the CLI prints.
+    ///
+    /// # Errors
+    /// Fails when the write path is shut down.
+    pub fn stats(&self) -> Result<String, StreamError> {
+        match self.submit(WriteOp::Stats)? {
+            WriteReply::Stats(out) => Ok(out),
+            WriteReply::Failed(e) => Err(e),
+            _ => unreachable!("stats op answered with a non-stats reply"),
+        }
+    }
+}
+
+/// A [`StreamPipeline`] split into its read and write halves: the
+/// pipeline moves onto a dedicated writer thread, reads go through
+/// epoch-pinned [`ReadHandle`]s, and writes go through the
+/// [`WriteHandle`] admission queue. [`SplitPipeline::shutdown`] drains
+/// the queue and hands the pipeline back.
+pub struct SplitPipeline {
+    shared: Arc<Shared>,
+    writer: Option<std::thread::JoinHandle<StreamPipeline>>,
+}
+
+impl SplitPipeline {
+    /// Splits the pipeline with a single-threaded writer.
+    pub fn new(pipeline: StreamPipeline) -> Self {
+        Self::with_threads(pipeline, 1)
+    }
+
+    /// Splits the pipeline; coalesced ingest micro-batches are applied
+    /// via [`StreamPipeline::ingest_batch_parallel`] with `threads`
+    /// workers (bit-identical at any thread count).
+    pub fn with_threads(pipeline: StreamPipeline, threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(AdmissionQueue {
+                ops: VecDeque::new(),
+                closed: false,
+            }),
+            admitted: Condvar::new(),
+            view: RwLock::new(Arc::new(pipeline.read_view())),
+        });
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("zeroer-writer".into())
+            .spawn(move || writer_loop(pipeline, &writer_shared, threads))
+            .expect("spawning the writer thread");
+        Self {
+            shared,
+            writer: Some(writer),
+        }
+    }
+
+    /// A fresh read handle pinned to the latest published view.
+    pub fn read_handle(&self) -> ReadHandle {
+        ReadHandle::pin(read_lock(&self.shared.view), Some(Arc::clone(&self.shared)))
+    }
+
+    /// The write handle feeding the admission queue.
+    pub fn write_handle(&self) -> WriteHandle {
+        WriteHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Closes the admission queue, waits for the writer to drain every
+    /// already-admitted operation, and returns the pipeline. Operations
+    /// submitted after shutdown fail with a shut-down error.
+    pub fn shutdown(mut self) -> StreamPipeline {
+        self.close();
+        self.writer
+            .take()
+            .expect("writer joined exactly once")
+            .join()
+            .expect("writer thread panicked")
+    }
+
+    fn close(&self) {
+        lock(&self.shared.queue).closed = true;
+        self.shared.admitted.notify_all();
+    }
+}
+
+impl Drop for SplitPipeline {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            self.close();
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The single-writer loop: wait for admitted operations, apply them in
+/// admission order (coalescing consecutive ingests into one
+/// micro-batch), publish a fresh [`ReadView`] after each applied
+/// operation, and reply to each submitter. Returns the pipeline when
+/// the queue is closed and drained.
+fn writer_loop(mut pipeline: StreamPipeline, shared: &Shared, threads: usize) -> StreamPipeline {
+    let mut version = 0u64;
+    loop {
+        let drained: Vec<Pending> = {
+            let mut q = lock(&shared.queue);
+            while q.ops.is_empty() && !q.closed {
+                q = shared.admitted.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.ops.is_empty() {
+                return pipeline;
+            }
+            q.ops.drain(..).collect()
+        };
+        let arity = pipeline.store().table().schema().arity();
+        let metrics = pipeline.options().metrics;
+        let mut iter = drained.into_iter().peekable();
+        while let Some(pending) = iter.next() {
+            match pending.op {
+                WriteOp::Ingest(records) => {
+                    // Coalesce the maximal run of consecutive ingest
+                    // requests into one micro-batch, keeping each
+                    // request's record-count boundary so outcomes can
+                    // be split back per submitter. Requests with an
+                    // arity mismatch are rejected up front (whole
+                    // request, nothing applied) — the batch apply would
+                    // otherwise panic the writer.
+                    let mut batch: Vec<Record> = Vec::new();
+                    let mut requests: Vec<(usize, mpsc::Sender<WriteReply>)> = Vec::new();
+                    let mut admit = |records: Vec<Record>,
+                                     reply: mpsc::Sender<WriteReply>,
+                                     batch: &mut Vec<Record>| {
+                        if let Some(r) = records.iter().find(|r| r.values.len() != arity) {
+                            let _ = reply.send(WriteReply::Failed(StreamError(format!(
+                                "record arity {} does not match schema arity {arity}",
+                                r.values.len()
+                            ))));
+                            return;
+                        }
+                        requests.push((records.len(), reply));
+                        batch.extend(records);
+                    };
+                    admit(records, pending.reply, &mut batch);
+                    while matches!(iter.peek(), Some(p) if matches!(p.op, WriteOp::Ingest(_))) {
+                        let next = iter.next().expect("peeked");
+                        let WriteOp::Ingest(records) = next.op else {
+                            unreachable!("peek matched an ingest op");
+                        };
+                        admit(records, next.reply, &mut batch);
+                    }
+                    if metrics {
+                        zeroer_obs::histogram("stream.admit.batch_records")
+                            .record(batch.len() as u64);
+                    }
+                    let mut outcomes = pipeline.ingest_batch_parallel(batch, threads).into_iter();
+                    publish(&pipeline, shared, &mut version);
+                    for (count, reply) in requests {
+                        let out: Vec<IngestOutcome> = outcomes.by_ref().take(count).collect();
+                        let _ = reply.send(WriteReply::Ingested(out));
+                    }
+                }
+                WriteOp::Retract(ids) => {
+                    let reply = match pipeline.retract_batch(&ids) {
+                        Ok(reports) => {
+                            publish(&pipeline, shared, &mut version);
+                            WriteReply::Retracted(reports)
+                        }
+                        Err(e) => WriteReply::Failed(e),
+                    };
+                    let _ = pending.reply.send(reply);
+                }
+                WriteOp::Compact => {
+                    let report = pipeline.compact();
+                    publish(&pipeline, shared, &mut version);
+                    let _ = pending.reply.send(WriteReply::Compacted(report));
+                }
+                WriteOp::Snapshot => {
+                    let json = pipeline.snapshot().to_json();
+                    let _ = pending.reply.send(WriteReply::Snapshot(json));
+                }
+                WriteOp::Stats => {
+                    pipeline.stats().publish();
+                    let _ = pending.reply.send(WriteReply::Stats(crate::render_stats()));
+                }
+            }
+        }
+    }
+}
+
+/// Publishes the writer's current read state as the next view version.
+/// Only the final pointer swap holds the view lock; the clone happens
+/// before it, so readers are never blocked on the copy.
+fn publish(pipeline: &StreamPipeline, shared: &Shared, version: &mut u64) {
+    *version += 1;
+    let sw = zeroer_obs::Stopwatch::new(pipeline.options().metrics);
+    let mut view = pipeline.read_view();
+    view.version = *version;
+    sw.total(zeroer_obs::histogram("stream.publish.ns"));
+    let next = Arc::new(view);
+    *shared.view.write().unwrap_or_else(|e| e.into_inner()) = next;
+}
+
+impl StreamPipeline {
+    /// Pins the pipeline's current read state as an immutable
+    /// [`ReadView`]-backed [`ReadHandle`] (version 0, standalone — it
+    /// cannot refresh; use [`SplitPipeline::read_handle`] for handles
+    /// that follow the write path's publications).
+    pub fn pin_read_handle(&self) -> ReadHandle {
+        ReadHandle::pin(Arc::new(self.read_view()), None)
+    }
+}

@@ -1,0 +1,253 @@
+//! Reader/writer interleaving over the split pipeline.
+//!
+//! Two guarantees under test:
+//!
+//! 1. **Resolve parity** — [`zeroer_stream::ReadHandle::resolve`] makes
+//!    the same match decisions as the ingest path (same candidates,
+//!    bit-identical posteriors via `f64::to_bits`), because it runs the
+//!    same probe + scoring code against the same state.
+//! 2. **Interleaving safety** — concurrent resolver threads hammering
+//!    epoch-pinned [`zeroer_stream::ReadHandle`]s while the write path
+//!    ingests, retracts and compacts never observe a torn view (every
+//!    answer is consistent with the handle's pinned epoch, and repeats
+//!    bit-identically on the pinned view), and the final state is
+//!    bit-identical to a sequential replay of the same admitted
+//!    operations — at 1, 2 and 4 writer threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_stream::{
+    IngestOutcome, PipelineSnapshot, SplitPipeline, StreamOptions, StreamPipeline,
+};
+use zeroer_tabular::{Record, Table};
+
+/// Bootstrap/stream split of a generated dedup table.
+fn split_dataset(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = (table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+fn cold_pipeline(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
+    let mut p = StreamPipeline::from_snapshot(snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    p.seed_base(boot).expect("bootstrap decisions replay");
+    p
+}
+
+fn assert_outcomes_bit_identical(a: &[IngestOutcome], b: &[IngestOutcome], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.index, y.index, "{context}");
+        assert_eq!(x.candidates, y.candidates, "{context} record {}", x.index);
+        assert_eq!(x.cluster, y.cluster, "{context} record {}", x.index);
+        assert_eq!(
+            x.matches.len(),
+            y.matches.len(),
+            "{context} record {}",
+            x.index
+        );
+        for ((xi, xp), (yi, yp)) in x.matches.iter().zip(&y.matches) {
+            assert_eq!(xi, yi, "{context} record {}", x.index);
+            assert_eq!(
+                xp.to_bits(),
+                yp.to_bits(),
+                "{context} record {}: {xp} vs {yp}",
+                x.index
+            );
+        }
+    }
+}
+
+/// Resolve on a pinned handle answers with the ingest path's exact
+/// decisions: before each sequential ingest, a freshly pinned handle
+/// must report the same candidate count, bit-identical matches, and the
+/// same new-entity verdict the ingest then commits.
+#[test]
+fn resolve_matches_ingest_decisions_bit_exactly() {
+    let (boot, tail) = split_dataset(0.2, 42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+    let mut pipeline = cold_pipeline(&snap, &boot);
+
+    let mut resolved_any = false;
+    for record in tail {
+        let mut handle = pipeline.pin_read_handle();
+        let peek = handle.resolve(&record);
+        // Pinned view ⇒ resolving again is bit-identical.
+        let again = handle.resolve(&record);
+        assert_eq!(peek.candidates, again.candidates);
+        assert_eq!(peek.cluster, again.cluster);
+        assert_eq!(peek.matches.len(), again.matches.len());
+        for ((ai, ap), (bi, bp)) in peek.matches.iter().zip(&again.matches) {
+            assert_eq!(ai, bi);
+            assert_eq!(ap.to_bits(), bp.to_bits());
+        }
+
+        let committed = pipeline.ingest(record);
+        assert_eq!(peek.epoch, pipeline.store().epoch());
+        assert_eq!(peek.candidates, committed.candidates);
+        assert_eq!(peek.is_new_entity(), committed.is_new_entity());
+        assert_eq!(peek.matches.len(), committed.matches.len());
+        for ((ri, rp), (ci, cp)) in peek.matches.iter().zip(&committed.matches) {
+            assert_eq!(ri, ci);
+            assert_eq!(
+                rp.to_bits(),
+                cp.to_bits(),
+                "resolve posterior {rp} != ingest posterior {cp}"
+            );
+        }
+        resolved_any |= !peek.is_new_entity();
+    }
+    assert!(
+        resolved_any,
+        "dataset produced no matches — test is vacuous"
+    );
+}
+
+/// The interleaving stress: resolver threads run against their own
+/// handles (refreshing between rounds) while the single submitter
+/// drives ingest chunks, a retraction and a compaction through the
+/// write path. Afterwards the whole admitted history is replayed
+/// sequentially and must be bit-identical.
+#[test]
+fn concurrent_resolves_never_observe_torn_views() {
+    let (boot, tail) = split_dataset(0.2, 7);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+    let probes: Vec<Record> = tail.iter().take(12).cloned().collect();
+    let retract_victims: Vec<usize> = (0..boot.len()).filter(|i| i % 5 == 3).take(6).collect();
+
+    // The sequential reference: same operations, same order, one thread,
+    // no split machinery.
+    let mut reference = cold_pipeline(&snap, &boot);
+    let mut reference_outcomes: Vec<IngestOutcome> = Vec::new();
+    let chunks: Vec<Vec<Record>> = tail.chunks(7).map(<[Record]>::to_vec).collect();
+    let half = chunks.len() / 2;
+    for (i, chunk) in chunks.iter().enumerate() {
+        if i == half {
+            reference
+                .retract_batch(&retract_victims)
+                .expect("victims are live base records");
+            reference.compact();
+        }
+        for r in chunk.clone() {
+            reference_outcomes.push(reference.ingest(r));
+        }
+    }
+    let reference_clusters = reference.clusters();
+
+    for writer_threads in [1usize, 2, 4] {
+        let split = SplitPipeline::with_threads(cold_pipeline(&snap, &boot), writer_threads);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Resolver threads: each pins its own handle, resolves every
+        // probe twice per round (bit-identical on the pinned view),
+        // checks every answer against the pinned epoch/len, then
+        // refreshes and goes again.
+        let mut resolvers = Vec::new();
+        for _ in 0..3 {
+            let mut handle = split.read_handle();
+            let stop = Arc::clone(&stop);
+            let probes = probes.clone();
+            resolvers.push(std::thread::spawn(move || {
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for probe in &probes {
+                        let out = handle.resolve(probe);
+                        assert_eq!(
+                            out.epoch,
+                            handle.epoch(),
+                            "answer from a different epoch than the pinned view"
+                        );
+                        for &(idx, p) in &out.matches {
+                            assert!(
+                                idx < handle.len(),
+                                "match index {idx} outside the pinned view (len {})",
+                                handle.len()
+                            );
+                            assert!(p.is_finite());
+                        }
+                        let again = handle.resolve(probe);
+                        assert_eq!(out.candidates, again.candidates, "pinned view mutated");
+                        assert_eq!(out.matches.len(), again.matches.len());
+                        for ((ai, ap), (bi, bp)) in out.matches.iter().zip(&again.matches) {
+                            assert_eq!(ai, bi, "pinned view mutated");
+                            assert_eq!(ap.to_bits(), bp.to_bits(), "pinned view mutated");
+                        }
+                    }
+                    handle.refresh();
+                    rounds += 1;
+                }
+                rounds
+            }));
+        }
+
+        // The write side: same admitted history as the reference.
+        let writes = split.write_handle();
+        let mut outcomes: Vec<IngestOutcome> = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i == half {
+                writes
+                    .retract(retract_victims.clone())
+                    .expect("victims are live base records");
+                writes.compact().expect("write path is open");
+            }
+            outcomes.extend(writes.ingest(chunk.clone()).expect("write path is open"));
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for r in resolvers {
+            let rounds = r.join().expect("resolver thread must not panic");
+            assert!(rounds > 0, "resolver never completed a round");
+        }
+
+        // A fresh handle pinned after the last write sees the final
+        // state.
+        let mut latest = split.read_handle();
+        latest.refresh();
+        assert_eq!(latest.len(), reference.len());
+
+        let pipeline = split.shutdown();
+        assert_outcomes_bit_identical(
+            &reference_outcomes,
+            &outcomes,
+            &format!("writer_threads={writer_threads}"),
+        );
+        assert_eq!(
+            reference_clusters,
+            pipeline.clusters(),
+            "final clusters diverged from the sequential replay at {writer_threads} writer threads"
+        );
+    }
+}
+
+/// Writes submitted after shutdown fail instead of hanging, and the
+/// drained pipeline carries every admitted write.
+#[test]
+fn shutdown_drains_and_closes_the_write_path() {
+    let (boot, tail) = split_dataset(0.15, 11);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+
+    let split = SplitPipeline::new(cold_pipeline(&snap, &boot));
+    let writes = split.write_handle();
+    let n = tail.len();
+    let outcomes = writes.ingest(tail).expect("write path is open");
+    assert_eq!(outcomes.len(), n);
+
+    let pipeline = split.shutdown();
+    assert_eq!(pipeline.len(), boot.len() + n);
+    assert!(
+        writes.ingest(vec![]).is_err(),
+        "the admission queue must reject writes after shutdown"
+    );
+}

@@ -12,6 +12,8 @@
 //!                                   --base-left left.csv --base-right right.csv [same flags]
 //! zeroer retract --ids <file>       --model snap.json --base resolved.csv [--out snap.json]
 //! zeroer compact                    --model snap.json --base resolved.csv [--stats]
+//! zeroer serve                      --model snap.json [--base resolved.csv]
+//!                                   [--addr 127.0.0.1:7878] [--threads N]
 //! ```
 //!
 //! `match` links records across two CSVs with identical headers; `dedup`
@@ -32,6 +34,11 @@
 //! against the *opposite* side's index and is scored with the frozen
 //! cross model; `--base-left`/`--base-right` replay the persisted batch
 //! decisions for the bootstrap tables.
+//!
+//! `serve` keeps the rebuilt pipeline resident and answers resolve /
+//! ingest / admin requests over a length-prefixed TCP protocol (see
+//! `crates/serve/README.md`): resolves run on the lock-free read path,
+//! ingests are micro-batched through the single-writer write path.
 //!
 //! `retract` withdraws base records by index (one per line in the
 //! `--ids` file): their clusters are rebuilt as if never ingested and
@@ -68,6 +75,7 @@ struct Args {
     threads: Option<usize>,
     stats: bool,
     metrics: Option<String>,
+    addr: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -91,6 +99,9 @@ fn usage() -> &'static str {
        zeroer compact --model <snap.json> --base <csv> [flags]\n\
                                                      drop tombstoned index state, report the\n\
                                                      reclaimed bytes\n\
+       zeroer serve --model <snap.json> [--base <csv>] [--addr <host:port>] [flags]\n\
+                                                     serve resolve/ingest/admin requests over\n\
+                                                     TCP until an admin shutdown arrives\n\
      \n\
      FLAGS:\n\
        --threshold <p>     posterior cut-off for reporting a match (default 0.5)\n\
@@ -100,7 +111,8 @@ fn usage() -> &'static str {
        --no-transitivity   disable the transitivity soft constraint\n\
        --out <file>        write results to a CSV file instead of stdout\n\
        --save-model <file> (dedup, link) freeze the fitted model(s) to a JSON snapshot\n\
-       --model <file>      (ingest) snapshot produced by --save-model\n\
+       --model <file>      (ingest, retract, compact, serve) snapshot produced by\n\
+                           --save-model\n\
        --base <csv>        (ingest) the resolved bootstrap records; their batch\n\
                            cluster decisions are replayed from the snapshot (never\n\
                            re-scored) when the snapshot carries them\n\
@@ -108,11 +120,13 @@ fn usage() -> &'static str {
                            requires a linkage snapshot from `zeroer link`\n\
        --base-left <csv>   (ingest --side) the left bootstrap table\n\
        --base-right <csv>  (ingest --side) the right bootstrap table\n\
-       --threads <n>       (ingest) ingest worker threads (default: all cores);\n\
-                           results are identical for every thread count\n\
+       --threads <n>       (ingest, serve) ingest worker threads (default: all\n\
+                           cores); results are identical for every thread count\n\
+       --addr <host:port>  (serve) address to bind (default 127.0.0.1:0, an\n\
+                           ephemeral port; the bound address is printed to stderr)\n\
        --ids <file>        (retract) record indices to withdraw, one per line\n\
                            ('#' comments and blank lines are skipped)\n\
-       --stats             (dedup, link, ingest, retract, compact) print derivation/\n\
+       --stats             (dedup, link, ingest, retract, compact, serve) print derivation/\n\
                            blocking observability to stderr: tokens interned,\n\
                            live/retired buckets and live/dead postings per leg,\n\
                            candidate pairs, live/retracted records, epoch\n\
@@ -141,6 +155,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threads: None,
         stats: false,
         metrics: None,
+        addr: None,
     };
     let mut batch_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.iter().peekable();
@@ -203,6 +218,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 });
             }
             "--ids" => args.ids = Some(take_value(&mut it, "--ids")?),
+            "--addr" => args.addr = Some(take_value(&mut it, "--addr")?),
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
             positional => {
@@ -227,17 +243,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .into(),
         );
     }
-    let snapshot_command = matches!(args.command.as_str(), "ingest" | "retract" | "compact");
+    let snapshot_command = matches!(
+        args.command.as_str(),
+        "ingest" | "retract" | "compact" | "serve"
+    );
     if !snapshot_command {
         if args.model.is_some() {
             return Err(
-                "--model is only supported by the `ingest`, `retract` and `compact` commands"
+                "--model is only supported by the `ingest`, `retract`, `compact` and `serve` \
+                 commands"
                     .into(),
             );
         }
         if args.base.is_some() {
             return Err(
-                "--base is only supported by the `ingest`, `retract` and `compact` commands".into(),
+                "--base is only supported by the `ingest`, `retract`, `compact` and `serve` \
+                 commands"
+                    .into(),
             );
         }
     } else if let Some(flag) = batch_flags.first() {
@@ -272,11 +294,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             return Err("--base-left/--base-right require --side left|right".into());
         }
     }
-    if args.threads.is_some() && args.command != "ingest" {
-        return Err("--threads is only supported by the `ingest` command".into());
+    if args.threads.is_some() && !matches!(args.command.as_str(), "ingest" | "serve") {
+        return Err("--threads is only supported by the `ingest` and `serve` commands".into());
     }
     if args.ids.is_some() && args.command != "retract" {
         return Err("--ids is only supported by the `retract` command".into());
+    }
+    if args.addr.is_some() && args.command != "serve" {
+        return Err("--addr is only supported by the `serve` command".into());
     }
     let need_model = |args: &Args, cmd: &str| -> Result<(), String> {
         if args.model.is_none() {
@@ -316,6 +341,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             Ok(args)
         }
+        ("serve", 0) => {
+            need_model(&args, "serve")?;
+            Ok(args)
+        }
         ("compact", 0) => {
             need_model(&args, "compact")?;
             if args.base.is_none() {
@@ -333,7 +362,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ("ingest", n) => Err(format!(
             "`ingest` needs exactly one stream CSV file, got {n}"
         )),
-        ("retract", n) | ("compact", n) => Err(format!(
+        ("retract", n) | ("compact", n) | ("serve", n) => Err(format!(
             "`{}` takes no positional files (got {n}); the store is rebuilt from \
              --model and --base",
             args.command
@@ -452,6 +481,7 @@ fn dispatch(args: &Args) -> Result<(), String> {
         "ingest" => return run_ingest(args),
         "retract" => return run_retract(args),
         "compact" => return run_compact(args),
+        "serve" => return run_serve(args),
         _ => unreachable!("validated in parse_args"),
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
@@ -552,6 +582,70 @@ fn run_link_ingest(args: &Args, side: Side) -> Result<(), String> {
         render_stats();
     }
     emit_text(text, &args.out)
+}
+
+/// The `serve` subcommand: rebuild the pipeline from a frozen snapshot,
+/// split it into read/write paths, and answer resolve/ingest/admin
+/// requests over TCP until an admin `shutdown` arrives.
+fn run_serve(args: &Args) -> Result<(), String> {
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let text = std::fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let snapshot = PipelineSnapshot::from_json(&text).map_err(|e| {
+        if text.contains("zeroer-link-snapshot") {
+            format!(
+                "{model_path} is a linkage snapshot (from `zeroer link --save-model`); \
+                 `serve` needs a dedup snapshot from `zeroer dedup --save-model`"
+            )
+        } else {
+            format!("cannot parse {model_path}: {e}")
+        }
+    })?;
+    let mut pipeline = StreamPipeline::from_snapshot(&snapshot, args.threshold)
+        .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
+    let schema = pipeline.store().table().schema().clone();
+    let threads = args
+        .threads
+        .unwrap_or_else(zeroer::stream::pipeline::available_threads);
+    if let Some(base_path) = &args.base {
+        let base = load(base_path)?;
+        check_snapshot_schema(&schema, &base)?;
+        if snapshot.bootstrap_len > 0 {
+            pipeline
+                .seed_base(&base)
+                .map_err(|e| format!("cannot seed base records from {base_path}: {e}"))?;
+        } else {
+            pipeline.ingest_batch_parallel(base.records().to_vec(), threads);
+        }
+        eprintln!(
+            "zeroer: pre-loaded {} base records ({} clusters)",
+            base.len(),
+            pipeline.clusters().len()
+        );
+    }
+    let server = zeroer::serve::Server::bind(
+        pipeline,
+        args.addr.as_deref().unwrap_or("127.0.0.1:0"),
+        threads,
+    )
+    .map_err(|e| {
+        format!(
+            "cannot bind {}: {e}",
+            args.addr.as_deref().unwrap_or("127.0.0.1:0")
+        )
+    })?;
+    eprintln!("zeroer: serving on {}", server.local_addr());
+    let pipeline = server.run();
+    eprintln!(
+        "zeroer: server drained ({} records, {} clusters)",
+        pipeline.store().len(),
+        pipeline.clusters().len()
+    );
+    pipeline.stats().publish();
+    if args.stats {
+        render_stats();
+    }
+    Ok(())
 }
 
 /// The `ingest` subcommand: stream records against a frozen snapshot.
@@ -679,46 +773,12 @@ fn emit_text(text: String, out: &Option<String>) -> Result<(), String> {
 }
 
 /// The `--stats` observability block shared by every subcommand that
-/// supports it, rendered from the `zeroer::obs` metrics registry (the
-/// single source the `--metrics` JSON dump also reads).
-///
-/// The streaming paths publish their gauges first
-/// ([`zeroer::pipeline::StreamStats::publish`]); the batch `dedup`
-/// path publishes only the derivation/blocking gauges, so the
-/// blocking-leg and store lines print only when a streaming index has
-/// reported in.
+/// supports it. The text itself is rendered by the shared
+/// [`zeroer::pipeline::render_stats`] — the same function the serve
+/// admin `stats` verb answers with, so CLI and wire output are
+/// byte-identical.
 fn render_stats() {
-    let snap = zeroer::obs::snapshot();
-    let g = |name: &str| snap.gauge(name).unwrap_or(0);
-    eprintln!(
-        "zeroer: derivation: {} distinct tokens interned ({} bytes); \
-         candidate pairs generated: {}",
-        g("derive.interned_tokens"),
-        g("derive.interned_bytes"),
-        g("block.candidate_pairs")
-    );
-    if snap.gauge("index.token.live_buckets").is_none() {
-        return;
-    }
-    eprintln!(
-        "zeroer: blocking legs: token {} live / {} retired buckets ({} postings, {} dead); \
-         qgram {} live / {} retired buckets ({} postings, {} dead)",
-        g("index.token.live_buckets"),
-        g("index.token.retired_buckets"),
-        g("index.token.postings"),
-        g("index.token.dead_postings"),
-        g("index.qgram.live_buckets"),
-        g("index.qgram.retired_buckets"),
-        g("index.qgram.postings"),
-        g("index.qgram.dead_postings")
-    );
-    eprintln!(
-        "zeroer: store: {} live / {} retracted records; decision log {} edges; epoch {}",
-        g("store.live_records"),
-        g("store.retracted_records"),
-        g("store.decision_log_edges"),
-        g("store.epoch")
-    );
+    eprint!("{}", zeroer::stream::render_stats());
 }
 
 /// Rebuilds a seeded pipeline from `--model` + `--base` — the shared

@@ -52,7 +52,12 @@
 //! * [`eval`] — F-score, splits, CV, oversampling;
 //! * [`datagen`] — synthetic stand-ins for the six benchmark datasets;
 //! * [`stream`] — incremental entity resolution (online ingest, frozen
-//!   model-snapshot scoring — no EM at serving time);
+//!   model-snapshot scoring — no EM at serving time), including the
+//!   read/write-path split ([`stream::SplitPipeline`]) the server is
+//!   built on;
+//! * [`serve`] — the `zeroer serve` TCP server: a length-prefixed JSON
+//!   protocol with `resolve` (read path), `ingest` (write path) and
+//!   `admin` verbs;
 //! * [`obs`] — zero-dependency metrics registry and stage tracing; the
 //!   batch and streaming pipelines record stage latencies and
 //!   candidate/record counters into it, the CLI dumps it via
@@ -81,6 +86,7 @@ pub use zeroer_eval as eval;
 pub use zeroer_features as features;
 pub use zeroer_linalg as linalg;
 pub use zeroer_obs as obs;
+pub use zeroer_serve as serve;
 pub use zeroer_stream as stream;
 pub use zeroer_tabular as tabular;
 pub use zeroer_textsim as textsim;

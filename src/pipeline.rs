@@ -16,6 +16,7 @@ use zeroer_core::{
     GenerativeModel, LinkageModel, LinkageTask, TransitivityCalibrator, UnionFind, ZeroErConfig,
 };
 use zeroer_features::{DeriveConfig, PairFeaturizer};
+use zeroer_stream::build_linkage_legs;
 use zeroer_tabular::Table;
 use zeroer_textsim::derive::BlockSpec;
 
@@ -160,50 +161,39 @@ pub fn match_tables(left: &Table, right: &Table, opts: &MatchOptions) -> MatchRe
         right.schema(),
         "match_tables requires aligned schemas"
     );
-    // Three featurizers, three derivations: the cross task infers
-    // attribute types jointly over (left, right) while each self task
-    // infers over its own table alone — the type assignments (and hence
-    // feature layouts) legitimately differ, so the derivations cannot be
-    // shared across tasks. Within each task, blocking and featurization
-    // share one derivation.
-    let cross_fz = zeroer_obs::time("batch.derive.ns", || {
-        PairFeaturizer::with_config(left, right, opts.derive_config())
-    });
-    let cross_cs = zeroer_obs::time("batch.block.ns", || {
-        opts.candidates(&cross_fz, PairMode::Cross)
-    });
-    publish_batch_gauges(&DerivationStats::of(&cross_fz), cross_cs.pairs().len());
-    if cross_cs.is_empty() {
+    // The shared three-featurizer recipe, implemented once in
+    // `zeroer_stream::legs` and used verbatim by the streaming
+    // `LinkPipeline::bootstrap` as well.
+    let prep = build_linkage_legs(
+        left,
+        right,
+        &opts.derive_config(),
+        opts.min_token_overlap,
+        STANDARD_MAX_BUCKET,
+    );
+    let Some(legs) = prep.legs else {
+        publish_batch_gauges(&DerivationStats::of(&prep.cross_fz), 0);
         return MatchResult {
             pairs: vec![],
             probabilities: vec![],
             labels: vec![],
         };
-    }
-    let left_fz = zeroer_obs::time("batch.derive.ns", || {
-        PairFeaturizer::with_config(left, left, opts.derive_config())
-    });
-    let right_fz = zeroer_obs::time("batch.derive.ns", || {
-        PairFeaturizer::with_config(right, right, opts.derive_config())
-    });
-    let (left_cs, right_cs) = zeroer_obs::time("batch.block.ns", || {
-        (
-            opts.candidates(&left_fz, PairMode::Dedup),
-            opts.candidates(&right_fz, PairMode::Dedup),
-        )
-    });
-    zeroer_obs::counter("batch.candidates")
-        .add((cross_cs.pairs().len() + left_cs.pairs().len() + right_cs.pairs().len()) as u64);
-
-    let cross = build_task(&cross_fz, &cross_cs);
-    let left_task = build_task(&left_fz, &left_cs);
-    let right_task = build_task(&right_fz, &right_cs);
+    };
+    publish_batch_gauges(
+        &DerivationStats::of(&prep.cross_fz),
+        legs.cross.task.pairs.len(),
+    );
+    zeroer_obs::counter("batch.candidates").add(legs.candidates as u64);
 
     let out = zeroer_obs::time("batch.fit.ns", || {
-        LinkageModel::new(opts.config.clone()).fit(&cross, &left_task, &right_task)
+        LinkageModel::new(opts.config.clone()).fit(
+            &legs.cross.task,
+            &legs.left.task,
+            &legs.right.task,
+        )
     });
     MatchResult {
-        pairs: cross.pairs,
+        pairs: legs.cross.task.pairs,
         probabilities: out.cross_gammas,
         labels: out.cross_labels,
     }

@@ -1,0 +1,168 @@
+//! End-to-end `zeroer serve` over a real TCP socket: freeze a model
+//! with `dedup --save-model`, start the real binary on an ephemeral
+//! port, run resolve + ingest + admin round-trips through the protocol
+//! client, shut the server down over the wire, and check it exits
+//! cleanly with every wire ingest drained into its final report.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use zeroer::serve::Client;
+use zeroer::tabular::{Record, Value};
+
+fn zeroer_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_zeroer")
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("zeroer-serve-e2e-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp CSV");
+    path
+}
+
+const BASE: &str = "name,city\n\
+    Golden Dragon Palace,new york\n\
+    Golden Dragon Palce,new york\n\
+    Blue Sky Tavern,austin\n\
+    Rustic Oak Kitchen,denver\n\
+    Harbor View Bistro,portland\n\
+    Smoky Cellar Tavern,chicago\n";
+
+/// Kills the child on drop so a failing assertion never leaks a
+/// listening server process.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn record(name: &str, city: &str) -> Vec<Value> {
+    vec![Value::Str(name.into()), Value::Str(city.into())]
+}
+
+#[test]
+fn serve_round_trip_over_localhost() {
+    let base = write_tmp("base", BASE);
+    let snap = std::env::temp_dir().join(format!("zeroer-serve-snap-{}.json", std::process::id()));
+
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let child = Command::new(zeroer_bin())
+        .args([
+            "serve",
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn zeroer serve");
+    let mut child = Reap(child);
+
+    // The server prints its bound address to stderr once it's
+    // listening; everything before that is startup chatter.
+    let mut stderr = BufReader::new(child.0.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr.read_line(&mut line).expect("read server stderr"),
+            0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("zeroer: serving on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut client = Client::connect(addr.as_str()).expect("connect to served address");
+
+    // Admin ping.
+    let pong = client.admin("ping").expect("ping");
+    assert_eq!(pong.get("pong").and_then(|v| v.as_bool()), Some(true));
+
+    // Resolve: a near-duplicate of a base record must match it; a
+    // completely unseen restaurant must come back as a new entity.
+    let dup = client
+        .resolve(&record("Golden Dragon Palace", "new york"))
+        .expect("resolve duplicate");
+    assert!(
+        dup.cluster.is_some(),
+        "exact duplicate of a base record must match: {dup:?}"
+    );
+    assert!(!dup.matches.is_empty());
+    let fresh = client
+        .resolve(&record("Totally Unseen Steakhouse", "miami"))
+        .expect("resolve unseen");
+    assert!(
+        fresh.cluster.is_none(),
+        "unseen restaurant must be a new entity: {fresh:?}"
+    );
+
+    // Ingest over the wire, then resolve again: the just-ingested
+    // record is now visible on the read path.
+    let outcomes = client
+        .ingest(&[Record::new(
+            100,
+            record("Totally Unseen Steakhouse", "miami"),
+        )])
+        .expect("ingest");
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].new_entity);
+    let now_known = client
+        .resolve(&record("Totally Unseen Steakhouse", "miami"))
+        .expect("resolve after ingest");
+    assert_eq!(
+        now_known.cluster,
+        Some(outcomes[0].cluster),
+        "the ingested record must be resolvable afterwards: {now_known:?}"
+    );
+
+    // Admin stats: the CLI renderer's exact shape.
+    let stats = client.admin("stats").expect("stats");
+    let text = stats
+        .get("stats")
+        .and_then(|v| v.as_str())
+        .expect("stats text");
+    assert!(
+        text.starts_with("zeroer: derivation:"),
+        "stats must come from the CLI renderer: {text:?}"
+    );
+    assert!(text.contains("zeroer: store:"), "{text:?}");
+
+    // Clean shutdown over the wire; the process must exit successfully
+    // and report the drained store (base + 1 wire ingest).
+    let ack = client.admin("shutdown").expect("shutdown");
+    assert_eq!(ack.get("stopping").and_then(|v| v.as_bool()), Some(true));
+    let status = child.0.wait().expect("server exits");
+    assert!(status.success(), "server exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).expect("drain stderr");
+    assert!(
+        rest.contains("server drained (7 records"),
+        "drain report must count the wire ingest: {rest:?}"
+    );
+
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(base).ok();
+}
