@@ -59,6 +59,6 @@ pub use config::{FeatureDependence, Regularization, ZeroErConfig};
 pub use linkage::{FittedLinkage, LinkageModel, LinkageOutcome, LinkageTask};
 pub use model::{eq3_posterior, FitSummary, GenerativeModel};
 pub use report::{FeatureReport, ModelReport};
-pub use snapshot::{LinkageSnapshot, ModelSnapshot, SnapshotScorer};
+pub use snapshot::{LinkageSnapshot, ModelSnapshot, ScoreBatch, SnapshotScorer};
 pub use transitivity::TransitivityCalibrator;
 pub use union_find::{clusters_of_pairs, UnionFind};

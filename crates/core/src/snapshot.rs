@@ -15,7 +15,7 @@ use crate::model::{eq3_posterior, GenerativeModel};
 use zeroer_linalg::block::{BlockDiag, GroupLayout};
 use zeroer_linalg::gaussian::BlockGaussian;
 use zeroer_linalg::stats::min_max_scale;
-use zeroer_linalg::Matrix;
+use zeroer_linalg::{ColMatrix, MahalanobisScratch, Matrix};
 
 /// A serializable freeze of a fitted [`GenerativeModel`] plus the feature
 /// normalization/imputation state needed to replay featurization on
@@ -148,6 +148,29 @@ impl ModelSnapshot {
             }
             let (lo, hi) = self.ranges[j];
             *v = min_max_scale(*v, lo, hi);
+        }
+    }
+
+    /// Column-wise [`ModelSnapshot::prepare_row`] over a whole batch:
+    /// imputes `NaN` holes with the training means and min-max scales
+    /// every entry, one contiguous feature column at a time. For any
+    /// row, the operations applied (and their order across columns) are
+    /// exactly those of `prepare_row`, so the prepared values are
+    /// bit-identical to preparing each row individually.
+    ///
+    /// # Panics
+    /// Panics if the batch has the wrong dimensionality.
+    pub fn prepare_columns(&self, batch: &mut ColMatrix) {
+        assert_eq!(batch.cols(), self.dim(), "batch dimensionality mismatch");
+        for j in 0..batch.cols() {
+            let mean = self.impute_means[j];
+            let (lo, hi) = self.ranges[j];
+            for v in batch.col_mut(j) {
+                if !v.is_finite() {
+                    *v = mean;
+                }
+                *v = min_max_scale(*v, lo, hi);
+            }
         }
     }
 
@@ -369,6 +392,46 @@ impl SnapshotScorer {
         self.score(raw)
     }
 
+    /// Scores a whole batch of raw feature rows held column-major in
+    /// `batch`: imputes/normalizes column-wise with the frozen training
+    /// state, evaluates both class log-densities with one pass per
+    /// covariance block over the batch, and returns one Eq. 3 posterior
+    /// per row.
+    ///
+    /// Every value is bit-identical (`f64::to_bits`) to calling
+    /// [`SnapshotScorer::score_raw`] on the corresponding row: the
+    /// batched kernels preserve the scalar operation order per row, and
+    /// the prior log-terms are the same `ln` the scalar path computes.
+    /// The returned slice lives in `batch` and is valid until the next
+    /// fill; all intermediates reuse `batch`'s buffers, so a warmed-up
+    /// batch never allocates.
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch.
+    pub fn score_batch<'b>(&self, batch: &'b mut ScoreBatch) -> &'b [f64] {
+        let n = batch.cols.rows();
+        self.snapshot.prepare_columns(&mut batch.cols);
+        batch.lm.clear();
+        batch.lm.resize(n, 0.0);
+        batch.lu.clear();
+        batch.lu.resize(n, 0.0);
+        self.m
+            .log_pdf_batch(&batch.cols, &mut batch.maha, &mut batch.lm);
+        self.u
+            .log_pdf_batch(&batch.cols, &mut batch.maha, &mut batch.lu);
+        let lpm = self.pi_m.ln();
+        let lpu = (1.0 - self.pi_m).ln();
+        batch.scores.clear();
+        batch.scores.extend(
+            batch
+                .lm
+                .iter()
+                .zip(&batch.lu)
+                .map(|(&lm, &lu)| eq3_posterior(lpm + lm, lpu + lu)),
+        );
+        &batch.scores
+    }
+
     /// Feature dimensionality.
     pub fn dim(&self) -> usize {
         self.snapshot.dim()
@@ -382,6 +445,51 @@ impl SnapshotScorer {
     /// Frozen match prior.
     pub fn pi_m(&self) -> f64 {
         self.pi_m
+    }
+}
+
+/// Reusable buffers for [`SnapshotScorer::score_batch`]: the column-major
+/// raw-feature batch plus every intermediate the batched normalize → score
+/// pipeline needs (per-class log-densities, Mahalanobis scratch, the
+/// posterior output, and a scalar row buffer for callers that fall back to
+/// per-row scoring).
+///
+/// One instance per scoring worker; buffers grow to the largest batch seen
+/// and are reused thereafter, so the steady-state hot path is
+/// allocation-free (the scalar path allocates a forward-solve vector per
+/// covariance block per candidate).
+#[derive(Debug, Clone, Default)]
+pub struct ScoreBatch {
+    cols: ColMatrix,
+    lm: Vec<f64>,
+    lu: Vec<f64>,
+    maha: MahalanobisScratch,
+    scores: Vec<f64>,
+    row: Vec<f64>,
+}
+
+impl ScoreBatch {
+    /// An empty batch (no allocation until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The column-major raw-feature matrix to fill before calling
+    /// [`SnapshotScorer::score_batch`] (typically via a batch
+    /// featurizer's column-fill pass).
+    pub fn cols_mut(&mut self) -> &mut ColMatrix {
+        &mut self.cols
+    }
+
+    /// Read access to the feature matrix (post-`score_batch` it holds the
+    /// prepared — imputed and normalized — values).
+    pub fn cols(&self) -> &ColMatrix {
+        &self.cols
+    }
+
+    /// The reusable scalar row buffer for per-row fallback scoring.
+    pub fn row_scratch(&mut self) -> &mut Vec<f64> {
+        &mut self.row
     }
 }
 
@@ -611,6 +719,57 @@ mod tests {
         // Wrong/foreign formats are rejected.
         assert!(LinkageSnapshot::from_json("{\"format\":\"other\"}").is_err());
         assert!(LinkageSnapshot::from_json(&snap.cross.to_json()).is_err());
+    }
+
+    #[test]
+    fn score_batch_is_bit_identical_to_score_raw() {
+        let (model, _) = fitted_model();
+        let ranges = vec![(0.0, 2.0), (1.0, 1.0), (0.0, 1.0), (-1.0, 1.0)];
+        let impute = vec![1.0, 0.5, 0.25, 0.75];
+        let names = (0..4).map(|j| format!("f{j}")).collect::<Vec<_>>();
+        let snap = ModelSnapshot::capture(&model, &ranges, &impute, &names);
+        let scorer = snap.scorer().unwrap();
+        // Raw rows with NaN holes and out-of-range values, exercising
+        // imputation + clamping alongside the batched density kernels.
+        let rows: Vec<[f64; 4]> = (0..19)
+            .map(|r| {
+                let r = r as f64;
+                [
+                    if r as usize % 3 == 0 {
+                        f64::NAN
+                    } else {
+                        r * 0.3 - 1.0
+                    },
+                    (r * 0.7).sin() * 2.0,
+                    if r as usize % 5 == 4 {
+                        f64::NAN
+                    } else {
+                        r / 9.0
+                    },
+                    r * 0.4 - 3.0,
+                ]
+            })
+            .collect();
+        let mut batch = ScoreBatch::new();
+        batch.cols_mut().reset(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                batch.cols_mut().set(i, j, v);
+            }
+        }
+        let got: Vec<f64> = scorer.score_batch(&mut batch).to_vec();
+        for (i, row) in rows.iter().enumerate() {
+            let mut scalar = *row;
+            let want = scorer.score_raw(&mut scalar);
+            assert_eq!(got[i].to_bits(), want.to_bits(), "row {i}");
+            // The prepared values left in the batch match prepare_row too.
+            for j in 0..4 {
+                assert_eq!(batch.cols().get(i, j).to_bits(), scalar[j].to_bits());
+            }
+        }
+        // Empty batches are fine (resolve with zero candidates).
+        batch.cols_mut().reset(0, 4);
+        assert!(scorer.score_batch(&mut batch).is_empty());
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //! layer (`zeroer_textsim::derive`).
 
 use crate::registry::{functions_for, SimFunction};
+use std::collections::HashMap;
 use zeroer_linalg::block::GroupLayout;
 use zeroer_linalg::stats::{apply_min_max, min_max_normalize};
-use zeroer_linalg::Matrix;
+use zeroer_linalg::{ColMatrix, Matrix};
 use zeroer_tabular::table::infer_joint_types;
 use zeroer_tabular::{AttrType, Table};
 use zeroer_textsim::derive::{AttrView, DeriveConfig, DerivedRecord, Deriver};
 use zeroer_textsim::intern::Interner;
+use zeroer_textsim::{
+    jaro_winkler_with, levenshtein_sim_with, monge_elkan_with, needleman_wunsch_with, SimScratch,
+};
 
 /// The output of feature generation: the `N × d` similarity matrix plus
 /// the grouping metadata ZeroER's block-diagonal covariance needs.
@@ -104,6 +108,30 @@ fn sim_value(f: SimFunction, interner: &Interner, l: AttrView<'_>, r: AttrView<'
         | SimFunction::OverlapWord
         | SimFunction::MongeElkan => f.apply_tokens(interner, l.word, r.word),
         _ => f.apply_text(l.text, r.text),
+    }
+}
+
+/// [`sim_value`] with the allocation-heavy sequence kernels routed
+/// through `scratch`-reusing variants. Bit-identical to [`sim_value`]
+/// (the `*_with` kernels execute the same operation sequence as the
+/// allocating forms they shadow); strictly faster in a loop because the
+/// DP buffers are reused across calls.
+fn sim_value_with(
+    scratch: &mut SimScratch,
+    f: SimFunction,
+    interner: &Interner,
+    l: AttrView<'_>,
+    r: AttrView<'_>,
+) -> f64 {
+    if !(l.present && r.present) {
+        return f64::NAN;
+    }
+    match f {
+        SimFunction::Levenshtein => levenshtein_sim_with(scratch, l.text, r.text),
+        SimFunction::JaroWinkler => jaro_winkler_with(scratch, l.text, r.text),
+        SimFunction::NeedlemanWunsch => needleman_wunsch_with(scratch, l.text, r.text),
+        SimFunction::MongeElkan => monge_elkan_with(scratch, interner, l.word, r.word),
+        _ => sim_value(f, interner, l, r),
     }
 }
 
@@ -329,6 +357,9 @@ impl PairFeaturizer {
 pub struct RowFeaturizer {
     attr_types: Vec<AttrType>,
     functions: Vec<&'static [SimFunction]>,
+    /// Cached per-attribute function counts — computed once so the hot
+    /// paths that need the §3.2 grouping never allocate for it.
+    group_sizes: Vec<usize>,
     dim: usize,
 }
 
@@ -337,10 +368,12 @@ impl RowFeaturizer {
     pub fn new(attr_types: &[AttrType]) -> Self {
         let functions: Vec<&'static [SimFunction]> =
             attr_types.iter().map(|&t| functions_for(t)).collect();
-        let dim = functions.iter().map(|f| f.len()).sum();
+        let group_sizes: Vec<usize> = functions.iter().map(|f| f.len()).collect();
+        let dim = group_sizes.iter().sum();
         Self {
             attr_types: attr_types.to_vec(),
             functions,
+            group_sizes,
             dim,
         }
     }
@@ -355,9 +388,9 @@ impl RowFeaturizer {
         self.dim
     }
 
-    /// Feature group sizes, one per attribute.
-    pub fn group_sizes(&self) -> Vec<usize> {
-        self.functions.iter().map(|f| f.len()).collect()
+    /// Feature group sizes, one per attribute (cached at construction).
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
     }
 
     /// One pair's raw feature row (`NaN` marks not-computable entries).
@@ -412,29 +445,217 @@ impl RowFeaturizer {
     }
 }
 
+/// The struct-of-arrays batch counterpart of [`RowFeaturizer`]: gathers
+/// N candidate pairs and fills a column-major feature matrix one feature
+/// column at a time.
+///
+/// Filling by column instead of by row buys two things on the scoring
+/// hot path: the per-attribute view setup ([`DerivedRecord::view`])
+/// happens once per attribute per batch instead of once per attribute
+/// per *pair*, and each similarity kernel writes a contiguous stripe the
+/// autovectorizer can work with. The values are the exact `sim_value`
+/// outputs of [`RowFeaturizer::raw_row_into`] — same kernel, same
+/// operands — so transposing the resulting matrix reproduces the scalar
+/// rows bit-for-bit. See `crates/features/README.md` for the design
+/// note.
+#[derive(Debug, Clone)]
+pub struct BatchFeaturizer {
+    row: RowFeaturizer,
+}
+
+impl BatchFeaturizer {
+    /// Builds a batch featurizer for a frozen attribute-type assignment.
+    pub fn new(attr_types: &[AttrType]) -> Self {
+        Self {
+            row: RowFeaturizer::new(attr_types),
+        }
+    }
+
+    /// Wraps an existing [`RowFeaturizer`], sharing its frozen layout.
+    pub fn from_row(row: RowFeaturizer) -> Self {
+        Self { row }
+    }
+
+    /// The scalar row featurizer this batch featurizer wraps (the
+    /// fallback path when batched scoring is disabled).
+    pub fn row(&self) -> &RowFeaturizer {
+        &self.row
+    }
+
+    /// The frozen attribute types.
+    pub fn attr_types(&self) -> &[AttrType] {
+        self.row.attr_types()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.row.dim()
+    }
+
+    /// Feature group sizes, one per attribute.
+    pub fn group_sizes(&self) -> &[usize] {
+        self.row.group_sizes()
+    }
+
+    /// Fills `out` with the raw feature matrix of `n` candidate pairs,
+    /// column-major: `out[(i, j)]` is feature `j` of the pair
+    /// `pair_of(i)`. `NaN` marks not-computable entries, exactly like
+    /// [`RowFeaturizer::raw_row_into`]. The matrix is reshaped in place,
+    /// so a reused `out` stops allocating once it has seen its largest
+    /// batch.
+    ///
+    /// Two batch-only optimizations ride on the column-major shape, both
+    /// preserving bit-identity with the scalar path:
+    ///
+    /// * the sequence kernels (Levenshtein, Jaro-Winkler,
+    ///   Needleman-Wunsch, Monge-Elkan) run through one reused
+    ///   [`SimScratch`] instead of allocating DP buffers per pair;
+    /// * when one side of every pair is the *same* record — the
+    ///   streaming shape, one new record against its whole candidate
+    ///   list — duplicate values on the varying side are detected per
+    ///   attribute and each distinct value's similarities are computed
+    ///   once, then scattered to every pair that shares the value.
+    ///   Identical inputs produce identical bits, so copying is exact;
+    ///   low-cardinality attributes (city, category, price bands)
+    ///   collapse to a handful of kernel evaluations per column.
+    ///
+    /// All records must be derived against `interner`.
+    ///
+    /// # Panics
+    /// Panics if any record's arity differs from the frozen types.
+    pub fn fill_columns<'a, F>(
+        &self,
+        interner: &Interner,
+        n: usize,
+        pair_of: F,
+        out: &mut ColMatrix,
+    ) where
+        F: Fn(usize) -> (&'a DerivedRecord, &'a DerivedRecord),
+    {
+        out.reset(n, self.row.dim);
+        let arity = self.row.functions.len();
+        let pairs: Vec<(&DerivedRecord, &DerivedRecord)> = (0..n).map(pair_of).collect();
+        for (i, &(l, r)) in pairs.iter().enumerate() {
+            assert_eq!(l.arity(), arity, "left record {i} arity mismatch");
+            assert_eq!(r.arity(), arity, "right record {i} arity mismatch");
+        }
+        let mut scratch = SimScratch::new();
+
+        // The streaming shape: one fixed record against every candidate.
+        // Detected by pointer identity, which is exact and free of false
+        // positives — and the only shape where per-attribute value
+        // deduplication on the varying side is sound without comparing
+        // the fixed side too.
+        let left_fixed = n > 1 && pairs.iter().all(|&(l, _)| std::ptr::eq(l, pairs[0].0));
+        let right_fixed =
+            !left_fixed && n > 1 && pairs.iter().all(|&(_, r)| std::ptr::eq(r, pairs[0].1));
+        let use_memo = left_fixed || right_fixed;
+
+        let mut views: Vec<(AttrView<'a>, AttrView<'a>)> = Vec::with_capacity(n);
+        // Per-attribute dedup state: `slot_of[i]` maps pair `i` to its
+        // value slot, `reps[slot]` is the first pair carrying the value.
+        let mut memo: HashMap<(bool, Option<u64>, &'a str), u32> = HashMap::new();
+        let mut slot_of: Vec<u32> = Vec::with_capacity(n);
+        let mut reps: Vec<usize> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+
+        let mut col = 0;
+        for (a, funcs) in self.row.functions.iter().enumerate() {
+            views.clear();
+            views.extend(pairs.iter().map(|&(l, r)| (l.view(a), r.view(a))));
+
+            let mut dedup = false;
+            if use_memo {
+                memo.clear();
+                slot_of.clear();
+                reps.clear();
+                for (i, &(lv, rv)) in views.iter().enumerate() {
+                    let v = if left_fixed { rv } else { lv };
+                    // The key covers everything `sim_value` reads except
+                    // the token bags; those are verified by equality on a
+                    // hit because normalization-level Unicode edge cases
+                    // can in principle tokenize equal lowercased texts
+                    // differently.
+                    let key = (v.present, v.number.map(f64::to_bits), v.text);
+                    let slot = match memo.get(&key) {
+                        Some(&s) => {
+                            let (rl, rr) = views[reps[s as usize]];
+                            let rep = if left_fixed { rr } else { rl };
+                            if rep.qgm3 == v.qgm3 && rep.word == v.word {
+                                s
+                            } else {
+                                reps.push(i);
+                                (reps.len() - 1) as u32
+                            }
+                        }
+                        None => {
+                            let s = reps.len() as u32;
+                            memo.insert(key, s);
+                            reps.push(i);
+                            s
+                        }
+                    };
+                    slot_of.push(slot);
+                }
+                dedup = reps.len() < n;
+            }
+
+            if dedup {
+                for &f in *funcs {
+                    vals.clear();
+                    for &p in &reps {
+                        let (lv, rv) = views[p];
+                        vals.push(sim_value_with(&mut scratch, f, interner, lv, rv));
+                    }
+                    for (o, &s) in out.col_mut(col).iter_mut().zip(&slot_of) {
+                        *o = vals[s as usize];
+                    }
+                    col += 1;
+                }
+            } else {
+                for &f in *funcs {
+                    for (o, &(lv, rv)) in out.col_mut(col).iter_mut().zip(&views) {
+                        *o = sim_value_with(&mut scratch, f, interner, lv, rv);
+                    }
+                    col += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Replaces NaN entries with the column mean of the non-NaN entries
 /// (0 when the entire column is NaN), returning the per-column means
 /// applied.
+///
+/// Both passes walk the row-major matrix row by row (per-column
+/// accumulators instead of a column-outer loop), so large feature
+/// matrices stream through cache linearly. Each column's additions still
+/// happen in ascending-row order, so the means are bit-identical to the
+/// column-at-a-time formulation.
 fn impute_column_means(m: &mut Matrix) -> Vec<f64> {
     let (n, d) = (m.rows(), m.cols());
-    let mut means = Vec::with_capacity(d);
-    for j in 0..d {
-        let mut sum = 0.0;
-        let mut cnt = 0usize;
-        for i in 0..n {
-            let v = m[(i, j)];
+    let mut sums = vec![0.0f64; d];
+    let mut cnts = vec![0usize; d];
+    for i in 0..n {
+        for ((&v, sum), cnt) in m.row(i).iter().zip(&mut sums).zip(&mut cnts) {
             if v.is_finite() {
-                sum += v;
-                cnt += 1;
+                *sum += v;
+                *cnt += 1;
             }
         }
-        let mean = if cnt > 0 { sum / cnt as f64 } else { 0.0 };
-        for i in 0..n {
-            if !m[(i, j)].is_finite() {
-                m[(i, j)] = mean;
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&cnts)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    for i in 0..n {
+        for (v, &mean) in m.row_mut(i).iter_mut().zip(&means) {
+            if !v.is_finite() {
+                *v = mean;
             }
         }
-        means.push(mean);
     }
     means
 }
@@ -561,6 +782,112 @@ mod tests {
                 (v - 1.0).abs() < 1e-9,
                 "self-pair feature should be 1.0, got {v}"
             );
+        }
+    }
+
+    #[test]
+    fn batch_featurizer_columns_match_row_featurizer_bitwise() {
+        let (l, r) = restaurant_tables();
+        let fz = PairFeaturizer::with_config(&l, &r, DeriveConfig::blocking(0, 4));
+        let row_fz = RowFeaturizer::new(fz.attr_types());
+        let batch_fz = BatchFeaturizer::new(fz.attr_types());
+        assert_eq!(batch_fz.dim(), row_fz.dim());
+        assert_eq!(batch_fz.group_sizes(), row_fz.group_sizes());
+        let pairs = [(0usize, 0usize), (1, 1), (0, 1), (1, 0)];
+        let mut cols = ColMatrix::new();
+        batch_fz.fill_columns(
+            fz.interner(),
+            pairs.len(),
+            |i| {
+                let (li, ri) = pairs[i];
+                (&fz.left_derived()[li], &fz.right_derived()[ri])
+            },
+            &mut cols,
+        );
+        let mut buf = Vec::new();
+        for (i, &(li, ri)) in pairs.iter().enumerate() {
+            row_fz.raw_row_into(
+                fz.interner(),
+                &fz.left_derived()[li],
+                &fz.right_derived()[ri],
+                &mut buf,
+            );
+            for (j, &v) in buf.iter().enumerate() {
+                assert_eq!(
+                    cols.get(i, j).to_bits(),
+                    v.to_bits(),
+                    "row {i} col {j} (NaN patterns must match too)"
+                );
+            }
+        }
+        // Reuse with a smaller batch reshapes in place.
+        batch_fz.fill_columns(
+            fz.interner(),
+            1,
+            |_| (&fz.left_derived()[0], &fz.right_derived()[0]),
+            &mut cols,
+        );
+        assert_eq!(cols.rows(), 1);
+        assert_eq!(cols.cols(), row_fz.dim());
+        // Empty batches are legal (a record with no candidates).
+        batch_fz.fill_columns(fz.interner(), 0, |_| unreachable!(), &mut cols);
+        assert_eq!(cols.rows(), 0);
+    }
+
+    #[test]
+    fn fixed_side_memoized_fill_matches_row_featurizer_bitwise() {
+        // The streaming shape: one fixed record against a candidate list
+        // with heavy value duplication (shared cities, repeated names,
+        // nulls) — the batch fill must dedup per attribute yet reproduce
+        // the scalar rows to the bit.
+        let schema = Schema::new(["name", "city", "year"]);
+        let mut t = Table::new("t", schema);
+        let rows: [(&str, &str, Value); 6] = [
+            ("Ritz Carlton Cafe", "new york", Value::Int(1999)),
+            ("Joe's Diner", "new york", Value::Int(2005)),
+            ("Joe's Diner", "boston", Value::Null),
+            ("Ritz-Carlton Café", "new york", Value::Int(1999)),
+            ("Joe's Diner", "new york", Value::Int(2005)),
+            ("Totally Other", "boston", Value::Null),
+        ];
+        for (i, (name, city, year)) in rows.into_iter().enumerate() {
+            t.push(Record::new(i as u32, vec![name.into(), city.into(), year]));
+        }
+        let fz = PairFeaturizer::new(&t, &t);
+        let row_fz = RowFeaturizer::new(fz.attr_types());
+        let batch_fz = BatchFeaturizer::new(fz.attr_types());
+        let derived = fz.left_derived();
+        let candidates = [1usize, 2, 3, 4, 5];
+        for (fixed, new_on_left) in [(0usize, true), (0, false), (3, true)] {
+            let mut cols = ColMatrix::new();
+            batch_fz.fill_columns(
+                fz.interner(),
+                candidates.len(),
+                |i| {
+                    if new_on_left {
+                        (&derived[fixed], &derived[candidates[i]])
+                    } else {
+                        (&derived[candidates[i]], &derived[fixed])
+                    }
+                },
+                &mut cols,
+            );
+            let mut buf = Vec::new();
+            for (i, &c) in candidates.iter().enumerate() {
+                let (l, r) = if new_on_left {
+                    (&derived[fixed], &derived[c])
+                } else {
+                    (&derived[c], &derived[fixed])
+                };
+                row_fz.raw_row_into(fz.interner(), l, r, &mut buf);
+                for (j, &v) in buf.iter().enumerate() {
+                    let b = cols.get(i, j);
+                    assert!(
+                        v.to_bits() == b.to_bits() || (v.is_nan() && b.is_nan()),
+                        "fixed={fixed} new_on_left={new_on_left} row {i} col {j}: {v} vs {b}"
+                    );
+                }
+            }
         }
     }
 

@@ -28,7 +28,7 @@
 pub mod generator;
 pub mod registry;
 
-pub use generator::{FeatureSet, PairFeaturizer, RowFeaturizer};
+pub use generator::{BatchFeaturizer, FeatureSet, PairFeaturizer, RowFeaturizer};
 pub use registry::{functions_for, SimFunction};
 // The derivation layer the featurizers consume, re-exported for
 // convenience.

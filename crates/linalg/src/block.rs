@@ -9,7 +9,7 @@
 //! evaluation in the E-step.
 
 use crate::cholesky::{Cholesky, NotPositiveDefinite};
-use crate::matrix::Matrix;
+use crate::matrix::{ColMatrix, Matrix};
 
 /// Column ranges partitioning `0..d` into contiguous feature groups.
 ///
@@ -222,10 +222,64 @@ impl BlockCholesky {
             .sum()
     }
 
+    /// Batched [`BlockCholesky::mahalanobis_sq`]: one quadratic form per
+    /// row of the column-major batch, one pass over the batch per block.
+    ///
+    /// Bit-exactness contract: the scalar path sums block contributions
+    /// as `((0.0 + b₀) + b₁) + …` (iterator `sum` folds from 0.0). To
+    /// reproduce those exact bits, each block's contribution is computed
+    /// into a separate per-row buffer first and only then added into
+    /// `out` — accumulating partial `z_i²` terms of a later block
+    /// directly onto an earlier block's total would associate the sum
+    /// differently and drift by an ULP.
+    ///
+    /// # Panics
+    /// Panics if `x.cols()` or `mu.len()` differ from the layout's
+    /// dimensionality, or `out.len() != x.rows()`.
+    pub fn mahalanobis_sq_batch(
+        &self,
+        x: &ColMatrix,
+        mu: &[f64],
+        scratch: &mut MahalanobisScratch,
+        out: &mut [f64],
+    ) {
+        let d = self.layout.dim();
+        assert_eq!(x.cols(), d, "x dimensionality mismatch");
+        assert_eq!(mu.len(), d, "mu dimensionality mismatch");
+        let n = x.rows();
+        assert_eq!(out.len(), n, "out length mismatch");
+        out.fill(0.0);
+        scratch.block.clear();
+        scratch.block.resize(n, 0.0);
+        for ((off, sz), f) in self.layout.iter().zip(&self.factors) {
+            f.mahalanobis_sq_batch(
+                x,
+                off,
+                &mu[off..off + sz],
+                &mut scratch.z,
+                &mut scratch.block,
+            );
+            for (o, &b) in out.iter_mut().zip(&scratch.block) {
+                *o += b;
+            }
+        }
+    }
+
     /// The layout.
     pub fn layout(&self) -> &GroupLayout {
         &self.layout
     }
+}
+
+/// Reusable scratch buffers for [`BlockCholesky::mahalanobis_sq_batch`]
+/// (and [`crate::BlockGaussian::log_pdf_batch`] on top of it): the
+/// forward-solve stripes plus the per-block partial sums. One instance
+/// per scoring worker removes every allocation from the batched kernel —
+/// the scalar path allocates a fresh `z` vector per block per candidate.
+#[derive(Debug, Clone, Default)]
+pub struct MahalanobisScratch {
+    z: Vec<f64>,
+    block: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -286,6 +340,47 @@ mod tests {
         let x = [1.0, -1.0, 0.5];
         let mu = [0.0, 0.0, 0.0];
         assert!((f.mahalanobis_sq(&x, &mu) - dense.mahalanobis_sq(&x, &mu)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn batched_block_mahalanobis_is_bit_identical_to_scalar() {
+        let b1 = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b2 = Matrix::from_rows(&[&[2.0]]);
+        let b3 = Matrix::from_rows(&[&[1.5, 0.2, 0.1], &[0.2, 2.5, 0.4], &[0.1, 0.4, 0.9]]);
+        let f = BlockDiag::from_blocks(vec![b1, b2, b3]).factor().unwrap();
+        let mu = [0.1, -0.2, 0.3, 0.0, 0.5, -0.4];
+        let rows: Vec<Vec<f64>> = (0..23)
+            .map(|r| (0..6).map(|j| ((r * 7 + j) as f64 * 0.61).sin()).collect())
+            .collect();
+        let mut x = ColMatrix::new();
+        x.reset(rows.len(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                x.set(i, j, v);
+            }
+        }
+        let mut scratch = MahalanobisScratch::default();
+        let mut out = vec![f64::NAN; rows.len()];
+        f.mahalanobis_sq_batch(&x, &mu, &mut scratch, &mut out);
+        for (row, &got) in rows.iter().zip(&out) {
+            assert_eq!(got.to_bits(), f.mahalanobis_sq(row, &mu).to_bits());
+        }
+        // Scratch reuse with a different batch size must stay exact.
+        let mut x2 = ColMatrix::new();
+        x2.reset(3, 6);
+        for i in 0..3 {
+            for (j, &v) in rows[i + 5].iter().enumerate() {
+                x2.set(i, j, v);
+            }
+        }
+        let mut out2 = vec![f64::NAN; 3];
+        f.mahalanobis_sq_batch(&x2, &mu, &mut scratch, &mut out2);
+        for i in 0..3 {
+            assert_eq!(
+                out2[i].to_bits(),
+                f.mahalanobis_sq(&rows[i + 5], &mu).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Cholesky factorization with jitter escalation.
 
-use crate::matrix::Matrix;
+use crate::matrix::{ColMatrix, Matrix};
 
 /// Error returned when a matrix cannot be factored even after jitter
 /// escalation (i.e. it is far from positive-definite).
@@ -161,6 +161,72 @@ impl Cholesky {
         acc
     }
 
+    /// Batched [`Cholesky::mahalanobis_sq`]: one quadratic form per row of
+    /// the column-major batch `x`, reading feature columns
+    /// `col_off .. col_off + dim` and writing `out[r]` for every row `r`.
+    ///
+    /// Bit-exactness contract: for each row, the sequence of
+    /// floating-point operations (subtract the `k < i` back-substitution
+    /// terms in order, divide by `L[i,i]`, accumulate `z_i²` in ascending
+    /// `i`) is *identical* to the scalar forward-solve, so
+    /// `out[r].to_bits()` equals the scalar result's bits for every row.
+    /// The batch form only interchanges the loops: the row loop becomes
+    /// the inner, contiguous stripe the autovectorizer can widen, and the
+    /// per-call `z` allocation of the scalar path is replaced by a reused
+    /// caller-owned scratch.
+    ///
+    /// # Panics
+    /// Panics if the column range exceeds `x`, `mu.len() != self.dim()`,
+    /// or `out.len() != x.rows()`.
+    pub fn mahalanobis_sq_batch(
+        &self,
+        x: &ColMatrix,
+        col_off: usize,
+        mu: &[f64],
+        z: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
+        let d = self.dim();
+        let n = x.rows();
+        assert!(col_off + d <= x.cols(), "column range out of bounds");
+        assert_eq!(mu.len(), d, "mu dimension mismatch");
+        assert_eq!(out.len(), n, "out length mismatch");
+        out.fill(0.0);
+        if d == 1 {
+            // Diagonal block: no cross-feature coupling, no z stripes.
+            let l00 = self.l[(0, 0)];
+            let mu0 = mu[0];
+            for (o, &v) in out.iter_mut().zip(x.col(col_off)) {
+                let zi = (v - mu0) / l00;
+                *o += zi * zi;
+            }
+            return;
+        }
+        // z holds d stripes of n values: stripe i is z_i for every row.
+        z.clear();
+        z.resize(d * n, 0.0);
+        for (i, &mui) in mu.iter().enumerate() {
+            let (zpast, zrest) = z.split_at_mut(i * n);
+            let zcur = &mut zrest[..n];
+            for (c, &v) in zcur.iter_mut().zip(x.col(col_off + i)) {
+                *c = v - mui;
+            }
+            for k in 0..i {
+                let lik = self.l[(i, k)];
+                let zk = &zpast[k * n..(k + 1) * n];
+                for (c, &zkv) in zcur.iter_mut().zip(zk) {
+                    *c -= lik * zkv;
+                }
+            }
+            let lii = self.l[(i, i)];
+            for (c, o) in zcur.iter_mut().zip(out.iter_mut()) {
+                let zi = *c / lii;
+                *c = zi;
+                *o += zi * zi;
+            }
+        }
+    }
+
     /// The inverse `A⁻¹`, formed column by column. Only used by tests and
     /// diagnostics — hot paths use [`Cholesky::solve`] /
     /// [`Cholesky::mahalanobis_sq`] instead.
@@ -244,6 +310,49 @@ mod tests {
     fn negative_definite_fails() {
         let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
         assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn batched_mahalanobis_is_bit_identical_to_scalar() {
+        let c = Cholesky::factor(&spd3()).unwrap();
+        let mu = [0.25, -0.5, 0.125];
+        let rows: Vec<[f64; 3]> = (0..17)
+            .map(|r| {
+                let r = r as f64;
+                [r * 0.37 - 2.0, (r * r).sin() * 1.5, 1.0 / (r + 1.0)]
+            })
+            .collect();
+        let mut x = ColMatrix::new();
+        x.reset(rows.len(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                x.set(i, j, v);
+            }
+        }
+        let mut z = Vec::new();
+        let mut out = vec![f64::NAN; rows.len()];
+        c.mahalanobis_sq_batch(&x, 0, &mu, &mut z, &mut out);
+        for (row, &got) in rows.iter().zip(&out) {
+            let want = c.mahalanobis_sq(row, &mu);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_mahalanobis_diagonal_fast_path_is_bit_identical() {
+        let c = Cholesky::factor(&Matrix::from_rows(&[&[0.3]])).unwrap();
+        let vals = [0.0, 1.0, -3.5, 0.7, f64::MIN_POSITIVE];
+        let mut x = ColMatrix::new();
+        x.reset(vals.len(), 1);
+        for (i, &v) in vals.iter().enumerate() {
+            x.set(i, 0, v);
+        }
+        let mut z = Vec::new();
+        let mut out = vec![0.0; vals.len()];
+        c.mahalanobis_sq_batch(&x, 0, &[0.4], &mut z, &mut out);
+        for (&v, &got) in vals.iter().zip(&out) {
+            assert_eq!(got.to_bits(), c.mahalanobis_sq(&[v], &[0.4]).to_bits());
+        }
     }
 
     #[test]

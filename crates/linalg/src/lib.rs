@@ -29,10 +29,10 @@ pub mod gaussian;
 pub mod matrix;
 pub mod stats;
 
-pub use block::BlockDiag;
+pub use block::{BlockDiag, MahalanobisScratch};
 pub use cholesky::Cholesky;
 pub use gaussian::BlockGaussian;
-pub use matrix::Matrix;
+pub use matrix::{ColMatrix, Matrix};
 
 /// Numerical floor added to variances to keep covariance blocks strictly
 /// positive-definite even when a feature is perfectly degenerate (all

@@ -1,4 +1,5 @@
-//! Dense row-major matrix.
+//! Dense row-major matrix, plus the column-major batch matrix the
+//! batched scoring kernels consume.
 
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
@@ -225,6 +226,88 @@ impl Matrix {
     /// Whether any entry is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// A dense **column-major** `f64` matrix sized for batched scoring: `n`
+/// candidate rows × `d` feature columns, with each feature column stored
+/// contiguously.
+///
+/// This is the struct-of-arrays twin of [`Matrix`]: the batched
+/// featurize → normalize → score kernels all walk one feature column at a
+/// time across the whole batch, so the column — not the row — is the unit
+/// of locality. The buffer is designed for reuse: [`ColMatrix::reset`]
+/// reshapes in place without shrinking the allocation, so a per-worker
+/// scratch instance stops allocating once it has seen its largest batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ColMatrix {
+    /// An empty 0×0 matrix (no allocation until the first
+    /// [`ColMatrix::reset`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshapes to `rows × cols` with every entry zeroed, reusing the
+    /// existing allocation when it is large enough.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Number of rows (batch size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (feature dimensionality).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "col {j} out of bounds ({} cols)", self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "col {j} out of bounds ({} cols)", self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Entry at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        self.data[j * self.rows + i]
+    }
+
+    /// Sets the entry at `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        self.data[j * self.rows + i] = v;
+    }
+
+    /// Copies row `i` into `out` (a gather across columns — only for
+    /// tests and scalar fallbacks, never the batched hot path).
+    pub fn row_into(&self, i: usize, out: &mut Vec<f64>) {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        out.clear();
+        out.extend((0..self.cols).map(|j| self.data[j * self.rows + i]));
     }
 }
 

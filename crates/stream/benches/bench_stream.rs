@@ -11,6 +11,13 @@
 //!    frozen-model scoring + cluster assignment);
 //! 3. scoring-loop allocation delta: `raw_row` (one `Vec` per candidate)
 //!    vs. `raw_row_into` (one reused buffer) over the same pairs;
+//!    followed by the batched-scoring delta in the production shape —
+//!    one new record against its whole candidate window, the way
+//!    `score_candidates` actually batches — comparing the scalar
+//!    row-at-a-time loop against the struct-of-arrays `fill_columns` +
+//!    `score_batch` path (what `StreamOptions::batched_scoring`
+//!    switches), with a bit-identity assertion and a ≥ 1.3× speedup
+//!    criterion;
 //! 4. multi-thread batch-ingest scaling (`ingest_batch_parallel`), with
 //!    a cluster-parity check across thread counts;
 //! 5. retraction throughput + compaction reclaim;
@@ -39,9 +46,10 @@
 //! (default `BENCH_stream.json`).
 
 use std::time::Instant;
+use zeroer_core::ScoreBatch;
 use zeroer_datagen::generate;
 use zeroer_datagen::profiles::rest_fz;
-use zeroer_features::RowFeaturizer;
+use zeroer_features::{BatchFeaturizer, RowFeaturizer};
 use zeroer_obs::json::{Arr, Obj};
 use zeroer_stream::{
     IndexConfig, LinkPipeline, PipelineSnapshot, Side, StreamOptions, StreamPipeline,
@@ -421,6 +429,79 @@ fn main() {
         .f64("raw_row_into_us_per_score", reuse_secs * 1e6 / per)
         .f64("delta_pct", (reuse_secs / alloc_secs - 1.0) * 100.0);
     bench_sections.raw("scoring_alloc", &o.finish());
+
+    // ---- Section 3b: batched struct-of-arrays scoring --------------
+    // The production shape: each record is scored as the "new" arrival
+    // against a window of previous records — exactly how
+    // `score_candidates` batches one ingest's candidate list. Scalar =
+    // raw_row_into + score_raw per candidate (what `batched_scoring =
+    // false` runs); batched = one fill_columns + score_batch per
+    // arrival (the default). The batched path must be bit-identical AND
+    // faster: it reuses one DP scratch across the whole column fill,
+    // dedups repeated candidate values per attribute (low-cardinality
+    // columns collapse to a handful of kernel calls), and evaluates
+    // each covariance block once per batch instead of re-walking the
+    // block layout per row.
+    let batch_fz = BatchFeaturizer::new(&snap.attr_types);
+    const WINDOW: usize = 48;
+    let windows: Vec<(usize, usize)> = (1..caches.len())
+        .map(|i| (i, i.saturating_sub(WINDOW)))
+        .collect();
+    let batch_scores: usize = windows.iter().map(|&(i, lo)| i - lo).sum();
+    let batch_reps = (20_000 / batch_scores.max(1)).max(1);
+
+    let t4 = Instant::now();
+    let mut acc_scalar = 0.0f64;
+    for _ in 0..batch_reps {
+        for &(i, lo) in &windows {
+            for j in lo..i {
+                featurizer.raw_row_into(interner, &caches[i], &caches[j], &mut buf);
+                acc_scalar += scorer.score_raw(&mut buf);
+            }
+        }
+    }
+    let scalar_secs = t4.elapsed().as_secs_f64();
+
+    let t5 = Instant::now();
+    let mut acc_batched = 0.0f64;
+    let mut batch = ScoreBatch::new();
+    for _ in 0..batch_reps {
+        for &(i, lo) in &windows {
+            batch_fz.fill_columns(
+                interner,
+                i - lo,
+                |k| (&caches[i], &caches[lo + k]),
+                batch.cols_mut(),
+            );
+            for &p in scorer.score_batch(&mut batch) {
+                acc_batched += p;
+            }
+        }
+    }
+    let batched_secs = t5.elapsed().as_secs_f64();
+    assert_eq!(
+        acc_scalar.to_bits(),
+        acc_batched.to_bits(),
+        "batched scoring must be bit-identical to scalar"
+    );
+    let speedup = scalar_secs / batched_secs;
+    let batch_per = (batch_scores * batch_reps) as f64;
+    println!(
+        "== batched struct-of-arrays scoring ({} scores, window {WINDOW}) ==",
+        batch_scores * batch_reps
+    );
+    println!(
+        "scalar (row-at-a-time): {:.3} µs/score | batched (fill_columns + score_batch): \
+         {:.3} µs/score → {speedup:.2}× (criterion ≥ 1.3×)\n",
+        scalar_secs * 1e6 / batch_per,
+        batched_secs * 1e6 / batch_per
+    );
+    let mut o = Obj::new();
+    o.u64("scores", (batch_scores * batch_reps) as u64)
+        .f64("scalar_us_per_score", scalar_secs * 1e6 / batch_per)
+        .f64("batched_us_per_score", batched_secs * 1e6 / batch_per)
+        .f64("speedup", speedup);
+    bench_sections.raw("batched_scoring", &o.finish());
 
     // ---- Section 4: multi-thread batch-ingest scaling --------------
     let (boot_par, tail_par) = split(scale_par, seed);

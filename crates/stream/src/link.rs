@@ -52,8 +52,10 @@ use crate::shard::{RecordKeys, ShardedIndex};
 use crate::snapshot::LinkSnapshot;
 use crate::store::EntityStore;
 use std::sync::Mutex;
-use zeroer_core::{LinkageModel, LinkageSnapshot, ModelSnapshot, SnapshotScorer, ZeroErConfig};
-use zeroer_features::RowFeaturizer;
+use zeroer_core::{
+    LinkageModel, LinkageSnapshot, ModelSnapshot, ScoreBatch, SnapshotScorer, ZeroErConfig,
+};
+use zeroer_features::BatchFeaturizer;
 use zeroer_obs::Stopwatch;
 use zeroer_tabular::{Record, Table};
 use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
@@ -124,13 +126,14 @@ pub struct LinkPipeline {
     sides: Vec<Side>,
     left_index: ShardedIndex,
     right_index: ShardedIndex,
-    featurizer: RowFeaturizer,
+    featurizer: BatchFeaturizer,
     scorer: SnapshotScorer,
     /// The full frozen fit (cross + within-table models), kept for
     /// snapshotting.
     linkage: LinkageSnapshot,
-    /// Reusable raw-feature buffer for the sequential scoring hot loop.
-    scratch: Vec<f64>,
+    /// Reusable struct-of-arrays scoring buffers for the sequential
+    /// scoring hot loop.
+    batch: ScoreBatch,
     candidates_seen: usize,
     /// Bootstrap provenance (see [`LinkSnapshot`]).
     left_len: usize,
@@ -226,7 +229,7 @@ impl LinkPipeline {
             transitivity: opts.config.transitivity,
         };
         let scorer = linkage.cross_scorer()?;
-        let featurizer = RowFeaturizer::new(cross_fz.attr_types());
+        let featurizer = BatchFeaturizer::new(cross_fz.attr_types());
         debug_assert_eq!(featurizer.dim(), linkage.cross.dim());
 
         // One combined store: left records first (indices 0..L), then
@@ -308,7 +311,7 @@ impl LinkPipeline {
                 featurizer,
                 scorer,
                 linkage,
-                scratch: Vec::new(),
+                batch: ScoreBatch::new(),
                 pending_tombstones: Vec::new(),
                 pending_epoch: 0,
                 meters,
@@ -331,7 +334,7 @@ impl LinkPipeline {
     /// vs. cross-model dimensionality), or if it carries tombstones for
     /// streamed (non-persisted) records.
     pub fn from_snapshot(snap: &LinkSnapshot, threshold: f64) -> Result<Self, StreamError> {
-        let featurizer = RowFeaturizer::new(&snap.attr_types);
+        let featurizer = BatchFeaturizer::new(&snap.attr_types);
         if featurizer.dim() != snap.linkage.cross.dim() {
             return Err(StreamError(format!(
                 "snapshot attr types imply {} features but the cross model has {}",
@@ -357,6 +360,7 @@ impl LinkPipeline {
             threshold,
             compact_watermark: StreamOptions::default().compact_watermark,
             metrics: StreamOptions::default().metrics,
+            batched_scoring: StreamOptions::default().batched_scoring,
         };
         let meters = StageMeters::from_flag(opts.metrics, "link");
         Ok(Self {
@@ -368,7 +372,7 @@ impl LinkPipeline {
             scorer,
             linkage: snap.linkage.clone(),
             opts,
-            scratch: Vec::new(),
+            batch: ScoreBatch::new(),
             candidates_seen: 0,
             left_len: snap.left_len,
             right_len: snap.right_len,
@@ -511,6 +515,14 @@ impl LinkPipeline {
         self.meters = StageMeters::from_flag(on, "link");
     }
 
+    /// Switches candidate scoring between the struct-of-arrays batched
+    /// kernels and the row-at-a-time scalar loop (see
+    /// [`StreamOptions::batched_scoring`]). A runtime knob, not
+    /// persisted in snapshots; bit-identical either way.
+    pub fn set_batched_scoring(&mut self, on: bool) {
+        self.opts.batched_scoring = on;
+    }
+
     /// Which side record `idx` belongs to.
     ///
     /// # Panics
@@ -642,9 +654,11 @@ impl LinkPipeline {
             self.opts.threshold,
             side == Side::Left,
             &candidates,
-            &|c| store.derived(c),
+            |c| store.derived(c),
             store.derived(idx),
-            &mut self.scratch,
+            &mut self.batch,
+            self.opts.batched_scoring,
+            m.map(|m| m.score_batch_candidates),
         );
         if let Some(m) = m {
             sw.lap(m.score);
@@ -770,6 +784,8 @@ impl LinkPipeline {
         let featurizer = &self.featurizer;
         let scorer = &self.scorer;
         let threshold = self.opts.threshold;
+        let batched = self.opts.batched_scoring;
+        let score_meter = m.map(|m| m.score_batch_candidates);
         let mut candidate_counts: Vec<usize> = vec![0; n];
         let mut matches: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
         {
@@ -796,7 +812,7 @@ impl LinkPipeline {
                     let derived = &derived;
                     let keys = &keys;
                     scope.spawn(move |_| {
-                        let mut buf: Vec<f64> = Vec::new();
+                        let mut batch = ScoreBatch::new();
                         loop {
                             let before = queue_wait.map(|h| (h, std::time::Instant::now()));
                             let mut q = queue.lock().expect("queue poisoned");
@@ -822,9 +838,11 @@ impl LinkPipeline {
                                     threshold,
                                     side == Side::Left,
                                     &candidates,
-                                    &|c| store.derived(c),
+                                    |c| store.derived(c),
                                     &derived[i],
-                                    &mut buf,
+                                    &mut batch,
+                                    batched,
+                                    score_meter,
                                 );
                             }
                         }
@@ -993,9 +1011,15 @@ struct LinkReadView {
     store: EntityStore,
     left_index: ShardedIndex,
     right_index: ShardedIndex,
-    featurizer: RowFeaturizer,
+    featurizer: BatchFeaturizer,
     scorer: SnapshotScorer,
     threshold: f64,
+    /// Pinned from [`StreamOptions::batched_scoring`]; bit-identical
+    /// either way.
+    batched: bool,
+    /// The `link.score.batch_candidates` histogram, pinned at pin time;
+    /// `None` when the pipeline's metrics are off.
+    score_meter: Option<&'static zeroer_obs::Histogram>,
 }
 
 /// A shareable, epoch-pinned resolver over a [`LinkPipeline`]'s read
@@ -1012,7 +1036,7 @@ struct LinkReadView {
 pub struct LinkReadHandle {
     view: std::sync::Arc<LinkReadView>,
     deriver: zeroer_textsim::derive::Deriver,
-    scratch: Vec<f64>,
+    batch: ScoreBatch,
 }
 
 impl Clone for LinkReadHandle {
@@ -1020,7 +1044,7 @@ impl Clone for LinkReadHandle {
         Self {
             view: std::sync::Arc::clone(&self.view),
             deriver: self.deriver.clone(),
-            scratch: Vec::new(),
+            batch: ScoreBatch::new(),
         }
     }
 }
@@ -1035,6 +1059,8 @@ impl LinkReadHandle {
             featurizer: pipeline.featurizer.clone(),
             scorer: pipeline.scorer.clone(),
             threshold: pipeline.opts.threshold,
+            batched: pipeline.opts.batched_scoring,
+            score_meter: pipeline.meters.map(|m| m.score_batch_candidates),
         };
         let deriver = zeroer_textsim::derive::Deriver::with_interner(
             view.store.interner().clone(),
@@ -1043,7 +1069,7 @@ impl LinkReadHandle {
         Self {
             view: std::sync::Arc::new(view),
             deriver,
-            scratch: Vec::new(),
+            batch: ScoreBatch::new(),
         }
     }
 
@@ -1094,9 +1120,11 @@ impl LinkReadHandle {
             view.threshold,
             side == Side::Left,
             &candidates,
-            &|c| store.derived(c),
+            |c| store.derived(c),
             &derived,
-            &mut self.scratch,
+            &mut self.batch,
+            view.batched,
+            view.score_meter,
         );
         crate::split::ResolveOutcome {
             epoch: view.epoch,

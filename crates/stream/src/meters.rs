@@ -32,6 +32,12 @@ pub(crate) struct StageMeters {
     /// Candidate pairs per parallel batch (a count distribution, not
     /// a timer).
     pub batch_candidates: &'static Histogram,
+    /// Candidates scored per batched scoring call (a count
+    /// distribution, not a timer): one sample per record scored
+    /// through the struct-of-arrays path, zero-candidate records
+    /// included. Not recorded when
+    /// [`crate::StreamOptions::batched_scoring`] is off.
+    pub score_batch_candidates: &'static Histogram,
     /// Time scoring workers spend acquiring the single-writer work
     /// queue lock (one sample per queue pop).
     pub queue_wait: &'static Histogram,
@@ -66,6 +72,7 @@ impl StageMeters {
             batch_score: h("batch.score.ns"),
             batch_decide: h("batch.decide.ns"),
             batch_candidates: h("batch.candidates"),
+            score_batch_candidates: h("score.batch_candidates"),
             queue_wait: h("queue_wait.ns"),
             bootstrap: h("bootstrap.ns"),
             seed: h("seed.ns"),

@@ -14,10 +14,11 @@ use crate::store::{EntityStore, StoreCompaction};
 use std::sync::Mutex;
 use zeroer_blocking::{standard_candidates_derived, PairMode};
 use zeroer_core::{
-    GenerativeModel, ModelSnapshot, SnapshotScorer, TransitivityCalibrator, ZeroErConfig,
+    GenerativeModel, ModelSnapshot, ScoreBatch, SnapshotScorer, TransitivityCalibrator,
+    ZeroErConfig,
 };
-use zeroer_features::{PairFeaturizer, RowFeaturizer};
-use zeroer_obs::Stopwatch;
+use zeroer_features::{BatchFeaturizer, PairFeaturizer};
+use zeroer_obs::{Histogram, Stopwatch};
 use zeroer_tabular::{Record, Table};
 use zeroer_textsim::derive::{DerivedRecord, ScratchDerived, ScratchDeriver};
 use zeroer_textsim::intern::{Interner, Sym};
@@ -81,6 +82,17 @@ pub struct StreamOptions {
     /// instrumentation overhead honestly
     /// ([`StreamPipeline::set_metrics`] is the runtime knob).
     pub metrics: bool,
+    /// Whether candidate scoring runs through the struct-of-arrays
+    /// batched kernels (gather all of a record's candidates into a
+    /// column-major feature matrix, then impute/normalize/score one
+    /// feature column and one covariance block at a time) instead of
+    /// the row-at-a-time scalar loop. Default **on**: the batched path
+    /// is bit-identical to the scalar one (`f64::to_bits`, any thread
+    /// count — the per-pair summation order is preserved exactly; see
+    /// `tests/batched_parity.rs`) and substantially faster on records
+    /// with more than a handful of candidates.
+    /// ([`StreamPipeline::set_batched_scoring`] is the runtime knob.)
+    pub batched_scoring: bool,
 }
 
 impl Default for StreamOptions {
@@ -94,6 +106,7 @@ impl Default for StreamOptions {
             threshold: 0.5,
             compact_watermark: Some(0.5),
             metrics: true,
+            batched_scoring: true,
         }
     }
 }
@@ -289,12 +302,12 @@ pub struct StreamPipeline {
     opts: StreamOptions,
     store: EntityStore,
     index: ShardedIndex,
-    featurizer: RowFeaturizer,
+    featurizer: BatchFeaturizer,
     scorer: SnapshotScorer,
-    /// Reusable raw-feature buffer for the sequential scoring hot loop
-    /// (parallel workers carry their own), keeping steady-state scoring
-    /// allocation-free.
-    scratch: Vec<f64>,
+    /// Reusable struct-of-arrays scoring buffers for the sequential
+    /// scoring hot loop (parallel workers carry their own), keeping
+    /// steady-state scoring allocation-free.
+    batch: ScoreBatch,
     /// Candidate pairs generated so far (see [`StreamStats`]).
     candidates_seen: usize,
     /// Bootstrap provenance: how many records the model was fitted on,
@@ -361,31 +374,75 @@ pub(crate) fn records_digest(records: &[Record]) -> u64 {
 /// flips to `(new, candidate)` for left-side linkage ingest, keeping
 /// rows `(left, right)` as the cross model was fitted.
 ///
+/// With `batched` on, the candidates are gathered into `batch`'s
+/// column-major feature matrix (one similarity function filling one
+/// column across every pair) and scored through the struct-of-arrays
+/// kernels ([`zeroer_features::BatchFeaturizer::fill_columns`] →
+/// [`SnapshotScorer::score_batch`]); otherwise each candidate is
+/// featurized and scored row-at-a-time. Both paths run the exact same
+/// float operations per pair in the exact same order, so posteriors are
+/// bit-identical (`f64::to_bits`) between them — `tests/batched_parity.rs`
+/// locks that in.
+///
 /// Every ingest path — sequential and parallel, dedup and linkage —
 /// calls this single function on identical inputs, which is what makes
 /// parallel ingest bit-identical to sequential ingest.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn score_candidates<'a>(
-    featurizer: &RowFeaturizer,
+pub(crate) fn score_candidates<'a, F>(
+    featurizer: &BatchFeaturizer,
     scorer: &SnapshotScorer,
     interner: &Interner,
     threshold: f64,
     new_on_left: bool,
     candidates: &[usize],
-    derived_of: &dyn Fn(usize) -> &'a DerivedRecord,
-    new_derived: &DerivedRecord,
-    buf: &mut Vec<f64>,
-) -> Vec<(usize, f64)> {
+    derived_of: F,
+    new_derived: &'a DerivedRecord,
+    batch: &mut ScoreBatch,
+    batched: bool,
+    batch_meter: Option<&'static Histogram>,
+) -> Vec<(usize, f64)>
+where
+    F: Fn(usize) -> &'a DerivedRecord,
+{
     let mut matches: Vec<(usize, f64)> = Vec::new();
-    for &c in candidates {
-        if new_on_left {
-            featurizer.raw_row_into(interner, new_derived, derived_of(c), buf);
-        } else {
-            featurizer.raw_row_into(interner, derived_of(c), new_derived, buf);
+    if batched {
+        if let Some(h) = batch_meter {
+            h.record(candidates.len() as u64);
         }
-        let p = scorer.score_raw(buf);
-        if p > threshold {
-            matches.push((c, p));
+        if !candidates.is_empty() {
+            featurizer.fill_columns(
+                interner,
+                candidates.len(),
+                |i| {
+                    let c = derived_of(candidates[i]);
+                    if new_on_left {
+                        (new_derived, c)
+                    } else {
+                        (c, new_derived)
+                    }
+                },
+                batch.cols_mut(),
+            );
+            let scores = scorer.score_batch(batch);
+            for (&c, &p) in candidates.iter().zip(scores) {
+                if p > threshold {
+                    matches.push((c, p));
+                }
+            }
+        }
+    } else {
+        let row = featurizer.row();
+        let buf = batch.row_scratch();
+        for &c in candidates {
+            if new_on_left {
+                row.raw_row_into(interner, new_derived, derived_of(c), buf);
+            } else {
+                row.raw_row_into(interner, derived_of(c), new_derived, buf);
+            }
+            let p = scorer.score_raw(buf);
+            if p > threshold {
+                matches.push((c, p));
+            }
         }
     }
     matches.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite posteriors"));
@@ -437,7 +494,7 @@ impl StreamPipeline {
         let snapshot = ModelSnapshot::capture(&model, &ranges, &fs.impute_means, &fs.names);
         let scorer = snapshot.scorer()?;
 
-        let featurizer = RowFeaturizer::new(fz.attr_types());
+        let featurizer = BatchFeaturizer::new(fz.attr_types());
         debug_assert_eq!(featurizer.dim(), snapshot.dim());
 
         // Hand the featurizer's derivation (and interner) to the store —
@@ -491,7 +548,7 @@ impl StreamPipeline {
                 index,
                 featurizer,
                 scorer,
-                scratch: Vec::new(),
+                batch: ScoreBatch::new(),
                 pending_tombstones: Vec::new(),
                 pending_epoch: 0,
                 meters,
@@ -518,7 +575,7 @@ impl StreamPipeline {
     /// vs. model dimensionality), or if it carries tombstones for
     /// streamed (non-persisted) records.
     pub fn from_snapshot(snap: &PipelineSnapshot, threshold: f64) -> Result<Self, StreamError> {
-        let featurizer = RowFeaturizer::new(&snap.attr_types);
+        let featurizer = BatchFeaturizer::new(&snap.attr_types);
         if featurizer.dim() != snap.model.dim() {
             return Err(StreamError(format!(
                 "snapshot attr types imply {} features but the model has {}",
@@ -543,6 +600,7 @@ impl StreamPipeline {
             threshold,
             compact_watermark: StreamOptions::default().compact_watermark,
             metrics: StreamOptions::default().metrics,
+            batched_scoring: StreamOptions::default().batched_scoring,
         };
         let meters = StageMeters::from_flag(opts.metrics, "stream");
         Ok(Self {
@@ -551,7 +609,7 @@ impl StreamPipeline {
             featurizer,
             scorer,
             opts,
-            scratch: Vec::new(),
+            batch: ScoreBatch::new(),
             candidates_seen: 0,
             base_len: snap.bootstrap_len,
             base_matches: snap.bootstrap_pairs.clone(),
@@ -687,6 +745,16 @@ impl StreamPipeline {
         self.meters = StageMeters::from_flag(on, "stream");
     }
 
+    /// Switches candidate scoring between the struct-of-arrays batched
+    /// kernels and the row-at-a-time scalar loop (see
+    /// [`StreamOptions::batched_scoring`]). A runtime knob, not
+    /// persisted in snapshots. On or off, every posterior, decision,
+    /// cluster and snapshot is bit-identical — the flag only trades the
+    /// evaluation strategy.
+    pub fn set_batched_scoring(&mut self, on: bool) {
+        self.opts.batched_scoring = on;
+    }
+
     /// Number of ingested records (bootstrap records included).
     pub fn len(&self) -> usize {
         self.store.len()
@@ -730,6 +798,8 @@ impl StreamPipeline {
             featurizer: self.featurizer.clone(),
             scorer: self.scorer.clone(),
             threshold: self.opts.threshold,
+            batched: self.opts.batched_scoring,
+            score_meter: self.meters.map(|m| m.score_batch_candidates),
         }
     }
 
@@ -777,9 +847,11 @@ impl StreamPipeline {
             self.opts.threshold,
             false,
             &candidates,
-            &|c| store.derived(c),
+            |c| store.derived(c),
             store.derived(idx),
-            &mut self.scratch,
+            &mut self.batch,
+            self.opts.batched_scoring,
+            m.map(|m| m.score_batch_candidates),
         );
         if let Some(m) = m {
             sw.lap(m.score);
@@ -924,6 +996,8 @@ impl StreamPipeline {
         let featurizer = &self.featurizer;
         let scorer = &self.scorer;
         let threshold = self.opts.threshold;
+        let batched = self.opts.batched_scoring;
+        let score_meter = m.map(|m| m.score_batch_candidates);
         let mut matches: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
         {
             let score_chunk = n.div_ceil(threads * 8).max(1);
@@ -944,7 +1018,7 @@ impl StreamPipeline {
                     let candidates = &candidates;
                     let derived = &derived;
                     scope.spawn(move |_| {
-                        let mut buf: Vec<f64> = Vec::new();
+                        let mut batch = ScoreBatch::new();
                         loop {
                             let before = queue_wait.map(|h| (h, std::time::Instant::now()));
                             let mut q = queue.lock().expect("queue poisoned");
@@ -964,7 +1038,7 @@ impl StreamPipeline {
                                     threshold,
                                     false,
                                     &candidates[i],
-                                    &|c| {
+                                    |c| {
                                         if c < base {
                                             store.derived(c)
                                         } else {
@@ -972,7 +1046,9 @@ impl StreamPipeline {
                                         }
                                     },
                                     &derived[i],
-                                    &mut buf,
+                                    &mut batch,
+                                    batched,
+                                    score_meter,
                                 );
                             }
                         }

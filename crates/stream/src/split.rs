@@ -46,8 +46,9 @@ use crate::{CompactionReport, RetractionReport};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
-use zeroer_core::SnapshotScorer;
-use zeroer_features::RowFeaturizer;
+use zeroer_core::{ScoreBatch, SnapshotScorer};
+use zeroer_features::BatchFeaturizer;
+use zeroer_obs::Histogram;
 use zeroer_tabular::Record;
 use zeroer_textsim::derive::Deriver;
 
@@ -63,9 +64,16 @@ pub struct ReadView {
     pub(crate) version: u64,
     pub(crate) store: EntityStore,
     pub(crate) index: ShardedIndex,
-    pub(crate) featurizer: RowFeaturizer,
+    pub(crate) featurizer: BatchFeaturizer,
     pub(crate) scorer: SnapshotScorer,
     pub(crate) threshold: f64,
+    /// Whether resolves ride the struct-of-arrays batched scoring
+    /// kernels (pinned from [`crate::StreamOptions::batched_scoring`]
+    /// at view-publication time; bit-identical either way).
+    pub(crate) batched: bool,
+    /// The `stream.score.batch_candidates` histogram handle, pinned at
+    /// publication time; `None` when the pipeline's metrics are off.
+    pub(crate) score_meter: Option<&'static Histogram>,
 }
 
 /// What a [`ReadHandle::resolve`] query found — the read-only analogue
@@ -108,7 +116,7 @@ impl ResolveOutcome {
 pub struct ReadHandle {
     view: Arc<ReadView>,
     deriver: Deriver,
-    scratch: Vec<f64>,
+    batch: ScoreBatch,
     /// Present when the handle came from a [`SplitPipeline`] (and can
     /// therefore refresh); `None` for a standalone pin.
     shared: Option<Arc<Shared>>,
@@ -119,7 +127,7 @@ impl Clone for ReadHandle {
         Self {
             view: Arc::clone(&self.view),
             deriver: self.deriver.clone(),
-            scratch: Vec::new(),
+            batch: ScoreBatch::new(),
             shared: self.shared.clone(),
         }
     }
@@ -132,7 +140,7 @@ impl ReadHandle {
         Self {
             view,
             deriver,
-            scratch: Vec::new(),
+            batch: ScoreBatch::new(),
             shared,
         }
     }
@@ -191,9 +199,11 @@ impl ReadHandle {
             view.threshold,
             false,
             &candidates,
-            &|c| store.derived(c),
+            |c| store.derived(c),
             &derived,
-            &mut self.scratch,
+            &mut self.batch,
+            view.batched,
+            view.score_meter,
         );
         ResolveOutcome {
             epoch: view.epoch,

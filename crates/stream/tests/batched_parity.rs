@@ -1,0 +1,213 @@
+//! Batched-vs-scalar scoring parity.
+//!
+//! The struct-of-arrays scoring path ([`BatchFeaturizer::fill_columns`]
+//! → `SnapshotScorer::score_batch`) claims **bit-identity** with the
+//! row-at-a-time scalar path on three levels, and this suite locks each
+//! in (`f64::to_bits`, never within-epsilon):
+//!
+//! 1. raw feature matrices — each column of the batch fill equals the
+//!    corresponding entry of the scalar `raw_row_into` row;
+//! 2. posteriors — `score_batch` equals `score_raw` per pair;
+//! 3. match decisions — full pipelines with `batched_scoring` on vs.
+//!    off produce identical outcomes, clusters, and resolve answers at
+//!    1, 2, and 4 threads.
+//!
+//! Bit-identity holds because the batched kernels preserve the scalar
+//! per-pair operation order exactly: imputation/normalization visit
+//! feature columns in ascending order (like the scalar per-row loop),
+//! and the block-diagonal Mahalanobis accumulates one covariance block
+//! at a time into a per-row block buffer before summing blocks in
+//! layout order — the same `fold(0.0, +)` sequence as the scalar path.
+
+use proptest::prelude::*;
+use zeroer_core::ScoreBatch;
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_features::{BatchFeaturizer, DerivedRecord, Deriver};
+use zeroer_stream::{IndexConfig, IngestOutcome, StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+/// Bootstrap/stream split of a generated Rest-FZ dedup table.
+fn split_dataset(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = (table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+fn assert_outcomes_bit_identical(a: &[IngestOutcome], b: &[IngestOutcome], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.index, y.index, "{label}");
+        assert_eq!(x.candidates, y.candidates, "{label} record={}", x.index);
+        assert_eq!(x.cluster, y.cluster, "{label} record={}", x.index);
+        assert_eq!(
+            x.matches.len(),
+            y.matches.len(),
+            "{label} record={}",
+            x.index
+        );
+        for ((ca, pa), (cb, pb)) in x.matches.iter().zip(&y.matches) {
+            assert_eq!(ca, cb, "{label} record={}", x.index);
+            assert_eq!(
+                pa.to_bits(),
+                pb.to_bits(),
+                "{label} record={}: {pa} vs {pb}",
+                x.index
+            );
+        }
+    }
+}
+
+/// Levels 1 and 2: the batched feature fill and the batched posteriors
+/// against their scalar counterparts, over real derived records.
+fn assert_kernel_parity(boot: &Table, snap: &zeroer_stream::PipelineSnapshot) {
+    let featurizer = BatchFeaturizer::new(&snap.attr_types);
+    let scorer = snap.model.scorer().expect("snapshot scorer");
+    let mut deriver = Deriver::new(IndexConfig::default().derive_config());
+    let caches: Vec<DerivedRecord> = boot
+        .records()
+        .iter()
+        .map(|r| deriver.derive(&r.values))
+        .collect();
+    let interner = deriver.interner();
+    // All consecutive pairs plus a few long-range ones: a mix of near
+    // duplicates and clear non-matches.
+    let mut pairs: Vec<(usize, usize)> = (0..caches.len().saturating_sub(1))
+        .map(|i| (i, i + 1))
+        .collect();
+    pairs.extend(
+        (0..caches.len().saturating_sub(3))
+            .step_by(3)
+            .map(|i| (i, i + 3)),
+    );
+
+    // Scalar reference: one raw row + one posterior per pair.
+    let row_fz = featurizer.row();
+    let mut scalar_rows: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
+    let mut scalar_scores: Vec<f64> = Vec::with_capacity(pairs.len());
+    let mut buf: Vec<f64> = Vec::new();
+    for &(i, j) in &pairs {
+        row_fz.raw_row_into(interner, &caches[i], &caches[j], &mut buf);
+        scalar_rows.push(buf.clone());
+        scalar_scores.push(scorer.score_raw(&mut buf));
+    }
+
+    // Batched: one column-major fill + one score_batch call.
+    let mut batch = ScoreBatch::new();
+    featurizer.fill_columns(
+        interner,
+        pairs.len(),
+        |k| {
+            let (i, j) = pairs[k];
+            (&caches[i], &caches[j])
+        },
+        batch.cols_mut(),
+    );
+    // Level 1: the raw (pre-normalization) feature matrix, column by
+    // column, against the scalar rows.
+    for (k, row) in scalar_rows.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            let b = batch.cols().get(k, j);
+            assert!(
+                v.to_bits() == b.to_bits() || (v.is_nan() && b.is_nan()),
+                "feature ({k},{j}): scalar {v} vs batched {b}"
+            );
+        }
+    }
+    // Level 2: posteriors to the bit.
+    let batched_scores = scorer.score_batch(&mut batch);
+    assert_eq!(batched_scores.len(), scalar_scores.len());
+    for (k, (s, b)) in scalar_scores.iter().zip(batched_scores).enumerate() {
+        assert_eq!(s.to_bits(), b.to_bits(), "posterior {k}: {s} vs {b}");
+    }
+}
+
+#[test]
+fn batched_kernels_match_scalar_on_real_features() {
+    let (boot, _) = split_dataset(0.25, 42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    assert_kernel_parity(&boot, &live.snapshot());
+}
+
+/// Level 3, fixed seed: full pipelines, batched on vs. off, sequential
+/// ingest and the resolve read path.
+#[test]
+fn batched_pipeline_outcomes_match_scalar() {
+    let (boot, tail) = split_dataset(0.25, 42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+    let cold = |batched: bool| {
+        let mut p = StreamPipeline::from_snapshot(&snap, StreamOptions::default().threshold)
+            .expect("snapshot restores");
+        p.seed_base(&boot).expect("bootstrap decisions replay");
+        p.set_batched_scoring(batched);
+        p
+    };
+
+    let mut scalar = cold(false);
+    let mut batched = cold(true);
+    assert!(!scalar.options().batched_scoring);
+    assert!(batched.options().batched_scoring);
+
+    // Resolve parity before any streaming (pure read path).
+    let mut scalar_reads = scalar.pin_read_handle();
+    let mut batched_reads = batched.pin_read_handle();
+    for r in &tail {
+        let a = scalar_reads.resolve(r);
+        let b = batched_reads.resolve(r);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.matches.len(), b.matches.len());
+        for ((ca, pa), (cb, pb)) in a.matches.iter().zip(&b.matches) {
+            assert_eq!(ca, cb);
+            assert_eq!(pa.to_bits(), pb.to_bits(), "resolve: {pa} vs {pb}");
+        }
+    }
+
+    // Sequential ingest parity.
+    let scalar_out: Vec<IngestOutcome> = tail.iter().cloned().map(|r| scalar.ingest(r)).collect();
+    let batched_out: Vec<IngestOutcome> = tail.iter().cloned().map(|r| batched.ingest(r)).collect();
+    assert_outcomes_bit_identical(&scalar_out, &batched_out, "sequential");
+    assert_eq!(scalar.clusters(), batched.clusters());
+}
+
+proptest! {
+    // Bootstrap runs a full EM fit per case; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Level 3 as a property: arbitrary dataset seeds, batched parallel
+    /// ingest at arbitrary thread counts against the scalar sequential
+    /// reference.
+    #[test]
+    fn batched_parallel_equals_scalar_sequential(seed in 0u64..200, threads in 1usize..5) {
+        let (boot, tail) = split_dataset(0.1, seed);
+        let Ok((live, _)) = StreamPipeline::bootstrap(&boot, StreamOptions::default()) else {
+            // Tiny unlucky samples can yield no candidate pairs.
+            return;
+        };
+        let snap = live.snapshot();
+        assert_kernel_parity(&boot, &snap);
+
+        let cold = |batched: bool| {
+            let mut p = StreamPipeline::from_snapshot(&snap, StreamOptions::default().threshold)
+                .expect("snapshot restores");
+            p.seed_base(&boot).expect("bootstrap decisions replay");
+            p.set_batched_scoring(batched);
+            p
+        };
+        let mut scalar = cold(false);
+        let scalar_out: Vec<IngestOutcome> =
+            tail.iter().cloned().map(|r| scalar.ingest(r)).collect();
+
+        let mut batched = cold(true);
+        let batched_out = batched.ingest_batch_parallel(tail, threads);
+        assert_outcomes_bit_identical(&scalar_out, &batched_out, "parallel");
+        prop_assert_eq!(scalar.clusters(), batched.clusters());
+    }
+}

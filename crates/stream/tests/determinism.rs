@@ -86,6 +86,34 @@ fn parallel_ingest_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn batched_scoring_is_bit_identical_to_scalar_across_thread_counts() {
+    let (boot, tail) = split_dataset(0, 0.25, 42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+
+    // Scalar sequential ingest is the reference everything else must
+    // reproduce to the bit.
+    let mut reference = cold_pipeline(&snap, &boot);
+    reference.set_batched_scoring(false);
+    let seq_outcomes: Vec<IngestOutcome> =
+        tail.iter().cloned().map(|r| reference.ingest(r)).collect();
+
+    for batched in [false, true] {
+        for threads in [1, 2, 4] {
+            let mut par = cold_pipeline(&snap, &boot);
+            par.set_batched_scoring(batched);
+            let par_outcomes = par.ingest_batch_parallel(tail.clone(), threads);
+            assert_outcomes_identical(&seq_outcomes, &par_outcomes, threads);
+            assert_eq!(
+                reference.clusters(),
+                par.clusters(),
+                "clusters diverged: batched={batched} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn seed_base_reproduces_in_process_bootstrap() {
     let (boot, tail) = split_dataset(0, 0.25, 7);
     let (mut live, report) =

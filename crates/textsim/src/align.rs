@@ -6,6 +6,8 @@
 //! result lands in `[0, 1]` — the same normalization py_stringmatching
 //! applies.
 
+use crate::scratch::SimScratch;
+
 /// Score parameters shared by both aligners.
 const MATCH: f64 = 1.0;
 const MISMATCH: f64 = 0.0;
@@ -14,26 +16,45 @@ const GAP: f64 = -0.5;
 /// Needleman-Wunsch global alignment similarity, normalized to `[0, 1]`
 /// by `min(|a|, |b|)`. Two empty strings score 1.
 pub fn needleman_wunsch(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * GAP).collect();
-    let mut curr = vec![0.0; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        curr[0] = (i + 1) as f64 * GAP;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + if ca == cb { MATCH } else { MISMATCH };
-            curr[j + 1] = sub.max(prev[j + 1] + GAP).max(curr[j] + GAP);
+    needleman_wunsch_with(&mut SimScratch::new(), a, b)
+}
+
+/// [`needleman_wunsch`] reusing `scratch`'s char and DP-row buffers;
+/// bit-identical to the allocating form (same operation sequence).
+pub fn needleman_wunsch_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
+    let mut ac = std::mem::take(&mut scratch.a_chars);
+    let mut bc = std::mem::take(&mut scratch.b_chars);
+    let mut prev = std::mem::take(&mut scratch.frow_a);
+    let mut curr = std::mem::take(&mut scratch.frow_b);
+    ac.clear();
+    ac.extend(a.chars());
+    bc.clear();
+    bc.extend(b.chars());
+    let sim = if ac.is_empty() && bc.is_empty() {
+        1.0
+    } else if ac.is_empty() || bc.is_empty() {
+        0.0
+    } else {
+        prev.clear();
+        prev.extend((0..=bc.len()).map(|j| j as f64 * GAP));
+        curr.clear();
+        curr.resize(bc.len() + 1, 0.0);
+        for (i, &ca) in ac.iter().enumerate() {
+            curr[0] = (i + 1) as f64 * GAP;
+            for (j, &cb) in bc.iter().enumerate() {
+                let sub = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+                curr[j + 1] = sub.max(prev[j + 1] + GAP).max(curr[j] + GAP);
+            }
+            std::mem::swap(&mut prev, &mut curr);
         }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    let raw = prev[b.len()];
-    (raw / a.len().min(b.len()) as f64).clamp(0.0, 1.0)
+        let raw = prev[bc.len()];
+        (raw / ac.len().min(bc.len()) as f64).clamp(0.0, 1.0)
+    };
+    scratch.a_chars = ac;
+    scratch.b_chars = bc;
+    scratch.frow_a = prev;
+    scratch.frow_b = curr;
+    sim
 }
 
 /// Smith-Waterman local alignment similarity, normalized to `[0, 1]` by

@@ -1,43 +1,75 @@
 //! Edit-distance-family measures: Levenshtein, Jaro, Jaro-Winkler.
+//!
+//! Each measure has two forms: an allocating convenience function and a
+//! `*_with` variant that reuses a [`SimScratch`]'s buffers. The
+//! convenience form delegates to the `*_with` form with a fresh scratch,
+//! so both execute the same operation sequence and return bit-identical
+//! results — the batched scoring path relies on this.
+
+use crate::scratch::SimScratch;
 
 /// Levenshtein (edit) distance between two strings, in Unicode scalar
 /// values. Classic dynamic program with two rolling rows — O(|a|·|b|)
 /// time, O(min(|a|,|b|)) space.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    levenshtein_with(&mut SimScratch::new(), a, b)
+}
+
+/// [`levenshtein`] reusing `scratch`'s char and DP-row buffers.
+pub fn levenshtein_with(scratch: &mut SimScratch, a: &str, b: &str) -> usize {
+    let mut ac = std::mem::take(&mut scratch.a_chars);
+    let mut bc = std::mem::take(&mut scratch.b_chars);
+    let mut prev = std::mem::take(&mut scratch.row_a);
+    let mut curr = std::mem::take(&mut scratch.row_b);
+    ac.clear();
+    ac.extend(a.chars());
+    bc.clear();
+    bc.extend(b.chars());
     // Keep the shorter string in the inner dimension for memory.
-    let (short, long) = if a.len() <= b.len() {
-        (&a, &b)
+    let (short, long) = if ac.len() <= bc.len() {
+        (&ac, &bc)
     } else {
-        (&b, &a)
+        (&bc, &ac)
     };
-    if short.is_empty() {
-        return long.len();
-    }
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr = vec![0usize; short.len() + 1];
-    for (i, &lc) in long.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+    let dist = if short.is_empty() {
+        long.len()
+    } else {
+        prev.clear();
+        prev.extend(0..=short.len());
+        curr.clear();
+        curr.resize(short.len() + 1, 0);
+        for (i, &lc) in long.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, &sc) in short.iter().enumerate() {
+                let cost = usize::from(lc != sc);
+                curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
         }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[short.len()]
+        prev[short.len()]
+    };
+    scratch.a_chars = ac;
+    scratch.b_chars = bc;
+    scratch.row_a = prev;
+    scratch.row_b = curr;
+    dist
 }
 
 /// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)` in
 /// `[0, 1]`. Two empty strings are defined as maximally similar.
 pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    levenshtein_sim_with(&mut SimScratch::new(), a, b)
+}
+
+/// [`levenshtein_sim`] reusing `scratch`'s buffers.
+pub fn levenshtein_sim_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
     let la = a.chars().count();
     let lb = b.chars().count();
     let max = la.max(lb);
     if max == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max as f64
+    1.0 - levenshtein_with(scratch, a, b) as f64 / max as f64
 }
 
 /// Jaro similarity in `[0, 1]`.
@@ -46,55 +78,77 @@ pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
 /// and transposition count per the standard definition. Two empty strings
 /// score 1; empty vs non-empty scores 0.
 pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut a_matched = Vec::with_capacity(a.len());
-    for (i, &ca) in a.iter().enumerate() {
-        let lo = i.saturating_sub(window);
-        let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == ca {
-                b_used[j] = true;
-                a_matched.push(ca);
-                break;
+    jaro_with(&mut SimScratch::new(), a, b)
+}
+
+/// [`jaro`] reusing `scratch`'s buffers.
+pub fn jaro_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
+    let mut ac = std::mem::take(&mut scratch.a_chars);
+    let mut bc = std::mem::take(&mut scratch.b_chars);
+    let mut b_used = std::mem::take(&mut scratch.used);
+    let mut a_matched = std::mem::take(&mut scratch.matched_a);
+    let mut b_matched = std::mem::take(&mut scratch.matched_b);
+    ac.clear();
+    ac.extend(a.chars());
+    bc.clear();
+    bc.extend(b.chars());
+    let sim = 'done: {
+        if ac.is_empty() && bc.is_empty() {
+            break 'done 1.0;
+        }
+        if ac.is_empty() || bc.is_empty() {
+            break 'done 0.0;
+        }
+        let window = (ac.len().max(bc.len()) / 2).saturating_sub(1);
+        b_used.clear();
+        b_used.resize(bc.len(), false);
+        a_matched.clear();
+        for (i, &ca) in ac.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(bc.len());
+            for j in lo..hi {
+                if !b_used[j] && bc[j] == ca {
+                    b_used[j] = true;
+                    a_matched.push(ca);
+                    break;
+                }
             }
         }
-    }
-    let m = a_matched.len();
-    if m == 0 {
-        return 0.0;
-    }
-    // Count transpositions: compare matched sequences in order.
-    let b_matched: Vec<char> = b_used
-        .iter()
-        .zip(&b)
-        .filter(|(u, _)| **u)
-        .map(|(_, &c)| c)
-        .collect();
-    let t = a_matched
-        .iter()
-        .zip(&b_matched)
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
-    let m = m as f64;
-    (m / a.len() as f64 + m / b.len() as f64 + (m - t as f64) / m) / 3.0
+        let m = a_matched.len();
+        if m == 0 {
+            break 'done 0.0;
+        }
+        // Count transpositions: compare matched sequences in order.
+        b_matched.clear();
+        b_matched.extend(b_used.iter().zip(&bc).filter(|(u, _)| **u).map(|(_, &c)| c));
+        let t = a_matched
+            .iter()
+            .zip(&b_matched)
+            .filter(|(x, y)| x != y)
+            .count()
+            / 2;
+        let m = m as f64;
+        (m / ac.len() as f64 + m / bc.len() as f64 + (m - t as f64) / m) / 3.0
+    };
+    scratch.a_chars = ac;
+    scratch.b_chars = bc;
+    scratch.used = b_used;
+    scratch.matched_a = a_matched;
+    scratch.matched_b = b_matched;
+    sim
 }
 
 /// Jaro-Winkler similarity: Jaro boosted by up to 4 characters of common
 /// prefix with scaling factor `p = 0.1`. Range `[0, 1]`.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(&mut SimScratch::new(), a, b)
+}
+
+/// [`jaro_winkler`] reusing `scratch`'s buffers.
+pub fn jaro_winkler_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
     const P: f64 = 0.1;
     const MAX_PREFIX: usize = 4;
-    let j = jaro(a, b);
+    let j = jaro_with(scratch, a, b);
     let prefix = a
         .chars()
         .zip(b.chars())

@@ -32,19 +32,25 @@ pub mod derive;
 pub mod edit;
 pub mod intern;
 pub mod numeric;
+pub mod scratch;
 pub mod tfidf;
 pub mod token;
 pub mod tokenize;
 
+pub use align::needleman_wunsch_with;
 pub use derive::{
     AttrDerived, AttrView, BlockSpec, DeriveConfig, DerivedRecord, Deriver, KeySet, ScratchDerived,
     ScratchDeriver,
 };
-pub use edit::{hamming_sim, jaro, jaro_winkler, levenshtein, levenshtein_sim, prefix_sim};
+pub use edit::{
+    hamming_sim, jaro, jaro_winkler, jaro_winkler_with, jaro_with, levenshtein, levenshtein_sim,
+    levenshtein_sim_with, levenshtein_with, prefix_sim,
+};
 pub use intern::{fnv1a, InternSink, Interner, Sym};
 pub use numeric::{abs_diff_sim, exact_match, rel_diff_sim};
+pub use scratch::SimScratch;
 pub use tfidf::IdfModel;
-pub use token::{cosine, dice, jaccard, monge_elkan, overlap_coefficient};
+pub use token::{cosine, dice, jaccard, monge_elkan, monge_elkan_with, overlap_coefficient};
 pub use tokenize::{normalize, qgrams, words, TokenBag};
 
 #[cfg(test)]
@@ -110,6 +116,40 @@ mod proptests {
         fn jaro_winkler_dominates_jaro(a in short_ascii(), b in short_ascii()) {
             prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12,
                 "Winkler prefix bonus can only increase Jaro");
+        }
+
+        #[test]
+        fn scratch_kernels_are_bit_identical(a in short_ascii(), b in short_ascii()) {
+            // The `*_with` variants must reproduce the allocating forms
+            // exactly — same bits, not within-epsilon — because the
+            // batched scoring path swaps them in while the scalar path
+            // keeps the allocating forms.
+            let mut s = SimScratch::new();
+            prop_assert_eq!(levenshtein_with(&mut s, &a, &b), levenshtein(&a, &b));
+            prop_assert_eq!(
+                levenshtein_sim_with(&mut s, &a, &b).to_bits(),
+                levenshtein_sim(&a, &b).to_bits()
+            );
+            prop_assert_eq!(jaro_with(&mut s, &a, &b).to_bits(), jaro(&a, &b).to_bits());
+            prop_assert_eq!(
+                jaro_winkler_with(&mut s, &a, &b).to_bits(),
+                jaro_winkler(&a, &b).to_bits()
+            );
+            prop_assert_eq!(
+                needleman_wunsch_with(&mut s, &a, &b).to_bits(),
+                align::needleman_wunsch(&a, &b).to_bits()
+            );
+            let mut it = Interner::new();
+            let (ta, tb) = (words(&mut it, &a), words(&mut it, &b));
+            prop_assert_eq!(
+                monge_elkan_with(&mut s, &it, &ta, &tb).to_bits(),
+                monge_elkan(&it, &ta, &tb).to_bits()
+            );
+            // Reuse across calls must not leak state between kernels.
+            prop_assert_eq!(
+                levenshtein_sim_with(&mut s, &b, &a).to_bits(),
+                levenshtein_sim(&b, &a).to_bits()
+            );
         }
 
         #[test]

@@ -1,7 +1,8 @@
 //! Token-based and hybrid similarity measures.
 
-use crate::edit::jaro_winkler;
+use crate::edit::{jaro_winkler, jaro_winkler_with};
 use crate::intern::Interner;
+use crate::scratch::SimScratch;
 use crate::tokenize::TokenBag;
 
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|` over distinct tokens, in
@@ -83,6 +84,42 @@ pub fn monge_elkan(interner: &Interner, a: &TokenBag, b: &TokenBag) -> f64 {
         total += best;
     }
     total / a_toks.len() as f64
+}
+
+/// [`monge_elkan`] reusing `scratch`'s buffers for the outer token list
+/// and every inner Jaro-Winkler call; bit-identical to the allocating
+/// form. Sorting `a`'s *symbols* by their token text visits the same
+/// outer sequence as sorting the texts themselves (distinct symbols
+/// always resolve to distinct texts), so the summation order — and with
+/// it every float operation — is unchanged.
+pub fn monge_elkan_with(
+    scratch: &mut SimScratch,
+    interner: &Interner,
+    a: &TokenBag,
+    b: &TokenBag,
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut syms = std::mem::take(&mut scratch.syms);
+    syms.clear();
+    syms.extend(a.syms());
+    syms.sort_unstable_by(|&x, &y| interner.resolve(x).cmp(interner.resolve(y)));
+    let mut total = 0.0;
+    for &sa in &syms {
+        let ta = interner.resolve(sa);
+        let mut best = 0.0f64;
+        for tb in b.tokens(interner) {
+            best = best.max(jaro_winkler_with(scratch, ta, tb));
+        }
+        total += best;
+    }
+    let n = syms.len() as f64;
+    scratch.syms = syms;
+    total / n
 }
 
 #[cfg(test)]
