@@ -1,0 +1,298 @@
+//! Snapshot lifecycle under load: what a live model swap costs and what
+//! it buys.
+//!
+//! Sections:
+//! 1. swap latency: repeated `refit()` over a populated store — the
+//!    full re-fit (candidates → features → EM → snapshot swap) from the
+//!    `stream.refresh.ns` registry histogram;
+//! 2. resolve tail latency across a swap: a resolver fleet on the
+//!    read/write split's pinned handles while the writer executes
+//!    `WriteHandle::refresh` swaps mid-run — client-measured resolve
+//!    p50/p99 must not fall off a cliff because a refit is in flight;
+//! 3. drifted-stream F1: bootstrap on clean Rest-FZ, stream a
+//!    medium-dirt tail — pairwise cluster F1 with the stale bootstrap
+//!    model vs. a mid-stream refit (the refreshed model must be at
+//!    least as accurate on the drifted suffix);
+//! 4. publish amplification: records ingested through the write path
+//!    vs. `stream.publish.ns` samples — the writer publishes once per
+//!    drained batch, so the ratio must stay below one publish per
+//!    record.
+//!
+//! Besides the human-readable report, the run writes
+//! `BENCH_refresh.json` (schema `zeroer-bench-refresh-v1`, path
+//! overridable via `ZEROER_BENCH_OUT`) for dashboards and the CI
+//! schema check.
+//!
+//! Knobs: `ZEROER_SCALE` (default 0.25), `ZEROER_SEED` (default 42),
+//! `ZEROER_CLIENTS` (default min(4, cores)), `ZEROER_BENCH_OUT`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use zeroer_datagen::generate;
+use zeroer_datagen::perturb::DirtLevel;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_eval::clusters::{clusters_from_pairs, pairwise_cluster_f1};
+use zeroer_obs::json::Obj;
+use zeroer_stream::{PipelineSnapshot, SplitPipeline, StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Bootstrap table (first 70 %) and streamed tail (last 30 %).
+fn split(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = (table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+fn cold(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
+    let mut p = StreamPipeline::from_snapshot(snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    p.seed_base(boot).expect("bootstrap decisions replay");
+    p
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64
+}
+
+fn main() {
+    let scale = env_f64("ZEROER_SCALE", 0.25);
+    let seed = env_f64("ZEROER_SEED", 42.0) as u64;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let clients = env_f64("ZEROER_CLIENTS", cores.min(4) as f64) as usize;
+
+    println!("== bench_refresh ==");
+    let mut header = Obj::new();
+    header
+        .str("bench", "zeroer-bench-refresh-v1")
+        .u64("cores", cores as u64)
+        .f64("scale", scale)
+        .u64("seed", seed)
+        .u64("clients", clients as u64);
+    match zeroer_obs::rss_bytes() {
+        Some(rss) => header.u64("rss_bytes", rss),
+        None => header.raw("rss_bytes", "null"),
+    };
+    let header_json = header.finish();
+    println!("header: {header_json}");
+
+    let (boot, tail) = split(scale, seed);
+    let (fitted, _) =
+        StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = fitted.snapshot();
+    drop(fitted);
+    println!(
+        "dataset Rest-FZ at scale {scale}: {} bootstrap records, {} tail records\n",
+        boot.len(),
+        tail.len()
+    );
+    let mut bench_sections = Obj::new();
+
+    // ---- Section 1: swap latency ----------------------------------
+    // Refit over the same populated store several times: the store does
+    // not change between rounds, so every round re-fits an identical
+    // candidate set and the histogram measures pure refit + swap cost.
+    const SWAP_ROUNDS: usize = 5;
+    println!("== swap latency ({SWAP_ROUNDS} refits over a populated store) ==");
+    let mut pipeline = cold(&snap, &boot);
+    pipeline.ingest_batch(tail.clone());
+    zeroer_obs::reset();
+    let t = Instant::now();
+    let mut last = None;
+    for _ in 0..SWAP_ROUNDS {
+        last = Some(pipeline.refit().expect("refit"));
+    }
+    let swap_secs = t.elapsed().as_secs_f64();
+    let report = last.expect("at least one refit ran");
+    let refresh_hist = zeroer_obs::histogram("stream.refresh.ns").snapshot();
+    println!(
+        "{SWAP_ROUNDS} refits over {} records / {} pairs in {swap_secs:.3} s → \
+         refit p50 {:.1} ms (max {:.1} ms), {} EM iterations each, generation {}",
+        report.records,
+        report.pairs,
+        refresh_hist.percentile(50.0) / 1e6,
+        refresh_hist.max as f64 / 1e6,
+        report.em_iterations,
+        report.generation
+    );
+    let mut o = Obj::new();
+    o.u64("refits", SWAP_ROUNDS as u64)
+        .u64("records", report.records as u64)
+        .u64("pairs", report.pairs as u64)
+        .u64("em_iterations", report.em_iterations as u64)
+        .u64("generation", report.generation)
+        .f64("refit_p50_ns", refresh_hist.percentile(50.0))
+        .f64("refit_max_ns", refresh_hist.max as f64)
+        .f64("secs", swap_secs);
+    bench_sections.raw("swap", &o.finish());
+
+    // ---- Section 2: resolve tail latency across a swap ------------
+    println!("\n== resolve tail latency across a swap ({clients} resolver threads) ==");
+    zeroer_obs::reset();
+    let mut warm = cold(&snap, &boot);
+    warm.ingest_batch(tail.clone());
+    let split_pipeline = SplitPipeline::with_threads(warm, cores.min(4));
+    let writes = split_pipeline.write_handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut resolvers = Vec::new();
+    for c in 0..clients {
+        let mut handle = split_pipeline.read_handle();
+        let stop = Arc::clone(&stop);
+        let probes: Vec<Record> = tail
+            .iter()
+            .skip(c * 7 % tail.len().max(1))
+            .cloned()
+            .collect();
+        resolvers.push(std::thread::spawn(move || {
+            let mut lat = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                for probe in &probes {
+                    let t = Instant::now();
+                    let out = handle.resolve(probe);
+                    lat.push((t.elapsed().as_nanos() as u64, out.cluster.is_some()));
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                handle.refresh();
+            }
+            lat
+        }));
+    }
+    const LIVE_SWAPS: usize = 3;
+    let t = Instant::now();
+    let mut generation = 0u64;
+    for _ in 0..LIVE_SWAPS {
+        generation = writes.refresh().expect("live refresh").generation;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut matched = 0usize;
+    for r in resolvers {
+        for (ns, hit) in r.join().expect("resolver thread") {
+            lat_ns.push(ns);
+            matched += usize::from(hit);
+        }
+    }
+    let race_secs = t.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    println!(
+        "{} resolves ({} matched) raced {LIVE_SWAPS} live swaps (generation {generation}) \
+         in {race_secs:.3} s → resolve p50 {:.1} µs / p99 {:.1} µs",
+        lat_ns.len(),
+        matched,
+        percentile(&lat_ns, 50.0) / 1e3,
+        percentile(&lat_ns, 99.0) / 1e3
+    );
+    let mut o = Obj::new();
+    o.u64("resolves", lat_ns.len() as u64)
+        .u64("matched", matched as u64)
+        .u64("live_swaps", LIVE_SWAPS as u64)
+        .u64("generation", generation)
+        .f64("secs", race_secs)
+        .f64("p50_ns", percentile(&lat_ns, 50.0))
+        .f64("p99_ns", percentile(&lat_ns, 99.0));
+    bench_sections.raw("resolve_under_swap", &o.finish());
+    let _ = split_pipeline.shutdown();
+
+    // ---- Section 3: drifted-stream F1 -----------------------------
+    // The stream drifts: a second Rest-FZ generation with medium dirt
+    // on both sides. The stale pipeline keeps scoring with the clean
+    // bootstrap model; the refreshed pipeline refits mid-stream, so its
+    // second half is scored by a model that has seen drifted data.
+    println!("\n== drifted-stream F1 (clean bootstrap, medium-dirt stream) ==");
+    let mut drift_profile = rest_fz();
+    drift_profile.left_dirt = DirtLevel::medium();
+    drift_profile.right_dirt = DirtLevel::medium();
+    let drift_ds = generate(&drift_profile, scale, seed + 1);
+    let (drift_table, drift_truth) = drift_ds.dedup_table();
+    let drift_records: Vec<Record> = drift_table.records().to_vec();
+    let half = drift_records.len() / 2;
+    let nb = boot.len();
+    let truth: Vec<(usize, usize)> = drift_truth.iter().map(|&(a, b)| (nb + a, nb + b)).collect();
+
+    let mut stale = cold(&snap, &boot);
+    stale.ingest_batch(drift_records[..half].to_vec());
+    stale.ingest_batch(drift_records[half..].to_vec());
+    let f1_stale = pairwise_cluster_f1(&stale.clusters(), &clusters_from_pairs(&truth)).f1();
+
+    let mut refreshed = cold(&snap, &boot);
+    refreshed.ingest_batch(drift_records[..half].to_vec());
+    let divergence = refreshed.drift().divergence();
+    let refit = refreshed.refit().expect("mid-stream refit");
+    refreshed.ingest_batch(drift_records[half..].to_vec());
+    let f1_refreshed =
+        pairwise_cluster_f1(&refreshed.clusters(), &clusters_from_pairs(&truth)).f1();
+    println!(
+        "{} drifted records ({} truth pairs): stale F1 {f1_stale:.4} vs refreshed F1 \
+         {f1_refreshed:.4} (drift divergence {divergence:.3} at the refit, {} EM iterations)",
+        drift_records.len(),
+        truth.len(),
+        refit.em_iterations
+    );
+    let mut o = Obj::new();
+    o.u64("drift_records", drift_records.len() as u64)
+        .u64("truth_pairs", truth.len() as u64)
+        .f64("divergence_at_refit", divergence)
+        .f64("f1_stale", f1_stale)
+        .f64("f1_refreshed", f1_refreshed);
+    bench_sections.raw("drift_f1", &o.finish());
+
+    // ---- Section 4: publish amplification -------------------------
+    println!("\n== publish amplification (write path, publish-per-drain) ==");
+    zeroer_obs::reset();
+    let split_pipeline = SplitPipeline::with_threads(cold(&snap, &boot), cores.min(4));
+    let writes = split_pipeline.write_handle();
+    let t = Instant::now();
+    let mut ingested = 0usize;
+    for chunk in tail.chunks(32) {
+        writes.ingest(chunk.to_vec()).expect("ingest");
+        ingested += chunk.len();
+    }
+    let ingest_secs = t.elapsed().as_secs_f64();
+    let publish_hist = zeroer_obs::histogram("stream.publish.ns").snapshot();
+    let publishes = publish_hist.count;
+    let per_record = publishes as f64 / ingested.max(1) as f64;
+    println!(
+        "{ingested} records ingested in {ingest_secs:.3} s → {publishes} view publications \
+         ({per_record:.3} per record; publish p50 {:.1} µs)",
+        publish_hist.percentile(50.0) / 1e3
+    );
+    let mut o = Obj::new();
+    o.u64("ingested", ingested as u64)
+        .u64("publishes", publishes)
+        .f64("publishes_per_record", per_record)
+        .f64("publish_p50_ns", publish_hist.percentile(50.0))
+        .f64("secs", ingest_secs);
+    bench_sections.raw("publish_amplification", &o.finish());
+    let _ = split_pipeline.shutdown();
+
+    // ---- BENCH_refresh.json ---------------------------------------
+    let mut doc = Obj::new();
+    doc.str("schema", "zeroer-bench-refresh-v1")
+        .raw("header", &header_json)
+        .raw("sections", &bench_sections.finish());
+    let out_path =
+        std::env::var("ZEROER_BENCH_OUT").unwrap_or_else(|_| "BENCH_refresh.json".into());
+    match std::fs::write(&out_path, doc.finish() + "\n") {
+        Ok(()) => println!("\nmachine-readable results written to {out_path}"),
+        Err(e) => println!("\nWARNING: cannot write {out_path}: {e}"),
+    }
+}

@@ -131,6 +131,46 @@ impl ModelSnapshot {
         self.group_sizes.iter().sum()
     }
 
+    /// Per-feature mean and spread (standard deviation) of the fitted
+    /// two-component mixture, in the *prepared* (imputed + min-max
+    /// scaled) feature space — the space [`ModelSnapshot::prepare_row`]
+    /// and [`ModelSnapshot::prepare_columns`] map incoming pairs into.
+    ///
+    /// For feature `j` with per-class moments `(µ_Mj, σ²_Mj)` /
+    /// `(µ_Uj, σ²_Uj)` and match prior `π_M`, the mixture moments are
+    ///
+    /// ```text
+    /// µ_j  = π_M µ_Mj + (1 − π_M) µ_Uj
+    /// σ²_j = π_M (σ²_Mj + µ_Mj²) + (1 − π_M)(σ²_Uj + µ_Uj²) − µ_j²
+    /// ```
+    ///
+    /// This is the distribution the model *expects* prepared candidate
+    /// features to follow, which makes it the natural drift baseline: a
+    /// stream whose per-feature means wander many baseline spreads away
+    /// from `µ_j` is no longer the population the model was fitted on.
+    pub fn mixture_moments(&self) -> (Vec<f64>, Vec<f64>) {
+        let d = self.dim();
+        let mut means = Vec::with_capacity(d);
+        let mut spreads = Vec::with_capacity(d);
+        let pm = self.pi_m;
+        let pu = 1.0 - self.pi_m;
+        let mut j = 0;
+        for (g, &sz) in self.group_sizes.iter().enumerate() {
+            for k in 0..sz {
+                let var_m = self.cov_m[g][k * sz + k];
+                let var_u = self.cov_u[g][k * sz + k];
+                let mm = self.mean_m[j];
+                let mu = self.mean_u[j];
+                let mean = pm * mm + pu * mu;
+                let var = pm * (var_m + mm * mm) + pu * (var_u + mu * mu) - mean * mean;
+                means.push(mean);
+                spreads.push(var.max(0.0).sqrt());
+                j += 1;
+            }
+        }
+        (means, spreads)
+    }
+
     /// Prepares a raw (pre-normalization) feature row for scoring, in
     /// place: missing values (`NaN`) are imputed with the training means,
     /// then every column is min-max scaled with the training ranges via
@@ -485,6 +525,15 @@ impl ScoreBatch {
     /// prepared — imputed and normalized — values).
     pub fn cols(&self) -> &ColMatrix {
         &self.cols
+    }
+
+    /// The posteriors the last [`SnapshotScorer::score_batch`] call
+    /// computed, one per batch row (empty before the first call).
+    /// Together with [`ScoreBatch::cols`] this lets observers — like
+    /// the streaming drift monitor — summarize what was just scored
+    /// without re-running any float work.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
     }
 
     /// The reusable scalar row buffer for per-row fallback scoring.

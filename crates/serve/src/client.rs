@@ -1,7 +1,9 @@
 //! A small synchronous client for the serve protocol, used by the CLI
 //! smoke path, the e2e tests, and `bench_serve`'s load generator.
 
-use crate::protocol::{admin_request, ingest_request, read_frame, resolve_request, write_frame};
+use crate::protocol::{
+    admin_request, ingest_request, link_resolve_request, read_frame, resolve_request, write_frame,
+};
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use zeroer_core::json::Json;
@@ -133,6 +135,40 @@ impl Client {
     /// Fails on I/O errors or a server-side error response.
     pub fn resolve(&mut self, values: &[zeroer_tabular::Value]) -> io::Result<WireResolution> {
         let response = self.call(&resolve_request(values))?;
+        Ok(WireResolution {
+            epoch: field_usize(&response, "epoch")? as u64,
+            candidates: field_usize(&response, "candidates")?,
+            cluster: match response
+                .require("cluster")
+                .map_err(|e| schema_err(e.to_string()))?
+            {
+                Json::Null => None,
+                v => Some(
+                    v.as_usize()
+                        .ok_or_else(|| schema_err("non-integer cluster"))?,
+                ),
+            },
+            matches: parse_matches(&response)?,
+        })
+    }
+
+    /// Resolves one side-tagged record against a linkage server
+    /// ([`crate::LinkServer`]): the record is blocked against the
+    /// opposite side's index and scored with the frozen cross model.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a server-side error response (including
+    /// sending a side to a dedup server, which rejects it).
+    pub fn resolve_side(
+        &mut self,
+        values: &[zeroer_tabular::Value],
+        side: zeroer_stream::Side,
+    ) -> io::Result<WireResolution> {
+        let side = match side {
+            zeroer_stream::Side::Left => "left",
+            zeroer_stream::Side::Right => "right",
+        };
+        let response = self.call(&link_resolve_request(values, side))?;
         Ok(WireResolution {
             epoch: field_usize(&response, "epoch")? as u64,
             candidates: field_usize(&response, "candidates")?,

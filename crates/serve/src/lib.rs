@@ -13,7 +13,12 @@
 //!   micro-batched into the single-writer protocol, preserving
 //!   admission-order determinism;
 //! * **admin** — `ping` / `stats` (byte-identical with the CLI
-//!   `--stats` renderer) / `compact` / `snapshot` / `shutdown`.
+//!   `--stats` renderer) / `compact` / `refresh` (re-fit + snapshot
+//!   swap on the writer) / `snapshot` / `shutdown`.
+//!
+//! Linkage pipelines are served read-only by [`LinkServer`], whose
+//! resolve verb is **side-aware** (`"side":"left"|"right"`) and backed
+//! by [`zeroer_stream::LinkReadHandle`].
 //!
 //! Everything is `std` + workspace crates: sockets are `std::net`, JSON
 //! is the workspace's own reader/writer pair. See the crate README for
@@ -22,8 +27,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod link_server;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, WireIngest, WireResolution};
+pub use link_server::LinkServer;
 pub use server::Server;

@@ -12,8 +12,15 @@
 //! | verb | shape |
 //! |---|---|
 //! | resolve | `{"op":"resolve","values":["golden dragon","new york"]}` |
+//! | resolve (linkage) | `{"op":"resolve","side":"left"\|"right","values":[...]}` |
 //! | ingest  | `{"op":"ingest","records":[{"id":7,"values":[...]}, …]}` |
-//! | admin   | `{"op":"admin","cmd":"ping"\|"stats"\|"compact"\|"snapshot"\|"shutdown"}` |
+//! | admin   | `{"op":"admin","cmd":"ping"\|"stats"\|"compact"\|"refresh"\|"snapshot"\|"shutdown"}` |
+//!
+//! `side` is required on a [`crate::LinkServer`] (the record is blocked
+//! against the *opposite* side's index) and rejected by a dedup server;
+//! `admin refresh` re-fits the model over the writer's live records and
+//! swaps the serving snapshot, answering
+//! `{"ok":true,"records":N,"pairs":P,"em_iterations":I,"divergence":D,"generation":G}`.
 //!
 //! `values` entries preserve the [`zeroer_tabular::Value`] variant:
 //! strings travel as JSON strings **verbatim** (never re-parsed, so
@@ -124,6 +131,17 @@ fn values_json(values: &[Value]) -> String {
 pub fn resolve_request(values: &[Value]) -> String {
     let mut o = Obj::new();
     o.str("op", "resolve");
+    o.raw("values", &values_json(values));
+    o.finish()
+}
+
+/// Builds a side-aware linkage resolve request for one record's values
+/// (`side` is `"left"` or `"right"` — which table the record belongs
+/// to; it resolves against the opposite side).
+pub fn link_resolve_request(values: &[Value], side: &str) -> String {
+    let mut o = Obj::new();
+    o.str("op", "resolve");
+    o.str("side", side);
     o.raw("values", &values_json(values));
     o.finish()
 }

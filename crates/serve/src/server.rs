@@ -27,17 +27,17 @@ use zeroer_tabular::{Record, Value};
 
 /// The `serve.*` metric handles, resolved once per server.
 #[derive(Clone, Copy)]
-struct ServeMeters {
-    connections: &'static Counter,
-    requests: &'static Counter,
-    errors: &'static Counter,
-    resolve: &'static Histogram,
+pub(crate) struct ServeMeters {
+    pub(crate) connections: &'static Counter,
+    pub(crate) requests: &'static Counter,
+    pub(crate) errors: &'static Counter,
+    pub(crate) resolve: &'static Histogram,
     ingest: &'static Histogram,
-    admin: &'static Histogram,
+    pub(crate) admin: &'static Histogram,
 }
 
 impl ServeMeters {
-    fn from_flag(on: bool) -> Option<Self> {
+    pub(crate) fn from_flag(on: bool) -> Option<Self> {
         on.then(|| ServeMeters {
             connections: zeroer_obs::counter("serve.connections"),
             requests: zeroer_obs::counter("serve.requests"),
@@ -223,6 +223,13 @@ impl Connection {
     }
 
     fn resolve(&mut self, request: &Json) -> String {
+        if request.get("side").is_some() {
+            return self.fail(
+                "this server resolves a dedup pipeline; side-tagged resolution \
+                 requires a linkage server"
+                    .into(),
+            );
+        }
         let values = match parse_values(request.get("values")) {
             Ok(v) => v,
             Err(e) => return self.fail(e),
@@ -308,6 +315,19 @@ impl Connection {
                 }
                 Err(e) => (self.fail(e.to_string()), false),
             },
+            "refresh" => match self.writes.refresh() {
+                Ok(report) => {
+                    let mut o = Obj::new();
+                    o.bool("ok", true);
+                    o.u64("records", report.records as u64);
+                    o.u64("pairs", report.pairs as u64);
+                    o.u64("em_iterations", report.em_iterations as u64);
+                    o.f64("divergence", report.divergence);
+                    o.u64("generation", report.generation);
+                    (o.finish(), false)
+                }
+                Err(e) => (self.fail(e.to_string()), false),
+            },
             "snapshot" => match self.writes.snapshot_json() {
                 Ok(json) => {
                     let mut o = Obj::new();
@@ -333,7 +353,7 @@ impl Connection {
 /// text must derive the same tokens it does in-process), integral JSON
 /// numbers become [`Value::Int`], other numbers [`Value::Float`], and
 /// `null` stays null.
-fn parse_values(values: Option<&Json>) -> Result<Vec<Value>, String> {
+pub(crate) fn parse_values(values: Option<&Json>) -> Result<Vec<Value>, String> {
     let items = values
         .and_then(Json::as_arr)
         .ok_or_else(|| "request carries no \"values\" array".to_string())?;

@@ -1,0 +1,118 @@
+//! Side-aware linkage resolution over real TCP sockets.
+//!
+//! The satellite acceptance under test: a linkage resolve over the wire
+//! makes the **same match decisions to `f64::to_bits`** as the
+//! in-process [`zeroer_stream::LinkReadHandle`] — on both sides — and
+//! the side tag is enforced in both directions (a linkage server
+//! requires it, a dedup server rejects it).
+
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::{pub_da, rest_fz};
+use zeroer_serve::protocol::link_resolve_request;
+use zeroer_serve::{Client, LinkServer, Server};
+use zeroer_stream::{LinkPipeline, Side, StreamOptions, StreamPipeline};
+use zeroer_tabular::Record;
+
+/// One server lifetime covering resolve parity on both sides, side-tag
+/// enforcement, read-only-ness, and shutdown. One test because the obs
+/// registry is process-global.
+#[test]
+fn link_resolve_over_the_wire_is_bit_identical_with_in_process() {
+    let ds = generate(&pub_da(), 0.03, 5);
+    let opts = StreamOptions {
+        min_token_overlap: 2,
+        ..StreamOptions::default()
+    };
+    let (pipeline, _) = LinkPipeline::bootstrap(&ds.left, &ds.right, opts).expect("bootstrap");
+
+    // In-process reference answers for probes on both sides.
+    let right_probes: Vec<Record> = ds.right.records().iter().take(6).cloned().collect();
+    let left_probes: Vec<Record> = ds.left.records().iter().take(6).cloned().collect();
+    let mut local = pipeline.pin_read_handle();
+    let local_right: Vec<_> = right_probes
+        .iter()
+        .map(|r| local.resolve(r, Side::Right))
+        .collect();
+    let local_left: Vec<_> = left_probes
+        .iter()
+        .map(|r| local.resolve(r, Side::Left))
+        .collect();
+
+    let server = LinkServer::bind(&pipeline, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let pong = client.admin("ping").expect("ping");
+    assert_eq!(pong.get("pong").and_then(|v| v.as_bool()), Some(true));
+
+    // Wire parity, both sides, to f64::to_bits.
+    let mut matched_any = false;
+    for (side, probes, locals) in [
+        (Side::Right, &right_probes, &local_right),
+        (Side::Left, &left_probes, &local_left),
+    ] {
+        for (probe, local) in probes.iter().zip(locals) {
+            let wire = client.resolve_side(&probe.values, side).expect("resolve");
+            assert_eq!(wire.epoch, local.epoch);
+            assert_eq!(wire.candidates, local.candidates);
+            assert_eq!(wire.cluster, local.cluster);
+            assert_eq!(wire.matches.len(), local.matches.len());
+            for ((wi, wp), (li, lp)) in wire.matches.iter().zip(&local.matches) {
+                assert_eq!(wi, li);
+                assert_eq!(
+                    wp.to_bits(),
+                    lp.to_bits(),
+                    "posterior changed across the wire: {wp} vs {lp}"
+                );
+            }
+            matched_any |= wire.cluster.is_some();
+        }
+    }
+    assert!(matched_any, "no probe matched — parity test is vacuous");
+
+    // A linkage server requires the side tag…
+    let err = client
+        .resolve(&right_probes[0].values)
+        .expect_err("no side");
+    assert!(err.to_string().contains("side"), "{err}");
+    // …rejects junk sides…
+    let raw = client
+        .call_raw(&link_resolve_request(&right_probes[0].values, "middle"))
+        .expect("error response");
+    assert!(raw.contains("\"ok\":false"), "{raw}");
+    // …and is read-only.
+    let err = client
+        .ingest(&[right_probes[0].clone()])
+        .expect_err("read-only");
+    assert!(err.to_string().contains("read-only"), "{err}");
+
+    let ack = client.admin("shutdown").expect("shutdown");
+    assert_eq!(ack.get("stopping").and_then(|v| v.as_bool()), Some(true));
+    server_thread.join().expect("server thread");
+
+    // And the other direction: a dedup server rejects side-tagged
+    // resolves instead of silently ignoring the tag.
+    let ds = generate(&rest_fz(), 0.15, 3);
+    let (table, _) = ds.dedup_table();
+    let (dedup, _) =
+        StreamPipeline::bootstrap(&table, StreamOptions::default()).expect("bootstrap");
+    let snap = dedup.snapshot();
+    let mut cold = StreamPipeline::from_snapshot(&snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    cold.seed_base(&table).expect("seed");
+    let probe = table.records()[0].clone();
+
+    let server = Server::bind(cold, "127.0.0.1:0", 1).expect("bind");
+    let addr = server.local_addr();
+    let dedup_thread = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .resolve_side(&probe.values, Side::Left)
+        .expect_err("dedup server must reject side");
+    assert!(err.to_string().contains("dedup"), "{err}");
+    // The same values without a side still resolve fine.
+    client.resolve(&probe.values).expect("plain resolve");
+    client.admin("shutdown").expect("shutdown");
+    dedup_thread.join().expect("server thread");
+}

@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod index;
 pub mod legs;
 pub mod link;
@@ -68,12 +69,13 @@ pub mod snapshot;
 pub mod split;
 pub mod store;
 
+pub use drift::DriftMonitor;
 pub use index::{CompactionDelta, IncrementalIndex, IndexConfig, IndexStats, LegStats};
 pub use legs::{build_linkage_legs, LegReplay, LegTriple, LinkageLegs};
 pub use link::{LinkBootstrapReport, LinkPipeline, LinkReadHandle, Side};
 pub use pipeline::{
-    render_stats, BootstrapReport, CompactionReport, IngestOutcome, RetractionReport, StreamError,
-    StreamOptions, StreamPipeline, StreamStats,
+    render_stats, BootstrapReport, CompactionReport, IngestOutcome, RefreshReport,
+    RetractionReport, StreamError, StreamOptions, StreamPipeline, StreamStats,
 };
 pub use shard::{RecordKeys, ShardedIndex, DEFAULT_SHARDS};
 pub use snapshot::{LinkSnapshot, PipelineSnapshot};

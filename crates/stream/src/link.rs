@@ -147,6 +147,9 @@ pub struct LinkPipeline {
     /// Metric handles (prefix `link`), resolved once at construction;
     /// `None` when [`StreamOptions::metrics`] is off.
     meters: Option<StageMeters>,
+    /// How many times [`LinkPipeline::refit`] has swapped the frozen
+    /// fit (0 = still the bootstrap models).
+    generation: u64,
 }
 
 impl LinkPipeline {
@@ -315,6 +318,7 @@ impl LinkPipeline {
                 pending_tombstones: Vec::new(),
                 pending_epoch: 0,
                 meters,
+                generation: 0,
             },
             report,
         ))
@@ -359,6 +363,8 @@ impl LinkPipeline {
             max_bucket: snap.index.max_bucket,
             threshold,
             compact_watermark: StreamOptions::default().compact_watermark,
+            refresh_watermark: StreamOptions::default().refresh_watermark,
+            refresh_min_records: StreamOptions::default().refresh_min_records,
             metrics: StreamOptions::default().metrics,
             batched_scoring: StreamOptions::default().batched_scoring,
         };
@@ -382,7 +388,116 @@ impl LinkPipeline {
             pending_tombstones: snap.tombstones.clone(),
             pending_epoch: snap.epoch,
             meters,
+            generation: 0,
         })
+    }
+
+    /// Re-runs the three-model linkage fit over the store's **live**
+    /// records (split back into their sides) and swaps the frozen
+    /// [`LinkageSnapshot`] + cross scorer — the linkage half of the
+    /// snapshot lifecycle. Like [`crate::StreamPipeline::refit`], the
+    /// store, indexes, clusters and decision log are untouched:
+    /// historical decisions stay as the model that made them decided,
+    /// and only future arrivals score under the new fit. No drift
+    /// monitor feeds this path — linkage refresh is manual (CLI
+    /// `zeroer refresh` on a link snapshot).
+    ///
+    /// # Errors
+    /// Fails — leaving the current fit untouched — when the live cross
+    /// blocking yields no candidate pairs, when the refit cross model
+    /// is too degenerate to freeze, or when the live data's inferred
+    /// attribute types no longer match the frozen feature layout.
+    pub fn refit(&mut self) -> Result<crate::RefreshReport, StreamError> {
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
+        let table = self.store.table();
+        let schema = table.schema().clone();
+        let mut left = Table::new("refit-left", schema.clone());
+        let mut right = Table::new("refit-right", schema);
+        for (i, r) in table.records().iter().enumerate() {
+            if self.store.is_retracted(i) {
+                continue;
+            }
+            match self.sides[i] {
+                Side::Left => left.push(r.clone()),
+                Side::Right => right.push(r.clone()),
+            }
+        }
+
+        let index_cfg = self.opts.index_config();
+        let prep = build_linkage_legs(
+            &left,
+            &right,
+            &index_cfg.derive_config(),
+            self.opts.min_token_overlap,
+            self.opts.max_bucket,
+        );
+        if prep.cross_fz.attr_types() != self.featurizer.attr_types() {
+            return Err(StreamError(
+                "refit inferred different attribute types than the frozen feature layout; \
+                 the live data has drifted structurally, not just statistically — refusing \
+                 to swap a model with a different feature space"
+                    .into(),
+            ));
+        }
+        let Some(legs) = prep.legs else {
+            return Err(StreamError(
+                "refit cross blocking produced no candidate pairs; nothing to fit a model on"
+                    .into(),
+            ));
+        };
+        let (cross_leg, left_leg, right_leg) = (legs.cross, legs.left, legs.right);
+        let trainer = LinkageModel::new(self.opts.config.clone());
+        let (out, fitted) = trainer.fit_models(&cross_leg.task, &left_leg.task, &right_leg.task);
+        let cross_snapshot = ModelSnapshot::capture_checked(
+            &fitted.cross,
+            &cross_leg.ranges,
+            &cross_leg.impute_means,
+            &cross_leg.names,
+        )
+        .ok_or_else(|| {
+            StreamError(
+                "refit cross model converged to non-finite parameters (degenerate live \
+                 window); keeping the current snapshot"
+                    .into(),
+            )
+        })?;
+        let capture_leg = |model: &Option<zeroer_core::GenerativeModel>, leg: &LegReplay| {
+            model.as_ref().and_then(|mo| {
+                ModelSnapshot::capture_checked(mo, &leg.ranges, &leg.impute_means, &leg.names)
+            })
+        };
+        let linkage = LinkageSnapshot {
+            cross: cross_snapshot,
+            left: capture_leg(&fitted.left, &left_leg),
+            right: capture_leg(&fitted.right, &right_leg),
+            transitivity: self.opts.config.transitivity,
+        };
+        debug_assert_eq!(linkage.cross.dim(), self.featurizer.dim());
+
+        // The swap: scorer and frozen fit move together, so a snapshot
+        // taken after this persists the refreshed models.
+        self.scorer = linkage.cross_scorer()?;
+        self.linkage = linkage;
+        self.generation += 1;
+        if let Some(m) = m {
+            sw.total(m.refresh);
+            m.refreshes.incr();
+        }
+        Ok(crate::RefreshReport {
+            records: left.len() + right.len(),
+            pairs: cross_leg.task.pairs.len(),
+            em_iterations: out.summary.iterations,
+            divergence: 0.0,
+            auto: false,
+            generation: self.generation,
+        })
+    }
+
+    /// How many times [`LinkPipeline::refit`] has swapped the frozen
+    /// fit (0 = still serving the bootstrap models).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Freezes the current pipeline configuration into a serializable
@@ -1076,6 +1191,11 @@ impl LinkReadHandle {
     /// Epoch of the pinned view.
     pub fn epoch(&self) -> u64 {
         self.view.epoch
+    }
+
+    /// Schema arity of the pinned view.
+    pub fn arity(&self) -> usize {
+        self.view.store.table().schema().arity()
     }
 
     /// Records visible in the pinned view (both sides, combined

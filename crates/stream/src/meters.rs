@@ -46,6 +46,9 @@ pub(crate) struct StageMeters {
     pub seed: &'static Histogram,
     pub retract: &'static Histogram,
     pub compact: &'static Histogram,
+    /// One model refit — live-record re-derivation, the EM fit, and the
+    /// scorer swap (`{p}.refresh.ns`).
+    pub refresh: &'static Histogram,
     // Totals.
     pub records: &'static Counter,
     pub candidates: &'static Counter,
@@ -53,6 +56,8 @@ pub(crate) struct StageMeters {
     pub retractions: &'static Counter,
     pub compactions: &'static Counter,
     pub reclaimed_bytes: &'static Counter,
+    /// Successful refits (manual + drift-watermark-triggered).
+    pub refreshes: &'static Counter,
 }
 
 impl StageMeters {
@@ -78,12 +83,14 @@ impl StageMeters {
             seed: h("seed.ns"),
             retract: h("retract.ns"),
             compact: h("compact.ns"),
+            refresh: h("refresh.ns"),
             records: c("records"),
             candidates: c("candidates"),
             matches: c("matches"),
             retractions: c("retractions"),
             compactions: c("compactions"),
             reclaimed_bytes: c("compact.reclaimed_bytes"),
+            refreshes: c("refreshes"),
         }
     }
 

@@ -6,6 +6,7 @@
 //! dead-fraction watermark) so long-lived nodes never need a
 //! stop-the-world rebuild.
 
+use crate::drift::{DriftMonitor, DriftSample};
 use crate::index::{CompactionDelta, IndexConfig, IndexStats};
 use crate::meters::StageMeters;
 use crate::shard::{RecordKeys, ShardedIndex};
@@ -74,6 +75,23 @@ pub struct StreamOptions {
     /// tombstoned, the pipeline compacts itself. `None` disables
     /// auto-compaction ([`StreamPipeline::compact`] stays available).
     pub compact_watermark: Option<f64>,
+    /// Drift watermark for automatic model refresh: when, at an ingest
+    /// boundary, the [`DriftMonitor`] divergence (max normalized shift
+    /// across the feature dimensions and the posterior match rate, in
+    /// baseline-spread units) reaches this value, the pipeline re-fits
+    /// the model over its live records ([`StreamPipeline::refit`]) and
+    /// swaps the frozen scorer. `None` (the default) disables
+    /// auto-refresh; manual `refit()` stays available. Checked only
+    /// **between** ingest calls — once per record for
+    /// [`StreamPipeline::ingest`], once per batch for the batch paths —
+    /// so sequential and parallel ingestion of the same batch trigger
+    /// (or not) identically.
+    pub refresh_watermark: Option<f64>,
+    /// Minimum drift-window records before the refresh watermark can
+    /// fire: early small windows produce noisy divergence estimates, so
+    /// auto-refresh waits until at least this many records have been
+    /// folded since the last (re)baseline.
+    pub refresh_min_records: usize,
     /// Whether the pipeline records stage timings and counters into
     /// the process-global `zeroer-obs` registry (default on; see
     /// `crates/obs/README.md` for the metric catalog). Purely
@@ -105,6 +123,8 @@ impl Default for StreamOptions {
             max_bucket: 400,
             threshold: 0.5,
             compact_watermark: Some(0.5),
+            refresh_watermark: None,
+            refresh_min_records: 64,
             metrics: true,
             batched_scoring: true,
         }
@@ -294,6 +314,25 @@ impl CompactionReport {
     }
 }
 
+/// What one model refresh did (see [`StreamPipeline::refit`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RefreshReport {
+    /// Live records the model was re-fitted on.
+    pub records: usize,
+    /// Candidate pairs the refit blocking pass produced.
+    pub pairs: usize,
+    /// EM iterations the refit ran.
+    pub em_iterations: usize,
+    /// Drift divergence at the moment the refit started (in
+    /// baseline-spread units; 0.0 when the window was empty).
+    pub divergence: f64,
+    /// Whether the refresh watermark triggered this refit (`false` for
+    /// manual [`StreamPipeline::refit`] calls).
+    pub auto: bool,
+    /// Model generation after the swap (bootstrap model = 0).
+    pub generation: u64,
+}
+
 /// Incremental entity resolution on top of a frozen batch-fitted model:
 /// ingest records one at a time, find candidates via incremental blocking
 /// indexes, score them with snapshot inference (no EM), and maintain
@@ -328,11 +367,25 @@ pub struct StreamPipeline {
     /// [`StreamOptions::metrics`] is off, so the uninstrumented hot
     /// path pays a single branch per stage boundary.
     meters: Option<StageMeters>,
+    /// Streaming posterior/feature summaries against the frozen model's
+    /// baseline — always maintained (folding is a handful of adds per
+    /// record) so the refresh watermark works with metrics off; gauge
+    /// publication is what the metrics flag gates.
+    drift: DriftMonitor,
+    /// How many times the scorer has been swapped by [`StreamPipeline::refit`]
+    /// since construction (0 = still the bootstrap model).
+    generation: u64,
 }
 
-/// A slice of per-record match slots handed to a scoring worker, tagged
-/// with the index of its first record.
-type ScoreJob<'m> = (usize, &'m mut [Vec<(usize, f64)>]);
+/// One record's scoring result crossing from a parallel scoring worker
+/// back to the single writer: the above-threshold matches plus the
+/// drift-window sample (`None` for zero-candidate records and on the
+/// scalar path).
+type ScoredRecord = (Vec<(usize, f64)>, Option<DriftSample>);
+
+/// A slice of per-record scoring slots handed to a scoring worker,
+/// tagged with the index of its first record.
+type ScoreJob<'m> = (usize, &'m mut [ScoredRecord]);
 
 /// Order-sensitive FNV-1a digest of a record sequence (ids + values),
 /// used to pin persisted bootstrap decisions to the exact table they
@@ -492,6 +545,7 @@ impl StreamPipeline {
 
         let ranges = fs.ranges.as_ref().expect("normalize() was called").clone();
         let snapshot = ModelSnapshot::capture(&model, &ranges, &fs.impute_means, &fs.names);
+        let drift = DriftMonitor::new(&snapshot);
         let scorer = snapshot.scorer()?;
 
         let featurizer = BatchFeaturizer::new(fz.attr_types());
@@ -552,6 +606,8 @@ impl StreamPipeline {
                 pending_tombstones: Vec::new(),
                 pending_epoch: 0,
                 meters,
+                drift,
+                generation: 0,
             },
             report,
         ))
@@ -599,6 +655,8 @@ impl StreamPipeline {
             max_bucket: snap.index.max_bucket,
             threshold,
             compact_watermark: StreamOptions::default().compact_watermark,
+            refresh_watermark: StreamOptions::default().refresh_watermark,
+            refresh_min_records: StreamOptions::default().refresh_min_records,
             metrics: StreamOptions::default().metrics,
             batched_scoring: StreamOptions::default().batched_scoring,
         };
@@ -617,6 +675,8 @@ impl StreamPipeline {
             pending_tombstones: snap.tombstones.clone(),
             pending_epoch: snap.epoch,
             meters,
+            drift: DriftMonitor::new(&snap.model),
+            generation: 0,
         })
     }
 
@@ -736,6 +796,32 @@ impl StreamPipeline {
         self.opts.compact_watermark = watermark;
     }
 
+    /// Reconfigures the drift auto-refresh watermark (`None` disables
+    /// it; see [`StreamOptions::refresh_watermark`]). A runtime knob,
+    /// not persisted in snapshots — restored pipelines start at the
+    /// default (off).
+    pub fn set_refresh_watermark(&mut self, watermark: Option<f64>) {
+        self.opts.refresh_watermark = watermark;
+    }
+
+    /// Reconfigures the minimum drift-window size before the refresh
+    /// watermark may fire (see [`StreamOptions::refresh_min_records`]).
+    pub fn set_refresh_min_records(&mut self, records: usize) {
+        self.opts.refresh_min_records = records;
+    }
+
+    /// The live drift monitor: streaming posterior/feature summaries
+    /// against the current model's baseline.
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
+    /// How many times [`StreamPipeline::refit`] has swapped the scorer
+    /// (0 = still serving the bootstrap model).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Enables or disables this pipeline's stage metrics (see
     /// [`StreamOptions::metrics`]). A runtime knob, not persisted in
     /// snapshots. Metrics are purely observational: on or off, every
@@ -814,6 +900,18 @@ impl StreamPipeline {
     /// # Panics
     /// Panics if the record arity does not match the schema.
     pub fn ingest(&mut self, record: Record) -> IngestOutcome {
+        let outcome = self.ingest_one(record);
+        self.after_ingest();
+        outcome
+    }
+
+    /// The per-record ingest core, shared by [`StreamPipeline::ingest`]
+    /// and [`StreamPipeline::ingest_batch`]: everything except the
+    /// ingest-boundary work (`after_ingest`), so batch ingestion checks
+    /// the refresh watermark once per call instead of once per record —
+    /// keeping it aligned with [`StreamPipeline::ingest_batch_parallel`],
+    /// which cannot refit mid-batch.
+    fn ingest_one(&mut self, record: Record) -> IngestOutcome {
         // Validate before touching any state: a panic must not leave the
         // index one record ahead of the store.
         assert_eq!(
@@ -856,6 +954,16 @@ impl StreamPipeline {
         if let Some(m) = m {
             sw.lap(m.score);
         }
+        // The batch buffers hold this record's prepared columns and
+        // posteriors only when the batched path actually ran (non-empty
+        // candidate list); `from_batch` rejects the empty case itself.
+        let sample = if self.opts.batched_scoring {
+            DriftSample::from_batch(&self.batch, candidates.len())
+        } else {
+            None
+        };
+        self.drift
+            .fold(candidates.len(), matches.len(), sample.as_ref());
         for &(c, _) in &matches {
             self.store.merge(idx, c);
         }
@@ -875,12 +983,28 @@ impl StreamPipeline {
     }
 
     /// Ingests a batch of records in order; later records can match
-    /// earlier records of the same batch.
+    /// earlier records of the same batch. The refresh watermark is
+    /// checked once, after the whole batch — an ingest call is the
+    /// refit boundary, so sequential and parallel ingestion of the same
+    /// batch see identical trigger points.
     pub fn ingest_batch(
         &mut self,
         records: impl IntoIterator<Item = Record>,
     ) -> Vec<IngestOutcome> {
-        records.into_iter().map(|r| self.ingest(r)).collect()
+        let outcomes = records.into_iter().map(|r| self.ingest_one(r)).collect();
+        self.after_ingest();
+        outcomes
+    }
+
+    /// Ingest-boundary work shared by every ingest entry point: check
+    /// the drift watermark (possibly refitting) and publish the drift
+    /// gauges. Runs once per *call*, not once per record, so the
+    /// parallel and sequential batch paths stay decision-identical.
+    fn after_ingest(&mut self) {
+        let _ = self.maybe_autorefresh();
+        if self.meters.is_some() {
+            self.drift.publish();
+        }
     }
 
     /// Ingests a batch across a pool of `threads` workers, producing
@@ -998,11 +1122,11 @@ impl StreamPipeline {
         let threshold = self.opts.threshold;
         let batched = self.opts.batched_scoring;
         let score_meter = m.map(|m| m.score_batch_candidates);
-        let mut matches: Vec<Vec<(usize, f64)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut scored: Vec<ScoredRecord> = (0..n).map(|_| (Vec::new(), None)).collect();
         {
             let score_chunk = n.div_ceil(threads * 8).max(1);
             let queue: Mutex<Vec<ScoreJob<'_>>> = Mutex::new(
-                matches
+                scored
                     .chunks_mut(score_chunk)
                     .enumerate()
                     .map(|(ci, ch)| (ci * score_chunk, ch))
@@ -1031,7 +1155,7 @@ impl StreamPipeline {
                             let Some((start, out)) = job else { break };
                             for (off, slot) in out.iter_mut().enumerate() {
                                 let i = start + off;
-                                *slot = score_candidates(
+                                let matches = score_candidates(
                                     featurizer,
                                     scorer,
                                     store.interner(),
@@ -1050,6 +1174,19 @@ impl StreamPipeline {
                                     batched,
                                     score_meter,
                                 );
+                                // Sample the worker's batch buffers
+                                // immediately, while they still hold
+                                // record `i`'s prepared columns and
+                                // posteriors; the single writer folds
+                                // the samples in ingest order, so the
+                                // drift stream stays bit-identical to
+                                // the sequential path.
+                                let sample = if batched {
+                                    DriftSample::from_batch(&batch, candidates[i].len())
+                                } else {
+                                    None
+                                };
+                                *slot = (matches, sample);
                             }
                         }
                     });
@@ -1065,12 +1202,13 @@ impl StreamPipeline {
         // ingest order — the union-find passes through exactly the states
         // sequential ingest would produce.
         let mut outcomes = Vec::with_capacity(n);
-        for (((record, rec_derived), matches), cands) in records
+        for (((record, rec_derived), (matches, sample)), cands) in records
             .into_iter()
             .zip(derived)
-            .zip(matches)
+            .zip(scored)
             .zip(&candidates)
         {
+            self.drift.fold(cands.len(), matches.len(), sample.as_ref());
             let idx = self.store.push_derived(record, rec_derived);
             for &(c, _) in &matches {
                 self.store.merge(idx, c);
@@ -1091,6 +1229,7 @@ impl StreamPipeline {
             m.matches
                 .add(outcomes.iter().map(|o| o.matches.len() as u64).sum());
         }
+        self.after_ingest();
         outcomes
     }
 
@@ -1254,6 +1393,131 @@ impl StreamPipeline {
             Some(self.compact())
         } else {
             None
+        }
+    }
+
+    /// Re-runs the bootstrap fit over the store's **live** records and
+    /// swaps the frozen scorer for the freshly fitted model — the
+    /// online half of the snapshot lifecycle.
+    ///
+    /// Exactly the [`StreamPipeline::bootstrap`] recipe (blocking →
+    /// features → normalization → EM with the transitivity calibrator),
+    /// but nothing else moves: the store, blocking index, cluster
+    /// assignments and decision log are untouched. Historical match
+    /// decisions stay exactly as the model that made them decided —
+    /// only records ingested *after* the swap are scored by the new
+    /// model. [`StreamPipeline::snapshot`] afterwards persists the new
+    /// model together with the original bootstrap provenance, so
+    /// `seed_base` still replays the historical decisions verbatim.
+    ///
+    /// The refit is deterministic (EM from a fixed initialization over
+    /// a deterministic candidate set), so two pipelines with the same
+    /// live records refit to bit-identical models. On success the model
+    /// generation advances and the drift monitor re-baselines on the
+    /// new snapshot with an empty window.
+    ///
+    /// # Errors
+    /// Fails — leaving the current model untouched — when the live
+    /// records yield no candidate pairs, when the refit EM produces
+    /// non-finite parameters (degenerate window), or when the live
+    /// data's inferred attribute types no longer match the frozen
+    /// feature layout.
+    pub fn refit(&mut self) -> Result<RefreshReport, StreamError> {
+        let m = self.meters;
+        let sw = Stopwatch::new(m.is_some());
+        let divergence = self.drift.divergence();
+
+        // Snapshot the live records into a fit table. Clones are
+        // unavoidable here: the fit pipeline re-derives from raw values
+        // with its own interner, by design (the refit must see the data
+        // exactly as a cold bootstrap would).
+        let table = self.store.table();
+        let mut live = Table::new(table.name().to_string(), table.schema().clone());
+        for (i, r) in table.records().iter().enumerate() {
+            if !self.store.is_retracted(i) {
+                live.push(r.clone());
+            }
+        }
+
+        let index_cfg = self.opts.index_config();
+        let fz = PairFeaturizer::with_config(&live, &live, index_cfg.derive_config());
+        if fz.attr_types() != self.featurizer.attr_types() {
+            return Err(StreamError(
+                "refit inferred different attribute types than the frozen feature layout; \
+                 the live data has drifted structurally, not just statistically — refusing \
+                 to swap a model with a different feature space"
+                    .into(),
+            ));
+        }
+        let cs = standard_candidates_derived(
+            fz.left_derived(),
+            None,
+            PairMode::Dedup,
+            self.opts.min_token_overlap,
+            self.opts.max_bucket,
+        );
+        if cs.is_empty() {
+            return Err(StreamError(
+                "refit produced no candidate pairs; nothing to fit a model on".into(),
+            ));
+        }
+        let mut fs = fz.featurize(cs.pairs());
+        fs.normalize();
+        let mut model = GenerativeModel::new(self.opts.config.clone(), fs.layout.clone());
+        let calibrator = TransitivityCalibrator::new(cs.pairs());
+        let summary = model.fit(&fs.matrix, Some(&calibrator));
+        let ranges = fs.ranges.as_ref().expect("normalize() was called").clone();
+        let snapshot = ModelSnapshot::capture_checked(&model, &ranges, &fs.impute_means, &fs.names)
+            .ok_or_else(|| {
+                StreamError(
+                    "refit converged to non-finite model parameters (degenerate live window); \
+                     keeping the current snapshot"
+                        .into(),
+                )
+            })?;
+        debug_assert_eq!(snapshot.dim(), self.scorer.snapshot().dim());
+
+        // The swap: from here on every scoring call sees the new model.
+        self.scorer = snapshot.scorer()?;
+        self.generation += 1;
+        self.drift.rebase(self.scorer.snapshot());
+        if let Some(m) = m {
+            sw.total(m.refresh);
+            m.refreshes.incr();
+        }
+        Ok(RefreshReport {
+            records: live.len(),
+            pairs: cs.pairs().len(),
+            em_iterations: summary.iterations,
+            divergence,
+            auto: false,
+            generation: self.generation,
+        })
+    }
+
+    /// Runs [`StreamPipeline::refit`] when the drift divergence has
+    /// crossed the configured watermark (with at least
+    /// [`StreamOptions::refresh_min_records`] in the window). Called
+    /// only at ingest-call boundaries. A failed auto-refit clears the
+    /// drift window instead of propagating — otherwise a degenerate
+    /// window would re-attempt the fit after every subsequent call.
+    fn maybe_autorefresh(&mut self) -> Option<RefreshReport> {
+        let watermark = self.opts.refresh_watermark?;
+        if self.drift.window_records() < self.opts.refresh_min_records as u64 {
+            return None;
+        }
+        if self.drift.divergence() < watermark {
+            return None;
+        }
+        match self.refit() {
+            Ok(mut report) => {
+                report.auto = true;
+                Some(report)
+            }
+            Err(_) => {
+                self.drift.clear_window();
+                None
+            }
         }
     }
 }

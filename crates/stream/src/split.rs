@@ -22,15 +22,19 @@
 //!   is applied through [`StreamPipeline::ingest_batch_parallel`] — the
 //!   existing single-writer protocol — so outcomes are bit-identical to
 //!   submitting the same records one at a time to a lone
-//!   [`StreamPipeline`]. After every applied write the writer publishes
-//!   a fresh [`ReadView`]; readers pick it up at their next refresh.
+//!   [`StreamPipeline`]. After each drained queue batch the writer
+//!   publishes **one** fresh [`ReadView`] covering every write it
+//!   applied (success replies are held back until after that publish,
+//!   so read-your-writes still holds); readers pick it up at their
+//!   next refresh.
 //!
 //! The view swap is an atomic `Arc` replacement behind a brief
 //! [`RwLock`] critical section (pointer assignment only — never held
 //! across scoring or ingest work), which makes this the seam the
-//! ROADMAP's snapshot-refresh and shard-placement items slot into:
-//! anything that can produce a [`ReadView`] can be published to
-//! readers without stopping the writer.
+//! snapshot lifecycle slots into: [`WriteHandle::refresh`] re-fits the
+//! model on the writer ([`StreamPipeline::refit`]) and the swapped
+//! scorer rides the very same publication — concurrent resolvers see
+//! either the old model or the new one, never a torn mix.
 //!
 //! Publishing clones the live read state (store, index, scorer —
 //! O(live records + postings)). That is deliberate for this growth
@@ -239,6 +243,7 @@ enum WriteOp {
     Ingest(Vec<Record>),
     Retract(Vec<usize>),
     Compact,
+    Refresh,
     Snapshot,
     Stats,
 }
@@ -248,6 +253,7 @@ enum WriteReply {
     Ingested(Vec<IngestOutcome>),
     Retracted(Vec<RetractionReport>),
     Compacted(CompactionReport),
+    Refreshed(crate::RefreshReport),
     Snapshot(String),
     Stats(String),
     Failed(StreamError),
@@ -345,6 +351,25 @@ impl WriteHandle {
             WriteReply::Compacted(out) => Ok(out),
             WriteReply::Failed(e) => Err(e),
             _ => unreachable!("compact op answered with a non-compact reply"),
+        }
+    }
+
+    /// Re-fits the model over the writer's live records and swaps the
+    /// frozen scorer ([`StreamPipeline::refit`]). The swap rides the
+    /// normal publication path: by the time this returns, every
+    /// subsequently pinned or refreshed [`ReadHandle`] scores with the
+    /// new model, and views pinned earlier keep the old one — never a
+    /// torn mix.
+    ///
+    /// # Errors
+    /// Fails like [`StreamPipeline::refit`] (no candidate pairs,
+    /// degenerate fit, structural drift) or when the write path is shut
+    /// down. A failed refit leaves the serving model untouched.
+    pub fn refresh(&self) -> Result<crate::RefreshReport, StreamError> {
+        match self.submit(WriteOp::Refresh)? {
+            WriteReply::Refreshed(report) => Ok(report),
+            WriteReply::Failed(e) => Err(e),
+            _ => unreachable!("refresh op answered with a non-refresh reply"),
         }
     }
 
@@ -455,9 +480,19 @@ impl Drop for SplitPipeline {
 
 /// The single-writer loop: wait for admitted operations, apply them in
 /// admission order (coalescing consecutive ingests into one
-/// micro-batch), publish a fresh [`ReadView`] after each applied
-/// operation, and reply to each submitter. Returns the pipeline when
-/// the queue is closed and drained.
+/// micro-batch), publish **one** fresh [`ReadView`] per drained queue
+/// batch, and reply to each submitter. Returns the pipeline when the
+/// queue is closed and drained.
+///
+/// Publishing once per drain (not once per applied op) matters:
+/// publication clones the full read state, so a drain of k mutating
+/// ops used to pay k clones for k−1 views no reader could ever pin —
+/// the writer held the drain the whole time. Read-your-writes is
+/// preserved by *deferring* the success replies of mutating ops until
+/// after the batch-end publish: a submitter never learns its write
+/// succeeded before a view containing it is pinnable. Failures (and
+/// the read-only snapshot/stats ops) reply immediately — they publish
+/// nothing.
 fn writer_loop(mut pipeline: StreamPipeline, shared: &Shared, threads: usize) -> StreamPipeline {
     let mut version = 0u64;
     loop {
@@ -473,6 +508,8 @@ fn writer_loop(mut pipeline: StreamPipeline, shared: &Shared, threads: usize) ->
         };
         let arity = pipeline.store().table().schema().arity();
         let metrics = pipeline.options().metrics;
+        let mut dirty = false;
+        let mut deferred: Vec<(mpsc::Sender<WriteReply>, WriteReply)> = Vec::new();
         let mut iter = drained.into_iter().peekable();
         while let Some(pending) = iter.next() {
             match pending.op {
@@ -512,27 +549,35 @@ fn writer_loop(mut pipeline: StreamPipeline, shared: &Shared, threads: usize) ->
                             .record(batch.len() as u64);
                     }
                     let mut outcomes = pipeline.ingest_batch_parallel(batch, threads).into_iter();
-                    publish(&pipeline, shared, &mut version);
+                    dirty = true;
                     for (count, reply) in requests {
                         let out: Vec<IngestOutcome> = outcomes.by_ref().take(count).collect();
-                        let _ = reply.send(WriteReply::Ingested(out));
+                        deferred.push((reply, WriteReply::Ingested(out)));
                     }
                 }
-                WriteOp::Retract(ids) => {
-                    let reply = match pipeline.retract_batch(&ids) {
-                        Ok(reports) => {
-                            publish(&pipeline, shared, &mut version);
-                            WriteReply::Retracted(reports)
-                        }
-                        Err(e) => WriteReply::Failed(e),
-                    };
-                    let _ = pending.reply.send(reply);
-                }
+                WriteOp::Retract(ids) => match pipeline.retract_batch(&ids) {
+                    Ok(reports) => {
+                        dirty = true;
+                        deferred.push((pending.reply, WriteReply::Retracted(reports)));
+                    }
+                    Err(e) => {
+                        let _ = pending.reply.send(WriteReply::Failed(e));
+                    }
+                },
                 WriteOp::Compact => {
                     let report = pipeline.compact();
-                    publish(&pipeline, shared, &mut version);
-                    let _ = pending.reply.send(WriteReply::Compacted(report));
+                    dirty = true;
+                    deferred.push((pending.reply, WriteReply::Compacted(report)));
                 }
+                WriteOp::Refresh => match pipeline.refit() {
+                    Ok(report) => {
+                        dirty = true;
+                        deferred.push((pending.reply, WriteReply::Refreshed(report)));
+                    }
+                    Err(e) => {
+                        let _ = pending.reply.send(WriteReply::Failed(e));
+                    }
+                },
                 WriteOp::Snapshot => {
                     let json = pipeline.snapshot().to_json();
                     let _ = pending.reply.send(WriteReply::Snapshot(json));
@@ -542,6 +587,12 @@ fn writer_loop(mut pipeline: StreamPipeline, shared: &Shared, threads: usize) ->
                     let _ = pending.reply.send(WriteReply::Stats(crate::render_stats()));
                 }
             }
+        }
+        if dirty {
+            publish(&pipeline, shared, &mut version);
+        }
+        for (reply, msg) in deferred {
+            let _ = reply.send(msg);
         }
     }
 }

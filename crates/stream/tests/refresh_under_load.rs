@@ -1,0 +1,211 @@
+//! Snapshot-lifecycle stress: resolver threads racing a `refit()` swap.
+//!
+//! Three guarantees under test:
+//!
+//! 1. **No torn model** — while [`zeroer_stream::WriteHandle::refresh`]
+//!    swaps a re-fitted snapshot, every concurrent resolve answer is
+//!    bit-identical (`f64::to_bits`) to either the old model's answer
+//!    or the new model's answer — never a mix — at 1, 2 and 4 writer
+//!    threads.
+//! 2. **Swap visibility** — a handle refreshed before the swap answers
+//!    exactly like the old snapshot; one refreshed after the swap
+//!    returns answers exactly like the deterministic refit replica.
+//! 3. **Watermark parity** — the drift auto-trigger fires at ingest
+//!    boundaries only, so sequential and parallel ingestion of the same
+//!    records refit at the same point and stay bit-identical.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use zeroer_datagen::generate;
+use zeroer_datagen::profiles::rest_fz;
+use zeroer_stream::{
+    PipelineSnapshot, ResolveOutcome, SplitPipeline, StreamOptions, StreamPipeline,
+};
+use zeroer_tabular::{Record, Table};
+
+/// Bootstrap/stream split of a generated dedup table.
+fn split_dataset(scale: f64, seed: u64) -> (Table, Vec<Record>) {
+    let ds = generate(&rest_fz(), scale, seed);
+    let (table, _) = ds.dedup_table();
+    let cut = (table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", table.schema().clone());
+    for r in table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+fn cold_pipeline(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
+    let mut p = StreamPipeline::from_snapshot(snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    p.seed_base(boot).expect("bootstrap decisions replay");
+    p
+}
+
+fn outcomes_bit_equal(a: &ResolveOutcome, b: &ResolveOutcome) -> bool {
+    a.epoch == b.epoch
+        && a.candidates == b.candidates
+        && a.cluster == b.cluster
+        && a.matches.len() == b.matches.len()
+        && a.matches
+            .iter()
+            .zip(&b.matches)
+            .all(|((ai, ap), (bi, bp))| ai == bi && ap.to_bits() == bp.to_bits())
+}
+
+/// Resolver threads hammer the read path while the writer swaps a
+/// re-fitted snapshot underneath them. Every concurrent answer must be
+/// bit-identical to the old model's answer or the new model's — and a
+/// handle refreshed after the swap must answer exactly like the refit
+/// replica.
+#[test]
+fn resolves_racing_a_refit_swap_see_old_or_new_never_torn() {
+    let (boot, tail) = split_dataset(0.25, 42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+    let probes: Vec<Record> = tail.iter().take(10).cloned().collect();
+
+    // The two legal worlds, computed on replicas: OLD = bootstrap model
+    // over boot+tail, NEW = the same store after a deterministic refit.
+    // EM from a fixed initialization over a fixed candidate set is
+    // deterministic, so the replica's refit model is bit-identical to
+    // the one the writer will swap in.
+    let mut replica = cold_pipeline(&snap, &boot);
+    replica.ingest_batch(tail.clone());
+    let mut old_handle = replica.pin_read_handle();
+    let expected_old: Vec<ResolveOutcome> = probes.iter().map(|p| old_handle.resolve(p)).collect();
+    replica.refit().expect("replica refit succeeds");
+    assert_eq!(replica.generation(), 1);
+    let mut new_handle = replica.pin_read_handle();
+    let expected_new: Vec<ResolveOutcome> = probes.iter().map(|p| new_handle.resolve(p)).collect();
+    assert!(
+        expected_old
+            .iter()
+            .zip(&expected_new)
+            .any(|(a, b)| !outcomes_bit_equal(a, b)),
+        "refit changed no probe answer — the torn-model check would be vacuous"
+    );
+
+    for writer_threads in [1usize, 2, 4] {
+        let split = SplitPipeline::with_threads(cold_pipeline(&snap, &boot), writer_threads);
+        let writes = split.write_handle();
+        writes.ingest(tail.clone()).expect("write path is open");
+
+        // Pre-swap: a freshly refreshed handle answers like the old
+        // snapshot, bit for bit.
+        let mut pre = split.read_handle();
+        pre.refresh();
+        for (probe, want) in probes.iter().zip(&expected_old) {
+            let got = pre.resolve(probe);
+            assert!(
+                outcomes_bit_equal(&got, want),
+                "pre-swap resolve diverged from the old snapshot \
+                 (writer_threads={writer_threads})"
+            );
+        }
+
+        // Resolver threads: every answer must match one of the two
+        // worlds exactly. A torn model (new means with old ranges, half
+        // a parameter swap, …) would produce a third posterior pattern.
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut resolvers = Vec::new();
+        for _ in 0..3 {
+            let mut handle = split.read_handle();
+            let stop = Arc::clone(&stop);
+            let probes = probes.clone();
+            let expected_old = expected_old.clone();
+            let expected_new = expected_new.clone();
+            resolvers.push(std::thread::spawn(move || {
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for (i, probe) in probes.iter().enumerate() {
+                        let got = handle.resolve(probe);
+                        let old = outcomes_bit_equal(&got, &expected_old[i]);
+                        let new = outcomes_bit_equal(&got, &expected_new[i]);
+                        assert!(
+                            old || new,
+                            "probe {i} answered with neither the old nor the new \
+                             snapshot's decision — torn model observed"
+                        );
+                    }
+                    handle.refresh();
+                    rounds += 1;
+                }
+                rounds
+            }));
+        }
+
+        // The swap, mid-hammering.
+        let report = writes.refresh().expect("refit succeeds on live records");
+        assert_eq!(report.generation, 1);
+        assert!(!report.auto, "manual refresh must not be flagged auto");
+
+        // Post-swap: refreshed handles answer like the refit replica.
+        let mut post = split.read_handle();
+        post.refresh();
+        for (probe, want) in probes.iter().zip(&expected_new) {
+            let got = post.resolve(probe);
+            assert!(
+                outcomes_bit_equal(&got, want),
+                "post-swap resolve diverged from the refit replica \
+                 (writer_threads={writer_threads})"
+            );
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        for r in resolvers {
+            let rounds = r.join().expect("resolver thread must not panic");
+            assert!(rounds > 0, "resolver never completed a round");
+        }
+        split.shutdown();
+    }
+}
+
+/// The drift watermark auto-triggers `refit()` at ingest boundaries —
+/// and because the boundary is the ingest *call*, sequential and
+/// parallel ingestion of the same batch refit at the same point and
+/// make bit-identical decisions.
+#[test]
+fn drift_watermark_auto_triggers_refit_identically_at_any_thread_count() {
+    let (boot, tail) = split_dataset(0.2, 7);
+    // Any nonzero divergence fires as soon as one window record exists
+    // — the point here is the trigger mechanics, not the threshold
+    // calibration.
+    let opts = || StreamOptions {
+        refresh_watermark: Some(1e-12),
+        refresh_min_records: 1,
+        ..StreamOptions::default()
+    };
+
+    let (mut sequential, _) = StreamPipeline::bootstrap(&boot, opts()).expect("bootstrap");
+    let seq_outcomes = sequential.ingest_batch(tail.clone());
+    assert!(
+        sequential.generation() > 0,
+        "watermark never fired — the auto-trigger is dead"
+    );
+
+    let (mut parallel, _) = StreamPipeline::bootstrap(&boot, opts()).expect("bootstrap");
+    let par_outcomes = parallel.ingest_batch_parallel(tail.clone(), 4);
+    assert_eq!(
+        sequential.generation(),
+        parallel.generation(),
+        "sequential and parallel ingestion refit a different number of times"
+    );
+    assert_eq!(seq_outcomes.len(), par_outcomes.len());
+    for (a, b) in seq_outcomes.iter().zip(&par_outcomes) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.matches.len(), b.matches.len());
+        for ((ai, ap), (bi, bp)) in a.matches.iter().zip(&b.matches) {
+            assert_eq!(ai, bi);
+            assert_eq!(ap.to_bits(), bp.to_bits());
+        }
+    }
+    assert_eq!(sequential.clusters(), parallel.clusters());
+
+    // After the refit, the window rebased on the new model: divergence
+    // starts over from an empty window.
+    assert_eq!(parallel.drift().window_records(), 0);
+}

@@ -99,6 +99,12 @@ fn usage() -> &'static str {
        zeroer compact --model <snap.json> --base <csv> [flags]\n\
                                                      drop tombstoned index state, report the\n\
                                                      reclaimed bytes\n\
+       zeroer refresh --model <snap.json> --base <csv> [flags]\n\
+                                                     re-fit the model over the snapshot's live\n\
+                                                     records and write the refreshed snapshot\n\
+       zeroer refresh --model <link.json> --base-left <csv> --base-right <csv> [flags]\n\
+                                                     same, for a frozen linkage snapshot\n\
+                                                     (re-runs the three-model joint fit)\n\
        zeroer serve --model <snap.json> [--base <csv>] [--addr <host:port>] [flags]\n\
                                                      serve resolve/ingest/admin requests over\n\
                                                      TCP until an admin shutdown arrives\n\
@@ -111,8 +117,8 @@ fn usage() -> &'static str {
        --no-transitivity   disable the transitivity soft constraint\n\
        --out <file>        write results to a CSV file instead of stdout\n\
        --save-model <file> (dedup, link) freeze the fitted model(s) to a JSON snapshot\n\
-       --model <file>      (ingest, retract, compact, serve) snapshot produced by\n\
-                           --save-model\n\
+       --model <file>      (ingest, retract, compact, refresh, serve) snapshot\n\
+                           produced by --save-model\n\
        --base <csv>        (ingest) the resolved bootstrap records; their batch\n\
                            cluster decisions are replayed from the snapshot (never\n\
                            re-scored) when the snapshot carries them\n\
@@ -245,7 +251,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     let snapshot_command = matches!(
         args.command.as_str(),
-        "ingest" | "retract" | "compact" | "serve"
+        "ingest" | "retract" | "compact" | "refresh" | "serve"
     );
     if !snapshot_command {
         if args.model.is_some() {
@@ -271,8 +277,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.side.is_some() && args.command != "ingest" {
         return Err("--side is only supported by the `ingest` command".into());
     }
-    if (args.base_left.is_some() || args.base_right.is_some()) && args.command != "ingest" {
-        return Err("--base-left/--base-right are only supported by the `ingest` command".into());
+    if (args.base_left.is_some() || args.base_right.is_some())
+        && !matches!(args.command.as_str(), "ingest" | "refresh")
+    {
+        return Err(
+            "--base-left/--base-right are only supported by the `ingest` and `refresh` commands"
+                .into(),
+        );
     }
     if args.command == "ingest" {
         if args.side.is_some() {
@@ -345,6 +356,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             need_model(&args, "serve")?;
             Ok(args)
         }
+        ("refresh", 0) => {
+            need_model(&args, "refresh")?;
+            let dedup_base = args.base.is_some();
+            let link_base = args.base_left.is_some() && args.base_right.is_some();
+            if dedup_base == link_base {
+                return Err(
+                    "`refresh` requires either --base <csv> (dedup snapshot) or \
+                     --base-left <csv> --base-right <csv> (linkage snapshot)"
+                        .into(),
+                );
+            }
+            Ok(args)
+        }
         ("compact", 0) => {
             need_model(&args, "compact")?;
             if args.base.is_none() {
@@ -362,7 +386,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ("ingest", n) => Err(format!(
             "`ingest` needs exactly one stream CSV file, got {n}"
         )),
-        ("retract", n) | ("compact", n) | ("serve", n) => Err(format!(
+        ("retract", n) | ("compact", n) | ("refresh", n) | ("serve", n) => Err(format!(
             "`{}` takes no positional files (got {n}); the store is rebuilt from \
              --model and --base",
             args.command
@@ -481,6 +505,7 @@ fn dispatch(args: &Args) -> Result<(), String> {
         "ingest" => return run_ingest(args),
         "retract" => return run_retract(args),
         "compact" => return run_compact(args),
+        "refresh" => return run_refresh(args),
         "serve" => return run_serve(args),
         _ => unreachable!("validated in parse_args"),
     }
@@ -891,6 +916,72 @@ fn run_compact(args: &Args) -> Result<(), String> {
     let out_path = args.out.as_deref().unwrap_or(model_path);
     std::fs::write(out_path, pipeline.snapshot().to_json())
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(())
+}
+
+/// The `refresh` subcommand: re-fit the frozen model over the
+/// snapshot's live records and write the refreshed snapshot — the
+/// offline entry to the snapshot lifecycle (`admin refresh` is the
+/// online one). Which flavor ran is decided by the base flags:
+/// `--base` seeds a dedup snapshot, `--base-left`/`--base-right` a
+/// linkage snapshot.
+fn run_refresh(args: &Args) -> Result<(), String> {
+    let model_path = args.model.as_deref().expect("validated in parse_args");
+    let report = if args.base.is_some() {
+        let mut pipeline = load_pipeline_with_base(args)?;
+        let report = pipeline
+            .refit()
+            .map_err(|e| format!("cannot refresh {model_path}: {e}"))?;
+        pipeline.stats().publish();
+        if args.stats {
+            render_stats();
+        }
+        let out_path = args.out.as_deref().unwrap_or(model_path);
+        std::fs::write(out_path, pipeline.snapshot().to_json())
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("zeroer: refreshed snapshot written to {out_path}");
+        report
+    } else {
+        let text = std::fs::read_to_string(model_path)
+            .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+        let snapshot = LinkSnapshot::from_json(&text).map_err(|e| {
+            if text.contains("zeroer-pipeline-snapshot") {
+                format!(
+                    "{model_path} is a dedup snapshot (from `zeroer dedup --save-model`); \
+                     refreshing it takes --base <csv>, not --base-left/--base-right"
+                )
+            } else {
+                format!("cannot parse {model_path}: {e}")
+            }
+        })?;
+        let mut pipeline = LinkPipeline::from_snapshot(&snapshot, args.threshold)
+            .map_err(|e| format!("cannot rebuild pipeline from {model_path}: {e}"))?;
+        let schema = pipeline.store().table().schema().clone();
+        let base_left = load(args.base_left.as_deref().expect("validated"))?;
+        let base_right = load(args.base_right.as_deref().expect("validated"))?;
+        check_snapshot_schema(&schema, &base_left)?;
+        check_snapshot_schema(&schema, &base_right)?;
+        pipeline
+            .seed_base(&base_left, &base_right)
+            .map_err(|e| format!("cannot seed base records: {e}"))?;
+        let report = pipeline
+            .refit()
+            .map_err(|e| format!("cannot refresh {model_path}: {e}"))?;
+        pipeline.stats().publish();
+        if args.stats {
+            render_stats();
+        }
+        let out_path = args.out.as_deref().unwrap_or(model_path);
+        std::fs::write(out_path, pipeline.snapshot().to_json())
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("zeroer: refreshed linkage snapshot written to {out_path}");
+        report
+    };
+    eprintln!(
+        "zeroer: model re-fitted on {} live records ({} candidate pairs, {} EM iterations; \
+         generation {})",
+        report.records, report.pairs, report.em_iterations, report.generation
+    );
     Ok(())
 }
 

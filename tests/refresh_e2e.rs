@@ -1,0 +1,176 @@
+//! End-to-end snapshot lifecycle through the real binary: freeze a
+//! model with `dedup --save-model`, re-fit it offline with
+//! `zeroer refresh`, then start `zeroer serve` and swap the serving
+//! model live over the wire with `admin refresh` — resolving before and
+//! after to prove the read path keeps answering across the swap.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use zeroer::serve::Client;
+use zeroer::tabular::{Record, Value};
+
+fn zeroer_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_zeroer")
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("zeroer-refresh-e2e-{name}-{}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp CSV");
+    path
+}
+
+const BASE: &str = "name,city\n\
+    Golden Dragon Palace,new york\n\
+    Golden Dragon Palce,new york\n\
+    Blue Sky Tavern,austin\n\
+    Blue Sky Tavern Inc,austin\n\
+    Rustic Oak Kitchen,denver\n\
+    Rustic Oak Kitchn,denver\n\
+    Harbor View Bistro,portland\n\
+    Smoky Cellar Tavern,chicago\n\
+    Maple Leaf Diner,toronto\n\
+    Cedar Grove Cafe,seattle\n";
+
+/// Kills the child on drop so a failing assertion never leaks a
+/// listening server process.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn record(name: &str, city: &str) -> Vec<Value> {
+    vec![Value::Str(name.into()), Value::Str(city.into())]
+}
+
+#[test]
+fn refresh_refits_offline_and_swaps_live_over_the_wire() {
+    let base = write_tmp("base", BASE);
+    let snap =
+        std::env::temp_dir().join(format!("zeroer-refresh-snap-{}.json", std::process::id()));
+    let refreshed =
+        std::env::temp_dir().join(format!("zeroer-refresh-out-{}.json", std::process::id()));
+
+    let out = Command::new(zeroer_bin())
+        .args([
+            "dedup",
+            base.to_str().unwrap(),
+            "--save-model",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer dedup");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Offline refresh: re-fit the frozen model on the live base and
+    // write the swapped snapshot to a new path.
+    let out = Command::new(zeroer_bin())
+        .args([
+            "refresh",
+            "--model",
+            snap.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--out",
+            refreshed.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn zeroer refresh");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("model re-fitted"),
+        "refresh must report the refit: {stderr}"
+    );
+    let text = std::fs::read_to_string(&refreshed).expect("refreshed snapshot written");
+    assert!(
+        text.contains("zeroer-pipeline-snapshot"),
+        "refreshed output must be a pipeline snapshot"
+    );
+
+    // The refreshed snapshot is itself servable: boot the server from
+    // it, then swap again live with `admin refresh`.
+    let child = Command::new(zeroer_bin())
+        .args([
+            "serve",
+            "--model",
+            refreshed.to_str().unwrap(),
+            "--base",
+            base.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn zeroer serve");
+    let mut child = Reap(child);
+
+    let mut stderr = BufReader::new(child.0.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr.read_line(&mut line).expect("read server stderr"),
+            0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("zeroer: serving on ") {
+            break rest.to_string();
+        }
+    };
+    let mut client = Client::connect(addr.as_str()).expect("connect to served address");
+
+    // Pre-swap: the read path answers.
+    let before = client
+        .resolve(&record("Golden Dragon Palace", "new york"))
+        .expect("resolve before refresh");
+    assert!(before.cluster.is_some(), "duplicate must match: {before:?}");
+
+    // The live swap.
+    let report = client.admin("refresh").expect("admin refresh");
+    assert_eq!(
+        report.get("generation").and_then(|v| v.as_usize()),
+        Some(1),
+        "first refresh must advance to generation 1: {report:?}"
+    );
+    assert!(
+        report
+            .get("records")
+            .and_then(|v| v.as_usize())
+            .unwrap_or(0)
+            >= 10,
+        "refit must cover the live base: {report:?}"
+    );
+
+    // Post-swap: the read path still answers, and writes still apply.
+    let after = client
+        .resolve(&record("Golden Dragon Palace", "new york"))
+        .expect("resolve after refresh");
+    assert!(
+        after.cluster.is_some(),
+        "duplicate must still match after the swap: {after:?}"
+    );
+    let outcomes = client
+        .ingest(&[Record::new(100, record("Golden Dragon Palce", "new york"))])
+        .expect("ingest after refresh");
+    assert_eq!(outcomes.len(), 1);
+
+    let ack = client.admin("shutdown").expect("shutdown");
+    assert_eq!(ack.get("stopping").and_then(|v| v.as_bool()), Some(true));
+    let status = child.0.wait().expect("server exits");
+    assert!(status.success(), "server exited with {status:?}");
+
+    std::fs::remove_file(snap).ok();
+    std::fs::remove_file(refreshed).ok();
+    std::fs::remove_file(base).ok();
+}
