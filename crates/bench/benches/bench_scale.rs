@@ -1,0 +1,452 @@
+//! Paper-scale lifecycle benchmark: the whole pipeline, end to end, at
+//! each corpus scale — the tracked number behind the ROADMAP's
+//! "production scale" goal.
+//!
+//! Per scale, one synthesized corpus (`zeroer-datagen`'s seeded
+//! generator: Zipfian tokens, mixed text/numeric schema, controlled
+//! duplicate rate, exact ground truth) runs the full lifecycle:
+//!
+//! 1. **bootstrap fit** on the first 70 % of the corpus;
+//! 2. **snapshot save/load**: serialize the fitted snapshot to JSON,
+//!    parse it back, restore a cold pipeline and replay the bootstrap
+//!    decisions — bytes and both latencies;
+//! 3. **streaming ingest** of the 30 % tail at 1/2/4 threads
+//!    (records/s, speedup vs 1 thread, cluster parity across thread
+//!    counts; per-record ingest p50/p99 from the thread-1 run). On a
+//!    1-core machine the scaling rows are SKIPPED — marked in the JSON,
+//!    with a 1-vs-4-thread determinism check run instead, same as
+//!    `bench_stream` section 4;
+//! 4. **pair-F1** of the fully-streamed store against the generated
+//!    ground truth — accuracy at scale is a recorded number, not a
+//!    fixture assertion;
+//! 5. **retract** 20 % of the bootstrap records (streamed records are
+//!    not persisted, so base records are the ones whose retraction
+//!    survives the snapshot round-trip);
+//! 6. **compact** — bytes reclaimed;
+//! 7. **refresh** (`refit()` over the live store);
+//! 8. **serve**: move the pipeline into a TCP server and drive client
+//!    resolves — QPS and server-side resolve p50/p99.
+//!
+//! RSS (`obs::rss_bytes()`) is sampled after every phase and the peak
+//! recorded per scale, alongside the interner and posting-list
+//! footprints — the numbers the out-of-core work needs as its baseline.
+//!
+//! Besides the human-readable report, the run writes `BENCH_scale.json`
+//! (schema `zeroer-bench-scale-v1`, path overridable via
+//! `ZEROER_BENCH_OUT`) for dashboards and the CI schema check.
+//!
+//! Knobs: `ZEROER_SCALES` (comma-separated corpus scales, default
+//! "0.05,0.25"; scale 1 ≈ 20 k records, 10 ≈ 200 k, 100 ≈ 2 M),
+//! `ZEROER_SEED` (default 42), `ZEROER_CLIENTS` (default min(4,
+//! cores)), `ZEROER_BENCH_OUT`.
+
+use std::time::Instant;
+use zeroer_datagen::{generate_dedup, CorpusSpec};
+use zeroer_eval::clusters::{clusters_from_pairs, pairwise_cluster_f1};
+use zeroer_obs::json::{Arr, Obj};
+use zeroer_serve::{Client, Server};
+use zeroer_stream::{PipelineSnapshot, StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_scales() -> Vec<f64> {
+    std::env::var("ZEROER_SCALES")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<f64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![0.05, 0.25])
+}
+
+/// Tracks the high-water RSS across lifecycle phases.
+struct RssPeak {
+    peak: u64,
+    seen: bool,
+}
+
+impl RssPeak {
+    fn new() -> Self {
+        RssPeak {
+            peak: 0,
+            seen: false,
+        }
+    }
+
+    fn sample(&mut self) {
+        if let Some(rss) = zeroer_obs::rss_bytes() {
+            self.peak = self.peak.max(rss);
+            self.seen = true;
+        }
+    }
+
+    fn record(&self, o: &mut Obj) {
+        if self.seen {
+            o.u64("peak_rss_bytes", self.peak);
+        } else {
+            o.raw("peak_rss_bytes", "null");
+        }
+    }
+}
+
+/// Restores a cold pipeline from a snapshot and replays the bootstrap
+/// decisions — the cold-start path every phase after the fit uses.
+fn cold(snap: &PipelineSnapshot, boot: &Table) -> StreamPipeline {
+    let mut p = StreamPipeline::from_snapshot(snap, StreamOptions::default().threshold)
+        .expect("snapshot restores");
+    p.seed_base(boot).expect("bootstrap decisions replay");
+    p
+}
+
+/// Sorted-canonical cluster sets, for cross-thread parity checks.
+fn canonical_clusters(p: &StreamPipeline) -> Vec<Vec<usize>> {
+    let mut cs = p.clusters();
+    for c in &mut cs {
+        c.sort_unstable();
+    }
+    cs.sort();
+    cs
+}
+
+fn run_scale(scale: f64, seed: u64, cores: usize, clients: usize) -> String {
+    println!("\n==== scale {scale} ====");
+    let mut section = Obj::new();
+    section.f64("scale", scale);
+    let mut rss = RssPeak::new();
+
+    // ---- generate -------------------------------------------------
+    let spec = CorpusSpec {
+        scale,
+        seed,
+        ..CorpusSpec::default()
+    };
+    let t = Instant::now();
+    let corpus = generate_dedup(&spec).expect("valid corpus spec");
+    let truth_pairs = corpus.truth_pairs();
+    let gen_secs = t.elapsed().as_secs_f64();
+    rss.sample();
+    let n = corpus.table.len();
+    println!(
+        "generated {n} records ({} ground-truth duplicate pairs) in {gen_secs:.3} s",
+        truth_pairs.len()
+    );
+    let mut o = Obj::new();
+    o.u64("records", n as u64)
+        .u64("truth_pairs", truth_pairs.len() as u64)
+        .f64("secs", gen_secs);
+    section.raw("generate", &o.finish());
+
+    // ---- bootstrap fit on the 70 % head ---------------------------
+    let cut = (n * 7 / 10).max(4);
+    let mut boot = Table::new("boot", corpus.table.schema().clone());
+    for r in corpus.table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = corpus.table.records()[cut..].to_vec();
+    let t = Instant::now();
+    let (fitted, _) =
+        StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap fit");
+    let fit_secs = t.elapsed().as_secs_f64();
+    let snap = fitted.snapshot();
+    drop(fitted);
+    rss.sample();
+    println!(
+        "bootstrap fit on {} records in {fit_secs:.3} s ({} streamed tail records)",
+        boot.len(),
+        tail.len()
+    );
+    let mut o = Obj::new();
+    o.u64("records", boot.len() as u64).f64("secs", fit_secs);
+    section.raw("bootstrap", &o.finish());
+
+    // ---- snapshot save/load ---------------------------------------
+    let t = Instant::now();
+    let json = snap.to_json();
+    let save_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let restored = PipelineSnapshot::from_json(&json).expect("snapshot parses back");
+    let reloaded = cold(&restored, &boot);
+    let load_secs = t.elapsed().as_secs_f64();
+    drop(reloaded);
+    rss.sample();
+    println!(
+        "snapshot: {} bytes, save {save_secs:.3} s / load+seed {load_secs:.3} s",
+        json.len()
+    );
+    let mut o = Obj::new();
+    o.u64("bytes", json.len() as u64)
+        .f64("save_secs", save_secs)
+        .f64("load_secs", load_secs);
+    section.raw("snapshot", &o.finish());
+
+    // ---- streaming ingest at 1/2/4 threads ------------------------
+    // The thread-1 pipeline doubles as the lifecycle pipeline for every
+    // phase after this one.
+    zeroer_obs::reset();
+    let t = Instant::now();
+    let mut lifecycle = cold(&snap, &boot);
+    lifecycle.ingest_batch(tail.clone());
+    let seq_secs = t.elapsed().as_secs_f64();
+    let ingest_hist = zeroer_obs::histogram("stream.ingest.ns").snapshot();
+    let baseline = canonical_clusters(&lifecycle);
+    let seq_rate = tail.len() as f64 / seq_secs.max(f64::MIN_POSITIVE);
+    rss.sample();
+    println!(
+        "ingest (1 thread): {} records in {seq_secs:.3} s → {seq_rate:.0} records/s \
+         (per-record p50 {:.1} µs / p99 {:.1} µs)",
+        tail.len(),
+        ingest_hist.percentile(50.0) / 1e3,
+        ingest_hist.percentile(99.0) / 1e3
+    );
+    let mut ingest = Obj::new();
+    ingest
+        .u64("records", tail.len() as u64)
+        .f64("p50_ns", ingest_hist.percentile(50.0))
+        .f64("p99_ns", ingest_hist.percentile(99.0))
+        .bool("skipped", cores < 2);
+    let mut threads_arr = Arr::new();
+    let mut row = Obj::new();
+    row.u64("threads", 1)
+        .f64("secs", seq_secs)
+        .f64("records_per_s", seq_rate)
+        .f64("speedup_vs_1", 1.0)
+        .bool("cluster_parity", true);
+    threads_arr.raw(&row.finish());
+    if cores < 2 {
+        // Same contract as bench_stream section 4: 1-core timings would
+        // read as "no speedup", so mark the rows skipped and prove the
+        // thread count cannot change the answer instead.
+        println!(
+            "SKIPPED: parallel-scaling timings need >1 core (available_parallelism = {cores}); \
+             run on multi-core hardware for the speedup numbers."
+        );
+        let mut par = cold(&snap, &boot);
+        par.ingest_batch_parallel(tail.clone(), 4);
+        let parity = canonical_clusters(&par) == baseline;
+        println!("determinism check (1 vs 4 threads): cluster parity {parity}");
+        assert!(parity, "parallel ingest must match sequential bit-for-bit");
+        let mut d = Obj::new();
+        d.bool("cluster_parity", parity);
+        ingest.raw("determinism_1_vs_4", &d.finish());
+    } else {
+        for threads in [2usize, 4] {
+            let mut par = cold(&snap, &boot);
+            let t = Instant::now();
+            par.ingest_batch_parallel(tail.clone(), threads);
+            let secs = t.elapsed().as_secs_f64();
+            let parity = canonical_clusters(&par) == baseline;
+            assert!(parity, "parallel ingest must match sequential bit-for-bit");
+            let rate = tail.len() as f64 / secs.max(f64::MIN_POSITIVE);
+            println!(
+                "ingest ({threads} threads): {} records in {secs:.3} s → {rate:.0} records/s \
+                 ({:.2}× vs 1 thread, cluster parity {parity})",
+                tail.len(),
+                seq_secs / secs.max(f64::MIN_POSITIVE)
+            );
+            let mut row = Obj::new();
+            row.u64("threads", threads as u64)
+                .f64("secs", secs)
+                .f64("records_per_s", rate)
+                .f64("speedup_vs_1", seq_secs / secs.max(f64::MIN_POSITIVE))
+                .bool("cluster_parity", parity);
+            threads_arr.raw(&row.finish());
+            rss.sample();
+        }
+    }
+    ingest.raw("threads", &threads_arr.finish());
+    section.raw("ingest", &ingest.finish());
+
+    // ---- pair-F1 vs generated ground truth ------------------------
+    let truth_clusters = clusters_from_pairs(&truth_pairs);
+    let f1 = pairwise_cluster_f1(&lifecycle.clusters(), &truth_clusters).f1();
+    println!("pair-F1 vs ground truth: {f1:.4}");
+    let mut o = Obj::new();
+    o.f64("pair_f1", f1)
+        .u64("truth_pairs", truth_pairs.len() as u64);
+    section.raw("accuracy", &o.finish());
+
+    // ---- retract 20 % of the bootstrap records --------------------
+    let retract_ids: Vec<usize> = (0..boot.len()).step_by(5).collect();
+    let t = Instant::now();
+    let reports = lifecycle.retract_batch(&retract_ids).expect("retract");
+    let retract_secs = t.elapsed().as_secs_f64();
+    let postings: usize = reports.iter().map(|r| r.postings_tombstoned).sum();
+    rss.sample();
+    println!(
+        "retracted {} base records in {retract_secs:.3} s ({postings} postings tombstoned)",
+        reports.len()
+    );
+    let mut o = Obj::new();
+    o.u64("records", reports.len() as u64)
+        .u64("postings_tombstoned", postings as u64)
+        .f64("secs", retract_secs);
+    section.raw("retract", &o.finish());
+
+    // ---- compact --------------------------------------------------
+    let t = Instant::now();
+    let report = lifecycle.compact();
+    let compact_secs = t.elapsed().as_secs_f64();
+    rss.sample();
+    println!(
+        "compact in {compact_secs:.3} s: {} bytes reclaimed ({} postings dropped)",
+        report.bytes_reclaimed(),
+        report.index.postings_dropped
+    );
+    let mut o = Obj::new();
+    o.u64("bytes_reclaimed", report.bytes_reclaimed() as u64)
+        .u64("postings_dropped", report.index.postings_dropped as u64)
+        .f64("secs", compact_secs);
+    section.raw("compact", &o.finish());
+
+    // ---- refresh (refit over the live store) ----------------------
+    let t = Instant::now();
+    let refit = lifecycle.refit().expect("refit");
+    let refresh_secs = t.elapsed().as_secs_f64();
+    rss.sample();
+    println!(
+        "refresh in {refresh_secs:.3} s: re-fitted on {} live records / {} pairs \
+         ({} EM iterations)",
+        refit.records, refit.pairs, refit.em_iterations
+    );
+    let mut o = Obj::new();
+    o.u64("records", refit.records as u64)
+        .u64("pairs", refit.pairs as u64)
+        .u64("em_iterations", refit.em_iterations as u64)
+        .f64("secs", refresh_secs);
+    section.raw("refresh", &o.finish());
+
+    // ---- footprints (post-lifecycle store state) ------------------
+    let stats = lifecycle.stats();
+    let postings_live = stats.index.token.postings + stats.index.qgram.postings;
+    let mut o = Obj::new();
+    o.u64("interned_tokens", stats.interned_tokens as u64)
+        .u64("interned_bytes", stats.interned_bytes as u64)
+        .u64("postings", postings_live as u64)
+        .u64("live_records", stats.live_records as u64)
+        .u64("retracted_records", stats.retracted_records as u64);
+    section.raw("footprint", &o.finish());
+    println!(
+        "footprint: {} interned tokens ({} bytes), {postings_live} live postings, \
+         {} live / {} retracted records",
+        stats.interned_tokens, stats.interned_bytes, stats.live_records, stats.retracted_records
+    );
+
+    // ---- serve resolves -------------------------------------------
+    zeroer_obs::reset();
+    let server = Server::bind(lifecycle, "127.0.0.1:0", cores.min(4)).expect("bind server");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let ops_per_client = (tail.len().min(500) / clients.max(1)).max(32);
+    let t = Instant::now();
+    let mut resolver_threads = Vec::new();
+    for c in 0..clients {
+        let probes: Vec<Record> = tail
+            .iter()
+            .skip(c * 13 % tail.len().max(1))
+            .cloned()
+            .collect();
+        resolver_threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect resolver");
+            let mut matched = 0usize;
+            for i in 0..ops_per_client {
+                let probe = &probes[i % probes.len()];
+                let out = client.resolve(&probe.values).expect("resolve");
+                matched += usize::from(out.cluster.is_some());
+            }
+            matched
+        }));
+    }
+    let mut matched = 0usize;
+    for th in resolver_threads {
+        matched += th.join().expect("resolver thread");
+    }
+    let serve_secs = t.elapsed().as_secs_f64();
+    let mut admin = Client::connect(addr).expect("connect admin");
+    admin.admin("shutdown").expect("shutdown");
+    let drained = server_thread.join().expect("server thread");
+    drop(drained);
+    rss.sample();
+    let resolves = clients * ops_per_client;
+    let resolve_hist = zeroer_obs::histogram("serve.resolve.ns").snapshot();
+    println!(
+        "serve: {resolves} resolves ({matched} matched) in {serve_secs:.3} s → {:.0} QPS \
+         (resolve p50 {:.1} µs / p99 {:.1} µs)",
+        resolves as f64 / serve_secs.max(f64::MIN_POSITIVE),
+        resolve_hist.percentile(50.0) / 1e3,
+        resolve_hist.percentile(99.0) / 1e3
+    );
+    let mut o = Obj::new();
+    o.u64("resolves", resolves as u64)
+        .u64("matched", matched as u64)
+        .f64("secs", serve_secs)
+        .f64("qps", resolves as f64 / serve_secs.max(f64::MIN_POSITIVE))
+        .f64("p50_ns", resolve_hist.percentile(50.0))
+        .f64("p99_ns", resolve_hist.percentile(99.0));
+    section.raw("serve", &o.finish());
+
+    rss.record(&mut section);
+    section.finish()
+}
+
+fn main() {
+    let scales = env_scales();
+    let seed = env_f64("ZEROER_SEED", 42.0) as u64;
+    // Validate every scale before running (or writing) anything: a
+    // degenerate ZEROER_SCALES entry must be a clean error, not a panic
+    // three phases in with a partial BENCH_scale.json on disk.
+    for &s in &scales {
+        let spec = CorpusSpec {
+            scale: s,
+            seed,
+            ..CorpusSpec::default()
+        };
+        if let Err(e) = spec.validate() {
+            eprintln!("bench_scale: invalid scale {s}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let clients = env_f64("ZEROER_CLIENTS", cores.min(4) as f64) as usize;
+
+    println!("== bench_scale ==");
+    let mut header = Obj::new();
+    header
+        .str("bench", "zeroer-bench-scale-v1")
+        .u64("cores", cores as u64)
+        .u64("seed", seed)
+        .u64("clients", clients as u64);
+    let mut scales_arr = Arr::new();
+    for &s in &scales {
+        scales_arr.raw(&zeroer_obs::json::f64_value(s));
+    }
+    header.raw("scales", &scales_arr.finish());
+    match zeroer_obs::rss_bytes() {
+        Some(rss) => header.u64("rss_bytes", rss),
+        None => header.raw("rss_bytes", "null"),
+    };
+    let header_json = header.finish();
+    println!("header: {header_json}");
+
+    let mut sections = Arr::new();
+    for &scale in &scales {
+        sections.raw(&run_scale(scale, seed, cores, clients));
+    }
+
+    let mut doc = Obj::new();
+    doc.str("schema", "zeroer-bench-scale-v1")
+        .raw("header", &header_json)
+        .raw("scales", &sections.finish());
+    let out_path = std::env::var("ZEROER_BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+    match std::fs::write(&out_path, doc.finish() + "\n") {
+        Ok(()) => println!("\nmachine-readable results written to {out_path}"),
+        Err(e) => println!("\nWARNING: cannot write {out_path}: {e}"),
+    }
+}

@@ -20,12 +20,17 @@
 //! tuple counts proportionally (match counts scale along) so the full
 //! experiment suite stays tractable in CI.
 
+pub mod corpus;
 pub mod dataset;
 pub mod entity;
 pub mod perturb;
 pub mod profiles;
 pub mod vocab;
 
+pub use corpus::{
+    corpus_dirt, corpus_schema, generate_dedup, generate_linkage, CorpusError, CorpusSpec,
+    DedupCorpus, LinkageCorpus,
+};
 pub use dataset::{generate, GeneratedDataset};
 pub use perturb::{DirtLevel, Perturber};
 pub use profiles::{all_profiles, DatasetProfile, Domain, LinkKind};

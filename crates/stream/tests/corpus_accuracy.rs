@@ -1,0 +1,136 @@
+//! Ground-truth accuracy on synthesized corpora: the open-ended
+//! generator behind `zeroer gen` and `bench_scale` emits *exact* cluster
+//! labels, so — unlike the paper-profile e2e tests, where truth is
+//! itself generated per profile — the F1 here is against an answer known
+//! by construction: every duplicate is a corrupted copy of a tracked
+//! base entity. Mirrors `streaming_e2e.rs`/`linkage_e2e.rs`: streaming
+//! ingest of the 30 % tail must land within 2 F1 points of the
+//! full-batch fit, for both the dedup and linkage corpus shapes.
+
+use std::collections::HashSet;
+use zeroer_datagen::{generate_dedup, generate_linkage, CorpusSpec};
+use zeroer_eval::clusters::{clusters_from_pairs, pairwise_cluster_f1};
+use zeroer_stream::{LinkPipeline, Side, StreamOptions, StreamPipeline};
+use zeroer_tabular::{Record, Table};
+
+fn spec(seed: u64) -> CorpusSpec {
+    CorpusSpec {
+        scale: 0.02, // 400 records: full EM fits stay test-sized
+        seed,
+        ..CorpusSpec::default()
+    }
+}
+
+fn prefix_table(t: &Table, n: usize) -> Table {
+    let mut out = Table::new("prefix", t.schema().clone());
+    for r in t.records().iter().take(n) {
+        out.push(r.clone());
+    }
+    out
+}
+
+fn pair_f1(clusters: &[Vec<usize>], truth: &[(usize, usize)]) -> f64 {
+    pairwise_cluster_f1(clusters, &clusters_from_pairs(truth)).f1()
+}
+
+#[test]
+fn dedup_streaming_f1_stays_within_two_points_of_batch() {
+    let corpus = generate_dedup(&spec(42)).expect("valid spec");
+    let truth = corpus.truth_pairs();
+    let table = &corpus.table;
+    let opts = StreamOptions::default();
+
+    let (batch, _) = StreamPipeline::bootstrap(table, opts.clone()).expect("batch fit");
+    let batch_f1 = pair_f1(&batch.clusters(), &truth);
+
+    let cut = table.len() * 7 / 10;
+    let (mut stream, report) =
+        StreamPipeline::bootstrap(&prefix_table(table, cut), opts).expect("bootstrap fit");
+    assert!(report.em_iterations >= 1, "bootstrap runs EM");
+    let tail: Vec<Record> = table.records()[cut..].to_vec();
+    for chunk in tail.chunks(16) {
+        stream.ingest_batch(chunk.to_vec());
+    }
+    assert_eq!(stream.store().len(), table.len());
+    let stream_f1 = pair_f1(&stream.clusters(), &truth);
+
+    assert!(
+        batch_f1 > 0.9,
+        "batch fit must recover the controlled duplicates, got F1 {batch_f1}"
+    );
+    assert!(
+        batch_f1 - stream_f1 <= 0.02,
+        "streaming F1 {stream_f1} must be within 2 points of batch F1 {batch_f1}"
+    );
+}
+
+#[test]
+fn dedup_accuracy_is_stable_across_corpus_seeds() {
+    for seed in [7, 19] {
+        let corpus = generate_dedup(&spec(seed)).expect("valid spec");
+        let truth = corpus.truth_pairs();
+        let cut = corpus.table.len() * 7 / 10;
+        let (mut stream, _) =
+            StreamPipeline::bootstrap(&prefix_table(&corpus.table, cut), StreamOptions::default())
+                .expect("bootstrap fit");
+        stream.ingest_batch(corpus.table.records()[cut..].to_vec());
+        let f1 = pair_f1(&stream.clusters(), &truth);
+        assert!(f1 > 0.9, "seed {seed}: streaming F1 {f1} vs exact truth");
+    }
+}
+
+/// F1 of predicted cross links against ground-truth matches, both in the
+/// combined numbering (left records first) — same metric as
+/// `linkage_e2e.rs`.
+fn cross_f1(links: &[(usize, usize)], truth: &HashSet<(usize, usize)>) -> f64 {
+    let pred: HashSet<(usize, usize)> = links.iter().copied().collect();
+    let tp = pred.intersection(truth).count() as f64;
+    if pred.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let precision = tp / pred.len() as f64;
+    let recall = tp / truth.len() as f64;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[test]
+fn linkage_streaming_f1_stays_within_two_points_of_batch() {
+    let corpus = generate_linkage(&spec(42)).expect("valid spec");
+    let nl = corpus.left.len();
+    let truth: HashSet<(usize, usize)> = corpus.matches.iter().map(|&(l, r)| (l, nl + r)).collect();
+    assert!(!truth.is_empty(), "the spec guarantees matches exist");
+
+    let (batch, _) = LinkPipeline::bootstrap(&corpus.left, &corpus.right, StreamOptions::default())
+        .expect("batch fit");
+    let batch_f1 = cross_f1(&batch.cross_links(), &truth);
+
+    // Stream the last 30 % of the right table; ingest order preserves
+    // the combined numbering, so links stay comparable to the same
+    // truth.
+    let cut = corpus.right.len() * 7 / 10;
+    let (mut stream, _) = LinkPipeline::bootstrap(
+        &corpus.left,
+        &prefix_table(&corpus.right, cut),
+        StreamOptions::default(),
+    )
+    .expect("bootstrap fit");
+    let tail: Vec<Record> = corpus.right.records()[cut..].to_vec();
+    for chunk in tail.chunks(16) {
+        stream.ingest_batch(chunk.to_vec(), Side::Right);
+    }
+    assert_eq!(stream.len(), nl + corpus.right.len());
+    let stream_f1 = cross_f1(&stream.cross_links(), &truth);
+
+    assert!(
+        batch_f1 > 0.9,
+        "batch linkage must recover the one-to-one matches, got F1 {batch_f1}"
+    );
+    assert!(
+        batch_f1 - stream_f1 <= 0.02,
+        "streaming linkage F1 {stream_f1} must be within 2 points of batch F1 {batch_f1}"
+    );
+}

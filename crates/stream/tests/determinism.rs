@@ -10,8 +10,9 @@
 
 use proptest::prelude::*;
 use zeroer_datagen::profiles::rest_fz;
-use zeroer_datagen::{all_profiles, generate};
+use zeroer_datagen::{all_profiles, generate, generate_dedup, CorpusSpec};
 use zeroer_stream::{IngestOutcome, PipelineSnapshot, StreamOptions, StreamPipeline};
+use zeroer_tabular::csv::write_table;
 use zeroer_tabular::{Record, Table};
 
 /// Bootstrap/stream split of a generated dedup table.
@@ -191,6 +192,73 @@ fn seed_base_rejects_misuse() {
     assert!(p.seed_base(&reordered).is_ok());
 }
 
+/// Bootstrap/stream split of a `CorpusSpec`-generated corpus (the
+/// open-ended synthesizer behind `zeroer gen` and `bench_scale`), as
+/// opposed to the paper-profile datasets the tests above use.
+fn corpus_split(seed: u64) -> (Table, Vec<Record>) {
+    let spec = CorpusSpec {
+        scale: 0.015, // 300 records: a full EM fit stays test-sized
+        seed,
+        ..CorpusSpec::default()
+    };
+    let corpus = generate_dedup(&spec).expect("valid spec");
+    let cut = (corpus.table.len() * 7 / 10).max(4);
+    let mut boot = Table::new("boot", corpus.table.schema().clone());
+    for r in corpus.table.records().iter().take(cut) {
+        boot.push(r.clone());
+    }
+    let tail: Vec<Record> = corpus.table.records()[cut..].to_vec();
+    (boot, tail)
+}
+
+#[test]
+fn generated_corpus_is_byte_identical_per_seed() {
+    // The determinism contract `zeroer gen` documents: the same spec
+    // yields the same bytes — table AND ground truth — every run.
+    let spec = CorpusSpec {
+        scale: 0.015,
+        seed: 99,
+        ..CorpusSpec::default()
+    };
+    let a = generate_dedup(&spec).expect("valid spec");
+    let b = generate_dedup(&spec).expect("valid spec");
+    assert_eq!(write_table(&a.table), write_table(&b.table));
+    assert_eq!(a.truth_csv(), b.truth_csv());
+    assert_eq!(a.truth_pairs(), b.truth_pairs());
+
+    let other = generate_dedup(&CorpusSpec { seed: 100, ..spec }).expect("valid spec");
+    assert_ne!(
+        write_table(&a.table),
+        write_table(&other.table),
+        "a different seed must produce a different corpus"
+    );
+}
+
+#[test]
+fn corpus_ingest_is_bit_identical_across_thread_counts() {
+    // Downstream of generation, the synthesized corpus must flow through
+    // the parallel ingest path with the same bit-exactness the paper
+    // profiles get: Zipf-skewed hot tokens hit the bucket frequency cap,
+    // so this exercises cap-retirement under parallelism too.
+    let (boot, tail) = corpus_split(42);
+    let (live, _) = StreamPipeline::bootstrap(&boot, StreamOptions::default()).expect("bootstrap");
+    let snap = live.snapshot();
+
+    let mut seq = cold_pipeline(&snap, &boot);
+    let seq_outcomes: Vec<IngestOutcome> = tail.iter().cloned().map(|r| seq.ingest(r)).collect();
+
+    for threads in [1, 2, 4] {
+        let mut par = cold_pipeline(&snap, &boot);
+        let par_outcomes = par.ingest_batch_parallel(tail.clone(), threads);
+        assert_outcomes_identical(&seq_outcomes, &par_outcomes, threads);
+        assert_eq!(
+            seq.clusters(),
+            par.clusters(),
+            "cluster assignments diverged at {threads} threads"
+        );
+    }
+}
+
 proptest! {
     // Bootstrap runs a full EM fit per case, so keep the case count low;
     // the fixed-seed test above covers the thread-count sweep densely.
@@ -212,6 +280,28 @@ proptest! {
         let Ok((live, _)) = StreamPipeline::bootstrap(&boot, StreamOptions::default()) else {
             // Tiny unlucky samples can yield no candidate pairs; nothing
             // to compare then.
+            return;
+        };
+        let snap = live.snapshot();
+
+        let mut seq = cold_pipeline(&snap, &boot);
+        let seq_outcomes: Vec<IngestOutcome> =
+            tail.iter().cloned().map(|r| seq.ingest(r)).collect();
+
+        let mut par = cold_pipeline(&snap, &boot);
+        let par_outcomes = par.ingest_batch_parallel(tail, threads);
+
+        assert_outcomes_identical(&seq_outcomes, &par_outcomes, threads);
+        prop_assert_eq!(seq.clusters(), par.clusters());
+    }
+
+    /// The same property over the open-ended corpus synthesizer: any
+    /// generation seed, any thread count, one byte-identical corpus in,
+    /// bit-identical outcomes out.
+    #[test]
+    fn corpus_parallel_equals_sequential(seed in 0u64..200, threads in 2usize..5) {
+        let (boot, tail) = corpus_split(seed);
+        let Ok((live, _)) = StreamPipeline::bootstrap(&boot, StreamOptions::default()) else {
             return;
         };
         let snap = live.snapshot();

@@ -14,6 +14,7 @@
 //! zeroer compact                    --model snap.json --base resolved.csv [--stats]
 //! zeroer serve                      --model snap.json [--base resolved.csv]
 //!                                   [--addr 127.0.0.1:7878] [--threads N]
+//! zeroer gen --out dir              [--scale S] [--seed N] [--dup-rate R] [--linkage]
 //! ```
 //!
 //! `match` links records across two CSVs with identical headers; `dedup`
@@ -53,7 +54,7 @@ use zeroer::pipeline::{
     IngestOutcome, LinkPipeline, LinkSnapshot, MatchOptions, PipelineSnapshot, Side,
     StreamPipeline,
 };
-use zeroer::tabular::csv::read_table;
+use zeroer::tabular::csv::{read_table, write_table};
 use zeroer::tabular::{Schema, Table};
 
 struct Args {
@@ -76,6 +77,10 @@ struct Args {
     stats: bool,
     metrics: Option<String>,
     addr: Option<String>,
+    scale: f64,
+    seed: u64,
+    dup_rate: f64,
+    linkage: bool,
 }
 
 fn usage() -> &'static str {
@@ -108,6 +113,10 @@ fn usage() -> &'static str {
        zeroer serve --model <snap.json> [--base <csv>] [--addr <host:port>] [flags]\n\
                                                      serve resolve/ingest/admin requests over\n\
                                                      TCP until an admin shutdown arrives\n\
+       zeroer gen --out <dir> [--scale <s>] [--seed <n>] [--dup-rate <r>] [--linkage]\n\
+                                                     synthesize a seeded corpus with exact\n\
+                                                     ground truth: corpus.csv + truth.csv\n\
+                                                     (or left/right/truth.csv with --linkage)\n\
      \n\
      FLAGS:\n\
        --threshold <p>     posterior cut-off for reporting a match (default 0.5)\n\
@@ -132,6 +141,14 @@ fn usage() -> &'static str {
                            ephemeral port; the bound address is printed to stderr)\n\
        --ids <file>        (retract) record indices to withdraw, one per line\n\
                            ('#' comments and blank lines are skipped)\n\
+       --scale <s>         (gen) size multiplier: records = s × 20000 (default 0.1;\n\
+                           scale 1 ≈ 20k records, 10 ≈ 200k, 100 ≈ 2M)\n\
+       --seed <n>          (gen) corpus RNG seed (default 42); the same seed always\n\
+                           yields a byte-identical corpus and ground truth\n\
+       --dup-rate <r>      (gen) fraction of records that are corrupted duplicates,\n\
+                           strictly inside (0, 1) (default 0.3)\n\
+       --linkage           (gen) emit a two-table linkage corpus instead of one\n\
+                           dedup table\n\
        --stats             (dedup, link, ingest, retract, compact, serve) print derivation/\n\
                            blocking observability to stderr: tokens interned,\n\
                            live/retired buckets and live/dead postings per leg,\n\
@@ -162,7 +179,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stats: false,
         metrics: None,
         addr: None,
+        scale: 0.1,
+        seed: 42,
+        dup_rate: 0.3,
+        linkage: false,
     };
+    let mut gen_flags: Vec<&'static str> = Vec::new();
     let mut batch_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.iter().peekable();
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -225,6 +247,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--ids" => args.ids = Some(take_value(&mut it, "--ids")?),
             "--addr" => args.addr = Some(take_value(&mut it, "--addr")?),
+            "--scale" => {
+                gen_flags.push("--scale");
+                args.scale = take_value(&mut it, "--scale")?
+                    .parse()
+                    .map_err(|_| "--scale must be a number".to_string())?;
+            }
+            "--seed" => {
+                gen_flags.push("--seed");
+                args.seed = take_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be a non-negative integer".to_string())?;
+            }
+            "--dup-rate" => {
+                gen_flags.push("--dup-rate");
+                args.dup_rate = take_value(&mut it, "--dup-rate")?
+                    .parse()
+                    .map_err(|_| "--dup-rate must be a number".to_string())?;
+            }
+            "--linkage" => {
+                gen_flags.push("--linkage");
+                args.linkage = true;
+            }
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
             positional => {
@@ -314,6 +358,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.addr.is_some() && args.command != "serve" {
         return Err("--addr is only supported by the `serve` command".into());
     }
+    if args.command != "gen" {
+        if let Some(flag) = gen_flags.first() {
+            return Err(format!("{flag} is only supported by the `gen` command"));
+        }
+    }
     let need_model = |args: &Args, cmd: &str| -> Result<(), String> {
         if args.model.is_none() {
             return Err(format!("`{cmd}` requires --model <snapshot.json>"));
@@ -322,6 +371,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     match (args.command.as_str(), args.files.len()) {
         ("match", 2) | ("dedup", 1) => Ok(args),
+        ("gen", 0) => {
+            if args.out.is_none() {
+                return Err("`gen` requires --out <dir> (the corpus output directory)".into());
+            }
+            if let Some(flag) = batch_flags.first() {
+                return Err(format!(
+                    "{flag} configures the batch fit; it does not apply to `gen`"
+                ));
+            }
+            Ok(args)
+        }
+        ("gen", n) => Err(format!(
+            "`gen` takes no positional files (got {n}); the corpus is synthesized \
+             from --scale/--seed"
+        )),
         ("link", 2) => {
             if args.save_model.is_none() {
                 return Err(
@@ -501,6 +565,7 @@ fn dispatch(args: &Args) -> Result<(), String> {
                 render_stats();
             }
         }
+        "gen" => return run_gen(args),
         "link" => return run_link(args),
         "ingest" => return run_ingest(args),
         "retract" => return run_retract(args),
@@ -511,6 +576,79 @@ fn dispatch(args: &Args) -> Result<(), String> {
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite probabilities"));
     emit(&rows, &args.out)
+}
+
+/// The `gen` subcommand: synthesize a seeded corpus with exact ground
+/// truth into `--out <dir>`. The spec is validated and the corpus fully
+/// generated in memory *before* the first filesystem write, and a failed
+/// write removes everything this run already wrote — callers never see
+/// partial output.
+fn run_gen(args: &Args) -> Result<(), String> {
+    use zeroer::datagen::{generate_dedup, generate_linkage, CorpusSpec};
+    let spec = CorpusSpec {
+        scale: args.scale,
+        seed: args.seed,
+        duplicate_rate: args.dup_rate,
+        ..CorpusSpec::default()
+    };
+    let dir = std::path::Path::new(args.out.as_deref().expect("validated in parse_args"));
+
+    // (file name, body) pairs — generation errors surface here, before
+    // any directory or file exists.
+    let outputs: Vec<(&'static str, String)> = if args.linkage {
+        let corpus = generate_linkage(&spec).map_err(|e| format!("cannot generate: {e}"))?;
+        eprintln!(
+            "zeroer: generated linkage corpus (scale {}, seed {}): {} left + {} right records, \
+             {} ground-truth matches",
+            spec.scale,
+            spec.seed,
+            corpus.left.len(),
+            corpus.right.len(),
+            corpus.matches.len()
+        );
+        vec![
+            ("left.csv", write_table(&corpus.left)),
+            ("right.csv", write_table(&corpus.right)),
+            ("truth.csv", corpus.truth_csv()),
+        ]
+    } else {
+        let corpus = generate_dedup(&spec).map_err(|e| format!("cannot generate: {e}"))?;
+        let pairs = corpus.truth_pairs().len();
+        eprintln!(
+            "zeroer: generated dedup corpus (scale {}, seed {}): {} records, \
+             {} ground-truth duplicate pairs",
+            spec.scale,
+            spec.seed,
+            corpus.table.len(),
+            pairs
+        );
+        vec![
+            ("corpus.csv", write_table(&corpus.table)),
+            ("truth.csv", corpus.truth_csv()),
+        ]
+    };
+
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
+    let mut written: Vec<std::path::PathBuf> = Vec::new();
+    for (name, body) in &outputs {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            for done in &written {
+                let _ = std::fs::remove_file(done);
+            }
+            let _ = std::fs::remove_file(&path);
+            return Err(format!(
+                "cannot write {}: {e} (removed partial output)",
+                path.display()
+            ));
+        }
+        written.push(path);
+    }
+    for path in &written {
+        eprintln!("zeroer: wrote {}", path.display());
+    }
+    Ok(())
 }
 
 /// The `link` subcommand: batch record linkage + freeze the three-model

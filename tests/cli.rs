@@ -1031,3 +1031,232 @@ fn side_flag_and_snapshot_kinds_are_cross_checked() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("left or right"));
     std::fs::remove_file(snap).ok();
 }
+
+/// A scratch directory under the system temp dir, unique per test.
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("zeroer-gen-test-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn gen_writes_dedup_corpus_with_ground_truth() {
+    let dir = tmp_dir("dedup");
+    let out = Command::new(zeroer_bin())
+        .args([
+            "gen",
+            "--out",
+            dir.to_str().unwrap(),
+            "--scale",
+            "0.005",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("spawn zeroer gen");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let corpus = std::fs::read_to_string(dir.join("corpus.csv")).expect("corpus.csv written");
+    let truth = std::fs::read_to_string(dir.join("truth.csv")).expect("truth.csv written");
+    assert!(corpus.starts_with("name,category,description,quantity,price"));
+    assert!(truth.starts_with("record,entity"));
+    // 0.005 × 20 000 = 100 records, one truth line per record.
+    assert_eq!(corpus.lines().count(), 101);
+    assert_eq!(truth.lines().count(), 101);
+
+    // Same seed ⇒ byte-identical output; different seed ⇒ different.
+    let dir2 = tmp_dir("dedup2");
+    let args = |d: &std::path::Path, seed: &str| {
+        vec![
+            "gen".to_string(),
+            "--out".into(),
+            d.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.005".into(),
+            "--seed".into(),
+            seed.into(),
+        ]
+    };
+    let out = Command::new(zeroer_bin())
+        .args(args(&dir2, "7"))
+        .output()
+        .expect("spawn zeroer gen (repeat)");
+    assert!(out.status.success());
+    assert_eq!(
+        corpus,
+        std::fs::read_to_string(dir2.join("corpus.csv")).unwrap(),
+        "same seed must be byte-identical"
+    );
+    assert_eq!(
+        truth,
+        std::fs::read_to_string(dir2.join("truth.csv")).unwrap()
+    );
+    let dir3 = tmp_dir("dedup3");
+    let out = Command::new(zeroer_bin())
+        .args(args(&dir3, "8"))
+        .output()
+        .expect("spawn zeroer gen (other seed)");
+    assert!(out.status.success());
+    assert_ne!(
+        corpus,
+        std::fs::read_to_string(dir3.join("corpus.csv")).unwrap(),
+        "a different seed must change the corpus"
+    );
+    for d in [dir, dir2, dir3] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn gen_linkage_writes_two_tables_and_matches() {
+    let dir = tmp_dir("linkage");
+    let out = Command::new(zeroer_bin())
+        .args([
+            "gen",
+            "--out",
+            dir.to_str().unwrap(),
+            "--scale",
+            "0.005",
+            "--linkage",
+            "--dup-rate",
+            "0.4",
+        ])
+        .output()
+        .expect("spawn zeroer gen --linkage");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let left = std::fs::read_to_string(dir.join("left.csv")).expect("left.csv written");
+    let right = std::fs::read_to_string(dir.join("right.csv")).expect("right.csv written");
+    let truth = std::fs::read_to_string(dir.join("truth.csv")).expect("truth.csv written");
+    assert!(left.starts_with("name,category,description,quantity,price"));
+    assert_eq!(left.lines().count(), 51, "100 records split 50/50");
+    assert_eq!(right.lines().count(), 51);
+    assert!(truth.starts_with("left,right"));
+    // dup-rate 0.4 of 50 right records ⇒ exactly 20 match lines.
+    assert_eq!(truth.lines().count(), 21);
+    assert!(!std::fs::exists(dir.join("corpus.csv")).unwrap_or(false));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn gen_rejects_degenerate_specs_without_partial_output() {
+    let cases: &[(&str, &str)] = &[
+        ("0", "positive"),           // scale zero
+        ("-1", "positive"),          // negative scale
+        ("0.00001", "at least"),     // rounds below the minimum corpus
+        ("abc", "must be a number"), // unparseable
+    ];
+    for (scale, needle) in cases {
+        let dir = tmp_dir(&format!("bad-scale-{scale}"));
+        let out = Command::new(zeroer_bin())
+            .args(["gen", "--out", dir.to_str().unwrap(), "--scale", scale])
+            .output()
+            .expect("spawn zeroer gen (bad scale)");
+        assert!(!out.status.success(), "scale {scale} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "scale {scale}: {stderr}");
+        assert!(
+            !dir.exists(),
+            "scale {scale}: no output directory may be created on a failed spec"
+        );
+    }
+    for dup in ["0", "1", "-0.5", "2"] {
+        let dir = tmp_dir(&format!("bad-dup-{dup}"));
+        let out = Command::new(zeroer_bin())
+            .args([
+                "gen",
+                "--out",
+                dir.to_str().unwrap(),
+                "--scale",
+                "0.005",
+                "--dup-rate",
+                dup,
+            ])
+            .output()
+            .expect("spawn zeroer gen (bad dup-rate)");
+        assert!(!out.status.success(), "dup-rate {dup} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("duplicate rate"),
+            "dup-rate {dup} must name the invalid knob"
+        );
+        assert!(!dir.exists(), "dup-rate {dup}: no partial output");
+    }
+}
+
+#[test]
+fn gen_reports_unwritable_out_dir_cleanly() {
+    // A regular file where the output directory should go: create_dir_all
+    // fails, and nothing may be left behind.
+    let blocker = write_tmp("gen-blocker", "not a directory");
+    let out = Command::new(zeroer_bin())
+        .args([
+            "gen",
+            "--out",
+            blocker.to_str().unwrap(),
+            "--scale",
+            "0.005",
+        ])
+        .output()
+        .expect("spawn zeroer gen (blocked out dir)");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create output directory"),
+        "stderr: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&blocker).unwrap(),
+        "not a directory",
+        "the blocking file must be untouched"
+    );
+    std::fs::remove_file(blocker).ok();
+
+    // Nested variant: a path *under* a regular file.
+    let nested = blocker_nested_path();
+    let out = Command::new(zeroer_bin())
+        .args(["gen", "--out", nested.to_str().unwrap(), "--scale", "0.005"])
+        .output()
+        .expect("spawn zeroer gen (nested blocked out dir)");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot create output directory"));
+}
+
+/// A would-be output path nested under a regular file.
+fn blocker_nested_path() -> std::path::PathBuf {
+    let file = write_tmp("gen-blocker-parent", "flat file");
+    file.join("corpus-out")
+}
+
+#[test]
+fn gen_flags_are_gen_only_and_validated() {
+    // gen flags on other commands are rejected.
+    let t = write_tmp("gen-flags", LEFT);
+    let out = Command::new(zeroer_bin())
+        .args(["dedup", t.to_str().unwrap(), "--scale", "0.1"])
+        .output()
+        .expect("spawn zeroer dedup --scale");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only supported by the `gen`"));
+
+    // gen without --out is rejected.
+    let out = Command::new(zeroer_bin())
+        .args(["gen", "--scale", "0.1"])
+        .output()
+        .expect("spawn zeroer gen (no out)");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --out"));
+
+    // gen takes no positional files.
+    let out = Command::new(zeroer_bin())
+        .args(["gen", "stray.csv", "--out", "/tmp/unused-zeroer-gen"])
+        .output()
+        .expect("spawn zeroer gen stray.csv");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("takes no positional files"));
+}
